@@ -1,0 +1,470 @@
+//! Forward-mode (tangent/pushforward) source transformation.
+//!
+//! Generates `double f_dfwd_x(<params>)` computing `∂f/∂x` by propagating
+//! tangents alongside the primal — the "pushforward operator" mode of the
+//! paper's §II-B. No tape is needed: control flow is preserved verbatim
+//! and tangent statements ride along each primal statement.
+//!
+//! Forward mode is used here as an independent oracle for the reverse
+//! transformation (both must agree to rounding error) and for the
+//! ablation benchmarks; CHEF-FP itself runs on the adjoint mode, which
+//! provides all input sensitivities in one sweep.
+
+use crate::activity::is_diff;
+use crate::derivatives::{pow_derivatives, unary_derivative};
+use crate::reverse::AdError;
+use chef_ir::ast::*;
+use chef_ir::span::Span;
+use chef_ir::types::{ElemTy, FloatTy, Type};
+use chef_ir::visit::{walk_expr_mut, MutVisitor};
+use std::collections::HashMap;
+
+/// Differentiates `primal` forward-mode with respect to the parameter
+/// named `wrt`.
+///
+/// Restrictions: checked + inlined primal, float scalar return, `wrt`
+/// must be a float scalar parameter, and float *array parameters* are not
+/// supported (their tangent storage has no known extent); local float
+/// arrays are fine.
+pub fn forward_diff(primal: &Function, wrt: &str) -> Result<Function, AdError> {
+    if !matches!(primal.ret, Type::Float(_)) {
+        return Err(AdError::NonFloatReturn);
+    }
+    let wrt_id = primal
+        .param_id(wrt)
+        .ok_or_else(|| AdError::Unsupported { msg: format!("no parameter `{wrt}`"), span: Span::DUMMY })?;
+    if !matches!(primal.vars[wrt_id.index()].ty, Type::Float(_)) {
+        return Err(AdError::Unsupported {
+            msg: format!("parameter `{wrt}` is not a float scalar"),
+            span: Span::DUMMY,
+        });
+    }
+    for p in &primal.params {
+        if matches!(p.ty, Type::Array(ElemTy::Float(_))) {
+            return Err(AdError::Unsupported {
+                msg: "float array parameters are not supported in forward mode".into(),
+                span: p.span,
+            });
+        }
+    }
+
+    let mut out = Function {
+        name: format!("{}_dfwd_{}", primal.name, wrt),
+        params: primal.params.clone(),
+        ret: Type::Float(FloatTy::F64),
+        body: Block::empty(),
+        span: Span::DUMMY,
+        vars: Vec::new(),
+    };
+    // Vars: params first (same ids), then locals, then tangents.
+    let mut map: Vec<VarId> = Vec::new();
+    for p in &primal.params {
+        let id = out.add_var(p.name.clone(), p.ty);
+        out.vars[id.index()].is_param = true;
+        map.push(id);
+    }
+    for (i, p) in out.params.iter_mut().enumerate() {
+        p.id = Some(VarId(i as u32));
+    }
+    let mut hoisted: Vec<Stmt> = Vec::new();
+    for (vid, info) in primal.vars_iter() {
+        if info.is_param {
+            continue;
+        }
+        let id = out.add_var(info.name.clone(), info.ty);
+        map.push(id);
+        debug_assert_eq!(map.len() - 1, vid.index());
+        match info.ty {
+            Type::Array(_) => {} // allocated at its site
+            _ => hoisted.push(Stmt::synth(StmtKind::Decl {
+                name: info.name.clone(),
+                id: Some(id),
+                ty: info.ty,
+                size: None,
+                init: None,
+            })),
+        }
+    }
+    // Tangent shadows for every differentiable variable.
+    let mut tangent: HashMap<VarId, (VarId, String)> = HashMap::new();
+    for (vid, info) in primal.vars_iter() {
+        if !is_diff(info.ty) {
+            continue;
+        }
+        let new_id = map[vid.index()];
+        let tname = format!("_t_{}", info.name);
+        match info.ty {
+            Type::Float(_) => {
+                let tid = out.add_var(tname.clone(), Type::Float(FloatTy::F64));
+                let seed = if vid == wrt_id { 1.0 } else { 0.0 };
+                hoisted.push(Stmt::synth(StmtKind::Decl {
+                    name: tname.clone(),
+                    id: Some(tid),
+                    ty: Type::Float(FloatTy::F64),
+                    size: None,
+                    init: Some(Expr::flit(seed)),
+                }));
+                tangent.insert(new_id, (tid, tname));
+            }
+            Type::Array(_) => {
+                let tid = out.add_var(tname.clone(), Type::Array(ElemTy::Float(FloatTy::F64)));
+                tangent.insert(new_id, (tid, tname));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // Remap the body.
+    let mut body = primal.body.clone();
+    let mut remap = RemapIds { map: &map, names: &out };
+    for s in &mut body.stmts {
+        remap.visit_stmt_mut(s);
+    }
+    crate::reverse::canonicalize_block(&mut body);
+
+    let mut fw = Fwd { out, tangent, fresh: 0 };
+    let mut stmts = hoisted;
+    fw.block_into(&body, &mut stmts)?;
+    let mut out = fw.out;
+    out.body = Block::of(stmts);
+    Ok(out)
+}
+
+struct RemapIds<'a> {
+    map: &'a [VarId],
+    names: &'a Function,
+}
+
+impl RemapIds<'_> {
+    fn fix(&self, v: &mut VarRef) {
+        if let Some(id) = v.id {
+            let nid = self.map[id.index()];
+            v.id = Some(nid);
+            v.name = self.names.var(nid).name.clone();
+        }
+    }
+}
+
+impl MutVisitor for RemapIds<'_> {
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        match &mut e.kind {
+            ExprKind::Var(v) => self.fix(v),
+            ExprKind::Index { base, index } => {
+                self.fix(base);
+                self.visit_expr_mut(index);
+            }
+            _ => walk_expr_mut(self, e),
+        }
+    }
+
+    fn visit_lvalue_mut(&mut self, lv: &mut LValue) {
+        match lv {
+            LValue::Var(v) => self.fix(v),
+            LValue::Index { base, index } => {
+                self.fix(base);
+                self.visit_expr_mut(index);
+            }
+        }
+    }
+
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        if let StmtKind::Decl { id: Some(id), name, .. } = &mut s.kind {
+            let nid = self.map[id.index()];
+            *id = nid;
+            *name = self.names.var(nid).name.clone();
+        }
+        chef_ir::visit::walk_stmt_mut(self, s);
+    }
+}
+
+struct Fwd {
+    out: Function,
+    tangent: HashMap<VarId, (VarId, String)>,
+    fresh: usize,
+}
+
+impl Fwd {
+    fn fresh_f64(&mut self, base: &str) -> (VarId, String) {
+        let name = format!("{base}{}", self.fresh);
+        self.fresh += 1;
+        let id = self.out.add_var(name.clone(), Type::Float(FloatTy::F64));
+        (id, name)
+    }
+
+    fn block_into(&mut self, b: &Block, out: &mut Vec<Stmt>) -> Result<(), AdError> {
+        for s in &b.stmts {
+            self.stmt_into(s, out)?;
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, b: &Block) -> Result<Block, AdError> {
+        let mut stmts = Vec::new();
+        self.block_into(b, &mut stmts)?;
+        Ok(Block::of(stmts))
+    }
+
+    fn stmt_into(&mut self, s: &Stmt, out: &mut Vec<Stmt>) -> Result<(), AdError> {
+        match &s.kind {
+            StmtKind::Decl { id, size: Some(size), ty, name, .. } => {
+                let id = id.expect("remapped");
+                out.push(Stmt::synth(StmtKind::Decl {
+                    name: name.clone(),
+                    id: Some(id),
+                    ty: *ty,
+                    size: Some(size.clone()),
+                    init: None,
+                }));
+                if let Some((tid, tname)) = self.tangent.get(&id).cloned() {
+                    out.push(Stmt::synth(StmtKind::Decl {
+                        name: tname,
+                        id: Some(tid),
+                        ty: Type::Array(ElemTy::Float(FloatTy::F64)),
+                        size: Some(size.clone()),
+                        init: None,
+                    }));
+                }
+                Ok(())
+            }
+            StmtKind::Decl { id, init, .. } => {
+                if let Some(e) = init {
+                    let id = id.expect("remapped");
+                    let lhs =
+                        LValue::Var(VarRef::resolved(self.out.var(id).name.clone(), id));
+                    self.assign_into(&lhs, e, out)?;
+                }
+                Ok(())
+            }
+            StmtKind::Assign { lhs, op, rhs } => {
+                debug_assert_eq!(*op, AssignOp::Assign, "canonicalized");
+                self.assign_into(lhs, rhs, out)
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let t = self.block(then_branch)?;
+                let e = match else_branch {
+                    Some(b) => Some(self.block(b)?),
+                    None => None,
+                };
+                out.push(Stmt::synth(StmtKind::If {
+                    cond: cond.clone(),
+                    then_branch: t,
+                    else_branch: e,
+                }));
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let b = self.block(body)?;
+                out.push(Stmt::synth(StmtKind::While { cond: cond.clone(), body: b }));
+                Ok(())
+            }
+            StmtKind::For { init, cond, step, body } => {
+                let mut pre = Vec::new();
+                if let Some(i) = init {
+                    self.stmt_into(i, &mut pre)?;
+                }
+                // The init may have produced tangent statements; keep the
+                // loop headerless (while-style) to stay a single construct.
+                out.extend(pre);
+                let mut b = self.block(body)?;
+                if let Some(st) = step {
+                    self.stmt_into(st, &mut b.stmts)?;
+                }
+                let cond = cond
+                    .clone()
+                    .unwrap_or_else(|| Expr::typed(ExprKind::BoolLit(true), Type::Bool));
+                out.push(Stmt::synth(StmtKind::While { cond, body: b }));
+                Ok(())
+            }
+            StmtKind::Return(Some(e)) => {
+                let tangent = self.tangent_of(e, out)?;
+                out.push(Stmt::synth(StmtKind::Return(Some(tangent))));
+                Ok(())
+            }
+            StmtKind::Return(None) => Err(AdError::MissingTrailingReturn),
+            StmtKind::Block(b) => {
+                let inner = self.block(b)?;
+                out.push(Stmt::synth(StmtKind::Block(inner)));
+                Ok(())
+            }
+            StmtKind::ExprStmt(e) => {
+                out.push(Stmt::synth(StmtKind::ExprStmt(e.clone())));
+                Ok(())
+            }
+            StmtKind::TapePush(_) | StmtKind::TapePop(_) => Err(AdError::Unsupported {
+                msg: "tape ops in primal".into(),
+                span: s.span,
+            }),
+        }
+    }
+
+    fn assign_into(
+        &mut self,
+        lhs: &LValue,
+        rhs: &Expr,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), AdError> {
+        let target = lhs.var().vid();
+        let lhs_ty = self.out.var(target).ty;
+        let diff = is_diff(lhs_ty);
+        if diff && self.tangent.contains_key(&target) {
+            // Tangent first (reads pre-assignment values), then primal,
+            // then commit the tangent.
+            let te = self.tangent_of(rhs, out)?;
+            let (tmp_id, tmp_name) = self.fresh_f64("_tt");
+            out.push(Stmt::synth(StmtKind::Decl {
+                name: tmp_name.clone(),
+                id: Some(tmp_id),
+                ty: Type::Float(FloatTy::F64),
+                size: None,
+                init: Some(te),
+            }));
+            out.push(Stmt::synth(StmtKind::Assign {
+                lhs: lhs.clone(),
+                op: AssignOp::Assign,
+                rhs: rhs.clone(),
+            }));
+            let (tid, tname) = self.tangent[&target].clone();
+            let tlhs = match lhs {
+                LValue::Var(_) => LValue::Var(VarRef::resolved(tname, tid)),
+                LValue::Index { index, .. } => LValue::Index {
+                    base: VarRef::resolved(tname, tid),
+                    index: index.clone(),
+                },
+            };
+            out.push(Stmt::synth(StmtKind::Assign {
+                lhs: tlhs,
+                op: AssignOp::Assign,
+                rhs: Expr::var(&tmp_name, tmp_id, Type::Float(FloatTy::F64)),
+            }));
+        } else {
+            out.push(Stmt::synth(StmtKind::Assign {
+                lhs: lhs.clone(),
+                op: AssignOp::Assign,
+                rhs: rhs.clone(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Builds the tangent expression of `e`, emitting helper statements
+    /// (branch-resolved signs/selects) into `out`.
+    fn tangent_of(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Result<Expr, AdError> {
+        Ok(match &e.kind {
+            ExprKind::FloatLit(_) | ExprKind::IntLit(_) | ExprKind::BoolLit(_) => Expr::flit(0.0),
+            ExprKind::Var(v) => match self.tangent.get(&v.vid()) {
+                Some((tid, tname)) => Expr::var(tname, *tid, Type::Float(FloatTy::F64)),
+                None => Expr::flit(0.0),
+            },
+            ExprKind::Index { base, index } => match self.tangent.get(&base.vid()) {
+                Some((tid, tname)) => Expr::index(
+                    tname,
+                    *tid,
+                    (**index).clone(),
+                    Type::Float(FloatTy::F64),
+                ),
+                None => Expr::flit(0.0),
+            },
+            ExprKind::Unary { op: UnOp::Neg, operand } => {
+                Expr::neg(self.tangent_of(operand, out)?)
+            }
+            ExprKind::Unary { op: UnOp::Not, .. } => Expr::flit(0.0),
+            ExprKind::Binary { op, lhs, rhs } => {
+                let (a, b) = (lhs, rhs);
+                match op {
+                    BinOp::Add => {
+                        Expr::add(self.tangent_of(a, out)?, self.tangent_of(b, out)?)
+                    }
+                    BinOp::Sub => {
+                        Expr::sub(self.tangent_of(a, out)?, self.tangent_of(b, out)?)
+                    }
+                    BinOp::Mul => {
+                        let ta = self.tangent_of(a, out)?;
+                        let tb = self.tangent_of(b, out)?;
+                        Expr::add(
+                            Expr::mul(ta, (**b).clone()),
+                            Expr::mul((**a).clone(), tb),
+                        )
+                    }
+                    BinOp::Div => {
+                        let ta = self.tangent_of(a, out)?;
+                        let tb = self.tangent_of(b, out)?;
+                        // ta/b - a*tb/b²
+                        Expr::sub(
+                            Expr::div(ta, (**b).clone()),
+                            Expr::div(
+                                Expr::mul((**a).clone(), tb),
+                                Expr::mul((**b).clone(), (**b).clone()),
+                            ),
+                        )
+                    }
+                    _ => Expr::flit(0.0),
+                }
+            }
+            ExprKind::Call { callee: Callee::Intrinsic(i), args } => match i {
+                Intrinsic::Fabs => {
+                    let ta = self.tangent_of(&args[0], out)?;
+                    let (sid, sname) = self.fresh_f64("_sign");
+                    out.push(Stmt::synth(StmtKind::Decl {
+                        name: sname.clone(),
+                        id: Some(sid),
+                        ty: Type::Float(FloatTy::F64),
+                        size: None,
+                        init: Some(Expr::flit(1.0)),
+                    }));
+                    out.push(Stmt::synth(StmtKind::If {
+                        cond: Expr::binary(BinOp::Lt, args[0].clone(), Expr::flit(0.0)),
+                        then_branch: Block::of(vec![Stmt::synth(StmtKind::Assign {
+                            lhs: LValue::Var(VarRef::resolved(sname.clone(), sid)),
+                            op: AssignOp::Assign,
+                            rhs: Expr::flit(-1.0),
+                        })]),
+                        else_branch: None,
+                    }));
+                    Expr::mul(Expr::var(&sname, sid, Type::Float(FloatTy::F64)), ta)
+                }
+                Intrinsic::Fmin | Intrinsic::Fmax => {
+                    let ta = self.tangent_of(&args[0], out)?;
+                    let tb = self.tangent_of(&args[1], out)?;
+                    let (wid, wname) = self.fresh_f64("_sel");
+                    out.push(Stmt::synth(StmtKind::Decl {
+                        name: wname.clone(),
+                        id: Some(wid),
+                        ty: Type::Float(FloatTy::F64),
+                        size: None,
+                        init: Some(tb),
+                    }));
+                    out.push(Stmt::synth(StmtKind::If {
+                        cond: crate::derivatives::min_max_select(*i, &args[0], &args[1]),
+                        then_branch: Block::of(vec![Stmt::synth(StmtKind::Assign {
+                            lhs: LValue::Var(VarRef::resolved(wname.clone(), wid)),
+                            op: AssignOp::Assign,
+                            rhs: ta,
+                        })]),
+                        else_branch: None,
+                    }));
+                    Expr::var(&wname, wid, Type::Float(FloatTy::F64))
+                }
+                Intrinsic::Pow => {
+                    let ta = self.tangent_of(&args[0], out)?;
+                    let tb = self.tangent_of(&args[1], out)?;
+                    let (da, db) = pow_derivatives(&args[0], &args[1]);
+                    Expr::add(Expr::mul(da, ta), Expr::mul(db, tb))
+                }
+                _ => {
+                    let ta = self.tangent_of(&args[0], out)?;
+                    match unary_derivative(*i, &args[0]) {
+                        Some(d) => Expr::mul(d, ta),
+                        None => Expr::flit(0.0),
+                    }
+                }
+            },
+            ExprKind::Call { callee: Callee::Func(name), .. } => {
+                return Err(AdError::UserCall { name: name.clone(), span: e.span })
+            }
+            ExprKind::Cast { ty, expr } => match ty {
+                Type::Float(_) => self.tangent_of(expr, out)?,
+                _ => Expr::flit(0.0),
+            },
+        })
+    }
+}

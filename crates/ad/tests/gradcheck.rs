@@ -1,0 +1,359 @@
+//! Gradient correctness: reverse mode vs forward mode vs finite
+//! differences, on hand-written kernels and on random generated programs.
+
+use chef_ad::forward::forward_diff;
+use chef_ad::reverse::{reverse_diff, reverse_diff_with, NoExtension, ReverseConfig};
+use chef_exec::prelude::*;
+use chef_ir::ast::Function;
+use chef_ir::parser::parse_program;
+use chef_ir::typeck::check_program;
+use chef_passes::testgen::{generate, GenConfig};
+
+fn checked(src: &str) -> Function {
+    let mut p = parse_program(src).unwrap();
+    check_program(&mut p).unwrap();
+    let p = chef_passes::inline_program(&p).unwrap();
+    p.functions.into_iter().next_back().unwrap()
+}
+
+fn run_f(func: &Function, args: Vec<ArgValue>) -> f64 {
+    let c = compile_default(func).unwrap();
+    let opts = ExecOptions { max_instrs: Some(50_000_000), ..Default::default() };
+    run_with(&c, args, &opts).unwrap().ret_f()
+}
+
+/// Runs the generated gradient and returns the adjoints of the float
+/// scalar params (in order) plus the adjoint arrays of float array params.
+fn run_grad(grad: &Function, primal_args: &[ArgValue]) -> Vec<ArgValue> {
+    let c = compile_default(grad).unwrap();
+    let mut args: Vec<ArgValue> = primal_args.to_vec();
+    for (i, a) in primal_args.iter().enumerate() {
+        match a {
+            ArgValue::F(_) => args.push(ArgValue::F(0.0)),
+            ArgValue::FArr(v) => args.push(ArgValue::FArr(vec![0.0; v.len()])),
+            _ => {}
+        }
+        let _ = i;
+    }
+    let opts = ExecOptions { max_instrs: Some(50_000_000), ..Default::default() };
+    let out = run_with(&c, args, &opts).unwrap();
+    out.args[primal_args.len()..].to_vec()
+}
+
+fn fd_gradient(func: &Function, args: &[ArgValue], which: usize) -> f64 {
+    let x = args[which].as_f();
+    let h = (1e-6 * x.abs()).max(1e-8);
+    let mut hi = args.to_vec();
+    hi[which] = ArgValue::F(x + h);
+    let mut lo = args.to_vec();
+    lo[which] = ArgValue::F(x - h);
+    (run_f(func, hi) - run_f(func, lo)) / (2.0 * h)
+}
+
+fn close(a: f64, b: f64, rel: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rel * scale
+}
+
+#[test]
+fn product_rule() {
+    let f = checked("double f(double x, double y) { double z = x * y; return z; }");
+    let grad = reverse_diff(&f).unwrap();
+    let out = run_grad(&grad, &[ArgValue::F(3.0), ArgValue::F(5.0)]);
+    assert_eq!(out[0], ArgValue::F(5.0)); // dz/dx = y
+    assert_eq!(out[1], ArgValue::F(3.0)); // dz/dy = x
+}
+
+#[test]
+fn chain_rule_through_intrinsics() {
+    let f = checked("double f(double x) { return sin(x * x); }");
+    let grad = reverse_diff(&f).unwrap();
+    let x = 0.7;
+    let out = run_grad(&grad, &[ArgValue::F(x)]);
+    let expect = (x * x).cos() * 2.0 * x;
+    assert!(close(out[0].as_f(), expect, 1e-12), "{:?} vs {expect}", out[0]);
+}
+
+#[test]
+fn overwrites_and_self_reference() {
+    // v assigned twice, second time reading itself.
+    let f = checked(
+        "double f(double x, double y) { double v = x * x; v = v * y; return v; }",
+    );
+    let grad = reverse_diff(&f).unwrap();
+    let (x, y) = (1.3, -2.1);
+    let out = run_grad(&grad, &[ArgValue::F(x), ArgValue::F(y)]);
+    assert!(close(out[0].as_f(), 2.0 * x * y, 1e-12));
+    assert!(close(out[1].as_f(), x * x, 1e-12));
+}
+
+#[test]
+fn loop_gradient_arclength_shape() {
+    // The paper's Arc Length kernel shape: accumulation in a loop with
+    // sqrt of sums.
+    let src = "double arclen(double amp, int n) {
+        double h = 3.141592653589793 / n;
+        double t1 = 0.0;
+        double s1 = 0.0;
+        double prev = 0.0;
+        for (int i = 1; i <= n; i++) {
+            double t2 = i * h;
+            double y = amp * sin(t2);
+            double dy = y - prev;
+            s1 += sqrt(h * h + dy * dy);
+            prev = y;
+            t1 = t2;
+        }
+        return s1;
+    }";
+    let f = checked(src);
+    let grad = reverse_diff(&f).unwrap();
+    let args = [ArgValue::F(1.5), ArgValue::I(64)];
+    let out = run_grad(&grad, &args);
+    let fd = fd_gradient(&f, &args, 0);
+    assert!(close(out[0].as_f(), fd, 1e-5), "ad {} vs fd {fd}", out[0].as_f());
+}
+
+#[test]
+fn branch_gradient() {
+    let f = checked(
+        "double f(double x) {
+            double r = 0.0;
+            if (x > 1.0) { r = x * x; } else { r = 3.0 * x; }
+            return r;
+        }",
+    );
+    let grad = reverse_diff(&f).unwrap();
+    let out = run_grad(&grad, &[ArgValue::F(2.0)]);
+    assert_eq!(out[0], ArgValue::F(4.0));
+    let out = run_grad(&grad, &[ArgValue::F(0.5)]);
+    assert_eq!(out[0], ArgValue::F(3.0));
+}
+
+#[test]
+fn array_gradient_dot_product() {
+    let f = checked(
+        "double dot(double a[], double b[], int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s += a[i] * b[i]; }
+            return s;
+        }",
+    );
+    let grad = reverse_diff(&f).unwrap();
+    let a = vec![1.0, 2.0, 3.0];
+    let b = vec![4.0, 5.0, 6.0];
+    let out = run_grad(
+        &grad,
+        &[ArgValue::FArr(a.clone()), ArgValue::FArr(b.clone()), ArgValue::I(3)],
+    );
+    assert_eq!(out[0].as_farr(), b.as_slice()); // d/da = b
+    assert_eq!(out[1].as_farr(), a.as_slice()); // d/db = a
+}
+
+#[test]
+fn array_overwrite_gradient() {
+    // Elements are overwritten in a second loop; push/pop of elements must
+    // restore them for the adjoint of the first loop.
+    let f = checked(
+        "double f(double a[], int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { a[i] = a[i] * a[i]; }
+            for (int i = 0; i < n; i++) { s += a[i]; }
+            return s;
+        }",
+    );
+    let grad = reverse_diff(&f).unwrap();
+    let a = vec![1.5, -2.0, 0.5];
+    let out = run_grad(&grad, &[ArgValue::FArr(a.clone()), ArgValue::I(3)]);
+    let expect: Vec<f64> = a.iter().map(|x| 2.0 * x).collect();
+    assert_eq!(out[0].as_farr(), expect.as_slice());
+}
+
+#[test]
+fn while_loop_gradient() {
+    let f = checked(
+        "double f(double x) {
+            double v = x;
+            while (v < 100.0) { v = v * 2.0; }
+            return v;
+        }",
+    );
+    let grad = reverse_diff(&f).unwrap();
+    let x = 3.0; // 3 -> 6 -> 12 -> 24 -> 48 -> 96 -> 192: 6 doublings
+    let out = run_grad(&grad, &[ArgValue::F(x)]);
+    assert_eq!(out[0], ArgValue::F(64.0));
+}
+
+#[test]
+fn fabs_and_minmax_gradients() {
+    let f = checked("double f(double x, double y) { return fabs(x) + fmax(x, y) + fmin(x * y, y); }");
+    let grad = reverse_diff(&f).unwrap();
+    for &(x, y) in &[(2.0, 1.0), (-2.0, 1.0), (0.5, 3.0)] {
+        let args = [ArgValue::F(x), ArgValue::F(y)];
+        let out = run_grad(&grad, &args);
+        let fdx = fd_gradient(&f, &args, 0);
+        let fdy = fd_gradient(&f, &args, 1);
+        assert!(close(out[0].as_f(), fdx, 1e-5), "x={x},y={y}: {} vs {fdx}", out[0].as_f());
+        assert!(close(out[1].as_f(), fdy, 1e-5), "x={x},y={y}: {} vs {fdy}", out[1].as_f());
+    }
+}
+
+#[test]
+fn pow_gradient() {
+    let f = checked("double f(double x, double y) { return pow(x, y); }");
+    let grad = reverse_diff(&f).unwrap();
+    let (x, y) = (2.5, 1.7);
+    let out = run_grad(&grad, &[ArgValue::F(x), ArgValue::F(y)]);
+    assert!(close(out[0].as_f(), y * x.powf(y - 1.0), 1e-12));
+    assert!(close(out[1].as_f(), x.powf(y) * x.ln(), 1e-12));
+}
+
+#[test]
+fn reverse_matches_forward_mode_on_random_programs() {
+    let cfg = GenConfig::default();
+    let exec_opts = ExecOptions { max_instrs: Some(5_000_000), ..Default::default() };
+    let mut tested = 0;
+    for seed in 0..120 {
+        let g = generate(seed, &cfg);
+        let args =
+            vec![ArgValue::F(g.float_args[0]), ArgValue::F(g.float_args[1]), ArgValue::I(g.int_arg)];
+        let grad = match reverse_diff(&g.function) {
+            Ok(gr) => gr,
+            Err(e) => panic!("seed {seed}: reverse failed: {e}\n{}", g.source),
+        };
+        let gc = compile_default(&grad).unwrap();
+        let mut gargs = args.clone();
+        gargs.push(ArgValue::F(0.0));
+        gargs.push(ArgValue::F(0.0));
+        let gout = match run_with(&gc, gargs, &exec_opts) {
+            Ok(o) => o,
+            Err(t) => panic!("seed {seed}: grad trapped: {t}\n{}", g.source),
+        };
+        let (rx, ry) = (gout.args[3].as_f(), gout.args[4].as_f());
+        // Forward mode as the oracle (same arithmetic, independent code
+        // path).
+        for (wrt, rev_val) in [("x", rx), ("y", ry)] {
+            let fwd = forward_diff(&g.function, wrt).unwrap();
+            let fc = compile_default(&fwd).unwrap();
+            let fout = run_with(&fc, args.clone(), &exec_opts).unwrap().ret_f();
+            assert!(
+                close(rev_val, fout, 1e-9) || (rev_val.is_nan() && fout.is_nan()),
+                "seed {seed} wrt {wrt}: reverse {rev_val} vs forward {fout}\n{}",
+                g.source
+            );
+        }
+        tested += 1;
+    }
+    assert!(tested > 100);
+}
+
+#[test]
+fn tbr_and_full_push_agree() {
+    let cfg_gen = GenConfig::default();
+    let tbr_on = ReverseConfig { tbr: true, ..Default::default() };
+    let tbr_off = ReverseConfig { tbr: false, ..Default::default() };
+    let exec_opts = ExecOptions { max_instrs: Some(5_000_000), ..Default::default() };
+    for seed in 200..260 {
+        let g = generate(seed, &cfg_gen);
+        let args =
+            vec![ArgValue::F(g.float_args[0]), ArgValue::F(g.float_args[1]), ArgValue::I(g.int_arg)];
+        let mut results = Vec::new();
+        let mut peaks = Vec::new();
+        for cfg in [&tbr_on, &tbr_off] {
+            let grad = reverse_diff_with(&g.function, cfg, &mut NoExtension).unwrap();
+            let c = compile_default(&grad).unwrap();
+            let mut gargs = args.clone();
+            gargs.push(ArgValue::F(0.0));
+            gargs.push(ArgValue::F(0.0));
+            let out = run_with(&c, gargs, &exec_opts).unwrap();
+            results.push((out.args[3].as_f(), out.args[4].as_f()));
+            peaks.push(out.stats.tape_peak_bytes);
+        }
+        assert_eq!(results[0], results[1], "seed {seed}\n{}", g.source);
+        assert!(
+            peaks[0] <= peaks[1],
+            "seed {seed}: TBR tape {} > full tape {}",
+            peaks[0],
+            peaks[1]
+        );
+    }
+}
+
+#[test]
+fn tbr_reduces_tape_on_straight_line_code() {
+    let f = checked(
+        "double f(double x) {
+            double a = x * x;
+            double b = a + 1.0;
+            double c = b * a;
+            return c;
+        }",
+    );
+    let tbr = reverse_diff_with(&f, &ReverseConfig { tbr: true, ..Default::default() }, &mut NoExtension)
+        .unwrap();
+    let c = compile_default(&tbr).unwrap();
+    let out = run_with(
+        &c,
+        vec![ArgValue::F(2.0), ArgValue::F(0.0)],
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    // Single-assignment locals never read before their assignment: no
+    // pushes at all.
+    assert_eq!(out.stats.tape_total_pushes, 0, "pushes: {}", out.stats.tape_total_pushes);
+    assert_eq!(out.args[1], ArgValue::F(2.0 * 2.0 * (2.0 * 2.0) + (2.0 * 2.0 + 1.0) * 2.0 * 2.0));
+}
+
+#[test]
+fn listing1_signature_convention() {
+    // Paper Listing 1: df.execute(x, y, &dx, &dy, fp_error) — without an
+    // extension the signature is (x, y, &_d_x, &_d_y).
+    let f = checked("float func(float x, float y) { float z; z = x + y; return z; }");
+    let grad = reverse_diff(&f).unwrap();
+    let names: Vec<_> = grad.params.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, vec!["x", "y", "_d_x", "_d_y"]);
+    let out = run_grad(&grad, &[ArgValue::F(1.95e-5), ArgValue::F(1.37e-7)]);
+    assert_eq!(out[0], ArgValue::F(1.0));
+    assert_eq!(out[1], ArgValue::F(1.0));
+}
+
+#[test]
+fn generated_code_optimizes_and_still_matches() {
+    // The CHEF-FP pipeline optimizes generated adjoints; optimization must
+    // not change gradients.
+    for seed in 300..340 {
+        let g = generate(seed, &GenConfig::default());
+        let args =
+            vec![ArgValue::F(g.float_args[0]), ArgValue::F(g.float_args[1]), ArgValue::I(g.int_arg)];
+        let grad = reverse_diff(&g.function).unwrap();
+        let mut opt = grad.clone();
+        chef_passes::optimize_function(&mut opt, chef_passes::OptLevel::O2);
+        let exec_opts = ExecOptions { max_instrs: Some(5_000_000), ..Default::default() };
+        let mut gargs = args.clone();
+        gargs.push(ArgValue::F(0.0));
+        gargs.push(ArgValue::F(0.0));
+        let a = run_with(&compile_default(&grad).unwrap(), gargs.clone(), &exec_opts).unwrap();
+        let b = run_with(&compile_default(&opt).unwrap(), gargs, &exec_opts).unwrap();
+        let (a3, a4) = (a.args[3].as_f(), a.args[4].as_f());
+        let (b3, b4) = (b.args[3].as_f(), b.args[4].as_f());
+        assert!(
+            (a3 == b3 || (a3.is_nan() && b3.is_nan()))
+                && (a4 == b4 || (a4.is_nan() && b4.is_nan())),
+            "seed {seed}: ({a3},{a4}) vs ({b3},{b4})\n{}",
+            g.source
+        );
+    }
+}
+
+#[test]
+fn unsupported_shapes_report_errors() {
+    use chef_ad::reverse::AdError;
+    let f = checked("int f(int n) { return n; }");
+    assert!(matches!(reverse_diff(&f), Err(AdError::NonFloatReturn)));
+
+    let f = checked("double f(double x) { if (x > 0.0) { return x; } return -x; }");
+    assert!(matches!(reverse_diff(&f), Err(AdError::EarlyReturn { .. })));
+
+    let f = checked("double f(double x) { double y = x; }");
+    assert!(matches!(reverse_diff(&f), Err(AdError::MissingTrailingReturn)));
+}

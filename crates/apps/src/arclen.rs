@@ -1,0 +1,126 @@
+//! The Arc Length benchmark (paper §IV-1, Fig. 4, Table I).
+//!
+//! Approximates the length of `fun(x) = x + Σ_{k=1..5} sin(2^k x)/2^k`
+//! over `[0, π]` by summing straight-line segment lengths at `n` sample
+//! points — the same kernel ADAPT's evaluation uses. The mixed-precision
+//! question: which of the intermediates can live in `float`?
+
+use chef_exec::value::ArgValue;
+use chef_ir::ast::Program;
+
+/// KernelC source of the kernel.
+pub const SOURCE: &str = "
+double arclen(int n) {
+    double h = 3.141592653589793 / n;
+    double t1 = 0.0;
+    double s1 = 0.0;
+    for (int i = 1; i <= n; i++) {
+        double x = i * h;
+        double d = x;
+        double k = 1.0;
+        for (int j = 1; j <= 5; j++) {
+            k = k * 2.0;
+            d = d + sin(k * x) / k;
+        }
+        double diff = d - t1;
+        s1 = s1 + sqrt(h * h + diff * diff);
+        t1 = d;
+    }
+    return s1;
+}
+";
+
+/// Function name inside [`SOURCE`].
+pub const NAME: &str = "arclen";
+
+/// Parses and checks the kernel.
+pub fn program() -> Program {
+    let mut p = chef_ir::parser::parse_program(SOURCE).expect("arclen parses");
+    chef_ir::typeck::check_program(&mut p).expect("arclen typechecks");
+    p
+}
+
+/// Arguments for a run with `n` segments.
+pub fn args(n: i64) -> Vec<ArgValue> {
+    vec![ArgValue::I(n)]
+}
+
+/// Native f64 reference (ground truth + timing baseline).
+pub fn native_f64(n: usize) -> f64 {
+    let h = std::f64::consts::PI / n as f64;
+    let mut t1 = 0.0f64;
+    let mut s1 = 0.0f64;
+    for i in 1..=n {
+        let x = i as f64 * h;
+        let mut d = x;
+        let mut k = 1.0f64;
+        for _ in 1..=5 {
+            k *= 2.0;
+            d += (k * x).sin() / k;
+        }
+        let diff = d - t1;
+        s1 += (h * h + diff * diff).sqrt();
+        t1 = d;
+    }
+    s1
+}
+
+/// Native mixed-precision variant: the sine-series accumulation (`d`, `k`)
+/// and the segment distance run in `f32`; the global accumulator `s1`
+/// stays f64 — the configuration CHEF-FP's tuner finds for the 1e-5
+/// threshold.
+pub fn native_mixed(n: usize) -> f64 {
+    let h = std::f64::consts::PI / n as f64;
+    let hf = h as f32;
+    let mut t1 = 0.0f32;
+    let mut s1 = 0.0f64;
+    for i in 1..=n {
+        let x = i as f32 * hf;
+        let mut d = x;
+        let mut k = 1.0f32;
+        for _ in 1..=5 {
+            k *= 2.0;
+            d += (k * x).sin() / k;
+        }
+        let diff = d - t1;
+        s1 += ((hf * hf + diff * diff) as f64).sqrt();
+        t1 = d;
+    }
+    s1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_exec::prelude::*;
+
+    #[test]
+    fn kernel_matches_native() {
+        let p = program();
+        let c = compile_default(p.function(NAME).unwrap()).unwrap();
+        for n in [10i64, 100, 1000] {
+            let vm = run(&c, args(n)).unwrap().ret_f();
+            let native = native_f64(n as usize);
+            assert!(
+                (vm - native).abs() < 1e-12 * native.abs(),
+                "n={n}: vm {vm} vs native {native}"
+            );
+        }
+    }
+
+    #[test]
+    fn arc_length_converges_to_known_value() {
+        // The exact length of this curve is ≈ 5.79577632241304 (ADAPT's
+        // reference value for [0, π]).
+        let l = native_f64(100_000);
+        assert!((l - 5.795776322).abs() < 1e-6, "{l}");
+    }
+
+    #[test]
+    fn mixed_variant_is_close_but_not_identical() {
+        let a = native_f64(10_000);
+        let b = native_mixed(10_000);
+        assert_ne!(a, b);
+        assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+    }
+}

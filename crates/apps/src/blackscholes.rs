@@ -1,0 +1,295 @@
+//! The Black-Scholes benchmark (paper §IV-5, Fig. 8, Table IV).
+//!
+//! From the PARSEC suite: European option pricing via the Black-Scholes
+//! closed form. The kernel prices a batch and returns the summed price so
+//! the analysis has a scalar output.
+//!
+//! The approximation study (Algorithm 2) needs *named* inputs for the
+//! `exp`/`log`/`sqrt` calls, so the kernel binds them to the locals
+//! `tQ` (→ `sqrt`), `ratio` (→ `log`) and `negrT` (→ `exp`).
+
+use chef_exec::value::ArgValue;
+use chef_ir::ast::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// KernelC source of the kernel.
+pub const SOURCE: &str = "
+double blackscholes(double sptprice[], double strike[], double rate[],
+                    double volatility[], double otime[], int otype[],
+                    int numOptions) {
+    double acc = 0.0;
+    for (int i = 0; i < numOptions; i++) {
+        double S = sptprice[i];
+        double K = strike[i];
+        double r = rate[i];
+        double v = volatility[i];
+        double T = otime[i];
+        double tQ = T;
+        double xSqrtTime = sqrt(tQ);
+        double ratio = S / K;
+        double logTerm = log(ratio);
+        double d1 = (r + 0.5 * v * v) * T + logTerm;
+        d1 = d1 / (v * xSqrtTime);
+        double d2 = d1 - v * xSqrtTime;
+        double NofXd1 = normcdf(d1);
+        double NofXd2 = normcdf(d2);
+        double negrT = -r * T;
+        double expval = exp(negrT);
+        double price = 0.0;
+        if (otype[i] == 1) {
+            price = K * expval * (1.0 - NofXd2) - S * (1.0 - NofXd1);
+        } else {
+            price = S * NofXd1 - K * expval * NofXd2;
+        }
+        acc = acc + price;
+    }
+    return acc;
+}
+";
+
+/// Function name inside [`SOURCE`].
+pub const NAME: &str = "blackscholes";
+
+/// Parses and checks the kernel.
+pub fn program() -> Program {
+    let mut p = chef_ir::parser::parse_program(SOURCE).expect("blackscholes parses");
+    chef_ir::typeck::check_program(&mut p).expect("blackscholes typechecks");
+    p
+}
+
+/// A batch of options.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Spot prices.
+    pub sptprice: Vec<f64>,
+    /// Strike prices.
+    pub strike: Vec<f64>,
+    /// Risk-free rates.
+    pub rate: Vec<f64>,
+    /// Volatilities.
+    pub volatility: Vec<f64>,
+    /// Times to expiry (years).
+    pub otime: Vec<f64>,
+    /// 1 = put, 0 = call.
+    pub otype: Vec<i64>,
+}
+
+impl Workload {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.sptprice.len()
+    }
+
+    /// `true` when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sptprice.is_empty()
+    }
+}
+
+/// Generates a PARSEC-like option batch.
+pub fn workload(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Workload {
+        sptprice: Vec::with_capacity(n),
+        strike: Vec::with_capacity(n),
+        rate: Vec::with_capacity(n),
+        volatility: Vec::with_capacity(n),
+        otime: Vec::with_capacity(n),
+        otype: Vec::with_capacity(n),
+    };
+    for _ in 0..n {
+        let s: f64 = rng.gen_range(20.0..120.0);
+        w.sptprice.push(s);
+        w.strike.push(s * rng.gen_range(0.8..1.2));
+        w.rate.push(rng.gen_range(0.02..0.1));
+        w.volatility.push(rng.gen_range(0.1..0.6));
+        w.otime.push(rng.gen_range(0.1..2.0));
+        w.otype.push(rng.gen_range(0..=1));
+    }
+    w
+}
+
+/// VM arguments for a workload.
+pub fn args(w: &Workload) -> Vec<ArgValue> {
+    vec![
+        ArgValue::FArr(w.sptprice.clone()),
+        ArgValue::FArr(w.strike.clone()),
+        ArgValue::FArr(w.rate.clone()),
+        ArgValue::FArr(w.volatility.clone()),
+        ArgValue::FArr(w.otime.clone()),
+        ArgValue::IArr(w.otype.clone()),
+        ArgValue::I(w.len() as i64),
+    ]
+}
+
+/// The PARSEC CNDF: Abramowitz & Stegun 26.2.17 with an explicit `exp`
+/// call — which is exactly why the paper's "Fast exp" configuration
+/// changes both the discount factor *and* the normal CDF (§IV-5).
+#[inline]
+fn cndf(x: f64, exp_f: fn(f64) -> f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    let neg = x < 0.0;
+    let xx = x.abs();
+    let k = 1.0 / (1.0 + 0.231_641_9 * xx);
+    let poly = k
+        * (0.319_381_530
+            + k * (-0.356_563_782
+                + k * (1.781_477_937 + k * (-1.821_255_978 + k * 1.330_274_429))));
+    let phi = exp_f(-0.5 * xx * xx) * INV_SQRT_2PI;
+    let v = 1.0 - phi * poly;
+    if neg {
+        1.0 - v
+    } else {
+        v
+    }
+}
+
+/// Prices one option with pluggable math functions.
+#[inline]
+fn price_one(
+    s: f64,
+    k: f64,
+    r: f64,
+    v: f64,
+    t: f64,
+    put: bool,
+    exp_f: fn(f64) -> f64,
+    log_f: fn(f64) -> f64,
+    sqrt_f: fn(f64) -> f64,
+) -> f64 {
+    let sqrt_time = sqrt_f(t);
+    let log_term = log_f(s / k);
+    let mut d1 = (r + 0.5 * v * v) * t + log_term;
+    d1 /= v * sqrt_time;
+    let d2 = d1 - v * sqrt_time;
+    let n1 = cndf(d1, exp_f);
+    let n2 = cndf(d2, exp_f);
+    let expval = exp_f(-r * t);
+    if put {
+        k * expval * (1.0 - n2) - s * (1.0 - n1)
+    } else {
+        s * n1 - k * expval * n2
+    }
+}
+
+fn std_exp(x: f64) -> f64 {
+    x.exp()
+}
+fn std_log(x: f64) -> f64 {
+    x.ln()
+}
+fn std_sqrt(x: f64) -> f64 {
+    x.sqrt()
+}
+
+/// Native exact pricing: returns per-option prices.
+pub fn native_prices(w: &Workload) -> Vec<f64> {
+    (0..w.len())
+        .map(|i| {
+            price_one(
+                w.sptprice[i],
+                w.strike[i],
+                w.rate[i],
+                w.volatility[i],
+                w.otime[i],
+                w.otype[i] == 1,
+                std_exp,
+                std_log,
+                std_sqrt,
+            )
+        })
+        .collect()
+}
+
+/// Native pricing under the paper's "FastApprox w/o Fast exp"
+/// configuration (approximate `log` and `sqrt`).
+pub fn approx_prices_no_fast_exp(w: &Workload) -> Vec<f64> {
+    (0..w.len())
+        .map(|i| {
+            price_one(
+                w.sptprice[i],
+                w.strike[i],
+                w.rate[i],
+                w.volatility[i],
+                w.otime[i],
+                w.otype[i] == 1,
+                std_exp,
+                fastapprox::wide::fastlog64,
+                fastapprox::wide::fastsqrt64,
+            )
+        })
+        .collect()
+}
+
+/// Native pricing under the paper's "FastApprox w/ Fast exp"
+/// configuration (additionally the coarse `fasterexp`).
+pub fn approx_prices_fast_exp(w: &Workload) -> Vec<f64> {
+    (0..w.len())
+        .map(|i| {
+            price_one(
+                w.sptprice[i],
+                w.strike[i],
+                w.rate[i],
+                w.volatility[i],
+                w.otime[i],
+                w.otype[i] == 1,
+                fastapprox::wide::fasterexp64,
+                fastapprox::wide::fastlog64,
+                fastapprox::wide::fastsqrt64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_exec::prelude::*;
+
+    #[test]
+    fn kernel_matches_native() {
+        let w = workload(128, 11);
+        let p = program();
+        let c = compile_default(p.function(NAME).unwrap()).unwrap();
+        let vm = run(&c, args(&w)).unwrap().ret_f();
+        let native: f64 = native_prices(&w).iter().sum();
+        // The kernel's `normcdf` intrinsic is exact; the native path uses
+        // the PARSEC A&S polynomial (~7.5e-8 absolute): loose tolerance.
+        assert!((vm - native).abs() < 1e-4 * native.abs().max(1.0), "{vm} vs {native}");
+    }
+
+    #[test]
+    fn put_call_parity_holds() {
+        // C − P = S − K·e^(−rT) for matching parameters.
+        let (s, k, r, v, t) = (100.0, 95.0, 0.05, 0.3, 1.0);
+        let call = price_one(s, k, r, v, t, false, std_exp, std_log, std_sqrt);
+        let put = price_one(s, k, r, v, t, true, std_exp, std_log, std_sqrt);
+        let parity = s - k * (-r * t as f64).exp();
+        // The A&S polynomial CNDF is accurate to ~7.5e-8.
+        assert!((call - put - parity).abs() < 1e-5);
+    }
+
+    #[test]
+    fn prices_are_nonnegative() {
+        let w = workload(500, 3);
+        for p in native_prices(&w) {
+            assert!(p >= -1e-9, "{p}");
+        }
+    }
+
+    #[test]
+    fn approx_configs_rank_by_error() {
+        let w = workload(1000, 5);
+        let exact = native_prices(&w);
+        let row1 = approx_prices_no_fast_exp(&w);
+        let row2 = approx_prices_fast_exp(&w);
+        let err = |approx: &[f64]| -> f64 {
+            approx.iter().zip(&exact).map(|(a, e)| (a - e).abs()).sum::<f64>()
+        };
+        let (e1, e2) = (err(&row1), err(&row2));
+        assert!(e1 > 0.0);
+        // Fast exp is far coarser: accumulated error grows (Table IV).
+        assert!(e2 > e1 * 2.0, "row1 {e1} row2 {e2}");
+    }
+}

@@ -1,0 +1,336 @@
+//! The HPCCG benchmark (paper §IV-4, Fig. 7, Fig. 9, Table I).
+//!
+//! From the Mantevo suite: unpreconditioned conjugate gradient on a
+//! 27-point stencil over an `nx × ny × nz` "chimney" domain (the paper
+//! scales `nz` from 10 to 320 on a 20 × 30 base). The sparse matrix is in
+//! CSR form (`vals`, `inds`, `rowptr`), diagonal 27, off-diagonals −1;
+//! `b = A·1` so the exact solution is all-ones.
+//!
+//! The Fig. 9 heat map tracks the per-iteration sensitivity of `r`, `p`,
+//! `x` and `Ap`; `rtrans` (assigned exactly once per CG iteration) is the
+//! iteration marker.
+
+use chef_exec::value::ArgValue;
+use chef_ir::ast::Program;
+
+/// KernelC source of the CG solver. The quantity of interest is the
+/// solution sum plus the final squared residual (so every CG vector —
+/// including `x` — carries sensitivity to the output).
+pub const SOURCE: &str = "
+double hpccg(double vals[], int inds[], int rowptr[], double b[],
+             int nrow, int maxiter, double tol) {
+    double x[nrow];
+    double r[nrow];
+    double p[nrow];
+    double Ap[nrow];
+    for (int i = 0; i < nrow; i++) {
+        x[i] = 0.0;
+        r[i] = b[i];
+        p[i] = b[i];
+    }
+    double rtrans = 0.0;
+    for (int i = 0; i < nrow; i++) {
+        rtrans = rtrans + r[i] * r[i];
+    }
+    int iter = 0;
+    while (iter < maxiter && rtrans > tol * tol) {
+        for (int i = 0; i < nrow; i++) {
+            double sum = 0.0;
+            for (int j = rowptr[i]; j < rowptr[i + 1]; j++) {
+                sum = sum + vals[j] * p[inds[j]];
+            }
+            Ap[i] = sum;
+        }
+        double pAp = 0.0;
+        for (int i = 0; i < nrow; i++) {
+            pAp = pAp + p[i] * Ap[i];
+        }
+        double alpha = rtrans / pAp;
+        for (int i = 0; i < nrow; i++) {
+            x[i] = x[i] + alpha * p[i];
+            r[i] = r[i] - alpha * Ap[i];
+        }
+        double oldrtrans = rtrans;
+        double newrtrans = 0.0;
+        for (int i = 0; i < nrow; i++) {
+            newrtrans = newrtrans + r[i] * r[i];
+        }
+        rtrans = newrtrans;
+        double beta = rtrans / oldrtrans;
+        for (int i = 0; i < nrow; i++) {
+            p[i] = r[i] + beta * p[i];
+        }
+        iter = iter + 1;
+    }
+    double xsum = 0.0;
+    for (int i = 0; i < nrow; i++) {
+        xsum = xsum + x[i];
+    }
+    return xsum + rtrans;
+}
+";
+
+/// Function name inside [`SOURCE`].
+pub const NAME: &str = "hpccg";
+
+/// Parses and checks the kernel.
+pub fn program() -> Program {
+    let mut p = chef_ir::parser::parse_program(SOURCE).expect("hpccg parses");
+    chef_ir::typeck::check_program(&mut p).expect("hpccg typechecks");
+    p
+}
+
+/// A 27-point stencil problem in CSR form.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    /// Non-zero values.
+    pub vals: Vec<f64>,
+    /// Column indices.
+    pub inds: Vec<i64>,
+    /// Row offsets (`nrow + 1` entries).
+    pub rowptr: Vec<i64>,
+    /// Right-hand side (`A · 1`).
+    pub b: Vec<f64>,
+    /// Number of rows (`nx·ny·nz`).
+    pub nrow: usize,
+}
+
+/// Builds the HPCCG matrix for an `nx × ny × nz` grid: diagonal 27.0,
+/// −1.0 for each of the up-to-26 neighbours (like the Mantevo generator).
+pub fn problem(nx: usize, ny: usize, nz: usize) -> Problem {
+    let nrow = nx * ny * nz;
+    let mut vals = Vec::new();
+    let mut inds: Vec<i64> = Vec::new();
+    let mut rowptr: Vec<i64> = Vec::with_capacity(nrow + 1);
+    rowptr.push(0);
+    for iz in 0..nz as isize {
+        for iy in 0..ny as isize {
+            for ix in 0..nx as isize {
+                let row = (iz * ny as isize * nx as isize + iy * nx as isize + ix) as usize;
+                for sz in -1..=1isize {
+                    for sy in -1..=1isize {
+                        for sx in -1..=1isize {
+                            let (jx, jy, jz) = (ix + sx, iy + sy, iz + sz);
+                            if jx < 0
+                                || jy < 0
+                                || jz < 0
+                                || jx >= nx as isize
+                                || jy >= ny as isize
+                                || jz >= nz as isize
+                            {
+                                continue;
+                            }
+                            let col =
+                                (jz * ny as isize * nx as isize + jy * nx as isize + jx) as usize;
+                            vals.push(if col == row { 27.0 } else { -1.0 });
+                            inds.push(col as i64);
+                        }
+                    }
+                }
+                rowptr.push(vals.len() as i64);
+            }
+        }
+    }
+    // b = A * ones.
+    let mut b = vec![0.0f64; nrow];
+    for row in 0..nrow {
+        let (lo, hi) = (rowptr[row] as usize, rowptr[row + 1] as usize);
+        b[row] = vals[lo..hi].iter().sum();
+    }
+    Problem { vals, inds, rowptr, b, nrow }
+}
+
+/// Default CG controls used by the paper-scale runs.
+pub const MAX_ITER: i64 = 150;
+/// Residual tolerance.
+pub const TOL: f64 = 1e-12;
+
+/// VM arguments for a problem.
+pub fn args(p: &Problem) -> Vec<ArgValue> {
+    vec![
+        ArgValue::FArr(p.vals.clone()),
+        ArgValue::IArr(p.inds.clone()),
+        ArgValue::IArr(p.rowptr.clone()),
+        ArgValue::FArr(p.b.clone()),
+        ArgValue::I(p.nrow as i64),
+        ArgValue::I(MAX_ITER),
+        ArgValue::F(TOL),
+    ]
+}
+
+/// Native CG, generic over the working precision of the vectors. Returns
+/// `(final squared residual, iterations)`.
+macro_rules! native_cg {
+    ($name:ident, $t:ty) => {
+        /// Native CG at one working precision (see macro invocations).
+        /// Returns `(xsum + rtrans, iterations, rtrans)`.
+        pub fn $name(p: &Problem, maxiter: usize, tol: f64) -> (f64, usize, f64) {
+            let nrow = p.nrow;
+            let vals: Vec<$t> = p.vals.iter().map(|&v| v as $t).collect();
+            let b: Vec<$t> = p.b.iter().map(|&v| v as $t).collect();
+            let mut x = vec![0.0 as $t; nrow];
+            let mut r = b.clone();
+            let mut pv = b.clone();
+            let mut ap = vec![0.0 as $t; nrow];
+            let mut rtrans: $t = r.iter().map(|&v| v * v).sum();
+            let mut iter = 0;
+            while iter < maxiter && (rtrans as f64) > tol * tol {
+                for i in 0..nrow {
+                    let (lo, hi) = (p.rowptr[i] as usize, p.rowptr[i + 1] as usize);
+                    let mut sum = 0.0 as $t;
+                    for j in lo..hi {
+                        sum += vals[j] * pv[p.inds[j] as usize];
+                    }
+                    ap[i] = sum;
+                }
+                let pap: $t = (0..nrow).map(|i| pv[i] * ap[i]).sum();
+                let alpha = rtrans / pap;
+                for i in 0..nrow {
+                    x[i] += alpha * pv[i];
+                    r[i] -= alpha * ap[i];
+                }
+                let old = rtrans;
+                rtrans = r.iter().map(|&v| v * v).sum();
+                let beta = rtrans / old;
+                for i in 0..nrow {
+                    pv[i] = r[i] + beta * pv[i];
+                }
+                iter += 1;
+            }
+            let xsum: $t = x.iter().sum();
+            (xsum as f64 + rtrans as f64, iter, rtrans as f64)
+        }
+    };
+}
+
+native_cg!(native_f64, f64);
+native_cg!(native_f32, f32);
+
+/// The paper's loop-split configuration: the first `split` iterations run
+/// in f64; at the split point the whole CG state (matrix included) is
+/// converted to f32 and the remaining iterations run entirely in f32 —
+/// the memory-traffic halving is where the speedup comes from.
+/// Returns `(xsum + rtrans, iterations, rtrans)`.
+pub fn native_split(p: &Problem, maxiter: usize, tol: f64, split: usize) -> (f64, usize, f64) {
+    let nrow = p.nrow;
+    let mut x = vec![0.0f64; nrow];
+    let mut r = p.b.clone();
+    let mut pv = p.b.clone();
+    let mut ap = vec![0.0f64; nrow];
+    let mut rtrans: f64 = r.iter().map(|&v| v * v).sum();
+    let mut iter = 0;
+    while iter < maxiter.min(split) && rtrans > tol * tol {
+        for i in 0..nrow {
+            let (lo, hi) = (p.rowptr[i] as usize, p.rowptr[i + 1] as usize);
+            let mut sum = 0.0f64;
+            for j in lo..hi {
+                sum += p.vals[j] * pv[p.inds[j] as usize];
+            }
+            ap[i] = sum;
+        }
+        let pap: f64 = (0..nrow).map(|i| pv[i] * ap[i]).sum();
+        let alpha = rtrans / pap;
+        for i in 0..nrow {
+            x[i] += alpha * pv[i];
+            r[i] -= alpha * ap[i];
+        }
+        let old = rtrans;
+        rtrans = r.iter().map(|&v| v * v).sum();
+        let beta = rtrans / old;
+        for i in 0..nrow {
+            pv[i] = r[i] + beta * pv[i];
+        }
+        iter += 1;
+    }
+    // Demote the tail: all vectors and the matrix drop to f32.
+    let vals32: Vec<f32> = p.vals.iter().map(|&v| v as f32).collect();
+    let mut x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let mut r32: Vec<f32> = r.iter().map(|&v| v as f32).collect();
+    let mut p32: Vec<f32> = pv.iter().map(|&v| v as f32).collect();
+    let mut ap32 = vec![0.0f32; nrow];
+    let mut rtrans32 = rtrans as f32;
+    while iter < maxiter && (rtrans32 as f64) > tol * tol {
+        for i in 0..nrow {
+            let (lo, hi) = (p.rowptr[i] as usize, p.rowptr[i + 1] as usize);
+            let mut sum = 0.0f32;
+            for j in lo..hi {
+                sum += vals32[j] * p32[p.inds[j] as usize];
+            }
+            ap32[i] = sum;
+        }
+        let pap: f32 = (0..nrow).map(|i| p32[i] * ap32[i]).sum();
+        let alpha = rtrans32 / pap;
+        for i in 0..nrow {
+            x32[i] += alpha * p32[i];
+            r32[i] -= alpha * ap32[i];
+        }
+        let old = rtrans32;
+        rtrans32 = r32.iter().map(|&v| v * v).sum();
+        // The f32 tail stalls near f32 epsilon; stop when the residual no
+        // longer improves (stagnation guard, as real mixed CG codes do).
+        if rtrans32 >= old {
+            iter += 1;
+            break;
+        }
+        let beta = rtrans32 / old;
+        for i in 0..nrow {
+            p32[i] = r32[i] + beta * p32[i];
+        }
+        iter += 1;
+    }
+    let xsum: f64 = x32.iter().map(|&v| v as f64).sum();
+    (xsum + rtrans32 as f64, iter, rtrans32 as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_exec::prelude::*;
+
+    #[test]
+    fn matrix_structure_is_27_point() {
+        let p = problem(4, 4, 4);
+        assert_eq!(p.nrow, 64);
+        assert_eq!(p.rowptr.len(), 65);
+        // An interior point has 27 neighbours.
+        let interior = 1 + 4 + 16 + 4; // row index of (1,1,1)
+        let nnz = (p.rowptr[interior + 1] - p.rowptr[interior]) as usize;
+        assert_eq!(nnz, 27);
+        // A corner has 8.
+        let nnz0 = (p.rowptr[1] - p.rowptr[0]) as usize;
+        assert_eq!(nnz0, 8);
+    }
+
+    #[test]
+    fn cg_converges_to_ones() {
+        let p = problem(6, 6, 6);
+        let (out, iters, res) = native_f64(&p, 200, 1e-10);
+        assert!(res < 1e-20, "residual {res}");
+        // Solution is all-ones: xsum = nrow.
+        assert!((out - p.nrow as f64) < 1e-6, "{out}");
+        assert!(iters < 50, "iterations {iters}");
+    }
+
+    #[test]
+    fn kernel_matches_native() {
+        let p = problem(4, 5, 3);
+        let prog = program();
+        let c = compile_default(prog.function(NAME).unwrap()).unwrap();
+        let vm = run(&c, args(&p)).unwrap().ret_f();
+        let (native, _, _) = native_f64(&p, MAX_ITER as usize, TOL);
+        let scale = native.abs().max(1e-300);
+        assert!((vm - native).abs() < 1e-9 * scale, "{vm} vs {native}");
+    }
+
+    #[test]
+    fn split_config_still_converges() {
+        let p = problem(6, 6, 6);
+        let (full, _, full_res) = native_f64(&p, 150, 1e-10);
+        let (split, _, split_res) = native_split(&p, 150, 1e-10, 10);
+        // Residuals tiny; the split variant may stall slightly above f32
+        // epsilon but the solutions must agree closely.
+        assert!(full_res < 1e-18);
+        assert!(split_res < 1e-6, "{split_res}");
+        assert!((full - split).abs() < 1e-3, "{full} vs {split}");
+    }
+}

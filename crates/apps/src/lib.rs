@@ -1,0 +1,21 @@
+//! # chef-apps — the five paper benchmarks
+//!
+//! Each module packages one benchmark of the CHEF-FP evaluation (§IV):
+//! the KernelC kernel the analysis runs on, a workload generator matching
+//! the published input structure, and native Rust reference
+//! implementations (full precision + the paper's mixed/approximate
+//! configurations) used for ground-truth errors and speedup measurements.
+//!
+//! | Module | Paper workload | Sweep axis |
+//! |---|---|---|
+//! | [`arclen`] | Arc Length | iterations (Fig. 4) |
+//! | [`simpsons`] | Simpsons | iterations (Fig. 5) |
+//! | [`kmeans`] | Rodinia k-Means | data points (Fig. 6) |
+//! | [`hpccg`] | Mantevo HPCCG | z-dimension (Fig. 7, Fig. 9) |
+//! | [`blackscholes`] | PARSEC Black-Scholes | options (Fig. 8, Table IV) |
+
+pub mod arclen;
+pub mod blackscholes;
+pub mod hpccg;
+pub mod kmeans;
+pub mod simpsons;

@@ -1,0 +1,115 @@
+//! The Simpsons benchmark (paper §IV-2, Fig. 5, Table I).
+//!
+//! Composite Simpson's rule for `∫_a^b sin(x)·e^(−x/2) dx` over `2n`
+//! subintervals: `h/3 · (f(a) + f(b) + 4·Σf(odd) + 2·Σf(even))`.
+
+use chef_exec::value::ArgValue;
+use chef_ir::ast::Program;
+
+/// KernelC source of the kernel.
+pub const SOURCE: &str = "
+double simpsons(double a, double b, int n) {
+    double h = (b - a) / (2.0 * n);
+    double s = sin(a) * exp(-a * 0.5) + sin(b) * exp(-b * 0.5);
+    for (int i = 1; i < 2 * n; i++) {
+        double x = a + i * h;
+        double fx = sin(x) * exp(-x * 0.5);
+        if (i % 2 == 1) {
+            s = s + 4.0 * fx;
+        } else {
+            s = s + 2.0 * fx;
+        }
+    }
+    double result = s * h / 3.0;
+    return result;
+}
+";
+
+/// Function name inside [`SOURCE`].
+pub const NAME: &str = "simpsons";
+
+/// Parses and checks the kernel.
+pub fn program() -> Program {
+    let mut p = chef_ir::parser::parse_program(SOURCE).expect("simpsons parses");
+    chef_ir::typeck::check_program(&mut p).expect("simpsons typechecks");
+    p
+}
+
+/// Default integration bounds `[0, 2π]`.
+pub const BOUNDS: (f64, f64) = (0.0, 2.0 * std::f64::consts::PI);
+
+/// Arguments for a run with `n` interval pairs.
+pub fn args(n: i64) -> Vec<ArgValue> {
+    vec![ArgValue::F(BOUNDS.0), ArgValue::F(BOUNDS.1), ArgValue::I(n)]
+}
+
+fn f64_integrand(x: f64) -> f64 {
+    x.sin() * (-x * 0.5).exp()
+}
+
+/// Native f64 reference.
+pub fn native_f64(a: f64, b: f64, n: usize) -> f64 {
+    let h = (b - a) / (2.0 * n as f64);
+    let mut s = f64_integrand(a) + f64_integrand(b);
+    for i in 1..2 * n {
+        let x = a + i as f64 * h;
+        let fx = f64_integrand(x);
+        s += if i % 2 == 1 { 4.0 * fx } else { 2.0 * fx };
+    }
+    s * h / 3.0
+}
+
+/// Native mixed variant: integrand evaluation in f32 (the dominant cost),
+/// accumulation in f64.
+pub fn native_mixed(a: f64, b: f64, n: usize) -> f64 {
+    let h = (b - a) / (2.0 * n as f64);
+    let hf = h as f32;
+    let af = a as f32;
+    let integrand = |x: f32| x.sin() * (-x * 0.5).exp();
+    let mut s = (integrand(af) + integrand(b as f32)) as f64;
+    for i in 1..2 * n {
+        let x = af + i as f32 * hf;
+        let fx = integrand(x) as f64;
+        s += if i % 2 == 1 { 4.0 * fx } else { 2.0 * fx };
+    }
+    s * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_exec::prelude::*;
+
+    #[test]
+    fn kernel_matches_native() {
+        let p = program();
+        let c = compile_default(p.function(NAME).unwrap()).unwrap();
+        for n in [4i64, 64, 512] {
+            let vm = run(&c, args(n)).unwrap().ret_f();
+            let native = native_f64(BOUNDS.0, BOUNDS.1, n as usize);
+            assert!(
+                (vm - native).abs() <= 1e-12 * native.abs().max(1.0),
+                "n={n}: {vm} vs {native}"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_closed_form() {
+        // ∫0^2π sin(x) e^{-x/2} dx = (2/5)(2 - 2e^{-π})  … computed:
+        // antiderivative: -e^{-x/2}(2 sin x + 4 cos x)/5.
+        let exact = {
+            let f = |x: f64| -(-x * 0.5).exp() * (2.0 * x.sin() + 4.0 * x.cos()) / 5.0;
+            f(BOUNDS.1) - f(BOUNDS.0)
+        };
+        let approx = native_f64(BOUNDS.0, BOUNDS.1, 4096);
+        assert!((approx - exact).abs() < 1e-10, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn mixed_close_to_f64() {
+        let a = native_f64(BOUNDS.0, BOUNDS.1, 4096);
+        let b = native_mixed(BOUNDS.0, BOUNDS.1, 4096);
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Analysis-time micro-benchmarks: CHEF-FP vs the ADAPT baseline on fixed
+//! workloads (the statistically-robust companion to the Fig. 4–8 sweeps),
+//! plus the TBR ablation called out in DESIGN.md.
+
+use adapt_baseline::{analyze, AdaptOptions};
+use chef_core::prelude::*;
+use chef_exec::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pair(
+    c: &mut Criterion,
+    group: &str,
+    program: &chef_ir::ast::Program,
+    func: &str,
+    args: &[ArgValue],
+) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+
+    let est = estimate_error(program, func, &EstimateOptions::default()).unwrap();
+    g.bench_function("chef-fp", |b| {
+        b.iter(|| est.execute(std::hint::black_box(args)).unwrap().fp_error)
+    });
+
+    let inlined = chef_passes::inline_program(program).unwrap();
+    let primal = inlined.function(func).unwrap().clone();
+    g.bench_function("adapt", |b| {
+        b.iter(|| {
+            analyze(&primal, std::hint::black_box(args), &AdaptOptions::default())
+                .unwrap()
+                .fp_error
+        })
+    });
+
+    // Ablation: CHEF-FP without the TBR analysis (push everything).
+    let no_tbr = EstimateOptions { tbr: false, ..Default::default() };
+    let est_full = estimate_error(program, func, &no_tbr).unwrap();
+    g.bench_function("chef-fp-no-tbr", |b| {
+        b.iter(|| est_full.execute(std::hint::black_box(args)).unwrap().fp_error)
+    });
+
+    // Ablation: unoptimized generated code (-O0).
+    let o0 = EstimateOptions { opt_level: chef_passes::OptLevel::O0, ..Default::default() };
+    let est_o0 = estimate_error(program, func, &o0).unwrap();
+    g.bench_function("chef-fp-O0", |b| {
+        b.iter(|| est_o0.execute(std::hint::black_box(args)).unwrap().fp_error)
+    });
+
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let p = chef_apps::arclen::program();
+    bench_pair(c, "analysis/arclen-5k", &p, chef_apps::arclen::NAME, &chef_apps::arclen::args(5_000));
+
+    let w = chef_apps::kmeans::workload(500, 5, 4, 42);
+    let p = chef_apps::kmeans::program();
+    bench_pair(c, "analysis/kmeans-500", &p, chef_apps::kmeans::NAME, &chef_apps::kmeans::args(&w));
+
+    let w = chef_apps::blackscholes::workload(500, 42);
+    let p = chef_apps::blackscholes::program();
+    bench_pair(
+        c,
+        "analysis/blackscholes-500",
+        &p,
+        chef_apps::blackscholes::NAME,
+        &chef_apps::blackscholes::args(&w),
+    );
+}
+
+criterion_group!(analysis, benches);
+criterion_main!(analysis);

@@ -1,0 +1,64 @@
+//! Native benchmark kernels: full precision vs the paper's mixed /
+//! approximate configurations (the speedup columns of Tables I and IV).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native/arclen-100k");
+    g.sample_size(20);
+    g.bench_function("f64", |b| b.iter(|| chef_apps::arclen::native_f64(black_box(100_000))));
+    g.bench_function("mixed", |b| b.iter(|| chef_apps::arclen::native_mixed(black_box(100_000))));
+    g.finish();
+
+    let (lo, hi) = chef_apps::simpsons::BOUNDS;
+    let mut g = c.benchmark_group("native/simpsons-100k");
+    g.sample_size(20);
+    g.bench_function("f64", |b| {
+        b.iter(|| chef_apps::simpsons::native_f64(lo, hi, black_box(100_000)))
+    });
+    g.bench_function("mixed", |b| {
+        b.iter(|| chef_apps::simpsons::native_mixed(lo, hi, black_box(100_000)))
+    });
+    g.finish();
+
+    let w = chef_apps::kmeans::workload(20_000, 5, 4, 42);
+    let mut g = c.benchmark_group("native/kmeans-20k");
+    g.sample_size(10);
+    g.bench_function("f64", |b| b.iter(|| chef_apps::kmeans::native_f64(black_box(&w))));
+    g.bench_function("attr-f32", |b| {
+        b.iter(|| chef_apps::kmeans::native_attr_f32(black_box(&w)))
+    });
+    g.finish();
+
+    let prob = chef_apps::hpccg::problem(20, 30, 10);
+    let mut g = c.benchmark_group("native/hpccg-20x30x10");
+    g.sample_size(10);
+    g.bench_function("f64", |b| {
+        b.iter(|| chef_apps::hpccg::native_f64(black_box(&prob), 150, 1e-10))
+    });
+    g.bench_function("split-30", |b| {
+        b.iter(|| chef_apps::hpccg::native_split(black_box(&prob), 150, 1e-10, 30))
+    });
+    g.bench_function("all-f32", |b| {
+        b.iter(|| chef_apps::hpccg::native_f32(black_box(&prob), 150, 1e-10))
+    });
+    g.finish();
+
+    let w = chef_apps::blackscholes::workload(10_000, 42);
+    let mut g = c.benchmark_group("native/blackscholes-10k");
+    g.sample_size(10);
+    g.bench_function("exact", |b| {
+        b.iter(|| chef_apps::blackscholes::native_prices(black_box(&w)))
+    });
+    g.bench_function("fastapprox", |b| {
+        b.iter(|| chef_apps::blackscholes::approx_prices_no_fast_exp(black_box(&w)))
+    });
+    g.bench_function("fastapprox-fast-exp", |b| {
+        b.iter(|| chef_apps::blackscholes::approx_prices_fast_exp(black_box(&w)))
+    });
+    g.finish();
+}
+
+criterion_group!(apps, benches);
+criterion_main!(apps);

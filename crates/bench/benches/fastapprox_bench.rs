@@ -1,0 +1,46 @@
+//! FastApprox vs standard math micro-benchmarks (the raw speed trade the
+//! paper's Table IV buys error with).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let xs: Vec<f32> = (1..=1024).map(|i| i as f32 * 0.017).collect();
+    let xd: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+
+    let mut g = c.benchmark_group("fastapprox/exp");
+    g.sample_size(20);
+    g.bench_function("std-exp-f64", |b| {
+        b.iter(|| xd.iter().map(|&x| black_box(x).exp()).sum::<f64>())
+    });
+    g.bench_function("fastexp-f32", |b| {
+        b.iter(|| xs.iter().map(|&x| fastapprox::fastexp(black_box(x))).sum::<f32>())
+    });
+    g.bench_function("fasterexp-f32", |b| {
+        b.iter(|| xs.iter().map(|&x| fastapprox::fasterexp(black_box(x))).sum::<f32>())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fastapprox/log");
+    g.sample_size(20);
+    g.bench_function("std-ln-f64", |b| {
+        b.iter(|| xd.iter().map(|&x| black_box(x).ln()).sum::<f64>())
+    });
+    g.bench_function("fastlog-f32", |b| {
+        b.iter(|| xs.iter().map(|&x| fastapprox::fastlog(black_box(x))).sum::<f32>())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fastapprox/normcdf");
+    g.sample_size(20);
+    g.bench_function("exact-erfc64", |b| {
+        b.iter(|| xd.iter().map(|&x| fastapprox::erf::normcdf64(black_box(x) - 8.0)).sum::<f64>())
+    });
+    g.bench_function("fastnormcdf-f32", |b| {
+        b.iter(|| xs.iter().map(|&x| fastapprox::fastnormcdf(black_box(x) - 8.0)).sum::<f32>())
+    });
+    g.finish();
+}
+
+criterion_group!(fastapprox_bench, benches);
+criterion_main!(fastapprox_bench);

@@ -1,0 +1,67 @@
+//! Substrate micro-benchmarks: soft-float rounding, VM dispatch, and the
+//! cost of the source transformations themselves (parse → check → AD →
+//! optimize → compile).
+
+use chef_ad::reverse::reverse_diff;
+use chef_exec::precision::round_to;
+use chef_exec::prelude::*;
+use chef_ir::types::FloatTy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    // Precision simulation.
+    let xs: Vec<f64> = (1..=1024).map(|i| i as f64 * 0.0173).collect();
+    let mut g = c.benchmark_group("precision/round_to");
+    g.sample_size(20);
+    for ty in [FloatTy::F32, FloatTy::F16, FloatTy::BF16] {
+        g.bench_function(ty.keyword(), |b| {
+            b.iter(|| xs.iter().map(|&x| round_to(black_box(x), ty)).sum::<f64>())
+        });
+    }
+    g.finish();
+
+    // VM throughput on the arclen primal.
+    let p = chef_apps::arclen::program();
+    let compiled = chef_exec::compile::compile_default(p.function("arclen").unwrap()).unwrap();
+    let mut g = c.benchmark_group("vm/arclen-primal");
+    g.sample_size(10);
+    g.bench_function("n=10000", |b| {
+        b.iter(|| run(&compiled, vec![ArgValue::I(10_000)]).unwrap().ret_f())
+    });
+    g.finish();
+
+    // Transformation pipeline cost (compile-time work, amortized over
+    // analyses in CHEF-FP; paid per run by tracing tools).
+    let src = chef_apps::blackscholes::SOURCE;
+    let mut g = c.benchmark_group("transform");
+    g.sample_size(20);
+    g.bench_function("parse+check", |b| {
+        b.iter(|| {
+            let mut p = chef_ir::parser::parse_program(black_box(src)).unwrap();
+            chef_ir::typeck::check_program(&mut p).unwrap();
+            p
+        })
+    });
+    let mut checked = chef_ir::parser::parse_program(src).unwrap();
+    chef_ir::typeck::check_program(&mut checked).unwrap();
+    let primal = checked.function("blackscholes").unwrap().clone();
+    g.bench_function("reverse-ad", |b| b.iter(|| reverse_diff(black_box(&primal)).unwrap()));
+    let grad = reverse_diff(&primal).unwrap();
+    g.bench_function("optimize-O2", |b| {
+        b.iter(|| {
+            let mut f = grad.clone();
+            chef_passes::optimize_function(&mut f, chef_passes::OptLevel::O2);
+            f
+        })
+    });
+    let mut opt = grad.clone();
+    chef_passes::optimize_function(&mut opt, chef_passes::OptLevel::O2);
+    g.bench_function("bytecode-compile", |b| {
+        b.iter(|| chef_exec::compile::compile_default(black_box(&opt)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(substrate, benches);
+criterion_main!(substrate);

@@ -1,0 +1,545 @@
+//! Regenerates every table and figure of the CHEF-FP paper.
+//!
+//! ```text
+//! cargo run -p chef-bench --bin repro --release -- all
+//! cargo run -p chef-bench --bin repro --release -- table1 table3 fig4
+//! ```
+//!
+//! Workload scales are one decade below the paper's cluster runs so the
+//! whole reproduction finishes in minutes on one machine; the shapes
+//! (who wins, growth rates, OOM points, zero-error variables, sensitivity
+//! collapse) are what is being reproduced. See EXPERIMENTS.md.
+
+use adapt_baseline::{analyze, AdaptError, AdaptOptions};
+use chef_bench::{mb, sci, time_median, time_ms};
+use chef_core::prelude::*;
+use chef_exec::compile::{compile, compile_default, CompileOptions, PrecisionMap};
+use chef_exec::prelude::*;
+use chef_ir::ast::{Intrinsic, Program};
+use chef_tuner::{tune, validate, TunerConfig};
+
+/// The simulated per-analysis memory budget for the ADAPT baseline
+/// (the paper's runs died at 188 GB on the cluster; scaled with our
+/// decade-smaller workloads).
+const ADAPT_MEM_LIMIT: usize = 4 << 30; // 4 GiB
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("table1") {
+        table1();
+    }
+    if want("table2") {
+        table2();
+    }
+    if want("table3") {
+        table3();
+    }
+    if want("table4") {
+        table4();
+    }
+    if want("fig4") {
+        sweep_fig(
+            "Figure 4: Arc Length — analysis time & memory vs iterations",
+            &[10_000, 100_000, 1_000_000],
+            |n| (chef_apps::arclen::program(), chef_apps::arclen::NAME, chef_apps::arclen::args(n)),
+            &[],
+        );
+    }
+    if want("fig5") {
+        sweep_fig(
+            "Figure 5: Simpsons — analysis time & memory vs iterations",
+            &[10_000, 100_000, 1_000_000],
+            |n| {
+                (
+                    chef_apps::simpsons::program(),
+                    chef_apps::simpsons::NAME,
+                    chef_apps::simpsons::args(n),
+                )
+            },
+            &[],
+        );
+    }
+    if want("fig6") {
+        sweep_fig(
+            "Figure 6: k-Means — analysis time & memory vs data points",
+            &[100, 1_000, 10_000, 100_000],
+            |n| {
+                let w = chef_apps::kmeans::workload(n as usize, 5, 4, 42);
+                (chef_apps::kmeans::program(), chef_apps::kmeans::NAME, chef_apps::kmeans::args(&w))
+            },
+            &[("attributes", "npoints * nfeatures"), ("clusters", "nclusters * nfeatures")],
+        );
+    }
+    if want("fig7") {
+        sweep_fig(
+            "Figure 7: HPCCG — analysis time & memory vs z-dimension (20x30 base)",
+            &[5, 10, 20, 40],
+            |z| {
+                let p = chef_apps::hpccg::problem(20, 30, z as usize);
+                (chef_apps::hpccg::program(), chef_apps::hpccg::NAME, chef_apps::hpccg::args(&p))
+            },
+            &[("b", "nrow")],
+        );
+    }
+    if want("fig8") {
+        sweep_fig(
+            "Figure 8: Black-Scholes — analysis time & memory vs options",
+            &[1_000, 10_000, 100_000],
+            |n| {
+                let w = chef_apps::blackscholes::workload(n as usize, 42);
+                (
+                    chef_apps::blackscholes::program(),
+                    chef_apps::blackscholes::NAME,
+                    chef_apps::blackscholes::args(&w),
+                )
+            },
+            &[("sptprice", "numOptions")],
+        );
+    }
+    if want("fig9") {
+        fig9();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+// ---------------------------------------------------------------- Table I
+
+fn table1() {
+    header("Table I: mixed-precision versions — threshold, actual vs estimated error, speedup");
+    println!(
+        "{:<14} {:>10} {:>14} {:>16} {:>9}  demoted",
+        "Benchmark", "Threshold", "Actual Error", "Estimated Error", "Speedup"
+    );
+
+    // --- Arc Length, threshold 1e-5 ---
+    {
+        let p = chef_apps::arclen::program();
+        let n = 100_000i64;
+        let args = chef_apps::arclen::args(n);
+        let cfg = TunerConfig::with_threshold(1e-5);
+        let res = tune(&p, chef_apps::arclen::NAME, &args, &cfg).expect("tune arclen");
+        let rep = validate(&p, chef_apps::arclen::NAME, &args, &res.config).expect("validate");
+        let (_, t64) = time_median(9, || chef_apps::arclen::native_f64(n as usize));
+        let (_, tmx) = time_median(9, || chef_apps::arclen::native_mixed(n as usize));
+        row1("Arc Length", 1e-5, rep.actual_error, res.estimated_error, t64 / tmx, &res.demoted);
+    }
+    // --- Simpsons, threshold 1e-6 ---
+    {
+        let p = chef_apps::simpsons::program();
+        let n = 100_000i64;
+        let args = chef_apps::simpsons::args(n);
+        let cfg = TunerConfig::with_threshold(1e-6);
+        let res = tune(&p, chef_apps::simpsons::NAME, &args, &cfg).expect("tune simpsons");
+        let rep = validate(&p, chef_apps::simpsons::NAME, &args, &res.config).expect("validate");
+        let (a, b) = chef_apps::simpsons::BOUNDS;
+        let (_, t64) = time_median(9, || chef_apps::simpsons::native_f64(a, b, n as usize));
+        let (_, tmx) = time_median(9, || chef_apps::simpsons::native_mixed(a, b, n as usize));
+        row1("Simpsons", 1e-6, rep.actual_error, res.estimated_error, t64 / tmx, &res.demoted);
+    }
+    // --- k-Means, threshold 1e-6 ---
+    {
+        let p = chef_apps::kmeans::program();
+        let w = chef_apps::kmeans::workload(10_000, 5, 4, 42);
+        let args = chef_apps::kmeans::args(&w);
+        let cfg = TunerConfig::with_threshold(1e-6)
+            .with_array_len("attributes", "npoints * nfeatures")
+            .with_array_len("clusters", "nclusters * nfeatures");
+        let res = tune(&p, chef_apps::kmeans::NAME, &args, &cfg).expect("tune kmeans");
+        let rep = validate(&p, chef_apps::kmeans::NAME, &args, &res.config).expect("validate");
+        // The admitted configuration (attributes only) brings no speedup —
+        // measure it anyway (paper reports '-').
+        let speedup = if res.demoted.iter().any(|d| d == "attributes") {
+            // Time against a larger batch so the kernels are measurable,
+            // with the f32 storage prepared outside the timed region.
+            let wt = chef_apps::kmeans::workload(100_000, 5, 4, 42);
+            let attrs32 = chef_apps::kmeans::attributes_f32(&wt);
+            let (_, t64) = time_median(9, || chef_apps::kmeans::native_f64(&wt));
+            let (_, tmx) =
+                time_median(9, || chef_apps::kmeans::native_attr_f32_from(&attrs32, &wt));
+            t64 / tmx
+        } else {
+            1.0 // empty configuration: the program is unchanged
+        };
+        row1("k-Means", 1e-6, rep.actual_error, res.estimated_error, speedup, &res.demoted);
+    }
+    // --- HPCCG: the loop-split configuration from the Fig. 9 profile ---
+    {
+        let threshold = 1e-10;
+        let prob = chef_apps::hpccg::problem(20, 30, 10);
+        let profile = hpccg_profile(&prob).expect("profile");
+        // Smallest split whose estimated f32-tail error (eq. 1 over the
+        // post-split sensitivities) meets the threshold — the same
+        // estimate-driven selection the other rows use.
+        let eps32 = chef_ir::types::FloatTy::F32.epsilon();
+        let tail_estimate = |split: usize| -> f64 {
+            eps32
+                * profile
+                    .matrix
+                    .iter()
+                    .flat_map(|row| row.iter().skip(split))
+                    .sum::<f64>()
+        };
+        let split = (1..=profile.ticks)
+            .find(|&s| tail_estimate(s) <= threshold)
+            .unwrap_or(profile.ticks);
+        let estimated = tail_estimate(split);
+        let (base, t64) = time_median(3, || chef_apps::hpccg::native_f64(&prob, 150, 1e-10));
+        let (tuned, tsp) =
+            time_median(3, || chef_apps::hpccg::native_split(&prob, 150, 1e-10, split));
+        // Quantity of interest for the threshold: the final squared
+        // residual (the solver's convergence quality). The solution-sum
+        // component is the Fig. 9 visualization QoI; demoting the solution
+        // vector itself is *not* admissible at 1e-10 (its representation
+        // error alone is ~1e-4) and the paper's threshold only makes sense
+        // against the residual — see EXPERIMENTS.md.
+        let actual = (base.2 - tuned.2).abs();
+        row1(
+            "HPCCG",
+            threshold,
+            actual,
+            estimated,
+            t64 / tsp,
+            &[format!("loop split @ {split}")],
+        );
+    }
+}
+
+/// The Fig. 9 sensitivity profile of the residual-carrying vectors.
+fn hpccg_profile(
+    prob: &chef_apps::hpccg::Problem,
+) -> Result<SensitivityProfile, ChefError> {
+    let p = chef_apps::hpccg::program();
+    let cfg = SensitivityConfig {
+        tracked: vec!["r".into(), "p".into(), "Ap".into()],
+        tick_on: "rtrans".into(),
+        max_ticks: 200,
+    };
+    profile_sensitivity(
+        &p,
+        chef_apps::hpccg::NAME,
+        &cfg,
+        &chef_apps::hpccg::args(prob),
+        &ExecOptions::default(),
+    )
+}
+
+fn row1(name: &str, thr: f64, actual: f64, estimated: f64, speedup: f64, demoted: &[String]) {
+    println!(
+        "{:<14} {:>10} {:>14} {:>16} {:>9.2}  {}",
+        name,
+        sci(thr),
+        sci(actual),
+        sci(estimated),
+        speedup,
+        if demoted.is_empty() { "(none)".to_string() } else { demoted.join(", ") }
+    );
+}
+
+// --------------------------------------------------------------- Table II
+
+struct AnalysisPoint {
+    chef_ms: f64,
+    chef_bytes: usize,
+    adapt_ms: Option<f64>,
+    adapt_bytes: Option<usize>,
+}
+
+fn analyze_both(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    lens: &[(&str, &str)],
+) -> AnalysisPoint {
+    // CHEF-FP: build once (compile time excluded, like the paper's
+    // compile-once tooling), run the analysis.
+    let mut opts = EstimateOptions::default();
+    for (a, l) in lens {
+        opts.array_lens.insert((*a).to_string(), (*l).to_string());
+    }
+    let est = estimate_error(program, func, &opts).expect("estimator builds");
+    let (chef_out, chef_ms) = time_ms(|| est.execute(args).expect("chef analysis runs"));
+    let chef_bytes = chef_out.stats.peak_memory_bytes();
+
+    // ADAPT baseline: taping + reverse + post-hoc errors, every run.
+    let inlined = chef_passes::inline_program(program).expect("inlines");
+    let primal = inlined.function(func).expect("function exists");
+    let adapt_opts =
+        AdaptOptions { memory_limit: Some(ADAPT_MEM_LIMIT), ..Default::default() };
+    let (adapt_res, adapt_ms) = time_ms(|| analyze(primal, args, &adapt_opts));
+    match adapt_res {
+        Ok(out) => AnalysisPoint {
+            chef_ms,
+            chef_bytes,
+            adapt_ms: Some(adapt_ms),
+            adapt_bytes: Some(out.tape_peak_bytes),
+        },
+        Err(AdaptError::OutOfMemory(_)) => {
+            AnalysisPoint { chef_ms, chef_bytes, adapt_ms: None, adapt_bytes: None }
+        }
+        Err(e) => panic!("adapt baseline failed: {e}"),
+    }
+}
+
+fn table2() {
+    header("Table II: CHEF-FP analysis-time and memory improvements over ADAPT");
+    println!("{:<14} {:>8} {:>8}", "Benchmark", "Time", "Memory");
+    let rows: Vec<(&str, AnalysisPoint)> = vec![
+        ("Arc length", {
+            let p = chef_apps::arclen::program();
+            analyze_both(&p, chef_apps::arclen::NAME, &chef_apps::arclen::args(100_000), &[])
+        }),
+        ("Simpsons", {
+            let p = chef_apps::simpsons::program();
+            analyze_both(&p, chef_apps::simpsons::NAME, &chef_apps::simpsons::args(100_000), &[])
+        }),
+        ("k-Means", {
+            let p = chef_apps::kmeans::program();
+            let w = chef_apps::kmeans::workload(10_000, 5, 4, 42);
+            analyze_both(
+                &p,
+                chef_apps::kmeans::NAME,
+                &chef_apps::kmeans::args(&w),
+                &[("attributes", "npoints * nfeatures"), ("clusters", "nclusters * nfeatures")],
+            )
+        }),
+        ("HPCCG", {
+            let p = chef_apps::hpccg::program();
+            let prob = chef_apps::hpccg::problem(20, 30, 5);
+            analyze_both(&p, chef_apps::hpccg::NAME, &chef_apps::hpccg::args(&prob), &[])
+        }),
+        ("Black-Scholes", {
+            let p = chef_apps::blackscholes::program();
+            let w = chef_apps::blackscholes::workload(10_000, 42);
+            analyze_both(&p, chef_apps::blackscholes::NAME, &chef_apps::blackscholes::args(&w), &[])
+        }),
+    ];
+    for (name, pt) in rows {
+        match (pt.adapt_ms, pt.adapt_bytes) {
+            (Some(ams), Some(abytes)) => println!(
+                "{:<14} {:>7.2}x {:>7.2}x",
+                name,
+                ams / pt.chef_ms,
+                abytes as f64 / pt.chef_bytes as f64
+            ),
+            _ => println!("{:<14} {:>8} {:>8}", name, "OOM", "OOM"),
+        }
+    }
+}
+
+// -------------------------------------------------------------- Table III
+
+fn table3() {
+    header("Table III: k-Means — per-variable mixed-precision error (actual vs estimated)");
+    let p = chef_apps::kmeans::program();
+    let w = chef_apps::kmeans::workload(100_000, 5, 4, 42);
+    let args = chef_apps::kmeans::args(&w);
+    let opts = EstimateOptions::default()
+        .with_array_len("attributes", "npoints * nfeatures")
+        .with_array_len("clusters", "nclusters * nfeatures");
+    let mut model = AdaptModel::to_f32();
+    let est = estimate_error_with(&p, chef_apps::kmeans::NAME, &mut model, &opts)
+        .expect("estimator builds");
+    let out = est.execute(&args).expect("analysis runs");
+
+    let inlined = chef_passes::inline_program(&p).unwrap();
+    let primal = inlined.function(chef_apps::kmeans::NAME).unwrap();
+    let baseline = {
+        let c = compile_default(primal).unwrap();
+        run(&c, args.clone()).unwrap().ret_f()
+    };
+    let measure = |names: &[&str]| -> f64 {
+        let mut pm = PrecisionMap::empty();
+        for (id, v) in primal.vars_iter() {
+            if names.contains(&v.name.as_str()) {
+                pm.set(id, chef_ir::types::FloatTy::F32);
+            }
+        }
+        let c = compile(primal, &CompileOptions { precisions: pm }).unwrap();
+        (run(&c, args.clone()).unwrap().ret_f() - baseline).abs()
+    };
+    println!("{:<32} {:>14} {:>16}", "Variable(s) in Lower Precision", "Actual Error", "Estimated Error");
+    for (label, vars) in [
+        ("attributes", vec!["attributes"]),
+        ("clusters", vec!["clusters"]),
+        ("sum", vec!["sum"]),
+        ("all 3", vec!["attributes", "clusters", "sum"]),
+    ] {
+        let actual = measure(&vars);
+        let estimated: f64 = vars.iter().map(|v| out.error_of(v)).sum();
+        println!("{label:<32} {:>14} {:>16}", sci(actual), sci(estimated));
+    }
+}
+
+// --------------------------------------------------------------- Table IV
+
+fn table4() {
+    header("Table IV: Black-Scholes — FastApprox configurations (1000 options)");
+    let w = chef_apps::blackscholes::workload(1000, 42);
+    let p = chef_apps::blackscholes::program();
+    let exact = chef_apps::blackscholes::native_prices(&w);
+
+    let configs: [(&str, Vec<(&str, Intrinsic, Intrinsic)>, Vec<f64>); 2] = [
+        (
+            "FastApprox w/o Fast exp",
+            vec![
+                ("tQ", Intrinsic::Sqrt, Intrinsic::FastSqrt),
+                ("ratio", Intrinsic::Log, Intrinsic::FastLog),
+            ],
+            chef_apps::blackscholes::approx_prices_no_fast_exp(&w),
+        ),
+        (
+            "FastApprox w/ Fast exp",
+            vec![
+                ("tQ", Intrinsic::Sqrt, Intrinsic::FastSqrt),
+                ("ratio", Intrinsic::Log, Intrinsic::FastLog),
+                ("negrT", Intrinsic::Exp, Intrinsic::FasterExp),
+            ],
+            chef_apps::blackscholes::approx_prices_fast_exp(&w),
+        ),
+    ];
+
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>8}",
+        "Configuration", "act avg", "act max", "act acc", "est avg", "est max", "est acc", "speedup"
+    );
+    for (label, mapping, approx_prices) in configs {
+        // Per-option estimates: analyze each option as a batch of one.
+        let mut model = ApproxModel::new();
+        for (var, ex, ap) in &mapping {
+            model = model.with(*var, *ex, *ap);
+        }
+        let est = estimate_error_with(
+            &p,
+            chef_apps::blackscholes::NAME,
+            &mut model,
+            &EstimateOptions::default(),
+        )
+        .expect("estimator builds");
+        let mut actual_errs = Vec::with_capacity(w.len());
+        let mut est_errs = Vec::with_capacity(w.len());
+        for i in 0..w.len() {
+            let one = chef_apps::blackscholes::Workload {
+                sptprice: vec![w.sptprice[i]],
+                strike: vec![w.strike[i]],
+                rate: vec![w.rate[i]],
+                volatility: vec![w.volatility[i]],
+                otime: vec![w.otime[i]],
+                otype: vec![w.otype[i]],
+            };
+            let out = est
+                .execute(&chef_apps::blackscholes::args(&one))
+                .expect("single-option analysis");
+            est_errs.push(out.fp_error);
+            actual_errs.push((approx_prices[i] - exact[i]).abs());
+        }
+        let stats = |v: &[f64]| -> (f64, f64, f64) {
+            let acc: f64 = v.iter().sum();
+            let max = v.iter().cloned().fold(0.0f64, f64::max);
+            (acc / v.len() as f64, max, acc)
+        };
+        let (aavg, amax, aacc) = stats(&actual_errs);
+        let (eavg, emax, eacc) = stats(&est_errs);
+        // Speedup of the approximate native variant, timed on a larger
+        // batch (100k options) so the kernels dominate measurement noise.
+        let wt = chef_apps::blackscholes::workload(100_000, 7);
+        let (_, t_exact) = time_median(9, || chef_apps::blackscholes::native_prices(&wt));
+        let t_approx = match label {
+            "FastApprox w/o Fast exp" => {
+                time_median(9, || chef_apps::blackscholes::approx_prices_no_fast_exp(&wt)).1
+            }
+            _ => time_median(9, || chef_apps::blackscholes::approx_prices_fast_exp(&wt)).1,
+        };
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>7.2}x",
+            label,
+            sci(aavg),
+            sci(amax),
+            sci(aacc),
+            sci(eavg),
+            sci(emax),
+            sci(eacc),
+            t_exact / t_approx
+        );
+    }
+}
+
+// ------------------------------------------------------------ Figures 4–8
+
+fn sweep_fig(
+    title: &str,
+    scales: &[u64],
+    mk: impl Fn(i64) -> (Program, &'static str, Vec<ArgValue>),
+    lens: &[(&str, &str)],
+) {
+    header(title);
+    println!(
+        "{:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
+        "scale", "app ms", "app MB", "chef ms", "chef MB", "adapt ms", "adapt MB"
+    );
+    for &scale in scales {
+        let (program, func, args) = mk(scale as i64);
+        // Application alone (the paper's "Appl. Time/Memory" series).
+        let inlined = chef_passes::inline_program(&program).unwrap();
+        let primal = inlined.function(func).unwrap();
+        let compiled = compile_default(primal).unwrap();
+        let (app_out, app_ms) =
+            time_ms(|| run(&compiled, args.clone()).expect("app runs"));
+        let app_bytes = app_out.stats.peak_memory_bytes();
+
+        let pt = analyze_both(&program, func, &args, lens);
+        let (adapt_ms, adapt_mb) = match (pt.adapt_ms, pt.adapt_bytes) {
+            (Some(t), Some(b)) => (format!("{t:.1}"), mb(b)),
+            _ => ("OOM".to_string(), "OOM".to_string()),
+        };
+        println!(
+            "{:>10} | {:>10.1} {:>10} | {:>10.1} {:>10} | {:>10} {:>10}",
+            scale,
+            app_ms,
+            mb(app_bytes),
+            pt.chef_ms,
+            mb(pt.chef_bytes),
+            adapt_ms,
+            adapt_mb
+        );
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+fn fig9() {
+    header("Figure 9: HPCCG per-iteration sensitivity heat map (r, p, x, Ap)");
+    let prob = chef_apps::hpccg::problem(20, 30, 10);
+    let p = chef_apps::hpccg::program();
+    let cfg = SensitivityConfig {
+        tracked: vec!["r".into(), "p".into(), "x".into(), "Ap".into()],
+        tick_on: "rtrans".into(),
+        max_ticks: 200,
+    };
+    let profile = profile_sensitivity(
+        &p,
+        chef_apps::hpccg::NAME,
+        &cfg,
+        &chef_apps::hpccg::args(&prob),
+        &ExecOptions::default(),
+    )
+    .expect("profiling runs");
+    println!("iterations recorded: {}", profile.ticks);
+    print!("{}", profile.ascii_heatmap(64));
+    // The split decision uses the residual-carrying vectors (x's
+    // |value·adjoint| plateaus at the solution by construction).
+    let residual = hpccg_profile(&prob).expect("profile");
+    match residual.split_point(1e-3) {
+        Some(t) => println!(
+            "residual sensitivities (r, p, Ap) collapse below 1e-3 of peak after \
+             iteration {t} -> loop-split configuration: iterations 0..{t} in double, \
+             rest in float"
+        ),
+        None => println!("sensitivities never collapse below the threshold"),
+    }
+}

@@ -1,0 +1,67 @@
+//! # chef-bench — harness utilities for the paper-reproduction binary and
+//! the criterion micro-benchmarks.
+
+use std::time::Instant;
+
+/// Times one invocation of `f` in milliseconds.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Times `f` by the median of `reps` runs (after one warmup), returning
+/// `(last result, median ms)`.
+pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut samples = Vec::with_capacity(reps);
+    let mut out = None;
+    let _ = f(); // warmup
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        out = Some(f());
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(f64::total_cmp);
+    (out.expect("reps >= 1"), samples[samples.len() / 2])
+}
+
+/// Pretty scientific formatting matching the paper's tables (e.g.
+/// `3.24e-06`).
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        "0.00e+00".to_string()
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Formats bytes as a human-readable MB value.
+pub fn mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_returns_result() {
+        let (v, ms) = time_ms(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn median_timing_runs_all_reps() {
+        let mut count = 0;
+        let (_, _) = time_median(5, || count += 1);
+        assert_eq!(count, 6); // warmup + 5
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(sci(3.24e-6), "3.24e-6".replace("e-6", "e-6"));
+        assert_eq!(sci(0.0), "0.00e+00");
+        assert_eq!(mb(1024 * 1024), "1.00");
+    }
+}

@@ -1,0 +1,352 @@
+//! Error models: the pluggable `AssignError` formulas.
+//!
+//! A model receives, for every FP assignment in the backward sweep, the
+//! assigned *value* expression and its *adjoint* expression (paper
+//! Listing 2's `StmtDiff refExpr` exposes exactly this pair plus the
+//! name), and returns the KernelC expression whose value is that
+//! assignment's error contribution. The error-estimation module
+//! (`crate::module`) accumulates the returned expressions into the
+//! `_fp_error` output and the per-variable attribution table.
+//!
+//! Three models from the paper ship built in:
+//!
+//! * [`TaylorModel`] — eq. 1, `|ε_m · x · x̄|`, the default model;
+//! * [`AdaptModel`] — eq. 2, `|x̄ · (x − (float)x)|`, ADAPT's demotion
+//!   model used for mixed-precision candidate selection;
+//! * [`ApproxModel`] — Algorithm 2, `|x̄ · (f(x) − f̃(x))|` for variables
+//!   feeding approximable functions (the FastApprox study).
+//!
+//! Implement the trait yourself for domain-specific analyses — the paper's
+//! §III-E "custom model" escape hatch.
+
+use chef_ir::ast::{Expr, Intrinsic};
+use chef_ir::span::Span;
+use chef_ir::types::{FloatTy, Type};
+use std::collections::HashMap;
+
+/// What a model sees for one assignment (a stable, reduced view of
+/// `chef_ad::AssignCtx`).
+pub struct ModelCtx<'a> {
+    /// Source-level variable name.
+    pub var_name: &'a str,
+    /// Expression reading the just-assigned value.
+    pub value: &'a Expr,
+    /// Expression reading the adjoint of the assignment's result.
+    pub adjoint: &'a Expr,
+    /// Declared precision of the assigned location.
+    pub target_prec: FloatTy,
+    /// `true` for array-element stores.
+    pub is_element: bool,
+    /// `true` inside a loop.
+    pub in_loop: bool,
+    /// Source location of the assignment.
+    pub span: Span,
+}
+
+/// A floating-point error model (paper Listing 2's
+/// `FPErrorEstimationModel`).
+pub trait ErrorModel {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Error-contribution expression for one assignment, or `None` to
+    /// skip it (rule S2's `AssignError`).
+    fn assign_error(&mut self, ctx: &ModelCtx<'_>) -> Option<Expr>;
+
+    /// Error-contribution expression for one *input* (value/adjoint pair),
+    /// added during `FinalizeEE` (rule S1). Default: none.
+    fn input_error(
+        &mut self,
+        _name: &str,
+        _value: &Expr,
+        _adjoint: &Expr,
+        _prec: FloatTy,
+    ) -> Option<Expr> {
+        None
+    }
+}
+
+fn fabs(e: Expr) -> Expr {
+    Expr::call(Intrinsic::Fabs, vec![e])
+}
+
+/// The default model (paper eq. 1): `A = |ε · x · x̄|`.
+///
+/// With [`TaylorModel::declared`], `ε` is the machine epsilon of each
+/// assignment's *declared* precision — the total rounding error of the
+/// program as written. With [`TaylorModel::for_demotion`], `ε` is the
+/// epsilon of a hypothetical lower precision — "what would the error be
+/// if everything ran at `ft`", the query driving mixed-precision tuning.
+#[derive(Clone, Debug)]
+pub struct TaylorModel {
+    /// Fixed epsilon override (None = use declared precision).
+    demote_to: Option<FloatTy>,
+}
+
+impl TaylorModel {
+    /// Epsilon from each variable's declared precision.
+    pub fn declared() -> Self {
+        TaylorModel { demote_to: None }
+    }
+
+    /// Epsilon of the hypothetical demotion target `ft` for every
+    /// assignment.
+    pub fn for_demotion(ft: FloatTy) -> Self {
+        TaylorModel { demote_to: Some(ft) }
+    }
+}
+
+impl Default for TaylorModel {
+    fn default() -> Self {
+        TaylorModel::declared()
+    }
+}
+
+impl ErrorModel for TaylorModel {
+    fn name(&self) -> &'static str {
+        "taylor"
+    }
+
+    fn assign_error(&mut self, ctx: &ModelCtx<'_>) -> Option<Expr> {
+        let eps = self.demote_to.unwrap_or(ctx.target_prec).epsilon();
+        Some(Expr::mul(
+            Expr::flit(eps),
+            fabs(Expr::mul(ctx.value.clone(), ctx.adjoint.clone())),
+        ))
+    }
+
+    fn input_error(
+        &mut self,
+        _name: &str,
+        value: &Expr,
+        adjoint: &Expr,
+        prec: FloatTy,
+    ) -> Option<Expr> {
+        let eps = self.demote_to.unwrap_or(prec).epsilon();
+        Some(Expr::mul(Expr::flit(eps), fabs(Expr::mul(value.clone(), adjoint.clone()))))
+    }
+}
+
+/// ADAPT's model (paper eq. 2): `Δ = |x̄ · (x − (float)x)|`.
+///
+/// The exact error committed by demoting each value to `target`; the
+/// paper's Listing 3 builds precisely this call. Requires the analyzed
+/// program to run at a precision above `target` (contributions are zero
+/// otherwise — the cast is the identity).
+#[derive(Clone, Debug)]
+pub struct AdaptModel {
+    /// Demotion target (the paper uses `float`).
+    pub target: FloatTy,
+}
+
+impl AdaptModel {
+    /// The paper's configuration: demote `double` to `float`.
+    pub fn to_f32() -> Self {
+        AdaptModel { target: FloatTy::F32 }
+    }
+
+    /// Demote to an arbitrary precision (f16 studies).
+    pub fn to(target: FloatTy) -> Self {
+        AdaptModel { target }
+    }
+
+    fn formula(&self, value: &Expr, adjoint: &Expr) -> Expr {
+        let demoted = Expr::cast(Type::Float(self.target), value.clone());
+        let gap = Expr::sub(value.clone(), demoted);
+        fabs(Expr::mul(adjoint.clone(), gap))
+    }
+}
+
+impl ErrorModel for AdaptModel {
+    fn name(&self) -> &'static str {
+        "adapt"
+    }
+
+    fn assign_error(&mut self, ctx: &ModelCtx<'_>) -> Option<Expr> {
+        Some(self.formula(ctx.value, ctx.adjoint))
+    }
+
+    fn input_error(
+        &mut self,
+        _name: &str,
+        value: &Expr,
+        adjoint: &Expr,
+        _prec: FloatTy,
+    ) -> Option<Expr> {
+        Some(self.formula(value, adjoint))
+    }
+}
+
+/// The approximation-error model (paper Algorithm 2).
+///
+/// Configured with a map from variable names to the function they feed
+/// (`S : name → function`); when one of those variables is assigned, the
+/// contribution is `|x̄ · (f(x) − f̃(x))|` with `f̃` the FastApprox
+/// replacement at the configured grade.
+#[derive(Clone, Debug, Default)]
+pub struct ApproxModel {
+    /// var name → (exact intrinsic, approximate intrinsic).
+    map: HashMap<String, (Intrinsic, Intrinsic)>,
+}
+
+impl ApproxModel {
+    /// Empty map (no contributions).
+    pub fn new() -> Self {
+        ApproxModel::default()
+    }
+
+    /// Registers: variable `var` is the input of `exact`, which the
+    /// approximate configuration replaces by `approx`.
+    pub fn with(mut self, var: impl Into<String>, exact: Intrinsic, approx: Intrinsic) -> Self {
+        assert_eq!(exact.arity(), 1, "only unary replacements are modeled");
+        assert_eq!(approx.arity(), 1);
+        self.map.insert(var.into(), (exact, approx));
+        self
+    }
+
+    /// Variables being tracked.
+    pub fn tracked(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+}
+
+impl ErrorModel for ApproxModel {
+    fn name(&self) -> &'static str {
+        "approx"
+    }
+
+    fn assign_error(&mut self, ctx: &ModelCtx<'_>) -> Option<Expr> {
+        let (exact, approx) = *self.map.get(ctx.var_name)?;
+        // Δ = EVAL(f, x) − EVALAPPROX(f, x)   (Algorithm 2, line 4)
+        let delta = Expr::sub(
+            Expr::call(exact, vec![ctx.value.clone()]),
+            Expr::call(approx, vec![ctx.value.clone()]),
+        );
+        // xApproxError = |dx · Δ|            (Algorithm 2, line 6)
+        Some(fabs(Expr::mul(ctx.adjoint.clone(), delta)))
+    }
+
+    fn input_error(
+        &mut self,
+        name: &str,
+        value: &Expr,
+        adjoint: &Expr,
+        _prec: FloatTy,
+    ) -> Option<Expr> {
+        // Mapped variables can be parameters: they are never assigned, so
+        // their contribution is added at FinalizeEE instead.
+        let (exact, approx) = *self.map.get(name)?;
+        let delta = Expr::sub(
+            Expr::call(exact, vec![value.clone()]),
+            Expr::call(approx, vec![value.clone()]),
+        );
+        Some(fabs(Expr::mul(adjoint.clone(), delta)))
+    }
+}
+
+/// A model combinator: sums the contributions of two models (e.g. Taylor
+/// rounding error *plus* approximation error).
+pub struct SumModel<A, B>(pub A, pub B);
+
+impl<A: ErrorModel, B: ErrorModel> ErrorModel for SumModel<A, B> {
+    fn name(&self) -> &'static str {
+        "sum"
+    }
+
+    fn assign_error(&mut self, ctx: &ModelCtx<'_>) -> Option<Expr> {
+        match (self.0.assign_error(ctx), self.1.assign_error(ctx)) {
+            (Some(a), Some(b)) => Some(Expr::add(a, b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    fn input_error(
+        &mut self,
+        name: &str,
+        value: &Expr,
+        adjoint: &Expr,
+        prec: FloatTy,
+    ) -> Option<Expr> {
+        match (
+            self.0.input_error(name, value, adjoint, prec),
+            self.1.input_error(name, value, adjoint, prec),
+        ) {
+            (Some(a), Some(b)) => Some(Expr::add(a, b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_ir::ast::VarId;
+    use chef_ir::printer::print_expr;
+
+    fn ctx_parts() -> (Expr, Expr) {
+        let value = Expr::var("z", VarId(0), Type::Float(FloatTy::F64));
+        let adjoint = Expr::var("_d_z", VarId(1), Type::Float(FloatTy::F64));
+        (value, adjoint)
+    }
+
+    fn mk_ctx<'a>(value: &'a Expr, adjoint: &'a Expr, prec: FloatTy) -> ModelCtx<'a> {
+        ModelCtx {
+            var_name: "z",
+            value,
+            adjoint,
+            target_prec: prec,
+            is_element: false,
+            in_loop: false,
+            span: Span::DUMMY,
+        }
+    }
+
+    #[test]
+    fn taylor_uses_declared_epsilon() {
+        let (v, a) = ctx_parts();
+        let mut m = TaylorModel::declared();
+        let e = m.assign_error(&mk_ctx(&v, &a, FloatTy::F32)).unwrap();
+        let s = print_expr(&e);
+        assert!(s.contains("fabs(z * _d_z)"), "{s}");
+        assert!(s.contains(&format!("{:?}", FloatTy::F32.epsilon())), "{s}");
+    }
+
+    #[test]
+    fn taylor_demotion_overrides_epsilon() {
+        let (v, a) = ctx_parts();
+        let mut m = TaylorModel::for_demotion(FloatTy::F16);
+        let e = m.assign_error(&mk_ctx(&v, &a, FloatTy::F64)).unwrap();
+        assert!(print_expr(&e).contains(&format!("{:?}", FloatTy::F16.epsilon())));
+    }
+
+    #[test]
+    fn adapt_builds_the_paper_formula() {
+        let (v, a) = ctx_parts();
+        let mut m = AdaptModel::to_f32();
+        let e = m.assign_error(&mk_ctx(&v, &a, FloatTy::F64)).unwrap();
+        assert_eq!(print_expr(&e), "fabs(_d_z * (z - (float)z))");
+    }
+
+    #[test]
+    fn approx_model_only_fires_on_mapped_vars() {
+        let (v, a) = ctx_parts();
+        let mut m = ApproxModel::new().with("q", Intrinsic::Exp, Intrinsic::FasterExp);
+        assert!(m.assign_error(&mk_ctx(&v, &a, FloatTy::F64)).is_none());
+        let mut m = ApproxModel::new().with("z", Intrinsic::Exp, Intrinsic::FasterExp);
+        let e = m.assign_error(&mk_ctx(&v, &a, FloatTy::F64)).unwrap();
+        assert_eq!(print_expr(&e), "fabs(_d_z * (exp(z) - fasterexp(z)))");
+    }
+
+    #[test]
+    fn sum_model_adds_contributions() {
+        let (v, a) = ctx_parts();
+        let mut m = SumModel(TaylorModel::declared(), AdaptModel::to_f32());
+        let e = m.assign_error(&mk_ctx(&v, &a, FloatTy::F64)).unwrap();
+        let s = print_expr(&e);
+        assert!(s.contains("fabs(z * _d_z)") && s.contains("(float)z"), "{s}");
+    }
+}

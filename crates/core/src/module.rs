@@ -1,0 +1,307 @@
+//! The Error Estimation Module (paper §III-D, Fig. 3).
+//!
+//! Bridges the AD engine's callback system to an [`ErrorModel`]: it
+//! subscribes to `chef-ad`'s adjoint generation as an
+//! [`AdjointExtension`], asks the model for an error expression at every
+//! differentiable assignment, and synthesizes
+//!
+//! * `_fp_error += <model expr>;` — the running total (output parameter
+//!   `E` of rule S1),
+//! * `_var_err[slot] += <model expr>;` — per-variable attribution (when
+//!   enabled), and
+//! * the `FinalizeEE` input contributions, including loops over array
+//!   parameters whose length parameter is known.
+//!
+//! The generated signature ends with
+//! `(..., double &_fp_error, double &_primal_out[, double _var_err[]])`.
+
+use crate::model::{ErrorModel, ModelCtx};
+use chef_ad::reverse::{AdjointExtension, AssignCtx, FinalizeCtx};
+use chef_ir::ast::*;
+use chef_ir::types::{ElemTy, FloatTy, Type};
+use std::collections::HashMap;
+
+/// Stable attribution slots: one per float variable of the primal.
+#[derive(Clone, Debug, Default)]
+pub struct VarSlots {
+    /// Slot index → variable name (primal naming).
+    pub names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl VarSlots {
+    /// Builds slots for every differentiable variable of `primal`
+    /// (parameters first, then locals, in declaration order).
+    pub fn of_function(primal: &Function) -> VarSlots {
+        let mut s = VarSlots::default();
+        for (_, info) in primal.vars_iter() {
+            if info.ty.is_differentiable() {
+                s.index.insert(info.name.clone(), s.names.len());
+                s.names.push(info.name.clone());
+            }
+        }
+        s
+    }
+
+    /// The slot of a variable name, if tracked.
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no variable is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Configuration of the estimation module.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleConfig {
+    /// Emit per-variable attribution (`_var_err[]` output).
+    pub attribution: bool,
+    /// For each float array parameter, a KernelC integer expression over
+    /// the function's parameters giving its element count (e.g. `"n"` or
+    /// `"npoints * nfeatures"`) — enables input-error loops in
+    /// `FinalizeEE`.
+    pub array_lens: HashMap<String, String>,
+}
+
+/// Names of the parameters the module appends (positions are resolved by
+/// the caller from the generated signature).
+pub struct ExtraParamNames;
+
+impl ExtraParamNames {
+    /// The running total output.
+    pub const FP_ERROR: &'static str = "_fp_error";
+    /// The primal result output.
+    pub const PRIMAL_OUT: &'static str = "_primal_out";
+    /// The attribution table.
+    pub const VAR_ERR: &'static str = "_var_err";
+}
+
+/// The Error Estimation Module: an [`AdjointExtension`] parameterized by a
+/// user [`ErrorModel`].
+pub struct EstimationModule<'m> {
+    model: &'m mut dyn ErrorModel,
+    slots: VarSlots,
+    cfg: ModuleConfig,
+    fresh: usize,
+    /// Number of assignments instrumented (for reports/tests).
+    pub instrumented: usize,
+}
+
+impl<'m> EstimationModule<'m> {
+    /// Creates a module for `primal` around `model`.
+    pub fn new(model: &'m mut dyn ErrorModel, primal: &Function, cfg: ModuleConfig) -> Self {
+        EstimationModule {
+            model,
+            slots: VarSlots::of_function(primal),
+            cfg,
+            fresh: 0,
+            instrumented: 0,
+        }
+    }
+
+    /// The attribution slot table.
+    pub fn slots(&self) -> &VarSlots {
+        &self.slots
+    }
+
+    /// Emits `_fp_error += err;` (+ attribution) given the error
+    /// expression. Shared by assign and finalize paths.
+    fn emit_accumulation(
+        &mut self,
+        grad: &mut Function,
+        err: Expr,
+        var_name: &str,
+        out: &mut Vec<Stmt>,
+    ) {
+        let fp_id = grad.param_id(ExtraParamNames::FP_ERROR).expect("module adds _fp_error");
+        let slot = if self.cfg.attribution { self.slots.slot(var_name) } else { None };
+        if let Some(slot) = slot {
+            // double _ee{k} = err; _fp_error += _ee{k}; _var_err[slot] += _ee{k};
+            let name = format!("_ee{}", self.fresh);
+            self.fresh += 1;
+            let id = grad.add_var(name.clone(), Type::Float(FloatTy::F64));
+            out.push(Stmt::synth(StmtKind::Decl {
+                name: name.clone(),
+                id: Some(id),
+                ty: Type::Float(FloatTy::F64),
+                size: None,
+                init: Some(err),
+            }));
+            let read = || Expr::var(&name, id, Type::Float(FloatTy::F64));
+            out.push(Stmt::synth(StmtKind::Assign {
+                lhs: LValue::Var(VarRef::resolved(ExtraParamNames::FP_ERROR, fp_id)),
+                op: AssignOp::AddAssign,
+                rhs: read(),
+            }));
+            let arr_id = grad.param_id(ExtraParamNames::VAR_ERR).expect("attribution on");
+            out.push(Stmt::synth(StmtKind::Assign {
+                lhs: LValue::Index {
+                    base: VarRef::resolved(ExtraParamNames::VAR_ERR, arr_id),
+                    index: Expr::ilit(slot as i64),
+                },
+                op: AssignOp::AddAssign,
+                rhs: read(),
+            }));
+        } else {
+            out.push(Stmt::synth(StmtKind::Assign {
+                lhs: LValue::Var(VarRef::resolved(ExtraParamNames::FP_ERROR, fp_id)),
+                op: AssignOp::AddAssign,
+                rhs: err,
+            }));
+        }
+    }
+}
+
+/// Parses an `array_lens` length hint (a KernelC int expression over the
+/// function's parameters) and resolves its variable references against the
+/// generated function's parameters. Returns `None` when the hint does not
+/// parse or references unknown names.
+pub fn resolve_len_expr(src: &str, grad: &Function) -> Option<Expr> {
+    let mut e = chef_ir::parser::parse_expr(src).ok()?;
+    fn resolve(e: &mut Expr, grad: &Function) -> bool {
+        match &mut e.kind {
+            ExprKind::Var(v) => match grad.param_id(&v.name) {
+                Some(id) => {
+                    v.id = Some(id);
+                    e.ty = Some(grad.var(id).ty);
+                    grad.var(id).ty == Type::Int
+                }
+                None => false,
+            },
+            ExprKind::IntLit(_) => {
+                e.ty = Some(Type::Int);
+                true
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let ok = op.is_arith() && resolve(lhs, grad) && resolve(rhs, grad);
+                e.ty = Some(Type::Int);
+                ok
+            }
+            _ => false,
+        }
+    }
+    if resolve(&mut e, grad) {
+        Some(e)
+    } else {
+        None
+    }
+}
+
+impl AdjointExtension for EstimationModule<'_> {
+    fn extra_params(&self) -> Vec<Param> {
+        let mut ps = vec![
+            Param::by_ref(ExtraParamNames::FP_ERROR, Type::Float(FloatTy::F64)),
+            Param::by_ref(ExtraParamNames::PRIMAL_OUT, Type::Float(FloatTy::F64)),
+        ];
+        if self.cfg.attribution {
+            ps.push(Param::array(ExtraParamNames::VAR_ERR, ElemTy::Float(FloatTy::F64)));
+        }
+        ps
+    }
+
+    fn on_assign(&mut self, ctx: &mut AssignCtx<'_>) -> Vec<Stmt> {
+        let mctx = ModelCtx {
+            var_name: &ctx.var_name,
+            value: &ctx.value,
+            adjoint: &ctx.adjoint,
+            target_prec: ctx.target_prec,
+            is_element: ctx.is_element,
+            in_loop: ctx.in_loop,
+            span: ctx.span,
+        };
+        let Some(err) = self.model.assign_error(&mctx) else {
+            return Vec::new();
+        };
+        self.instrumented += 1;
+        let mut out = Vec::new();
+        let var_name = ctx.var_name.clone();
+        self.emit_accumulation(ctx.grad, err, &var_name, &mut out);
+        out
+    }
+
+    fn on_finalize(&mut self, ctx: &mut FinalizeCtx<'_>) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        // Export the primal result.
+        let po_id = ctx.grad.param_id(ExtraParamNames::PRIMAL_OUT).expect("module param");
+        out.push(Stmt::synth(StmtKind::Assign {
+            lhs: LValue::Var(VarRef::resolved(ExtraParamNames::PRIMAL_OUT, po_id)),
+            op: AssignOp::Assign,
+            rhs: ctx.result.clone(),
+        }));
+        // Input representation-error contributions (rule S1).
+        let inputs = std::mem::take(&mut ctx.inputs);
+        for input in &inputs {
+            if input.is_array {
+                // Need a length to loop over.
+                let Some(len_src) = self.cfg.array_lens.get(&input.name).cloned() else {
+                    continue;
+                };
+                let Some(len_expr) = resolve_len_expr(&len_src, ctx.grad) else {
+                    continue;
+                };
+                let iname = format!("_fi{}", self.fresh);
+                self.fresh += 1;
+                let iid = ctx.grad.add_var(iname.clone(), Type::Int);
+                let iread = || Expr::var(&iname, iid, Type::Int);
+                let arr_info = ctx.grad.var(input.var);
+                let darr_info = ctx.grad.var(input.d_var);
+                let value = Expr::index(
+                    arr_info.name.clone(),
+                    input.var,
+                    iread(),
+                    Type::Float(input.prec),
+                );
+                let adjoint = Expr::index(
+                    darr_info.name.clone(),
+                    input.d_var,
+                    iread(),
+                    Type::Float(FloatTy::F64),
+                );
+                let Some(err) = self.model.input_error(&input.name, &value, &adjoint, input.prec)
+                else {
+                    continue;
+                };
+                let mut body = Vec::new();
+                let input_name = input.name.clone();
+                self.emit_accumulation(ctx.grad, err, &input_name, &mut body);
+                out.push(Stmt::synth(StmtKind::For {
+                    init: Some(Box::new(Stmt::synth(StmtKind::Decl {
+                        name: iname.clone(),
+                        id: Some(iid),
+                        ty: Type::Int,
+                        size: None,
+                        init: Some(Expr::ilit(0)),
+                    }))),
+                    cond: Some(Expr::binary(BinOp::Lt, iread(), len_expr.clone())),
+                    step: Some(Box::new(Stmt::synth(StmtKind::Assign {
+                        lhs: LValue::Var(VarRef::resolved(iname.clone(), iid)),
+                        op: AssignOp::AddAssign,
+                        rhs: Expr::ilit(1),
+                    }))),
+                    body: Block::of(body),
+                }));
+            } else {
+                let info = ctx.grad.var(input.var);
+                let value = Expr::var(info.name.clone(), input.var, Type::Float(input.prec));
+                let dinfo = ctx.grad.var(input.d_var);
+                let adjoint =
+                    Expr::var(dinfo.name.clone(), input.d_var, Type::Float(FloatTy::F64));
+                if let Some(err) =
+                    self.model.input_error(&input.name, &value, &adjoint, input.prec)
+                {
+                    let input_name = input.name.clone();
+                    self.emit_accumulation(ctx.grad, err, &input_name, &mut out);
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,77 @@
+//! Serializable experiment records (consumed by the bench harness and
+//! EXPERIMENTS.md generation).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's Table I: a mixed-precision configuration and its
+/// quality/performance outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MixedPrecisionRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// User threshold the configuration had to satisfy.
+    pub threshold: f64,
+    /// Measured |f64 − mixed| output difference.
+    pub actual_error: f64,
+    /// CHEF-FP's estimate for the chosen configuration.
+    pub estimated_error: f64,
+    /// Runtime speedup of the mixed variant over the original.
+    pub speedup: f64,
+    /// Names of the demoted variables.
+    pub demoted: Vec<String>,
+}
+
+/// One analysis-performance sample: a point of Figs. 4–8.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnalysisSample {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Tool (`app`, `chef-fp`, `adapt`).
+    pub tool: String,
+    /// Workload scale (iterations / points / z-dimension).
+    pub scale: u64,
+    /// Wall-clock time in milliseconds.
+    pub time_ms: f64,
+    /// Peak analysis memory in bytes (`None` when the tool ran out of
+    /// memory at this scale — the paper's missing ADAPT points).
+    pub peak_bytes: Option<u64>,
+}
+
+/// One row of the paper's Table IV: an approximate-function configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApproxRow {
+    /// Configuration label.
+    pub config: String,
+    /// Average / maximum / accumulated actual error.
+    pub actual: [f64; 3],
+    /// Average / maximum / accumulated estimated error.
+    pub estimated: [f64; 3],
+    /// Speedup of the approximate variant.
+    pub speedup: f64,
+}
+
+/// Writes any serializable report as pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("report serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip_through_json() {
+        let row = MixedPrecisionRow {
+            benchmark: "arclen".into(),
+            threshold: 1e-5,
+            actual_error: 3.24e-6,
+            estimated_error: 3.24e-6,
+            speedup: 1.11,
+            demoted: vec!["t1".into(), "t2".into()],
+        };
+        let json = to_json(&row);
+        let back: MixedPrecisionRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.benchmark, "arclen");
+        assert_eq!(back.demoted.len(), 2);
+    }
+}

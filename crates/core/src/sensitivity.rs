@@ -1,0 +1,254 @@
+//! Per-iteration sensitivity profiling (paper §IV-4, Fig. 9).
+//!
+//! CHEF-FP's HPCCG study dumps the sensitivity `S_v = |v · v̄|` of selected
+//! variables *per main-loop iteration*, revealing that all sensitivities
+//! collapse after ~60 iterations — which motivates the loop-split
+//! mixed-precision configuration (first 60 iterations in high precision,
+//! the rest demoted).
+//!
+//! The profiler is an [`AdjointExtension`] that
+//!
+//! * appends a `double _sens_out[]` output parameter,
+//! * maintains an iteration counter ticked by assignments to a designated
+//!   *marker* variable (one assignment per outer-loop iteration, e.g.
+//!   HPCCG's `rtrans`), and
+//! * on every assignment to a tracked variable adds `|value · adjoint|`
+//!   into `_sens_out[slot · max_ticks + tick]`.
+//!
+//! Because the hooks run in the *backward* sweep, tick 0 corresponds to
+//! the **last** iteration; rows are reversed during extraction so the
+//! profile reads forward.
+
+use chef_ad::reverse::{reverse_diff_with, AdjointExtension, AssignCtx, FinalizeCtx, ReverseConfig};
+use chef_exec::prelude::*;
+use chef_ir::ast::*;
+use chef_ir::types::{ElemTy, FloatTy, Type};
+
+use crate::api::ChefError;
+
+/// Profiler configuration.
+#[derive(Clone, Debug)]
+pub struct SensitivityConfig {
+    /// Variables to track (scalar or array; arrays accumulate over their
+    /// element stores).
+    pub tracked: Vec<String>,
+    /// Variable whose assignment marks an iteration boundary.
+    pub tick_on: String,
+    /// Maximum number of iterations recorded.
+    pub max_ticks: usize,
+}
+
+/// The extracted profile: `matrix[v][t]` is the accumulated sensitivity of
+/// tracked variable `v` at (forward) iteration `t`.
+#[derive(Clone, Debug)]
+pub struct SensitivityProfile {
+    /// Tracked variable names (row order).
+    pub vars: Vec<String>,
+    /// Number of recorded iterations.
+    pub ticks: usize,
+    /// Row-major `vars.len() × ticks` sensitivities.
+    pub matrix: Vec<Vec<f64>>,
+}
+
+impl SensitivityProfile {
+    /// Rows normalized to their own maximum (the paper's heat-map scale).
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        self.matrix
+            .iter()
+            .map(|row| {
+                let m = row.iter().cloned().fold(0.0f64, f64::max);
+                if m == 0.0 {
+                    row.clone()
+                } else {
+                    row.iter().map(|v| v / m).collect()
+                }
+            })
+            .collect()
+    }
+
+    /// First iteration index after which every tracked variable's
+    /// normalized sensitivity stays below `threshold` — the paper's
+    /// "sensitivity drops below our threshold after almost 60 iterations"
+    /// split point. Returns `None` if it never settles.
+    pub fn split_point(&self, threshold: f64) -> Option<usize> {
+        let norm = self.normalized();
+        'outer: for t in 0..self.ticks {
+            for row in &norm {
+                if row[t..].iter().any(|&v| v >= threshold) {
+                    continue 'outer;
+                }
+            }
+            return Some(t);
+        }
+        None
+    }
+
+    /// Renders an ASCII heat map (rows = variables, columns = iterations,
+    /// downsampled to `width` buckets).
+    pub fn ascii_heatmap(&self, width: usize) -> String {
+        const SHADES: [char; 5] = [' ', '.', ':', '#', '@'];
+        let norm = self.normalized();
+        let mut out = String::new();
+        for (name, row) in self.vars.iter().zip(&norm) {
+            let mut line = format!("{name:>8} |");
+            let bucket = (self.ticks as f64 / width as f64).max(1.0);
+            for b in 0..width.min(self.ticks) {
+                let lo = (b as f64 * bucket) as usize;
+                let hi = (((b + 1) as f64 * bucket) as usize).min(self.ticks);
+                let v = row[lo..hi.max(lo + 1)].iter().cloned().fold(0.0f64, f64::max);
+                let idx = ((v * (SHADES.len() - 1) as f64).round() as usize)
+                    .min(SHADES.len() - 1);
+                line.push(SHADES[idx]);
+            }
+            line.push('|');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+struct Profiler {
+    cfg: SensitivityConfig,
+}
+
+impl Profiler {
+    fn slot(&self, name: &str) -> Option<usize> {
+        self.cfg.tracked.iter().position(|t| t == name)
+    }
+}
+
+/// Parameter/variable names used by the profiler.
+const SENS_OUT: &str = "_sens_out";
+const TICK: &str = "_sens_tick";
+
+impl AdjointExtension for Profiler {
+    fn extra_params(&self) -> Vec<Param> {
+        vec![Param::array(SENS_OUT, ElemTy::Float(FloatTy::F64))]
+    }
+
+    fn on_assign(&mut self, ctx: &mut AssignCtx<'_>) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        // Iteration marker: advance the tick counter. Only in-loop
+        // assignments count — a declaration/initialization of the marker
+        // outside the main loop is not an iteration boundary.
+        if ctx.var_name == self.cfg.tick_on && ctx.in_loop {
+            let tick_id = ensure_tick_var(ctx);
+            out.push(Stmt::synth(StmtKind::Assign {
+                lhs: LValue::Var(VarRef::resolved(TICK, tick_id)),
+                op: AssignOp::AddAssign,
+                rhs: Expr::ilit(1),
+            }));
+        }
+        if let Some(slot) = self.slot(&ctx.var_name) {
+            let tick_id = ensure_tick_var(ctx);
+            let arr_id = ctx.grad.param_id(SENS_OUT).expect("profiler param");
+            let tick = || Expr::var(TICK, tick_id, Type::Int);
+            // _sens_out[slot * max_ticks + tick] += fabs(value * adjoint)
+            let index = Expr::add(
+                Expr::ilit((slot * self.cfg.max_ticks) as i64),
+                tick(),
+            );
+            let sens = Expr::call(
+                Intrinsic::Fabs,
+                vec![Expr::mul(ctx.value.clone(), ctx.adjoint.clone())],
+            );
+            let guarded = Stmt::synth(StmtKind::If {
+                cond: Expr::binary(
+                    BinOp::Lt,
+                    tick(),
+                    Expr::ilit(self.cfg.max_ticks as i64),
+                ),
+                then_branch: Block::of(vec![Stmt::synth(StmtKind::Assign {
+                    lhs: LValue::Index {
+                        base: VarRef::resolved(SENS_OUT, arr_id),
+                        index,
+                    },
+                    op: AssignOp::AddAssign,
+                    rhs: sens,
+                })]),
+                else_branch: None,
+            });
+            out.push(guarded);
+        }
+        out
+    }
+
+    fn on_finalize(&mut self, _ctx: &mut FinalizeCtx<'_>) -> Vec<Stmt> {
+        Vec::new()
+    }
+}
+
+/// Registers the `_sens_tick` counter once (hoisted `int _sens_tick = 0;`).
+fn ensure_tick_var(ctx: &mut AssignCtx<'_>) -> VarId {
+    if let Some((id, _)) = ctx.grad.vars_iter().find(|(_, v)| v.name == TICK) {
+        return id;
+    }
+    let id = ctx.grad.add_var(TICK, Type::Int);
+    ctx.hoisted.push(Stmt::synth(StmtKind::Decl {
+        name: TICK.to_string(),
+        id: Some(id),
+        ty: Type::Int,
+        size: None,
+        init: Some(Expr::ilit(0)),
+    }));
+    id
+}
+
+/// Runs the sensitivity profiler over `func` on the given arguments.
+pub fn profile_sensitivity(
+    program: &Program,
+    func: &str,
+    cfg: &SensitivityConfig,
+    primal_args: &[ArgValue],
+    exec: &ExecOptions,
+) -> Result<SensitivityProfile, ChefError> {
+    let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
+    let primal = inlined
+        .function(func)
+        .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+    let mut profiler = Profiler { cfg: cfg.clone() };
+    let rcfg = ReverseConfig::default();
+    let mut grad =
+        reverse_diff_with(primal, &rcfg, &mut profiler).map_err(ChefError::Ad)?;
+    chef_passes::optimize_function(&mut grad, chef_passes::OptLevel::O2);
+    let compiled = chef_exec::compile::compile_default(&grad).map_err(ChefError::Compile)?;
+
+    let mut args: Vec<ArgValue> = primal_args.to_vec();
+    for p in &primal.params {
+        match p.ty {
+            Type::Float(_) => args.push(ArgValue::F(0.0)),
+            Type::Array(ElemTy::Float(_)) => {
+                let idx = primal.params.iter().position(|q| q.name == p.name).unwrap();
+                args.push(ArgValue::FArr(vec![0.0; primal_args[idx].as_farr().len()]));
+            }
+            _ => {}
+        }
+    }
+    let sens_at = args.len();
+    args.push(ArgValue::FArr(vec![0.0; cfg.tracked.len() * cfg.max_ticks]));
+    let out = chef_exec::vm::run_with(&compiled, args, exec)
+        .map_err(|t| ChefError::Compile(chef_exec::compile::CompileError::Unsupported {
+            msg: format!("profiling run trapped: {t}"),
+            span: chef_ir::span::Span::DUMMY,
+        }))?;
+    let flat = out.args[sens_at].as_farr();
+    // Ticks run backward (tick 0 = last iteration); find how many were
+    // used and reverse the rows.
+    let used = (0..cfg.max_ticks)
+        .rev()
+        .find(|t| cfg.tracked.iter().enumerate().any(|(s, _)| flat[s * cfg.max_ticks + t] != 0.0))
+        .map_or(0, |t| t + 1);
+    let matrix = cfg
+        .tracked
+        .iter()
+        .enumerate()
+        .map(|(s, _)| {
+            let row = &flat[s * cfg.max_ticks..s * cfg.max_ticks + used];
+            let mut row: Vec<f64> = row.to_vec();
+            row.reverse();
+            row
+        })
+        .collect();
+    Ok(SensitivityProfile { vars: cfg.tracked.clone(), ticks: used, matrix })
+}

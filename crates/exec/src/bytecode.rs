@@ -1,0 +1,240 @@
+//! The register bytecode the VM executes.
+//!
+//! KernelC functions are compiled ([`crate::compile`]) to a flat
+//! instruction vector over three register files: floats (`f64` slots),
+//! integers (`i64` slots, also holding booleans as 0/1), and arrays.
+//! Narrow float precisions are simulated explicitly in the instruction
+//! stream with [`Instr::FRound`] — the compiler inserts a round after
+//! every operation whose result precision is below `f64`, which is what
+//! makes a "demoted" compilation behave like the hand-rewritten
+//! mixed-precision source of the paper.
+
+use chef_ir::ast::Intrinsic;
+use chef_ir::span::Span;
+use chef_ir::types::FloatTy;
+
+/// Index into the float register file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FReg(pub u32);
+
+/// Index into the integer register file (also used for booleans).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IReg(pub u32);
+
+/// Index into the array register file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AReg(pub u32);
+
+/// Comparison operator for `FCmp`/`ICmp`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One VM instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// `f[dst] = v`
+    FConst { dst: FReg, v: f64 },
+    /// `f[dst] = f[src]`
+    FMov { dst: FReg, src: FReg },
+    /// `f[dst] = f[a] + f[b]`
+    FAdd { dst: FReg, a: FReg, b: FReg },
+    /// `f[dst] = f[a] - f[b]`
+    FSub { dst: FReg, a: FReg, b: FReg },
+    /// `f[dst] = f[a] * f[b]`
+    FMul { dst: FReg, a: FReg, b: FReg },
+    /// `f[dst] = f[a] / f[b]` (IEEE semantics: ±∞/NaN on zero divisor)
+    FDiv { dst: FReg, a: FReg, b: FReg },
+    /// `f[dst] = -f[src]`
+    FNeg { dst: FReg, src: FReg },
+    /// `f[dst] = round_to(f[src], ty)` — the precision-simulation hook.
+    FRound { dst: FReg, src: FReg, ty: FloatTy },
+    /// `f[dst] = intr(f[a])` (dispatches through the approx config)
+    FIntr1 { dst: FReg, intr: Intrinsic, a: FReg },
+    /// `f[dst] = intr(f[a], f[b])`
+    FIntr2 { dst: FReg, intr: Intrinsic, a: FReg, b: FReg },
+    /// `i[dst] = f[a] op f[b]`
+    FCmp { dst: IReg, op: CmpOp, a: FReg, b: FReg },
+    /// `f[dst] = farr[arr][i[idx]]` (bounds-checked)
+    FLoad { dst: FReg, arr: AReg, idx: IReg },
+    /// `farr[arr][i[idx]] = f[src]` (bounds-checked)
+    FStore { arr: AReg, idx: IReg, src: FReg },
+    /// `i[dst] = trunc(f[src])` (C cast semantics)
+    F2I { dst: IReg, src: FReg },
+    /// `f[dst] = i[src] as f64`
+    I2F { dst: FReg, src: IReg },
+
+    /// `i[dst] = v`
+    IConst { dst: IReg, v: i64 },
+    /// `i[dst] = i[src]`
+    IMov { dst: IReg, src: IReg },
+    /// `i[dst] = i[a] + i[b]` (wrapping)
+    IAdd { dst: IReg, a: IReg, b: IReg },
+    /// `i[dst] = i[a] - i[b]` (wrapping)
+    ISub { dst: IReg, a: IReg, b: IReg },
+    /// `i[dst] = i[a] * i[b]` (wrapping)
+    IMul { dst: IReg, a: IReg, b: IReg },
+    /// `i[dst] = i[a] / i[b]` (traps on zero divisor)
+    IDiv { dst: IReg, a: IReg, b: IReg },
+    /// `i[dst] = i[a] % i[b]` (traps on zero divisor)
+    IRem { dst: IReg, a: IReg, b: IReg },
+    /// `i[dst] = -i[src]`
+    INeg { dst: IReg, src: IReg },
+    /// `i[dst] = i[a] op i[b]`
+    ICmp { dst: IReg, op: CmpOp, a: IReg, b: IReg },
+    /// `i[dst] = iarr[arr][i[idx]]` (bounds-checked)
+    ILoad { dst: IReg, arr: AReg, idx: IReg },
+    /// `iarr[arr][i[idx]] = i[src]` (bounds-checked)
+    IStore { arr: AReg, idx: IReg, src: IReg },
+    /// `i[dst] = 1 - i[src]` (boolean not)
+    BNot { dst: IReg, src: IReg },
+
+    /// Unconditional jump to instruction index `target`.
+    Jmp { target: u32 },
+    /// Jump when `i[cond] == 0`.
+    JmpIfFalse { cond: IReg, target: u32 },
+    /// Jump when `i[cond] != 0`.
+    JmpIfTrue { cond: IReg, target: u32 },
+
+    /// Push `f[src]` onto the tape (forward sweep of Fig. 2).
+    TPushF { src: FReg },
+    /// Pop the tape into `f[dst]` (backward sweep of Fig. 2).
+    TPopF { dst: FReg },
+    /// Push `i[src]` onto the int tape (trip counts, branch flags).
+    TPushI { src: IReg },
+    /// Pop the int tape into `i[dst]`.
+    TPopI { dst: IReg },
+
+    /// Allocate a zeroed float array of length `i[len]` into slot `arr`.
+    AllocF { arr: AReg, len: IReg },
+    /// Allocate a zeroed int array of length `i[len]` into slot `arr`.
+    AllocI { arr: AReg, len: IReg },
+
+    /// Return `f[src]`.
+    RetF { src: FReg },
+    /// Return `i[src]` as an int.
+    RetI { src: IReg },
+    /// Return `i[src]` as a bool.
+    RetB { src: IReg },
+    /// Return nothing.
+    RetVoid,
+    /// Control fell off the end of a non-void function.
+    TrapMissingReturn,
+}
+
+/// Scalar/array kind of one parameter in the compiled signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Float scalar at the (possibly demoted) precision; incoming values
+    /// are rounded to this precision at call entry.
+    F(FloatTy),
+    /// Int scalar.
+    I,
+    /// Bool scalar.
+    B,
+    /// Float array with the given (possibly demoted) element precision;
+    /// elements are rounded in place at call entry.
+    FArr(FloatTy),
+    /// Int array.
+    IArr,
+}
+
+/// One parameter of a compiled function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamSpec {
+    /// Source-level name (for diagnostics and reports).
+    pub name: String,
+    /// Scalar/array kind with effective precision.
+    pub kind: ParamKind,
+    /// `true` if the updated value is copied back to the caller (arrays
+    /// always are).
+    pub by_ref: bool,
+    /// The register (in the file implied by `kind`) the parameter binds to.
+    pub reg: u32,
+}
+
+/// Return-value kind of a compiled function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetKind {
+    /// Float return at the given precision (the VM rounds on return).
+    F(FloatTy),
+    /// Int return.
+    I,
+    /// Bool return.
+    B,
+    /// No return value.
+    Void,
+}
+
+/// A fully compiled KernelC function.
+#[derive(Clone, Debug)]
+pub struct CompiledFunction {
+    /// Source function name.
+    pub name: String,
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Source span of each instruction (parallel to `instrs`), for traps.
+    pub spans: Vec<Span>,
+    /// Number of float registers.
+    pub n_fregs: u32,
+    /// Number of integer registers.
+    pub n_iregs: u32,
+    /// Number of array registers.
+    pub n_aregs: u32,
+    /// Parameter binding specs, in call order.
+    pub params: Vec<ParamSpec>,
+    /// Return kind.
+    pub ret: RetKind,
+}
+
+impl CompiledFunction {
+    /// Human-readable disassembly (one instruction per line), useful in
+    /// tests and for debugging generated adjoints.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fn {} (fregs={}, iregs={}, aregs={})",
+            self.name, self.n_fregs, self.n_iregs, self.n_aregs
+        );
+        for (pc, ins) in self.instrs.iter().enumerate() {
+            let _ = writeln!(out, "{pc:4}: {ins:?}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disassembly_contains_instructions() {
+        let f = CompiledFunction {
+            name: "t".into(),
+            instrs: vec![Instr::FConst { dst: FReg(0), v: 1.5 }, Instr::RetF { src: FReg(0) }],
+            spans: vec![Span::DUMMY; 2],
+            n_fregs: 1,
+            n_iregs: 0,
+            n_aregs: 0,
+            params: vec![],
+            ret: RetKind::F(FloatTy::F64),
+        };
+        let d = f.disassemble();
+        assert!(d.contains("FConst"));
+        assert!(d.contains("RetF"));
+    }
+}

@@ -1,0 +1,1013 @@
+//! AST → bytecode compilation with precision simulation.
+//!
+//! The compiler assigns every variable a register, then lowers statements
+//! to the flat [`Instr`] stream. Floating-point precision is handled
+//! **bottom-up at compile time**: every expression has an *effective
+//! precision* computed from its operands (C promotion rules), and any
+//! operation whose effective precision is below `f64` gets an explicit
+//! [`Instr::FRound`] after it. Assignments round to the target variable's
+//! effective precision.
+//!
+//! "Effective" matters because of [`PrecisionMap`]: a mixed-precision
+//! configuration demotes chosen variables without touching the source,
+//! which is this reproduction's stand-in for the paper's manual
+//! mixed-precision rewriting. Compiling the same function under different
+//! precision maps yields the original and the tuned program variants.
+//!
+//! User-function calls must be inlined first (`chef-passes`' inliner);
+//! compiling a remaining call reports [`CompileError::UserCallNotInlined`].
+
+use crate::bytecode::*;
+use chef_ir::ast::*;
+use chef_ir::span::Span;
+use chef_ir::types::{ElemTy, FloatTy, Type};
+use std::collections::HashMap;
+
+/// Per-variable precision overrides: the mixed-precision configuration.
+#[derive(Clone, Debug, Default)]
+pub struct PrecisionMap {
+    map: HashMap<VarId, FloatTy>,
+}
+
+impl PrecisionMap {
+    /// No overrides: every variable at its declared precision.
+    pub fn empty() -> Self {
+        PrecisionMap::default()
+    }
+
+    /// Demotes (or promotes) variable `id` to `ty`.
+    pub fn set(&mut self, id: VarId, ty: FloatTy) {
+        self.map.insert(id, ty);
+    }
+
+    /// Builder-style [`PrecisionMap::set`].
+    pub fn with(mut self, id: VarId, ty: FloatTy) -> Self {
+        self.set(id, ty);
+        self
+    }
+
+    /// The override for `id`, if any.
+    pub fn get(&self, id: VarId) -> Option<FloatTy> {
+        self.map.get(&id).copied()
+    }
+
+    /// Number of overridden variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no variable is overridden.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Compilation options.
+#[derive(Clone, Debug, Default)]
+pub struct CompileOptions {
+    /// Mixed-precision variable overrides.
+    pub precisions: PrecisionMap,
+}
+
+/// Errors the compiler can report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    /// A user-function call survived to compilation; run the inliner first.
+    UserCallNotInlined {
+        /// Callee name.
+        name: String,
+        /// Call site.
+        span: Span,
+    },
+    /// A variable reference was not resolved by typeck.
+    UnresolvedVar {
+        /// Variable name.
+        name: String,
+    },
+    /// Any other unsupported construct.
+    Unsupported {
+        /// Description.
+        msg: String,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UserCallNotInlined { name, .. } => {
+                write!(f, "call to `{name}` must be inlined before compilation")
+            }
+            CompileError::UnresolvedVar { name } => {
+                write!(f, "unresolved variable `{name}` (run the type checker)")
+            }
+            CompileError::Unsupported { msg, .. } => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles `func` with default options (declared precisions).
+pub fn compile_default(func: &Function) -> Result<CompiledFunction, CompileError> {
+    compile(func, &CompileOptions::default())
+}
+
+/// Compiles `func` under `opts`.
+pub fn compile(func: &Function, opts: &CompileOptions) -> Result<CompiledFunction, CompileError> {
+    let mut c = Compiler::new(func, opts);
+    c.assign_var_slots();
+    c.compile_body()?;
+    Ok(c.finish())
+}
+
+/// A variable's home: register plus effective precision.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    F(FReg, FloatTy),
+    I(IReg),
+    B(IReg),
+    FA(AReg, FloatTy),
+    IA(AReg),
+}
+
+/// The result of compiling an expression.
+#[derive(Clone, Copy, Debug)]
+enum Operand {
+    F(FReg, FloatTy),
+    I(IReg),
+    B(IReg),
+}
+
+struct Compiler<'a> {
+    func: &'a Function,
+    opts: &'a CompileOptions,
+    instrs: Vec<Instr>,
+    spans: Vec<Span>,
+    slots: Vec<Slot>,
+    nf_vars: u32,
+    ni_vars: u32,
+    na: u32,
+    tf: u32,
+    ti: u32,
+    max_f: u32,
+    max_i: u32,
+    cur_span: Span,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(func: &'a Function, opts: &'a CompileOptions) -> Self {
+        Compiler {
+            func,
+            opts,
+            instrs: Vec::new(),
+            spans: Vec::new(),
+            slots: Vec::new(),
+            nf_vars: 0,
+            ni_vars: 0,
+            na: 0,
+            tf: 0,
+            ti: 0,
+            max_f: 0,
+            max_i: 0,
+            cur_span: Span::DUMMY,
+        }
+    }
+
+    /// Effective precision of a float variable under the precision map.
+    fn effective_prec(&self, id: VarId, declared: FloatTy) -> FloatTy {
+        self.opts.precisions.get(id).unwrap_or(declared)
+    }
+
+    fn assign_var_slots(&mut self) {
+        for (id, info) in self.func.vars_iter() {
+            let slot = match info.ty {
+                Type::Float(ft) => {
+                    let r = FReg(self.nf_vars);
+                    self.nf_vars += 1;
+                    Slot::F(r, self.effective_prec(id, ft))
+                }
+                Type::Int => {
+                    let r = IReg(self.ni_vars);
+                    self.ni_vars += 1;
+                    Slot::I(r)
+                }
+                Type::Bool => {
+                    let r = IReg(self.ni_vars);
+                    self.ni_vars += 1;
+                    Slot::B(r)
+                }
+                Type::Array(ElemTy::Float(ft)) => {
+                    let r = AReg(self.na);
+                    self.na += 1;
+                    Slot::FA(r, self.effective_prec(id, ft))
+                }
+                Type::Array(ElemTy::Int) => {
+                    let r = AReg(self.na);
+                    self.na += 1;
+                    Slot::IA(r)
+                }
+                Type::Void => unreachable!("void variables are rejected by typeck"),
+            };
+            self.slots.push(slot);
+        }
+        self.max_f = self.nf_vars;
+        self.max_i = self.ni_vars;
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.spans.push(self.cur_span);
+        self.instrs.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    fn patch_jump(&mut self, at: usize, target: u32) {
+        match &mut self.instrs[at] {
+            Instr::Jmp { target: t }
+            | Instr::JmpIfFalse { target: t, .. }
+            | Instr::JmpIfTrue { target: t, .. } => *t = target,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn temp_f(&mut self) -> FReg {
+        let r = FReg(self.tf);
+        self.tf += 1;
+        self.max_f = self.max_f.max(self.tf);
+        r
+    }
+
+    fn temp_i(&mut self) -> IReg {
+        let r = IReg(self.ti);
+        self.ti += 1;
+        self.max_i = self.max_i.max(self.ti);
+        r
+    }
+
+    /// Resets the per-statement temporary region.
+    fn reset_temps(&mut self) {
+        self.tf = self.nf_vars;
+        self.ti = self.ni_vars;
+    }
+
+    fn slot(&self, v: &VarRef) -> Result<Slot, CompileError> {
+        let id = v.id.ok_or_else(|| CompileError::UnresolvedVar { name: v.name.clone() })?;
+        Ok(self.slots[id.index()])
+    }
+
+    fn compile_body(&mut self) -> Result<(), CompileError> {
+        self.reset_temps();
+        let body = self.func.body.clone();
+        self.block(&body)?;
+        // Fall-off-the-end behaviour.
+        match self.func.ret {
+            Type::Void => {
+                self.emit(Instr::RetVoid);
+            }
+            _ => {
+                self.emit(Instr::TrapMissingReturn);
+            }
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), CompileError> {
+        for s in &b.stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        self.reset_temps();
+        self.cur_span = s.span;
+        match &s.kind {
+            StmtKind::Decl { id, size, init, .. } => {
+                let id = id.expect("typeck assigns decl ids");
+                let slot = self.slots[id.index()];
+                match (slot, size) {
+                    (Slot::FA(arr, _), Some(sz)) => {
+                        let len = self.expr_as_i(sz)?;
+                        self.emit(Instr::AllocF { arr, len });
+                    }
+                    (Slot::IA(arr, ..), Some(sz)) => {
+                        let len = self.expr_as_i(sz)?;
+                        self.emit(Instr::AllocI { arr, len });
+                    }
+                    _ => {
+                        if let Some(e) = init {
+                            let op = self.expr(e)?;
+                            self.store_to_slot(slot, op)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Assign { lhs, op, rhs } => self.assign(lhs, *op, rhs),
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let c = self.expr_as_b(cond)?;
+                let jf = self.emit(Instr::JmpIfFalse { cond: c, target: 0 });
+                self.block(then_branch)?;
+                match else_branch {
+                    Some(eb) => {
+                        let jend = self.emit(Instr::Jmp { target: 0 });
+                        let else_at = self.here();
+                        self.patch_jump(jf, else_at);
+                        self.block(eb)?;
+                        let end = self.here();
+                        self.patch_jump(jend, end);
+                    }
+                    None => {
+                        let end = self.here();
+                        self.patch_jump(jf, end);
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let lcond = self.here();
+                let jexit = match cond {
+                    Some(c) => {
+                        self.reset_temps();
+                        self.cur_span = c.span;
+                        let creg = self.expr_as_b(c)?;
+                        Some(self.emit(Instr::JmpIfFalse { cond: creg, target: 0 }))
+                    }
+                    None => None,
+                };
+                self.block(body)?;
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.emit(Instr::Jmp { target: lcond });
+                let end = self.here();
+                if let Some(j) = jexit {
+                    self.patch_jump(j, end);
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let lcond = self.here();
+                let creg = self.expr_as_b(cond)?;
+                let jexit = self.emit(Instr::JmpIfFalse { cond: creg, target: 0 });
+                self.block(body)?;
+                self.emit(Instr::Jmp { target: lcond });
+                let end = self.here();
+                self.patch_jump(jexit, end);
+                Ok(())
+            }
+            StmtKind::Return(e) => {
+                match (e, self.func.ret) {
+                    (None, _) => {
+                        self.emit(Instr::RetVoid);
+                    }
+                    (Some(e), Type::Float(ft)) => {
+                        let (r, _) = self.expr_as_f(e)?;
+                        // Round to the declared return precision.
+                        let out = if ft != FloatTy::F64 {
+                            let t = self.temp_f();
+                            self.emit(Instr::FRound { dst: t, src: r, ty: ft });
+                            t
+                        } else {
+                            r
+                        };
+                        self.emit(Instr::RetF { src: out });
+                    }
+                    (Some(e), Type::Int) => {
+                        let r = self.expr_as_i(e)?;
+                        self.emit(Instr::RetI { src: r });
+                    }
+                    (Some(e), Type::Bool) => {
+                        let r = self.expr_as_b(e)?;
+                        self.emit(Instr::RetB { src: r });
+                    }
+                    (Some(_), other) => {
+                        return Err(CompileError::Unsupported {
+                            msg: format!("return of `{other}`"),
+                            span: s.span,
+                        })
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Block(b) => self.block(b),
+            StmtKind::ExprStmt(e) => {
+                let _ = self.expr(e)?;
+                Ok(())
+            }
+            StmtKind::TapePush(e) => {
+                match self.expr(e)? {
+                    Operand::F(r, _) => {
+                        self.emit(Instr::TPushF { src: r });
+                    }
+                    Operand::I(r) | Operand::B(r) => {
+                        self.emit(Instr::TPushI { src: r });
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::TapePop(lv) => match (self.slot(lv.var())?, lv) {
+                (Slot::F(r, _), LValue::Var(_)) => {
+                    self.emit(Instr::TPopF { dst: r });
+                    Ok(())
+                }
+                (Slot::I(r) | Slot::B(r), LValue::Var(_)) => {
+                    self.emit(Instr::TPopI { dst: r });
+                    Ok(())
+                }
+                (Slot::FA(arr, _), LValue::Index { index, .. }) => {
+                    let idx = self.expr_as_i(index)?;
+                    let t = self.temp_f();
+                    self.emit(Instr::TPopF { dst: t });
+                    self.emit(Instr::FStore { arr, idx, src: t });
+                    Ok(())
+                }
+                (Slot::IA(arr), LValue::Index { index, .. }) => {
+                    let idx = self.expr_as_i(index)?;
+                    let t = self.temp_i();
+                    self.emit(Instr::TPopI { dst: t });
+                    self.emit(Instr::IStore { arr, idx, src: t });
+                    Ok(())
+                }
+                _ => Err(CompileError::Unsupported {
+                    msg: "tape pop into this location".into(),
+                    span: s.span,
+                }),
+            },
+        }
+    }
+
+    fn assign(&mut self, lhs: &LValue, op: AssignOp, rhs: &Expr) -> Result<(), CompileError> {
+        let rhs_op = self.expr(rhs)?;
+        let final_op = match op.binop() {
+            None => rhs_op,
+            Some(bop) => {
+                // Compound: load current value, apply, store.
+                let cur = self.load_lvalue(lhs)?;
+                self.binary_op(bop, cur, rhs_op)?
+            }
+        };
+        self.store_lvalue(lhs, final_op)
+    }
+
+    fn load_lvalue(&mut self, lv: &LValue) -> Result<Operand, CompileError> {
+        match lv {
+            LValue::Var(v) => Ok(match self.slot(v)? {
+                Slot::F(r, p) => Operand::F(r, p),
+                Slot::I(r) => Operand::I(r),
+                Slot::B(r) => Operand::B(r),
+                Slot::FA(..) | Slot::IA(..) => {
+                    return Err(CompileError::Unsupported {
+                        msg: "whole-array read".into(),
+                        span: v.span,
+                    })
+                }
+            }),
+            LValue::Index { base, index } => {
+                let slot = self.slot(base)?;
+                let idx = self.expr_as_i(index)?;
+                match slot {
+                    Slot::FA(arr, p) => {
+                        let dst = self.temp_f();
+                        self.emit(Instr::FLoad { dst, arr, idx });
+                        Ok(Operand::F(dst, p))
+                    }
+                    Slot::IA(arr) => {
+                        let dst = self.temp_i();
+                        self.emit(Instr::ILoad { dst, arr, idx });
+                        Ok(Operand::I(dst))
+                    }
+                    _ => Err(CompileError::Unsupported {
+                        msg: "indexing a scalar".into(),
+                        span: base.span,
+                    }),
+                }
+            }
+        }
+    }
+
+    fn store_lvalue(&mut self, lv: &LValue, op: Operand) -> Result<(), CompileError> {
+        match lv {
+            LValue::Var(v) => {
+                let slot = self.slot(v)?;
+                self.store_to_slot(slot, op)
+            }
+            LValue::Index { base, index } => {
+                let slot = self.slot(base)?;
+                match slot {
+                    Slot::FA(arr, prec) => {
+                        let (src, sp) = self.operand_as_f(op)?;
+                        // Round to the element precision on store (unless
+                        // the value is already at most that precise).
+                        let src = if prec != FloatTy::F64 && sp > prec {
+                            let t = self.temp_f();
+                            self.emit(Instr::FRound { dst: t, src, ty: prec });
+                            t
+                        } else {
+                            src
+                        };
+                        let idx = self.expr_as_i(index)?;
+                        self.emit(Instr::FStore { arr, idx, src });
+                        Ok(())
+                    }
+                    Slot::IA(arr) => {
+                        let src = self.operand_as_i(op)?;
+                        let idx = self.expr_as_i(index)?;
+                        self.emit(Instr::IStore { arr, idx, src });
+                        Ok(())
+                    }
+                    _ => Err(CompileError::Unsupported {
+                        msg: "indexing a scalar".into(),
+                        span: base.span,
+                    }),
+                }
+            }
+        }
+    }
+
+    fn store_to_slot(&mut self, slot: Slot, op: Operand) -> Result<(), CompileError> {
+        match slot {
+            Slot::F(dst, prec) => {
+                let (src, sp) = self.operand_as_f(op)?;
+                if prec != FloatTy::F64 && sp > prec {
+                    self.emit(Instr::FRound { dst, src, ty: prec });
+                } else if src != dst {
+                    self.emit(Instr::FMov { dst, src });
+                }
+                Ok(())
+            }
+            Slot::I(dst) => {
+                let src = self.operand_as_i(op)?;
+                if src != dst {
+                    self.emit(Instr::IMov { dst, src });
+                }
+                Ok(())
+            }
+            Slot::B(dst) => {
+                let src = match op {
+                    Operand::B(r) | Operand::I(r) => r,
+                    Operand::F(..) => {
+                        return Err(CompileError::Unsupported {
+                            msg: "float stored to bool".into(),
+                            span: self.cur_span,
+                        })
+                    }
+                };
+                if src != dst {
+                    self.emit(Instr::IMov { dst, src });
+                }
+                Ok(())
+            }
+            Slot::FA(..) | Slot::IA(..) => Err(CompileError::Unsupported {
+                msg: "whole-array store".into(),
+                span: self.cur_span,
+            }),
+        }
+    }
+
+    // ---- expression compilation ----
+
+    fn expr(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        match &e.kind {
+            ExprKind::FloatLit(v) => {
+                let dst = self.temp_f();
+                self.emit(Instr::FConst { dst, v: *v });
+                // Honor the type annotation: constant folding may replace
+                // a `(float)`-cast subtree with an f32-typed literal whose
+                // value is exactly representable at that precision; the
+                // surrounding operation must keep f32 promotion semantics.
+                let prec = match e.ty {
+                    Some(Type::Float(ft)) => ft,
+                    _ => FloatTy::F64,
+                };
+                Ok(Operand::F(dst, prec))
+            }
+            ExprKind::IntLit(v) => {
+                let dst = self.temp_i();
+                self.emit(Instr::IConst { dst, v: *v });
+                Ok(Operand::I(dst))
+            }
+            ExprKind::BoolLit(b) => {
+                let dst = self.temp_i();
+                self.emit(Instr::IConst { dst, v: *b as i64 });
+                Ok(Operand::B(dst))
+            }
+            ExprKind::Var(v) => Ok(match self.slot(v)? {
+                Slot::F(r, p) => Operand::F(r, p),
+                Slot::I(r) => Operand::I(r),
+                Slot::B(r) => Operand::B(r),
+                Slot::FA(..) | Slot::IA(..) => {
+                    return Err(CompileError::Unsupported {
+                        msg: format!("array `{}` used as a scalar", v.name),
+                        span: v.span,
+                    })
+                }
+            }),
+            ExprKind::Index { base, index } => {
+                let lv = LValue::Index { base: base.clone(), index: (**index).clone() };
+                self.load_lvalue(&lv)
+            }
+            ExprKind::Unary { op, operand } => {
+                let inner = self.expr(operand)?;
+                match op {
+                    UnOp::Neg => match inner {
+                        Operand::F(r, p) => {
+                            let dst = self.temp_f();
+                            self.emit(Instr::FNeg { dst, src: r });
+                            Ok(Operand::F(dst, p))
+                        }
+                        Operand::I(r) => {
+                            let dst = self.temp_i();
+                            self.emit(Instr::INeg { dst, src: r });
+                            Ok(Operand::I(dst))
+                        }
+                        Operand::B(_) => Err(CompileError::Unsupported {
+                            msg: "negating bool".into(),
+                            span: e.span,
+                        }),
+                    },
+                    UnOp::Not => match inner {
+                        Operand::B(r) => {
+                            let dst = self.temp_i();
+                            self.emit(Instr::BNot { dst, src: r });
+                            Ok(Operand::B(dst))
+                        }
+                        _ => Err(CompileError::Unsupported {
+                            msg: "`!` on non-bool".into(),
+                            span: e.span,
+                        }),
+                    },
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                if op.is_logic() {
+                    return self.logic_op(*op, lhs, rhs);
+                }
+                let a = self.expr(lhs)?;
+                let b = self.expr(rhs)?;
+                self.binary_op(*op, a, b)
+            }
+            ExprKind::Call { callee, args } => match callee {
+                Callee::Intrinsic(i) => self.intrinsic_call(*i, args),
+                Callee::Func(name) => Err(CompileError::UserCallNotInlined {
+                    name: name.clone(),
+                    span: e.span,
+                }),
+            },
+            ExprKind::Cast { ty, expr } => {
+                let inner = self.expr(expr)?;
+                match ty {
+                    Type::Float(ft) => {
+                        let (r, p) = self.operand_as_f(inner)?;
+                        if *ft != FloatTy::F64 && p > *ft {
+                            let dst = self.temp_f();
+                            self.emit(Instr::FRound { dst, src: r, ty: *ft });
+                            Ok(Operand::F(dst, *ft))
+                        } else {
+                            Ok(Operand::F(r, p.min(*ft)))
+                        }
+                    }
+                    Type::Int => match inner {
+                        Operand::I(r) => Ok(Operand::I(r)),
+                        Operand::F(r, _) => {
+                            let dst = self.temp_i();
+                            self.emit(Instr::F2I { dst, src: r });
+                            Ok(Operand::I(dst))
+                        }
+                        Operand::B(_) => Err(CompileError::Unsupported {
+                            msg: "bool cast".into(),
+                            span: e.span,
+                        }),
+                    },
+                    other => Err(CompileError::Unsupported {
+                        msg: format!("cast to `{other}`"),
+                        span: e.span,
+                    }),
+                }
+            }
+        }
+    }
+
+    fn logic_op(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Operand, CompileError> {
+        let a = self.expr_as_b(lhs)?;
+        let dst = self.temp_i();
+        self.emit(Instr::IMov { dst, src: a });
+        let jshort = match op {
+            BinOp::And => self.emit(Instr::JmpIfFalse { cond: dst, target: 0 }),
+            BinOp::Or => self.emit(Instr::JmpIfTrue { cond: dst, target: 0 }),
+            _ => unreachable!(),
+        };
+        let b = self.expr_as_b(rhs)?;
+        self.emit(Instr::IMov { dst, src: b });
+        let end = self.here();
+        self.patch_jump(jshort, end);
+        Ok(Operand::B(dst))
+    }
+
+    fn binary_op(&mut self, op: BinOp, a: Operand, b: Operand) -> Result<Operand, CompileError> {
+        if op.is_cmp() {
+            let cmp = cmp_of(op);
+            let any_float = matches!(a, Operand::F(..)) || matches!(b, Operand::F(..));
+            let dst = self.temp_i();
+            if any_float {
+                let (ra, _) = self.operand_as_f(a)?;
+                let (rb, _) = self.operand_as_f(b)?;
+                self.emit(Instr::FCmp { dst, op: cmp, a: ra, b: rb });
+            } else {
+                let ra = self.operand_as_i(a)?;
+                let rb = self.operand_as_i(b)?;
+                self.emit(Instr::ICmp { dst, op: cmp, a: ra, b: rb });
+            }
+            return Ok(Operand::B(dst));
+        }
+        // Arithmetic.
+        let any_float = matches!(a, Operand::F(..)) || matches!(b, Operand::F(..));
+        if any_float {
+            let (ra, pa) = self.operand_as_f(a)?;
+            let (rb, pb) = self.operand_as_f(b)?;
+            let prec = pa.max(pb);
+            let dst = self.temp_f();
+            let ins = match op {
+                BinOp::Add => Instr::FAdd { dst, a: ra, b: rb },
+                BinOp::Sub => Instr::FSub { dst, a: ra, b: rb },
+                BinOp::Mul => Instr::FMul { dst, a: ra, b: rb },
+                BinOp::Div => Instr::FDiv { dst, a: ra, b: rb },
+                BinOp::Rem => {
+                    return Err(CompileError::Unsupported {
+                        msg: "`%` on floats".into(),
+                        span: self.cur_span,
+                    })
+                }
+                _ => unreachable!(),
+            };
+            self.emit(ins);
+            if prec != FloatTy::F64 {
+                self.emit(Instr::FRound { dst, src: dst, ty: prec });
+            }
+            Ok(Operand::F(dst, prec))
+        } else {
+            let ra = self.operand_as_i(a)?;
+            let rb = self.operand_as_i(b)?;
+            let dst = self.temp_i();
+            let ins = match op {
+                BinOp::Add => Instr::IAdd { dst, a: ra, b: rb },
+                BinOp::Sub => Instr::ISub { dst, a: ra, b: rb },
+                BinOp::Mul => Instr::IMul { dst, a: ra, b: rb },
+                BinOp::Div => Instr::IDiv { dst, a: ra, b: rb },
+                BinOp::Rem => Instr::IRem { dst, a: ra, b: rb },
+                _ => unreachable!(),
+            };
+            self.emit(ins);
+            Ok(Operand::I(dst))
+        }
+    }
+
+    fn intrinsic_call(&mut self, i: Intrinsic, args: &[Expr]) -> Result<Operand, CompileError> {
+        let mut regs = Vec::with_capacity(args.len());
+        let mut prec: Option<FloatTy> = None;
+        for a in args {
+            let op = self.expr(a)?;
+            if let Operand::F(_, p) = op {
+                prec = Some(prec.map_or(p, |q| q.max(p)));
+            }
+            let (r, _) = self.operand_as_f(op)?;
+            regs.push(r);
+        }
+        let prec = prec.unwrap_or(FloatTy::F64);
+        let dst = self.temp_f();
+        match regs.len() {
+            1 => {
+                self.emit(Instr::FIntr1 { dst, intr: i, a: regs[0] });
+            }
+            2 => {
+                self.emit(Instr::FIntr2 { dst, intr: i, a: regs[0], b: regs[1] });
+            }
+            n => {
+                return Err(CompileError::Unsupported {
+                    msg: format!("{n}-ary intrinsic"),
+                    span: self.cur_span,
+                })
+            }
+        }
+        if prec != FloatTy::F64 {
+            self.emit(Instr::FRound { dst, src: dst, ty: prec });
+        }
+        Ok(Operand::F(dst, prec))
+    }
+
+    // ---- operand coercions ----
+
+    fn operand_as_f(&mut self, op: Operand) -> Result<(FReg, FloatTy), CompileError> {
+        match op {
+            Operand::F(r, p) => Ok((r, p)),
+            Operand::I(r) => {
+                let dst = self.temp_f();
+                self.emit(Instr::I2F { dst, src: r });
+                Ok((dst, FloatTy::F64))
+            }
+            Operand::B(_) => Err(CompileError::Unsupported {
+                msg: "bool used as float".into(),
+                span: self.cur_span,
+            }),
+        }
+    }
+
+    fn operand_as_i(&mut self, op: Operand) -> Result<IReg, CompileError> {
+        match op {
+            Operand::I(r) | Operand::B(r) => Ok(r),
+            Operand::F(..) => Err(CompileError::Unsupported {
+                msg: "float used as int (use an explicit cast)".into(),
+                span: self.cur_span,
+            }),
+        }
+    }
+
+    fn expr_as_f(&mut self, e: &Expr) -> Result<(FReg, FloatTy), CompileError> {
+        let op = self.expr(e)?;
+        self.operand_as_f(op)
+    }
+
+    fn expr_as_i(&mut self, e: &Expr) -> Result<IReg, CompileError> {
+        let op = self.expr(e)?;
+        self.operand_as_i(op)
+    }
+
+    fn expr_as_b(&mut self, e: &Expr) -> Result<IReg, CompileError> {
+        match self.expr(e)? {
+            Operand::B(r) => Ok(r),
+            _ => Err(CompileError::Unsupported {
+                msg: "condition is not bool".into(),
+                span: e.span,
+            }),
+        }
+    }
+
+    fn finish(self) -> CompiledFunction {
+        let params = self
+            .func
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let slot = self.slots[i];
+                let (kind, reg) = match slot {
+                    Slot::F(r, prec) => (ParamKind::F(prec), r.0),
+                    Slot::I(r) => (ParamKind::I, r.0),
+                    Slot::B(r) => (ParamKind::B, r.0),
+                    Slot::FA(r, prec) => (ParamKind::FArr(prec), r.0),
+                    Slot::IA(r) => (ParamKind::IArr, r.0),
+                };
+                ParamSpec { name: p.name.clone(), kind, by_ref: p.by_ref, reg }
+            })
+            .collect();
+        let ret = match self.func.ret {
+            Type::Float(ft) => RetKind::F(ft),
+            Type::Int => RetKind::I,
+            Type::Bool => RetKind::B,
+            _ => RetKind::Void,
+        };
+        CompiledFunction {
+            name: self.func.name.clone(),
+            instrs: self.instrs,
+            spans: self.spans,
+            n_fregs: self.max_f,
+            n_iregs: self.max_i,
+            n_aregs: self.na,
+            params,
+            ret,
+        }
+    }
+}
+
+fn cmp_of(op: BinOp) -> CmpOp {
+    match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::Ne => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        other => panic!("not a comparison: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_ir::parser::parse_program;
+    use chef_ir::typeck::check_program;
+
+    fn compile_src(src: &str) -> CompiledFunction {
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        compile_default(&p.functions[0]).unwrap()
+    }
+
+    #[test]
+    fn compiles_simple_function() {
+        let f = compile_src("double f(double x, double y) { return x * y + 1.0; }");
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::FMul { .. })));
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::RetF { .. })));
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, RetKind::F(FloatTy::F64));
+    }
+
+    #[test]
+    fn f32_arithmetic_gets_rounds() {
+        let f = compile_src("float f(float x, float y) { float z; z = x + y; return z; }");
+        // x + y at f32 must be followed by a round to f32.
+        assert!(
+            f.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::FRound { ty: FloatTy::F32, .. })),
+            "{}",
+            f.disassemble()
+        );
+    }
+
+    #[test]
+    fn f64_arithmetic_has_no_rounds() {
+        let f = compile_src("double f(double x, double y) { double z; z = x + y; return z; }");
+        assert!(
+            !f.instrs.iter().any(|i| matches!(i, Instr::FRound { .. })),
+            "{}",
+            f.disassemble()
+        );
+    }
+
+    #[test]
+    fn precision_override_demotes_variable() {
+        let mut p = parse_program("double f(double x) { double z; z = x * x; return z; }").unwrap();
+        check_program(&mut p).unwrap();
+        let func = &p.functions[0];
+        // Demote z (VarId 1) to f32.
+        let opts = CompileOptions {
+            precisions: PrecisionMap::empty().with(VarId(1), FloatTy::F32),
+        };
+        let f = compile(func, &opts).unwrap();
+        assert!(
+            f.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::FRound { ty: FloatTy::F32, .. })),
+            "{}",
+            f.disassemble()
+        );
+    }
+
+    #[test]
+    fn user_calls_rejected() {
+        let src = "double g(double a) { return a; } double f(double x) { return g(x); }";
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        let err = compile_default(p.function("f").unwrap()).unwrap_err();
+        assert!(matches!(err, CompileError::UserCallNotInlined { .. }));
+    }
+
+    #[test]
+    fn loop_compiles_with_backward_jump() {
+        let f = compile_src(
+            "double f(int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += 1.0; } return s; }",
+        );
+        let has_backjump = f.instrs.iter().enumerate().any(|(pc, i)| match i {
+            Instr::Jmp { target } => (*target as usize) < pc,
+            _ => false,
+        });
+        assert!(has_backjump, "{}", f.disassemble());
+    }
+
+    #[test]
+    fn short_circuit_and_emits_branch() {
+        let f = compile_src("bool f(double x) { return x > 0.0 && x < 1.0; }");
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::JmpIfFalse { .. })));
+    }
+
+    #[test]
+    fn missing_return_traps() {
+        let f = compile_src("double f(double x) { x = x + 1.0; }");
+        assert!(matches!(f.instrs.last(), Some(Instr::TrapMissingReturn)));
+    }
+
+    #[test]
+    fn local_array_allocs() {
+        let f = compile_src("void f(int n) { double r[n]; r[0] = 1.0; }");
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::AllocF { .. })));
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::FStore { .. })));
+    }
+
+    #[test]
+    fn cast_emits_round() {
+        let f = compile_src("double f(double x) { return x - (float)x; }");
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::FRound { ty: FloatTy::F32, .. })));
+    }
+}

@@ -1,0 +1,278 @@
+//! Software simulation of narrow floating-point formats.
+//!
+//! The VM stores every floating value as `f64` and simulates `half`,
+//! `bfloat` and `float` variables by *rounding on assignment* (and after
+//! each arithmetic operation whose result precision is narrow). This is
+//! the standard mixed-precision simulation technique: the value set of
+//! each narrow format is a subset of `f64`'s, so "store into an `f32`
+//! variable" is exactly "round to the nearest `f32` and keep the result as
+//! `f64`".
+//!
+//! `f32` rounding uses the hardware conversion. `binary16` and `bfloat16`
+//! are implemented in software with IEEE 754 round-to-nearest-even,
+//! including overflow-to-infinity and subnormal handling.
+
+use chef_ir::types::FloatTy;
+
+/// Rounds `x` to the value set of `ty`, returning the result as `f64`.
+///
+/// This is the `fl_p(x)` operation of rounding-error analysis: the nearest
+/// representable number in precision `p` (ties to even), with overflow
+/// going to ±∞ like the hardware conversion would.
+#[inline]
+pub fn round_to(x: f64, ty: FloatTy) -> f64 {
+    match ty {
+        FloatTy::F64 => x,
+        FloatTy::F32 => x as f32 as f64,
+        FloatTy::F16 => f16_to_f64(f32_to_f16(x as f32)),
+        FloatTy::BF16 => bf16_to_f64(f32_to_bf16(x as f32)),
+    }
+}
+
+/// The representation (demotion) error `x − fl_p(x)`.
+///
+/// This is the per-variable quantity the ADAPT error model weighs with the
+/// adjoint: `x̄ · (x − (float)x)` (paper eq. 2, generalized to any target
+/// precision).
+#[inline]
+pub fn demotion_error(x: f64, ty: FloatTy) -> f64 {
+    x - round_to(x, ty)
+}
+
+/// Converts an `f32` to IEEE 754 binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN.
+        let man16 = if man != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | man16;
+    }
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7C00;
+    }
+    if e >= -14 {
+        // Normal range for f16.
+        let mut man16 = (man >> 13) as u16;
+        let rest = man & 0x1FFF;
+        // Round to nearest, ties to even.
+        if rest > 0x1000 || (rest == 0x1000 && (man16 & 1) == 1) {
+            man16 += 1;
+        }
+        let mut exp16 = (e + 15) as u16;
+        if man16 == 0x0400 {
+            // Mantissa overflowed into the exponent.
+            man16 = 0;
+            exp16 += 1;
+            if exp16 >= 0x1F {
+                return sign | 0x7C00;
+            }
+        }
+        return sign | (exp16 << 10) | man16;
+    }
+    if e >= -25 {
+        // Subnormal f16 (including the half-way band just below the
+        // smallest subnormal, which can round up to it): shift the
+        // (implicit-1-extended) mantissa right.
+        let full = man | 0x0080_0000; // implicit leading 1
+        let shift = (-14 - e) as u32 + 13;
+        let man16 = (full >> shift) as u16;
+        let rest = full & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut man16 = man16;
+        if rest > half || (rest == half && (man16 & 1) == 1) {
+            man16 += 1;
+        }
+        // A subnormal rounding up to 0x0400 becomes the smallest normal —
+        // the bit pattern works out because exp field 1 | mantissa 0.
+        return sign | man16;
+    }
+    // Underflow to zero (with sign).
+    sign
+}
+
+/// Converts IEEE 754 binary16 bits to `f64` (exact).
+pub fn f16_to_f64(h: u16) -> f64 {
+    let sign = if h & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let exp = ((h >> 10) & 0x1F) as i32;
+    let man = (h & 0x03FF) as f64;
+    match exp {
+        0 => sign * man * 2f64.powi(-24), // subnormal (or zero)
+        0x1F => {
+            if man == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+        _ => sign * (1.0 + man / 1024.0) * 2f64.powi(exp - 15),
+    }
+}
+
+/// Converts an `f32` to bfloat16 bits (round-to-nearest-even).
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Preserve NaN, force a quiet bit so truncation can't produce Inf.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let rest = bits & 0xFFFF;
+    let mut hi = (bits >> 16) as u16;
+    if rest > 0x8000 || (rest == 0x8000 && (hi & 1) == 1) {
+        hi = hi.wrapping_add(1); // may carry into exponent: correct (-> Inf)
+    }
+    hi
+}
+
+/// Converts bfloat16 bits to `f64` (exact: widen to f32 then f64).
+pub fn bf16_to_f64(b: u16) -> f64 {
+    f32::from_bits((b as u32) << 16) as f64
+}
+
+/// Unit-in-the-last-place of `x` in precision `ty` — the spacing of
+/// representable numbers around `x`. Used by error models that bound the
+/// rounding error of an operation by `ulp/2`.
+pub fn ulp(x: f64, ty: FloatTy) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return 0.0;
+    }
+    let e = x.abs().log2().floor() as i32;
+    2f64.powi(e - ty.mantissa_bits() as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_rounding_is_identity() {
+        for &x in &[0.0, 1.0, -3.7, 1e300, f64::MIN_POSITIVE] {
+            assert_eq!(round_to(x, FloatTy::F64), x);
+        }
+    }
+
+    #[test]
+    fn f32_rounding_matches_hardware() {
+        for &x in &[0.1, 1.0 / 3.0, 1e-40, 1e40, -2.5] {
+            assert_eq!(round_to(x, FloatTy::F32), x as f32 as f64);
+        }
+    }
+
+    #[test]
+    fn f16_exact_values_round_trip() {
+        // All f16-representable values must round to themselves.
+        for h in 0u16..=0xFFFF {
+            let x = f16_to_f64(h);
+            if x.is_nan() {
+                continue;
+            }
+            let back = f16_to_f64(f32_to_f16(x as f32));
+            assert_eq!(back, x, "h={h:#06x} x={x}");
+        }
+    }
+
+    #[test]
+    fn f16_rounding_known_values() {
+        assert_eq!(round_to(1.0, FloatTy::F16), 1.0);
+        assert_eq!(round_to(0.5, FloatTy::F16), 0.5);
+        // 1/3 rounds to 0.333251953125 in binary16 (0x3555).
+        assert_eq!(round_to(1.0 / 3.0, FloatTy::F16), f16_to_f64(0x3555));
+        // Largest finite f16 = 65504.
+        assert_eq!(round_to(65504.0, FloatTy::F16), 65504.0);
+        // 65520 rounds up to infinity.
+        assert_eq!(round_to(65520.0, FloatTy::F16), f64::INFINITY);
+        // Just below halfway stays finite.
+        assert_eq!(round_to(65519.9, FloatTy::F16), 65504.0);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let min_sub = 2f64.powi(-24);
+        assert_eq!(round_to(min_sub, FloatTy::F16), min_sub);
+        assert_eq!(round_to(min_sub * 0.49, FloatTy::F16), 0.0);
+        assert_eq!(round_to(min_sub * 0.51, FloatTy::F16), min_sub);
+        let min_normal = 2f64.powi(-14);
+        assert_eq!(round_to(min_normal, FloatTy::F16), min_normal);
+    }
+
+    #[test]
+    fn f16_signs_preserved() {
+        assert_eq!(round_to(-1.5, FloatTy::F16), -1.5);
+        assert!(round_to(-0.0, FloatTy::F16).is_sign_negative());
+        assert_eq!(round_to(-70000.0, FloatTy::F16), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bf16_exact_values_round_trip() {
+        for hi in 0u16..=0xFFFF {
+            let x = bf16_to_f64(hi);
+            if x.is_nan() {
+                continue;
+            }
+            let back = bf16_to_f64(f32_to_bf16(x as f32));
+            assert_eq!(back, x, "hi={hi:#06x}");
+        }
+    }
+
+    #[test]
+    fn bf16_keeps_f32_range() {
+        // bf16 has f32's exponent range: 1e38 stays finite.
+        assert!(round_to(1e38, FloatTy::BF16).is_finite());
+        assert_eq!(round_to(1e39, FloatTy::BF16), f64::INFINITY);
+    }
+
+    #[test]
+    fn bf16_coarser_than_f16_in_mantissa() {
+        let x = 1.0 + 1.0 / 512.0; // needs 9 mantissa bits
+        assert_eq!(round_to(x, FloatTy::F16), x); // f16 has 10, exact
+        assert_ne!(round_to(x, FloatTy::BF16), x); // bf16 has 7, rounds
+    }
+
+    #[test]
+    fn demotion_error_magnitudes() {
+        let x = 1.0 / 3.0;
+        let e32 = demotion_error(x, FloatTy::F32).abs();
+        let e16 = demotion_error(x, FloatTy::F16).abs();
+        assert!(e32 > 0.0 && e16 > e32);
+        assert!(e32 < FloatTy::F32.epsilon() * x * 1.01);
+        assert!(e16 < FloatTy::F16.epsilon() * x * 1.01);
+        assert_eq!(demotion_error(0.5, FloatTy::F16), 0.0);
+    }
+
+    #[test]
+    fn rounding_is_monotone_f16() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in -1000..=1000 {
+            let x = i as f64 * 0.037;
+            let r = round_to(x, FloatTy::F16);
+            assert!(r >= prev, "x={x}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn rounding_is_idempotent() {
+        for ty in FloatTy::ALL {
+            for i in -100..=100 {
+                let x = i as f64 * 0.317;
+                let once = round_to(x, ty);
+                assert_eq!(round_to(once, ty), once, "ty={ty} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn ulp_values() {
+        assert_eq!(ulp(1.0, FloatTy::F64), f64::EPSILON);
+        assert_eq!(ulp(1.0, FloatTy::F32), (f32::EPSILON) as f64);
+        assert_eq!(ulp(1.5, FloatTy::F32), (f32::EPSILON) as f64);
+        assert_eq!(ulp(2.0, FloatTy::F32), 2.0 * f32::EPSILON as f64);
+        assert_eq!(ulp(0.0, FloatTy::F16), 0.0);
+    }
+}

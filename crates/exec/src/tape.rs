@@ -1,0 +1,183 @@
+//! The runtime tape: the LIFO state-restoration stack of the adjoint.
+//!
+//! The forward sweep of a generated gradient pushes every to-be-overwritten
+//! value (`Push(out(Li))` in the paper's Fig. 2); the backward sweep pops
+//! them to restore the program state each adjoint statement needs. The tape
+//! is also where the **memory story** of the paper lives:
+//!
+//! * CHEF-FP pushes only TBR-selected values → small tape;
+//! * the ADAPT baseline records every elementary operation → large tape;
+//! * the figures' "ADAPT runs out of memory" points are reproduced with
+//!   [`Tape::with_limit`], which makes pushes fail past a byte budget.
+
+/// Why a tape operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TapeError {
+    /// The configured memory budget would be exceeded (the "OOM" of the
+    /// paper's Figs. 4 and 7).
+    OutOfMemory {
+        /// The configured limit in bytes.
+        limit_bytes: usize,
+    },
+    /// Pop on an empty tape — an unbalanced transformation (a bug in
+    /// generated code; surfaced loudly rather than silently).
+    Underflow,
+}
+
+impl std::fmt::Display for TapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TapeError::OutOfMemory { limit_bytes } => {
+                write!(f, "tape exceeded memory limit of {limit_bytes} bytes")
+            }
+            TapeError::Underflow => write!(f, "tape pop on empty tape"),
+        }
+    }
+}
+
+impl std::error::Error for TapeError {}
+
+/// A LIFO tape of `f64`/`i64` entries with peak-usage accounting.
+#[derive(Debug, Default)]
+pub struct Tape {
+    f: Vec<f64>,
+    i: Vec<i64>,
+    peak_entries: usize,
+    total_pushes: u64,
+    limit_bytes: Option<usize>,
+}
+
+impl Tape {
+    /// An unlimited tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// A tape that fails pushes beyond `limit_bytes` of live entries.
+    pub fn with_limit(limit_bytes: usize) -> Self {
+        Tape { limit_bytes: Some(limit_bytes), ..Tape::default() }
+    }
+
+    #[inline]
+    fn note_usage(&mut self) -> Result<(), TapeError> {
+        let entries = self.f.len() + self.i.len();
+        if entries > self.peak_entries {
+            self.peak_entries = entries;
+        }
+        if let Some(limit) = self.limit_bytes {
+            if entries * 8 > limit {
+                return Err(TapeError::OutOfMemory { limit_bytes: limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes a float entry.
+    #[inline]
+    pub fn push_f(&mut self, v: f64) -> Result<(), TapeError> {
+        self.f.push(v);
+        self.total_pushes += 1;
+        self.note_usage()
+    }
+
+    /// Pops a float entry.
+    #[inline]
+    pub fn pop_f(&mut self) -> Result<f64, TapeError> {
+        self.f.pop().ok_or(TapeError::Underflow)
+    }
+
+    /// Pushes an int entry (loop trip counts, branch flags).
+    #[inline]
+    pub fn push_i(&mut self, v: i64) -> Result<(), TapeError> {
+        self.i.push(v);
+        self.total_pushes += 1;
+        self.note_usage()
+    }
+
+    /// Pops an int entry.
+    #[inline]
+    pub fn pop_i(&mut self) -> Result<i64, TapeError> {
+        self.i.pop().ok_or(TapeError::Underflow)
+    }
+
+    /// Number of live entries (floats + ints).
+    pub fn len(&self) -> usize {
+        self.f.len() + self.i.len()
+    }
+
+    /// `true` when the tape holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of live entries over the tape's lifetime.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// High-water mark in bytes (8 bytes per entry).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_entries * 8
+    }
+
+    /// Total pushes ever performed (the *traffic*, distinct from the peak).
+    pub fn total_pushes(&self) -> u64 {
+        self.total_pushes
+    }
+
+    /// Clears live entries but keeps the peak statistics.
+    pub fn clear(&mut self) {
+        self.f.clear();
+        self.i.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut t = Tape::new();
+        t.push_f(1.0).unwrap();
+        t.push_f(2.0).unwrap();
+        assert_eq!(t.pop_f().unwrap(), 2.0);
+        assert_eq!(t.pop_f().unwrap(), 1.0);
+        assert_eq!(t.pop_f(), Err(TapeError::Underflow));
+    }
+
+    #[test]
+    fn int_and_float_stacks_are_independent() {
+        let mut t = Tape::new();
+        t.push_f(1.5).unwrap();
+        t.push_i(7).unwrap();
+        assert_eq!(t.pop_f().unwrap(), 1.5);
+        assert_eq!(t.pop_i().unwrap(), 7);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut t = Tape::new();
+        for k in 0..100 {
+            t.push_f(k as f64).unwrap();
+        }
+        for _ in 0..100 {
+            t.pop_f().unwrap();
+        }
+        for k in 0..10 {
+            t.push_i(k).unwrap();
+        }
+        assert_eq!(t.peak_entries(), 100);
+        assert_eq!(t.peak_bytes(), 800);
+        assert_eq!(t.total_pushes(), 110);
+    }
+
+    #[test]
+    fn limit_triggers_oom() {
+        let mut t = Tape::with_limit(64); // 8 entries
+        for k in 0..8 {
+            t.push_f(k as f64).unwrap();
+        }
+        assert_eq!(t.push_f(9.0), Err(TapeError::OutOfMemory { limit_bytes: 64 }));
+    }
+}

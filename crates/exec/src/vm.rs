@@ -1,0 +1,739 @@
+//! The register VM that executes compiled KernelC.
+//!
+//! One call = one function activation (user calls are inlined before
+//! compilation). The VM owns the runtime [`Tape`] and reports execution
+//! statistics — instruction count, tape peak, allocated array bytes — that
+//! the benchmark harness turns into the analysis-time and peak-memory
+//! series of the paper's Figs. 4–8.
+
+use crate::bytecode::*;
+use crate::intrinsics::{eval1, eval2, ApproxConfig};
+use crate::precision::round_to;
+use crate::tape::{Tape, TapeError};
+use crate::value::{ArgValue, Value};
+use chef_ir::span::Span;
+use chef_ir::types::FloatTy;
+
+/// Runtime execution options.
+#[derive(Clone, Debug, Default)]
+pub struct ExecOptions {
+    /// Approximate-intrinsics configuration (the FastApprox relink).
+    pub approx: ApproxConfig,
+    /// Tape memory budget in bytes; exceeding it traps with
+    /// [`TrapKind::Tape`] — this reproduces the ADAPT out-of-memory points
+    /// in the paper's figures.
+    pub tape_limit: Option<usize>,
+    /// Safety valve for tests: trap after this many instructions.
+    pub max_instrs: Option<u64>,
+}
+
+/// Why execution trapped.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrapKind {
+    /// Tape failure (out of memory / underflow).
+    Tape(TapeError),
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Array access out of bounds.
+    OobIndex {
+        /// The offending index.
+        idx: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// Negative length in a local array allocation.
+    NegativeArrayLen(i64),
+    /// Control reached the end of a non-void function.
+    MissingReturn,
+    /// The [`ExecOptions::max_instrs`] budget was exhausted.
+    InstrBudgetExhausted,
+    /// Argument count/kind mismatch at call entry.
+    BadArguments(String),
+}
+
+/// A trap with its program location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trap {
+    /// What went wrong.
+    pub kind: TrapKind,
+    /// Instruction index.
+    pub pc: usize,
+    /// Source span of the trapping instruction.
+    pub span: Span,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trap at pc {}: {:?}", self.pc, self.kind)
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Execution statistics for one call.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub instrs_executed: u64,
+    /// Tape high-water mark in bytes.
+    pub tape_peak_bytes: usize,
+    /// Total tape pushes (traffic).
+    pub tape_total_pushes: u64,
+    /// Bytes allocated for local arrays (sum over allocations).
+    pub local_array_bytes: usize,
+    /// Bytes of array arguments passed in.
+    pub arg_array_bytes: usize,
+}
+
+impl ExecStats {
+    /// Peak working-set estimate: argument arrays + local arrays + tape
+    /// peak. This is the "Memory (MB)" series of Figs. 4–8.
+    pub fn peak_memory_bytes(&self) -> usize {
+        self.arg_array_bytes + self.local_array_bytes + self.tape_peak_bytes
+    }
+}
+
+/// The result of a successful call.
+#[derive(Clone, Debug)]
+pub struct CallOutcome {
+    /// Return value, if the function returns one.
+    pub ret: Option<Value>,
+    /// The argument vector with by-ref scalars updated and arrays moved
+    /// back (same order as passed in).
+    pub args: Vec<ArgValue>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+impl CallOutcome {
+    /// The float return value; panics if the function did not return one.
+    pub fn ret_f(&self) -> f64 {
+        self.ret.expect("function returned no value").as_f()
+    }
+}
+
+enum ArraySlot {
+    Empty,
+    F(Vec<f64>),
+    I(Vec<i64>),
+}
+
+/// Runs `func` on `args` with default options.
+pub fn run(func: &CompiledFunction, args: Vec<ArgValue>) -> Result<CallOutcome, Trap> {
+    run_with(func, args, &ExecOptions::default())
+}
+
+/// Runs `func` on `args` under `opts`.
+pub fn run_with(
+    func: &CompiledFunction,
+    args: Vec<ArgValue>,
+    opts: &ExecOptions,
+) -> Result<CallOutcome, Trap> {
+    Machine::new(func, opts).run(args)
+}
+
+struct Machine<'a> {
+    func: &'a CompiledFunction,
+    opts: &'a ExecOptions,
+    f: Vec<f64>,
+    i: Vec<i64>,
+    a: Vec<ArraySlot>,
+    tape: Tape,
+    stats: ExecStats,
+}
+
+impl<'a> Machine<'a> {
+    fn new(func: &'a CompiledFunction, opts: &'a ExecOptions) -> Self {
+        let tape = match opts.tape_limit {
+            Some(limit) => Tape::with_limit(limit),
+            None => Tape::new(),
+        };
+        Machine {
+            func,
+            opts,
+            f: vec![0.0; func.n_fregs as usize],
+            i: vec![0; func.n_iregs as usize],
+            a: (0..func.n_aregs).map(|_| ArraySlot::Empty).collect(),
+            tape,
+            stats: ExecStats::default(),
+        }
+    }
+
+    fn trap(&self, kind: TrapKind, pc: usize) -> Trap {
+        let span = self.func.spans.get(pc).copied().unwrap_or(Span::DUMMY);
+        Trap { kind, pc, span }
+    }
+
+    fn bind_args(&mut self, args: Vec<ArgValue>) -> Result<(), Trap> {
+        if args.len() != self.func.params.len() {
+            return Err(self.trap(
+                TrapKind::BadArguments(format!(
+                    "expected {} arguments, got {}",
+                    self.func.params.len(),
+                    args.len()
+                )),
+                0,
+            ));
+        }
+        for (spec, arg) in self.func.params.iter().zip(args) {
+            match (spec.kind, arg) {
+                (ParamKind::F(prec), ArgValue::F(v)) => {
+                    self.f[spec.reg as usize] = round_to(v, prec);
+                }
+                (ParamKind::F(prec), ArgValue::I(v)) => {
+                    self.f[spec.reg as usize] = round_to(v as f64, prec);
+                }
+                (ParamKind::I, ArgValue::I(v)) => {
+                    self.i[spec.reg as usize] = v;
+                }
+                (ParamKind::B, ArgValue::B(v)) => {
+                    self.i[spec.reg as usize] = v as i64;
+                }
+                (ParamKind::FArr(prec), ArgValue::FArr(mut v)) => {
+                    self.stats.arg_array_bytes += v.len() * 8;
+                    if prec != FloatTy::F64 {
+                        for x in &mut v {
+                            *x = round_to(*x, prec);
+                        }
+                    }
+                    self.a[spec.reg as usize] = ArraySlot::F(v);
+                }
+                (ParamKind::IArr, ArgValue::IArr(v)) => {
+                    self.stats.arg_array_bytes += v.len() * 8;
+                    self.a[spec.reg as usize] = ArraySlot::I(v);
+                }
+                (kind, got) => {
+                    return Err(self.trap(
+                        TrapKind::BadArguments(format!(
+                            "parameter `{}` expects {kind:?}, got {got:?}",
+                            spec.name
+                        )),
+                        0,
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn unbind_args(&mut self) -> Vec<ArgValue> {
+        let mut out = Vec::with_capacity(self.func.params.len());
+        for spec in &self.func.params {
+            let v = match spec.kind {
+                ParamKind::F(_) => ArgValue::F(self.f[spec.reg as usize]),
+                ParamKind::I => ArgValue::I(self.i[spec.reg as usize]),
+                ParamKind::B => ArgValue::B(self.i[spec.reg as usize] != 0),
+                ParamKind::FArr(_) => {
+                    match std::mem::replace(&mut self.a[spec.reg as usize], ArraySlot::Empty) {
+                        ArraySlot::F(v) => ArgValue::FArr(v),
+                        _ => ArgValue::FArr(Vec::new()),
+                    }
+                }
+                ParamKind::IArr => {
+                    match std::mem::replace(&mut self.a[spec.reg as usize], ArraySlot::Empty) {
+                        ArraySlot::I(v) => ArgValue::IArr(v),
+                        _ => ArgValue::IArr(Vec::new()),
+                    }
+                }
+            };
+            out.push(v);
+        }
+        out
+    }
+
+    fn run(mut self, args: Vec<ArgValue>) -> Result<CallOutcome, Trap> {
+        self.bind_args(args)?;
+        let instrs = &self.func.instrs;
+        let approx = &self.opts.approx;
+        let mut pc: usize = 0;
+        let ret: Option<Value> = loop {
+            if pc >= instrs.len() {
+                break None; // treated like RetVoid for robustness
+            }
+            self.stats.instrs_executed += 1;
+            if let Some(budget) = self.opts.max_instrs {
+                if self.stats.instrs_executed > budget {
+                    return Err(self.trap(TrapKind::InstrBudgetExhausted, pc));
+                }
+            }
+            match &instrs[pc] {
+                Instr::FConst { dst, v } => self.f[dst.0 as usize] = *v,
+                Instr::FMov { dst, src } => self.f[dst.0 as usize] = self.f[src.0 as usize],
+                Instr::FAdd { dst, a, b } => {
+                    self.f[dst.0 as usize] = self.f[a.0 as usize] + self.f[b.0 as usize]
+                }
+                Instr::FSub { dst, a, b } => {
+                    self.f[dst.0 as usize] = self.f[a.0 as usize] - self.f[b.0 as usize]
+                }
+                Instr::FMul { dst, a, b } => {
+                    self.f[dst.0 as usize] = self.f[a.0 as usize] * self.f[b.0 as usize]
+                }
+                Instr::FDiv { dst, a, b } => {
+                    self.f[dst.0 as usize] = self.f[a.0 as usize] / self.f[b.0 as usize]
+                }
+                Instr::FNeg { dst, src } => self.f[dst.0 as usize] = -self.f[src.0 as usize],
+                Instr::FRound { dst, src, ty } => {
+                    self.f[dst.0 as usize] = round_to(self.f[src.0 as usize], *ty)
+                }
+                Instr::FIntr1 { dst, intr, a } => {
+                    self.f[dst.0 as usize] = eval1(*intr, self.f[a.0 as usize], approx)
+                }
+                Instr::FIntr2 { dst, intr, a, b } => {
+                    self.f[dst.0 as usize] =
+                        eval2(*intr, self.f[a.0 as usize], self.f[b.0 as usize], approx)
+                }
+                Instr::FCmp { dst, op, a, b } => {
+                    let (x, y) = (self.f[a.0 as usize], self.f[b.0 as usize]);
+                    self.i[dst.0 as usize] = fcmp(*op, x, y) as i64;
+                }
+                Instr::FLoad { dst, arr, idx } => {
+                    let i = self.i[idx.0 as usize];
+                    let v = self.farr(arr.0, i, pc)?;
+                    self.f[dst.0 as usize] = v;
+                }
+                Instr::FStore { arr, idx, src } => {
+                    let i = self.i[idx.0 as usize];
+                    let v = self.f[src.0 as usize];
+                    self.farr_store(arr.0, i, v, pc)?;
+                }
+                Instr::F2I { dst, src } => {
+                    self.i[dst.0 as usize] = self.f[src.0 as usize] as i64
+                }
+                Instr::I2F { dst, src } => {
+                    self.f[dst.0 as usize] = self.i[src.0 as usize] as f64
+                }
+
+                Instr::IConst { dst, v } => self.i[dst.0 as usize] = *v,
+                Instr::IMov { dst, src } => self.i[dst.0 as usize] = self.i[src.0 as usize],
+                Instr::IAdd { dst, a, b } => {
+                    self.i[dst.0 as usize] =
+                        self.i[a.0 as usize].wrapping_add(self.i[b.0 as usize])
+                }
+                Instr::ISub { dst, a, b } => {
+                    self.i[dst.0 as usize] =
+                        self.i[a.0 as usize].wrapping_sub(self.i[b.0 as usize])
+                }
+                Instr::IMul { dst, a, b } => {
+                    self.i[dst.0 as usize] =
+                        self.i[a.0 as usize].wrapping_mul(self.i[b.0 as usize])
+                }
+                Instr::IDiv { dst, a, b } => {
+                    let d = self.i[b.0 as usize];
+                    if d == 0 {
+                        return Err(self.trap(TrapKind::DivByZero, pc));
+                    }
+                    self.i[dst.0 as usize] = self.i[a.0 as usize].wrapping_div(d);
+                }
+                Instr::IRem { dst, a, b } => {
+                    let d = self.i[b.0 as usize];
+                    if d == 0 {
+                        return Err(self.trap(TrapKind::DivByZero, pc));
+                    }
+                    self.i[dst.0 as usize] = self.i[a.0 as usize].wrapping_rem(d);
+                }
+                Instr::INeg { dst, src } => {
+                    self.i[dst.0 as usize] = self.i[src.0 as usize].wrapping_neg()
+                }
+                Instr::ICmp { dst, op, a, b } => {
+                    let (x, y) = (self.i[a.0 as usize], self.i[b.0 as usize]);
+                    self.i[dst.0 as usize] = icmp(*op, x, y) as i64;
+                }
+                Instr::ILoad { dst, arr, idx } => {
+                    let i = self.i[idx.0 as usize];
+                    let v = self.iarr(arr.0, i, pc)?;
+                    self.i[dst.0 as usize] = v;
+                }
+                Instr::IStore { arr, idx, src } => {
+                    let i = self.i[idx.0 as usize];
+                    let v = self.i[src.0 as usize];
+                    self.iarr_store(arr.0, i, v, pc)?;
+                }
+                Instr::BNot { dst, src } => {
+                    self.i[dst.0 as usize] = (self.i[src.0 as usize] == 0) as i64
+                }
+
+                Instr::Jmp { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Instr::JmpIfFalse { cond, target } => {
+                    if self.i[cond.0 as usize] == 0 {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Instr::JmpIfTrue { cond, target } => {
+                    if self.i[cond.0 as usize] != 0 {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+
+                Instr::TPushF { src } => {
+                    let v = self.f[src.0 as usize];
+                    if let Err(e) = self.tape.push_f(v) {
+                        return Err(self.trap(TrapKind::Tape(e), pc));
+                    }
+                }
+                Instr::TPopF { dst } => match self.tape.pop_f() {
+                    Ok(v) => self.f[dst.0 as usize] = v,
+                    Err(e) => return Err(self.trap(TrapKind::Tape(e), pc)),
+                },
+                Instr::TPushI { src } => {
+                    let v = self.i[src.0 as usize];
+                    if let Err(e) = self.tape.push_i(v) {
+                        return Err(self.trap(TrapKind::Tape(e), pc));
+                    }
+                }
+                Instr::TPopI { dst } => match self.tape.pop_i() {
+                    Ok(v) => self.i[dst.0 as usize] = v,
+                    Err(e) => return Err(self.trap(TrapKind::Tape(e), pc)),
+                },
+
+                Instr::AllocF { arr, len } => {
+                    let n = self.i[len.0 as usize];
+                    if n < 0 {
+                        return Err(self.trap(TrapKind::NegativeArrayLen(n), pc));
+                    }
+                    self.stats.local_array_bytes += n as usize * 8;
+                    self.a[arr.0 as usize] = ArraySlot::F(vec![0.0; n as usize]);
+                }
+                Instr::AllocI { arr, len } => {
+                    let n = self.i[len.0 as usize];
+                    if n < 0 {
+                        return Err(self.trap(TrapKind::NegativeArrayLen(n), pc));
+                    }
+                    self.stats.local_array_bytes += n as usize * 8;
+                    self.a[arr.0 as usize] = ArraySlot::I(vec![0; n as usize]);
+                }
+
+                Instr::RetF { src } => {
+                    let v = self.f[src.0 as usize];
+                    let v = match self.func.ret {
+                        RetKind::F(ft) => round_to(v, ft),
+                        _ => v,
+                    };
+                    break Some(Value::F(v));
+                }
+                Instr::RetI { src } => break Some(Value::I(self.i[src.0 as usize])),
+                Instr::RetB { src } => break Some(Value::B(self.i[src.0 as usize] != 0)),
+                Instr::RetVoid => break None,
+                Instr::TrapMissingReturn => {
+                    return Err(self.trap(TrapKind::MissingReturn, pc))
+                }
+            }
+            pc += 1;
+        };
+        self.stats.tape_peak_bytes = self.tape.peak_bytes();
+        self.stats.tape_total_pushes = self.tape.total_pushes();
+        let args = self.unbind_args();
+        Ok(CallOutcome { ret, args, stats: self.stats })
+    }
+
+    #[inline]
+    fn farr(&self, arr: u32, idx: i64, pc: usize) -> Result<f64, Trap> {
+        match &self.a[arr as usize] {
+            ArraySlot::F(v) => {
+                if idx < 0 || idx as usize >= v.len() {
+                    Err(self.trap(TrapKind::OobIndex { idx, len: v.len() }, pc))
+                } else {
+                    Ok(v[idx as usize])
+                }
+            }
+            _ => Err(self.trap(TrapKind::OobIndex { idx, len: 0 }, pc)),
+        }
+    }
+
+    #[inline]
+    fn farr_store(&mut self, arr: u32, idx: i64, v: f64, pc: usize) -> Result<(), Trap> {
+        match &mut self.a[arr as usize] {
+            ArraySlot::F(vec) => {
+                if idx < 0 || idx as usize >= vec.len() {
+                    let len = vec.len();
+                    Err(self.trap(TrapKind::OobIndex { idx, len }, pc))
+                } else {
+                    vec[idx as usize] = v;
+                    Ok(())
+                }
+            }
+            _ => Err(self.trap(TrapKind::OobIndex { idx, len: 0 }, pc)),
+        }
+    }
+
+    #[inline]
+    fn iarr(&self, arr: u32, idx: i64, pc: usize) -> Result<i64, Trap> {
+        match &self.a[arr as usize] {
+            ArraySlot::I(v) => {
+                if idx < 0 || idx as usize >= v.len() {
+                    Err(self.trap(TrapKind::OobIndex { idx, len: v.len() }, pc))
+                } else {
+                    Ok(v[idx as usize])
+                }
+            }
+            _ => Err(self.trap(TrapKind::OobIndex { idx, len: 0 }, pc)),
+        }
+    }
+
+    #[inline]
+    fn iarr_store(&mut self, arr: u32, idx: i64, v: i64, pc: usize) -> Result<(), Trap> {
+        match &mut self.a[arr as usize] {
+            ArraySlot::I(vec) => {
+                if idx < 0 || idx as usize >= vec.len() {
+                    let len = vec.len();
+                    Err(self.trap(TrapKind::OobIndex { idx, len }, pc))
+                } else {
+                    vec[idx as usize] = v;
+                    Ok(())
+                }
+            }
+            _ => Err(self.trap(TrapKind::OobIndex { idx, len: 0 }, pc)),
+        }
+    }
+}
+
+#[inline]
+fn fcmp(op: CmpOp, x: f64, y: f64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+#[inline]
+fn icmp(op: CmpOp, x: i64, y: i64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, compile_default, CompileOptions, PrecisionMap};
+    use chef_ir::ast::VarId;
+    use chef_ir::parser::parse_program;
+    use chef_ir::typeck::check_program;
+
+    fn run_src(src: &str, args: Vec<ArgValue>) -> CallOutcome {
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        run(&f, args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let out = run_src(
+            "double f(double x, double y) { return x * y + 1.0; }",
+            vec![ArgValue::F(3.0), ArgValue::F(4.0)],
+        );
+        assert_eq!(out.ret_f(), 13.0);
+    }
+
+    #[test]
+    fn listing1_float_addition_rounds() {
+        // The paper's Listing 1: z = x + y in float.
+        let out = run_src(
+            "float func(float x, float y) { float z; z = x + y; return z; }",
+            vec![ArgValue::F(1.95e-5), ArgValue::F(1.37e-7)],
+        );
+        let exact = 1.95e-5f64 + 1.37e-7f64;
+        let f32_result = (1.95e-5f32 + 1.37e-7f32) as f64;
+        assert_eq!(out.ret_f(), f32_result);
+        assert_ne!(out.ret_f(), exact);
+    }
+
+    #[test]
+    fn loops_compute_sums() {
+        let out = run_src(
+            "double f(int n) { double s = 0.0; for (int i = 1; i <= n; i++) { s += i; } return s; }",
+            vec![ArgValue::I(100)],
+        );
+        assert_eq!(out.ret_f(), 5050.0);
+    }
+
+    #[test]
+    fn while_loop_and_division() {
+        let out = run_src(
+            "int f(int n) { int c = 0; while (n > 1) { if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; } c++; } return c; }",
+            vec![ArgValue::I(27)],
+        );
+        assert_eq!(out.ret.unwrap().as_i(), 111); // Collatz steps for 27
+    }
+
+    #[test]
+    fn by_ref_scalars_are_written_back() {
+        let out = run_src(
+            "void f(double x, double &out) { out = x * 2.0; }",
+            vec![ArgValue::F(21.0), ArgValue::F(0.0)],
+        );
+        assert_eq!(out.args[1], ArgValue::F(42.0));
+    }
+
+    #[test]
+    fn arrays_in_and_out() {
+        let out = run_src(
+            "void scale(double a[], int n, double k) { for (int i = 0; i < n; i++) { a[i] *= k; } }",
+            vec![ArgValue::FArr(vec![1.0, 2.0, 3.0]), ArgValue::I(3), ArgValue::F(2.0)],
+        );
+        assert_eq!(out.args[0].as_farr(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn local_arrays_work() {
+        let out = run_src(
+            "double f(int n) { double r[n]; for (int i = 0; i < n; i++) { r[i] = i * 1.0; } double s = 0.0; for (int i = 0; i < n; i++) { s += r[i]; } return s; }",
+            vec![ArgValue::I(10)],
+        );
+        assert_eq!(out.ret_f(), 45.0);
+        assert_eq!(out.stats.local_array_bytes, 80);
+    }
+
+    #[test]
+    fn oob_access_traps() {
+        let mut p = parse_program("double f(double a[]) { return a[5]; }").unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let err = run(&f, vec![ArgValue::FArr(vec![1.0, 2.0])]).unwrap_err();
+        assert_eq!(err.kind, TrapKind::OobIndex { idx: 5, len: 2 });
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut p = parse_program("int f(int n) { return 1 / n; }").unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let err = run(&f, vec![ArgValue::I(0)]).unwrap_err();
+        assert_eq!(err.kind, TrapKind::DivByZero);
+        // Float division by zero is IEEE: no trap.
+        let out = run_src("double f(double x) { return 1.0 / x; }", vec![ArgValue::F(0.0)]);
+        assert_eq!(out.ret_f(), f64::INFINITY);
+    }
+
+    #[test]
+    fn missing_return_traps() {
+        let mut p = parse_program("double f(double x) { x = x + 1.0; }").unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let err = run(&f, vec![ArgValue::F(0.0)]).unwrap_err();
+        assert_eq!(err.kind, TrapKind::MissingReturn);
+    }
+
+    #[test]
+    fn instr_budget_stops_infinite_loop() {
+        let mut p = parse_program("void f() { while (true) { } }").unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let opts = ExecOptions { max_instrs: Some(10_000), ..Default::default() };
+        let err = run_with(&f, vec![], &opts).unwrap_err();
+        assert_eq!(err.kind, TrapKind::InstrBudgetExhausted);
+    }
+
+    #[test]
+    fn intrinsics_evaluate() {
+        let out = run_src(
+            "double f(double x) { return sqrt(x) + pow(x, 2.0) + fabs(-x); }",
+            vec![ArgValue::F(4.0)],
+        );
+        assert_eq!(out.ret_f(), 2.0 + 16.0 + 4.0);
+    }
+
+    #[test]
+    fn approx_config_changes_results() {
+        let mut p = parse_program("double f(double x) { return exp(x); }").unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let exact = run(&f, vec![ArgValue::F(1.0)]).unwrap().ret_f();
+        let opts = ExecOptions {
+            approx: ApproxConfig::exact()
+                .with("exp", fastapprox::registry::Grade::Fast),
+            ..Default::default()
+        };
+        let approx = run_with(&f, vec![ArgValue::F(1.0)], &opts).unwrap().ret_f();
+        assert_ne!(exact, approx);
+        assert!((exact - approx).abs() < 1e-3);
+    }
+
+    #[test]
+    fn demoted_param_rounds_on_entry() {
+        let mut p = parse_program("double f(double x) { return x; }").unwrap();
+        check_program(&mut p).unwrap();
+        let opts = CompileOptions {
+            precisions: PrecisionMap::empty().with(VarId(0), chef_ir::types::FloatTy::F32),
+        };
+        let f = compile(&p.functions[0], &opts).unwrap();
+        let x = 1.0 / 3.0;
+        let out = run(&f, vec![ArgValue::F(x)]).unwrap();
+        assert_eq!(out.ret_f(), x as f32 as f64);
+    }
+
+    #[test]
+    fn demoted_array_param_rounds_elements() {
+        let mut p =
+            parse_program("double f(double a[]) { return a[0] + a[1]; }").unwrap();
+        check_program(&mut p).unwrap();
+        let opts = CompileOptions {
+            precisions: PrecisionMap::empty().with(VarId(0), chef_ir::types::FloatTy::F32),
+        };
+        let f = compile(&p.functions[0], &opts).unwrap();
+        let (x, y) = (1.0 / 3.0, 2.0 / 7.0);
+        let out = run(&f, vec![ArgValue::FArr(vec![x, y])]).unwrap();
+        assert_eq!(out.ret_f(), (x as f32 as f64) + (y as f32 as f64));
+    }
+
+    #[test]
+    fn tape_ops_round_trip_through_vm() {
+        use chef_ir::ast::{Expr, LValue, Stmt, StmtKind, VarRef};
+        // Hand-build: void f(double &x) { push x; x = 0; pop x; }
+        let mut p = parse_program("void f(double &x) { x = 0.0; }").unwrap();
+        check_program(&mut p).unwrap();
+        let func = &mut p.functions[0];
+        let xref = VarRef::resolved("x", VarId(0));
+        let push = Stmt::synth(StmtKind::TapePush(Expr::var(
+            "x",
+            VarId(0),
+            chef_ir::types::Type::Float(chef_ir::types::FloatTy::F64),
+        )));
+        let pop = Stmt::synth(StmtKind::TapePop(LValue::Var(xref)));
+        func.body.stmts.insert(0, push);
+        func.body.stmts.push(pop);
+        let f = compile_default(func).unwrap();
+        let out = run(&f, vec![ArgValue::F(7.5)]).unwrap();
+        assert_eq!(out.args[0], ArgValue::F(7.5)); // restored by pop
+        assert_eq!(out.stats.tape_total_pushes, 1);
+        assert_eq!(out.stats.tape_peak_bytes, 8);
+    }
+
+    #[test]
+    fn tape_limit_reproduces_oom() {
+        use chef_ir::ast::{Expr, Stmt, StmtKind};
+        let mut p = parse_program(
+            "void f(int n) { for (int i = 0; i < n; i++) { double t = 1.0; t = 2.0; } }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        let func = &mut p.functions[0];
+        // Add a tape push inside the loop body.
+        let push = Stmt::synth(StmtKind::TapePush(Expr::flit(1.0)));
+        match &mut func.body.stmts[0].kind {
+            StmtKind::For { body, .. } => body.stmts.push(push),
+            _ => unreachable!(),
+        }
+        let f = compile_default(func).unwrap();
+        let opts = ExecOptions { tape_limit: Some(1024), ..Default::default() };
+        // 100 pushes fit easily.
+        assert!(run_with(&f, vec![ArgValue::I(100)], &opts).is_ok());
+        // A million pushes exceed 1 KiB.
+        let err = run_with(&f, vec![ArgValue::I(1_000_000)], &opts).unwrap_err();
+        assert!(matches!(err.kind, TrapKind::Tape(TapeError::OutOfMemory { .. })));
+    }
+}

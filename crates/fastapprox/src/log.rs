@@ -1,0 +1,102 @@
+//! Approximate binary and natural logarithms.
+//!
+//! The `fast*` variants decompose the IEEE 754 representation into
+//! exponent and mantissa and correct the mantissa's contribution with a
+//! small rational function; the `faster*` variants read the entire float
+//! representation as an integer — the classic "logarithm is the exponent
+//! field" trick.
+
+/// ln(2), used to convert between log2 and ln.
+const LN2: f32 = 0.693_147_18;
+
+/// Approximate `log2(x)` — Mineiro's `fastlog2`.
+///
+/// Accurate to roughly `±3e-4` relative over normal positive inputs.
+/// Negative inputs and zero produce meaningless values (like the C
+/// original, no domain checking is performed).
+#[inline]
+pub fn fastlog2(x: f32) -> f32 {
+    let vx = x.to_bits();
+    let mx = f32::from_bits((vx & 0x007F_FFFF) | 0x3f00_0000);
+    let y = vx as f32 * 1.192_092_9e-7;
+    y - 124.225_52 - 1.498_030_3 * mx - 1.725_88 / (0.352_088_72 + mx)
+}
+
+/// Crude `log2(x)` — Mineiro's `fasterlog2` (exponent-field read).
+///
+/// Error up to a few percent; the "fast math at any cost" grade.
+#[inline]
+pub fn fasterlog2(x: f32) -> f32 {
+    x.to_bits() as f32 * 1.192_092_9e-7 - 126.942_695
+}
+
+/// Approximate natural logarithm via [`fastlog2`].
+#[inline]
+pub fn fastlog(x: f32) -> f32 {
+    LN2 * fastlog2(x)
+}
+
+/// Crude natural logarithm via [`fasterlog2`].
+#[inline]
+pub fn fasterlog(x: f32) -> f32 {
+    LN2 * fasterlog2(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(approx: f32, exact: f32) -> f32 {
+        ((approx - exact) / exact).abs()
+    }
+
+    #[test]
+    fn fastlog2_accuracy_over_decades() {
+        for e in -20..20 {
+            let x = 2.0f32.powi(e) * 1.37;
+            let exact = x.log2();
+            assert!(
+                (fastlog2(x) - exact).abs() < 2e-4 * exact.abs().max(1.0),
+                "x={x}: {} vs {exact}",
+                fastlog2(x)
+            );
+        }
+    }
+
+    #[test]
+    fn fastlog2_exact_at_powers_of_two_scale() {
+        // Not bit-exact, but very close at powers of two.
+        assert!((fastlog2(1.0) - 0.0).abs() < 1e-3);
+        assert!((fastlog2(2.0) - 1.0).abs() < 1e-3);
+        assert!((fastlog2(1024.0) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fasterlog2_percent_level() {
+        for e in [-10i32, -3, 0, 3, 10] {
+            let x = 2.0f32.powi(e) * 1.61;
+            assert!((fasterlog2(x) - x.log2()).abs() < 0.1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fastlog_matches_ln() {
+        for &x in &[0.01f32, 0.5, 1.0, 2.718_281_7, 100.0, 1e6] {
+            assert!(rel_err(fastlog(x), x.ln()).min((fastlog(x) - x.ln()).abs()) < 2e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fast_grades_order() {
+        // fastlog should be closer to ln than fasterlog (generically).
+        let mut fast_worse = 0;
+        for i in 1..200 {
+            let x = i as f32 * 0.37;
+            let exact = x.ln();
+            if (fastlog(x) - exact).abs() > (fasterlog(x) - exact).abs() {
+                fast_worse += 1;
+            }
+        }
+        assert!(fast_worse < 20, "fastlog worse than fasterlog on {fast_worse}/199 points");
+    }
+}

@@ -1,0 +1,46 @@
+//! Approximate `x^p` as `2^(p·log2 x)`.
+
+use crate::exp::fastpow2;
+use crate::log::fastlog2;
+
+/// Approximate `x^p` — Mineiro's `fastpow`.
+///
+/// Valid for `x > 0`; error compounds from [`fastlog2`] and [`fastpow2`],
+/// typically below `1e-3` relative for moderate `p`.
+#[inline]
+pub fn fastpow(x: f32, p: f32) -> f32 {
+    fastpow2(p * fastlog2(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(approx: f32, exact: f32) -> f32 {
+        ((approx - exact) / exact).abs()
+    }
+
+    #[test]
+    fn fastpow_matches_powf() {
+        for &(x, p) in
+            &[(2.0f32, 3.0f32), (10.0, 0.5), (0.37, 2.2), (100.0, -1.5), (1.0, 7.0), (5.5, 0.0)]
+        {
+            assert!(rel_err(fastpow(x, p), x.powf(p)) < 2e-3, "x={x} p={p}");
+        }
+    }
+
+    #[test]
+    fn fastpow_square_root_special_case() {
+        for i in 1..100 {
+            let x = i as f32 * 0.73;
+            assert!(rel_err(fastpow(x, 0.5), x.sqrt()) < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fastpow_identity_exponent() {
+        for &x in &[0.1f32, 1.0, 42.0] {
+            assert!(rel_err(fastpow(x, 1.0), x) < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Exact/approximate implementation pairs, keyed by intrinsic name.
+//!
+//! The paper's Algorithm 2 needs, for a variable feeding a function call,
+//! `EVAL(fName, x) − EVALAPPROX(fName, x)` — the pointwise gap between the
+//! standard math function and its FastApprox replacement. This registry is
+//! that lookup table, shared by:
+//!
+//! * the KernelC VM (`chef-exec`), which consults it when a kernel is
+//!   executed in "approximate intrinsics" mode, and
+//! * the approximation error model (`chef-core`), which consults it to
+//!   synthesize the `Δ = f(x) − f̃(x)` term.
+
+use crate::wide;
+
+/// A unary real function usable as an intrinsic implementation.
+pub type UnaryFn = fn(f64) -> f64;
+
+/// One exact/approximate pair for a named unary intrinsic.
+#[derive(Clone, Copy)]
+pub struct ApproxEntry {
+    /// Intrinsic name as it appears in KernelC source (e.g. `"exp"`).
+    pub name: &'static str,
+    /// The exact (standard library) implementation.
+    pub exact: UnaryFn,
+    /// The `fast*` grade approximation.
+    pub fast: UnaryFn,
+    /// The `faster*` grade approximation (falls back to `fast` where the
+    /// original library has no coarser variant).
+    pub faster: UnaryFn,
+}
+
+/// Accuracy grade to select from an [`ApproxEntry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Grade {
+    /// The `fast*` functions (~1e-4 relative error).
+    #[default]
+    Fast,
+    /// The `faster*` functions (~1e-2 relative error).
+    Faster,
+}
+
+fn exact_exp(x: f64) -> f64 {
+    x.exp()
+}
+fn exact_log(x: f64) -> f64 {
+    x.ln()
+}
+fn exact_sqrt(x: f64) -> f64 {
+    x.sqrt()
+}
+fn exact_tanh(x: f64) -> f64 {
+    x.tanh()
+}
+fn exact_erf(x: f64) -> f64 {
+    crate::erf::erf64(x)
+}
+fn exact_erfc(x: f64) -> f64 {
+    crate::erf::erfc64(x)
+}
+fn exact_normcdf(x: f64) -> f64 {
+    crate::erf::normcdf64(x)
+}
+
+/// All unary intrinsics with FastApprox replacements.
+pub const ENTRIES: &[ApproxEntry] = &[
+    ApproxEntry {
+        name: "exp",
+        exact: exact_exp,
+        fast: wide::fastexp64,
+        faster: wide::fasterexp64,
+    },
+    ApproxEntry {
+        name: "log",
+        exact: exact_log,
+        fast: wide::fastlog64,
+        faster: wide::fasterlog64,
+    },
+    ApproxEntry {
+        name: "sqrt",
+        exact: exact_sqrt,
+        fast: wide::fastsqrt64,
+        faster: wide::fastsqrt64,
+    },
+    ApproxEntry {
+        name: "tanh",
+        exact: exact_tanh,
+        fast: wide::fasttanh64,
+        faster: wide::fasttanh64,
+    },
+    ApproxEntry { name: "erf", exact: exact_erf, fast: wide::fasterf64, faster: wide::fasterf64 },
+    ApproxEntry {
+        name: "erfc",
+        exact: exact_erfc,
+        fast: wide::fasterfc64,
+        faster: wide::fasterfc64,
+    },
+    ApproxEntry {
+        name: "normcdf",
+        exact: exact_normcdf,
+        fast: wide::fastnormcdf64,
+        faster: wide::fastnormcdf64,
+    },
+];
+
+/// Looks up the entry for an intrinsic name, if it has an approximation.
+pub fn lookup(name: &str) -> Option<&'static ApproxEntry> {
+    ENTRIES.iter().find(|e| e.name == name)
+}
+
+impl ApproxEntry {
+    /// Selects the implementation for `grade`.
+    pub fn approx(&self, grade: Grade) -> UnaryFn {
+        match grade {
+            Grade::Fast => self.fast,
+            Grade::Faster => self.faster,
+        }
+    }
+
+    /// The pointwise approximation gap `exact(x) − approx(x)` — the `Δ` of
+    /// the paper's Algorithm 2, line 4.
+    pub fn gap(&self, grade: Grade, x: f64) -> f64 {
+        (self.exact)(x) - (self.approx(grade))(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_known_entries() {
+        for name in ["exp", "log", "sqrt", "normcdf"] {
+            assert!(lookup(name).is_some(), "{name}");
+        }
+        assert!(lookup("sin").is_none());
+    }
+
+    #[test]
+    fn gap_is_small_for_fast_grade() {
+        let e = lookup("exp").unwrap();
+        let gap = e.gap(Grade::Fast, 1.0).abs();
+        assert!(gap < 1e-3, "{gap}");
+        // Relative gap for faster grade is larger (on most inputs).
+        let coarse = e.gap(Grade::Faster, 1.0).abs();
+        assert!(coarse > gap, "fast {gap} vs faster {coarse}");
+    }
+
+    #[test]
+    fn exact_functions_are_std() {
+        let e = lookup("log").unwrap();
+        assert_eq!((e.exact)(std::f64::consts::E), 1.0);
+        let s = lookup("sqrt").unwrap();
+        assert_eq!((s.exact)(9.0), 3.0);
+    }
+}

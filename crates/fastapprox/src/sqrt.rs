@@ -1,0 +1,70 @@
+//! Approximate square roots.
+//!
+//! FastApprox does not ship a dedicated `sqrt`; like the paper's
+//! Black-Scholes configuration ("approximate versions of the log and sqrt
+//! functions") we build it from the `pow2`/`log2` machinery, plus the
+//! classic Quake III inverse-square-root for completeness.
+
+use crate::exp::fastpow2;
+use crate::log::fastlog2;
+
+/// Approximate `sqrt(x)` as `2^(0.5·log2 x)`.
+///
+/// Relative error below `1e-3` for positive normal `x`.
+#[inline]
+pub fn fastsqrt(x: f32) -> f32 {
+    fastpow2(0.5 * fastlog2(x))
+}
+
+/// The Quake III fast inverse square root (one Newton step).
+///
+/// Included because it is the canonical bit-twiddling approximation and a
+/// useful extra data point for approximation-error studies; relative error
+/// below `2e-3`.
+#[inline]
+pub fn fasterrsqrt(x: f32) -> f32 {
+    let i = x.to_bits();
+    let i = 0x5f37_59df_u32.wrapping_sub(i >> 1);
+    let y = f32::from_bits(i);
+    // One Newton-Raphson iteration: y = y * (1.5 - 0.5*x*y*y)
+    y * (1.5 - 0.5 * x * y * y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(approx: f32, exact: f32) -> f32 {
+        ((approx - exact) / exact).abs()
+    }
+
+    #[test]
+    fn fastsqrt_accuracy() {
+        for i in 1..=1000 {
+            let x = i as f32 * 0.317;
+            assert!(rel_err(fastsqrt(x), x.sqrt()) < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fastsqrt_across_magnitudes() {
+        for e in -18..18 {
+            let x = 10.0f32.powi(e) * 2.3;
+            assert!(rel_err(fastsqrt(x), x.sqrt()) < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fasterrsqrt_accuracy() {
+        for i in 1..=1000 {
+            let x = i as f32 * 0.11;
+            assert!(rel_err(fasterrsqrt(x), 1.0 / x.sqrt()) < 2e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn rsqrt_times_x_is_sqrt() {
+        let x = 42.0f32;
+        assert!(rel_err(x * fasterrsqrt(x), x.sqrt()) < 2e-3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Diagnostics: errors and warnings with source locations.
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A hard error; compilation cannot proceed.
+    Error,
+    /// A warning; compilation proceeds.
+    Warning,
+}
+
+/// A single compiler diagnostic with message and primary span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Primary source span.
+    pub span: Span,
+    /// Optional secondary notes (message + span pairs).
+    pub notes: Vec<(String, Span)>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a secondary note.
+    pub fn with_note(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.notes.push((message.into(), span));
+        self
+    }
+
+    /// Renders the diagnostic against a source map, e.g.
+    /// `error: unknown variable `q` at kernel.kc:3:5`.
+    pub fn render(&self, sm: &SourceMap) -> String {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let mut out = format!("{sev}: {} at {}", self.message, sm.display(self.span));
+        for (msg, span) in &self.notes {
+            out.push_str(&format!("\n  note: {msg} at {}", sm.display(*span)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}: {}", self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A collection of diagnostics produced by a compiler phase.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    /// All diagnostics in emission order.
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Returns `true` if any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of recorded diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Renders all diagnostics, one per line.
+    pub fn render(&self, sm: &SourceMap) -> String {
+        self.items.iter().map(|d| d.render(sm)).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Converts to `Result`: `Err(self)` if any errors, otherwise `Ok(())`.
+    pub fn into_result(self) -> Result<(), Diagnostics> {
+        if self.has_errors() {
+            Err(self)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_location_and_notes() {
+        let sm = SourceMap::new("k.kc", "x = y;\nz = w;");
+        let d = Diagnostic::error("unknown variable `w`", Span::new(11, 12))
+            .with_note("declared here", Span::new(0, 1));
+        let r = d.render(&sm);
+        assert!(r.contains("k.kc:2:5"), "{r}");
+        assert!(r.contains("note: declared here"), "{r}");
+    }
+
+    #[test]
+    fn diagnostics_error_detection() {
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::warning("w", Span::DUMMY));
+        assert!(!ds.has_errors());
+        assert!(ds.clone().into_result().is_ok());
+        ds.push(Diagnostic::error("e", Span::DUMMY));
+        assert!(ds.has_errors());
+        assert!(ds.into_result().is_err());
+    }
+}

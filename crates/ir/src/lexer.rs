@@ -1,0 +1,419 @@
+//! Hand-written lexer for KernelC.
+//!
+//! Produces a flat token stream with spans; comments (`// …` and `/* … */`)
+//! and whitespace are skipped. Numeric literals follow C syntax: an integer
+//! literal becomes [`TokenKind::IntLit`]; the presence of a decimal point,
+//! an exponent or an `f` suffix makes it a [`TokenKind::FloatLit`].
+
+use crate::diag::Diagnostic;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Streaming lexer over a source string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    /// Lexes the whole input, returning tokens (terminated by `Eof`) or the
+    /// first lexical error.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, Diagnostic> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(Diagnostic::error(
+                                "unterminated block comment",
+                                Span::new(start as u32, self.pos as u32),
+                            ));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, Diagnostic> {
+        self.skip_trivia()?;
+        let lo = self.pos as u32;
+        if self.pos >= self.src.len() {
+            return Ok(Token { kind: TokenKind::Eof, span: Span::new(lo, lo) });
+        }
+        let c = self.peek();
+        let kind = match c {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => return self.lex_ident(lo),
+            b'0'..=b'9' => return self.lex_number(lo),
+            b'.' if self.peek2().is_ascii_digit() => return self.lex_number(lo),
+            b'+' => {
+                self.bump();
+                match self.peek() {
+                    b'=' => {
+                        self.bump();
+                        TokenKind::PlusEq
+                    }
+                    b'+' => {
+                        self.bump();
+                        TokenKind::PlusPlus
+                    }
+                    _ => TokenKind::Plus,
+                }
+            }
+            b'-' => {
+                self.bump();
+                match self.peek() {
+                    b'=' => {
+                        self.bump();
+                        TokenKind::MinusEq
+                    }
+                    b'-' => {
+                        self.bump();
+                        TokenKind::MinusMinus
+                    }
+                    _ => TokenKind::Minus,
+                }
+            }
+            b'*' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::StarEq
+                } else {
+                    TokenKind::Star
+                }
+            }
+            b'/' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::SlashEq
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            b'%' => {
+                self.bump();
+                TokenKind::Percent
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Eq
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::BangEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == b'&' {
+                    self.bump();
+                    TokenKind::AmpAmp
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == b'|' {
+                    self.bump();
+                    TokenKind::PipePipe
+                } else {
+                    return Err(Diagnostic::error(
+                        "unexpected character `|` (did you mean `||`?)",
+                        Span::new(lo, lo + 1),
+                    ));
+                }
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            other => {
+                return Err(Diagnostic::error(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(lo, lo + 1),
+                ))
+            }
+        };
+        Ok(Token { kind, span: Span::new(lo, self.pos as u32) })
+    }
+
+    fn lex_ident(&mut self, lo: u32) -> Result<Token, Diagnostic> {
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[lo as usize..self.pos])
+            .expect("identifier bytes are ASCII");
+        let span = Span::new(lo, self.pos as u32);
+        let kind = match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(text.to_string()),
+        };
+        Ok(Token { kind, span })
+    }
+
+    fn lex_number(&mut self, lo: u32) -> Result<Token, Diagnostic> {
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.peek() == b'.' && self.peek2() != b'.' {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E') {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), b'+' | b'-') {
+                self.pos += 1;
+            }
+            if self.peek().is_ascii_digit() {
+                is_float = true;
+                while self.peek().is_ascii_digit() {
+                    self.pos += 1;
+                }
+            } else {
+                // Not an exponent after all (e.g. `1e` followed by ident).
+                self.pos = save;
+            }
+        }
+        let mut text_end = self.pos;
+        if matches!(self.peek(), b'f' | b'F') {
+            // C float suffix: accept and treat as a float literal.
+            is_float = true;
+            self.pos += 1;
+            text_end = self.pos - 1;
+        }
+        let text = std::str::from_utf8(&self.src[lo as usize..text_end])
+            .expect("number bytes are ASCII");
+        let span = Span::new(lo, self.pos as u32);
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| {
+                Diagnostic::error(format!("invalid float literal `{text}`"), span)
+            })?;
+            Ok(Token { kind: TokenKind::FloatLit(v), span })
+        } else {
+            let v: i64 = text.parse().map_err(|_| {
+                Diagnostic::error(format!("integer literal `{text}` out of range"), span)
+            })?;
+            Ok(Token { kind: TokenKind::IntLit(v), span })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("z = x + y;"),
+            vec![
+                Ident("z".into()),
+                Eq,
+                Ident("x".into()),
+                Plus,
+                Ident("y".into()),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_types() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("double half float int bool if else for while return"),
+            vec![
+                Kw(Keyword::Double),
+                Kw(Keyword::Half),
+                Kw(Keyword::Float),
+                Kw(Keyword::Int),
+                Kw(Keyword::Bool),
+                Kw(Keyword::If),
+                Kw(Keyword::Else),
+                Kw(Keyword::For),
+                Kw(Keyword::While),
+                Kw(Keyword::Return),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("42 3.25 1e-3 2.5e+2 7f .5"),
+            vec![
+                IntLit(42),
+                FloatLit(3.25),
+                FloatLit(1e-3),
+                FloatLit(2.5e2),
+                FloatLit(7.0),
+                FloatLit(0.5),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("+= -= *= /= == != <= >= && || ++ --"),
+            vec![
+                PlusEq, MinusEq, StarEq, SlashEq, EqEq, BangEq, Le, Ge, AmpAmp, PipePipe,
+                PlusPlus, MinusMinus, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x // line comment\n/* block\ncomment */ y"),
+            vec![Ident("x".into()), Ident("y".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        assert!(Lexer::new("x @ y").tokenize().is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(Lexer::new("/* never ends").tokenize().is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = Lexer::new("ab + cd").tokenize().unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn exponent_without_digits_is_not_float() {
+        use TokenKind::*;
+        // `1e` should lex as IntLit(1) followed by Ident("e").
+        assert_eq!(kinds("1e"), vec![IntLit(1), Ident("e".into()), Eof]);
+    }
+}

@@ -1,0 +1,730 @@
+//! Recursive-descent parser for KernelC.
+//!
+//! Grammar (C-subset, matching what Clad differentiates in the paper):
+//!
+//! ```text
+//! program  := function*
+//! function := type IDENT '(' params? ')' block
+//! param    := type '&'? IDENT ('[' ']')?
+//! block    := '{' stmt* '}'
+//! stmt     := decl ';' | assign ';' | if | for | while
+//!           | 'return' expr? ';' | block | expr ';'
+//! decl     := type IDENT ('[' expr ']')? ('=' expr)?
+//! assign   := lvalue ('=' | '+=' | '-=' | '*=' | '/=') expr
+//!           | lvalue '++' | lvalue '--'
+//! expr     := precedence-climbing over || && cmp + - * / % unary postfix
+//! cast     := '(' type ')' unary
+//! ```
+
+use crate::ast::*;
+use crate::diag::Diagnostic;
+use crate::lexer::Lexer;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+use crate::types::{ElemTy, FloatTy, Type};
+
+/// Parses a full KernelC translation unit.
+///
+/// This is the main entry point: `parse_program(src)` returns the untyped
+/// [`Program`]; run [`crate::typeck::check_program`] afterwards to resolve
+/// names and types.
+pub fn parse_program(src: &str) -> Result<Program, Diagnostic> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while !p.at_eof() {
+        functions.push(p.parse_function()?);
+    }
+    Ok(Program { functions })
+}
+
+/// Parses a single expression (useful in tests and custom error models).
+pub fn parse_expr(src: &str) -> Result<Expr, Diagnostic> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn expect_eof(&self) -> Result<(), Diagnostic> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of input"))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> Diagnostic {
+        let t = self.peek();
+        Diagnostic::error(format!("expected {wanted}, found {}", t.kind.describe()), t.span)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, wanted: &str) -> Result<Token, Diagnostic> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(wanted))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(Symbol, Span), Diagnostic> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    /// `true` if the current token starts a type.
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek().kind,
+            TokenKind::Kw(
+                Keyword::Half
+                    | Keyword::Bfloat
+                    | Keyword::Float
+                    | Keyword::Double
+                    | Keyword::Int
+                    | Keyword::Bool
+                    | Keyword::Void
+            )
+        )
+    }
+
+    fn parse_type(&mut self) -> Result<(Type, Span), Diagnostic> {
+        let t = self.peek().clone();
+        let ty = match t.kind {
+            TokenKind::Kw(Keyword::Half) => Type::Float(FloatTy::F16),
+            TokenKind::Kw(Keyword::Bfloat) => Type::Float(FloatTy::BF16),
+            TokenKind::Kw(Keyword::Float) => Type::Float(FloatTy::F32),
+            TokenKind::Kw(Keyword::Double) => Type::Float(FloatTy::F64),
+            TokenKind::Kw(Keyword::Int) => Type::Int,
+            TokenKind::Kw(Keyword::Bool) => Type::Bool,
+            TokenKind::Kw(Keyword::Void) => Type::Void,
+            _ => return Err(self.unexpected("type")),
+        };
+        self.bump();
+        Ok((ty, t.span))
+    }
+
+    fn parse_function(&mut self) -> Result<Function, Diagnostic> {
+        let (ret, start_span) = self.parse_type()?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                params.push(self.parse_param()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        let body = self.parse_block()?;
+        let span = start_span.to(body.span);
+        Ok(Function { name, params, ret, body, span, vars: Vec::new() })
+    }
+
+    fn parse_param(&mut self) -> Result<Param, Diagnostic> {
+        let (ty, tspan) = self.parse_type()?;
+        let by_ref_scalar = self.eat(&TokenKind::Amp);
+        let (name, nspan) = self.expect_ident()?;
+        let mut span = tspan.to(nspan);
+        let (ty, by_ref) = if self.eat(&TokenKind::LBracket) {
+            let close = self.expect(TokenKind::RBracket, "`]`")?;
+            span = span.to(close.span);
+            if by_ref_scalar {
+                return Err(Diagnostic::error(
+                    "array parameters are implicitly by-reference; remove `&`",
+                    span,
+                ));
+            }
+            let elem = match ty {
+                Type::Float(ft) => ElemTy::Float(ft),
+                Type::Int => ElemTy::Int,
+                other => {
+                    return Err(Diagnostic::error(
+                        format!("arrays of `{other}` are not supported"),
+                        span,
+                    ))
+                }
+            };
+            (Type::Array(elem), true)
+        } else {
+            if ty == Type::Void {
+                return Err(Diagnostic::error("parameter cannot have type `void`", span));
+            }
+            (ty, by_ref_scalar)
+        };
+        Ok(Param { name, id: None, ty, by_ref, span })
+    }
+
+    fn parse_block(&mut self) -> Result<Block, Diagnostic> {
+        let open = self.expect(TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.at_eof() {
+                return Err(self.unexpected("`}`"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        let close = self.bump();
+        Ok(Block { stmts, span: open.span.to(close.span) })
+    }
+
+    /// A statement or a single-statement body wrapped in a block
+    /// (C allows `if (c) x = 1;`).
+    fn parse_stmt_or_block(&mut self) -> Result<Block, Diagnostic> {
+        if self.peek().kind == TokenKind::LBrace {
+            self.parse_block()
+        } else {
+            let s = self.parse_stmt()?;
+            let span = s.span;
+            Ok(Block { stmts: vec![s], span })
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        match self.peek().kind.clone() {
+            TokenKind::Kw(Keyword::If) => self.parse_if(),
+            TokenKind::Kw(Keyword::For) => self.parse_for(),
+            TokenKind::Kw(Keyword::While) => self.parse_while(),
+            TokenKind::Kw(Keyword::Return) => {
+                let kw = self.bump();
+                if self.eat(&TokenKind::Semi) {
+                    return Ok(Stmt::new(StmtKind::Return(None), kw.span));
+                }
+                let e = self.parse_expr()?;
+                let semi = self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::new(StmtKind::Return(Some(e)), kw.span.to(semi.span)))
+            }
+            TokenKind::LBrace => {
+                let b = self.parse_block()?;
+                let span = b.span;
+                Ok(Stmt::new(StmtKind::Block(b), span))
+            }
+            _ => {
+                let s = self.parse_simple_stmt()?;
+                let semi = self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt { span: s.span.to(semi.span), ..s })
+            }
+        }
+    }
+
+    /// Declaration / assignment / expression statement, without the
+    /// trailing semicolon (shared by statement position and `for` headers).
+    fn parse_simple_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        if self.at_type() {
+            return self.parse_decl();
+        }
+        // Look ahead: IDENT followed by assignment-ish token => assignment.
+        let start = self.pos;
+        if let TokenKind::Ident(_) = self.peek().kind {
+            // Try to parse an lvalue and see what follows.
+            if let Ok(lv) = self.try_parse_lvalue() {
+                match self.peek().kind {
+                    TokenKind::Eq
+                    | TokenKind::PlusEq
+                    | TokenKind::MinusEq
+                    | TokenKind::StarEq
+                    | TokenKind::SlashEq => {
+                        let op = match self.bump().kind {
+                            TokenKind::Eq => AssignOp::Assign,
+                            TokenKind::PlusEq => AssignOp::AddAssign,
+                            TokenKind::MinusEq => AssignOp::SubAssign,
+                            TokenKind::StarEq => AssignOp::MulAssign,
+                            TokenKind::SlashEq => AssignOp::DivAssign,
+                            _ => unreachable!(),
+                        };
+                        let rhs = self.parse_expr()?;
+                        let span = lv.span().to(rhs.span);
+                        return Ok(Stmt::new(StmtKind::Assign { lhs: lv, op, rhs }, span));
+                    }
+                    TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                        let t = self.bump();
+                        let op = if t.kind == TokenKind::PlusPlus {
+                            AssignOp::AddAssign
+                        } else {
+                            AssignOp::SubAssign
+                        };
+                        let span = lv.span().to(t.span);
+                        let one = Expr::new(ExprKind::IntLit(1), t.span);
+                        return Ok(Stmt::new(StmtKind::Assign { lhs: lv, op, rhs: one }, span));
+                    }
+                    _ => {
+                        // Not an assignment; rewind and parse as expression.
+                        self.pos = start;
+                    }
+                }
+            } else {
+                self.pos = start;
+            }
+        }
+        let e = self.parse_expr()?;
+        let span = e.span;
+        Ok(Stmt::new(StmtKind::ExprStmt(e), span))
+    }
+
+    fn try_parse_lvalue(&mut self) -> Result<LValue, Diagnostic> {
+        let (name, span) = self.expect_ident()?;
+        if self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            let idx = self.parse_expr()?;
+            self.expect(TokenKind::RBracket, "`]`")?;
+            Ok(LValue::Index { base: VarRef::new(name, span), index: idx })
+        } else {
+            Ok(LValue::Var(VarRef::new(name, span)))
+        }
+    }
+
+    fn parse_decl(&mut self) -> Result<Stmt, Diagnostic> {
+        let (ty, tspan) = self.parse_type()?;
+        if ty == Type::Void {
+            return Err(Diagnostic::error("cannot declare a variable of type `void`", tspan));
+        }
+        let (name, nspan) = self.expect_ident()?;
+        let mut span = tspan.to(nspan);
+        let mut size = None;
+        let mut decl_ty = ty;
+        if self.eat(&TokenKind::LBracket) {
+            let e = self.parse_expr()?;
+            let close = self.expect(TokenKind::RBracket, "`]`")?;
+            span = span.to(close.span);
+            let elem = match ty {
+                Type::Float(ft) => ElemTy::Float(ft),
+                Type::Int => ElemTy::Int,
+                other => {
+                    return Err(Diagnostic::error(
+                        format!("arrays of `{other}` are not supported"),
+                        span,
+                    ))
+                }
+            };
+            decl_ty = Type::Array(elem);
+            size = Some(e);
+        }
+        let init = if self.eat(&TokenKind::Eq) {
+            if size.is_some() {
+                return Err(Diagnostic::error("array declarations cannot have initializers", span));
+            }
+            let e = self.parse_expr()?;
+            span = span.to(e.span);
+            Some(e)
+        } else {
+            None
+        };
+        Ok(Stmt::new(StmtKind::Decl { name, id: None, ty: decl_ty, size, init }, span))
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, Diagnostic> {
+        let kw = self.bump();
+        self.expect(TokenKind::LParen, "`(`")?;
+        let cond = self.parse_expr()?;
+        self.expect(TokenKind::RParen, "`)`")?;
+        let then_branch = self.parse_stmt_or_block()?;
+        let mut span = kw.span.to(then_branch.span);
+        let else_branch = if self.eat(&TokenKind::Kw(Keyword::Else)) {
+            let b = self.parse_stmt_or_block()?;
+            span = span.to(b.span);
+            Some(b)
+        } else {
+            None
+        };
+        Ok(Stmt::new(StmtKind::If { cond, then_branch, else_branch }, span))
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, Diagnostic> {
+        let kw = self.bump();
+        self.expect(TokenKind::LParen, "`(`")?;
+        let init = if self.peek().kind == TokenKind::Semi {
+            None
+        } else {
+            Some(Box::new(self.parse_simple_stmt()?))
+        };
+        self.expect(TokenKind::Semi, "`;`")?;
+        let cond = if self.peek().kind == TokenKind::Semi { None } else { Some(self.parse_expr()?) };
+        self.expect(TokenKind::Semi, "`;`")?;
+        let step = if self.peek().kind == TokenKind::RParen {
+            None
+        } else {
+            Some(Box::new(self.parse_simple_stmt()?))
+        };
+        self.expect(TokenKind::RParen, "`)`")?;
+        let body = self.parse_stmt_or_block()?;
+        let span = kw.span.to(body.span);
+        Ok(Stmt::new(StmtKind::For { init, cond, step, body }, span))
+    }
+
+    fn parse_while(&mut self) -> Result<Stmt, Diagnostic> {
+        let kw = self.bump();
+        self.expect(TokenKind::LParen, "`(`")?;
+        let cond = self.parse_expr()?;
+        self.expect(TokenKind::RParen, "`)`")?;
+        let body = self.parse_stmt_or_block()?;
+        let span = kw.span.to(body.span);
+        Ok(Stmt::new(StmtKind::While { cond, body }, span))
+    }
+
+    // ---- expressions: precedence climbing ----
+
+    fn parse_expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.parse_and()?;
+        while self.peek().kind == TokenKind::PipePipe {
+            self.bump();
+            let rhs = self.parse_and()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek().kind == TokenKind::AmpAmp {
+            self.bump();
+            let rhs = self.parse_cmp()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.parse_addsub()?;
+        let op = match self.peek().kind {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::BangEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_addsub()?;
+        let span = lhs.span.to(rhs.span);
+        Ok(Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span))
+    }
+
+    fn parse_addsub(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.parse_muldiv()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_muldiv()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+        }
+    }
+
+    fn parse_muldiv(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, Diagnostic> {
+        match self.peek().kind {
+            TokenKind::Minus => {
+                let t = self.bump();
+                let e = self.parse_unary()?;
+                let span = t.span.to(e.span);
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Neg, operand: Box::new(e) }, span))
+            }
+            TokenKind::Bang => {
+                let t = self.bump();
+                let e = self.parse_unary()?;
+                let span = t.span.to(e.span);
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Not, operand: Box::new(e) }, span))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, Diagnostic> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::FloatLit(v), t.span))
+            }
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v), t.span))
+            }
+            TokenKind::Kw(Keyword::True) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::BoolLit(true), t.span))
+            }
+            TokenKind::Kw(Keyword::False) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::BoolLit(false), t.span))
+            }
+            TokenKind::LParen => {
+                // Cast `(type) expr` or parenthesized expression.
+                self.bump();
+                if self.at_type() {
+                    let (ty, _) = self.parse_type()?;
+                    if ty == Type::Void {
+                        return Err(Diagnostic::error("cannot cast to `void`", t.span));
+                    }
+                    self.expect(TokenKind::RParen, "`)`")?;
+                    let e = self.parse_unary()?;
+                    let span = t.span.to(e.span);
+                    return Ok(Expr::new(ExprKind::Cast { ty, expr: Box::new(e) }, span));
+                }
+                let e = self.parse_expr()?;
+                let close = self.expect(TokenKind::RParen, "`)`")?;
+                Ok(Expr { span: t.span.to(close.span), ..e })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match self.peek().kind {
+                    TokenKind::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if self.peek().kind != TokenKind::RParen {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if !self.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        let close = self.expect(TokenKind::RParen, "`)`")?;
+                        let callee = match Intrinsic::from_name(&name) {
+                            Some(i) => Callee::Intrinsic(i),
+                            None => Callee::Func(name),
+                        };
+                        Ok(Expr::new(ExprKind::Call { callee, args }, t.span.to(close.span)))
+                    }
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let idx = self.parse_expr()?;
+                        let close = self.expect(TokenKind::RBracket, "`]`")?;
+                        Ok(Expr::new(
+                            ExprKind::Index {
+                                base: VarRef::new(name, t.span),
+                                index: Box::new(idx),
+                            },
+                            t.span.to(close.span),
+                        ))
+                    }
+                    _ => Ok(Expr::new(ExprKind::Var(VarRef::new(name, t.span)), t.span)),
+                }
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse_program("float func(float x, float y) { float z; z = x + y; return z; }")
+            .unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "func");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_array_params_and_ref_params() {
+        let p = parse_program("void g(double a[], int idx[], double &out) { out = a[0]; }")
+            .unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.params[0].ty, Type::Array(ElemTy::Float(FloatTy::F64)));
+        assert!(f.params[0].by_ref);
+        assert_eq!(f.params[1].ty, Type::Array(ElemTy::Int));
+        assert_eq!(f.params[2].ty, Type::Float(FloatTy::F64));
+        assert!(f.params[2].by_ref);
+    }
+
+    #[test]
+    fn parses_for_loop_with_increment() {
+        let p = parse_program(
+            "double s(int n) { double acc = 0.0; for (int i = 0; i < n; i++) { acc += 1.0; } return acc; }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        match &f.body.stmts[1].kind {
+            StmtKind::For { init, cond, step, .. } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                match &step.as_ref().unwrap().kind {
+                    StmtKind::Assign { op, .. } => assert_eq!(*op, AssignOp::AddAssign),
+                    other => panic!("unexpected step {other:?}"),
+                }
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cast_expression() {
+        let e = parse_expr("(float)x").unwrap();
+        match e.kind {
+            ExprKind::Cast { ty, .. } => assert_eq!(ty, Type::Float(FloatTy::F32)),
+            other => panic!("expected cast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_binds_tighter_than_mul() {
+        // (float)x * y  parses as ((float)x) * y
+        let e = parse_expr("(float)x * y").unwrap();
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Mul, lhs, .. } => {
+                assert!(matches!(lhs.kind, ExprKind::Cast { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("a + b * c").unwrap();
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_intrinsic_and_user_calls() {
+        let e = parse_expr("sqrt(dx * dx + dy * dy)").unwrap();
+        match e.kind {
+            ExprKind::Call { callee: Callee::Intrinsic(Intrinsic::Sqrt), args } => {
+                assert_eq!(args.len(), 1)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let e = parse_expr("cndf(d1)").unwrap();
+        assert!(matches!(e.kind, ExprKind::Call { callee: Callee::Func(_), .. }));
+    }
+
+    #[test]
+    fn parses_if_else_and_while() {
+        let p = parse_program(
+            "double f(double x) { if (x < 0.0) { x = -x; } else x = x * 2.0; while (x > 1.0) { x /= 2.0; } return x; }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        assert!(matches!(f.body.stmts[0].kind, StmtKind::If { .. }));
+        assert!(matches!(f.body.stmts[1].kind, StmtKind::While { .. }));
+    }
+
+    #[test]
+    fn parses_local_array_decl() {
+        let p = parse_program("void f(int n) { double r[n]; r[0] = 1.0; }").unwrap();
+        match &p.functions[0].body.stmts[0].kind {
+            StmtKind::Decl { ty, size, .. } => {
+                assert_eq!(*ty, Type::Array(ElemTy::Float(FloatTy::F64)));
+                assert!(size.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_void_variable() {
+        assert!(parse_program("void f() { void x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_array_initializer() {
+        assert!(parse_program("void f() { double a[3] = 1.0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse_program("void f() { double x = 1.0 }").is_err());
+    }
+
+    #[test]
+    fn parses_logical_operators() {
+        let e = parse_expr("a < b && c > d || !e").unwrap();
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn parses_compound_assignment_to_array_element() {
+        let p = parse_program("void f(double a[], int i) { a[i] *= 2.0; }").unwrap();
+        match &p.functions[0].body.stmts[0].kind {
+            StmtKind::Assign { lhs: LValue::Index { .. }, op: AssignOp::MulAssign, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_statement_call() {
+        let p = parse_program("void f(double x) { sin(x); }").unwrap();
+        assert!(matches!(p.functions[0].body.stmts[0].kind, StmtKind::ExprStmt(_)));
+    }
+}

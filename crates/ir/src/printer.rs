@@ -1,0 +1,407 @@
+//! Pretty-printer: renders the AST back to KernelC source.
+//!
+//! Clad can dump generated derivative code as readable C++; this module is
+//! the equivalent for KernelC, used to inspect the adjoint + error
+//! estimation functions produced by the AD transformation. For
+//! parser-produced ASTs the printer round-trips: `parse(print(ast)) == ast`
+//! (modulo spans), a property checked in this crate's tests.
+//!
+//! Generated-only tape statements print as the pseudo-calls
+//! `__tape_push(e);` and `__tape_pop(lv);`.
+
+use crate::ast::*;
+use crate::types::Type;
+use std::fmt::Write;
+
+/// Operator-precedence levels used to minimize parentheses.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Or = 1,
+    And,
+    Cmp,
+    AddSub,
+    MulDiv,
+    Unary,
+    Primary,
+}
+
+fn binop_prec(op: BinOp) -> Prec {
+    match op {
+        BinOp::Or => Prec::Or,
+        BinOp::And => Prec::And,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => Prec::Cmp,
+        BinOp::Add | BinOp::Sub => Prec::AddSub,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => Prec::MulDiv,
+    }
+}
+
+/// Prints a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in p.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+/// Prints a single function definition.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{} {}(", type_str(f.ret), f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match p.ty {
+            Type::Array(elem) => {
+                let _ = write!(out, "{elem} {}[]", p.name);
+            }
+            ty => {
+                let amp = if p.by_ref { "&" } else { "" };
+                let _ = write!(out, "{} {amp}{}", type_str(ty), p.name);
+            }
+        }
+    }
+    out.push_str(") ");
+    print_block(&mut out, &f.body, 0);
+    out.push('\n');
+    out
+}
+
+/// Prints a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    expr(&mut s, e, Prec::Or);
+    s
+}
+
+/// Prints a single statement at indentation level 0.
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut out = String::new();
+    stmt(&mut out, s, 0);
+    out
+}
+
+fn type_str(t: Type) -> String {
+    t.to_string()
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn lvalue(out: &mut String, lv: &LValue) {
+    match lv {
+        LValue::Var(v) => out.push_str(&v.name),
+        LValue::Index { base, index } => {
+            out.push_str(&base.name);
+            out.push('[');
+            expr(out, index, Prec::Or);
+            out.push(']');
+        }
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match &s.kind {
+        StmtKind::Decl { name, ty, size, init, .. } => {
+            match (ty, size) {
+                (Type::Array(elem), Some(sz)) => {
+                    let _ = write!(out, "{elem} {name}[");
+                    expr(out, sz, Prec::Or);
+                    out.push(']');
+                }
+                _ => {
+                    let _ = write!(out, "{} {name}", type_str(*ty));
+                }
+            }
+            if let Some(e) = init {
+                out.push_str(" = ");
+                expr(out, e, Prec::Or);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Assign { lhs, op, rhs } => {
+            lvalue(out, lhs);
+            let _ = write!(out, " {} ", op.as_str());
+            expr(out, rhs, Prec::Or);
+            out.push_str(";\n");
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            out.push_str("if (");
+            expr(out, cond, Prec::Or);
+            out.push_str(") ");
+            print_block(out, then_branch, level);
+            if let Some(eb) = else_branch {
+                out.push_str(" else ");
+                print_block(out, eb, level);
+            }
+            out.push('\n');
+        }
+        StmtKind::For { init, cond, step, body } => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                inline_simple_stmt(out, i);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                expr(out, c, Prec::Or);
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                inline_simple_stmt(out, st);
+            }
+            out.push_str(") ");
+            print_block(out, body, level);
+            out.push('\n');
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str("while (");
+            expr(out, cond, Prec::Or);
+            out.push_str(") ");
+            print_block(out, body, level);
+            out.push('\n');
+        }
+        StmtKind::Return(e) => {
+            out.push_str("return");
+            if let Some(e) = e {
+                out.push(' ');
+                expr(out, e, Prec::Or);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Block(b) => {
+            print_block(out, b, level);
+            out.push('\n');
+        }
+        StmtKind::ExprStmt(e) => {
+            expr(out, e, Prec::Or);
+            out.push_str(";\n");
+        }
+        StmtKind::TapePush(e) => {
+            out.push_str("__tape_push(");
+            expr(out, e, Prec::Or);
+            out.push_str(");\n");
+        }
+        StmtKind::TapePop(lv) => {
+            out.push_str("__tape_pop(");
+            lvalue(out, lv);
+            out.push_str(");\n");
+        }
+    }
+}
+
+/// Prints a `for`-header statement without the trailing `;\n`.
+fn inline_simple_stmt(out: &mut String, s: &Stmt) {
+    let mut tmp = String::new();
+    stmt(&mut tmp, s, 0);
+    let trimmed = tmp.trim_end();
+    let trimmed = trimmed.strip_suffix(';').unwrap_or(trimmed);
+    out.push_str(trimmed);
+}
+
+fn float_lit(out: &mut String, v: f64) {
+    if v == f64::INFINITY {
+        out.push_str("(1.0 / 0.0)");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("(-1.0 / 0.0)");
+    } else if v.is_nan() {
+        out.push_str("(0.0 / 0.0)");
+    } else {
+        // `{:?}` is Rust's shortest round-trip representation; it always
+        // contains `.` or `e`, so it re-lexes as a float literal.
+        let _ = write!(out, "{v:?}");
+    }
+}
+
+fn expr(out: &mut String, e: &Expr, min_prec: Prec) {
+    match &e.kind {
+        ExprKind::FloatLit(v) => float_lit(out, *v),
+        ExprKind::IntLit(v) => {
+            if *v < 0 {
+                let _ = write!(out, "({v})");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        ExprKind::BoolLit(b) => {
+            let _ = write!(out, "{b}");
+        }
+        ExprKind::Var(v) => out.push_str(&v.name),
+        ExprKind::Index { base, index } => {
+            out.push_str(&base.name);
+            out.push('[');
+            expr(out, index, Prec::Or);
+            out.push(']');
+        }
+        ExprKind::Unary { op, operand } => {
+            let needs = Prec::Unary < min_prec;
+            if needs {
+                out.push('(');
+            }
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            let mut inner = String::new();
+            expr(&mut inner, operand, Prec::Unary);
+            // `-` immediately followed by another `-` (nested negation or a
+            // negative literal) would lex as the `--` decrement token:
+            // parenthesize the operand.
+            if *op == UnOp::Neg && inner.starts_with('-') {
+                out.push('(');
+                out.push_str(&inner);
+                out.push(')');
+            } else {
+                out.push_str(&inner);
+            }
+            if needs {
+                out.push(')');
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let prec = binop_prec(*op);
+            let needs = prec < min_prec;
+            if needs {
+                out.push('(');
+            }
+            // Comparisons are non-associative: both children must bind
+            // strictly tighter. Other operators are left-associative: only
+            // the RHS must.
+            let lhs_min = if prec == Prec::Cmp { Prec::AddSub } else { prec };
+            expr(out, lhs, lhs_min);
+            let _ = write!(out, " {} ", op.as_str());
+            let rhs_min = if prec == Prec::Cmp { Prec::AddSub } else { bump(prec) };
+            expr(out, rhs, rhs_min);
+            if needs {
+                out.push(')');
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            out.push_str(callee.name());
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, a, Prec::Or);
+            }
+            out.push(')');
+        }
+        ExprKind::Cast { ty, expr: inner } => {
+            let needs = Prec::Unary < min_prec;
+            if needs {
+                out.push('(');
+            }
+            let _ = write!(out, "({})", type_str(*ty));
+            expr(out, inner, Prec::Unary);
+            if needs {
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// The next-tighter precedence level (saturating at `Primary`).
+fn bump(p: Prec) -> Prec {
+    match p {
+        Prec::Or => Prec::And,
+        Prec::And => Prec::Cmp,
+        Prec::Cmp => Prec::AddSub,
+        Prec::AddSub => Prec::MulDiv,
+        Prec::MulDiv => Prec::Unary,
+        Prec::Unary | Prec::Primary => Prec::Primary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn rt_expr(src: &str) -> String {
+        print_expr(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn prints_expressions_with_minimal_parens() {
+        assert_eq!(rt_expr("a + b * c"), "a + b * c");
+        assert_eq!(rt_expr("(a + b) * c"), "(a + b) * c");
+        assert_eq!(rt_expr("a - (b - c)"), "a - (b - c)");
+        assert_eq!(rt_expr("a - b - c"), "a - b - c");
+        assert_eq!(rt_expr("-x * y"), "-x * y");
+        assert_eq!(rt_expr("-(x * y)"), "-(x * y)");
+    }
+
+    #[test]
+    fn prints_casts() {
+        assert_eq!(rt_expr("(float)x * y"), "(float)x * y");
+        assert_eq!(rt_expr("x - (float)x"), "x - (float)x");
+    }
+
+    #[test]
+    fn prints_calls() {
+        assert_eq!(rt_expr("sqrt(dx * dx + dy * dy)"), "sqrt(dx * dx + dy * dy)");
+        assert_eq!(rt_expr("pow(x, 2.0)"), "pow(x, 2.0)");
+    }
+
+    #[test]
+    fn float_literals_round_trip() {
+        assert_eq!(rt_expr("1.0"), "1.0");
+        assert_eq!(rt_expr("0.1"), "0.1");
+        assert_eq!(rt_expr("1e-10"), "1e-10");
+    }
+
+    #[test]
+    fn function_print_reparses_identically() {
+        let src = "double arclen(int n) {
+    double h = 3.141592653589793 / n;
+    double s1 = 0.0;
+    double t1 = 0.0;
+    for (int i = 1; i <= n; i++) {
+        double t2 = i * h;
+        double diff = t2 - t1;
+        s1 += sqrt(h * h + diff * diff);
+        t1 = t2;
+    }
+    return s1;
+}";
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        // Compare re-printed forms (spans differ, text should not).
+        assert_eq!(printed, print_program(&p2));
+    }
+
+    #[test]
+    fn comparison_children_parenthesized() {
+        // Comparisons are non-associative: chained forms must not parse.
+        assert!(parse_expr("a < b == true").is_err());
+        // `(a < b) == (c < d)` must keep parens to re-parse.
+        let e = parse_expr("(a < b) == (c < d)").unwrap();
+        let printed = print_expr(&e);
+        let e2 = parse_expr(&printed).unwrap();
+        assert_eq!(print_expr(&e2), printed);
+    }
+
+    #[test]
+    fn tape_ops_print_as_pseudocalls() {
+        let s = Stmt::synth(StmtKind::TapePush(Expr::flit(1.5)));
+        assert_eq!(print_stmt(&s), "__tape_push(1.5);\n");
+    }
+}

@@ -1,0 +1,226 @@
+//! Token definitions for the KernelC lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token: a [`TokenKind`] plus the [`Span`] it came from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it was found.
+    pub span: Span,
+}
+
+/// Keywords recognized by KernelC.
+///
+/// The set mirrors the C subset that numeric kernels use — exactly the
+/// constructs Clad differentiates in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    /// `half` — IEEE 754 binary16.
+    Half,
+    /// `bfloat` — bfloat16 (truncated binary32).
+    Bfloat,
+    /// `float` — IEEE 754 binary32.
+    Float,
+    /// `double` — IEEE 754 binary64.
+    Double,
+    /// `int` — 64-bit signed integer.
+    Int,
+    /// `bool` — boolean.
+    Bool,
+    /// `void` — function return type only.
+    Void,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+}
+
+impl Keyword {
+    /// Lexeme of the keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Half => "half",
+            Keyword::Bfloat => "bfloat",
+            Keyword::Float => "float",
+            Keyword::Double => "double",
+            Keyword::Int => "int",
+            Keyword::Bool => "bool",
+            Keyword::Void => "void",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Return => "return",
+            Keyword::True => "true",
+            Keyword::False => "false",
+        }
+    }
+
+    /// Maps an identifier-like lexeme to a keyword, if it is one.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "half" => Keyword::Half,
+            "bfloat" => Keyword::Bfloat,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "int" => Keyword::Int,
+            "bool" => Keyword::Bool,
+            "void" => Keyword::Void,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "return" => Keyword::Return,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// The different kinds of tokens KernelC produces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier such as `x`, `attributes`, `_d_sum`.
+    Ident(String),
+    /// A floating-point literal (always stored as `f64`).
+    FloatLit(f64),
+    /// An integer literal.
+    IntLit(i64),
+    /// A keyword.
+    Kw(Keyword),
+
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `*=`
+    StarEq,
+    /// `/=`
+    SlashEq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `!`
+    Bang,
+    /// `&` (reference qualifier on parameters)
+    Amp,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description used in parse error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::FloatLit(v) => format!("float literal `{v}`"),
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::Kw(k) => format!("keyword `{}`", k.as_str()),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.punct_str()),
+        }
+    }
+
+    fn punct_str(&self) -> &'static str {
+        match self {
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Eq => "=",
+            TokenKind::PlusEq => "+=",
+            TokenKind::MinusEq => "-=",
+            TokenKind::StarEq => "*=",
+            TokenKind::SlashEq => "/=",
+            TokenKind::EqEq => "==",
+            TokenKind::BangEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::PipePipe => "||",
+            TokenKind::Bang => "!",
+            TokenKind::Amp => "&",
+            TokenKind::PlusPlus => "++",
+            TokenKind::MinusMinus => "--",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            _ => "?",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}

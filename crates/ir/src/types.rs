@@ -1,0 +1,228 @@
+//! The KernelC type system.
+//!
+//! KernelC models exactly the data HPC kernels manipulate: scalar floats at
+//! one of four IEEE-style precisions, 64-bit integers, booleans, and 1-D
+//! arrays of scalars. The [`FloatTy`] precision lattice is the heart of the
+//! mixed-precision analysis: demoting a variable means lowering its
+//! [`FloatTy`], and the error models quantify what that costs.
+
+use std::fmt;
+
+/// Floating-point precision of a scalar or array element.
+///
+/// Ordered from lowest to highest precision; `Ord` follows that order so the
+/// tuner can compare precisions directly.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum FloatTy {
+    /// IEEE 754 binary16 (`half`): 11-bit significand.
+    F16,
+    /// bfloat16 (`bfloat`): 8-bit significand, f32 exponent range.
+    BF16,
+    /// IEEE 754 binary32 (`float`): 24-bit significand.
+    F32,
+    /// IEEE 754 binary64 (`double`): 53-bit significand.
+    F64,
+}
+
+impl FloatTy {
+    /// Machine epsilon: the maximum relative representation error due to
+    /// rounding, `2^-(p)` where `p` is the number of stored significand
+    /// bits. This is the `ε_m` of the paper's default error model
+    /// `A_f = |ε_m · x · f'(x)|` (eq. 1).
+    pub fn epsilon(self) -> f64 {
+        match self {
+            // binary16: 10 stored bits -> ulp 2^-10, eps = 2^-11 (round-to-nearest)
+            FloatTy::F16 => (2.0f64).powi(-11),
+            // bfloat16: 7 stored bits -> eps = 2^-8
+            FloatTy::BF16 => (2.0f64).powi(-8),
+            // binary32: 23 stored bits -> eps = 2^-24
+            FloatTy::F32 => (2.0f64).powi(-24),
+            // binary64: 52 stored bits -> eps = 2^-53
+            FloatTy::F64 => (2.0f64).powi(-53),
+        }
+    }
+
+    /// Number of stored significand bits (excluding the implicit leading 1).
+    pub fn mantissa_bits(self) -> u32 {
+        match self {
+            FloatTy::F16 => 10,
+            FloatTy::BF16 => 7,
+            FloatTy::F32 => 23,
+            FloatTy::F64 => 52,
+        }
+    }
+
+    /// Width of the representation in bytes (used for memory-traffic
+    /// accounting in the mixed-precision speedup model).
+    pub fn byte_width(self) -> usize {
+        match self {
+            FloatTy::F16 | FloatTy::BF16 => 2,
+            FloatTy::F32 => 4,
+            FloatTy::F64 => 8,
+        }
+    }
+
+    /// The KernelC keyword for this precision.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            FloatTy::F16 => "half",
+            FloatTy::BF16 => "bfloat",
+            FloatTy::F32 => "float",
+            FloatTy::F64 => "double",
+        }
+    }
+
+    /// The next precision *below* this one (demotion target), or `None`
+    /// for the lowest.
+    pub fn demoted(self) -> Option<FloatTy> {
+        match self {
+            FloatTy::F64 => Some(FloatTy::F32),
+            FloatTy::F32 => Some(FloatTy::F16),
+            FloatTy::BF16 | FloatTy::F16 => None,
+        }
+    }
+
+    /// All precisions, lowest first.
+    pub const ALL: [FloatTy; 4] = [FloatTy::F16, FloatTy::BF16, FloatTy::F32, FloatTy::F64];
+}
+
+impl fmt::Display for FloatTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Element type of an array (floats or integers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ElemTy {
+    /// Floating-point elements at the given precision.
+    Float(FloatTy),
+    /// 64-bit signed integer elements (index arrays, row pointers, …).
+    Int,
+}
+
+impl fmt::Display for ElemTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemTy::Float(ft) => write!(f, "{ft}"),
+            ElemTy::Int => f.write_str("int"),
+        }
+    }
+}
+
+/// A KernelC type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Type {
+    /// A floating-point scalar.
+    Float(FloatTy),
+    /// A 64-bit signed integer.
+    Int,
+    /// A boolean.
+    Bool,
+    /// A 1-D array with the given element type; length is a runtime
+    /// property of the value, not the type.
+    Array(ElemTy),
+    /// The unit/void type (function returns only).
+    Void,
+}
+
+impl Type {
+    /// `true` for `Float(_)` scalars.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::Float(_))
+    }
+
+    /// `true` for scalar numeric types (float or int).
+    pub fn is_numeric_scalar(self) -> bool {
+        matches!(self, Type::Float(_) | Type::Int)
+    }
+
+    /// The float precision, if this is a float scalar or float array.
+    pub fn float_ty(self) -> Option<FloatTy> {
+        match self {
+            Type::Float(ft) | Type::Array(ElemTy::Float(ft)) => Some(ft),
+            _ => None,
+        }
+    }
+
+    /// `true` if values of this type participate in differentiation
+    /// (the `isDiff` notion of the paper's rule S2 applies to locations of
+    /// these types).
+    pub fn is_differentiable(self) -> bool {
+        matches!(self, Type::Float(_) | Type::Array(ElemTy::Float(_)))
+    }
+
+    /// Result type of a binary arithmetic operation on `a` and `b`
+    /// following C-like promotion: the wider float wins; int op int = int;
+    /// int promotes to the float operand's precision.
+    pub fn promote(a: Type, b: Type) -> Option<Type> {
+        match (a, b) {
+            (Type::Float(x), Type::Float(y)) => Some(Type::Float(x.max(y))),
+            (Type::Float(x), Type::Int) | (Type::Int, Type::Float(x)) => Some(Type::Float(x)),
+            (Type::Int, Type::Int) => Some(Type::Int),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Float(ft) => write!(f, "{ft}"),
+            Type::Int => f.write_str("int"),
+            Type::Bool => f.write_str("bool"),
+            Type::Array(e) => write!(f, "{e}[]"),
+            Type::Void => f.write_str("void"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_values_match_ieee() {
+        assert_eq!(FloatTy::F64.epsilon(), f64::EPSILON / 2.0);
+        assert_eq!(FloatTy::F32.epsilon(), (f32::EPSILON / 2.0) as f64);
+        assert_eq!(FloatTy::F16.epsilon(), 2.0f64.powi(-11));
+        assert_eq!(FloatTy::BF16.epsilon(), 2.0f64.powi(-8));
+    }
+
+    #[test]
+    fn precision_ordering() {
+        assert!(FloatTy::F16 < FloatTy::BF16);
+        assert!(FloatTy::BF16 < FloatTy::F32);
+        assert!(FloatTy::F32 < FloatTy::F64);
+    }
+
+    #[test]
+    fn demotion_chain() {
+        assert_eq!(FloatTy::F64.demoted(), Some(FloatTy::F32));
+        assert_eq!(FloatTy::F32.demoted(), Some(FloatTy::F16));
+        assert_eq!(FloatTy::F16.demoted(), None);
+    }
+
+    #[test]
+    fn promotion_rules() {
+        use Type::*;
+        assert_eq!(
+            Type::promote(Float(FloatTy::F32), Float(FloatTy::F64)),
+            Some(Float(FloatTy::F64))
+        );
+        assert_eq!(Type::promote(Int, Float(FloatTy::F32)), Some(Float(FloatTy::F32)));
+        assert_eq!(Type::promote(Int, Int), Some(Int));
+        assert_eq!(Type::promote(Bool, Int), None);
+    }
+
+    #[test]
+    fn differentiability() {
+        assert!(Type::Float(FloatTy::F64).is_differentiable());
+        assert!(Type::Array(ElemTy::Float(FloatTy::F32)).is_differentiable());
+        assert!(!Type::Int.is_differentiable());
+        assert!(!Type::Array(ElemTy::Int).is_differentiable());
+        assert!(!Type::Bool.is_differentiable());
+    }
+}

@@ -1,0 +1,296 @@
+//! Read-only and mutating AST walkers.
+//!
+//! The analyses in `chef-ad` (activity, liveness, TBR) and the rewrites in
+//! `chef-passes` share these traversal skeletons. Override the hooks you
+//! care about and call the corresponding `walk_*` function to recurse.
+
+use crate::ast::*;
+
+/// Read-only visitor with default deep-walking behaviour.
+pub trait Visitor {
+    /// Visits an expression (default: recurse).
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+    /// Visits an lvalue (default: recurse into index expressions).
+    fn visit_lvalue(&mut self, lv: &LValue) {
+        walk_lvalue(self, lv);
+    }
+    /// Visits a statement (default: recurse).
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    /// Visits a block (default: visit each statement).
+    fn visit_block(&mut self, b: &Block) {
+        walk_block(self, b);
+    }
+}
+
+/// Default recursion for expressions.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
+    match &e.kind {
+        ExprKind::FloatLit(_) | ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::Var(_) => {}
+        ExprKind::Index { index, .. } => v.visit_expr(index),
+        ExprKind::Unary { operand, .. } => v.visit_expr(operand),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Cast { expr, .. } => v.visit_expr(expr),
+    }
+}
+
+/// Default recursion for lvalues.
+pub fn walk_lvalue<V: Visitor + ?Sized>(v: &mut V, lv: &LValue) {
+    if let LValue::Index { index, .. } = lv {
+        v.visit_expr(index);
+    }
+}
+
+/// Default recursion for statements.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Decl { size, init, .. } => {
+            if let Some(e) = size {
+                v.visit_expr(e);
+            }
+            if let Some(e) = init {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Assign { lhs, rhs, .. } => {
+            v.visit_lvalue(lhs);
+            v.visit_expr(rhs);
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            v.visit_expr(cond);
+            v.visit_block(then_branch);
+            if let Some(b) = else_branch {
+                v.visit_block(b);
+            }
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                v.visit_stmt(i);
+            }
+            if let Some(c) = cond {
+                v.visit_expr(c);
+            }
+            if let Some(st) = step {
+                v.visit_stmt(st);
+            }
+            v.visit_block(body);
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr(cond);
+            v.visit_block(body);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Block(b) => v.visit_block(b),
+        StmtKind::ExprStmt(e) => v.visit_expr(e),
+        StmtKind::TapePush(e) => v.visit_expr(e),
+        StmtKind::TapePop(lv) => v.visit_lvalue(lv),
+    }
+}
+
+/// Default recursion for blocks.
+pub fn walk_block<V: Visitor + ?Sized>(v: &mut V, b: &Block) {
+    for s in &b.stmts {
+        v.visit_stmt(s);
+    }
+}
+
+/// Mutating visitor with default deep-walking behaviour.
+pub trait MutVisitor {
+    /// Visits an expression mutably (default: recurse).
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        walk_expr_mut(self, e);
+    }
+    /// Visits an lvalue mutably (default: recurse).
+    fn visit_lvalue_mut(&mut self, lv: &mut LValue) {
+        walk_lvalue_mut(self, lv);
+    }
+    /// Visits a statement mutably (default: recurse).
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        walk_stmt_mut(self, s);
+    }
+    /// Visits a block mutably (default: visit each statement).
+    fn visit_block_mut(&mut self, b: &mut Block) {
+        walk_block_mut(self, b);
+    }
+}
+
+/// Default mutable recursion for expressions.
+pub fn walk_expr_mut<V: MutVisitor + ?Sized>(v: &mut V, e: &mut Expr) {
+    match &mut e.kind {
+        ExprKind::FloatLit(_) | ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::Var(_) => {}
+        ExprKind::Index { index, .. } => v.visit_expr_mut(index),
+        ExprKind::Unary { operand, .. } => v.visit_expr_mut(operand),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            v.visit_expr_mut(lhs);
+            v.visit_expr_mut(rhs);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                v.visit_expr_mut(a);
+            }
+        }
+        ExprKind::Cast { expr, .. } => v.visit_expr_mut(expr),
+    }
+}
+
+/// Default mutable recursion for lvalues.
+pub fn walk_lvalue_mut<V: MutVisitor + ?Sized>(v: &mut V, lv: &mut LValue) {
+    if let LValue::Index { index, .. } = lv {
+        v.visit_expr_mut(index);
+    }
+}
+
+/// Default mutable recursion for statements.
+pub fn walk_stmt_mut<V: MutVisitor + ?Sized>(v: &mut V, s: &mut Stmt) {
+    match &mut s.kind {
+        StmtKind::Decl { size, init, .. } => {
+            if let Some(e) = size {
+                v.visit_expr_mut(e);
+            }
+            if let Some(e) = init {
+                v.visit_expr_mut(e);
+            }
+        }
+        StmtKind::Assign { lhs, rhs, .. } => {
+            v.visit_lvalue_mut(lhs);
+            v.visit_expr_mut(rhs);
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            v.visit_expr_mut(cond);
+            v.visit_block_mut(then_branch);
+            if let Some(b) = else_branch {
+                v.visit_block_mut(b);
+            }
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                v.visit_stmt_mut(i);
+            }
+            if let Some(c) = cond {
+                v.visit_expr_mut(c);
+            }
+            if let Some(st) = step {
+                v.visit_stmt_mut(st);
+            }
+            v.visit_block_mut(body);
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr_mut(cond);
+            v.visit_block_mut(body);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr_mut(e);
+            }
+        }
+        StmtKind::Block(b) => v.visit_block_mut(b),
+        StmtKind::ExprStmt(e) => v.visit_expr_mut(e),
+        StmtKind::TapePush(e) => v.visit_expr_mut(e),
+        StmtKind::TapePop(lv) => v.visit_lvalue_mut(lv),
+    }
+}
+
+/// Default mutable recursion for blocks.
+pub fn walk_block_mut<V: MutVisitor + ?Sized>(v: &mut V, b: &mut Block) {
+    for s in &mut b.stmts {
+        v.visit_stmt_mut(s);
+    }
+}
+
+/// Collects the [`VarId`] of every variable *read* in an expression.
+pub fn vars_read_in_expr(e: &Expr, out: &mut Vec<VarId>) {
+    struct Reads<'a>(&'a mut Vec<VarId>);
+    impl Visitor for Reads<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            match &e.kind {
+                ExprKind::Var(v) => {
+                    if let Some(id) = v.id {
+                        self.0.push(id);
+                    }
+                }
+                ExprKind::Index { base, index } => {
+                    if let Some(id) = base.id {
+                        self.0.push(id);
+                    }
+                    self.visit_expr(index);
+                }
+                _ => walk_expr(self, e),
+            }
+        }
+    }
+    Reads(out).visit_expr(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::typeck::check_program;
+
+    #[test]
+    fn counts_nodes_via_visitor() {
+        struct Count(usize);
+        impl Visitor for Count {
+            fn visit_expr(&mut self, e: &Expr) {
+                self.0 += 1;
+                walk_expr(self, e);
+            }
+        }
+        let mut p =
+            parse_program("double f(double x) { double y = x * x + 1.0; return sqrt(y); }")
+                .unwrap();
+        check_program(&mut p).unwrap();
+        let mut c = Count(0);
+        c.visit_block(&p.functions[0].body);
+        // y-init: (x*x)+1.0 => x, x, x*x, 1.0, + = 5; return: y, sqrt(y) = 2.
+        assert_eq!(c.0, 7);
+    }
+
+    #[test]
+    fn mut_visitor_rewrites_literals() {
+        struct Doubler;
+        impl MutVisitor for Doubler {
+            fn visit_expr_mut(&mut self, e: &mut Expr) {
+                if let ExprKind::FloatLit(v) = &mut e.kind {
+                    *v *= 2.0;
+                }
+                walk_expr_mut(self, e);
+            }
+        }
+        let mut p = parse_program("double f() { return 1.5 + 2.0; }").unwrap();
+        check_program(&mut p).unwrap();
+        Doubler.visit_block_mut(&mut p.functions[0].body);
+        let printed = crate::printer::print_function(&p.functions[0]);
+        assert!(printed.contains("3.0 + 4.0"), "{printed}");
+    }
+
+    #[test]
+    fn vars_read_collects_reads() {
+        let mut p = parse_program("double f(double a[], int i, double x) { return a[i] + x; }")
+            .unwrap();
+        check_program(&mut p).unwrap();
+        let f = &p.functions[0];
+        let ret = match &f.body.stmts[0].kind {
+            StmtKind::Return(Some(e)) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut reads = Vec::new();
+        vars_read_in_expr(ret, &mut reads);
+        assert_eq!(reads.len(), 3); // a, i, x
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: printer ∘ parser round-trips on generated expression
+//! trees, and structural invariants of the span algebra.
+
+use chef_ir::ast::{BinOp, Expr, ExprKind, Intrinsic, UnOp, VarRef};
+use chef_ir::parser::parse_expr;
+use chef_ir::printer::print_expr;
+use chef_ir::span::Span;
+use proptest::prelude::*;
+
+/// Strategy for well-formed (parseable) float expression trees over the
+/// fixed variables `a`, `b`, `c`.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        // Positive finite literals (negative literals print inside a Neg).
+        (0.001f64..1e6).prop_map(|v| Expr::new(ExprKind::FloatLit(v), Span::DUMMY)),
+        prop_oneof![Just("a"), Just("b"), Just("c")]
+            .prop_map(|n| Expr::new(ExprKind::Var(VarRef::new(n, Span::DUMMY)), Span::DUMMY)),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div)
+            ])
+                .prop_map(|(l, r, op)| Expr::new(
+                    ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    Span::DUMMY
+                )),
+            inner.clone().prop_map(|e| Expr::new(
+                ExprKind::Unary { op: UnOp::Neg, operand: Box::new(e) },
+                Span::DUMMY
+            )),
+            (inner.clone(), prop_oneof![
+                Just(Intrinsic::Sin),
+                Just(Intrinsic::Cos),
+                Just(Intrinsic::Exp),
+                Just(Intrinsic::Fabs),
+                Just(Intrinsic::Tanh)
+            ])
+                .prop_map(|(e, i)| Expr::new(
+                    ExprKind::Call {
+                        callee: chef_ir::ast::Callee::Intrinsic(i),
+                        args: vec![e]
+                    },
+                    Span::DUMMY
+                )),
+            (inner.clone(), inner)
+                .prop_map(|(l, r)| Expr::new(
+                    ExprKind::Call {
+                        callee: chef_ir::ast::Callee::Intrinsic(Intrinsic::Pow),
+                        args: vec![l, r]
+                    },
+                    Span::DUMMY
+                )),
+        ]
+    })
+}
+
+/// Strips spans/types so structural equality ignores positions.
+fn canon(e: &Expr) -> String {
+    // The printed form IS the canonical structure for parseable trees.
+    print_expr(e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_print_is_identity(e in expr_strategy()) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("printed form must reparse: {err}\n{printed}"));
+        prop_assert_eq!(canon(&reparsed), printed);
+    }
+
+    #[test]
+    fn parse_is_stable_under_extra_parens(e in expr_strategy()) {
+        let printed = print_expr(&e);
+        let wrapped = format!("({printed})");
+        let reparsed = parse_expr(&wrapped).unwrap();
+        prop_assert_eq!(print_expr(&reparsed), printed);
+    }
+
+    #[test]
+    fn span_join_is_commutative_and_covering(
+        a in 0u32..1000, b in 0u32..1000, c in 0u32..1000, d in 0u32..1000
+    ) {
+        let s1 = Span::new(a.min(b), a.max(b) + 1);
+        let s2 = Span::new(c.min(d), c.max(d) + 1);
+        let j = s1.to(s2);
+        prop_assert_eq!(j, s2.to(s1));
+        prop_assert!(j.lo <= s1.lo && j.lo <= s2.lo);
+        prop_assert!(j.hi >= s1.hi && j.hi >= s2.hi);
+    }
+}
+
+#[test]
+fn whole_program_round_trip_via_printer() {
+    // A structured program exercises every statement form once.
+    let src = "double f(double x, double a[], int n) {
+    double acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 0.0) {
+            acc += a[i] * x;
+        } else {
+            acc -= fabs(a[i]);
+        }
+    }
+    while (acc > 100.0) {
+        acc /= 2.0;
+    }
+    return acc;
+}";
+    let p1 = chef_ir::parser::parse_program(src).unwrap();
+    let printed = chef_ir::printer::print_program(&p1);
+    let p2 = chef_ir::parser::parse_program(&printed).unwrap();
+    assert_eq!(printed, chef_ir::printer::print_program(&p2));
+}

@@ -1,0 +1,375 @@
+//! Local common-subexpression elimination.
+//!
+//! Within each block, pure non-trivial subexpressions whose operands are
+//! not written anywhere in that block and that occur two or more times are
+//! hoisted into a fresh temporary declared before their first occurrence.
+//! This is the optimization the paper gets "for free" from Clang once the
+//! error-estimation arithmetic is inlined into the adjoint: expressions
+//! like `x * y` shared between the primal recomputation, the adjoint
+//! update and the error term collapse into one evaluation.
+//!
+//! Candidates must be call-free of user functions, index-free (array loads
+//! may trap and alias stores), and structurally identical (keyed on the
+//! printed canonical form).
+
+use chef_ir::ast::*;
+use chef_ir::printer::print_expr;
+use chef_ir::visit::{walk_expr, walk_expr_mut, MutVisitor, Visitor};
+use std::collections::{HashMap, HashSet};
+
+/// Runs local CSE over every block of `f`. Returns `true` if anything
+/// changed.
+pub fn cse_function(f: &mut Function) -> bool {
+    // Take the body out, transform recursively with access to the
+    // function's variable table (fresh temps are registered there), put it
+    // back.
+    let mut fresh = 0usize;
+    let mut body = std::mem::take(&mut f.body);
+    let changed = transform_block(&mut body, f, &mut fresh);
+    f.body = body;
+    changed
+}
+
+fn transform_block(b: &mut Block, f: &mut Function, fresh: &mut usize) -> bool {
+    let mut changed = false;
+    // Recurse into nested blocks first.
+    for s in &mut b.stmts {
+        match &mut s.kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                changed |= transform_block(then_branch, f, fresh);
+                if let Some(eb) = else_branch {
+                    changed |= transform_block(eb, f, fresh);
+                }
+            }
+            StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                changed |= transform_block(body, f, fresh);
+            }
+            StmtKind::Block(inner) => {
+                changed |= transform_block(inner, f, fresh);
+            }
+            _ => {}
+        }
+    }
+    changed |= cse_one_block(b, f, fresh);
+    changed
+}
+
+/// Vars written anywhere inside the block (including nested statements).
+fn assigned_vars(b: &Block) -> HashSet<VarId> {
+    struct W(HashSet<VarId>);
+    impl Visitor for W {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            match &s.kind {
+                StmtKind::Assign { lhs, .. } | StmtKind::TapePop(lhs) => {
+                    if let Some(id) = lhs.var().id {
+                        self.0.insert(id);
+                    }
+                }
+                StmtKind::Decl { id, .. } => {
+                    if let Some(id) = id {
+                        self.0.insert(*id);
+                    }
+                }
+                _ => {}
+            }
+            chef_ir::visit::walk_stmt(self, s);
+        }
+    }
+    let mut w = W(HashSet::new());
+    w.visit_block(b);
+    w.0
+}
+
+/// `true` if `e` is a candidate subexpression: non-leaf, pure,
+/// index-free, reads at least one variable and none of them in `killed`.
+fn is_candidate(e: &Expr, killed: &HashSet<VarId>) -> bool {
+    match &e.kind {
+        ExprKind::Binary { .. } | ExprKind::Unary { .. } | ExprKind::Cast { .. } => {}
+        ExprKind::Call { callee: Callee::Intrinsic(_), .. } => {}
+        _ => return false,
+    }
+    if !e.ty.map_or(false, |t| t.is_numeric_scalar()) {
+        return false;
+    }
+    struct Scan<'a> {
+        killed: &'a HashSet<VarId>,
+        ok: bool,
+        reads_var: bool,
+    }
+    impl Visitor for Scan<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            match &e.kind {
+                ExprKind::Var(v) => {
+                    self.reads_var = true;
+                    if v.id.map_or(true, |id| self.killed.contains(&id)) {
+                        self.ok = false;
+                    }
+                }
+                ExprKind::Index { .. } => self.ok = false,
+                ExprKind::Call { callee: Callee::Func(_), .. } => self.ok = false,
+                _ => walk_expr(self, e),
+            }
+        }
+    }
+    let mut s = Scan { killed, ok: true, reads_var: false };
+    s.visit_expr(e);
+    s.ok && s.reads_var
+}
+
+/// Expressions borne directly by a top-level statement that are safe to
+/// rewrite (not loop headers or conditions).
+fn stmt_exprs_mut(s: &mut Stmt) -> Vec<&mut Expr> {
+    match &mut s.kind {
+        StmtKind::Decl { init: Some(e), .. } => vec![e],
+        StmtKind::Assign { rhs, .. } => vec![rhs],
+        StmtKind::Return(Some(e)) => vec![e],
+        StmtKind::ExprStmt(e) => vec![e],
+        StmtKind::TapePush(e) => vec![e],
+        _ => vec![],
+    }
+}
+
+fn stmt_exprs(s: &Stmt) -> Vec<&Expr> {
+    match &s.kind {
+        StmtKind::Decl { init: Some(e), .. } => vec![e],
+        StmtKind::Assign { rhs, .. } => vec![rhs],
+        StmtKind::Return(Some(e)) => vec![e],
+        StmtKind::ExprStmt(e) => vec![e],
+        StmtKind::TapePush(e) => vec![e],
+        _ => vec![],
+    }
+}
+
+fn cse_one_block(b: &mut Block, f: &mut Function, fresh: &mut usize) -> bool {
+    let killed = assigned_vars(b);
+    // Count candidate occurrences (key: canonical printed form).
+    let mut counts: HashMap<String, CandInfo> = HashMap::new();
+    for (si, s) in b.stmts.iter().enumerate() {
+        for e in stmt_exprs(s) {
+            collect_candidates(e, &killed, si, &mut counts);
+        }
+    }
+    let mut repeated: Vec<(String, CandInfo)> =
+        counts.into_iter().filter(|(_, i)| i.count >= 2).collect();
+    if repeated.is_empty() {
+        return false;
+    }
+    // Largest expressions first, so inner repeats stay inside the hoisted
+    // initializer of the outer one.
+    repeated.sort_by(|a, b| b.1.size.cmp(&a.1.size).then(a.0.cmp(&b.0)));
+
+    let mut changed = false;
+    for (key, info) in repeated {
+        let expr = info.expr.expect("counted expressions retain a sample");
+        // Re-locate the first statement still containing the expression
+        // (earlier replacements may have moved things).
+        let Some(first_idx) = b.stmts.iter().position(|s| {
+            stmt_exprs(s).iter().any(|e| contains_key(e, &key))
+        }) else {
+            continue;
+        };
+        // Count again post-replacements; skip if no longer repeated.
+        let occurrences: usize = b
+            .stmts
+            .iter()
+            .flat_map(stmt_exprs)
+            .map(|e| count_key(e, &key))
+            .sum();
+        if occurrences < 2 {
+            continue;
+        }
+        let ty = expr.type_of();
+        let name = format!("_cse{}", *fresh);
+        *fresh += 1;
+        let id = f.add_var(name.clone(), ty);
+        // Replace occurrences everywhere in the block's own statements.
+        let replacement = Expr::typed(ExprKind::Var(VarRef::resolved(name.clone(), id)), ty);
+        for s in &mut b.stmts {
+            for e in stmt_exprs_mut(s) {
+                replace_key(e, &key, &replacement);
+            }
+        }
+        let decl = Stmt::synth(StmtKind::Decl {
+            name,
+            id: Some(id),
+            ty,
+            size: None,
+            init: Some(expr),
+        });
+        b.stmts.insert(first_idx, decl);
+        changed = true;
+    }
+    changed
+}
+
+fn expr_size(e: &Expr) -> usize {
+    struct C(usize);
+    impl Visitor for C {
+        fn visit_expr(&mut self, e: &Expr) {
+            self.0 += 1;
+            walk_expr(self, e);
+        }
+    }
+    let mut c = C(0);
+    c.visit_expr(e);
+    c.0
+}
+
+fn collect_candidates(
+    e: &Expr,
+    killed: &HashSet<VarId>,
+    stmt_idx: usize,
+    out: &mut HashMap<String, CandInfo>,
+) {
+    if is_candidate(e, killed) {
+        let key = print_expr(e);
+        let info = out.entry(key).or_default();
+        info.count += 1;
+        if info.expr.is_none() {
+            info.first_stmt = stmt_idx;
+            info.expr = Some(e.clone());
+            info.size = expr_size(e);
+        }
+    }
+    // Recurse regardless: inner candidates count on their own.
+    match &e.kind {
+        ExprKind::Unary { operand, .. } => collect_candidates(operand, killed, stmt_idx, out),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_candidates(lhs, killed, stmt_idx, out);
+            collect_candidates(rhs, killed, stmt_idx, out);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                collect_candidates(a, killed, stmt_idx, out);
+            }
+        }
+        ExprKind::Cast { expr, .. } => collect_candidates(expr, killed, stmt_idx, out),
+        ExprKind::Index { index, .. } => collect_candidates(index, killed, stmt_idx, out),
+        _ => {}
+    }
+}
+
+/// Alias used by [`collect_candidates`]'s map values.
+#[derive(Default)]
+pub(crate) struct CandInfo {
+    pub(crate) count: usize,
+    pub(crate) first_stmt: usize,
+    pub(crate) expr: Option<Expr>,
+    pub(crate) size: usize,
+}
+
+fn contains_key(e: &Expr, key: &str) -> bool {
+    count_key(e, key) > 0
+}
+
+fn count_key(e: &Expr, key: &str) -> usize {
+    let mut n = if print_expr(e) == key { 1 } else { 0 };
+    match &e.kind {
+        ExprKind::Unary { operand, .. } => n += count_key(operand, key),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            n += count_key(lhs, key);
+            n += count_key(rhs, key);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                n += count_key(a, key);
+            }
+        }
+        ExprKind::Cast { expr, .. } => n += count_key(expr, key),
+        ExprKind::Index { index, .. } => n += count_key(index, key),
+        _ => {}
+    }
+    n
+}
+
+fn replace_key(e: &mut Expr, key: &str, replacement: &Expr) {
+    struct R<'a> {
+        key: &'a str,
+        replacement: &'a Expr,
+    }
+    impl MutVisitor for R<'_> {
+        fn visit_expr_mut(&mut self, e: &mut Expr) {
+            if print_expr(e) == self.key {
+                *e = self.replacement.clone();
+                return;
+            }
+            walk_expr_mut(self, e);
+        }
+    }
+    R { key, replacement }.visit_expr_mut(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_ir::parser::parse_program;
+    use chef_ir::printer::print_function;
+    use chef_ir::typeck::check_program;
+
+    fn csed(src: &str) -> String {
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        cse_function(&mut p.functions[0]);
+        print_function(&p.functions[0])
+    }
+
+    #[test]
+    fn hoists_repeated_products() {
+        let s = csed(
+            "double f(double x, double y) { double a = x * y + 1.0; double b = x * y - 1.0; return a + b; }",
+        );
+        assert!(s.contains("_cse0 = x * y;"), "{s}");
+        assert_eq!(s.matches("x * y").count(), 1, "{s}");
+    }
+
+    #[test]
+    fn respects_reassignment_kill() {
+        // x is reassigned in the block: x * y must NOT be CSEd.
+        let s = csed(
+            "double f(double x, double y) { double a = x * y; x = 2.0; double b = x * y; return a + b; }",
+        );
+        assert!(!s.contains("_cse"), "{s}");
+    }
+
+    #[test]
+    fn hoists_intrinsic_calls() {
+        let s = csed(
+            "double f(double x) { double a = sqrt(x + 1.0); double b = sqrt(x + 1.0) * 2.0; return a + b; }",
+        );
+        assert!(s.contains("_cse"), "{s}");
+        assert_eq!(s.matches("sqrt").count(), 1, "{s}");
+    }
+
+    #[test]
+    fn skips_array_reads() {
+        let s = csed(
+            "double f(double a[], int i) { double p = a[i] * 2.0; double q = a[i] * 2.0; return p + q; }",
+        );
+        assert!(!s.contains("_cse"), "{s}");
+    }
+
+    #[test]
+    fn works_inside_loop_bodies() {
+        let s = csed(
+            "double f(double x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += x * x + 1.0; s += x * x - 1.0; } return s; }",
+        );
+        assert!(s.contains("_cse0 = x * x;"), "{s}");
+    }
+
+    #[test]
+    fn single_occurrence_untouched() {
+        let s = csed("double f(double x, double y) { return x * y; }");
+        assert!(!s.contains("_cse"), "{s}");
+    }
+
+    #[test]
+    fn prefers_larger_expressions() {
+        let s = csed(
+            "double f(double x, double y) { double a = (x + y) * (x - y); double b = (x + y) * (x - y); return a + b; }",
+        );
+        // The whole product is hoisted once; inner x+y / x-y live in the
+        // initializer only.
+        assert!(s.contains("_cse0 = (x + y) * (x - y);"), "{s}");
+        assert_eq!(s.matches(r"(x + y) * (x - y)").count(), 1, "{s}");
+    }
+}

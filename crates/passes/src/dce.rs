@@ -1,0 +1,261 @@
+//! Dead-code elimination.
+//!
+//! Removes assignments (and initializers) whose target is a scalar local
+//! that is never read and never observable from outside the function.
+//! Observable sinks are: by-ref parameters, array parameters (their
+//! elements travel back to the caller), return expressions, tape
+//! operations, and conditions.
+//!
+//! The pass is deliberately conservative about *trapping* expressions: an
+//! RHS containing an integer division/remainder or an array access is kept
+//! even if dead, so eliminating code can never remove a runtime trap the
+//! original program had.
+
+use chef_ir::ast::*;
+use chef_ir::visit::{walk_expr, Visitor};
+use std::collections::HashSet;
+
+/// Runs DCE to fixpoint over a function. Returns `true` if anything
+/// changed.
+pub fn dce_function(f: &mut Function) -> bool {
+    let mut changed_any = false;
+    loop {
+        let reads = collect_reads(f);
+        let observable = observable_vars(f);
+        let mut pass = Remover { reads, observable, changed: false };
+        pass.block(&mut f.body);
+        if !pass.changed {
+            return changed_any;
+        }
+        changed_any = true;
+    }
+}
+
+/// `true` if evaluating `e` can never trap or call user code (safe to
+/// delete).
+pub fn expr_is_removable(e: &Expr) -> bool {
+    struct Check(bool);
+    impl Visitor for Check {
+        fn visit_expr(&mut self, e: &Expr) {
+            match &e.kind {
+                ExprKind::Call { callee: Callee::Func(_), .. } => self.0 = false,
+                ExprKind::Index { .. } => self.0 = false, // may trap OOB
+                ExprKind::Binary { op: BinOp::Rem | BinOp::Div, lhs, rhs } => {
+                    // Integer division may trap; float division is IEEE.
+                    let is_int = e.ty == Some(chef_ir::types::Type::Int);
+                    if is_int {
+                        self.0 = false;
+                    }
+                    self.visit_expr(lhs);
+                    self.visit_expr(rhs);
+                }
+                _ => walk_expr(self, e),
+            }
+        }
+    }
+    let mut c = Check(true);
+    c.visit_expr(e);
+    c.0
+}
+
+fn collect_reads(f: &Function) -> HashSet<VarId> {
+    struct Reads {
+        set: HashSet<VarId>,
+    }
+    impl Visitor for Reads {
+        fn visit_expr(&mut self, e: &Expr) {
+            match &e.kind {
+                ExprKind::Var(v) => {
+                    if let Some(id) = v.id {
+                        self.set.insert(id);
+                    }
+                }
+                ExprKind::Index { base, index } => {
+                    if let Some(id) = base.id {
+                        self.set.insert(id);
+                    }
+                    self.visit_expr(index);
+                }
+                _ => walk_expr(self, e),
+            }
+        }
+        fn visit_stmt(&mut self, s: &Stmt) {
+            // An element store reads the index expression and, via
+            // compound ops, possibly the array itself; treat the base of
+            // an index-lvalue as read (elements may be loaded later
+            // through aliasing iteration patterns we don't track).
+            if let StmtKind::Assign { lhs: LValue::Index { base, index }, .. } = &s.kind {
+                if let Some(id) = base.id {
+                    self.set.insert(id);
+                }
+                self.visit_expr(index);
+            }
+            chef_ir::visit::walk_stmt(self, s);
+        }
+    }
+    let mut r = Reads { set: HashSet::new() };
+    r.visit_block(&f.body);
+    r.set
+}
+
+fn observable_vars(f: &Function) -> HashSet<VarId> {
+    let mut set = HashSet::new();
+    for p in &f.params {
+        let observable = p.by_ref || matches!(p.ty, chef_ir::types::Type::Array(_));
+        if observable {
+            if let Some(id) = p.id {
+                set.insert(id);
+            }
+        }
+    }
+    set
+}
+
+struct Remover {
+    reads: HashSet<VarId>,
+    observable: HashSet<VarId>,
+    changed: bool,
+}
+
+impl Remover {
+    fn is_dead_target(&self, v: &VarRef) -> bool {
+        match v.id {
+            Some(id) => !self.reads.contains(&id) && !self.observable.contains(&id),
+            None => false,
+        }
+    }
+
+    fn block(&mut self, b: &mut Block) {
+        b.stmts.retain_mut(|s| self.keep_stmt(s));
+    }
+
+    /// Returns `false` to remove the statement.
+    fn keep_stmt(&mut self, s: &mut Stmt) -> bool {
+        match &mut s.kind {
+            StmtKind::Assign { lhs: LValue::Var(v), rhs, .. } => {
+                if self.is_dead_target(v) && expr_is_removable(rhs) {
+                    self.changed = true;
+                    return false;
+                }
+                true
+            }
+            StmtKind::Decl { id, init, size, .. } => {
+                let dead = id.map_or(false, |i| {
+                    !self.reads.contains(&i) && !self.observable.contains(&i)
+                });
+                if dead && size.is_none() {
+                    match init {
+                        Some(e) if !expr_is_removable(e) => true,
+                        _ => {
+                            self.changed = true;
+                            false
+                        }
+                    }
+                } else {
+                    true
+                }
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                self.block(then_branch);
+                if let Some(eb) = else_branch {
+                    self.block(eb);
+                    if eb.stmts.is_empty() {
+                        *else_branch = None;
+                        self.changed = true;
+                    }
+                }
+                if then_branch.stmts.is_empty()
+                    && else_branch.is_none()
+                    && expr_is_removable(cond)
+                {
+                    self.changed = true;
+                    return false;
+                }
+                true
+            }
+            StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                self.block(body);
+                true
+            }
+            StmtKind::Block(b) => {
+                self.block(b);
+                if b.stmts.is_empty() {
+                    self.changed = true;
+                    return false;
+                }
+                true
+            }
+            // Tape ops, element stores, returns, expression statements:
+            // always kept (side effects or observability).
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_ir::parser::parse_program;
+    use chef_ir::printer::print_function;
+    use chef_ir::typeck::check_program;
+
+    fn dced(src: &str) -> String {
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        dce_function(&mut p.functions[0]);
+        print_function(&p.functions[0])
+    }
+
+    #[test]
+    fn removes_unused_local() {
+        let s = dced("double f(double x) { double dead = x * 2.0; return x; }");
+        assert!(!s.contains("dead"), "{s}");
+    }
+
+    #[test]
+    fn removes_chains_to_fixpoint() {
+        let s = dced("double f(double x) { double a = x; double b = a * 2.0; double c = b + 1.0; return x; }");
+        assert!(!s.contains("double a"), "{s}");
+        assert!(!s.contains("double b"), "{s}");
+        assert!(!s.contains("double c"), "{s}");
+    }
+
+    #[test]
+    fn keeps_by_ref_param_stores() {
+        let s = dced("void f(double x, double &out) { out = x * 2.0; }");
+        assert!(s.contains("out = x * 2.0;"), "{s}");
+    }
+
+    #[test]
+    fn keeps_array_element_stores() {
+        let s = dced("void f(double a[], double x) { a[0] = x; }");
+        assert!(s.contains("a[0] = x;"), "{s}");
+    }
+
+    #[test]
+    fn keeps_trapping_rhs() {
+        // 1 / n may trap; the assignment is dead but must stay.
+        let s = dced("int f(int n) { int dead = 1 / n; return n; }");
+        assert!(s.contains("1 / n"), "{s}");
+    }
+
+    #[test]
+    fn removes_empty_if() {
+        let s = dced("double f(double x) { if (x > 0.0) { double d = x; } return x; }");
+        assert!(!s.contains("if"), "{s}");
+    }
+
+    #[test]
+    fn keeps_used_variables() {
+        let s = dced("double f(double x) { double y = x * x; return y + 1.0; }");
+        assert!(s.contains("y = x * x"), "{s}");
+    }
+
+    #[test]
+    fn keeps_loop_with_live_accumulator() {
+        let s = dced(
+            "double f(int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += 1.0; } return s; }",
+        );
+        assert!(s.contains("s += 1.0;"), "{s}");
+    }
+}

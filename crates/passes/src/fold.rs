@@ -1,0 +1,358 @@
+//! Constant folding and (IEEE-safe) algebraic simplification.
+//!
+//! The paper's speed argument is that inlined error-estimation code
+//! "becomes a candidate for further compiler optimizations". This pass is
+//! the first of those: it evaluates literal subtrees at compile time and
+//! applies only *value-preserving* identities. Unsafe rewrites of the
+//! `-ffast-math` family (reassociation, `x*0 → 0`, `x-x → 0`) are
+//! deliberately excluded — §V-B of the paper warns that exactly those
+//! optimizations change the FP error behaviour being analyzed.
+
+use chef_ir::ast::*;
+use chef_ir::visit::{walk_expr_mut, MutVisitor};
+use chef_ir::types::{FloatTy, Type};
+
+/// Runs constant folding + safe algebraic simplification over a function.
+/// Returns `true` if anything changed.
+pub fn fold_function(f: &mut Function) -> bool {
+    let mut v = Folder { changed: false };
+    v.visit_block_mut(&mut f.body);
+    v.changed
+}
+
+struct Folder {
+    changed: bool,
+}
+
+impl MutVisitor for Folder {
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        // Children first (bottom-up folding).
+        walk_expr_mut(self, e);
+        if let Some(new) = fold_expr(e) {
+            *e = new;
+            self.changed = true;
+        }
+    }
+
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        chef_ir::visit::walk_stmt_mut(self, s);
+        // `if (true) …` / `if (false) …` → keep only the taken branch.
+        if let StmtKind::If { cond, then_branch, else_branch } = &mut s.kind {
+            if let ExprKind::BoolLit(b) = cond.kind {
+                let taken = if b {
+                    std::mem::take(then_branch)
+                } else {
+                    else_branch.take().unwrap_or_default()
+                };
+                s.kind = StmtKind::Block(taken);
+                self.changed = true;
+            }
+        }
+        // `while (false) …` → nothing.
+        if let StmtKind::While { cond, .. } = &s.kind {
+            if matches!(cond.kind, ExprKind::BoolLit(false)) {
+                s.kind = StmtKind::Block(Block::empty());
+                self.changed = true;
+            }
+        }
+    }
+}
+
+/// Attempts to rewrite one (already children-folded) expression node.
+fn fold_expr(e: &Expr) -> Option<Expr> {
+    let ty = e.ty;
+    let span = e.span;
+    let mk = |kind: ExprKind| Expr { kind, span, ty };
+    match &e.kind {
+        ExprKind::Unary { op, operand } => match (op, &operand.kind) {
+            (UnOp::Neg, ExprKind::FloatLit(v)) => Some(mk(ExprKind::FloatLit(-v))),
+            (UnOp::Neg, ExprKind::IntLit(v)) => Some(mk(ExprKind::IntLit(v.wrapping_neg()))),
+            (UnOp::Not, ExprKind::BoolLit(b)) => Some(mk(ExprKind::BoolLit(!b))),
+            // -(-x) → x ; !(!b) → b (exact for IEEE negation).
+            (UnOp::Neg, ExprKind::Unary { op: UnOp::Neg, operand: inner })
+            | (UnOp::Not, ExprKind::Unary { op: UnOp::Not, operand: inner }) => {
+                Some((**inner).clone())
+            }
+            _ => None,
+        },
+        ExprKind::Binary { op, lhs, rhs } => fold_binary(*op, lhs, rhs, &mk),
+        ExprKind::Cast { ty: target, expr } => {
+            // Fold casts of literals where we can round exactly without the
+            // soft-float tables: f32/f64 and int targets.
+            match (&expr.kind, target) {
+                (ExprKind::FloatLit(v), Type::Float(FloatTy::F64)) => {
+                    Some(mk(ExprKind::FloatLit(*v)))
+                }
+                (ExprKind::FloatLit(v), Type::Float(FloatTy::F32)) => {
+                    Some(mk(ExprKind::FloatLit(*v as f32 as f64)))
+                }
+                (ExprKind::FloatLit(v), Type::Int) if v.is_finite() => {
+                    Some(mk(ExprKind::IntLit(*v as i64)))
+                }
+                (ExprKind::IntLit(v), Type::Int) => Some(mk(ExprKind::IntLit(*v))),
+                (ExprKind::IntLit(v), Type::Float(FloatTy::F64)) => {
+                    Some(mk(ExprKind::FloatLit(*v as f64)))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn fold_binary(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    mk: &dyn Fn(ExprKind) -> Expr,
+) -> Option<Expr> {
+    use ExprKind::*;
+    // The precision the result must be rounded to: for a `float`-typed
+    // node (e.g. both operands came from `(float)` casts) the VM would
+    // compute and then round to f32, so the fold must do the same.
+    // f16/bf16 results are left unfolded (rounding needs the soft-float
+    // tables in `chef-exec`, which this crate does not depend on).
+    let result_prec = match lhs.ty.zip(rhs.ty) {
+        Some((Type::Float(a), Type::Float(b))) => Some(a.max(b)),
+        Some((Type::Float(a), Type::Int)) | Some((Type::Int, Type::Float(a))) => Some(a),
+        _ => None,
+    };
+    let foldable_prec = !matches!(result_prec, Some(FloatTy::F16) | Some(FloatTy::BF16));
+    // Literal ⊕ literal.
+    match (&lhs.kind, &rhs.kind) {
+        (FloatLit(a), FloatLit(b)) if foldable_prec => {
+            return fold_float_binop(op, *a, *b, result_prec).map(mk);
+        }
+        (IntLit(a), IntLit(b)) => {
+            return fold_int_binop(op, *a, *b).map(mk);
+        }
+        // Mixed int/float arithmetic promotes the int (C semantics).
+        (IntLit(a), FloatLit(b)) if foldable_prec => {
+            return fold_float_binop(op, *a as f64, *b, result_prec).map(mk);
+        }
+        (FloatLit(a), IntLit(b)) if foldable_prec => {
+            return fold_float_binop(op, *a, *b as f64, result_prec).map(mk);
+        }
+        (BoolLit(a), BoolLit(b)) => {
+            let v = match op {
+                BinOp::And => *a && *b,
+                BinOp::Or => *a || *b,
+                BinOp::Eq => a == b,
+                BinOp::Ne => a != b,
+                _ => return None,
+            };
+            return Some(mk(BoolLit(v)));
+        }
+        _ => {}
+    }
+    // IEEE-safe identities. `x + 0.0`, `x - 0.0`, `x * 1.0`, `x / 1.0`
+    // are exact for every x including NaN and infinities (note: `0.0 + x`
+    // is also exact; `x + (-0.0)` is, too, but plain `+0.0` on the left of
+    // `-` is not: `0.0 - x` ≠ `-x` for x = 0.0).
+    let is_f0 = |e: &Expr| matches!(e.kind, FloatLit(v) if v == 0.0 && v.is_sign_positive());
+    let is_f1 = |e: &Expr| matches!(e.kind, FloatLit(v) if v == 1.0);
+    let is_i0 = |e: &Expr| matches!(e.kind, IntLit(0));
+    let is_i1 = |e: &Expr| matches!(e.kind, IntLit(1));
+    match op {
+        BinOp::Add => {
+            // x + 0.0 → x only when x is a float expression: if x were an
+            // int, the promotion to float must stay.
+            if is_f0(rhs) && lhs.ty.map(Type::is_float) == Some(true) {
+                return Some(lhs.clone());
+            }
+            if is_f0(lhs) && rhs.ty.map(Type::is_float) == Some(true) {
+                return Some(rhs.clone());
+            }
+            if is_i0(rhs) && lhs.ty == Some(Type::Int) {
+                return Some(lhs.clone());
+            }
+            if is_i0(lhs) && rhs.ty == Some(Type::Int) {
+                return Some(rhs.clone());
+            }
+        }
+        BinOp::Sub => {
+            if is_f0(rhs) && lhs.ty.map(Type::is_float) == Some(true) {
+                return Some(lhs.clone());
+            }
+            if is_i0(rhs) && lhs.ty == Some(Type::Int) {
+                return Some(lhs.clone());
+            }
+        }
+        BinOp::Mul => {
+            if is_f1(rhs) && lhs.ty.map(Type::is_float) == Some(true) {
+                return Some(lhs.clone());
+            }
+            if is_f1(lhs) && rhs.ty.map(Type::is_float) == Some(true) {
+                return Some(rhs.clone());
+            }
+            if is_i1(rhs) && lhs.ty == Some(Type::Int) {
+                return Some(lhs.clone());
+            }
+            if is_i1(lhs) && rhs.ty == Some(Type::Int) {
+                return Some(rhs.clone());
+            }
+        }
+        BinOp::Div => {
+            if is_f1(rhs) && lhs.ty.map(Type::is_float) == Some(true) {
+                return Some(lhs.clone());
+            }
+            if is_i1(rhs) && lhs.ty == Some(Type::Int) {
+                return Some(lhs.clone());
+            }
+        }
+        // b && true → b ; b && false → false (no side effects in KernelC
+        // expressions, so dropping the left operand is safe only when it
+        // is the one being erased — here we only erase literals).
+        BinOp::And => {
+            if matches!(rhs.kind, BoolLit(true)) {
+                return Some(lhs.clone());
+            }
+            if matches!(lhs.kind, BoolLit(true)) {
+                return Some(rhs.clone());
+            }
+            if matches!(lhs.kind, BoolLit(false)) {
+                return Some(mk(BoolLit(false)));
+            }
+        }
+        BinOp::Or => {
+            if matches!(rhs.kind, BoolLit(false)) {
+                return Some(lhs.clone());
+            }
+            if matches!(lhs.kind, BoolLit(false)) {
+                return Some(rhs.clone());
+            }
+            if matches!(lhs.kind, BoolLit(true)) {
+                return Some(mk(BoolLit(true)));
+            }
+        }
+        _ => {}
+    }
+    None
+}
+
+fn fold_float_binop(op: BinOp, a: f64, b: f64, prec: Option<FloatTy>) -> Option<ExprKind> {
+    // Round arithmetic to the node's effective precision, exactly like the
+    // VM would (F16/BF16 were filtered out by the caller).
+    let r = |v: f64| match prec {
+        Some(FloatTy::F32) => v as f32 as f64,
+        _ => v,
+    };
+    Some(match op {
+        BinOp::Add => ExprKind::FloatLit(r(a + b)),
+        BinOp::Sub => ExprKind::FloatLit(r(a - b)),
+        BinOp::Mul => ExprKind::FloatLit(r(a * b)),
+        BinOp::Div => ExprKind::FloatLit(r(a / b)),
+        BinOp::Eq => ExprKind::BoolLit(a == b),
+        BinOp::Ne => ExprKind::BoolLit(a != b),
+        BinOp::Lt => ExprKind::BoolLit(a < b),
+        BinOp::Le => ExprKind::BoolLit(a <= b),
+        BinOp::Gt => ExprKind::BoolLit(a > b),
+        BinOp::Ge => ExprKind::BoolLit(a >= b),
+        BinOp::Rem | BinOp::And | BinOp::Or => return None,
+    })
+}
+
+fn fold_int_binop(op: BinOp, a: i64, b: i64) -> Option<ExprKind> {
+    Some(match op {
+        BinOp::Add => ExprKind::IntLit(a.wrapping_add(b)),
+        BinOp::Sub => ExprKind::IntLit(a.wrapping_sub(b)),
+        BinOp::Mul => ExprKind::IntLit(a.wrapping_mul(b)),
+        // Division/remainder by zero traps at runtime; keep it visible.
+        BinOp::Div if b != 0 => ExprKind::IntLit(a.wrapping_div(b)),
+        BinOp::Rem if b != 0 => ExprKind::IntLit(a.wrapping_rem(b)),
+        BinOp::Eq => ExprKind::BoolLit(a == b),
+        BinOp::Ne => ExprKind::BoolLit(a != b),
+        BinOp::Lt => ExprKind::BoolLit(a < b),
+        BinOp::Le => ExprKind::BoolLit(a <= b),
+        BinOp::Gt => ExprKind::BoolLit(a > b),
+        BinOp::Ge => ExprKind::BoolLit(a >= b),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_ir::parser::parse_program;
+    use chef_ir::printer::print_function;
+    use chef_ir::typeck::check_program;
+
+    fn folded(src: &str) -> String {
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        fold_function(&mut p.functions[0]);
+        print_function(&p.functions[0])
+    }
+
+    #[test]
+    fn folds_literal_arithmetic() {
+        let s = folded("double f() { return 2.0 * 3.0 + 4.0; }");
+        assert!(s.contains("return 10.0;"), "{s}");
+    }
+
+    #[test]
+    fn folds_nested_and_mixed() {
+        let s = folded("double f() { return (1 + 2) * 2.5; }");
+        assert!(s.contains("return 7.5;"), "{s}");
+    }
+
+    #[test]
+    fn identity_mul_one() {
+        let s = folded("double f(double x) { return x * 1.0 + 0.0; }");
+        assert!(s.contains("return x;"), "{s}");
+    }
+
+    #[test]
+    fn keeps_int_promotion_with_float_zero() {
+        // n + 0.0 must stay a float expression, not collapse to int n.
+        let s = folded("double f(int n) { return n + 0.0; }");
+        assert!(s.contains("n + 0.0"), "{s}");
+    }
+
+    #[test]
+    fn does_not_fold_unsafe_identities() {
+        // x * 0.0 could hide NaN/Inf; x - x could hide NaN.
+        let s = folded("double f(double x) { return x * 0.0 + (x - x); }");
+        assert!(s.contains("x * 0.0"), "{s}");
+        assert!(s.contains("x - x"), "{s}");
+    }
+
+    #[test]
+    fn negative_zero_is_not_erased() {
+        // x + (-0.0) is exact, but our conservative check only erases +0.0;
+        // what matters is we never rewrite 0.0 - x.
+        let s = folded("double f(double x) { return 0.0 - x; }");
+        assert!(s.contains("0.0 - x"), "{s}");
+    }
+
+    #[test]
+    fn folds_branches_on_literal_conditions() {
+        let s = folded("double f(double x) { if (true) { x = 1.0; } else { x = 2.0; } return x; }");
+        assert!(s.contains("x = 1.0;"), "{s}");
+        assert!(!s.contains("x = 2.0;"), "{s}");
+    }
+
+    #[test]
+    fn folds_double_negation() {
+        let s = folded("double f(double x) { return -(-x); }");
+        assert!(s.contains("return x;"), "{s}");
+    }
+
+    #[test]
+    fn folds_float_casts() {
+        let s = folded("double f() { return (float)0.1; }");
+        assert!(s.contains(&format!("return {:?};", 0.1f32 as f64)), "{s}");
+    }
+
+    #[test]
+    fn does_not_fold_div_by_zero_int() {
+        let s = folded("int f() { return 1 / 0; }");
+        assert!(s.contains("1 / 0"), "{s}");
+    }
+
+    #[test]
+    fn folds_comparisons_and_logic() {
+        let s = folded("bool f() { return 1.0 < 2.0 && !(3 > 4); }");
+        assert!(s.contains("return true;"), "{s}");
+    }
+}

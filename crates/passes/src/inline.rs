@@ -1,0 +1,635 @@
+//! User-function inlining.
+//!
+//! The VM executes one flat function, and the reverse-mode transformation
+//! in `chef-ad` differentiates one flat function — so user calls (e.g. the
+//! `CNDF` helper of Black-Scholes) are inlined first, callees before
+//! callers, in topological order of the call graph.
+//!
+//! Supported callee shape: any KernelC function whose `return` (if any) is
+//! the unique final top-level statement. By-value scalar arguments bind to
+//! fresh locals; by-ref scalars and arrays substitute the caller's lvalue
+//! directly.
+
+use chef_ir::ast::*;
+use chef_ir::span::Span;
+use chef_ir::types::Type;
+use chef_ir::visit::{walk_expr_mut, MutVisitor, Visitor};
+use std::collections::HashMap;
+
+/// Why inlining failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InlineError {
+    /// The call graph has a cycle through this function.
+    Recursive {
+        /// A function on the cycle.
+        name: String,
+    },
+    /// Callee has a `return` that is not the unique final statement.
+    UnsupportedReturn {
+        /// The callee.
+        name: String,
+    },
+    /// A user call appears in a loop condition or step, where statement
+    /// hoisting would change per-iteration semantics.
+    CallInLoopHeader {
+        /// Call site.
+        span: Span,
+    },
+    /// Callee not found in the program.
+    UnknownFunction {
+        /// The missing name.
+        name: String,
+    },
+    /// A by-ref/array argument is not a plain variable reference.
+    BadByRefArgument {
+        /// Call site.
+        span: Span,
+    },
+}
+
+impl std::fmt::Display for InlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InlineError::Recursive { name } => write!(f, "recursive call through `{name}`"),
+            InlineError::UnsupportedReturn { name } => {
+                write!(f, "`{name}`: only a single trailing `return` is inlinable")
+            }
+            InlineError::CallInLoopHeader { .. } => {
+                write!(f, "user calls in loop conditions/steps cannot be inlined")
+            }
+            InlineError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
+            InlineError::BadByRefArgument { .. } => {
+                write!(f, "by-ref/array arguments must be variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InlineError {}
+
+/// Inlines every user call in every function of `p`, returning a program
+/// whose functions are call-free (ready for `chef-exec`/`chef-ad`).
+pub fn inline_program(p: &Program) -> Result<Program, InlineError> {
+    let order = topo_order(p)?;
+    let mut done: HashMap<String, Function> = HashMap::new();
+    for name in order {
+        let f = p.function(&name).expect("topo order names come from the program");
+        let mut f = f.clone();
+        inline_function(&mut f, &done)?;
+        done.insert(name, f);
+    }
+    // Preserve the original definition order.
+    let functions = p
+        .functions
+        .iter()
+        .map(|f| done.remove(&f.name).expect("every function was processed"))
+        .collect();
+    Ok(Program { functions })
+}
+
+/// Inlines calls in `f` against a map of already-inlined callees.
+pub fn inline_function(
+    f: &mut Function,
+    callees: &HashMap<String, Function>,
+) -> Result<(), InlineError> {
+    let mut body = std::mem::take(&mut f.body);
+    let mut ctx = Ctx { func: f, callees, fresh: 0 };
+    ctx.block(&mut body)?;
+    f.body = body;
+    Ok(())
+}
+
+fn topo_order(p: &Program) -> Result<Vec<String>, InlineError> {
+    // DFS with three colours for cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    fn callees_of(f: &Function) -> Vec<String> {
+        struct C(Vec<String>);
+        impl chef_ir::visit::Visitor for C {
+            fn visit_expr(&mut self, e: &Expr) {
+                if let ExprKind::Call { callee: Callee::Func(n), .. } = &e.kind {
+                    self.0.push(n.clone());
+                }
+                chef_ir::visit::walk_expr(self, e);
+            }
+        }
+        let mut c = C(Vec::new());
+        c.visit_block(&f.body);
+        c.0
+    }
+    fn dfs(
+        name: &str,
+        p: &Program,
+        colors: &mut HashMap<String, Color>,
+        out: &mut Vec<String>,
+    ) -> Result<(), InlineError> {
+        match colors.get(name).copied().unwrap_or(Color::White) {
+            Color::Black => return Ok(()),
+            Color::Grey => return Err(InlineError::Recursive { name: name.to_string() }),
+            Color::White => {}
+        }
+        colors.insert(name.to_string(), Color::Grey);
+        let f = p
+            .function(name)
+            .ok_or_else(|| InlineError::UnknownFunction { name: name.to_string() })?;
+        for c in callees_of(f) {
+            dfs(&c, p, colors, out)?;
+        }
+        colors.insert(name.to_string(), Color::Black);
+        out.push(name.to_string());
+        Ok(())
+    }
+    let mut colors = HashMap::new();
+    let mut out = Vec::new();
+    for f in &p.functions {
+        dfs(&f.name, p, &mut colors, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// How a callee variable maps into the caller.
+#[derive(Clone, Debug)]
+enum Mapping {
+    /// Fresh caller-local (by-value params and callee locals).
+    Fresh(VarId, Symbol),
+    /// The caller's lvalue (by-ref scalar args), read via `to_expr`.
+    Place(LValue, Type),
+}
+
+struct Ctx<'a> {
+    func: &'a mut Function,
+    callees: &'a HashMap<String, Function>,
+    fresh: usize,
+}
+
+impl Ctx<'_> {
+    fn block(&mut self, b: &mut Block) -> Result<(), InlineError> {
+        let mut out: Vec<Stmt> = Vec::with_capacity(b.stmts.len());
+        for mut s in std::mem::take(&mut b.stmts) {
+            let mut prelude = Vec::new();
+            match &mut s.kind {
+                StmtKind::Decl { init, size, .. } => {
+                    if let Some(e) = init {
+                        self.extract(e, &mut prelude)?;
+                    }
+                    if let Some(e) = size {
+                        self.extract(e, &mut prelude)?;
+                    }
+                }
+                StmtKind::Assign { lhs, rhs, .. } => {
+                    if let LValue::Index { index, .. } = lhs {
+                        self.extract(index, &mut prelude)?;
+                    }
+                    self.extract(rhs, &mut prelude)?;
+                }
+                StmtKind::Return(Some(e)) => self.extract(e, &mut prelude)?,
+                StmtKind::If { cond, then_branch, else_branch } => {
+                    self.extract(cond, &mut prelude)?;
+                    self.block(then_branch)?;
+                    if let Some(eb) = else_branch {
+                        self.block(eb)?;
+                    }
+                }
+                StmtKind::For { init, cond, step, body } => {
+                    if let Some(i) = init {
+                        if stmt_has_call(i) {
+                            return Err(InlineError::CallInLoopHeader { span: i.span });
+                        }
+                    }
+                    if let Some(c) = cond {
+                        if expr_has_call(c) {
+                            return Err(InlineError::CallInLoopHeader { span: c.span });
+                        }
+                    }
+                    if let Some(st) = step {
+                        if stmt_has_call(st) {
+                            return Err(InlineError::CallInLoopHeader { span: st.span });
+                        }
+                    }
+                    self.block(body)?;
+                }
+                StmtKind::While { cond, body } => {
+                    if expr_has_call(cond) {
+                        return Err(InlineError::CallInLoopHeader { span: cond.span });
+                    }
+                    self.block(body)?;
+                }
+                StmtKind::Block(inner) => self.block(inner)?,
+                StmtKind::ExprStmt(e) => {
+                    // A bare void call: splice the body, drop the
+                    // statement.
+                    if let ExprKind::Call { callee: Callee::Func(name), args } = &e.kind {
+                        let callee = self
+                            .callees
+                            .get(name.as_str())
+                            .ok_or_else(|| InlineError::UnknownFunction { name: name.clone() })?
+                            .clone();
+                        if callee.ret == Type::Void {
+                            let mut args = args.clone();
+                            for a in &mut args {
+                                self.extract(a, &mut prelude)?;
+                            }
+                            self.splice(&callee, &args, None, &mut prelude)?;
+                            out.extend(prelude);
+                            continue; // statement consumed
+                        }
+                    }
+                    self.extract(e, &mut prelude)?;
+                }
+                StmtKind::Return(None)
+                | StmtKind::TapePush(_)
+                | StmtKind::TapePop(_) => {}
+            }
+            out.extend(prelude);
+            out.push(s);
+        }
+        b.stmts = out;
+        Ok(())
+    }
+
+    /// Rewrites `e` in place, replacing user calls with fresh result
+    /// variables whose computation is appended to `prelude`.
+    fn extract(&mut self, e: &mut Expr, prelude: &mut Vec<Stmt>) -> Result<(), InlineError> {
+        // Children first so innermost calls inline first.
+        match &mut e.kind {
+            ExprKind::Unary { operand, .. } => self.extract(operand, prelude)?,
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.extract(lhs, prelude)?;
+                self.extract(rhs, prelude)?;
+            }
+            ExprKind::Cast { expr, .. } => self.extract(expr, prelude)?,
+            ExprKind::Index { index, .. } => self.extract(index, prelude)?,
+            ExprKind::Call { args, .. } => {
+                for a in args.iter_mut() {
+                    self.extract(a, prelude)?;
+                }
+            }
+            _ => {}
+        }
+        if let ExprKind::Call { callee: Callee::Func(name), args } = &e.kind {
+            let callee = self
+                .callees
+                .get(name.as_str())
+                .ok_or_else(|| InlineError::UnknownFunction { name: name.clone() })?
+                .clone();
+            if matches!(callee.ret, Type::Void) {
+                return Err(InlineError::UnsupportedReturn { name: name.clone() });
+            }
+            let ret_name = format!("_ret_{}_{}", callee.name, self.fresh);
+            self.fresh += 1;
+            let ret_id = self.func.add_var(ret_name.clone(), callee.ret);
+            prelude.push(Stmt::synth(StmtKind::Decl {
+                name: ret_name.clone(),
+                id: Some(ret_id),
+                ty: callee.ret,
+                size: None,
+                init: None,
+            }));
+            self.splice(&callee, args, Some((ret_id, ret_name.clone())), prelude)?;
+            *e = Expr::typed(
+                ExprKind::Var(VarRef::resolved(ret_name, ret_id)),
+                callee.ret,
+            );
+        }
+        Ok(())
+    }
+
+    /// Splices `callee`'s (renamed) body into `prelude`, binding arguments
+    /// and redirecting the trailing return into `ret`.
+    fn splice(
+        &mut self,
+        callee: &Function,
+        args: &[Expr],
+        ret: Option<(VarId, Symbol)>,
+        prelude: &mut Vec<Stmt>,
+    ) -> Result<(), InlineError> {
+        let tag = self.fresh;
+        self.fresh += 1;
+        let mut map: HashMap<VarId, Mapping> = HashMap::new();
+        // Bind parameters.
+        for (pi, (param, arg)) in callee.params.iter().zip(args).enumerate() {
+            let pid = param.id.expect("typeck resolves params");
+            let by_ref = param.by_ref || matches!(param.ty, Type::Array(_));
+            if by_ref {
+                let lv = match &arg.kind {
+                    ExprKind::Var(v) => LValue::Var(v.clone()),
+                    ExprKind::Index { base, index } => {
+                        LValue::Index { base: base.clone(), index: (**index).clone() }
+                    }
+                    _ => return Err(InlineError::BadByRefArgument { span: arg.span }),
+                };
+                map.insert(pid, Mapping::Place(lv, param.ty));
+            } else {
+                let name = format!("_arg{}_{}_{}", tag, pi, param.name);
+                let id = self.func.add_var(name.clone(), param.ty);
+                prelude.push(Stmt::synth(StmtKind::Decl {
+                    name: name.clone(),
+                    id: Some(id),
+                    ty: param.ty,
+                    size: None,
+                    init: Some(arg.clone()),
+                }));
+                map.insert(pid, Mapping::Fresh(id, name));
+            }
+        }
+        // Register fresh locals for the callee's own variables.
+        for (vid, info) in callee.vars_iter() {
+            if info.is_param {
+                continue;
+            }
+            let name = format!("_inl{}_{}", tag, info.name);
+            let id = self.func.add_var(name.clone(), info.ty);
+            map.insert(vid, Mapping::Fresh(id, name));
+        }
+        // Validate return placement and clone the body.
+        let mut stmts = callee.body.stmts.clone();
+        let trailing_return = matches!(stmts.last().map(|s| &s.kind), Some(StmtKind::Return(_)));
+        let illegal_returns = stmts
+            .iter()
+            .take(if trailing_return { stmts.len() - 1 } else { stmts.len() })
+            .any(stmt_contains_return);
+        if illegal_returns {
+            return Err(InlineError::UnsupportedReturn { name: callee.name.clone() });
+        }
+        if let Some(Stmt { kind: StmtKind::Return(val), .. }) = stmts.last_mut() {
+            let val = val.take();
+            let last = stmts.len() - 1;
+            match (val, &ret) {
+                (Some(v), Some((rid, rname))) => {
+                    stmts[last] = Stmt::synth(StmtKind::Assign {
+                        lhs: LValue::Var(VarRef::resolved(rname.clone(), *rid)),
+                        op: AssignOp::Assign,
+                        rhs: v,
+                    });
+                }
+                _ => {
+                    stmts.pop();
+                }
+            }
+        } else if ret.is_some() {
+            // Non-void callee must end with a return.
+            return Err(InlineError::UnsupportedReturn { name: callee.name.clone() });
+        }
+        // Rename everything.
+        let mut ren = Renamer { map: &map };
+        for s in &mut stmts {
+            ren.visit_stmt_mut(s);
+        }
+        prelude.extend(stmts);
+        Ok(())
+    }
+}
+
+struct Renamer<'a> {
+    map: &'a HashMap<VarId, Mapping>,
+}
+
+impl MutVisitor for Renamer<'_> {
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        match &mut e.kind {
+            ExprKind::Var(v) => {
+                if let Some(id) = v.id {
+                    match self.map.get(&id) {
+                        Some(Mapping::Fresh(nid, nname)) => {
+                            *v = VarRef::resolved(nname.clone(), *nid);
+                        }
+                        Some(Mapping::Place(lv, ty)) => {
+                            let ty = *ty;
+                            let mut read = lv.to_expr(ty);
+                            // The index inside the place may itself
+                            // reference caller variables — it is already in
+                            // caller terms, do not rename it.
+                            read.span = e.span;
+                            *e = read;
+                            return;
+                        }
+                        None => {}
+                    }
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.rename_base(base);
+                self.visit_expr_mut(index);
+                return;
+            }
+            _ => {}
+        }
+        walk_expr_mut(self, e);
+    }
+
+    fn visit_lvalue_mut(&mut self, lv: &mut LValue) {
+        match lv {
+            LValue::Var(v) => {
+                if let Some(id) = v.id {
+                    match self.map.get(&id) {
+                        Some(Mapping::Fresh(nid, nname)) => {
+                            *v = VarRef::resolved(nname.clone(), *nid);
+                        }
+                        Some(Mapping::Place(place, _)) => {
+                            *lv = place.clone();
+                        }
+                        None => {}
+                    }
+                }
+            }
+            LValue::Index { base, index } => {
+                self.rename_base(base);
+                self.visit_expr_mut(index);
+            }
+        }
+    }
+
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        if let StmtKind::Decl { name, id, .. } = &mut s.kind {
+            if let Some(old) = id {
+                if let Some(Mapping::Fresh(nid, nname)) = self.map.get(old) {
+                    *name = nname.clone();
+                    *id = Some(*nid);
+                }
+            }
+        }
+        chef_ir::visit::walk_stmt_mut(self, s);
+    }
+}
+
+impl Renamer<'_> {
+    fn rename_base(&self, base: &mut VarRef) {
+        if let Some(id) = base.id {
+            match self.map.get(&id) {
+                Some(Mapping::Fresh(nid, nname)) => {
+                    *base = VarRef::resolved(nname.clone(), *nid);
+                }
+                Some(Mapping::Place(LValue::Var(v), _)) => {
+                    *base = v.clone();
+                }
+                Some(Mapping::Place(..)) => {
+                    // Array params can only bind whole arrays (typeck).
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+fn expr_has_call(e: &Expr) -> bool {
+    struct C(bool);
+    impl chef_ir::visit::Visitor for C {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let ExprKind::Call { callee: Callee::Func(_), .. } = &e.kind {
+                self.0 = true;
+            }
+            chef_ir::visit::walk_expr(self, e);
+        }
+    }
+    let mut c = C(false);
+    c.visit_expr(e);
+    c.0
+}
+
+fn stmt_has_call(s: &Stmt) -> bool {
+    struct C(bool);
+    impl chef_ir::visit::Visitor for C {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let ExprKind::Call { callee: Callee::Func(_), .. } = &e.kind {
+                self.0 = true;
+            }
+            chef_ir::visit::walk_expr(self, e);
+        }
+    }
+    let mut c = C(false);
+    c.visit_stmt(s);
+    c.0
+}
+
+fn stmt_contains_return(s: &Stmt) -> bool {
+    struct C(bool);
+    impl chef_ir::visit::Visitor for C {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            if matches!(s.kind, StmtKind::Return(_)) {
+                self.0 = true;
+            }
+            chef_ir::visit::walk_stmt(self, s);
+        }
+    }
+    let mut c = C(false);
+    c.visit_stmt(s);
+    c.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_ir::parser::parse_program;
+    use chef_ir::printer::print_function;
+    use chef_ir::typeck::check_program;
+
+    fn inlined(src: &str, which: &str) -> String {
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        let q = inline_program(&p).unwrap();
+        print_function(q.function(which).unwrap())
+    }
+
+    #[test]
+    fn inlines_simple_call() {
+        let s = inlined(
+            "double sq(double a) { return a * a; }
+             double f(double x) { return sq(x) + sq(2.0 * x); }",
+            "f",
+        );
+        assert!(!s.contains("sq("), "{s}");
+        assert!(s.contains("_arg"), "{s}");
+    }
+
+    #[test]
+    fn inlines_transitively() {
+        let s = inlined(
+            "double sq(double a) { return a * a; }
+             double quad(double a) { return sq(sq(a)); }
+             double f(double x) { return quad(x); }",
+            "f",
+        );
+        assert!(!s.contains("quad("), "{s}");
+        assert!(!s.contains("sq("), "{s}");
+    }
+
+    #[test]
+    fn inlines_by_ref_argument() {
+        let s = inlined(
+            "void bump(double &v) { v = v + 1.0; }
+             double f(double x) { bump(x); return x; }",
+            "f",
+        );
+        assert!(s.contains("x = x + 1.0;"), "{s}");
+    }
+
+    #[test]
+    fn inlines_array_params() {
+        let s = inlined(
+            "double first(double a[]) { return a[0]; }
+             double f(double data[]) { return first(data) * 2.0; }",
+            "f",
+        );
+        assert!(s.contains("data[0]"), "{s}");
+    }
+
+    #[test]
+    fn detects_recursion() {
+        let mut p = parse_program(
+            "double f(double x) { return g(x); }
+             double g(double x) { return f(x); }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        assert!(matches!(inline_program(&p), Err(InlineError::Recursive { .. })));
+    }
+
+    #[test]
+    fn rejects_mid_function_returns() {
+        let mut p = parse_program(
+            "double g(double x) { if (x < 0.0) { return 0.0; } return x; }
+             double f(double x) { return g(x); }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        assert!(matches!(inline_program(&p), Err(InlineError::UnsupportedReturn { .. })));
+    }
+
+    #[test]
+    fn rejects_call_in_loop_condition() {
+        let mut p = parse_program(
+            "bool again(double x) { return x < 10.0; }
+             double f(double x) { while (again(x)) { x = x + 1.0; } return x; }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        assert!(matches!(inline_program(&p), Err(InlineError::CallInLoopHeader { .. })));
+    }
+
+    #[test]
+    fn void_call_statement_splices_body() {
+        let s = inlined(
+            "void init(double a[], int n) { for (int i = 0; i < n; i++) { a[i] = 0.0; } }
+             double f(double a[], int n) { init(a, n); return a[0]; }",
+            "f",
+        );
+        assert!(!s.contains("init("), "{s}");
+        assert!(s.contains("a[_inl"), "{s}");
+    }
+
+    #[test]
+    fn locals_are_renamed_unambiguously() {
+        let s = inlined(
+            "double g(double a) { double t = a + 1.0; return t * t; }
+             double f(double x) { double t = 3.0; return g(x) + t; }",
+            "f",
+        );
+        // The callee's `t` must not collide with the caller's `t`.
+        assert!(s.contains("_inl"), "{s}");
+        assert!(s.contains("double t = 3.0;"), "{s}");
+    }
+}

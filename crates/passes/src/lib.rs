@@ -1,0 +1,31 @@
+//! # chef-passes — optimization passes over the KernelC AST
+//!
+//! CHEF-FP's speed advantage comes from generating error-estimation code
+//! *into* the derivative source, where the regular compiler optimization
+//! pipeline can chew on it (paper §I, §III). This crate is that pipeline
+//! for KernelC:
+//!
+//! * [`fold`] — constant folding and IEEE-safe algebraic identities
+//!   (deliberately excluding the `-ffast-math`-style rewrites §V-B warns
+//!   about);
+//! * [`cse`] — local common-subexpression elimination;
+//! * [`dce`] — dead-code elimination that never removes observable or
+//!   potentially-trapping work;
+//! * [`inline`] — user-function inlining (callees before callers), needed
+//!   before both execution and differentiation;
+//! * [`pipeline`] — the `-O0/-O1/-O2` pass manager;
+//! * [`testgen`] — random well-typed program generation for the
+//!   semantics-preservation property tests.
+
+pub mod cse;
+pub mod dce;
+pub mod fold;
+pub mod inline;
+pub mod pipeline;
+pub mod testgen;
+
+pub use cse::cse_function;
+pub use dce::dce_function;
+pub use fold::fold_function;
+pub use inline::{inline_function, inline_program, InlineError};
+pub use pipeline::{optimize_function, OptLevel, OptStats};

@@ -1,0 +1,122 @@
+//! The pass manager: ordered, fixpointed optimization pipelines.
+
+use crate::cse::cse_function;
+use crate::dce::dce_function;
+use crate::fold::fold_function;
+use chef_ir::ast::Function;
+
+/// Optimization level, mirroring a compiler's `-O` flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// No optimization (compile the AST as-is).
+    O0,
+    /// Folding and safe algebraic simplification only.
+    O1,
+    /// Folding + local CSE + DCE, iterated to fixpoint. The default, and
+    /// what the CHEF-FP analysis pipeline runs on generated adjoints.
+    #[default]
+    O2,
+}
+
+/// Statistics about one optimization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Pipeline iterations until fixpoint.
+    pub iterations: usize,
+    /// Whether the fold pass changed anything at least once.
+    pub folded: bool,
+    /// Whether CSE introduced at least one temporary.
+    pub cse_hits: bool,
+    /// Whether DCE removed at least one statement.
+    pub dce_hits: bool,
+}
+
+/// Maximum pipeline iterations before we stop chasing the fixpoint.
+const MAX_ITERS: usize = 10;
+
+/// Optimizes `f` in place at `level`, returning what happened.
+pub fn optimize_function(f: &mut Function, level: OptLevel) -> OptStats {
+    let mut stats = OptStats::default();
+    if level == OptLevel::O0 {
+        return stats;
+    }
+    for _ in 0..MAX_ITERS {
+        stats.iterations += 1;
+        let mut changed = false;
+        let folded = fold_function(f);
+        stats.folded |= folded;
+        changed |= folded;
+        if level == OptLevel::O2 {
+            let cse = cse_function(f);
+            stats.cse_hits |= cse;
+            changed |= cse;
+            let dce = dce_function(f);
+            stats.dce_hits |= dce;
+            changed |= dce;
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_ir::parser::parse_program;
+    use chef_ir::printer::print_function;
+    use chef_ir::typeck::check_program;
+
+    fn optimized(src: &str, level: OptLevel) -> (String, OptStats) {
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        let stats = optimize_function(&mut p.functions[0], level);
+        (print_function(&p.functions[0]), stats)
+    }
+
+    #[test]
+    fn o0_is_identity() {
+        let src = "double f(double x) { double dead = 1.0 + 2.0; return x * 1.0; }";
+        let (s, stats) = optimized(src, OptLevel::O0);
+        assert!(s.contains("1.0 + 2.0"), "{s}");
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn o1_folds_but_keeps_dead_code() {
+        let src = "double f(double x) { double dead = 1.0 + 2.0; return x * 1.0; }";
+        let (s, stats) = optimized(src, OptLevel::O1);
+        assert!(s.contains("dead = 3.0"), "{s}");
+        assert!(s.contains("return x;"), "{s}");
+        assert!(stats.folded);
+    }
+
+    #[test]
+    fn o2_reaches_fixpoint() {
+        // Folding exposes dead code; DCE removal must follow in the same
+        // run.
+        let src = "double f(double x) {
+            double a = x * 1.0;
+            double dead = a * 0.0 + 3.0 * 4.0;
+            double b = a + 0.0;
+            return b;
+        }";
+        let (s, stats) = optimized(src, OptLevel::O2);
+        assert!(!s.contains("dead"), "{s}");
+        assert!(stats.dce_hits);
+        assert!(stats.iterations >= 2);
+    }
+
+    #[test]
+    fn o2_cse_and_dce_compose() {
+        let src = "double f(double x, double y) {
+            double a = (x + y) * (x + y);
+            double b = (x + y) * 2.0;
+            return a + b;
+        }";
+        let (s, stats) = optimized(src, OptLevel::O2);
+        assert!(stats.cse_hits);
+        assert_eq!(s.matches("x + y").count(), 1, "{s}");
+    }
+}

@@ -1,0 +1,298 @@
+//! # chef-tuner — mixed-precision tuning on CHEF-FP estimates
+//!
+//! Implements the workflow of the paper's §III: analyze the sensitivity of
+//! every variable with the ADAPT demotion model (eq. 2), then **greedily
+//! demote the least-error variables** while the accumulated estimate stays
+//! under the user threshold — "a mixed precision configuration is reached
+//! when the accumulated error meets the threshold value". The chosen
+//! configuration is validated by actually running the demoted program and
+//! comparing against the full-precision result (paper Table I's
+//! actual-vs-estimated columns).
+
+use chef_core::prelude::*;
+use chef_exec::compile::{compile, CompileOptions, PrecisionMap};
+use chef_exec::prelude::*;
+use chef_ir::ast::{Program, VarId};
+use chef_ir::types::{FloatTy, Type};
+use std::collections::HashMap;
+
+/// Tuning configuration.
+#[derive(Clone, Debug)]
+pub struct TunerConfig {
+    /// Maximum admissible estimated error.
+    pub threshold: f64,
+    /// Demotion target precision.
+    pub target: FloatTy,
+    /// Restrict demotion to these variables (`None` = all float variables).
+    pub candidates: Option<Vec<String>>,
+    /// Array parameter → length parameter pairings for input error terms.
+    pub array_lens: HashMap<String, String>,
+}
+
+impl TunerConfig {
+    /// A threshold-only configuration demoting to `float`.
+    pub fn with_threshold(threshold: f64) -> Self {
+        TunerConfig {
+            threshold,
+            target: FloatTy::F32,
+            candidates: None,
+            array_lens: HashMap::new(),
+        }
+    }
+
+    /// Registers an array-length pairing (builder style).
+    pub fn with_array_len(mut self, array: impl Into<String>, len: impl Into<String>) -> Self {
+        self.array_lens.insert(array.into(), len.into());
+        self
+    }
+}
+
+/// The tuner's decision.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// Variables chosen for demotion (ascending estimated error).
+    pub demoted: Vec<String>,
+    /// Accumulated estimate of the chosen set.
+    pub estimated_error: f64,
+    /// Every variable's estimated demotion error, ascending.
+    pub per_variable: Vec<(String, f64)>,
+    /// The precision map to compile the tuned variant with (keyed by the
+    /// variable ids of the *inlined* function).
+    pub config: PrecisionMap,
+    /// The full-precision result on the profiling inputs.
+    pub baseline_value: f64,
+}
+
+/// Measured quality of a configuration.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// Full-precision result.
+    pub baseline: f64,
+    /// Result under the demoted configuration.
+    pub demoted: f64,
+    /// `|baseline − demoted|`.
+    pub actual_error: f64,
+}
+
+/// Analyzes `func` on representative `args` and greedily selects a
+/// demotion set under `cfg.threshold`.
+pub fn tune(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    cfg: &TunerConfig,
+) -> Result<TuneResult, ChefError> {
+    let mut opts = EstimateOptions::default();
+    opts.array_lens = cfg.array_lens.clone();
+    // Demoting a variable costs its representation error (eq. 2) *plus*,
+    // for computed variables, the extra arithmetic rounding of the
+    // operations now performed at the lower precision (eq. 1 with the
+    // target epsilon). Inputs carry representation error only — they are
+    // not computed, so a value that happens to be exactly representable
+    // (the paper's quantized k-Means attributes) is free to demote.
+    struct TunerModel {
+        adapt: AdaptModel,
+        taylor: TaylorModel,
+    }
+    impl ErrorModel for TunerModel {
+        fn name(&self) -> &'static str {
+            "tuner"
+        }
+        fn assign_error(&mut self, ctx: &ModelCtx<'_>) -> Option<chef_ir::ast::Expr> {
+            match (self.adapt.assign_error(ctx), self.taylor.assign_error(ctx)) {
+                (Some(a), Some(b)) => Some(chef_ir::ast::Expr::add(a, b)),
+                (a, b) => a.or(b),
+            }
+        }
+        fn input_error(
+            &mut self,
+            name: &str,
+            value: &chef_ir::ast::Expr,
+            adjoint: &chef_ir::ast::Expr,
+            prec: FloatTy,
+        ) -> Option<chef_ir::ast::Expr> {
+            self.adapt.input_error(name, value, adjoint, prec)
+        }
+    }
+    let mut model = TunerModel {
+        adapt: AdaptModel::to(cfg.target),
+        taylor: TaylorModel::for_demotion(cfg.target),
+    };
+    let est = estimate_error_with(program, func, &mut model, &opts)?;
+    let out = est.execute(args).map_err(|t| {
+        ChefError::Compile(chef_exec::compile::CompileError::Unsupported {
+            msg: format!("profiling run trapped: {t}"),
+            span: chef_ir::span::Span::DUMMY,
+        })
+    })?;
+
+    // Candidate variables with their estimates, ascending.
+    let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
+    let primal = inlined
+        .function(func)
+        .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+    let allowed = |name: &str| match &cfg.candidates {
+        Some(c) => c.iter().any(|n| n == name),
+        None => true,
+    };
+    let mut per_variable: Vec<(String, f64)> = primal
+        .vars_iter()
+        .filter(|(_, v)| v.ty.is_differentiable() && allowed(&v.name))
+        .map(|(_, v)| (v.name.clone(), out.error_of(&v.name)))
+        .collect();
+    per_variable.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+
+    // Greedy selection under the threshold.
+    let mut demoted = Vec::new();
+    let mut acc = 0.0;
+    for (name, err) in &per_variable {
+        if acc + err <= cfg.threshold {
+            acc += err;
+            demoted.push(name.clone());
+        }
+    }
+    // Build the PrecisionMap over the inlined function's variable ids.
+    let mut config = PrecisionMap::empty();
+    for (id, v) in primal.vars_iter() {
+        if demoted.contains(&v.name) {
+            if let Type::Float(_) | Type::Array(chef_ir::types::ElemTy::Float(_)) = v.ty {
+                config.set(id, cfg.target);
+            }
+        }
+    }
+    Ok(TuneResult {
+        demoted,
+        estimated_error: acc,
+        per_variable,
+        config,
+        baseline_value: out.value,
+    })
+}
+
+/// Runs `func` at full precision and under `config`, reporting the actual
+/// output difference.
+pub fn validate(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    config: &PrecisionMap,
+) -> Result<ValidationReport, ChefError> {
+    let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
+    let primal = inlined
+        .function(func)
+        .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+    let run_cfg = |pm: PrecisionMap| -> Result<f64, ChefError> {
+        let c = compile(primal, &CompileOptions { precisions: pm })
+            .map_err(ChefError::Compile)?;
+        chef_exec::vm::run(&c, args.to_vec())
+            .map(|o| o.ret_f())
+            .map_err(|t| {
+                ChefError::Compile(chef_exec::compile::CompileError::Unsupported {
+                    msg: format!("validation run trapped: {t}"),
+                    span: chef_ir::span::Span::DUMMY,
+                })
+            })
+    };
+    let baseline = run_cfg(PrecisionMap::empty())?;
+    let demoted = run_cfg(config.clone())?;
+    Ok(ValidationReport { baseline, demoted, actual_error: (baseline - demoted).abs() })
+}
+
+/// Finds the `VarId`s (in the inlined function) for a set of variable
+/// names — convenience for building manual configurations (Table III's
+/// one-variable-at-a-time study).
+pub fn ids_of(
+    program: &Program,
+    func: &str,
+    names: &[&str],
+) -> Result<Vec<VarId>, ChefError> {
+    let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
+    let primal = inlined
+        .function(func)
+        .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+    Ok(primal
+        .vars_iter()
+        .filter(|(_, v)| names.contains(&v.name.as_str()))
+        .map(|(id, _)| id)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        let mut p = chef_ir::parser::parse_program(src).unwrap();
+        chef_ir::typeck::check_program(&mut p).unwrap();
+        p
+    }
+
+    #[test]
+    fn demotes_low_sensitivity_variables_first() {
+        // `noise` barely affects the result; `core` dominates it.
+        let src = "double f(double a) {
+            double noise = a * 1e-9;
+            double core = a * 1000.0;
+            double r = core * core + noise;
+            return r;
+        }";
+        let p = program(src);
+        let cfg = TunerConfig::with_threshold(1e-4);
+        let res = tune(&p, "f", &[ArgValue::F(1.2345678901)], &cfg).unwrap();
+        assert!(res.demoted.contains(&"noise".to_string()), "{:?}", res.demoted);
+        assert!(!res.demoted.contains(&"core".to_string()), "{:?}", res.demoted);
+        assert!(res.estimated_error <= 1e-4);
+    }
+
+    #[test]
+    fn zero_threshold_demotes_only_zero_error_vars() {
+        let src = "double f(double a) { double b = a * 3.0; return b; }";
+        let p = program(src);
+        let cfg = TunerConfig::with_threshold(0.0);
+        let res = tune(&p, "f", &[ArgValue::F(0.1)], &cfg).unwrap();
+        // 0.1*3 is not f32-exact: nothing demotable at zero threshold.
+        assert!(res.demoted.is_empty(), "{:?}", res.demoted);
+    }
+
+    #[test]
+    fn validation_confirms_threshold() {
+        let src = "double f(double a, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s += sin(a + i * 0.1); }
+            return s;
+        }";
+        let p = program(src);
+        let args = vec![ArgValue::F(0.37), ArgValue::I(100)];
+        let cfg = TunerConfig::with_threshold(1e-4);
+        let res = tune(&p, "f", &args, &cfg).unwrap();
+        let report = validate(&p, "f", &args, &res.config).unwrap();
+        assert!(
+            report.actual_error <= 1e-4,
+            "actual {} exceeds threshold; demoted {:?}",
+            report.actual_error,
+            res.demoted
+        );
+    }
+
+    #[test]
+    fn candidates_restriction_is_respected() {
+        let src = "double f(double a) {
+            double u = a + 0.125;
+            double w = a * 7.0;
+            return u * w;
+        }";
+        let p = program(src);
+        let mut cfg = TunerConfig::with_threshold(1.0);
+        cfg.candidates = Some(vec!["u".into()]);
+        let res = tune(&p, "f", &[ArgValue::F(0.5)], &cfg).unwrap();
+        assert_eq!(res.demoted, vec!["u".to_string()]);
+    }
+
+    #[test]
+    fn ids_of_resolves_names() {
+        let src = "double f(double a) { double b = a; double c = b; return c; }";
+        let p = program(src);
+        let ids = ids_of(&p, "f", &["b", "c"]).unwrap();
+        assert_eq!(ids.len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Mixed-precision tuning on the Arc Length benchmark — the workflow
+//! behind the paper's Table I.
+//!
+//! ```text
+//! cargo run --release --example mixed_precision
+//! ```
+//!
+//! 1. CHEF-FP estimates every variable's demotion error;
+//! 2. the tuner greedily demotes the cheapest variables under the
+//!    threshold;
+//! 3. the chosen configuration is validated by running the demoted
+//!    program and measuring the actual output difference.
+
+use chef_fp::apps::arclen;
+use chef_fp::tuner::{tune, validate, TunerConfig};
+
+fn main() {
+    let threshold = 1e-5;
+    let n = 100_000i64;
+    let program = arclen::program();
+    let args = arclen::args(n);
+
+    let cfg = TunerConfig::with_threshold(threshold);
+    let result = tune(&program, arclen::NAME, &args, &cfg).expect("tuning succeeds");
+
+    println!("per-variable estimated demotion error (double -> float):");
+    for (name, err) in &result.per_variable {
+        let marker = if result.demoted.contains(name) { "demote" } else { "keep  " };
+        println!("  [{marker}] {name:<8} {err:e}");
+    }
+    println!(
+        "\nchosen configuration: {} variables demoted, estimated error {:e} <= {threshold:e}",
+        result.demoted.len(),
+        result.estimated_error
+    );
+
+    let report = validate(&program, arclen::NAME, &args, &result.config)
+        .expect("validation runs");
+    println!("baseline (all double): {}", report.baseline);
+    println!("tuned (mixed):         {}", report.demoted);
+    println!("actual error:          {:e}", report.actual_error);
+    assert!(report.actual_error <= threshold, "threshold must hold");
+
+    println!("\nthe tuned configuration satisfies the {threshold:e} threshold.");
+}

@@ -1,0 +1,40 @@
+//! # chef-fp — facade crate of the CHEF-FP reproduction workspace
+//!
+//! Re-exports the public APIs of every workspace crate under stable paths.
+//! See the [README](https://github.com/chef-fp/chef-fp-rs) for a tour;
+//! the typical entry point is [`core::prelude::estimate_error_src`]:
+//!
+//! ```
+//! use chef_fp::core::prelude::*;
+//! use chef_fp::exec::prelude::ArgValue;
+//!
+//! let df = estimate_error_src(
+//!     "float func(float x, float y) { float z; z = x + y; return z; }",
+//!     "func",
+//!     &EstimateOptions::default(),
+//! ).unwrap();
+//! let out = df.execute(&[ArgValue::F(1.95e-5), ArgValue::F(1.37e-7)]).unwrap();
+//! assert!(out.fp_error > 0.0);
+//! ```
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`ir`] | `chef-ir` | KernelC language (lexer/parser/typeck/printer) |
+//! | [`ad`] | `chef-ad` | source-transformation reverse & forward AD |
+//! | [`core`] | `chef-core` | error models + estimation module + API |
+//! | [`passes`] | `chef-passes` | fold/CSE/DCE/inline optimization pipeline |
+//! | [`exec`] | `chef-exec` | bytecode VM, precision simulation, tape stats |
+//! | [`adapt`] | `adapt-baseline` | runtime-taping comparator (ADAPT/CoDiPack) |
+//! | [`fastapprox`] | `fastapprox` | approximate math functions |
+//! | [`tuner`] | `chef-tuner` | greedy mixed-precision tuning |
+//! | [`apps`] | `chef-apps` | the five paper benchmarks |
+
+pub use adapt_baseline as adapt;
+pub use chef_ad as ad;
+pub use chef_apps as apps;
+pub use chef_core as core;
+pub use chef_exec as exec;
+pub use chef_ir as ir;
+pub use chef_passes as passes;
+pub use chef_tuner as tuner;
+pub use fastapprox;
