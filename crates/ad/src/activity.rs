@@ -40,7 +40,11 @@ pub struct UsageInfo {
 impl UsageInfo {
     /// Analyzes a function body.
     pub fn analyze(body: &Block) -> UsageInfo {
-        let mut a = Analyzer { info: UsageInfo::default(), pos: 0, loop_depth: 0 };
+        let mut a = Analyzer {
+            info: UsageInfo::default(),
+            pos: 0,
+            loop_depth: 0,
+        };
         a.visit_block(body);
         a.info.positions = a.pos;
         a.info
@@ -144,7 +148,12 @@ impl Visitor for Analyzer {
                     self.note_assign(*id);
                 }
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.visit_stmt(i);
                 }
@@ -221,13 +230,15 @@ mod tests {
     }
 
     fn vid(f: &Function, name: &str) -> VarId {
-        f.vars_iter().find(|(_, v)| v.name == name).map(|(id, _)| id).unwrap()
+        f.vars_iter()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
+            .unwrap()
     }
 
     #[test]
     fn single_assignment_never_read_before_skips_push() {
-        let (info, f) =
-            analyze("double f(double x) { double z; z = x * x; return z; }");
+        let (info, f) = analyze("double f(double x) { double z; z = x * x; return z; }");
         let z = vid(&f, "z");
         // z assigned once at pos 2 (decl pos 1 has no init), read at pos 3.
         let assigned_once = info.assign_count[&z] == 1;
@@ -244,8 +255,7 @@ mod tests {
 
     #[test]
     fn reassignment_forces_push() {
-        let (info, f) =
-            analyze("double f(double x) { double z = x; z = x * 2.0; return z; }");
+        let (info, f) = analyze("double f(double x) { double z = x; z = x * 2.0; return z; }");
         let z = vid(&f, "z");
         assert!(info.assign_count[&z] > 1);
         assert!(info.needs_push(z, false, false));

@@ -49,13 +49,9 @@ pub fn unary_derivative(i: Intrinsic, a: &Expr) -> Option<Expr> {
         }
         Intrinsic::Exp => Expr::call(Intrinsic::Exp, vec![a()]),
         Intrinsic::Log => Expr::div(Expr::flit(1.0), a()),
-        Intrinsic::Exp2 => {
-            Expr::mul(Expr::call(Intrinsic::Exp2, vec![a()]), Expr::flit(LN_2))
-        }
+        Intrinsic::Exp2 => Expr::mul(Expr::call(Intrinsic::Exp2, vec![a()]), Expr::flit(LN_2)),
         Intrinsic::Log2 => Expr::div(Expr::flit(1.0), Expr::mul(a(), Expr::flit(LN_2))),
-        Intrinsic::Sqrt => {
-            Expr::div(Expr::flit(0.5), Expr::call(Intrinsic::Sqrt, vec![a()]))
-        }
+        Intrinsic::Sqrt => Expr::div(Expr::flit(0.5), Expr::call(Intrinsic::Sqrt, vec![a()])),
         Intrinsic::Erf => {
             // 2/sqrt(pi) * exp(-a^2)
             let sq = Expr::mul(a(), a());
@@ -88,7 +84,10 @@ pub fn unary_derivative(i: Intrinsic, a: &Expr) -> Option<Expr> {
         Intrinsic::Cosh => Expr::call(Intrinsic::Sinh, vec![a()]),
         Intrinsic::Atan => {
             // 1 / (1 + a^2)
-            Expr::div(Expr::flit(1.0), Expr::add(Expr::flit(1.0), Expr::mul(a(), a())))
+            Expr::div(
+                Expr::flit(1.0),
+                Expr::add(Expr::flit(1.0), Expr::mul(a(), a())),
+            )
         }
         Intrinsic::Fabs => {
             // sign(a): handled by callers as a branch would be cleaner,
@@ -105,13 +104,9 @@ pub fn unary_derivative(i: Intrinsic, a: &Expr) -> Option<Expr> {
         // counterparts (the approximation error is treated as a
         // perturbation, not as part of the derivative — same convention
         // ADAPT uses for approximate library calls).
-        Intrinsic::FastExp | Intrinsic::FasterExp => {
-            Expr::call(Intrinsic::Exp, vec![a()])
-        }
+        Intrinsic::FastExp | Intrinsic::FasterExp => Expr::call(Intrinsic::Exp, vec![a()]),
         Intrinsic::FastLog => Expr::div(Expr::flit(1.0), a()),
-        Intrinsic::FastSqrt => {
-            Expr::div(Expr::flit(0.5), Expr::call(Intrinsic::Sqrt, vec![a()]))
-        }
+        Intrinsic::FastSqrt => Expr::div(Expr::flit(0.5), Expr::call(Intrinsic::Sqrt, vec![a()])),
         Intrinsic::FastNormCdf => {
             let half_sq = Expr::mul(Expr::flit(0.5), Expr::mul(a(), a()));
             Expr::mul(
@@ -134,7 +129,10 @@ pub fn pow_derivatives(a: &Expr, b: &Expr) -> (Expr, Expr) {
     bf.ty = Some(f64ty());
     let da = Expr::mul(
         bf.clone(),
-        Expr::call(Intrinsic::Pow, vec![af.clone(), Expr::sub(bf.clone(), Expr::flit(1.0))]),
+        Expr::call(
+            Intrinsic::Pow,
+            vec![af.clone(), Expr::sub(bf.clone(), Expr::flit(1.0))],
+        ),
     );
     let db = Expr::mul(
         Expr::call(Intrinsic::Pow, vec![af.clone(), bf]),
@@ -174,9 +172,18 @@ mod tests {
 
     #[test]
     fn simple_rules_print_correctly() {
-        assert_eq!(print_expr(&unary_derivative(Intrinsic::Sin, &x()).unwrap()), "cos(x)");
-        assert_eq!(print_expr(&unary_derivative(Intrinsic::Exp, &x()).unwrap()), "exp(x)");
-        assert_eq!(print_expr(&unary_derivative(Intrinsic::Log, &x()).unwrap()), "1.0 / x");
+        assert_eq!(
+            print_expr(&unary_derivative(Intrinsic::Sin, &x()).unwrap()),
+            "cos(x)"
+        );
+        assert_eq!(
+            print_expr(&unary_derivative(Intrinsic::Exp, &x()).unwrap()),
+            "exp(x)"
+        );
+        assert_eq!(
+            print_expr(&unary_derivative(Intrinsic::Log, &x()).unwrap()),
+            "1.0 / x"
+        );
         assert_eq!(
             print_expr(&unary_derivative(Intrinsic::Sqrt, &x()).unwrap()),
             "0.5 / sqrt(x)"

@@ -30,9 +30,10 @@ pub fn forward_diff(primal: &Function, wrt: &str) -> Result<Function, AdError> {
     if !matches!(primal.ret, Type::Float(_)) {
         return Err(AdError::NonFloatReturn);
     }
-    let wrt_id = primal
-        .param_id(wrt)
-        .ok_or_else(|| AdError::Unsupported { msg: format!("no parameter `{wrt}`"), span: Span::DUMMY })?;
+    let wrt_id = primal.param_id(wrt).ok_or_else(|| AdError::Unsupported {
+        msg: format!("no parameter `{wrt}`"),
+        span: Span::DUMMY,
+    })?;
     if !matches!(primal.vars[wrt_id.index()].ty, Type::Float(_)) {
         return Err(AdError::Unsupported {
             msg: format!("parameter `{wrt}` is not a float scalar"),
@@ -116,13 +117,20 @@ pub fn forward_diff(primal: &Function, wrt: &str) -> Result<Function, AdError> {
 
     // Remap the body.
     let mut body = primal.body.clone();
-    let mut remap = RemapIds { map: &map, names: &out };
+    let mut remap = RemapIds {
+        map: &map,
+        names: &out,
+    };
     for s in &mut body.stmts {
         remap.visit_stmt_mut(s);
     }
     crate::reverse::canonicalize_block(&mut body);
 
-    let mut fw = Fwd { out, tangent, fresh: 0 };
+    let mut fw = Fwd {
+        out,
+        tangent,
+        fresh: 0,
+    };
     let mut stmts = hoisted;
     fw.block_into(&body, &mut stmts)?;
     let mut out = fw.out;
@@ -168,7 +176,10 @@ impl MutVisitor for RemapIds<'_> {
     }
 
     fn visit_stmt_mut(&mut self, s: &mut Stmt) {
-        if let StmtKind::Decl { id: Some(id), name, .. } = &mut s.kind {
+        if let StmtKind::Decl {
+            id: Some(id), name, ..
+        } = &mut s.kind
+        {
             let nid = self.map[id.index()];
             *id = nid;
             *name = self.names.var(nid).name.clone();
@@ -206,7 +217,13 @@ impl Fwd {
 
     fn stmt_into(&mut self, s: &Stmt, out: &mut Vec<Stmt>) -> Result<(), AdError> {
         match &s.kind {
-            StmtKind::Decl { id, size: Some(size), ty, name, .. } => {
+            StmtKind::Decl {
+                id,
+                size: Some(size),
+                ty,
+                name,
+                ..
+            } => {
                 let id = id.expect("remapped");
                 out.push(Stmt::synth(StmtKind::Decl {
                     name: name.clone(),
@@ -229,8 +246,7 @@ impl Fwd {
             StmtKind::Decl { id, init, .. } => {
                 if let Some(e) = init {
                     let id = id.expect("remapped");
-                    let lhs =
-                        LValue::Var(VarRef::resolved(self.out.var(id).name.clone(), id));
+                    let lhs = LValue::Var(VarRef::resolved(self.out.var(id).name.clone(), id));
                     self.assign_into(&lhs, e, out)?;
                 }
                 Ok(())
@@ -239,7 +255,11 @@ impl Fwd {
                 debug_assert_eq!(*op, AssignOp::Assign, "canonicalized");
                 self.assign_into(lhs, rhs, out)
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let t = self.block(then_branch)?;
                 let e = match else_branch {
                     Some(b) => Some(self.block(b)?),
@@ -254,10 +274,18 @@ impl Fwd {
             }
             StmtKind::While { cond, body } => {
                 let b = self.block(body)?;
-                out.push(Stmt::synth(StmtKind::While { cond: cond.clone(), body: b }));
+                out.push(Stmt::synth(StmtKind::While {
+                    cond: cond.clone(),
+                    body: b,
+                }));
                 Ok(())
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let mut pre = Vec::new();
                 if let Some(i) = init {
                     self.stmt_into(i, &mut pre)?;
@@ -356,34 +384,25 @@ impl Fwd {
                 None => Expr::flit(0.0),
             },
             ExprKind::Index { base, index } => match self.tangent.get(&base.vid()) {
-                Some((tid, tname)) => Expr::index(
-                    tname,
-                    *tid,
-                    (**index).clone(),
-                    Type::Float(FloatTy::F64),
-                ),
+                Some((tid, tname)) => {
+                    Expr::index(tname, *tid, (**index).clone(), Type::Float(FloatTy::F64))
+                }
                 None => Expr::flit(0.0),
             },
-            ExprKind::Unary { op: UnOp::Neg, operand } => {
-                Expr::neg(self.tangent_of(operand, out)?)
-            }
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => Expr::neg(self.tangent_of(operand, out)?),
             ExprKind::Unary { op: UnOp::Not, .. } => Expr::flit(0.0),
             ExprKind::Binary { op, lhs, rhs } => {
                 let (a, b) = (lhs, rhs);
                 match op {
-                    BinOp::Add => {
-                        Expr::add(self.tangent_of(a, out)?, self.tangent_of(b, out)?)
-                    }
-                    BinOp::Sub => {
-                        Expr::sub(self.tangent_of(a, out)?, self.tangent_of(b, out)?)
-                    }
+                    BinOp::Add => Expr::add(self.tangent_of(a, out)?, self.tangent_of(b, out)?),
+                    BinOp::Sub => Expr::sub(self.tangent_of(a, out)?, self.tangent_of(b, out)?),
                     BinOp::Mul => {
                         let ta = self.tangent_of(a, out)?;
                         let tb = self.tangent_of(b, out)?;
-                        Expr::add(
-                            Expr::mul(ta, (**b).clone()),
-                            Expr::mul((**a).clone(), tb),
-                        )
+                        Expr::add(Expr::mul(ta, (**b).clone()), Expr::mul((**a).clone(), tb))
                     }
                     BinOp::Div => {
                         let ta = self.tangent_of(a, out)?;
@@ -400,7 +419,10 @@ impl Fwd {
                     _ => Expr::flit(0.0),
                 }
             }
-            ExprKind::Call { callee: Callee::Intrinsic(i), args } => match i {
+            ExprKind::Call {
+                callee: Callee::Intrinsic(i),
+                args,
+            } => match i {
                 Intrinsic::Fabs => {
                     let ta = self.tangent_of(&args[0], out)?;
                     let (sid, sname) = self.fresh_f64("_sign");
@@ -458,8 +480,14 @@ impl Fwd {
                     }
                 }
             },
-            ExprKind::Call { callee: Callee::Func(name), .. } => {
-                return Err(AdError::UserCall { name: name.clone(), span: e.span })
+            ExprKind::Call {
+                callee: Callee::Func(name),
+                ..
+            } => {
+                return Err(AdError::UserCall {
+                    name: name.clone(),
+                    span: e.span,
+                })
             }
             ExprKind::Cast { ty, expr } => match ty {
                 Type::Float(_) => self.tangent_of(expr, out)?,

@@ -33,6 +33,6 @@ pub mod reverse;
 
 pub use forward::forward_diff;
 pub use reverse::{
-    reverse_diff, reverse_diff_with, AdError, AdjointExtension, AssignCtx, FinalizeCtx,
-    InputInfo, NoExtension, ReverseConfig,
+    reverse_diff, reverse_diff_with, AdError, AdjointExtension, AssignCtx, FinalizeCtx, InputInfo,
+    NoExtension, ReverseConfig,
 };

@@ -40,7 +40,10 @@ pub struct ReverseConfig {
 
 impl Default for ReverseConfig {
     fn default() -> Self {
-        ReverseConfig { tbr: true, suffix: "_grad".into() }
+        ReverseConfig {
+            tbr: true,
+            suffix: "_grad".into(),
+        }
     }
 }
 
@@ -203,7 +206,10 @@ pub fn reverse_diff_with(
         return Err(AdError::NonFloatReturn);
     }
     validate_no_user_calls(&primal.body)?;
-    let Some(Stmt { kind: StmtKind::Return(Some(ret_expr)), .. }) = primal.body.stmts.last()
+    let Some(Stmt {
+        kind: StmtKind::Return(Some(ret_expr)),
+        ..
+    }) = primal.body.stmts.last()
     else {
         return Err(AdError::MissingTrailingReturn);
     };
@@ -222,8 +228,7 @@ pub fn reverse_diff_with(
         span: Span::DUMMY,
         vars: Vec::new(),
     };
-    let mut used_names: HashSet<String> =
-        primal.vars.iter().map(|v| v.name.clone()).collect();
+    let mut used_names: HashSet<String> = primal.vars.iter().map(|v| v.name.clone()).collect();
     let mut fresh_name = move |base: String| -> String {
         if used_names.insert(base.clone()) {
             return base;
@@ -242,7 +247,11 @@ pub fn reverse_diff_with(
     for p in &primal.params {
         let id = grad.add_var(p.name.clone(), p.ty);
         grad.vars[id.index()].is_param = true;
-        grad.params.push(Param { name: p.name.clone(), id: Some(id), ..p.clone() });
+        grad.params.push(Param {
+            name: p.name.clone(),
+            id: Some(id),
+            ..p.clone()
+        });
         primal_map.push(id);
     }
     // Adjoint parameters for differentiable inputs.
@@ -254,7 +263,8 @@ pub fn reverse_diff_with(
                 let name = fresh_name(format!("_d_{}", p.name));
                 let id = grad.add_var(name.clone(), Type::Float(FloatTy::F64));
                 grad.vars[id.index()].is_param = true;
-                grad.params.push(Param::by_ref(name.clone(), Type::Float(FloatTy::F64)));
+                grad.params
+                    .push(Param::by_ref(name.clone(), Type::Float(FloatTy::F64)));
                 grad.params.last_mut().unwrap().id = Some(id);
                 adjoint_of.insert(primal_map[i], AdjTarget::Scalar(id, name.clone()));
                 inputs.push(InputInfo {
@@ -269,7 +279,8 @@ pub fn reverse_diff_with(
                 let name = fresh_name(format!("_d_{}", p.name));
                 let id = grad.add_var(name.clone(), Type::Array(ElemTy::Float(FloatTy::F64)));
                 grad.vars[id.index()].is_param = true;
-                grad.params.push(Param::array(name.clone(), ElemTy::Float(FloatTy::F64)));
+                grad.params
+                    .push(Param::array(name.clone(), ElemTy::Float(FloatTy::F64)));
                 grad.params.last_mut().unwrap().id = Some(id);
                 adjoint_of.insert(primal_map[i], AdjTarget::Array(id, name.clone()));
                 inputs.push(InputInfo {
@@ -323,8 +334,7 @@ pub fn reverse_diff_with(
                     adjoint_of.insert(id, AdjTarget::Scalar(did, name));
                 }
                 Type::Array(_) => {
-                    let did =
-                        grad.add_var(name.clone(), Type::Array(ElemTy::Float(FloatTy::F64)));
+                    let did = grad.add_var(name.clone(), Type::Array(ElemTy::Float(FloatTy::F64)));
                     adjoint_of.insert(id, AdjTarget::Array(did, name));
                 }
                 _ => unreachable!(),
@@ -336,7 +346,10 @@ pub fn reverse_diff_with(
     let mut body = primal.body.clone();
     body.stmts.pop(); // the trailing return (validated above)
     let mut ret_expr = ret_expr.clone();
-    let mut remap = Remap { map: &primal_map, grad: &grad };
+    let mut remap = Remap {
+        map: &primal_map,
+        grad: &grad,
+    };
     for s in &mut body.stmts {
         remap.visit_stmt_mut(s);
     }
@@ -365,7 +378,11 @@ pub fn reverse_diff_with(
             // fresh name against grad's current var table
             let mut k = 0usize;
             loop {
-                let cand = if k == 0 { b.clone() } else { format!("{b}@{k}") };
+                let cand = if k == 0 {
+                    b.clone()
+                } else {
+                    format!("{b}@{k}")
+                };
                 if !rev.grad.vars.iter().any(|v| v.name == cand) {
                     return cand;
                 }
@@ -374,23 +391,31 @@ pub fn reverse_diff_with(
         };
         f("_result".to_string())
     };
-    let ret_id = rev.grad.add_var(ret_name.clone(), Type::Float(FloatTy::F64));
+    let ret_id = rev
+        .grad
+        .add_var(ret_name.clone(), Type::Float(FloatTy::F64));
     let seed_name = {
         let mut k = 0usize;
         loop {
-            let cand =
-                if k == 0 { "_d_result".to_string() } else { format!("_d_result@{k}") };
+            let cand = if k == 0 {
+                "_d_result".to_string()
+            } else {
+                format!("_d_result@{k}")
+            };
             if !rev.grad.vars.iter().any(|v| v.name == cand) {
                 break cand;
             }
             k += 1;
         }
     };
-    let seed_id = rev.grad.add_var(seed_name.clone(), Type::Float(FloatTy::F64));
+    let seed_id = rev
+        .grad
+        .add_var(seed_name.clone(), Type::Float(FloatTy::F64));
 
-    let mut tail_fwd: Vec<Stmt> = Vec::new();
-    tail_fwd.push(decl_stmt_init_named(ret_id, &ret_name, ret_expr.clone()));
-    tail_fwd.push(decl_stmt_init_named(seed_id, &seed_name, Expr::flit(1.0)));
+    let tail_fwd: Vec<Stmt> = vec![
+        decl_stmt_init_named(ret_id, &ret_name, ret_expr.clone()),
+        decl_stmt_init_named(seed_id, &seed_name, Expr::flit(1.0)),
+    ];
 
     let mut head_bwd: Vec<Stmt> = Vec::new();
     // The return is itself an assignment (`_result = e`): give the
@@ -480,7 +505,11 @@ fn validate_no_user_calls(b: &Block) -> Result<(), AdError> {
     struct V(Option<(String, Span)>);
     impl Visitor for V {
         fn visit_expr(&mut self, e: &Expr) {
-            if let ExprKind::Call { callee: Callee::Func(n), .. } = &e.kind {
+            if let ExprKind::Call {
+                callee: Callee::Func(n),
+                ..
+            } = &e.kind
+            {
                 if self.0.is_none() {
                     self.0 = Some((n.clone(), e.span));
                 }
@@ -550,7 +579,10 @@ impl MutVisitor for Remap<'_> {
     }
 
     fn visit_stmt_mut(&mut self, s: &mut Stmt) {
-        if let StmtKind::Decl { id: Some(id), name, .. } = &mut s.kind {
+        if let StmtKind::Decl {
+            id: Some(id), name, ..
+        } = &mut s.kind
+        {
             let nid = self.map[id.index()];
             *id = nid;
             *name = self.grad.var(nid).name.clone();
@@ -570,9 +602,7 @@ pub(crate) fn canonicalize_block(b: &mut Block) {
                 if let Some(bop) = op.binop() {
                     let lty = rhs
                         .ty
-                        .and_then(|rty| {
-                            lhs_type(lhs).and_then(|l| Type::promote(l, rty))
-                        })
+                        .and_then(|rty| lhs_type(lhs).and_then(|l| Type::promote(l, rty)))
                         .or_else(|| lhs_type(lhs));
                     let read = lhs.to_expr(lhs_type(lhs).unwrap_or(Type::Float(FloatTy::F64)));
                     let mut new_rhs = Expr::new(
@@ -668,7 +698,13 @@ impl Rev<'_> {
 
     fn xform_stmt(&mut self, s: &Stmt) -> Result<(Vec<Stmt>, Vec<Stmt>), AdError> {
         match &s.kind {
-            StmtKind::Decl { id, size: Some(size), ty, name, .. } => {
+            StmtKind::Decl {
+                id,
+                size: Some(size),
+                ty,
+                name,
+                ..
+            } => {
                 if !self.top_level || self.loop_depth > 0 {
                     return Err(AdError::NestedArrayDecl { span: s.span });
                 }
@@ -697,10 +733,7 @@ impl Rev<'_> {
                 match init {
                     Some(e) => {
                         let id = id.expect("remapped");
-                        let lhs = LValue::Var(VarRef::resolved(
-                            self.grad.var(id).name.clone(),
-                            id,
-                        ));
+                        let lhs = LValue::Var(VarRef::resolved(self.grad.var(id).name.clone(), id));
                         self.xform_assign(&lhs, e, s.span)
                     }
                     None => Ok((vec![], vec![])),
@@ -710,7 +743,11 @@ impl Rev<'_> {
                 debug_assert_eq!(*op, AssignOp::Assign, "canonicalized");
                 self.xform_assign(lhs, rhs, s.span)
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let (cid, cname) = self.fresh_local("_cond", Type::Bool);
                 self.hoisted.push(decl_stmt(&self.grad, cid, None));
                 let saved_top = self.top_level;
@@ -755,10 +792,15 @@ impl Rev<'_> {
             StmtKind::While { cond, body } => {
                 self.xform_loop(None, cond.clone(), None, body, s.span)
             }
-            StmtKind::For { init, cond, step, body } => {
-                let cond = cond.clone().unwrap_or_else(|| {
-                    Expr::typed(ExprKind::BoolLit(true), Type::Bool)
-                });
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let cond = cond
+                    .clone()
+                    .unwrap_or_else(|| Expr::typed(ExprKind::BoolLit(true), Type::Bool));
                 self.xform_loop(init.as_deref(), cond, step.as_deref(), body, s.span)
             }
             StmtKind::Block(b) => {
@@ -836,7 +878,10 @@ impl Rev<'_> {
             op: AssignOp::Assign,
             rhs: Expr::ilit(0),
         }));
-        fwd.push(Stmt::synth(StmtKind::While { cond, body: Block::of(body_fwd) }));
+        fwd.push(Stmt::synth(StmtKind::While {
+            cond,
+            body: Block::of(body_fwd),
+        }));
         fwd.push(Stmt::synth(StmtKind::TapePush(cnt_rd())));
 
         let (j_id, j_name) = self.fresh_local("_j", Type::Int);
@@ -876,10 +921,10 @@ impl Rev<'_> {
         if let LValue::Index { index, .. } = lhs {
             self_reads.extend(reads_of(index));
         }
-        let reads_self =
-            self_reads.contains(&target) || matches!(lhs, LValue::Index { .. });
+        let reads_self = self_reads.contains(&target) || matches!(lhs, LValue::Index { .. });
         let needs_push = if self.cfg.tbr {
-            self.usage.needs_push(target, reads_self, self.loop_depth > 0)
+            self.usage
+                .needs_push(target, reads_self, self.loop_depth > 0)
         } else {
             true
         };
@@ -953,9 +998,7 @@ impl Rev<'_> {
         match &e.kind {
             ExprKind::FloatLit(_) | ExprKind::IntLit(_) | ExprKind::BoolLit(_) => Ok(()),
             ExprKind::Var(v) => {
-                if let Some(AdjTarget::Scalar(id, name)) =
-                    self.adjoint_of.get(&v.vid()).cloned()
-                {
+                if let Some(AdjTarget::Scalar(id, name)) = self.adjoint_of.get(&v.vid()).cloned() {
                     out.push(Stmt::synth(StmtKind::Assign {
                         lhs: LValue::Var(VarRef::resolved(name, id)),
                         op: AssignOp::AddAssign,
@@ -965,8 +1008,7 @@ impl Rev<'_> {
                 Ok(())
             }
             ExprKind::Index { base, index } => {
-                if let Some(AdjTarget::Array(id, name)) =
-                    self.adjoint_of.get(&base.vid()).cloned()
+                if let Some(AdjTarget::Array(id, name)) = self.adjoint_of.get(&base.vid()).cloned()
                 {
                     out.push(Stmt::synth(StmtKind::Assign {
                         lhs: LValue::Index {
@@ -979,9 +1021,10 @@ impl Rev<'_> {
                 }
                 Ok(())
             }
-            ExprKind::Unary { op: UnOp::Neg, operand } => {
-                self.rev_expr(operand, Expr::neg(seed), out)
-            }
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => self.rev_expr(operand, Expr::neg(seed), out),
             ExprKind::Unary { op: UnOp::Not, .. } => Ok(()),
             ExprKind::Binary { op, lhs, rhs } => match op {
                 BinOp::Add => {
@@ -1008,10 +1051,7 @@ impl Rev<'_> {
                     if has_diff_reads(rhs, &self.grad) {
                         // d/db (a/b) = -a/b²
                         let b2 = Expr::mul((**rhs).clone(), (**rhs).clone());
-                        let s = Expr::neg(Expr::div(
-                            Expr::mul(seed, (**lhs).clone()),
-                            b2,
-                        ));
+                        let s = Expr::neg(Expr::div(Expr::mul(seed, (**lhs).clone()), b2));
                         self.rev_expr(rhs, s, out)?;
                     }
                     Ok(())
@@ -1019,7 +1059,10 @@ impl Rev<'_> {
                 // Comparisons/logic yield no float flow.
                 _ => Ok(()),
             },
-            ExprKind::Call { callee: Callee::Intrinsic(i), args } => {
+            ExprKind::Call {
+                callee: Callee::Intrinsic(i),
+                args,
+            } => {
                 match i {
                     Intrinsic::Fabs => {
                         // Branch on sign (a.e. derivative ±1).
@@ -1067,9 +1110,13 @@ impl Rev<'_> {
                     }
                 }
             }
-            ExprKind::Call { callee: Callee::Func(name), .. } => {
-                Err(AdError::UserCall { name: name.clone(), span: e.span })
-            }
+            ExprKind::Call {
+                callee: Callee::Func(name),
+                ..
+            } => Err(AdError::UserCall {
+                name: name.clone(),
+                span: e.span,
+            }),
             ExprKind::Cast { ty, expr } => match ty {
                 Type::Float(_) => self.rev_expr(expr, seed, out),
                 _ => Ok(()),

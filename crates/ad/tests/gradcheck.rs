@@ -18,7 +18,10 @@ fn checked(src: &str) -> Function {
 
 fn run_f(func: &Function, args: Vec<ArgValue>) -> f64 {
     let c = compile_default(func).unwrap();
-    let opts = ExecOptions { max_instrs: Some(50_000_000), ..Default::default() };
+    let opts = ExecOptions {
+        max_instrs: Some(50_000_000),
+        ..Default::default()
+    };
     run_with(&c, args, &opts).unwrap().ret_f()
 }
 
@@ -35,7 +38,10 @@ fn run_grad(grad: &Function, primal_args: &[ArgValue]) -> Vec<ArgValue> {
         }
         let _ = i;
     }
-    let opts = ExecOptions { max_instrs: Some(50_000_000), ..Default::default() };
+    let opts = ExecOptions {
+        max_instrs: Some(50_000_000),
+        ..Default::default()
+    };
     let out = run_with(&c, args, &opts).unwrap();
     out.args[primal_args.len()..].to_vec()
 }
@@ -71,15 +77,17 @@ fn chain_rule_through_intrinsics() {
     let x = 0.7;
     let out = run_grad(&grad, &[ArgValue::F(x)]);
     let expect = (x * x).cos() * 2.0 * x;
-    assert!(close(out[0].as_f(), expect, 1e-12), "{:?} vs {expect}", out[0]);
+    assert!(
+        close(out[0].as_f(), expect, 1e-12),
+        "{:?} vs {expect}",
+        out[0]
+    );
 }
 
 #[test]
 fn overwrites_and_self_reference() {
     // v assigned twice, second time reading itself.
-    let f = checked(
-        "double f(double x, double y) { double v = x * x; v = v * y; return v; }",
-    );
+    let f = checked("double f(double x, double y) { double v = x * x; v = v * y; return v; }");
     let grad = reverse_diff(&f).unwrap();
     let (x, y) = (1.3, -2.1);
     let out = run_grad(&grad, &[ArgValue::F(x), ArgValue::F(y)]);
@@ -111,7 +119,11 @@ fn loop_gradient_arclength_shape() {
     let args = [ArgValue::F(1.5), ArgValue::I(64)];
     let out = run_grad(&grad, &args);
     let fd = fd_gradient(&f, &args, 0);
-    assert!(close(out[0].as_f(), fd, 1e-5), "ad {} vs fd {fd}", out[0].as_f());
+    assert!(
+        close(out[0].as_f(), fd, 1e-5),
+        "ad {} vs fd {fd}",
+        out[0].as_f()
+    );
 }
 
 #[test]
@@ -144,7 +156,11 @@ fn array_gradient_dot_product() {
     let b = vec![4.0, 5.0, 6.0];
     let out = run_grad(
         &grad,
-        &[ArgValue::FArr(a.clone()), ArgValue::FArr(b.clone()), ArgValue::I(3)],
+        &[
+            ArgValue::FArr(a.clone()),
+            ArgValue::FArr(b.clone()),
+            ArgValue::I(3),
+        ],
     );
     assert_eq!(out[0].as_farr(), b.as_slice()); // d/da = b
     assert_eq!(out[1].as_farr(), a.as_slice()); // d/db = a
@@ -186,15 +202,24 @@ fn while_loop_gradient() {
 
 #[test]
 fn fabs_and_minmax_gradients() {
-    let f = checked("double f(double x, double y) { return fabs(x) + fmax(x, y) + fmin(x * y, y); }");
+    let f =
+        checked("double f(double x, double y) { return fabs(x) + fmax(x, y) + fmin(x * y, y); }");
     let grad = reverse_diff(&f).unwrap();
     for &(x, y) in &[(2.0, 1.0), (-2.0, 1.0), (0.5, 3.0)] {
         let args = [ArgValue::F(x), ArgValue::F(y)];
         let out = run_grad(&grad, &args);
         let fdx = fd_gradient(&f, &args, 0);
         let fdy = fd_gradient(&f, &args, 1);
-        assert!(close(out[0].as_f(), fdx, 1e-5), "x={x},y={y}: {} vs {fdx}", out[0].as_f());
-        assert!(close(out[1].as_f(), fdy, 1e-5), "x={x},y={y}: {} vs {fdy}", out[1].as_f());
+        assert!(
+            close(out[0].as_f(), fdx, 1e-5),
+            "x={x},y={y}: {} vs {fdx}",
+            out[0].as_f()
+        );
+        assert!(
+            close(out[1].as_f(), fdy, 1e-5),
+            "x={x},y={y}: {} vs {fdy}",
+            out[1].as_f()
+        );
     }
 }
 
@@ -211,12 +236,18 @@ fn pow_gradient() {
 #[test]
 fn reverse_matches_forward_mode_on_random_programs() {
     let cfg = GenConfig::default();
-    let exec_opts = ExecOptions { max_instrs: Some(5_000_000), ..Default::default() };
+    let exec_opts = ExecOptions {
+        max_instrs: Some(5_000_000),
+        ..Default::default()
+    };
     let mut tested = 0;
     for seed in 0..120 {
         let g = generate(seed, &cfg);
-        let args =
-            vec![ArgValue::F(g.float_args[0]), ArgValue::F(g.float_args[1]), ArgValue::I(g.int_arg)];
+        let args = vec![
+            ArgValue::F(g.float_args[0]),
+            ArgValue::F(g.float_args[1]),
+            ArgValue::I(g.int_arg),
+        ];
         let grad = match reverse_diff(&g.function) {
             Ok(gr) => gr,
             Err(e) => panic!("seed {seed}: reverse failed: {e}\n{}", g.source),
@@ -250,13 +281,25 @@ fn reverse_matches_forward_mode_on_random_programs() {
 #[test]
 fn tbr_and_full_push_agree() {
     let cfg_gen = GenConfig::default();
-    let tbr_on = ReverseConfig { tbr: true, ..Default::default() };
-    let tbr_off = ReverseConfig { tbr: false, ..Default::default() };
-    let exec_opts = ExecOptions { max_instrs: Some(5_000_000), ..Default::default() };
+    let tbr_on = ReverseConfig {
+        tbr: true,
+        ..Default::default()
+    };
+    let tbr_off = ReverseConfig {
+        tbr: false,
+        ..Default::default()
+    };
+    let exec_opts = ExecOptions {
+        max_instrs: Some(5_000_000),
+        ..Default::default()
+    };
     for seed in 200..260 {
         let g = generate(seed, &cfg_gen);
-        let args =
-            vec![ArgValue::F(g.float_args[0]), ArgValue::F(g.float_args[1]), ArgValue::I(g.int_arg)];
+        let args = vec![
+            ArgValue::F(g.float_args[0]),
+            ArgValue::F(g.float_args[1]),
+            ArgValue::I(g.int_arg),
+        ];
         let mut results = Vec::new();
         let mut peaks = Vec::new();
         for cfg in [&tbr_on, &tbr_off] {
@@ -289,8 +332,15 @@ fn tbr_reduces_tape_on_straight_line_code() {
             return c;
         }",
     );
-    let tbr = reverse_diff_with(&f, &ReverseConfig { tbr: true, ..Default::default() }, &mut NoExtension)
-        .unwrap();
+    let tbr = reverse_diff_with(
+        &f,
+        &ReverseConfig {
+            tbr: true,
+            ..Default::default()
+        },
+        &mut NoExtension,
+    )
+    .unwrap();
     let c = compile_default(&tbr).unwrap();
     let out = run_with(
         &c,
@@ -300,8 +350,15 @@ fn tbr_reduces_tape_on_straight_line_code() {
     .unwrap();
     // Single-assignment locals never read before their assignment: no
     // pushes at all.
-    assert_eq!(out.stats.tape_total_pushes, 0, "pushes: {}", out.stats.tape_total_pushes);
-    assert_eq!(out.args[1], ArgValue::F(2.0 * 2.0 * (2.0 * 2.0) + (2.0 * 2.0 + 1.0) * 2.0 * 2.0));
+    assert_eq!(
+        out.stats.tape_total_pushes, 0,
+        "pushes: {}",
+        out.stats.tape_total_pushes
+    );
+    assert_eq!(
+        out.args[1],
+        ArgValue::F(2.0 * 2.0 * (2.0 * 2.0) + (2.0 * 2.0 + 1.0) * 2.0 * 2.0)
+    );
 }
 
 #[test]
@@ -323,12 +380,18 @@ fn generated_code_optimizes_and_still_matches() {
     // not change gradients.
     for seed in 300..340 {
         let g = generate(seed, &GenConfig::default());
-        let args =
-            vec![ArgValue::F(g.float_args[0]), ArgValue::F(g.float_args[1]), ArgValue::I(g.int_arg)];
+        let args = vec![
+            ArgValue::F(g.float_args[0]),
+            ArgValue::F(g.float_args[1]),
+            ArgValue::I(g.int_arg),
+        ];
         let grad = reverse_diff(&g.function).unwrap();
         let mut opt = grad.clone();
         chef_passes::optimize_function(&mut opt, chef_passes::OptLevel::O2);
-        let exec_opts = ExecOptions { max_instrs: Some(5_000_000), ..Default::default() };
+        let exec_opts = ExecOptions {
+            max_instrs: Some(5_000_000),
+            ..Default::default()
+        };
         let mut gargs = args.clone();
         gargs.push(ArgValue::F(0.0));
         gargs.push(ArgValue::F(0.0));
@@ -355,5 +418,8 @@ fn unsupported_shapes_report_errors() {
     assert!(matches!(reverse_diff(&f), Err(AdError::EarlyReturn { .. })));
 
     let f = checked("double f(double x) { double y = x; }");
-    assert!(matches!(reverse_diff(&f), Err(AdError::MissingTrailingReturn)));
+    assert!(matches!(
+        reverse_diff(&f),
+        Err(AdError::MissingTrailingReturn)
+    ));
 }

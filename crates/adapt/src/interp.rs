@@ -295,7 +295,9 @@ impl<'a> Interp<'a> {
     fn stmt(&mut self, s: &Stmt) -> Result<Option<TVal>, AdaptError> {
         self.tick()?;
         match &s.kind {
-            StmtKind::Decl { id, ty, size, init, .. } => {
+            StmtKind::Decl {
+                id, ty, size, init, ..
+            } => {
                 let id = id.expect("typeck ran").index();
                 if let Some(sz) = size {
                     let n = self.expr(sz)?.as_i();
@@ -304,8 +306,7 @@ impl<'a> Interp<'a> {
                     }
                     match ty {
                         Type::Array(ElemTy::Float(_)) => {
-                            self.env[id] =
-                                Slot::FA(vec![0.0; n as usize], vec![None; n as usize]);
+                            self.env[id] = Slot::FA(vec![0.0; n as usize], vec![None; n as usize]);
                         }
                         Type::Array(ElemTy::Int) => {
                             self.env[id] = Slot::IA(vec![0; n as usize]);
@@ -337,7 +338,11 @@ impl<'a> Interp<'a> {
                 self.write_lvalue(lhs, val)?;
                 Ok(None)
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.expr(cond)?.as_b() {
                     self.block(then_branch)
                 } else if let Some(eb) = else_branch {
@@ -355,7 +360,12 @@ impl<'a> Interp<'a> {
                 }
                 Ok(None)
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -466,7 +476,10 @@ impl<'a> Interp<'a> {
                         }
                         Ok(TVal::I(vals[i as usize]))
                     }
-                    _ => Err(AdaptError::Runtime(format!("`{}` is not an array", base.name))),
+                    _ => Err(AdaptError::Runtime(format!(
+                        "`{}` is not an array",
+                        base.name
+                    ))),
                 }
             }
         }
@@ -483,7 +496,10 @@ impl<'a> Interp<'a> {
             Slot::I(val) => Ok(TVal::I(*val)),
             Slot::B(val) => Ok(TVal::B(*val)),
             Slot::Unset => Ok(TVal::F(0.0, None, prec)),
-            _ => Err(AdaptError::Runtime(format!("array `{}` read as scalar", v.name))),
+            _ => Err(AdaptError::Runtime(format!(
+                "array `{}` read as scalar",
+                v.name
+            ))),
         }
     }
 
@@ -549,7 +565,10 @@ impl<'a> Interp<'a> {
             ExprKind::BoolLit(b) => Ok(TVal::B(*b)),
             ExprKind::Var(v) => self.read_var(v),
             ExprKind::Index { base, index } => {
-                let lv = LValue::Index { base: base.clone(), index: (**index).clone() };
+                let lv = LValue::Index {
+                    base: base.clone(),
+                    index: (**index).clone(),
+                };
                 self.read_lvalue(&lv)
             }
             ExprKind::Unary { op, operand } => {
@@ -599,14 +618,22 @@ impl<'a> Interp<'a> {
                 let b = self.expr(rhs)?;
                 self.binop(*op, a, b)
             }
-            ExprKind::Call { callee: Callee::Intrinsic(i), args } => {
-                let vals: Vec<TVal> =
-                    args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?;
+            ExprKind::Call {
+                callee: Callee::Intrinsic(i),
+                args,
+            } => {
+                let vals: Vec<TVal> = args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<_, _>>()?;
                 self.intrinsic(*i, &vals)
             }
-            ExprKind::Call { callee: Callee::Func(n), .. } => {
-                Err(AdaptError::Unsupported(format!("user call `{n}` (inline first)")))
-            }
+            ExprKind::Call {
+                callee: Callee::Func(n),
+                ..
+            } => Err(AdaptError::Unsupported(format!(
+                "user call `{n}` (inline first)"
+            ))),
             ExprKind::Cast { ty, expr } => {
                 let v = self.expr(expr)?;
                 match ty {
@@ -758,9 +785,11 @@ impl<'a> Interp<'a> {
         let value = round_to(chef_exec::intrinsics::eval1(i, x, &approx), prec);
         let d = numeric_derivative(i, x);
         let idx = match xi {
-            Some(j) => {
-                Some(self.tape.record(Entry { a: Some((j, d)), b: None, value })?)
-            }
+            Some(j) => Some(self.tape.record(Entry {
+                a: Some((j, d)),
+                b: None,
+                value,
+            })?),
             None => None,
         };
         Ok(TVal::F(value, idx, prec))
@@ -838,12 +867,8 @@ fn numeric_derivative(i: Intrinsic, x: f64) -> f64 {
             }
         }
         Intrinsic::Floor | Intrinsic::Ceil => 0.0,
-        Intrinsic::Erf => {
-            2.0 / std::f64::consts::PI.sqrt() * (-x * x).exp()
-        }
-        Intrinsic::Erfc => {
-            -2.0 / std::f64::consts::PI.sqrt() * (-x * x).exp()
-        }
+        Intrinsic::Erf => 2.0 / std::f64::consts::PI.sqrt() * (-x * x).exp(),
+        Intrinsic::Erfc => -2.0 / std::f64::consts::PI.sqrt() * (-x * x).exp(),
         Intrinsic::NormCdf | Intrinsic::FastNormCdf => {
             (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
         }

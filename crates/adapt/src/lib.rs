@@ -37,8 +37,12 @@ mod tests {
     #[test]
     fn gradient_of_product() {
         let f = func("double f(double x, double y) { double z = x * y; return z; }");
-        let out = analyze(&f, &[ArgValue::F(3.0), ArgValue::F(5.0)], &Default::default())
-            .unwrap();
+        let out = analyze(
+            &f,
+            &[ArgValue::F(3.0), ArgValue::F(5.0)],
+            &Default::default(),
+        )
+        .unwrap();
         assert_eq!(out.value, 15.0);
         assert_eq!(out.gradient[0].1, ArgValue::F(5.0));
         assert_eq!(out.gradient[1].1, ArgValue::F(3.0));
@@ -49,10 +53,18 @@ mod tests {
         let f = func(
             "double f(double x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += x * x; } return s; }",
         );
-        let small =
-            analyze(&f, &[ArgValue::F(2.0), ArgValue::I(10)], &Default::default()).unwrap();
-        let large =
-            analyze(&f, &[ArgValue::F(2.0), ArgValue::I(1000)], &Default::default()).unwrap();
+        let small = analyze(
+            &f,
+            &[ArgValue::F(2.0), ArgValue::I(10)],
+            &Default::default(),
+        )
+        .unwrap();
+        let large = analyze(
+            &f,
+            &[ArgValue::F(2.0), ArgValue::I(1000)],
+            &Default::default(),
+        )
+        .unwrap();
         assert_eq!(small.gradient[0].1, ArgValue::F(40.0)); // 2nx
         assert_eq!(large.gradient[0].1, ArgValue::F(4000.0));
         // The tape grows linearly with iterations: ~100x entries.
@@ -64,7 +76,10 @@ mod tests {
         let f = func(
             "double f(double x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += x; } return s; }",
         );
-        let opts = AdaptOptions { memory_limit: Some(10_000), ..Default::default() };
+        let opts = AdaptOptions {
+            memory_limit: Some(10_000),
+            ..Default::default()
+        };
         assert!(analyze(&f, &[ArgValue::F(1.0), ArgValue::I(10)], &opts).is_ok());
         let err = analyze(&f, &[ArgValue::F(1.0), ArgValue::I(100_000)], &opts).unwrap_err();
         assert!(matches!(err, AdaptError::OutOfMemory(_)));

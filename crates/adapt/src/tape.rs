@@ -59,7 +59,10 @@ impl OpTape {
 
     /// Tape that fails once `limit_bytes` of entries are live.
     pub fn with_limit(limit_bytes: usize) -> Self {
-        OpTape { limit_bytes: Some(limit_bytes), ..OpTape::default() }
+        OpTape {
+            limit_bytes: Some(limit_bytes),
+            ..OpTape::default()
+        }
     }
 
     /// Records an entry, returning its index.
@@ -77,7 +80,11 @@ impl OpTape {
 
     /// Records a fresh *input* (leaf) entry.
     pub fn input(&mut self, value: f64) -> Result<EntryIdx, TapeOom> {
-        self.record(Entry { a: None, b: None, value })
+        self.record(Entry {
+            a: None,
+            b: None,
+            value,
+        })
     }
 
     /// Number of recorded entries.
@@ -134,7 +141,11 @@ mod tests {
         let x = t.input(3.0).unwrap();
         let y = t.input(5.0).unwrap();
         let f = t
-            .record(Entry { a: Some((x, 5.0)), b: Some((y, 3.0)), value: 15.0 })
+            .record(Entry {
+                a: Some((x, 5.0)),
+                b: Some((y, 3.0)),
+                value: 15.0,
+            })
             .unwrap();
         let adj = t.reverse(f);
         assert_eq!(adj[x as usize], 5.0);
@@ -147,10 +158,18 @@ mod tests {
         let mut t = OpTape::new();
         let x = t.input(2.0).unwrap();
         let sq = t
-            .record(Entry { a: Some((x, 2.0)), b: Some((x, 2.0)), value: 4.0 })
+            .record(Entry {
+                a: Some((x, 2.0)),
+                b: Some((x, 2.0)),
+                value: 4.0,
+            })
             .unwrap();
         let g = t
-            .record(Entry { a: Some((sq, 1.0)), b: Some((sq, 1.0)), value: 8.0 })
+            .record(Entry {
+                a: Some((sq, 1.0)),
+                b: Some((sq, 1.0)),
+                value: 8.0,
+            })
             .unwrap();
         let adj = t.reverse(g);
         assert_eq!(adj[x as usize], 8.0); // 4x at x=2

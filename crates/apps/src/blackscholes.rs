@@ -256,7 +256,10 @@ mod tests {
         let native: f64 = native_prices(&w).iter().sum();
         // The kernel's `normcdf` intrinsic is exact; the native path uses
         // the PARSEC A&S polynomial (~7.5e-8 absolute): loose tolerance.
-        assert!((vm - native).abs() < 1e-4 * native.abs().max(1.0), "{vm} vs {native}");
+        assert!(
+            (vm - native).abs() < 1e-4 * native.abs().max(1.0),
+            "{vm} vs {native}"
+        );
     }
 
     #[test]
@@ -265,7 +268,7 @@ mod tests {
         let (s, k, r, v, t) = (100.0, 95.0, 0.05, 0.3, 1.0);
         let call = price_one(s, k, r, v, t, false, std_exp, std_log, std_sqrt);
         let put = price_one(s, k, r, v, t, true, std_exp, std_log, std_sqrt);
-        let parity = s - k * (-r * t as f64).exp();
+        let parity = s - k * (-r * t).exp();
         // The A&S polynomial CNDF is accurate to ~7.5e-8.
         assert!((call - put - parity).abs() < 1e-5);
     }
@@ -285,7 +288,11 @@ mod tests {
         let row1 = approx_prices_no_fast_exp(&w);
         let row2 = approx_prices_fast_exp(&w);
         let err = |approx: &[f64]| -> f64 {
-            approx.iter().zip(&exact).map(|(a, e)| (a - e).abs()).sum::<f64>()
+            approx
+                .iter()
+                .zip(&exact)
+                .map(|(a, e)| (a - e).abs())
+                .sum::<f64>()
         };
         let (e1, e2) = (err(&row1), err(&row2));
         assert!(e1 > 0.0);

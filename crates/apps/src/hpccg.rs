@@ -137,7 +137,13 @@ pub fn problem(nx: usize, ny: usize, nz: usize) -> Problem {
         let (lo, hi) = (rowptr[row] as usize, rowptr[row + 1] as usize);
         b[row] = vals[lo..hi].iter().sum();
     }
-    Problem { vals, inds, rowptr, b, nrow }
+    Problem {
+        vals,
+        inds,
+        rowptr,
+        b,
+        nrow,
+    }
 }
 
 /// Default CG controls used by the paper-scale runs.

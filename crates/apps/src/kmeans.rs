@@ -89,7 +89,13 @@ pub fn workload(npoints: usize, nclusters: usize, nfeatures: usize, seed: u64) -
     let clusters: Vec<f64> = (0..nclusters * nfeatures)
         .map(|i| attributes[i] + rng.gen_range(-0.01..0.01))
         .collect();
-    Workload { attributes, clusters, npoints, nclusters, nfeatures }
+    Workload {
+        attributes,
+        clusters,
+        npoints,
+        nclusters,
+        nfeatures,
+    }
 }
 
 /// VM arguments for a workload.
@@ -111,8 +117,7 @@ pub fn native_f64(w: &Workload) -> f64 {
         for c in 0..w.nclusters {
             let mut sum = 0.0f64;
             for f in 0..w.nfeatures {
-                let diff =
-                    w.attributes[p * w.nfeatures + f] - w.clusters[c * w.nfeatures + f];
+                let diff = w.attributes[p * w.nfeatures + f] - w.clusters[c * w.nfeatures + f];
                 sum += diff * diff;
             }
             best = best.min(sum.sqrt());

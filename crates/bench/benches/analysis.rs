@@ -26,21 +26,36 @@ fn bench_pair(
     let primal = inlined.function(func).unwrap().clone();
     g.bench_function("adapt", |b| {
         b.iter(|| {
-            analyze(&primal, std::hint::black_box(args), &AdaptOptions::default())
+            analyze(
+                &primal,
+                std::hint::black_box(args),
+                &AdaptOptions::default(),
+            )
+            .unwrap()
+            .fp_error
+        })
+    });
+
+    // Ablation: CHEF-FP without the TBR analysis (push everything).
+    let no_tbr = EstimateOptions {
+        tbr: false,
+        ..Default::default()
+    };
+    let est_full = estimate_error(program, func, &no_tbr).unwrap();
+    g.bench_function("chef-fp-no-tbr", |b| {
+        b.iter(|| {
+            est_full
+                .execute(std::hint::black_box(args))
                 .unwrap()
                 .fp_error
         })
     });
 
-    // Ablation: CHEF-FP without the TBR analysis (push everything).
-    let no_tbr = EstimateOptions { tbr: false, ..Default::default() };
-    let est_full = estimate_error(program, func, &no_tbr).unwrap();
-    g.bench_function("chef-fp-no-tbr", |b| {
-        b.iter(|| est_full.execute(std::hint::black_box(args)).unwrap().fp_error)
-    });
-
     // Ablation: unoptimized generated code (-O0).
-    let o0 = EstimateOptions { opt_level: chef_passes::OptLevel::O0, ..Default::default() };
+    let o0 = EstimateOptions {
+        opt_level: chef_passes::OptLevel::O0,
+        ..Default::default()
+    };
     let est_o0 = estimate_error(program, func, &o0).unwrap();
     g.bench_function("chef-fp-O0", |b| {
         b.iter(|| est_o0.execute(std::hint::black_box(args)).unwrap().fp_error)
@@ -51,11 +66,23 @@ fn bench_pair(
 
 fn benches(c: &mut Criterion) {
     let p = chef_apps::arclen::program();
-    bench_pair(c, "analysis/arclen-5k", &p, chef_apps::arclen::NAME, &chef_apps::arclen::args(5_000));
+    bench_pair(
+        c,
+        "analysis/arclen-5k",
+        &p,
+        chef_apps::arclen::NAME,
+        &chef_apps::arclen::args(5_000),
+    );
 
     let w = chef_apps::kmeans::workload(500, 5, 4, 42);
     let p = chef_apps::kmeans::program();
-    bench_pair(c, "analysis/kmeans-500", &p, chef_apps::kmeans::NAME, &chef_apps::kmeans::args(&w));
+    bench_pair(
+        c,
+        "analysis/kmeans-500",
+        &p,
+        chef_apps::kmeans::NAME,
+        &chef_apps::kmeans::args(&w),
+    );
 
     let w = chef_apps::blackscholes::workload(500, 42);
     let p = chef_apps::blackscholes::program();

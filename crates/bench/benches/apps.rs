@@ -7,8 +7,12 @@ use std::hint::black_box;
 fn benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("native/arclen-100k");
     g.sample_size(20);
-    g.bench_function("f64", |b| b.iter(|| chef_apps::arclen::native_f64(black_box(100_000))));
-    g.bench_function("mixed", |b| b.iter(|| chef_apps::arclen::native_mixed(black_box(100_000))));
+    g.bench_function("f64", |b| {
+        b.iter(|| chef_apps::arclen::native_f64(black_box(100_000)))
+    });
+    g.bench_function("mixed", |b| {
+        b.iter(|| chef_apps::arclen::native_mixed(black_box(100_000)))
+    });
     g.finish();
 
     let (lo, hi) = chef_apps::simpsons::BOUNDS;
@@ -25,7 +29,9 @@ fn benches(c: &mut Criterion) {
     let w = chef_apps::kmeans::workload(20_000, 5, 4, 42);
     let mut g = c.benchmark_group("native/kmeans-20k");
     g.sample_size(10);
-    g.bench_function("f64", |b| b.iter(|| chef_apps::kmeans::native_f64(black_box(&w))));
+    g.bench_function("f64", |b| {
+        b.iter(|| chef_apps::kmeans::native_f64(black_box(&w)))
+    });
     g.bench_function("attr-f32", |b| {
         b.iter(|| chef_apps::kmeans::native_attr_f32(black_box(&w)))
     });

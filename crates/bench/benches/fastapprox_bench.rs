@@ -14,10 +14,18 @@ fn benches(c: &mut Criterion) {
         b.iter(|| xd.iter().map(|&x| black_box(x).exp()).sum::<f64>())
     });
     g.bench_function("fastexp-f32", |b| {
-        b.iter(|| xs.iter().map(|&x| fastapprox::fastexp(black_box(x))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| fastapprox::fastexp(black_box(x)))
+                .sum::<f32>()
+        })
     });
     g.bench_function("fasterexp-f32", |b| {
-        b.iter(|| xs.iter().map(|&x| fastapprox::fasterexp(black_box(x))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| fastapprox::fasterexp(black_box(x)))
+                .sum::<f32>()
+        })
     });
     g.finish();
 
@@ -27,17 +35,29 @@ fn benches(c: &mut Criterion) {
         b.iter(|| xd.iter().map(|&x| black_box(x).ln()).sum::<f64>())
     });
     g.bench_function("fastlog-f32", |b| {
-        b.iter(|| xs.iter().map(|&x| fastapprox::fastlog(black_box(x))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| fastapprox::fastlog(black_box(x)))
+                .sum::<f32>()
+        })
     });
     g.finish();
 
     let mut g = c.benchmark_group("fastapprox/normcdf");
     g.sample_size(20);
     g.bench_function("exact-erfc64", |b| {
-        b.iter(|| xd.iter().map(|&x| fastapprox::erf::normcdf64(black_box(x) - 8.0)).sum::<f64>())
+        b.iter(|| {
+            xd.iter()
+                .map(|&x| fastapprox::erf::normcdf64(black_box(x) - 8.0))
+                .sum::<f64>()
+        })
     });
     g.bench_function("fastnormcdf-f32", |b| {
-        b.iter(|| xs.iter().map(|&x| fastapprox::fastnormcdf(black_box(x) - 8.0)).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| fastapprox::fastnormcdf(black_box(x) - 8.0))
+                .sum::<f32>()
+        })
     });
     g.finish();
 }

@@ -21,13 +21,63 @@ fn benches(c: &mut Criterion) {
     }
     g.finish();
 
-    // VM throughput on the arclen primal.
+    // VM throughput on the arclen primal (fused + reusable machine —
+    // the default engine configuration).
     let p = chef_apps::arclen::program();
     let compiled = chef_exec::compile::compile_default(p.function("arclen").unwrap()).unwrap();
     let mut g = c.benchmark_group("vm/arclen-primal");
     g.sample_size(10);
     g.bench_function("n=10000", |b| {
         b.iter(|| run(&compiled, vec![ArgValue::I(10_000)]).unwrap().ret_f())
+    });
+    g.finish();
+
+    // Fusion ablation: the same kernel with the peephole disabled, plus
+    // an explicit reusable machine to isolate dispatch cost.
+    let arclen = p.function("arclen").unwrap();
+    let unfused = chef_exec::compile::compile(
+        arclen,
+        &chef_exec::compile::CompileOptions {
+            fuse: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let fused = chef_exec::compile::compile_default(arclen).unwrap();
+    let mut g = c.benchmark_group("vm/fused-vs-unfused");
+    g.sample_size(10);
+    g.bench_function("unfused", |b| {
+        let mut m = chef_exec::vm::Machine::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&unfused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.bench_function("fused", |b| {
+        let mut m = chef_exec::vm::Machine::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.finish();
+
+    // Batch API: serial machine reuse vs parallel fan-out on independent
+    // analysis-style runs.
+    let mut g = c.benchmark_group("vm/batch");
+    g.sample_size(10);
+    let sets = || -> Vec<Vec<ArgValue>> { (0..64).map(|_| vec![ArgValue::I(2_000)]).collect() };
+    g.bench_function("serial-64", |b| {
+        let opts = ExecOptions::default();
+        b.iter(|| chef_exec::vm::run_batch(&fused, sets(), &opts))
+    });
+    g.bench_function("parallel-64", |b| {
+        let opts = ExecOptions::default();
+        b.iter(|| chef_exec::vm::run_batch_parallel(&fused, sets(), &opts, None))
     });
     g.finish();
 
@@ -46,7 +96,9 @@ fn benches(c: &mut Criterion) {
     let mut checked = chef_ir::parser::parse_program(src).unwrap();
     chef_ir::typeck::check_program(&mut checked).unwrap();
     let primal = checked.function("blackscholes").unwrap().clone();
-    g.bench_function("reverse-ad", |b| b.iter(|| reverse_diff(black_box(&primal)).unwrap()));
+    g.bench_function("reverse-ad", |b| {
+        b.iter(|| reverse_diff(black_box(&primal)).unwrap())
+    });
     let grad = reverse_diff(&primal).unwrap();
     g.bench_function("optimize-O2", |b| {
         b.iter(|| {

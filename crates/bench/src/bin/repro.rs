@@ -13,7 +13,7 @@
 use adapt_baseline::{analyze, AdaptError, AdaptOptions};
 use chef_bench::{mb, sci, time_median, time_ms};
 use chef_core::prelude::*;
-use chef_exec::compile::{compile, compile_default, CompileOptions, PrecisionMap};
+use chef_exec::compile::{compile_default, PrecisionMap};
 use chef_exec::prelude::*;
 use chef_ir::ast::{Intrinsic, Program};
 use chef_tuner::{tune, validate, TunerConfig};
@@ -25,6 +25,10 @@ const ADAPT_MEM_LIMIT: usize = 4 << 30; // 4 GiB
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke" || a == "smoke") {
+        smoke();
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -44,7 +48,13 @@ fn main() {
         sweep_fig(
             "Figure 4: Arc Length — analysis time & memory vs iterations",
             &[10_000, 100_000, 1_000_000],
-            |n| (chef_apps::arclen::program(), chef_apps::arclen::NAME, chef_apps::arclen::args(n)),
+            |n| {
+                (
+                    chef_apps::arclen::program(),
+                    chef_apps::arclen::NAME,
+                    chef_apps::arclen::args(n),
+                )
+            },
             &[],
         );
     }
@@ -68,9 +78,16 @@ fn main() {
             &[100, 1_000, 10_000, 100_000],
             |n| {
                 let w = chef_apps::kmeans::workload(n as usize, 5, 4, 42);
-                (chef_apps::kmeans::program(), chef_apps::kmeans::NAME, chef_apps::kmeans::args(&w))
+                (
+                    chef_apps::kmeans::program(),
+                    chef_apps::kmeans::NAME,
+                    chef_apps::kmeans::args(&w),
+                )
             },
-            &[("attributes", "npoints * nfeatures"), ("clusters", "nclusters * nfeatures")],
+            &[
+                ("attributes", "npoints * nfeatures"),
+                ("clusters", "nclusters * nfeatures"),
+            ],
         );
     }
     if want("fig7") {
@@ -79,7 +96,11 @@ fn main() {
             &[5, 10, 20, 40],
             |z| {
                 let p = chef_apps::hpccg::problem(20, 30, z as usize);
-                (chef_apps::hpccg::program(), chef_apps::hpccg::NAME, chef_apps::hpccg::args(&p))
+                (
+                    chef_apps::hpccg::program(),
+                    chef_apps::hpccg::NAME,
+                    chef_apps::hpccg::args(&p),
+                )
             },
             &[("b", "nrow")],
         );
@@ -127,7 +148,14 @@ fn table1() {
         let rep = validate(&p, chef_apps::arclen::NAME, &args, &res.config).expect("validate");
         let (_, t64) = time_median(9, || chef_apps::arclen::native_f64(n as usize));
         let (_, tmx) = time_median(9, || chef_apps::arclen::native_mixed(n as usize));
-        row1("Arc Length", 1e-5, rep.actual_error, res.estimated_error, t64 / tmx, &res.demoted);
+        row1(
+            "Arc Length",
+            1e-5,
+            rep.actual_error,
+            res.estimated_error,
+            t64 / tmx,
+            &res.demoted,
+        );
     }
     // --- Simpsons, threshold 1e-6 ---
     {
@@ -140,7 +168,14 @@ fn table1() {
         let (a, b) = chef_apps::simpsons::BOUNDS;
         let (_, t64) = time_median(9, || chef_apps::simpsons::native_f64(a, b, n as usize));
         let (_, tmx) = time_median(9, || chef_apps::simpsons::native_mixed(a, b, n as usize));
-        row1("Simpsons", 1e-6, rep.actual_error, res.estimated_error, t64 / tmx, &res.demoted);
+        row1(
+            "Simpsons",
+            1e-6,
+            rep.actual_error,
+            res.estimated_error,
+            t64 / tmx,
+            &res.demoted,
+        );
     }
     // --- k-Means, threshold 1e-6 ---
     {
@@ -166,7 +201,14 @@ fn table1() {
         } else {
             1.0 // empty configuration: the program is unchanged
         };
-        row1("k-Means", 1e-6, rep.actual_error, res.estimated_error, speedup, &res.demoted);
+        row1(
+            "k-Means",
+            1e-6,
+            rep.actual_error,
+            res.estimated_error,
+            speedup,
+            &res.demoted,
+        );
     }
     // --- HPCCG: the loop-split configuration from the Fig. 9 profile ---
     {
@@ -190,8 +232,9 @@ fn table1() {
             .unwrap_or(profile.ticks);
         let estimated = tail_estimate(split);
         let (base, t64) = time_median(3, || chef_apps::hpccg::native_f64(&prob, 150, 1e-10));
-        let (tuned, tsp) =
-            time_median(3, || chef_apps::hpccg::native_split(&prob, 150, 1e-10, split));
+        let (tuned, tsp) = time_median(3, || {
+            chef_apps::hpccg::native_split(&prob, 150, 1e-10, split)
+        });
         // Quantity of interest for the threshold: the final squared
         // residual (the solver's convergence quality). The solution-sum
         // component is the Fig. 9 visualization QoI; demoting the solution
@@ -211,9 +254,7 @@ fn table1() {
 }
 
 /// The Fig. 9 sensitivity profile of the residual-carrying vectors.
-fn hpccg_profile(
-    prob: &chef_apps::hpccg::Problem,
-) -> Result<SensitivityProfile, ChefError> {
+fn hpccg_profile(prob: &chef_apps::hpccg::Problem) -> Result<SensitivityProfile, ChefError> {
     let p = chef_apps::hpccg::program();
     let cfg = SensitivityConfig {
         tracked: vec!["r".into(), "p".into(), "Ap".into()],
@@ -237,7 +278,11 @@ fn row1(name: &str, thr: f64, actual: f64, estimated: f64, speedup: f64, demoted
         sci(actual),
         sci(estimated),
         speedup,
-        if demoted.is_empty() { "(none)".to_string() } else { demoted.join(", ") }
+        if demoted.is_empty() {
+            "(none)".to_string()
+        } else {
+            demoted.join(", ")
+        }
     );
 }
 
@@ -269,8 +314,10 @@ fn analyze_both(
     // ADAPT baseline: taping + reverse + post-hoc errors, every run.
     let inlined = chef_passes::inline_program(program).expect("inlines");
     let primal = inlined.function(func).expect("function exists");
-    let adapt_opts =
-        AdaptOptions { memory_limit: Some(ADAPT_MEM_LIMIT), ..Default::default() };
+    let adapt_opts = AdaptOptions {
+        memory_limit: Some(ADAPT_MEM_LIMIT),
+        ..Default::default()
+    };
     let (adapt_res, adapt_ms) = time_ms(|| analyze(primal, args, &adapt_opts));
     match adapt_res {
         Ok(out) => AnalysisPoint {
@@ -279,9 +326,12 @@ fn analyze_both(
             adapt_ms: Some(adapt_ms),
             adapt_bytes: Some(out.tape_peak_bytes),
         },
-        Err(AdaptError::OutOfMemory(_)) => {
-            AnalysisPoint { chef_ms, chef_bytes, adapt_ms: None, adapt_bytes: None }
-        }
+        Err(AdaptError::OutOfMemory(_)) => AnalysisPoint {
+            chef_ms,
+            chef_bytes,
+            adapt_ms: None,
+            adapt_bytes: None,
+        },
         Err(e) => panic!("adapt baseline failed: {e}"),
     }
 }
@@ -292,11 +342,21 @@ fn table2() {
     let rows: Vec<(&str, AnalysisPoint)> = vec![
         ("Arc length", {
             let p = chef_apps::arclen::program();
-            analyze_both(&p, chef_apps::arclen::NAME, &chef_apps::arclen::args(100_000), &[])
+            analyze_both(
+                &p,
+                chef_apps::arclen::NAME,
+                &chef_apps::arclen::args(100_000),
+                &[],
+            )
         }),
         ("Simpsons", {
             let p = chef_apps::simpsons::program();
-            analyze_both(&p, chef_apps::simpsons::NAME, &chef_apps::simpsons::args(100_000), &[])
+            analyze_both(
+                &p,
+                chef_apps::simpsons::NAME,
+                &chef_apps::simpsons::args(100_000),
+                &[],
+            )
         }),
         ("k-Means", {
             let p = chef_apps::kmeans::program();
@@ -305,18 +365,31 @@ fn table2() {
                 &p,
                 chef_apps::kmeans::NAME,
                 &chef_apps::kmeans::args(&w),
-                &[("attributes", "npoints * nfeatures"), ("clusters", "nclusters * nfeatures")],
+                &[
+                    ("attributes", "npoints * nfeatures"),
+                    ("clusters", "nclusters * nfeatures"),
+                ],
             )
         }),
         ("HPCCG", {
             let p = chef_apps::hpccg::program();
             let prob = chef_apps::hpccg::problem(20, 30, 5);
-            analyze_both(&p, chef_apps::hpccg::NAME, &chef_apps::hpccg::args(&prob), &[])
+            analyze_both(
+                &p,
+                chef_apps::hpccg::NAME,
+                &chef_apps::hpccg::args(&prob),
+                &[],
+            )
         }),
         ("Black-Scholes", {
             let p = chef_apps::blackscholes::program();
             let w = chef_apps::blackscholes::workload(10_000, 42);
-            analyze_both(&p, chef_apps::blackscholes::NAME, &chef_apps::blackscholes::args(&w), &[])
+            analyze_both(
+                &p,
+                chef_apps::blackscholes::NAME,
+                &chef_apps::blackscholes::args(&w),
+                &[],
+            )
         }),
     ];
     for (name, pt) in rows {
@@ -353,26 +426,40 @@ fn table3() {
         let c = compile_default(primal).unwrap();
         run(&c, args.clone()).unwrap().ret_f()
     };
-    let measure = |names: &[&str]| -> f64 {
-        let mut pm = PrecisionMap::empty();
-        for (id, v) in primal.vars_iter() {
-            if names.contains(&v.name.as_str()) {
-                pm.set(id, chef_ir::types::FloatTy::F32);
-            }
-        }
-        let c = compile(primal, &CompileOptions { precisions: pm }).unwrap();
-        (run(&c, args.clone()).unwrap().ret_f() - baseline).abs()
-    };
-    println!("{:<32} {:>14} {:>16}", "Variable(s) in Lower Precision", "Actual Error", "Estimated Error");
-    for (label, vars) in [
+    let rows = [
         ("attributes", vec!["attributes"]),
         ("clusters", vec!["clusters"]),
         ("sum", vec!["sum"]),
         ("all 3", vec!["attributes", "clusters", "sum"]),
-    ] {
-        let actual = measure(&vars);
+    ];
+    // One PrecisionMap per row, validated in parallel (chef-tuner's
+    // candidate-evaluation path).
+    let configs: Vec<PrecisionMap> = rows
+        .iter()
+        .map(|(_, vars)| {
+            let mut pm = PrecisionMap::empty();
+            for (id, v) in primal.vars_iter() {
+                if vars.contains(&v.name.as_str()) {
+                    pm.set(id, chef_ir::types::FloatTy::F32);
+                }
+            }
+            pm
+        })
+        .collect();
+    let reports = chef_tuner::validate_configs(&p, chef_apps::kmeans::NAME, &args, &configs)
+        .expect("config validation runs");
+    assert_eq!(reports[0].baseline, baseline);
+    println!(
+        "{:<32} {:>14} {:>16}",
+        "Variable(s) in Lower Precision", "Actual Error", "Estimated Error"
+    );
+    for ((label, vars), report) in rows.iter().zip(&reports) {
         let estimated: f64 = vars.iter().map(|v| out.error_of(v)).sum();
-        println!("{label:<32} {:>14} {:>16}", sci(actual), sci(estimated));
+        println!(
+            "{label:<32} {:>14} {:>16}",
+            sci(report.actual_error),
+            sci(estimated)
+        );
     }
 }
 
@@ -384,7 +471,12 @@ fn table4() {
     let p = chef_apps::blackscholes::program();
     let exact = chef_apps::blackscholes::native_prices(&w);
 
-    let configs: [(&str, Vec<(&str, Intrinsic, Intrinsic)>, Vec<f64>); 2] = [
+    type ApproxConfigRow = (
+        &'static str,
+        Vec<(&'static str, Intrinsic, Intrinsic)>,
+        Vec<f64>,
+    );
+    let configs: [ApproxConfigRow; 2] = [
         (
             "FastApprox w/o Fast exp",
             vec![
@@ -406,7 +498,14 @@ fn table4() {
 
     println!(
         "{:<26} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>8}",
-        "Configuration", "act avg", "act max", "act acc", "est avg", "est max", "est acc", "speedup"
+        "Configuration",
+        "act avg",
+        "act max",
+        "act acc",
+        "est avg",
+        "est max",
+        "est acc",
+        "speedup"
     );
     for (label, mapping, approx_prices) in configs {
         // Per-option estimates: analyze each option as a batch of one.
@@ -421,23 +520,29 @@ fn table4() {
             &EstimateOptions::default(),
         )
         .expect("estimator builds");
-        let mut actual_errs = Vec::with_capacity(w.len());
-        let mut est_errs = Vec::with_capacity(w.len());
-        for i in 0..w.len() {
-            let one = chef_apps::blackscholes::Workload {
-                sptprice: vec![w.sptprice[i]],
-                strike: vec![w.strike[i]],
-                rate: vec![w.rate[i]],
-                volatility: vec![w.volatility[i]],
-                otime: vec![w.otime[i]],
-                otype: vec![w.otype[i]],
-            };
-            let out = est
-                .execute(&chef_apps::blackscholes::args(&one))
-                .expect("single-option analysis");
-            est_errs.push(out.fp_error);
-            actual_errs.push((approx_prices[i] - exact[i]).abs());
-        }
+        // Per-option analyses are independent: compile once, fan the
+        // thousand runs out over the VM's parallel batch path.
+        let arg_sets: Vec<Vec<ArgValue>> = (0..w.len())
+            .map(|i| {
+                let one = chef_apps::blackscholes::Workload {
+                    sptprice: vec![w.sptprice[i]],
+                    strike: vec![w.strike[i]],
+                    rate: vec![w.rate[i]],
+                    volatility: vec![w.volatility[i]],
+                    otime: vec![w.otime[i]],
+                    otype: vec![w.otype[i]],
+                };
+                chef_apps::blackscholes::args(&one)
+            })
+            .collect();
+        let est_errs: Vec<f64> = est
+            .execute_batch(&arg_sets)
+            .into_iter()
+            .map(|r| r.expect("single-option analysis").fp_error)
+            .collect();
+        let actual_errs: Vec<f64> = (0..w.len())
+            .map(|i| (approx_prices[i] - exact[i]).abs())
+            .collect();
         let stats = |v: &[f64]| -> (f64, f64, f64) {
             let acc: f64 = v.iter().sum();
             let max = v.iter().cloned().fold(0.0f64, f64::max);
@@ -451,7 +556,10 @@ fn table4() {
         let (_, t_exact) = time_median(9, || chef_apps::blackscholes::native_prices(&wt));
         let t_approx = match label {
             "FastApprox w/o Fast exp" => {
-                time_median(9, || chef_apps::blackscholes::approx_prices_no_fast_exp(&wt)).1
+                time_median(9, || {
+                    chef_apps::blackscholes::approx_prices_no_fast_exp(&wt)
+                })
+                .1
             }
             _ => time_median(9, || chef_apps::blackscholes::approx_prices_fast_exp(&wt)).1,
         };
@@ -488,8 +596,7 @@ fn sweep_fig(
         let inlined = chef_passes::inline_program(&program).unwrap();
         let primal = inlined.function(func).unwrap();
         let compiled = compile_default(primal).unwrap();
-        let (app_out, app_ms) =
-            time_ms(|| run(&compiled, args.clone()).expect("app runs"));
+        let (app_out, app_ms) = time_ms(|| run(&compiled, args.clone()).expect("app runs"));
         let app_bytes = app_out.stats.peak_memory_bytes();
 
         let pt = analyze_both(&program, func, &args, lens);
@@ -542,4 +649,87 @@ fn fig9() {
         ),
         None => println!("sensitivities never collapse below the threshold"),
     }
+}
+
+// ------------------------------------------------------------ perf smoke
+
+/// CI perf smoke: times the engine's hot paths on small workloads and
+/// writes a `BENCH_smoke.json` snapshot, so the perf trajectory is
+/// tracked from one commit to the next (compare the JSON across runs;
+/// absolute numbers vary with the runner, ratios should not).
+fn smoke() {
+    use chef_core::json::Json;
+
+    header("perf smoke (scaled-down hot paths; snapshot -> BENCH_smoke.json)");
+
+    // 1. Raw VM dispatch: the arclen primal, fused vs unfused.
+    let p = chef_apps::arclen::program();
+    let primal = p.function(chef_apps::arclen::NAME).unwrap();
+    let fused = compile_default(primal).unwrap();
+    let unfused = chef_exec::compile::compile(
+        primal,
+        &chef_exec::compile::CompileOptions {
+            fuse: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let opts = ExecOptions::default();
+    let mut m = chef_exec::vm::Machine::new();
+    let (_, vm_fused_ms) = time_median(9, || {
+        m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+            .unwrap()
+            .ret_f()
+    });
+    let (_, vm_unfused_ms) = time_median(9, || {
+        m.run_reused(&unfused, vec![ArgValue::I(10_000)], &opts)
+            .unwrap()
+            .ret_f()
+    });
+
+    // 2. Analysis end-to-end: build + run the arclen estimator.
+    let est = estimate_error(&p, chef_apps::arclen::NAME, &EstimateOptions::default())
+        .expect("estimator builds");
+    let args = chef_apps::arclen::args(2_000);
+    let (_, analysis_ms) = time_median(5, || est.execute(&args).unwrap().fp_error);
+
+    // 3. Batched analysis: 32 independent estimates through the batch path.
+    let sets: Vec<Vec<ArgValue>> = (0..32).map(|_| chef_apps::arclen::args(500)).collect();
+    let (_, batch_ms) = time_median(3, || {
+        est.execute_batch(&sets)
+            .into_iter()
+            .map(|r| r.unwrap().fp_error)
+            .sum::<f64>()
+    });
+
+    // 4. Tuner end-to-end (tune + validate) on simpsons.
+    let ps = chef_apps::simpsons::program();
+    let targs = chef_apps::simpsons::args(2_000);
+    let (_, tuner_ms) = time_median(3, || {
+        let cfg = TunerConfig::with_threshold(1e-6);
+        let res = tune(&ps, chef_apps::simpsons::NAME, &targs, &cfg).unwrap();
+        validate(&ps, chef_apps::simpsons::NAME, &targs, &res.config)
+            .unwrap()
+            .actual_error
+    });
+
+    // 5. Sensitivity profile on a small HPCCG problem.
+    let prob = chef_apps::hpccg::problem(4, 4, 4);
+    let (_, sens_ms) = time_median(3, || hpccg_profile(&prob).unwrap().ticks);
+
+    let rows = [
+        ("vm_arclen_fused_ms", vm_fused_ms),
+        ("vm_arclen_unfused_ms", vm_unfused_ms),
+        ("analysis_arclen_ms", analysis_ms),
+        ("analysis_batch32_ms", batch_ms),
+        ("tuner_simpsons_ms", tuner_ms),
+        ("sensitivity_hpccg_ms", sens_ms),
+    ];
+    for (name, ms) in &rows {
+        println!("{name:<24} {ms:>9.3} ms");
+    }
+    let doc = Json::obj(rows.iter().map(|&(name, ms)| (name, Json::Num(ms))));
+    let path = "BENCH_smoke.json";
+    std::fs::write(path, doc.to_string_pretty()).expect("snapshot written");
+    println!("snapshot written to {path}");
 }

@@ -25,13 +25,25 @@ pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     (out.expect("reps >= 1"), samples[samples.len() / 2])
 }
 
-/// Pretty scientific formatting matching the paper's tables (e.g.
-/// `3.24e-06`).
+/// Pretty scientific formatting matching the paper's tables: two mantissa
+/// decimals, explicit exponent sign, zero-padded two-digit exponent
+/// (`3.24e-06`, `1.50e+05`). Rust's `{:.2e}` prints `3.24e-6`, so the
+/// exponent is re-rendered here.
 pub fn sci(v: f64) -> String {
     if v == 0.0 {
-        "0.00e+00".to_string()
-    } else {
-        format!("{v:.2e}")
+        return "0.00e+00".to_string();
+    }
+    let raw = format!("{v:.2e}");
+    match raw.split_once('e') {
+        Some((mantissa, exp)) => {
+            let exp: i32 = exp.parse().expect("{:.2e} produces a valid exponent");
+            format!(
+                "{mantissa}e{}{:02}",
+                if exp < 0 { '-' } else { '+' },
+                exp.abs()
+            )
+        }
+        None => raw,
     }
 }
 
@@ -60,7 +72,12 @@ mod tests {
 
     #[test]
     fn formatting() {
-        assert_eq!(sci(3.24e-6), "3.24e-6".replace("e-6", "e-6"));
+        // Paper style: zero-padded two-digit exponent with explicit sign.
+        assert_eq!(sci(3.24e-6), "3.24e-06");
+        assert_eq!(sci(1.5e5), "1.50e+05");
+        assert_eq!(sci(-2.5e-3), "-2.50e-03");
+        assert_eq!(sci(7.0), "7.00e+00");
+        assert_eq!(sci(1.234e-123), "1.23e-123");
         assert_eq!(sci(0.0), "0.00e+00");
         assert_eq!(mb(1024 * 1024), "1.00");
     }

@@ -24,8 +24,8 @@ use crate::module::{EstimationModule, ModuleConfig, VarSlots};
 use chef_ad::reverse::{reverse_diff_with, AdError, ReverseConfig};
 use chef_exec::prelude::*;
 use chef_ir::ast::{Function, Program};
-use chef_ir::types::Type;
 use chef_ir::diag::{Diagnostic, Diagnostics};
+use chef_ir::types::Type;
 use chef_passes::inline::InlineError;
 use chef_passes::pipeline::OptLevel;
 use std::collections::HashMap;
@@ -43,8 +43,17 @@ pub enum ChefError {
     Ad(AdError),
     /// Bytecode compilation failure.
     Compile(CompileError),
+    /// The generated code trapped at runtime (OOB index, div-by-zero,
+    /// tape out-of-memory, …).
+    Trap(Trap),
     /// No such function in the program.
     UnknownFunction(String),
+}
+
+impl From<Trap> for ChefError {
+    fn from(t: Trap) -> Self {
+        ChefError::Trap(t)
+    }
 }
 
 impl std::fmt::Display for ChefError {
@@ -55,6 +64,7 @@ impl std::fmt::Display for ChefError {
             ChefError::Inline(e) => write!(f, "inline error: {e}"),
             ChefError::Ad(e) => write!(f, "AD error: {e}"),
             ChefError::Compile(e) => write!(f, "compile error: {e}"),
+            ChefError::Trap(t) => write!(f, "runtime trap: {t}"),
             ChefError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
         }
     }
@@ -183,9 +193,15 @@ pub fn estimate_error_with(
         .function(func)
         .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
 
-    let cfg = ModuleConfig { attribution: opts.attribution, array_lens: opts.array_lens.clone() };
+    let cfg = ModuleConfig {
+        attribution: opts.attribution,
+        array_lens: opts.array_lens.clone(),
+    };
     let mut module = EstimationModule::new(model, primal, cfg);
-    let rcfg = ReverseConfig { tbr: opts.tbr, ..Default::default() };
+    let rcfg = ReverseConfig {
+        tbr: opts.tbr,
+        ..Default::default()
+    };
     let mut grad = reverse_diff_with(primal, &rcfg, &mut module).map_err(ChefError::Ad)?;
     let slots = module.slots().clone();
     let instrumented = module.instrumented;
@@ -268,6 +284,41 @@ impl ErrorEstimator {
         primal_args: &[ArgValue],
         exec: &ExecOptions,
     ) -> Result<EstimateOutcome, Trap> {
+        let args = self.build_vm_args(primal_args);
+        let out = chef_exec::vm::run_with(&self.compiled, args, exec)?;
+        Ok(self.decode_outcome(out))
+    }
+
+    /// Executes the estimator on every argument set, in parallel across
+    /// threads (each with its own reusable VM), preserving input order.
+    ///
+    /// This is the analysis-loop fast path: the generated code is
+    /// compiled once, and independent estimates (tuner candidates, the
+    /// per-option study of Table IV) fan out over
+    /// [`chef_exec::vm::run_batch_parallel`].
+    pub fn execute_batch(&self, arg_sets: &[Vec<ArgValue>]) -> Vec<Result<EstimateOutcome, Trap>> {
+        self.execute_batch_with(arg_sets, &self.exec, None)
+    }
+
+    /// [`ErrorEstimator::execute_batch`] with explicit VM options and an
+    /// optional thread cap (`Some(1)` forces the serial machine-reuse
+    /// path).
+    pub fn execute_batch_with(
+        &self,
+        arg_sets: &[Vec<ArgValue>],
+        exec: &ExecOptions,
+        max_threads: Option<usize>,
+    ) -> Vec<Result<EstimateOutcome, Trap>> {
+        let vm_args: Vec<Vec<ArgValue>> =
+            arg_sets.iter().map(|set| self.build_vm_args(set)).collect();
+        chef_exec::vm::run_batch_parallel(&self.compiled, vm_args, exec, max_threads)
+            .into_iter()
+            .map(|r| r.map(|out| self.decode_outcome(out)))
+            .collect()
+    }
+
+    /// Appends adjoint seeds and EE output slots to the primal arguments.
+    fn build_vm_args(&self, primal_args: &[ArgValue]) -> Vec<ArgValue> {
         let mut args: Vec<ArgValue> = primal_args.to_vec();
         for adj in &self.adjoints {
             if adj.is_array {
@@ -277,13 +328,17 @@ impl ErrorEstimator {
                 args.push(ArgValue::F(0.0));
             }
         }
-        let extras_at = args.len();
         args.push(ArgValue::F(0.0)); // _fp_error
         args.push(ArgValue::F(0.0)); // _primal_out
         if self.attribution {
             args.push(ArgValue::FArr(vec![0.0; self.slots.len()]));
         }
-        let out = chef_exec::vm::run_with(&self.compiled, args, exec)?;
+        args
+    }
+
+    /// Unpacks a VM outcome into the estimate structure.
+    fn decode_outcome(&self, out: chef_exec::vm::CallOutcome) -> EstimateOutcome {
+        let extras_at = self.n_primal + self.adjoints.len();
         let fp_error = out.args[extras_at].as_f();
         let value = out.args[extras_at + 1].as_f();
         let mut per_variable = HashMap::new();
@@ -299,6 +354,12 @@ impl ErrorEstimator {
             .enumerate()
             .map(|(k, adj)| (adj.name.clone(), out.args[self.n_primal + k].clone()))
             .collect();
-        Ok(EstimateOutcome { value, fp_error, gradient, per_variable, stats: out.stats })
+        EstimateOutcome {
+            value,
+            fp_error,
+            gradient,
+            per_variable,
+            stats: out.stats,
+        }
     }
 }

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod api;
+pub mod json;
 pub mod model;
 pub mod module;
 pub mod report;
@@ -47,7 +48,7 @@ pub mod prelude {
     pub use crate::model::{AdaptModel, ApproxModel, ErrorModel, ModelCtx, SumModel, TaylorModel};
     pub use crate::module::{EstimationModule, ModuleConfig, VarSlots};
     pub use crate::sensitivity::{
-        profile_sensitivity, SensitivityConfig, SensitivityProfile,
+        profile_sensitivity, profile_sensitivity_batch, SensitivityConfig, SensitivityProfile,
     };
 }
 

@@ -92,7 +92,9 @@ impl TaylorModel {
     /// Epsilon of the hypothetical demotion target `ft` for every
     /// assignment.
     pub fn for_demotion(ft: FloatTy) -> Self {
-        TaylorModel { demote_to: Some(ft) }
+        TaylorModel {
+            demote_to: Some(ft),
+        }
     }
 }
 
@@ -123,7 +125,10 @@ impl ErrorModel for TaylorModel {
         prec: FloatTy,
     ) -> Option<Expr> {
         let eps = self.demote_to.unwrap_or(prec).epsilon();
-        Some(Expr::mul(Expr::flit(eps), fabs(Expr::mul(value.clone(), adjoint.clone()))))
+        Some(Expr::mul(
+            Expr::flit(eps),
+            fabs(Expr::mul(value.clone(), adjoint.clone())),
+        ))
     }
 }
 
@@ -142,7 +147,9 @@ pub struct AdaptModel {
 impl AdaptModel {
     /// The paper's configuration: demote `double` to `float`.
     pub fn to_f32() -> Self {
-        AdaptModel { target: FloatTy::F32 }
+        AdaptModel {
+            target: FloatTy::F32,
+        }
     }
 
     /// Demote to an arbitrary precision (f16 studies).
@@ -347,6 +354,9 @@ mod tests {
         let mut m = SumModel(TaylorModel::declared(), AdaptModel::to_f32());
         let e = m.assign_error(&mk_ctx(&v, &a, FloatTy::F64)).unwrap();
         let s = print_expr(&e);
-        assert!(s.contains("fabs(z * _d_z)") && s.contains("(float)z"), "{s}");
+        assert!(
+            s.contains("fabs(z * _d_z)") && s.contains("(float)z"),
+            "{s}"
+        );
     }
 }

@@ -121,8 +121,14 @@ impl<'m> EstimationModule<'m> {
         var_name: &str,
         out: &mut Vec<Stmt>,
     ) {
-        let fp_id = grad.param_id(ExtraParamNames::FP_ERROR).expect("module adds _fp_error");
-        let slot = if self.cfg.attribution { self.slots.slot(var_name) } else { None };
+        let fp_id = grad
+            .param_id(ExtraParamNames::FP_ERROR)
+            .expect("module adds _fp_error");
+        let slot = if self.cfg.attribution {
+            self.slots.slot(var_name)
+        } else {
+            None
+        };
         if let Some(slot) = slot {
             // double _ee{k} = err; _fp_error += _ee{k}; _var_err[slot] += _ee{k};
             let name = format!("_ee{}", self.fresh);
@@ -141,7 +147,9 @@ impl<'m> EstimationModule<'m> {
                 op: AssignOp::AddAssign,
                 rhs: read(),
             }));
-            let arr_id = grad.param_id(ExtraParamNames::VAR_ERR).expect("attribution on");
+            let arr_id = grad
+                .param_id(ExtraParamNames::VAR_ERR)
+                .expect("attribution on");
             out.push(Stmt::synth(StmtKind::Assign {
                 lhs: LValue::Index {
                     base: VarRef::resolved(ExtraParamNames::VAR_ERR, arr_id),
@@ -202,7 +210,10 @@ impl AdjointExtension for EstimationModule<'_> {
             Param::by_ref(ExtraParamNames::PRIMAL_OUT, Type::Float(FloatTy::F64)),
         ];
         if self.cfg.attribution {
-            ps.push(Param::array(ExtraParamNames::VAR_ERR, ElemTy::Float(FloatTy::F64)));
+            ps.push(Param::array(
+                ExtraParamNames::VAR_ERR,
+                ElemTy::Float(FloatTy::F64),
+            ));
         }
         ps
     }
@@ -230,7 +241,10 @@ impl AdjointExtension for EstimationModule<'_> {
     fn on_finalize(&mut self, ctx: &mut FinalizeCtx<'_>) -> Vec<Stmt> {
         let mut out = Vec::new();
         // Export the primal result.
-        let po_id = ctx.grad.param_id(ExtraParamNames::PRIMAL_OUT).expect("module param");
+        let po_id = ctx
+            .grad
+            .param_id(ExtraParamNames::PRIMAL_OUT)
+            .expect("module param");
         out.push(Stmt::synth(StmtKind::Assign {
             lhs: LValue::Var(VarRef::resolved(ExtraParamNames::PRIMAL_OUT, po_id)),
             op: AssignOp::Assign,
@@ -265,7 +279,9 @@ impl AdjointExtension for EstimationModule<'_> {
                     iread(),
                     Type::Float(FloatTy::F64),
                 );
-                let Some(err) = self.model.input_error(&input.name, &value, &adjoint, input.prec)
+                let Some(err) = self
+                    .model
+                    .input_error(&input.name, &value, &adjoint, input.prec)
                 else {
                     continue;
                 };
@@ -292,10 +308,10 @@ impl AdjointExtension for EstimationModule<'_> {
                 let info = ctx.grad.var(input.var);
                 let value = Expr::var(info.name.clone(), input.var, Type::Float(input.prec));
                 let dinfo = ctx.grad.var(input.d_var);
-                let adjoint =
-                    Expr::var(dinfo.name.clone(), input.d_var, Type::Float(FloatTy::F64));
-                if let Some(err) =
-                    self.model.input_error(&input.name, &value, &adjoint, input.prec)
+                let adjoint = Expr::var(dinfo.name.clone(), input.d_var, Type::Float(FloatTy::F64));
+                if let Some(err) = self
+                    .model
+                    .input_error(&input.name, &value, &adjoint, input.prec)
                 {
                     let input_name = input.name.clone();
                     self.emit_accumulation(ctx.grad, err, &input_name, &mut out);

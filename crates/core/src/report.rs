@@ -1,11 +1,36 @@
 //! Serializable experiment records (consumed by the bench harness and
 //! EXPERIMENTS.md generation).
+//!
+//! Serialization goes through the workspace-local [`crate::json`] module
+//! (the build is offline, so there is no `serde`); every record implements
+//! [`Record`] with an explicit field mapping in both directions.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{parse, Json, JsonError};
+
+/// A record that converts to and from a JSON object.
+pub trait Record: Sized {
+    /// The JSON representation.
+    fn to_json_value(&self) -> Json;
+    /// Rebuilds the record; `Err` carries the missing/mistyped field name.
+    fn from_json_value(v: &Json) -> Result<Self, String>;
+}
+
+fn num(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number `{key}`"))
+}
+
+fn string(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string `{key}`"))
+}
 
 /// One row of the paper's Table I: a mixed-precision configuration and its
 /// quality/performance outcome.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MixedPrecisionRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -21,8 +46,43 @@ pub struct MixedPrecisionRow {
     pub demoted: Vec<String>,
 }
 
+impl Record for MixedPrecisionRow {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::str(&self.benchmark)),
+            ("threshold", Json::Num(self.threshold)),
+            ("actual_error", Json::Num(self.actual_error)),
+            ("estimated_error", Json::Num(self.estimated_error)),
+            ("speedup", Json::Num(self.speedup)),
+            ("demoted", Json::str_arr(&self.demoted)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        let demoted = v
+            .get("demoted")
+            .and_then(Json::as_arr)
+            .ok_or("missing array `demoted`")?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or("non-string in `demoted`".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(MixedPrecisionRow {
+            benchmark: string(v, "benchmark")?,
+            threshold: num(v, "threshold")?,
+            actual_error: num(v, "actual_error")?,
+            estimated_error: num(v, "estimated_error")?,
+            speedup: num(v, "speedup")?,
+            demoted,
+        })
+    }
+}
+
 /// One analysis-performance sample: a point of Figs. 4–8.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AnalysisSample {
     /// Benchmark name.
     pub benchmark: String,
@@ -37,8 +97,37 @@ pub struct AnalysisSample {
     pub peak_bytes: Option<u64>,
 }
 
+impl Record for AnalysisSample {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::str(&self.benchmark)),
+            ("tool", Json::str(&self.tool)),
+            ("scale", Json::Num(self.scale as f64)),
+            ("time_ms", Json::Num(self.time_ms)),
+            (
+                "peak_bytes",
+                self.peak_bytes.map_or(Json::Null, |b| Json::Num(b as f64)),
+            ),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        let peak_bytes = match v.get("peak_bytes") {
+            Some(Json::Null) | None => None,
+            Some(j) => Some(j.as_f64().ok_or("mistyped `peak_bytes`")? as u64),
+        };
+        Ok(AnalysisSample {
+            benchmark: string(v, "benchmark")?,
+            tool: string(v, "tool")?,
+            scale: num(v, "scale")? as u64,
+            time_ms: num(v, "time_ms")?,
+            peak_bytes,
+        })
+    }
+}
+
 /// One row of the paper's Table IV: an approximate-function configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ApproxRow {
     /// Configuration label.
     pub config: String,
@@ -50,9 +139,50 @@ pub struct ApproxRow {
     pub speedup: f64,
 }
 
-/// Writes any serializable report as pretty JSON.
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("report serialization is infallible")
+impl Record for ApproxRow {
+    fn to_json_value(&self) -> Json {
+        let triple = |t: &[f64; 3]| Json::Arr(t.iter().map(|&v| Json::Num(v)).collect());
+        Json::obj([
+            ("config", Json::str(&self.config)),
+            ("actual", triple(&self.actual)),
+            ("estimated", triple(&self.estimated)),
+            ("speedup", Json::Num(self.speedup)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        let triple = |key: &str| -> Result<[f64; 3], String> {
+            let arr = v
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or(format!("missing array `{key}`"))?;
+            if arr.len() != 3 {
+                return Err(format!("`{key}` must have 3 entries"));
+            }
+            let mut out = [0.0; 3];
+            for (slot, item) in out.iter_mut().zip(arr) {
+                *slot = item.as_f64().ok_or(format!("non-number in `{key}`"))?;
+            }
+            Ok(out)
+        };
+        Ok(ApproxRow {
+            config: string(v, "config")?,
+            actual: triple("actual")?,
+            estimated: triple("estimated")?,
+            speedup: num(v, "speedup")?,
+        })
+    }
+}
+
+/// Writes any record as pretty JSON.
+pub fn to_json<T: Record>(value: &T) -> String {
+    value.to_json_value().to_string_pretty()
+}
+
+/// Reads a record back from JSON text.
+pub fn from_json<T: Record>(text: &str) -> Result<T, JsonError> {
+    let v = parse(text)?;
+    T::from_json_value(&v).map_err(|msg| JsonError { msg, at: 0 })
 }
 
 #[cfg(test)]
@@ -70,8 +200,38 @@ mod tests {
             demoted: vec!["t1".into(), "t2".into()],
         };
         let json = to_json(&row);
-        let back: MixedPrecisionRow = serde_json::from_str(&json).unwrap();
+        let back: MixedPrecisionRow = from_json(&json).unwrap();
         assert_eq!(back.benchmark, "arclen");
         assert_eq!(back.demoted.len(), 2);
+        assert_eq!(back.actual_error, 3.24e-6);
+    }
+
+    #[test]
+    fn analysis_sample_oom_is_null() {
+        let s = AnalysisSample {
+            benchmark: "kmeans".into(),
+            tool: "adapt".into(),
+            scale: 100_000,
+            time_ms: 12.5,
+            peak_bytes: None,
+        };
+        let json = to_json(&s);
+        assert!(json.contains("\"peak_bytes\": null"), "{json}");
+        let back: AnalysisSample = from_json(&json).unwrap();
+        assert_eq!(back.peak_bytes, None);
+        assert_eq!(back.scale, 100_000);
+    }
+
+    #[test]
+    fn approx_row_round_trips() {
+        let r = ApproxRow {
+            config: "w/ fast exp".into(),
+            actual: [1e-3, 2e-3, 3e-3],
+            estimated: [1.1e-3, 2.1e-3, 3.1e-3],
+            speedup: 2.4,
+        };
+        let back: ApproxRow = from_json(&to_json(&r)).unwrap();
+        assert_eq!(back.actual, r.actual);
+        assert_eq!(back.config, r.config);
     }
 }

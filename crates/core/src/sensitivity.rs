@@ -19,7 +19,9 @@
 //! the **last** iteration; rows are reversed during extraction so the
 //! profile reads forward.
 
-use chef_ad::reverse::{reverse_diff_with, AdjointExtension, AssignCtx, FinalizeCtx, ReverseConfig};
+use chef_ad::reverse::{
+    reverse_diff_with, AdjointExtension, AssignCtx, FinalizeCtx, ReverseConfig,
+};
 use chef_exec::prelude::*;
 use chef_ir::ast::*;
 use chef_ir::types::{ElemTy, FloatTy, Type};
@@ -95,9 +97,11 @@ impl SensitivityProfile {
             for b in 0..width.min(self.ticks) {
                 let lo = (b as f64 * bucket) as usize;
                 let hi = (((b + 1) as f64 * bucket) as usize).min(self.ticks);
-                let v = row[lo..hi.max(lo + 1)].iter().cloned().fold(0.0f64, f64::max);
-                let idx = ((v * (SHADES.len() - 1) as f64).round() as usize)
-                    .min(SHADES.len() - 1);
+                let v = row[lo..hi.max(lo + 1)]
+                    .iter()
+                    .cloned()
+                    .fold(0.0f64, f64::max);
+                let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                 line.push(SHADES[idx]);
             }
             line.push('|');
@@ -145,20 +149,13 @@ impl AdjointExtension for Profiler {
             let arr_id = ctx.grad.param_id(SENS_OUT).expect("profiler param");
             let tick = || Expr::var(TICK, tick_id, Type::Int);
             // _sens_out[slot * max_ticks + tick] += fabs(value * adjoint)
-            let index = Expr::add(
-                Expr::ilit((slot * self.cfg.max_ticks) as i64),
-                tick(),
-            );
+            let index = Expr::add(Expr::ilit((slot * self.cfg.max_ticks) as i64), tick());
             let sens = Expr::call(
                 Intrinsic::Fabs,
                 vec![Expr::mul(ctx.value.clone(), ctx.adjoint.clone())],
             );
             let guarded = Stmt::synth(StmtKind::If {
-                cond: Expr::binary(
-                    BinOp::Lt,
-                    tick(),
-                    Expr::ilit(self.cfg.max_ticks as i64),
-                ),
+                cond: Expr::binary(BinOp::Lt, tick(), Expr::ilit(self.cfg.max_ticks as i64)),
                 then_branch: Block::of(vec![Stmt::synth(StmtKind::Assign {
                     lhs: LValue::Index {
                         base: VarRef::resolved(SENS_OUT, arr_id),
@@ -195,6 +192,95 @@ fn ensure_tick_var(ctx: &mut AssignCtx<'_>) -> VarId {
     id
 }
 
+/// A profiler compiled once and runnable over many argument sets.
+struct CompiledProfiler {
+    compiled: chef_exec::bytecode::CompiledFunction,
+    /// (name, type) of every primal parameter, for adjoint-seed layout.
+    primal_params: Vec<(String, Type)>,
+    cfg: SensitivityConfig,
+}
+
+impl CompiledProfiler {
+    fn build(
+        program: &Program,
+        func: &str,
+        cfg: &SensitivityConfig,
+    ) -> Result<CompiledProfiler, ChefError> {
+        let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
+        let primal = inlined
+            .function(func)
+            .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+        let mut profiler = Profiler { cfg: cfg.clone() };
+        let rcfg = ReverseConfig::default();
+        let mut grad = reverse_diff_with(primal, &rcfg, &mut profiler).map_err(ChefError::Ad)?;
+        chef_passes::optimize_function(&mut grad, chef_passes::OptLevel::O2);
+        let compiled = chef_exec::compile::compile_default(&grad).map_err(ChefError::Compile)?;
+        Ok(CompiledProfiler {
+            compiled,
+            primal_params: primal
+                .params
+                .iter()
+                .map(|p| (p.name.clone(), p.ty))
+                .collect(),
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// Appends adjoint seeds and the `_sens_out` buffer; returns the full
+    /// VM argument vector and the index of the sensitivity buffer.
+    fn build_vm_args(&self, primal_args: &[ArgValue]) -> (Vec<ArgValue>, usize) {
+        let mut args: Vec<ArgValue> = primal_args.to_vec();
+        for (i, (_, ty)) in self.primal_params.iter().enumerate() {
+            match ty {
+                Type::Float(_) => args.push(ArgValue::F(0.0)),
+                Type::Array(ElemTy::Float(_)) => {
+                    args.push(ArgValue::FArr(vec![0.0; primal_args[i].as_farr().len()]));
+                }
+                _ => {}
+            }
+        }
+        let sens_at = args.len();
+        args.push(ArgValue::FArr(vec![
+            0.0;
+            self.cfg.tracked.len()
+                * self.cfg.max_ticks
+        ]));
+        (args, sens_at)
+    }
+
+    /// Extracts the profile from the flat `_sens_out` buffer. Ticks run
+    /// backward (tick 0 = last iteration); rows are reversed so the
+    /// profile reads forward.
+    fn extract(&self, flat: &[f64]) -> SensitivityProfile {
+        let cfg = &self.cfg;
+        let used = (0..cfg.max_ticks)
+            .rev()
+            .find(|t| {
+                cfg.tracked
+                    .iter()
+                    .enumerate()
+                    .any(|(s, _)| flat[s * cfg.max_ticks + t] != 0.0)
+            })
+            .map_or(0, |t| t + 1);
+        let matrix = cfg
+            .tracked
+            .iter()
+            .enumerate()
+            .map(|(s, _)| {
+                let row = &flat[s * cfg.max_ticks..s * cfg.max_ticks + used];
+                let mut row: Vec<f64> = row.to_vec();
+                row.reverse();
+                row
+            })
+            .collect();
+        SensitivityProfile {
+            vars: cfg.tracked.clone(),
+            ticks: used,
+            matrix,
+        }
+    }
+}
+
 /// Runs the sensitivity profiler over `func` on the given arguments.
 pub fn profile_sensitivity(
     program: &Program,
@@ -203,52 +289,40 @@ pub fn profile_sensitivity(
     primal_args: &[ArgValue],
     exec: &ExecOptions,
 ) -> Result<SensitivityProfile, ChefError> {
-    let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
-    let primal = inlined
-        .function(func)
-        .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
-    let mut profiler = Profiler { cfg: cfg.clone() };
-    let rcfg = ReverseConfig::default();
-    let mut grad =
-        reverse_diff_with(primal, &rcfg, &mut profiler).map_err(ChefError::Ad)?;
-    chef_passes::optimize_function(&mut grad, chef_passes::OptLevel::O2);
-    let compiled = chef_exec::compile::compile_default(&grad).map_err(ChefError::Compile)?;
+    let profiler = CompiledProfiler::build(program, func, cfg)?;
+    let (args, sens_at) = profiler.build_vm_args(primal_args);
+    let out = chef_exec::vm::run_with(&profiler.compiled, args, exec).map_err(ChefError::Trap)?;
+    Ok(profiler.extract(out.args[sens_at].as_farr()))
+}
 
-    let mut args: Vec<ArgValue> = primal_args.to_vec();
-    for p in &primal.params {
-        match p.ty {
-            Type::Float(_) => args.push(ArgValue::F(0.0)),
-            Type::Array(ElemTy::Float(_)) => {
-                let idx = primal.params.iter().position(|q| q.name == p.name).unwrap();
-                args.push(ArgValue::FArr(vec![0.0; primal_args[idx].as_farr().len()]));
-            }
-            _ => {}
-        }
-    }
-    let sens_at = args.len();
-    args.push(ArgValue::FArr(vec![0.0; cfg.tracked.len() * cfg.max_ticks]));
-    let out = chef_exec::vm::run_with(&compiled, args, exec)
-        .map_err(|t| ChefError::Compile(chef_exec::compile::CompileError::Unsupported {
-            msg: format!("profiling run trapped: {t}"),
-            span: chef_ir::span::Span::DUMMY,
-        }))?;
-    let flat = out.args[sens_at].as_farr();
-    // Ticks run backward (tick 0 = last iteration); find how many were
-    // used and reverse the rows.
-    let used = (0..cfg.max_ticks)
-        .rev()
-        .find(|t| cfg.tracked.iter().enumerate().any(|(s, _)| flat[s * cfg.max_ticks + t] != 0.0))
-        .map_or(0, |t| t + 1);
-    let matrix = cfg
-        .tracked
+/// Profiles `func` over many argument sets (e.g. a sweep of problem
+/// scales or input distributions), compiling the instrumented adjoint
+/// **once** and fanning the runs out over
+/// [`chef_exec::vm::run_batch_parallel`]. Results keep the input order;
+/// the first trapped run reports its error.
+pub fn profile_sensitivity_batch(
+    program: &Program,
+    func: &str,
+    cfg: &SensitivityConfig,
+    arg_sets: &[Vec<ArgValue>],
+    exec: &ExecOptions,
+) -> Result<Vec<SensitivityProfile>, ChefError> {
+    let profiler = CompiledProfiler::build(program, func, cfg)?;
+    let mut sens_positions = Vec::with_capacity(arg_sets.len());
+    let vm_args: Vec<Vec<ArgValue>> = arg_sets
         .iter()
-        .enumerate()
-        .map(|(s, _)| {
-            let row = &flat[s * cfg.max_ticks..s * cfg.max_ticks + used];
-            let mut row: Vec<f64> = row.to_vec();
-            row.reverse();
-            row
+        .map(|set| {
+            let (args, sens_at) = profiler.build_vm_args(set);
+            sens_positions.push(sens_at);
+            args
         })
         .collect();
-    Ok(SensitivityProfile { vars: cfg.tracked.clone(), ticks: used, matrix })
+    chef_exec::vm::run_batch_parallel(&profiler.compiled, vm_args, exec, None)
+        .into_iter()
+        .zip(sens_positions)
+        .map(|(res, sens_at)| {
+            res.map(|out| profiler.extract(out.args[sens_at].as_farr()))
+                .map_err(ChefError::Trap)
+        })
+        .collect()
 }

@@ -25,7 +25,14 @@ fn run_primal(
 ) -> f64 {
     let inlined = chef_passes::inline_program(p).unwrap();
     let f = inlined.function(func).unwrap();
-    let c = compile(f, &CompileOptions { precisions }).unwrap();
+    let c = compile(
+        f,
+        &CompileOptions {
+            precisions,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     run(&c, args).unwrap().ret_f()
 }
 
@@ -38,7 +45,9 @@ fn listing1_minimal_demonstrator() {
         &EstimateOptions::default(),
     )
     .unwrap();
-    let out = est.execute(&[ArgValue::F(1.95e-5), ArgValue::F(1.37e-7)]).unwrap();
+    let out = est
+        .execute(&[ArgValue::F(1.95e-5), ArgValue::F(1.37e-7)])
+        .unwrap();
     // dx = dy = 1 for an addition.
     assert_eq!(out.gradient_f("x"), 1.0);
     assert_eq!(out.gradient_f("y"), 1.0);
@@ -47,8 +56,16 @@ fn listing1_minimal_demonstrator() {
     let exact = 1.95e-5_f64 + 1.37e-7_f64;
     let actual = (out.value - exact).abs();
     assert!(out.fp_error > 0.0);
-    assert!(out.fp_error >= actual, "estimate {} < actual {actual}", out.fp_error);
-    assert!(out.fp_error < actual.max(1e-15) * 1e3, "estimate {} too loose", out.fp_error);
+    assert!(
+        out.fp_error >= actual,
+        "estimate {} < actual {actual}",
+        out.fp_error
+    );
+    assert!(
+        out.fp_error < actual.max(1e-15) * 1e3,
+        "estimate {} too loose",
+        out.fp_error
+    );
 }
 
 #[test]
@@ -78,8 +95,7 @@ fn adapt_model_estimate_bounds_actual_demotion_error() {
     }";
     let p = program(src);
     let mut model = AdaptModel::to_f32();
-    let est =
-        estimate_error_with(&p, "horner", &mut model, &EstimateOptions::default()).unwrap();
+    let est = estimate_error_with(&p, "horner", &mut model, &EstimateOptions::default()).unwrap();
     for &x in &[0.337, 1.881, -2.45, 0.0091] {
         let out = est.execute(&[ArgValue::F(x)]).unwrap();
         // Demote every variable (param x + acc).
@@ -157,8 +173,7 @@ fn approx_model_reproduces_algorithm2() {
         let out = est.execute(&[ArgValue::F(u)]).unwrap();
         // Ground truth: run with exp replaced by fasterexp.
         let exec = ExecOptions {
-            approx: ApproxConfig::exact()
-                .with("exp", fastapprox::registry::Grade::Faster),
+            approx: ApproxConfig::exact().with("exp", fastapprox::registry::Grade::Faster),
             ..Default::default()
         };
         let inlined = chef_passes::inline_program(&p).unwrap();
@@ -208,8 +223,14 @@ fn loop_kernel_estimates_grow_with_iterations() {
     }";
     let p = program(src);
     let est = estimate_error(&p, "f", &EstimateOptions::default()).unwrap();
-    let e10 = est.execute(&[ArgValue::F(1.0), ArgValue::I(10)]).unwrap().fp_error;
-    let e1000 = est.execute(&[ArgValue::F(1.0), ArgValue::I(1000)]).unwrap().fp_error;
+    let e10 = est
+        .execute(&[ArgValue::F(1.0), ArgValue::I(10)])
+        .unwrap()
+        .fp_error;
+    let e1000 = est
+        .execute(&[ArgValue::F(1.0), ArgValue::I(1000)])
+        .unwrap()
+        .fp_error;
     assert!(e1000 > e10 * 10.0, "e10={e10} e1000={e1000}");
 }
 
@@ -229,7 +250,11 @@ fn array_kernel_with_input_error_loop() {
     let a: Vec<f64> = (0..8).map(|i| 0.1 + i as f64 * 0.237).collect();
     let b: Vec<f64> = (0..8).map(|i| 1.7 - i as f64 * 0.119).collect();
     let out = est
-        .execute(&[ArgValue::FArr(a.clone()), ArgValue::FArr(b.clone()), ArgValue::I(8)])
+        .execute(&[
+            ArgValue::FArr(a.clone()),
+            ArgValue::FArr(b.clone()),
+            ArgValue::I(8),
+        ])
         .unwrap();
     // Gradient sanity: d/da = b.
     assert_eq!(out.gradient_arr("a"), b.as_slice());
@@ -249,7 +274,11 @@ fn array_kernel_with_input_error_loop() {
     // the *f32 arithmetic* performed by the demoted program, so it can
     // undershoot by a small factor; it must stay the same order of
     // magnitude.
-    assert!(out.fp_error >= actual * 0.25, "estimate {} < actual {actual}", out.fp_error);
+    assert!(
+        out.fp_error >= actual * 0.25,
+        "estimate {} < actual {actual}",
+        out.fp_error
+    );
     assert!(out.fp_error < actual.max(1e-12) * 1e4);
 }
 
@@ -351,7 +380,10 @@ fn tbr_off_matches_tbr_on_estimates() {
     let p = program(src);
     let mut outs = Vec::new();
     for tbr in [true, false] {
-        let opts = EstimateOptions { tbr, ..Default::default() };
+        let opts = EstimateOptions {
+            tbr,
+            ..Default::default()
+        };
         let est = estimate_error(&p, "f", &opts).unwrap();
         let out = est.execute(&[ArgValue::F(0.77)]).unwrap();
         outs.push((out.fp_error, out.gradient_f("x"), out.value));
@@ -370,10 +402,18 @@ fn opt_levels_do_not_change_estimates() {
     let p = program(src);
     let mut outs = Vec::new();
     for lvl in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
-        let opts = EstimateOptions { opt_level: lvl, ..Default::default() };
+        let opts = EstimateOptions {
+            opt_level: lvl,
+            ..Default::default()
+        };
         let est = estimate_error(&p, "f", &opts).unwrap();
         let out = est.execute(&[ArgValue::F(1.3), ArgValue::F(-0.4)]).unwrap();
-        outs.push((out.fp_error, out.gradient_f("x"), out.gradient_f("y"), out.value));
+        outs.push((
+            out.fp_error,
+            out.gradient_f("x"),
+            out.gradient_f("y"),
+            out.value,
+        ));
     }
     assert_eq!(outs[0], outs[1]);
     assert_eq!(outs[1], outs[2]);
@@ -383,7 +423,11 @@ fn opt_levels_do_not_change_estimates() {
 fn errors_are_reported_not_panicked() {
     // Unknown function.
     assert!(matches!(
-        estimate_error_src("double f(double x) { return x; }", "nope", &Default::default()),
+        estimate_error_src(
+            "double f(double x) { return x; }",
+            "nope",
+            &Default::default()
+        ),
         Err(ChefError::UnknownFunction(_))
     ));
     // Parse error.

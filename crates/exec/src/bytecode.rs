@@ -64,9 +64,19 @@ pub enum Instr {
     /// `f[dst] = intr(f[a])` (dispatches through the approx config)
     FIntr1 { dst: FReg, intr: Intrinsic, a: FReg },
     /// `f[dst] = intr(f[a], f[b])`
-    FIntr2 { dst: FReg, intr: Intrinsic, a: FReg, b: FReg },
+    FIntr2 {
+        dst: FReg,
+        intr: Intrinsic,
+        a: FReg,
+        b: FReg,
+    },
     /// `i[dst] = f[a] op f[b]`
-    FCmp { dst: IReg, op: CmpOp, a: FReg, b: FReg },
+    FCmp {
+        dst: IReg,
+        op: CmpOp,
+        a: FReg,
+        b: FReg,
+    },
     /// `f[dst] = farr[arr][i[idx]]` (bounds-checked)
     FLoad { dst: FReg, arr: AReg, idx: IReg },
     /// `farr[arr][i[idx]] = f[src]` (bounds-checked)
@@ -93,7 +103,12 @@ pub enum Instr {
     /// `i[dst] = -i[src]`
     INeg { dst: IReg, src: IReg },
     /// `i[dst] = i[a] op i[b]`
-    ICmp { dst: IReg, op: CmpOp, a: IReg, b: IReg },
+    ICmp {
+        dst: IReg,
+        op: CmpOp,
+        a: IReg,
+        b: IReg,
+    },
     /// `i[dst] = iarr[arr][i[idx]]` (bounds-checked)
     ILoad { dst: IReg, arr: AReg, idx: IReg },
     /// `iarr[arr][i[idx]] = i[src]` (bounds-checked)
@@ -121,6 +136,95 @@ pub enum Instr {
     AllocF { arr: AReg, len: IReg },
     /// Allocate a zeroed int array of length `i[len]` into slot `arr`.
     AllocI { arr: AReg, len: IReg },
+
+    // ---- fused superinstructions (emitted by [`crate::fuse`]) ----
+    //
+    // Each one is the exact composition of the base instructions it
+    // replaces — same rounding, same trap points — so a fused program is
+    // bit-identical to its unfused compilation; only the dispatch count
+    // changes.
+    /// `f[dst] = f[a] * f[b] + f[c]` — mul and add rounded **separately**
+    /// (not an FMA), matching the unfused pair.
+    FMulAdd {
+        dst: FReg,
+        a: FReg,
+        b: FReg,
+        c: FReg,
+    },
+    /// `f[dst] = round_to(f[a] + f[b], ty)` — the dominant pair in
+    /// demoted code.
+    FAddRound {
+        dst: FReg,
+        a: FReg,
+        b: FReg,
+        ty: FloatTy,
+    },
+    /// `f[dst] = round_to(f[a] - f[b], ty)`
+    FSubRound {
+        dst: FReg,
+        a: FReg,
+        b: FReg,
+        ty: FloatTy,
+    },
+    /// `f[dst] = round_to(f[a] * f[b], ty)`
+    FMulRound {
+        dst: FReg,
+        a: FReg,
+        b: FReg,
+        ty: FloatTy,
+    },
+    /// `f[dst] = round_to(f[a] / f[b], ty)`
+    FDivRound {
+        dst: FReg,
+        a: FReg,
+        b: FReg,
+        ty: FloatTy,
+    },
+    /// `f[dst] = farr[arr][i[base] + off]` (bounds-checked)
+    FLoadOff {
+        dst: FReg,
+        arr: AReg,
+        base: IReg,
+        off: i32,
+    },
+    /// `farr[arr][i[base] + off] = f[src]` (bounds-checked)
+    FStoreOff {
+        arr: AReg,
+        base: IReg,
+        off: i32,
+        src: FReg,
+    },
+    /// `i[dst] = i[a] + imm` (wrapping) — loop increments.
+    IAddImm { dst: IReg, a: IReg, imm: i64 },
+    /// Jump to `target` when `!(f[a] op f[b])` — fused compare-and-branch
+    /// (the loop-exit test).
+    FCmpJmpFalse {
+        op: CmpOp,
+        a: FReg,
+        b: FReg,
+        target: u32,
+    },
+    /// Jump to `target` when `f[a] op f[b]`.
+    FCmpJmpTrue {
+        op: CmpOp,
+        a: FReg,
+        b: FReg,
+        target: u32,
+    },
+    /// Jump to `target` when `!(i[a] op i[b])`.
+    ICmpJmpFalse {
+        op: CmpOp,
+        a: IReg,
+        b: IReg,
+        target: u32,
+    },
+    /// Jump to `target` when `i[a] op i[b]`.
+    ICmpJmpTrue {
+        op: CmpOp,
+        a: IReg,
+        b: IReg,
+        target: u32,
+    },
 
     /// Return `f[src]`.
     RetF { src: FReg },
@@ -225,7 +329,13 @@ mod tests {
     fn disassembly_contains_instructions() {
         let f = CompiledFunction {
             name: "t".into(),
-            instrs: vec![Instr::FConst { dst: FReg(0), v: 1.5 }, Instr::RetF { src: FReg(0) }],
+            instrs: vec![
+                Instr::FConst {
+                    dst: FReg(0),
+                    v: 1.5,
+                },
+                Instr::RetF { src: FReg(0) },
+            ],
             spans: vec![Span::DUMMY; 2],
             n_fregs: 1,
             n_iregs: 0,

@@ -63,10 +63,23 @@ impl PrecisionMap {
 }
 
 /// Compilation options.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CompileOptions {
     /// Mixed-precision variable overrides.
     pub precisions: PrecisionMap,
+    /// Run the bytecode fusion peephole ([`crate::fuse`]) after codegen.
+    /// On by default; turn off to inspect or benchmark the raw
+    /// instruction stream (results are bit-identical either way).
+    pub fuse: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            precisions: PrecisionMap::default(),
+            fuse: true,
+        }
+    }
 }
 
 /// Errors the compiler can report.
@@ -119,7 +132,11 @@ pub fn compile(func: &Function, opts: &CompileOptions) -> Result<CompiledFunctio
     let mut c = Compiler::new(func, opts);
     c.assign_var_slots();
     c.compile_body()?;
-    Ok(c.finish())
+    let mut compiled = c.finish();
+    if opts.fuse {
+        crate::fuse::fuse_function(&mut compiled);
+    }
+    Ok(compiled)
 }
 
 /// A variable's home: register plus effective precision.
@@ -256,7 +273,9 @@ impl<'a> Compiler<'a> {
     }
 
     fn slot(&self, v: &VarRef) -> Result<Slot, CompileError> {
-        let id = v.id.ok_or_else(|| CompileError::UnresolvedVar { name: v.name.clone() })?;
+        let id = v.id.ok_or_else(|| CompileError::UnresolvedVar {
+            name: v.name.clone(),
+        })?;
         Ok(self.slots[id.index()])
     }
 
@@ -309,7 +328,11 @@ impl<'a> Compiler<'a> {
                 Ok(())
             }
             StmtKind::Assign { lhs, op, rhs } => self.assign(lhs, *op, rhs),
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.expr_as_b(cond)?;
                 let jf = self.emit(Instr::JmpIfFalse { cond: c, target: 0 });
                 self.block(then_branch)?;
@@ -329,7 +352,12 @@ impl<'a> Compiler<'a> {
                 }
                 Ok(())
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -339,7 +367,10 @@ impl<'a> Compiler<'a> {
                         self.reset_temps();
                         self.cur_span = c.span;
                         let creg = self.expr_as_b(c)?;
-                        Some(self.emit(Instr::JmpIfFalse { cond: creg, target: 0 }))
+                        Some(self.emit(Instr::JmpIfFalse {
+                            cond: creg,
+                            target: 0,
+                        }))
                     }
                     None => None,
                 };
@@ -357,7 +388,10 @@ impl<'a> Compiler<'a> {
             StmtKind::While { cond, body } => {
                 let lcond = self.here();
                 let creg = self.expr_as_b(cond)?;
-                let jexit = self.emit(Instr::JmpIfFalse { cond: creg, target: 0 });
+                let jexit = self.emit(Instr::JmpIfFalse {
+                    cond: creg,
+                    target: 0,
+                });
                 self.block(body)?;
                 self.emit(Instr::Jmp { target: lcond });
                 let end = self.here();
@@ -374,7 +408,11 @@ impl<'a> Compiler<'a> {
                         // Round to the declared return precision.
                         let out = if ft != FloatTy::F64 {
                             let t = self.temp_f();
-                            self.emit(Instr::FRound { dst: t, src: r, ty: ft });
+                            self.emit(Instr::FRound {
+                                dst: t,
+                                src: r,
+                                ty: ft,
+                            });
                             t
                         } else {
                             r
@@ -509,7 +547,11 @@ impl<'a> Compiler<'a> {
                         // the value is already at most that precise).
                         let src = if prec != FloatTy::F64 && sp > prec {
                             let t = self.temp_f();
-                            self.emit(Instr::FRound { dst: t, src, ty: prec });
+                            self.emit(Instr::FRound {
+                                dst: t,
+                                src,
+                                ty: prec,
+                            });
                             t
                         } else {
                             src
@@ -612,7 +654,10 @@ impl<'a> Compiler<'a> {
                 }
             }),
             ExprKind::Index { base, index } => {
-                let lv = LValue::Index { base: base.clone(), index: (**index).clone() };
+                let lv = LValue::Index {
+                    base: base.clone(),
+                    index: (**index).clone(),
+                };
                 self.load_lvalue(&lv)
             }
             ExprKind::Unary { op, operand } => {
@@ -669,7 +714,11 @@ impl<'a> Compiler<'a> {
                         let (r, p) = self.operand_as_f(inner)?;
                         if *ft != FloatTy::F64 && p > *ft {
                             let dst = self.temp_f();
-                            self.emit(Instr::FRound { dst, src: r, ty: *ft });
+                            self.emit(Instr::FRound {
+                                dst,
+                                src: r,
+                                ty: *ft,
+                            });
                             Ok(Operand::F(dst, *ft))
                         } else {
                             Ok(Operand::F(r, p.min(*ft)))
@@ -701,8 +750,14 @@ impl<'a> Compiler<'a> {
         let dst = self.temp_i();
         self.emit(Instr::IMov { dst, src: a });
         let jshort = match op {
-            BinOp::And => self.emit(Instr::JmpIfFalse { cond: dst, target: 0 }),
-            BinOp::Or => self.emit(Instr::JmpIfTrue { cond: dst, target: 0 }),
+            BinOp::And => self.emit(Instr::JmpIfFalse {
+                cond: dst,
+                target: 0,
+            }),
+            BinOp::Or => self.emit(Instr::JmpIfTrue {
+                cond: dst,
+                target: 0,
+            }),
             _ => unreachable!(),
         };
         let b = self.expr_as_b(rhs)?;
@@ -720,11 +775,21 @@ impl<'a> Compiler<'a> {
             if any_float {
                 let (ra, _) = self.operand_as_f(a)?;
                 let (rb, _) = self.operand_as_f(b)?;
-                self.emit(Instr::FCmp { dst, op: cmp, a: ra, b: rb });
+                self.emit(Instr::FCmp {
+                    dst,
+                    op: cmp,
+                    a: ra,
+                    b: rb,
+                });
             } else {
                 let ra = self.operand_as_i(a)?;
                 let rb = self.operand_as_i(b)?;
-                self.emit(Instr::ICmp { dst, op: cmp, a: ra, b: rb });
+                self.emit(Instr::ICmp {
+                    dst,
+                    op: cmp,
+                    a: ra,
+                    b: rb,
+                });
             }
             return Ok(Operand::B(dst));
         }
@@ -750,7 +815,11 @@ impl<'a> Compiler<'a> {
             };
             self.emit(ins);
             if prec != FloatTy::F64 {
-                self.emit(Instr::FRound { dst, src: dst, ty: prec });
+                self.emit(Instr::FRound {
+                    dst,
+                    src: dst,
+                    ty: prec,
+                });
             }
             Ok(Operand::F(dst, prec))
         } else {
@@ -785,10 +854,19 @@ impl<'a> Compiler<'a> {
         let dst = self.temp_f();
         match regs.len() {
             1 => {
-                self.emit(Instr::FIntr1 { dst, intr: i, a: regs[0] });
+                self.emit(Instr::FIntr1 {
+                    dst,
+                    intr: i,
+                    a: regs[0],
+                });
             }
             2 => {
-                self.emit(Instr::FIntr2 { dst, intr: i, a: regs[0], b: regs[1] });
+                self.emit(Instr::FIntr2 {
+                    dst,
+                    intr: i,
+                    a: regs[0],
+                    b: regs[1],
+                });
             }
             n => {
                 return Err(CompileError::Unsupported {
@@ -798,7 +876,11 @@ impl<'a> Compiler<'a> {
             }
         }
         if prec != FloatTy::F64 {
-            self.emit(Instr::FRound { dst, src: dst, ty: prec });
+            self.emit(Instr::FRound {
+                dst,
+                src: dst,
+                ty: prec,
+            });
         }
         Ok(Operand::F(dst, prec))
     }
@@ -865,7 +947,12 @@ impl<'a> Compiler<'a> {
                     Slot::FA(r, prec) => (ParamKind::FArr(prec), r.0),
                     Slot::IA(r) => (ParamKind::IArr, r.0),
                 };
-                ParamSpec { name: p.name.clone(), kind, by_ref: p.by_ref, reg }
+                ParamSpec {
+                    name: p.name.clone(),
+                    kind,
+                    by_ref: p.by_ref,
+                    reg,
+                }
             })
             .collect();
         let ret = match self.func.ret {
@@ -914,10 +1001,30 @@ mod tests {
     #[test]
     fn compiles_simple_function() {
         let f = compile_src("double f(double x, double y) { return x * y + 1.0; }");
-        assert!(f.instrs.iter().any(|i| matches!(i, Instr::FMul { .. })));
+        // Fusion (on by default) turns the mul+add into FMulAdd.
+        assert!(
+            f.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::FMul { .. } | Instr::FMulAdd { .. })),
+            "{}",
+            f.disassemble()
+        );
         assert!(f.instrs.iter().any(|i| matches!(i, Instr::RetF { .. })));
         assert_eq!(f.params.len(), 2);
         assert_eq!(f.ret, RetKind::F(FloatTy::F64));
+    }
+
+    #[test]
+    fn fuse_off_keeps_base_instructions() {
+        let mut p = parse_program("double f(double x, double y) { return x * y + 1.0; }").unwrap();
+        check_program(&mut p).unwrap();
+        let opts = CompileOptions {
+            fuse: false,
+            ..Default::default()
+        };
+        let f = compile(&p.functions[0], &opts).unwrap();
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::FMul { .. })));
+        assert!(!f.instrs.iter().any(|i| matches!(i, Instr::FMulAdd { .. })));
     }
 
     #[test]
@@ -925,9 +1032,13 @@ mod tests {
         let f = compile_src("float f(float x, float y) { float z; z = x + y; return z; }");
         // x + y at f32 must be followed by a round to f32.
         assert!(
-            f.instrs
-                .iter()
-                .any(|i| matches!(i, Instr::FRound { ty: FloatTy::F32, .. })),
+            f.instrs.iter().any(|i| matches!(
+                i,
+                Instr::FRound {
+                    ty: FloatTy::F32,
+                    ..
+                }
+            )),
             "{}",
             f.disassemble()
         );
@@ -951,12 +1062,30 @@ mod tests {
         // Demote z (VarId 1) to f32.
         let opts = CompileOptions {
             precisions: PrecisionMap::empty().with(VarId(1), FloatTy::F32),
+            ..Default::default()
         };
         let f = compile(func, &opts).unwrap();
+        // The round may be fused into the arithmetic op.
         assert!(
-            f.instrs
-                .iter()
-                .any(|i| matches!(i, Instr::FRound { ty: FloatTy::F32, .. })),
+            f.instrs.iter().any(|i| matches!(
+                i,
+                Instr::FRound {
+                    ty: FloatTy::F32,
+                    ..
+                } | Instr::FAddRound {
+                    ty: FloatTy::F32,
+                    ..
+                } | Instr::FSubRound {
+                    ty: FloatTy::F32,
+                    ..
+                } | Instr::FMulRound {
+                    ty: FloatTy::F32,
+                    ..
+                } | Instr::FDivRound {
+                    ty: FloatTy::F32,
+                    ..
+                }
+            )),
             "{}",
             f.disassemble()
         );
@@ -986,7 +1115,10 @@ mod tests {
     #[test]
     fn short_circuit_and_emits_branch() {
         let f = compile_src("bool f(double x) { return x > 0.0 && x < 1.0; }");
-        assert!(f.instrs.iter().any(|i| matches!(i, Instr::JmpIfFalse { .. })));
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::JmpIfFalse { .. })));
     }
 
     #[test]
@@ -1005,9 +1137,12 @@ mod tests {
     #[test]
     fn cast_emits_round() {
         let f = compile_src("double f(double x) { return x - (float)x; }");
-        assert!(f
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::FRound { ty: FloatTy::F32, .. })));
+        assert!(f.instrs.iter().any(|i| matches!(
+            i,
+            Instr::FRound {
+                ty: FloatTy::F32,
+                ..
+            }
+        )));
     }
 }

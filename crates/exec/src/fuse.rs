@@ -1,0 +1,859 @@
+//! Peephole bytecode fusion: collapses the hot multi-instruction idioms
+//! the compiler emits into single superinstructions.
+//!
+//! The pass runs after codegen (wired into [`crate::compile`] behind
+//! [`crate::compile::CompileOptions::fuse`], on by default) and rewrites
+//! windows of adjacent instructions:
+//!
+//! | window | fused |
+//! |---|---|
+//! | `FMul t,a,b` ; `FAdd d,t,c` | [`Instr::FMulAdd`] |
+//! | `FMul t,a,b` ; `FConst k` ; `FAdd d,t,k` | `FConst` + [`Instr::FMulAdd`] |
+//! | `FAdd/FSub/FMul/FDiv t,a,b` ; `FRound d,t,ty` | [`Instr::FAddRound`] … |
+//! | `IConst t,c` ; `IAdd d,a,t` | [`Instr::IAddImm`] |
+//! | `IConst t,c` ; `IAdd u,i,t` ; `FLoad d,arr,u` | [`Instr::FLoadOff`] |
+//! | `IConst t,c` ; `IAdd u,i,t` ; `FStore arr,u,s` | [`Instr::FStoreOff`] |
+//! | `FCmp/ICmp t,…` ; `JmpIfFalse/True t,L` | [`Instr::FCmpJmpFalse`] … |
+//!
+//! Every fused instruction computes the exact composition of the originals
+//! (separate rounding steps, same trap conditions), so fused and unfused
+//! programs are **bit-identical** in results, traps and tape counters —
+//! only `ExecStats::instrs_executed` shrinks. The `fusion_differential`
+//! integration test pins this across every `chef-apps` kernel.
+//!
+//! ## Safety conditions
+//!
+//! A window is only fused when eliminating its intermediate register
+//! cannot change observable behaviour:
+//!
+//! * inner window instructions must not be jump targets — no path may
+//!   enter the middle of a fused sequence;
+//! * the eliminated temporary is either overwritten by the window's own
+//!   final instruction, or **dead after the window**: a reachability
+//!   query over the bytecode CFG ([`Analysis::dead_after`]) proves every
+//!   path re-writes the register before reading it (parameter registers
+//!   are additionally considered read at every function exit, because
+//!   call teardown copies them back to the caller).
+
+use crate::bytecode::*;
+
+/// What [`fuse_function`] did, by pattern.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// `FMul`+`FAdd` → [`Instr::FMulAdd`].
+    pub mul_add: u32,
+    /// Arithmetic + `FRound` → `F*Round`.
+    pub op_round: u32,
+    /// Constant-offset array loads.
+    pub load_off: u32,
+    /// Constant-offset array stores.
+    pub store_off: u32,
+    /// `IConst`+`IAdd` → [`Instr::IAddImm`].
+    pub add_imm: u32,
+    /// Compare + conditional jump.
+    pub cmp_branch: u32,
+}
+
+impl FuseStats {
+    /// Total number of fusions performed.
+    pub fn total(&self) -> u32 {
+        self.mul_add
+            + self.op_round
+            + self.load_off
+            + self.store_off
+            + self.add_imm
+            + self.cmp_branch
+    }
+}
+
+/// A register in one of the two scalar files.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Reg {
+    F(u32),
+    I(u32),
+}
+
+/// Calls `visit` for every scalar register the instruction reads.
+fn for_each_read(ins: &Instr, mut visit: impl FnMut(Reg)) {
+    macro_rules! fr {
+        ($r:expr) => {
+            visit(Reg::F($r.0))
+        };
+    }
+    macro_rules! ir {
+        ($r:expr) => {
+            visit(Reg::I($r.0))
+        };
+    }
+    match ins {
+        Instr::FConst { .. }
+        | Instr::IConst { .. }
+        | Instr::Jmp { .. }
+        | Instr::TPopF { .. }
+        | Instr::TPopI { .. }
+        | Instr::RetVoid
+        | Instr::TrapMissingReturn => {}
+        Instr::FMov { src, .. }
+        | Instr::FNeg { src, .. }
+        | Instr::FRound { src, .. }
+        | Instr::F2I { src, .. }
+        | Instr::TPushF { src } => fr!(*src),
+        Instr::FIntr1 { a, .. } => fr!(*a),
+        Instr::FAdd { a, b, .. }
+        | Instr::FSub { a, b, .. }
+        | Instr::FMul { a, b, .. }
+        | Instr::FDiv { a, b, .. }
+        | Instr::FIntr2 { a, b, .. }
+        | Instr::FCmp { a, b, .. }
+        | Instr::FAddRound { a, b, .. }
+        | Instr::FSubRound { a, b, .. }
+        | Instr::FMulRound { a, b, .. }
+        | Instr::FDivRound { a, b, .. }
+        | Instr::FCmpJmpFalse { a, b, .. }
+        | Instr::FCmpJmpTrue { a, b, .. } => {
+            fr!(*a);
+            fr!(*b);
+        }
+        Instr::FMulAdd { a, b, c, .. } => {
+            fr!(*a);
+            fr!(*b);
+            fr!(*c);
+        }
+        Instr::FLoad { idx, .. } => ir!(idx),
+        Instr::FStore { idx, src, .. } => {
+            ir!(idx);
+            fr!(*src);
+        }
+        Instr::FLoadOff { base, .. } => ir!(base),
+        Instr::FStoreOff { base, src, .. } => {
+            ir!(base);
+            fr!(*src);
+        }
+        Instr::I2F { src, .. }
+        | Instr::IMov { src, .. }
+        | Instr::INeg { src, .. }
+        | Instr::BNot { src, .. }
+        | Instr::TPushI { src } => ir!(src),
+        Instr::IAdd { a, b, .. }
+        | Instr::ISub { a, b, .. }
+        | Instr::IMul { a, b, .. }
+        | Instr::IDiv { a, b, .. }
+        | Instr::IRem { a, b, .. }
+        | Instr::ICmp { a, b, .. }
+        | Instr::ICmpJmpFalse { a, b, .. }
+        | Instr::ICmpJmpTrue { a, b, .. } => {
+            ir!(a);
+            ir!(b);
+        }
+        Instr::IAddImm { a, .. } => ir!(a),
+        Instr::ILoad { idx, .. } => ir!(idx),
+        Instr::IStore { idx, src, .. } => {
+            ir!(idx);
+            ir!(src);
+        }
+        Instr::JmpIfFalse { cond, .. } | Instr::JmpIfTrue { cond, .. } => ir!(cond),
+        Instr::AllocF { len, .. } | Instr::AllocI { len, .. } => ir!(len),
+        Instr::RetF { src } => fr!(*src),
+        Instr::RetI { src } | Instr::RetB { src } => ir!(src),
+    }
+}
+
+/// The scalar register the instruction writes, if any.
+fn write_of(ins: &Instr) -> Option<Reg> {
+    match ins {
+        Instr::FConst { dst, .. }
+        | Instr::FMov { dst, .. }
+        | Instr::FAdd { dst, .. }
+        | Instr::FSub { dst, .. }
+        | Instr::FMul { dst, .. }
+        | Instr::FDiv { dst, .. }
+        | Instr::FNeg { dst, .. }
+        | Instr::FRound { dst, .. }
+        | Instr::FIntr1 { dst, .. }
+        | Instr::FIntr2 { dst, .. }
+        | Instr::FLoad { dst, .. }
+        | Instr::I2F { dst, .. }
+        | Instr::TPopF { dst }
+        | Instr::FMulAdd { dst, .. }
+        | Instr::FAddRound { dst, .. }
+        | Instr::FSubRound { dst, .. }
+        | Instr::FMulRound { dst, .. }
+        | Instr::FDivRound { dst, .. }
+        | Instr::FLoadOff { dst, .. } => Some(Reg::F(dst.0)),
+        Instr::FCmp { dst, .. }
+        | Instr::F2I { dst, .. }
+        | Instr::IConst { dst, .. }
+        | Instr::IMov { dst, .. }
+        | Instr::IAdd { dst, .. }
+        | Instr::ISub { dst, .. }
+        | Instr::IMul { dst, .. }
+        | Instr::IDiv { dst, .. }
+        | Instr::IRem { dst, .. }
+        | Instr::INeg { dst, .. }
+        | Instr::ICmp { dst, .. }
+        | Instr::ILoad { dst, .. }
+        | Instr::BNot { dst, .. }
+        | Instr::TPopI { dst }
+        | Instr::IAddImm { dst, .. } => Some(Reg::I(dst.0)),
+        Instr::FStore { .. }
+        | Instr::FStoreOff { .. }
+        | Instr::IStore { .. }
+        | Instr::Jmp { .. }
+        | Instr::JmpIfFalse { .. }
+        | Instr::JmpIfTrue { .. }
+        | Instr::FCmpJmpFalse { .. }
+        | Instr::FCmpJmpTrue { .. }
+        | Instr::ICmpJmpFalse { .. }
+        | Instr::ICmpJmpTrue { .. }
+        | Instr::TPushF { .. }
+        | Instr::TPushI { .. }
+        | Instr::AllocF { .. }
+        | Instr::AllocI { .. }
+        | Instr::RetF { .. }
+        | Instr::RetI { .. }
+        | Instr::RetB { .. }
+        | Instr::RetVoid
+        | Instr::TrapMissingReturn => None,
+    }
+}
+
+/// Successor program points of the instruction at `pc`; `None` marks a
+/// function exit (return or fall-off-the-end).
+fn successors(ins: &Instr, pc: usize, out: &mut [Option<usize>; 2]) -> bool {
+    // Returns `false` when the instruction exits the function.
+    *out = [None, None];
+    match ins {
+        Instr::Jmp { target } => {
+            out[0] = Some(*target as usize);
+            true
+        }
+        Instr::JmpIfFalse { target, .. }
+        | Instr::JmpIfTrue { target, .. }
+        | Instr::FCmpJmpFalse { target, .. }
+        | Instr::FCmpJmpTrue { target, .. }
+        | Instr::ICmpJmpFalse { target, .. }
+        | Instr::ICmpJmpTrue { target, .. } => {
+            out[0] = Some(*target as usize);
+            out[1] = Some(pc + 1);
+            true
+        }
+        Instr::RetF { .. }
+        | Instr::RetI { .. }
+        | Instr::RetB { .. }
+        | Instr::RetVoid
+        | Instr::TrapMissingReturn => false,
+        _ => {
+            out[0] = Some(pc + 1);
+            true
+        }
+    }
+}
+
+struct Analysis {
+    f_param: Vec<bool>,
+    i_param: Vec<bool>,
+    is_target: Vec<bool>,
+    /// Scratch for [`Analysis::dead_after`] (reused across queries).
+    visited: std::cell::RefCell<Vec<bool>>,
+}
+
+impl Analysis {
+    fn of(func: &CompiledFunction) -> Self {
+        let mut a = Analysis {
+            f_param: vec![false; func.n_fregs as usize],
+            i_param: vec![false; func.n_iregs as usize],
+            is_target: vec![false; func.instrs.len() + 1],
+            visited: std::cell::RefCell::new(vec![false; func.instrs.len()]),
+        };
+        for ins in &func.instrs {
+            match ins {
+                Instr::Jmp { target }
+                | Instr::JmpIfFalse { target, .. }
+                | Instr::JmpIfTrue { target, .. }
+                | Instr::FCmpJmpFalse { target, .. }
+                | Instr::FCmpJmpTrue { target, .. }
+                | Instr::ICmpJmpFalse { target, .. }
+                | Instr::ICmpJmpTrue { target, .. } => {
+                    if let Some(t) = a.is_target.get_mut(*target as usize) {
+                        *t = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for p in &func.params {
+            match p.kind {
+                ParamKind::F(_) => a.f_param[p.reg as usize] = true,
+                ParamKind::I | ParamKind::B => a.i_param[p.reg as usize] = true,
+                ParamKind::FArr(_) | ParamKind::IArr => {}
+            }
+        }
+        a
+    }
+
+    fn is_param(&self, reg: Reg) -> bool {
+        match reg {
+            Reg::F(r) => self.f_param.get(r as usize).copied().unwrap_or(false),
+            Reg::I(r) => self.i_param.get(r as usize).copied().unwrap_or(false),
+        }
+    }
+
+    /// `true` when `reg` is dead at every program point in `starts`: no
+    /// path reads it before writing it. Function exits count as reads of
+    /// parameter registers (call teardown copies them back).
+    ///
+    /// The compiler reuses temporary registers across statements, so this
+    /// reachability query (rather than a global read count) is what makes
+    /// the fusion patterns actually fire: a temp's next use is always
+    /// preceded by a fresh write, which terminates the search.
+    fn dead_after(&self, func: &CompiledFunction, starts: &[usize], reg: Reg) -> bool {
+        let instrs = &func.instrs;
+        let mut visited = self.visited.borrow_mut();
+        visited.iter_mut().for_each(|v| *v = false);
+        let mut stack: Vec<usize> = Vec::with_capacity(8);
+        let exit_reads = self.is_param(reg);
+        for &s in starts {
+            if s >= instrs.len() {
+                if exit_reads {
+                    return false;
+                }
+            } else {
+                stack.push(s);
+            }
+        }
+        while let Some(pc) = stack.pop() {
+            if visited[pc] {
+                continue;
+            }
+            visited[pc] = true;
+            let ins = &instrs[pc];
+            let mut read = false;
+            for_each_read(ins, |r| read |= r == reg);
+            if read {
+                return false;
+            }
+            if write_of(ins) == Some(reg) {
+                continue; // overwritten: this path is safe
+            }
+            let mut succ = [None, None];
+            if !successors(ins, pc, &mut succ) && exit_reads {
+                return false;
+            }
+            for s in succ.into_iter().flatten() {
+                if s >= instrs.len() {
+                    if exit_reads {
+                        return false;
+                    }
+                } else if !visited[s] {
+                    stack.push(s);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// One fusion decision: the replacement instructions and the number of
+/// original instructions they consume.
+struct Rewrite {
+    out: [Option<Instr>; 2],
+    width: usize,
+}
+
+impl Rewrite {
+    fn one(ins: Instr, width: usize) -> Option<Rewrite> {
+        Some(Rewrite {
+            out: [Some(ins), None],
+            width,
+        })
+    }
+
+    fn two(first: Instr, second: Instr, width: usize) -> Option<Rewrite> {
+        Some(Rewrite {
+            out: [Some(first), Some(second)],
+            width,
+        })
+    }
+}
+
+/// Fuses `func` in place; returns what happened. Idempotent: running it
+/// again finds nothing new.
+pub fn fuse_function(func: &mut CompiledFunction) -> FuseStats {
+    let analysis = Analysis::of(func);
+    let mut stats = FuseStats::default();
+    let old_len = func.instrs.len();
+    let mut out: Vec<Instr> = Vec::with_capacity(old_len);
+    let mut out_spans = Vec::with_capacity(old_len);
+    // old instruction index → new index (old_len maps to the new end).
+    let mut remap: Vec<u32> = vec![0; old_len + 1];
+
+    let mut pc = 0usize;
+    while pc < old_len {
+        let rewrite = match_window(func, &analysis, pc, &mut stats);
+        let (instrs_out, width) = match rewrite {
+            Some(Rewrite { out, width }) => (out, width),
+            None => ([Some(func.instrs[pc].clone()), None], 1),
+        };
+        remap[pc..pc + width].fill(out.len() as u32);
+        // The fused window traps/behaves as its final original
+        // instruction; keep that span for diagnostics.
+        let span = func.spans[pc + width - 1];
+        for ins in instrs_out.into_iter().flatten() {
+            out.push(ins);
+            out_spans.push(span);
+        }
+        pc += width;
+    }
+    remap[old_len] = out.len() as u32;
+
+    for ins in &mut out {
+        match ins {
+            Instr::Jmp { target }
+            | Instr::JmpIfFalse { target, .. }
+            | Instr::JmpIfTrue { target, .. }
+            | Instr::FCmpJmpFalse { target, .. }
+            | Instr::FCmpJmpTrue { target, .. }
+            | Instr::ICmpJmpFalse { target, .. }
+            | Instr::ICmpJmpTrue { target, .. } => *target = remap[*target as usize],
+            _ => {}
+        }
+    }
+    func.instrs = out;
+    func.spans = out_spans;
+    stats
+}
+
+/// Tries every fusion pattern anchored at `pc`.
+fn match_window(
+    func: &CompiledFunction,
+    analysis: &Analysis,
+    pc: usize,
+    stats: &mut FuseStats,
+) -> Option<Rewrite> {
+    let instrs = &func.instrs;
+    let at = |k: usize| instrs.get(pc + k);
+    // Inner window instructions must not be jump targets: no path may
+    // enter the middle of a fused sequence.
+    let free = |k: usize| !analysis.is_target[pc + k];
+    // The eliminated temp is dead right after the window (which starts at
+    // `pc + width`; the last window instruction here is never a branch).
+    let dead_f = |width: usize, r: FReg| analysis.dead_after(func, &[pc + width], Reg::F(r.0));
+    let dead_i = |width: usize, r: IReg| analysis.dead_after(func, &[pc + width], Reg::I(r.0));
+
+    match *at(0)? {
+        // IConst t ; IAdd … — address arithmetic and loop increments.
+        Instr::IConst { dst: t, v } => {
+            let &Instr::IAdd { dst: u, a, b } = at(1)? else {
+                return None;
+            };
+            if !free(1) {
+                return None;
+            }
+            let base = other_operand(Reg::I(t.0), Reg::I(a.0), Reg::I(b.0))?;
+            let base = IReg(base);
+            // 3-instruction form: the sum feeds an array access.
+            if free(2) && u != t && i32::try_from(v).is_ok() {
+                match at(2) {
+                    Some(&Instr::FLoad { dst, arr, idx })
+                        if idx == u && dead_i(3, u) && dead_i(3, t) =>
+                    {
+                        stats.load_off += 1;
+                        return Rewrite::one(
+                            Instr::FLoadOff {
+                                dst,
+                                arr,
+                                base,
+                                off: v as i32,
+                            },
+                            3,
+                        );
+                    }
+                    Some(&Instr::FStore { arr, idx, src })
+                        if idx == u && dead_i(3, u) && dead_i(3, t) =>
+                    {
+                        stats.store_off += 1;
+                        return Rewrite::one(
+                            Instr::FStoreOff {
+                                arr,
+                                base,
+                                off: v as i32,
+                                src,
+                            },
+                            3,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // 2-instruction form: plain add-immediate.
+            if u == t || dead_i(2, t) {
+                stats.add_imm += 1;
+                return Rewrite::one(
+                    Instr::IAddImm {
+                        dst: u,
+                        a: base,
+                        imm: v,
+                    },
+                    2,
+                );
+            }
+            None
+        }
+        // FMul t,a,b ; [FConst k ;] FAdd d,t,c  →  FMulAdd.
+        Instr::FMul { dst: t, a, b } => {
+            match *at(1)? {
+                Instr::FAdd { dst, a: x, b: y } if free(1) => {
+                    let c = FReg(other_operand(Reg::F(t.0), Reg::F(x.0), Reg::F(y.0))?);
+                    if dst == t || dead_f(2, t) {
+                        stats.mul_add += 1;
+                        return Rewrite::one(Instr::FMulAdd { dst, a, b, c }, 2);
+                    }
+                    None
+                }
+                // The addend constant is often materialized between the
+                // mul and the add (`x * y + 3.5`); hoist it above the
+                // fused op. Safe when the constant register is distinct
+                // from the product and the mul operands.
+                Instr::FConst { dst: k, v } if free(1) && k != t && k != a && k != b => {
+                    let &Instr::FAdd { dst, a: x, b: y } = at(2)? else {
+                        return None;
+                    };
+                    if !free(2) {
+                        return None;
+                    }
+                    let c = FReg(other_operand(Reg::F(t.0), Reg::F(x.0), Reg::F(y.0))?);
+                    if dst == t || dead_f(3, t) {
+                        stats.mul_add += 1;
+                        return Rewrite::two(
+                            Instr::FConst { dst: k, v },
+                            Instr::FMulAdd { dst, a, b, c },
+                            3,
+                        );
+                    }
+                    None
+                }
+                Instr::FRound { dst, src, ty } if free(1) && src == t => {
+                    if dst == t || dead_f(2, t) {
+                        stats.op_round += 1;
+                        return Rewrite::one(Instr::FMulRound { dst, a, b, ty }, 2);
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+        // FAdd/FSub/FDiv t,a,b ; FRound d,t  →  fused op+round.
+        Instr::FAdd { dst: t, a, b } => fuse_round(at(1), free(1), t, |dst, ty| Instr::FAddRound {
+            dst,
+            a,
+            b,
+            ty,
+        })
+        .and_then(|(ins, dst)| {
+            if dst == t || dead_f(2, t) {
+                stats.op_round += 1;
+                Rewrite::one(ins, 2)
+            } else {
+                None
+            }
+        }),
+        Instr::FSub { dst: t, a, b } => fuse_round(at(1), free(1), t, |dst, ty| Instr::FSubRound {
+            dst,
+            a,
+            b,
+            ty,
+        })
+        .and_then(|(ins, dst)| {
+            if dst == t || dead_f(2, t) {
+                stats.op_round += 1;
+                Rewrite::one(ins, 2)
+            } else {
+                None
+            }
+        }),
+        Instr::FDiv { dst: t, a, b } => fuse_round(at(1), free(1), t, |dst, ty| Instr::FDivRound {
+            dst,
+            a,
+            b,
+            ty,
+        })
+        .and_then(|(ins, dst)| {
+            if dst == t || dead_f(2, t) {
+                stats.op_round += 1;
+                Rewrite::one(ins, 2)
+            } else {
+                None
+            }
+        }),
+        // FCmp/ICmp t ; JmpIfFalse/True t  →  compare-and-branch. The
+        // condition register is not written by the fused form, so it must
+        // be dead along both branch successors.
+        Instr::FCmp { dst: t, op, a, b } => {
+            let (ins, target) = match *at(1)? {
+                Instr::JmpIfFalse { cond, target } if free(1) && cond == t => {
+                    (Instr::FCmpJmpFalse { op, a, b, target }, target)
+                }
+                Instr::JmpIfTrue { cond, target } if free(1) && cond == t => {
+                    (Instr::FCmpJmpTrue { op, a, b, target }, target)
+                }
+                _ => return None,
+            };
+            if analysis.dead_after(func, &[target as usize, pc + 2], Reg::I(t.0)) {
+                stats.cmp_branch += 1;
+                Rewrite::one(ins, 2)
+            } else {
+                None
+            }
+        }
+        Instr::ICmp { dst: t, op, a, b } => {
+            if a == t || b == t {
+                return None;
+            }
+            let (ins, target) = match *at(1)? {
+                Instr::JmpIfFalse { cond, target } if free(1) && cond == t => {
+                    (Instr::ICmpJmpFalse { op, a, b, target }, target)
+                }
+                Instr::JmpIfTrue { cond, target } if free(1) && cond == t => {
+                    (Instr::ICmpJmpTrue { op, a, b, target }, target)
+                }
+                _ => return None,
+            };
+            if analysis.dead_after(func, &[target as usize, pc + 2], Reg::I(t.0)) {
+                stats.cmp_branch += 1;
+                Rewrite::one(ins, 2)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Matches `FRound d, t, ty` following an arithmetic op that wrote `t`.
+fn fuse_round(
+    next: Option<&Instr>,
+    free: bool,
+    t: FReg,
+    make: impl FnOnce(FReg, chef_ir::types::FloatTy) -> Instr,
+) -> Option<(Instr, FReg)> {
+    match next? {
+        &Instr::FRound { dst, src, ty } if free && src == t => Some((make(dst, ty), dst)),
+        _ => None,
+    }
+}
+
+/// When exactly one of `x`/`y` equals `t`, returns the raw index of the
+/// other operand.
+fn other_operand(t: Reg, x: Reg, y: Reg) -> Option<u32> {
+    let raw = |r: Reg| match r {
+        Reg::F(v) | Reg::I(v) => v,
+    };
+    match (x == t, y == t) {
+        (true, false) => Some(raw(y)),
+        (false, true) => Some(raw(x)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::value::ArgValue;
+    use crate::vm::run;
+    use chef_ir::parser::parse_program;
+    use chef_ir::typeck::check_program;
+
+    fn compile_unfused(src: &str) -> CompiledFunction {
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        let opts = CompileOptions {
+            fuse: false,
+            ..Default::default()
+        };
+        compile(&p.functions[0], &opts).unwrap()
+    }
+
+    #[test]
+    fn loop_condition_and_increment_fuse() {
+        let mut f = compile_unfused(
+            "double f(int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += 1.0; } return s; }",
+        );
+        let stats = fuse_function(&mut f);
+        assert!(stats.cmp_branch >= 1, "{stats:?}\n{}", f.disassemble());
+        assert!(stats.add_imm >= 1, "{stats:?}\n{}", f.disassemble());
+        let out = run(&f, vec![ArgValue::I(100)]).unwrap();
+        assert_eq!(out.ret_f(), 100.0);
+    }
+
+    #[test]
+    fn mul_add_fuses_and_matches_unfused() {
+        let src = "double f(double x, double y) { return x * y + 3.5; }";
+        let mut fused = compile_unfused(src);
+        let unfused = compile_unfused(src);
+        let stats = fuse_function(&mut fused);
+        assert!(stats.mul_add >= 1, "{stats:?}\n{}", fused.disassemble());
+        let a = run(&fused, vec![ArgValue::F(1.1), ArgValue::F(2.2)]).unwrap();
+        let b = run(&unfused, vec![ArgValue::F(1.1), ArgValue::F(2.2)]).unwrap();
+        assert_eq!(a.ret_f().to_bits(), b.ret_f().to_bits());
+    }
+
+    #[test]
+    fn mul_add_is_not_an_fma() {
+        // The fused form must round the product before the add, exactly
+        // like the two original instructions.
+        let src = "double f(double x, double y, double z) { return x * y + z; }";
+        let mut fused = compile_unfused(src);
+        fuse_function(&mut fused);
+        assert!(fused
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::FMulAdd { .. })));
+        let (x, y, z) = (1.0 + 2f64.powi(-30), 1.0 + 2f64.powi(-30), -1.0);
+        let expect = x * y + z; // two roundings
+        let fma = x.mul_add(y, z); // one rounding — must NOT match
+        let got = run(&fused, vec![ArgValue::F(x), ArgValue::F(y), ArgValue::F(z)])
+            .unwrap()
+            .ret_f();
+        assert_eq!(got.to_bits(), expect.to_bits());
+        assert_ne!(got.to_bits(), fma.to_bits());
+    }
+
+    #[test]
+    fn demoted_arithmetic_fuses_op_round() {
+        let src = "float f(float x, float y) { float z; z = x * y; return z; }";
+        let mut fused = compile_unfused(src);
+        let stats = fuse_function(&mut fused);
+        assert!(stats.op_round >= 1, "{stats:?}\n{}", fused.disassemble());
+        assert!(
+            fused
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::FMulRound { .. })),
+            "{}",
+            fused.disassemble()
+        );
+        // Same rounding behaviour as the unfused program.
+        let unfused = compile_unfused(src);
+        let args = vec![ArgValue::F(1.0 / 3.0), ArgValue::F(3.0 / 7.0)];
+        let a = run(&fused, args.clone()).unwrap();
+        let b = run(&unfused, args).unwrap();
+        assert_eq!(a.ret_f().to_bits(), b.ret_f().to_bits());
+    }
+
+    #[test]
+    fn constant_offset_array_access_fuses() {
+        let src = "double f(double a[], int i) { return a[i + 1] + a[i - 0]; }";
+        let mut fused = compile_unfused(src);
+        let stats = fuse_function(&mut fused);
+        assert!(stats.load_off >= 1, "{stats:?}\n{}", fused.disassemble());
+        let out = run(
+            &fused,
+            vec![ArgValue::FArr(vec![10.0, 20.0, 30.0]), ArgValue::I(1)],
+        )
+        .unwrap();
+        assert_eq!(out.ret_f(), 30.0 + 20.0);
+    }
+
+    #[test]
+    fn constant_offset_store_fuses() {
+        let src = "void f(double a[], int i, double v) { a[i + 2] = v; }";
+        let mut fused = compile_unfused(src);
+        let stats = fuse_function(&mut fused);
+        assert!(stats.store_off >= 1, "{stats:?}\n{}", fused.disassemble());
+        let out = run(
+            &fused,
+            vec![
+                ArgValue::FArr(vec![0.0; 5]),
+                ArgValue::I(1),
+                ArgValue::F(9.5),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.args[0].as_farr(), &[0.0, 0.0, 0.0, 9.5, 0.0]);
+    }
+
+    #[test]
+    fn fused_load_still_bounds_checks() {
+        let src = "double f(double a[], int i) { return a[i + 1]; }";
+        let mut fused = compile_unfused(src);
+        fuse_function(&mut fused);
+        let err = run(&fused, vec![ArgValue::FArr(vec![1.0, 2.0]), ArgValue::I(5)]).unwrap_err();
+        assert!(
+            matches!(err.kind, crate::vm::TrapKind::OobIndex { idx: 6, len: 2 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn jump_targets_survive_fusion() {
+        // Nested control flow with fusable windows before and after the
+        // branches: all jumps must land where they used to.
+        let src = "double f(int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) { s += i * 1.5 + 0.25; } else { s -= 0.5; }
+            }
+            return s;
+        }";
+        let mut fused = compile_unfused(src);
+        let unfused = compile_unfused(src);
+        let stats = fuse_function(&mut fused);
+        assert!(stats.total() > 0);
+        for n in [0i64, 1, 2, 7, 100] {
+            let a = run(&fused, vec![ArgValue::I(n)]).unwrap();
+            let b = run(&unfused, vec![ArgValue::I(n)]).unwrap();
+            assert_eq!(a.ret_f().to_bits(), b.ret_f().to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        let src = "double f(int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += i * 2.0 + 1.0; } return s; }";
+        let mut f = compile_unfused(src);
+        let first = fuse_function(&mut f);
+        assert!(first.total() > 0);
+        let snapshot = f.instrs.clone();
+        let second = fuse_function(&mut f);
+        assert_eq!(second.total(), 0, "{second:?}");
+        assert_eq!(f.instrs, snapshot);
+    }
+
+    #[test]
+    fn by_ref_param_register_is_not_dropped() {
+        // `out` is a by-ref scalar: its register is read at call exit, so
+        // fusion must never treat it as dead at a return.
+        let src = "void f(double x, double &out) { out = x * 2.0 + 1.0; }";
+        let mut fused = compile_unfused(src);
+        let unfused = compile_unfused(src);
+        fuse_function(&mut fused);
+        let a = run(&fused, vec![ArgValue::F(3.0), ArgValue::F(0.0)]).unwrap();
+        let b = run(&unfused, vec![ArgValue::F(3.0), ArgValue::F(0.0)]).unwrap();
+        assert_eq!(a.args[1], b.args[1]);
+        assert_eq!(a.args[1], ArgValue::F(7.0));
+    }
+
+    #[test]
+    fn instruction_count_shrinks_on_app_style_loop() {
+        let src = "double f(int n) {
+            double s = 0.0;
+            for (int i = 1; i <= n; i++) {
+                double d = i * 0.001;
+                s += d * d + 1.0;
+            }
+            return s;
+        }";
+        let mut fused = compile_unfused(src);
+        let unfused = compile_unfused(src);
+        fuse_function(&mut fused);
+        let a = run(&fused, vec![ArgValue::I(1000)]).unwrap();
+        let b = run(&unfused, vec![ArgValue::I(1000)]).unwrap();
+        assert_eq!(a.ret_f().to_bits(), b.ret_f().to_bits());
+        assert!(
+            a.stats.instrs_executed < b.stats.instrs_executed,
+            "fused {} !< unfused {}",
+            a.stats.instrs_executed,
+            b.stats.instrs_executed
+        );
+    }
+}

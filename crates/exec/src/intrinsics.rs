@@ -28,7 +28,10 @@ impl ApproxConfig {
     /// Adds an approximate replacement for `name` at `grade`; panics if
     /// the function has no FastApprox counterpart.
     pub fn with(mut self, name: &'static str, grade: Grade) -> Self {
-        assert!(lookup(name).is_some(), "no approximate implementation for `{name}`");
+        assert!(
+            lookup(name).is_some(),
+            "no approximate implementation for `{name}`"
+        );
         self.grades.insert(name, grade);
         self
     }
@@ -37,7 +40,9 @@ impl ApproxConfig {
     /// approximate `log` and `sqrt` (and `normcdf`, whose polynomial uses
     /// them), keep `exp` exact.
     pub fn without_fast_exp() -> Self {
-        ApproxConfig::exact().with("log", Grade::Fast).with("sqrt", Grade::Fast)
+        ApproxConfig::exact()
+            .with("log", Grade::Fast)
+            .with("sqrt", Grade::Fast)
     }
 
     /// The paper's "FastApprox w/ Fast exp" configuration: additionally

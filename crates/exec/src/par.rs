@@ -1,0 +1,73 @@
+//! A minimal scoped-thread parallel map, shared by the batch execution
+//! APIs here and the candidate-validation loops in `chef-tuner`.
+//!
+//! The workspace builds offline (no rayon), so this wraps the one
+//! fan-out shape the analysis loops need: consume a `Vec` of independent
+//! inputs, apply `f`, and return the outputs **in input order**. Work is
+//! split into contiguous chunks, one scoped thread per chunk, so there
+//! is no work stealing — fine for the homogeneous workloads the engine
+//! runs (same compiled function, different arguments).
+
+/// Applies `f` to every item on a pool of scoped threads, preserving
+/// input order. `max_threads = None` uses the machine's available
+/// parallelism; tiny inputs (or `max_threads = Some(1)`) run inline
+/// with no thread spawned.
+pub fn parallel_map<T, R, F>(items: Vec<T>, max_threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = max_threads.unwrap_or(hw).min(n).max(1);
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|s| {
+        for (res_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (slot, item) in res_chunk.iter_mut().zip(item_chunk.iter_mut()) {
+                    let item = item.take().expect("each input is consumed once");
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map((0..100).collect(), Some(7), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_fallbacks_match() {
+        let items: Vec<i32> = (0..10).collect();
+        let a = parallel_map(items.clone(), Some(1), |x| x + 1);
+        let b = parallel_map(items, Some(4), |x| x + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(
+            parallel_map(Vec::<i32>::new(), None, |x| x),
+            Vec::<i32>::new()
+        );
+        assert_eq!(parallel_map(vec![5], None, |x: i32| x * x), vec![25]);
+    }
+}

@@ -1,10 +1,33 @@
 //! The register VM that executes compiled KernelC.
 //!
 //! One call = one function activation (user calls are inlined before
-//! compilation). The VM owns the runtime [`Tape`] and reports execution
-//! statistics — instruction count, tape peak, allocated array bytes — that
-//! the benchmark harness turns into the analysis-time and peak-memory
-//! series of the paper's Figs. 4–8.
+//! compilation). The VM reports execution statistics — instruction count,
+//! tape peak, allocated array bytes — that the benchmark harness turns
+//! into the analysis-time and peak-memory series of the paper's Figs. 4–8.
+//!
+//! ## Execution engine
+//!
+//! The engine is built for the analysis loop's call pattern: the same
+//! compiled function executed thousands of times (sensitivity profiling,
+//! tuner candidate evaluation, the benchmark sweeps).
+//!
+//! * [`Machine`] owns the register files, array slots and the [`Tape`]
+//!   and is **reusable**: [`Machine::reset`] re-sizes the buffers for a
+//!   function without releasing their capacity, so repeated
+//!   [`Machine::run_reused`] calls allocate nothing after warm-up.
+//! * The convenience entry points [`run`]/[`run_with`] dispatch through a
+//!   thread-local cached machine and inherit that reuse transparently.
+//! * Register operands are bounds-validated **once per call**
+//!   ([`validate_function`]) and then accessed unchecked in the dispatch
+//!   loop; array *element* indices remain checked on every access (they
+//!   are runtime values).
+//! * The [`ExecOptions::max_instrs`] budget is enforced at basic-block
+//!   granularity — on taken backward jumps and at returns — instead of
+//!   per instruction, so the budget may be overshot by at most one
+//!   straight-line block.
+//! * [`run_batch`] amortizes one machine over a whole argument batch, and
+//!   [`run_batch_parallel`] fans a batch out over scoped threads (one
+//!   machine per thread).
 
 use crate::bytecode::*;
 use crate::intrinsics::{eval1, eval2, ApproxConfig};
@@ -13,6 +36,7 @@ use crate::tape::{Tape, TapeError};
 use crate::value::{ArgValue, Value};
 use chef_ir::span::Span;
 use chef_ir::types::FloatTy;
+use std::cell::RefCell;
 
 /// Runtime execution options.
 #[derive(Clone, Debug, Default)]
@@ -23,7 +47,10 @@ pub struct ExecOptions {
     /// [`TrapKind::Tape`] — this reproduces the ADAPT out-of-memory points
     /// in the paper's figures.
     pub tape_limit: Option<usize>,
-    /// Safety valve for tests: trap after this many instructions.
+    /// Safety valve for tests: trap after (approximately) this many
+    /// instructions. Checked at block granularity: the trap fires at the
+    /// first backward jump or return after the budget is exhausted, so a
+    /// run may execute up to one straight-line block past the budget.
     pub max_instrs: Option<u64>,
 }
 
@@ -49,6 +76,10 @@ pub enum TrapKind {
     InstrBudgetExhausted,
     /// Argument count/kind mismatch at call entry.
     BadArguments(String),
+    /// The compiled function references registers or jump targets outside
+    /// its declared files (malformed hand-built bytecode; caught by the
+    /// per-call validation before execution starts).
+    InvalidBytecode(String),
 }
 
 /// A trap with its program location.
@@ -73,7 +104,7 @@ impl std::error::Error for Trap {}
 /// Execution statistics for one call.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ExecStats {
-    /// Instructions executed.
+    /// Instructions executed (each fused superinstruction counts once).
     pub instrs_executed: u64,
     /// Tape high-water mark in bytes.
     pub tape_peak_bytes: usize,
@@ -116,25 +147,110 @@ enum ArraySlot {
     Empty,
     F(Vec<f64>),
     I(Vec<i64>),
+    /// Buffer left over from a previous call: its *capacity* is reusable
+    /// by the next `Alloc`, but reading it is a trap, exactly as if the
+    /// slot were [`ArraySlot::Empty`] — machine reuse must not expose one
+    /// call's data to the next.
+    StaleF(Vec<f64>),
+    /// Integer counterpart of [`ArraySlot::StaleF`].
+    StaleI(Vec<i64>),
 }
 
-/// Runs `func` on `args` with default options.
+thread_local! {
+    static TLS_MACHINE: RefCell<Machine> = RefCell::new(Machine::new());
+}
+
+/// Runs `func` on `args` with default options (through the thread-local
+/// reusable machine).
 pub fn run(func: &CompiledFunction, args: Vec<ArgValue>) -> Result<CallOutcome, Trap> {
     run_with(func, args, &ExecOptions::default())
 }
 
-/// Runs `func` on `args` under `opts`.
+/// Runs `func` on `args` under `opts` (through the thread-local reusable
+/// machine).
 pub fn run_with(
     func: &CompiledFunction,
     args: Vec<ArgValue>,
     opts: &ExecOptions,
 ) -> Result<CallOutcome, Trap> {
-    Machine::new(func, opts).run(args)
+    TLS_MACHINE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut m) => m.run_reused(func, args, opts),
+        // Re-entrant call (e.g. from a panic hook): fall back to a fresh
+        // machine rather than poisoning the cached one.
+        Err(_) => Machine::new().run_reused(func, args, opts),
+    })
 }
 
-struct Machine<'a> {
-    func: &'a CompiledFunction,
-    opts: &'a ExecOptions,
+fn invalid_bytecode(msg: String) -> Trap {
+    Trap {
+        kind: TrapKind::InvalidBytecode(msg),
+        pc: 0,
+        span: Span::DUMMY,
+    }
+}
+
+/// Runs `func` over every argument set in order, reusing one [`Machine`]
+/// (register files, array slots and tape capacity persist across calls).
+/// The bytecode is validated once for the whole batch, not per call.
+pub fn run_batch(
+    func: &CompiledFunction,
+    arg_sets: Vec<Vec<ArgValue>>,
+    opts: &ExecOptions,
+) -> Vec<Result<CallOutcome, Trap>> {
+    if let Err(msg) = validate_function(func) {
+        let trap = invalid_bytecode(msg);
+        return arg_sets.into_iter().map(|_| Err(trap.clone())).collect();
+    }
+    let mut m = Machine::new();
+    arg_sets
+        .into_iter()
+        .map(|args| m.run_prevalidated(func, args, opts))
+        .collect()
+}
+
+/// Like [`run_batch`] but fanned out over scoped threads (via
+/// [`crate::par::parallel_map`]), one reusable machine per thread;
+/// results keep the input order. `max_threads = None` uses the machine's
+/// available parallelism; tiny batches run inline.
+pub fn run_batch_parallel(
+    func: &CompiledFunction,
+    arg_sets: Vec<Vec<ArgValue>>,
+    opts: &ExecOptions,
+    max_threads: Option<usize>,
+) -> Vec<Result<CallOutcome, Trap>> {
+    if let Err(msg) = validate_function(func) {
+        let trap = invalid_bytecode(msg);
+        return arg_sets.into_iter().map(|_| Err(trap.clone())).collect();
+    }
+    thread_local! {
+        static BATCH_MACHINE: RefCell<Machine> = RefCell::new(Machine::new());
+    }
+    crate::par::parallel_map(arg_sets, max_threads, |args| {
+        BATCH_MACHINE.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut m) => m.run_prevalidated(func, args, opts),
+            Err(_) => Machine::new().run_prevalidated(func, args, opts),
+        })
+    })
+}
+
+/// A reusable VM activation: owns the register files, array slots and the
+/// tape, and recycles their capacity across calls.
+///
+/// ```
+/// use chef_ir::prelude::*;
+/// use chef_exec::prelude::*;
+/// use chef_exec::vm::Machine;
+///
+/// let mut p = parse_program("double sq(double x) { return x * x; }").unwrap();
+/// check_program(&mut p).unwrap();
+/// let f = compile_default(p.function("sq").unwrap()).unwrap();
+/// let mut m = Machine::new();
+/// for k in 0..1000 {
+///     let out = m.run_reused(&f, vec![ArgValue::F(k as f64)], &ExecOptions::default()).unwrap();
+///     assert_eq!(out.ret_f(), (k * k) as f64);
+/// }
+/// ```
+pub struct Machine {
     f: Vec<f64>,
     i: Vec<i64>,
     a: Vec<ArraySlot>,
@@ -142,40 +258,123 @@ struct Machine<'a> {
     stats: ExecStats,
 }
 
-impl<'a> Machine<'a> {
-    fn new(func: &'a CompiledFunction, opts: &'a ExecOptions) -> Self {
-        let tape = match opts.tape_limit {
-            Some(limit) => Tape::with_limit(limit),
-            None => Tape::new(),
-        };
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// An empty machine; buffers grow on first use and persist.
+    pub fn new() -> Self {
         Machine {
-            func,
-            opts,
-            f: vec![0.0; func.n_fregs as usize],
-            i: vec![0; func.n_iregs as usize],
-            a: (0..func.n_aregs).map(|_| ArraySlot::Empty).collect(),
-            tape,
+            f: Vec::new(),
+            i: Vec::new(),
+            a: Vec::new(),
+            tape: Tape::new(),
             stats: ExecStats::default(),
         }
     }
 
-    fn trap(&self, kind: TrapKind, pc: usize) -> Trap {
-        let span = self.func.spans.get(pc).copied().unwrap_or(Span::DUMMY);
-        Trap { kind, pc, span }
+    /// Prepares the machine for one call of `func`: sizes and zeroes the
+    /// register files, resets the tape statistics and installs the tape
+    /// budget — all without releasing buffer capacity. Called by
+    /// [`Machine::run_reused`]; exposed for callers that want to stage a
+    /// machine explicitly.
+    pub fn reset(&mut self, func: &CompiledFunction, opts: &ExecOptions) {
+        self.f.clear();
+        self.f.resize(func.n_fregs as usize, 0.0);
+        self.i.clear();
+        self.i.resize(func.n_iregs as usize, 0);
+        // Array slots keep their buffers but are downgraded to stale:
+        // `Alloc` reclaims the capacity (and re-zeroes), while a read
+        // without a preceding bind/alloc traps exactly like a fresh
+        // machine — one call's data is never observable by the next.
+        self.a.truncate(func.n_aregs as usize);
+        for slot in &mut self.a {
+            let prev = std::mem::replace(slot, ArraySlot::Empty);
+            *slot = match prev {
+                ArraySlot::F(v) => ArraySlot::StaleF(v),
+                ArraySlot::I(v) => ArraySlot::StaleI(v),
+                other => other,
+            };
+        }
+        while self.a.len() < func.n_aregs as usize {
+            self.a.push(ArraySlot::Empty);
+        }
+        self.tape.reset(opts.tape_limit);
+        self.stats = ExecStats::default();
     }
 
-    fn bind_args(&mut self, args: Vec<ArgValue>) -> Result<(), Trap> {
-        if args.len() != self.func.params.len() {
-            return Err(self.trap(
+    /// Runs `func` on `args` under `opts`, reusing this machine's buffers.
+    pub fn run_reused(
+        &mut self,
+        func: &CompiledFunction,
+        args: Vec<ArgValue>,
+        opts: &ExecOptions,
+    ) -> Result<CallOutcome, Trap> {
+        // Deliberately re-validated on every call: validation is the
+        // soundness anchor for the dispatch loop's unchecked register
+        // accesses, and caching it by function pointer identity would be
+        // ABA-unsound (a dropped-and-reallocated CompiledFunction at the
+        // same address could skip validation of malformed code). Batch
+        // callers amortize through run_batch/run_batch_parallel instead.
+        if let Err(msg) = validate_function(func) {
+            return Err(invalid_bytecode(msg));
+        }
+        self.run_prevalidated(func, args, opts)
+    }
+
+    /// [`Machine::run_reused`] without the bytecode validation — for the
+    /// batch entry points, which validate once for the whole batch.
+    fn run_prevalidated(
+        &mut self,
+        func: &CompiledFunction,
+        args: Vec<ArgValue>,
+        opts: &ExecOptions,
+    ) -> Result<CallOutcome, Trap> {
+        self.reset(func, opts);
+        self.bind_args(func, args)?;
+        let ret = exec_loop(
+            func,
+            opts,
+            &mut self.f,
+            &mut self.i,
+            &mut self.a,
+            &mut self.tape,
+            &mut self.stats,
+        )?;
+        self.stats.tape_peak_bytes = self.tape.peak_bytes();
+        self.stats.tape_total_pushes = self.tape.total_pushes();
+        let args = self.unbind_args(func);
+        Ok(CallOutcome {
+            ret,
+            args,
+            stats: self.stats,
+        })
+    }
+
+    fn trap_at(&self, func: &CompiledFunction, kind: TrapKind, pc: usize) -> Trap {
+        Trap {
+            kind,
+            pc,
+            span: func.spans.get(pc).copied().unwrap_or(Span::DUMMY),
+        }
+    }
+
+    fn bind_args(&mut self, func: &CompiledFunction, args: Vec<ArgValue>) -> Result<(), Trap> {
+        if args.len() != func.params.len() {
+            return Err(self.trap_at(
+                func,
                 TrapKind::BadArguments(format!(
                     "expected {} arguments, got {}",
-                    self.func.params.len(),
+                    func.params.len(),
                     args.len()
                 )),
                 0,
             ));
         }
-        for (spec, arg) in self.func.params.iter().zip(args) {
+        for (spec, arg) in func.params.iter().zip(args) {
             match (spec.kind, arg) {
                 (ParamKind::F(prec), ArgValue::F(v)) => {
                     self.f[spec.reg as usize] = round_to(v, prec);
@@ -203,7 +402,8 @@ impl<'a> Machine<'a> {
                     self.a[spec.reg as usize] = ArraySlot::I(v);
                 }
                 (kind, got) => {
-                    return Err(self.trap(
+                    return Err(self.trap_at(
+                        func,
                         TrapKind::BadArguments(format!(
                             "parameter `{}` expects {kind:?}, got {got:?}",
                             spec.name
@@ -216,9 +416,9 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
-    fn unbind_args(&mut self) -> Vec<ArgValue> {
-        let mut out = Vec::with_capacity(self.func.params.len());
-        for spec in &self.func.params {
+    fn unbind_args(&mut self, func: &CompiledFunction) -> Vec<ArgValue> {
+        let mut out = Vec::with_capacity(func.params.len());
+        for spec in &func.params {
             let v = match spec.kind {
                 ParamKind::F(_) => ArgValue::F(self.f[spec.reg as usize]),
                 ParamKind::I => ArgValue::I(self.i[spec.reg as usize]),
@@ -240,255 +440,505 @@ impl<'a> Machine<'a> {
         }
         out
     }
+}
 
-    fn run(mut self, args: Vec<ArgValue>) -> Result<CallOutcome, Trap> {
-        self.bind_args(args)?;
-        let instrs = &self.func.instrs;
-        let approx = &self.opts.approx;
-        let mut pc: usize = 0;
-        let ret: Option<Value> = loop {
-            if pc >= instrs.len() {
-                break None; // treated like RetVoid for robustness
-            }
-            self.stats.instrs_executed += 1;
-            if let Some(budget) = self.opts.max_instrs {
-                if self.stats.instrs_executed > budget {
-                    return Err(self.trap(TrapKind::InstrBudgetExhausted, pc));
-                }
-            }
-            match &instrs[pc] {
-                Instr::FConst { dst, v } => self.f[dst.0 as usize] = *v,
-                Instr::FMov { dst, src } => self.f[dst.0 as usize] = self.f[src.0 as usize],
-                Instr::FAdd { dst, a, b } => {
-                    self.f[dst.0 as usize] = self.f[a.0 as usize] + self.f[b.0 as usize]
-                }
-                Instr::FSub { dst, a, b } => {
-                    self.f[dst.0 as usize] = self.f[a.0 as usize] - self.f[b.0 as usize]
-                }
-                Instr::FMul { dst, a, b } => {
-                    self.f[dst.0 as usize] = self.f[a.0 as usize] * self.f[b.0 as usize]
-                }
-                Instr::FDiv { dst, a, b } => {
-                    self.f[dst.0 as usize] = self.f[a.0 as usize] / self.f[b.0 as usize]
-                }
-                Instr::FNeg { dst, src } => self.f[dst.0 as usize] = -self.f[src.0 as usize],
-                Instr::FRound { dst, src, ty } => {
-                    self.f[dst.0 as usize] = round_to(self.f[src.0 as usize], *ty)
-                }
-                Instr::FIntr1 { dst, intr, a } => {
-                    self.f[dst.0 as usize] = eval1(*intr, self.f[a.0 as usize], approx)
-                }
-                Instr::FIntr2 { dst, intr, a, b } => {
-                    self.f[dst.0 as usize] =
-                        eval2(*intr, self.f[a.0 as usize], self.f[b.0 as usize], approx)
-                }
-                Instr::FCmp { dst, op, a, b } => {
-                    let (x, y) = (self.f[a.0 as usize], self.f[b.0 as usize]);
-                    self.i[dst.0 as usize] = fcmp(*op, x, y) as i64;
-                }
-                Instr::FLoad { dst, arr, idx } => {
-                    let i = self.i[idx.0 as usize];
-                    let v = self.farr(arr.0, i, pc)?;
-                    self.f[dst.0 as usize] = v;
-                }
-                Instr::FStore { arr, idx, src } => {
-                    let i = self.i[idx.0 as usize];
-                    let v = self.f[src.0 as usize];
-                    self.farr_store(arr.0, i, v, pc)?;
-                }
-                Instr::F2I { dst, src } => {
-                    self.i[dst.0 as usize] = self.f[src.0 as usize] as i64
-                }
-                Instr::I2F { dst, src } => {
-                    self.f[dst.0 as usize] = self.i[src.0 as usize] as f64
-                }
-
-                Instr::IConst { dst, v } => self.i[dst.0 as usize] = *v,
-                Instr::IMov { dst, src } => self.i[dst.0 as usize] = self.i[src.0 as usize],
-                Instr::IAdd { dst, a, b } => {
-                    self.i[dst.0 as usize] =
-                        self.i[a.0 as usize].wrapping_add(self.i[b.0 as usize])
-                }
-                Instr::ISub { dst, a, b } => {
-                    self.i[dst.0 as usize] =
-                        self.i[a.0 as usize].wrapping_sub(self.i[b.0 as usize])
-                }
-                Instr::IMul { dst, a, b } => {
-                    self.i[dst.0 as usize] =
-                        self.i[a.0 as usize].wrapping_mul(self.i[b.0 as usize])
-                }
-                Instr::IDiv { dst, a, b } => {
-                    let d = self.i[b.0 as usize];
-                    if d == 0 {
-                        return Err(self.trap(TrapKind::DivByZero, pc));
-                    }
-                    self.i[dst.0 as usize] = self.i[a.0 as usize].wrapping_div(d);
-                }
-                Instr::IRem { dst, a, b } => {
-                    let d = self.i[b.0 as usize];
-                    if d == 0 {
-                        return Err(self.trap(TrapKind::DivByZero, pc));
-                    }
-                    self.i[dst.0 as usize] = self.i[a.0 as usize].wrapping_rem(d);
-                }
-                Instr::INeg { dst, src } => {
-                    self.i[dst.0 as usize] = self.i[src.0 as usize].wrapping_neg()
-                }
-                Instr::ICmp { dst, op, a, b } => {
-                    let (x, y) = (self.i[a.0 as usize], self.i[b.0 as usize]);
-                    self.i[dst.0 as usize] = icmp(*op, x, y) as i64;
-                }
-                Instr::ILoad { dst, arr, idx } => {
-                    let i = self.i[idx.0 as usize];
-                    let v = self.iarr(arr.0, i, pc)?;
-                    self.i[dst.0 as usize] = v;
-                }
-                Instr::IStore { arr, idx, src } => {
-                    let i = self.i[idx.0 as usize];
-                    let v = self.i[src.0 as usize];
-                    self.iarr_store(arr.0, i, v, pc)?;
-                }
-                Instr::BNot { dst, src } => {
-                    self.i[dst.0 as usize] = (self.i[src.0 as usize] == 0) as i64
-                }
-
-                Instr::Jmp { target } => {
-                    pc = *target as usize;
-                    continue;
-                }
-                Instr::JmpIfFalse { cond, target } => {
-                    if self.i[cond.0 as usize] == 0 {
-                        pc = *target as usize;
-                        continue;
-                    }
-                }
-                Instr::JmpIfTrue { cond, target } => {
-                    if self.i[cond.0 as usize] != 0 {
-                        pc = *target as usize;
-                        continue;
-                    }
-                }
-
-                Instr::TPushF { src } => {
-                    let v = self.f[src.0 as usize];
-                    if let Err(e) = self.tape.push_f(v) {
-                        return Err(self.trap(TrapKind::Tape(e), pc));
-                    }
-                }
-                Instr::TPopF { dst } => match self.tape.pop_f() {
-                    Ok(v) => self.f[dst.0 as usize] = v,
-                    Err(e) => return Err(self.trap(TrapKind::Tape(e), pc)),
-                },
-                Instr::TPushI { src } => {
-                    let v = self.i[src.0 as usize];
-                    if let Err(e) = self.tape.push_i(v) {
-                        return Err(self.trap(TrapKind::Tape(e), pc));
-                    }
-                }
-                Instr::TPopI { dst } => match self.tape.pop_i() {
-                    Ok(v) => self.i[dst.0 as usize] = v,
-                    Err(e) => return Err(self.trap(TrapKind::Tape(e), pc)),
-                },
-
-                Instr::AllocF { arr, len } => {
-                    let n = self.i[len.0 as usize];
-                    if n < 0 {
-                        return Err(self.trap(TrapKind::NegativeArrayLen(n), pc));
-                    }
-                    self.stats.local_array_bytes += n as usize * 8;
-                    self.a[arr.0 as usize] = ArraySlot::F(vec![0.0; n as usize]);
-                }
-                Instr::AllocI { arr, len } => {
-                    let n = self.i[len.0 as usize];
-                    if n < 0 {
-                        return Err(self.trap(TrapKind::NegativeArrayLen(n), pc));
-                    }
-                    self.stats.local_array_bytes += n as usize * 8;
-                    self.a[arr.0 as usize] = ArraySlot::I(vec![0; n as usize]);
-                }
-
-                Instr::RetF { src } => {
-                    let v = self.f[src.0 as usize];
-                    let v = match self.func.ret {
-                        RetKind::F(ft) => round_to(v, ft),
-                        _ => v,
-                    };
-                    break Some(Value::F(v));
-                }
-                Instr::RetI { src } => break Some(Value::I(self.i[src.0 as usize])),
-                Instr::RetB { src } => break Some(Value::B(self.i[src.0 as usize] != 0)),
-                Instr::RetVoid => break None,
-                Instr::TrapMissingReturn => {
-                    return Err(self.trap(TrapKind::MissingReturn, pc))
-                }
-            }
-            pc += 1;
+/// Checks that every register operand and jump target of `func` is within
+/// the declared files, making the dispatch loop's unchecked register
+/// accesses sound. O(instruction count); negligible next to execution.
+pub fn validate_function(func: &CompiledFunction) -> Result<(), String> {
+    let nf = func.n_fregs;
+    let ni = func.n_iregs;
+    let na = func.n_aregs;
+    let len = func.instrs.len() as u32;
+    let ok = std::cell::Cell::new(true);
+    let cf = |r: FReg| ok.set(ok.get() && r.0 < nf);
+    let ci = |r: IReg| ok.set(ok.get() && r.0 < ni);
+    let ca = |r: AReg| ok.set(ok.get() && r.0 < na);
+    macro_rules! ct {
+        ($t:expr) => {
+            ok.set(ok.get() && *$t <= len)
         };
-        self.stats.tape_peak_bytes = self.tape.peak_bytes();
-        self.stats.tape_total_pushes = self.tape.total_pushes();
-        let args = self.unbind_args();
-        Ok(CallOutcome { ret, args, stats: self.stats })
     }
-
-    #[inline]
-    fn farr(&self, arr: u32, idx: i64, pc: usize) -> Result<f64, Trap> {
-        match &self.a[arr as usize] {
-            ArraySlot::F(v) => {
-                if idx < 0 || idx as usize >= v.len() {
-                    Err(self.trap(TrapKind::OobIndex { idx, len: v.len() }, pc))
-                } else {
-                    Ok(v[idx as usize])
-                }
+    for ins in &func.instrs {
+        match ins {
+            Instr::FConst { dst, .. } => cf(*dst),
+            Instr::FMov { dst, src } | Instr::FNeg { dst, src } => {
+                cf(*dst);
+                cf(*src);
             }
-            _ => Err(self.trap(TrapKind::OobIndex { idx, len: 0 }, pc)),
+            Instr::FRound { dst, src, .. } => {
+                cf(*dst);
+                cf(*src);
+            }
+            Instr::FAdd { dst, a, b }
+            | Instr::FSub { dst, a, b }
+            | Instr::FMul { dst, a, b }
+            | Instr::FDiv { dst, a, b } => {
+                cf(*dst);
+                cf(*a);
+                cf(*b);
+            }
+            Instr::FIntr1 { dst, a, .. } => {
+                cf(*dst);
+                cf(*a);
+            }
+            Instr::FIntr2 { dst, a, b, .. } => {
+                cf(*dst);
+                cf(*a);
+                cf(*b);
+            }
+            Instr::FCmp { dst, a, b, .. } => {
+                ci(*dst);
+                cf(*a);
+                cf(*b);
+            }
+            Instr::FLoad { dst, arr, idx } => {
+                cf(*dst);
+                ca(*arr);
+                ci(*idx);
+            }
+            Instr::FStore { arr, idx, src } => {
+                ca(*arr);
+                ci(*idx);
+                cf(*src);
+            }
+            Instr::F2I { dst, src } => {
+                ci(*dst);
+                cf(*src);
+            }
+            Instr::I2F { dst, src } => {
+                cf(*dst);
+                ci(*src);
+            }
+            Instr::IConst { dst, .. } => ci(*dst),
+            Instr::IMov { dst, src } | Instr::INeg { dst, src } | Instr::BNot { dst, src } => {
+                ci(*dst);
+                ci(*src);
+            }
+            Instr::IAdd { dst, a, b }
+            | Instr::ISub { dst, a, b }
+            | Instr::IMul { dst, a, b }
+            | Instr::IDiv { dst, a, b }
+            | Instr::IRem { dst, a, b }
+            | Instr::ICmp { dst, a, b, .. } => {
+                ci(*dst);
+                ci(*a);
+                ci(*b);
+            }
+            Instr::ILoad { dst, arr, idx } => {
+                ci(*dst);
+                ca(*arr);
+                ci(*idx);
+            }
+            Instr::IStore { arr, idx, src } => {
+                ca(*arr);
+                ci(*idx);
+                ci(*src);
+            }
+            Instr::Jmp { target } => ct!(target),
+            Instr::JmpIfFalse { cond, target } | Instr::JmpIfTrue { cond, target } => {
+                ci(*cond);
+                ct!(target);
+            }
+            Instr::TPushF { src } => cf(*src),
+            Instr::TPopF { dst } => cf(*dst),
+            Instr::TPushI { src } => ci(*src),
+            Instr::TPopI { dst } => ci(*dst),
+            Instr::AllocF { arr, len } | Instr::AllocI { arr, len } => {
+                ca(*arr);
+                ci(*len);
+            }
+            Instr::RetF { src } => cf(*src),
+            Instr::RetI { src } | Instr::RetB { src } => ci(*src),
+            Instr::RetVoid | Instr::TrapMissingReturn => {}
+            Instr::FMulAdd { dst, a, b, c } => {
+                cf(*dst);
+                cf(*a);
+                cf(*b);
+                cf(*c);
+            }
+            Instr::FAddRound { dst, a, b, .. }
+            | Instr::FSubRound { dst, a, b, .. }
+            | Instr::FMulRound { dst, a, b, .. }
+            | Instr::FDivRound { dst, a, b, .. } => {
+                cf(*dst);
+                cf(*a);
+                cf(*b);
+            }
+            Instr::FLoadOff { dst, arr, base, .. } => {
+                cf(*dst);
+                ca(*arr);
+                ci(*base);
+            }
+            Instr::FStoreOff { arr, base, src, .. } => {
+                ca(*arr);
+                ci(*base);
+                cf(*src);
+            }
+            Instr::IAddImm { dst, a, .. } => {
+                ci(*dst);
+                ci(*a);
+            }
+            Instr::FCmpJmpFalse { a, b, target, .. } | Instr::FCmpJmpTrue { a, b, target, .. } => {
+                cf(*a);
+                cf(*b);
+                ct!(target);
+            }
+            Instr::ICmpJmpFalse { a, b, target, .. } | Instr::ICmpJmpTrue { a, b, target, .. } => {
+                ci(*a);
+                ci(*b);
+                ct!(target);
+            }
+        }
+        if !ok.get() {
+            return Err(format!(
+                "instruction references out-of-range register: {ins:?}"
+            ));
         }
     }
-
-    #[inline]
-    fn farr_store(&mut self, arr: u32, idx: i64, v: f64, pc: usize) -> Result<(), Trap> {
-        match &mut self.a[arr as usize] {
-            ArraySlot::F(vec) => {
-                if idx < 0 || idx as usize >= vec.len() {
-                    let len = vec.len();
-                    Err(self.trap(TrapKind::OobIndex { idx, len }, pc))
-                } else {
-                    vec[idx as usize] = v;
-                    Ok(())
-                }
-            }
-            _ => Err(self.trap(TrapKind::OobIndex { idx, len: 0 }, pc)),
+    for p in &func.params {
+        let in_range = match p.kind {
+            ParamKind::F(_) => p.reg < nf,
+            ParamKind::I | ParamKind::B => p.reg < ni,
+            ParamKind::FArr(_) | ParamKind::IArr => p.reg < na,
+        };
+        if !in_range {
+            return Err(format!(
+                "parameter `{}` binds out-of-range register",
+                p.name
+            ));
         }
     }
+    Ok(())
+}
 
-    #[inline]
-    fn iarr(&self, arr: u32, idx: i64, pc: usize) -> Result<i64, Trap> {
-        match &self.a[arr as usize] {
-            ArraySlot::I(v) => {
-                if idx < 0 || idx as usize >= v.len() {
-                    Err(self.trap(TrapKind::OobIndex { idx, len: v.len() }, pc))
-                } else {
-                    Ok(v[idx as usize])
-                }
+/// The dispatch loop. Register/array-slot indices are unchecked —
+/// [`validate_function`] proved them in range; array *element* indices
+/// are runtime values and stay checked.
+#[allow(clippy::too_many_arguments)]
+fn exec_loop(
+    func: &CompiledFunction,
+    opts: &ExecOptions,
+    f: &mut [f64],
+    i: &mut [i64],
+    a: &mut [ArraySlot],
+    tape: &mut Tape,
+    stats: &mut ExecStats,
+) -> Result<Option<Value>, Trap> {
+    let instrs = &func.instrs[..];
+    let approx = &opts.approx;
+    let budget = opts.max_instrs.unwrap_or(u64::MAX);
+    let mut executed: u64 = 0;
+    let mut pc: usize = 0;
+
+    let trap = |kind: TrapKind, pc: usize| Trap {
+        kind,
+        pc,
+        span: func.spans.get(pc).copied().unwrap_or(Span::DUMMY),
+    };
+
+    // Register access macros. SAFETY (all four): `validate_function`
+    // checked every register operand of every instruction against the
+    // file sizes the slices were resized to.
+    macro_rules! fr {
+        ($r:expr) => {
+            unsafe { *f.get_unchecked($r.0 as usize) }
+        };
+    }
+    macro_rules! fw {
+        ($r:expr, $v:expr) => {{
+            let v = $v;
+            unsafe { *f.get_unchecked_mut($r.0 as usize) = v };
+        }};
+    }
+    macro_rules! ir {
+        ($r:expr) => {
+            unsafe { *i.get_unchecked($r.0 as usize) }
+        };
+    }
+    macro_rules! iw {
+        ($r:expr, $v:expr) => {{
+            let v = $v;
+            unsafe { *i.get_unchecked_mut($r.0 as usize) = v };
+        }};
+    }
+    macro_rules! aslot {
+        ($r:expr) => {
+            unsafe { &mut *a.get_unchecked_mut($r.0 as usize) }
+        };
+    }
+    // Taken jumps: backward edges also account the instruction budget
+    // (the only way a program runs forever is through a backward jump).
+    macro_rules! jump {
+        ($target:expr) => {{
+            let t = $target as usize;
+            if t <= pc && executed > budget {
+                return Err(trap(TrapKind::InstrBudgetExhausted, pc));
             }
-            _ => Err(self.trap(TrapKind::OobIndex { idx, len: 0 }, pc)),
-        }
+            pc = t;
+            continue;
+        }};
     }
 
-    #[inline]
-    fn iarr_store(&mut self, arr: u32, idx: i64, v: i64, pc: usize) -> Result<(), Trap> {
-        match &mut self.a[arr as usize] {
-            ArraySlot::I(vec) => {
-                if idx < 0 || idx as usize >= vec.len() {
-                    let len = vec.len();
-                    Err(self.trap(TrapKind::OobIndex { idx, len }, pc))
-                } else {
-                    vec[idx as usize] = v;
-                    Ok(())
+    let ret: Option<Value> = loop {
+        let Some(ins) = instrs.get(pc) else {
+            break None; // treated like RetVoid for robustness
+        };
+        executed += 1;
+        match ins {
+            Instr::FConst { dst, v } => fw!(dst, *v),
+            Instr::FMov { dst, src } => fw!(dst, fr!(src)),
+            Instr::FAdd { dst, a, b } => fw!(dst, fr!(a) + fr!(b)),
+            Instr::FSub { dst, a, b } => fw!(dst, fr!(a) - fr!(b)),
+            Instr::FMul { dst, a, b } => fw!(dst, fr!(a) * fr!(b)),
+            Instr::FDiv { dst, a, b } => fw!(dst, fr!(a) / fr!(b)),
+            Instr::FNeg { dst, src } => fw!(dst, -fr!(src)),
+            Instr::FRound { dst, src, ty } => fw!(dst, round_to(fr!(src), *ty)),
+            Instr::FIntr1 { dst, intr, a } => fw!(dst, eval1(*intr, fr!(a), approx)),
+            Instr::FIntr2 { dst, intr, a, b } => {
+                fw!(dst, eval2(*intr, fr!(a), fr!(b), approx))
+            }
+            Instr::FCmp { dst, op, a, b } => iw!(dst, fcmp(*op, fr!(a), fr!(b)) as i64),
+            Instr::FLoad { dst, arr, idx } => {
+                let index = ir!(idx);
+                match aslot!(arr) {
+                    ArraySlot::F(v) => match v.get(index as usize) {
+                        Some(&x) if index >= 0 => fw!(dst, x),
+                        _ => {
+                            let len = v.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
                 }
             }
-            _ => Err(self.trap(TrapKind::OobIndex { idx, len: 0 }, pc)),
+            Instr::FStore { arr, idx, src } => {
+                let index = ir!(idx);
+                let v = fr!(src);
+                match aslot!(arr) {
+                    ArraySlot::F(vec) => match vec.get_mut(index as usize) {
+                        Some(slot) if index >= 0 => *slot = v,
+                        _ => {
+                            let len = vec.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            Instr::F2I { dst, src } => iw!(dst, fr!(src) as i64),
+            Instr::I2F { dst, src } => fw!(dst, ir!(src) as f64),
+
+            Instr::IConst { dst, v } => iw!(dst, *v),
+            Instr::IMov { dst, src } => iw!(dst, ir!(src)),
+            Instr::IAdd { dst, a, b } => iw!(dst, ir!(a).wrapping_add(ir!(b))),
+            Instr::ISub { dst, a, b } => iw!(dst, ir!(a).wrapping_sub(ir!(b))),
+            Instr::IMul { dst, a, b } => iw!(dst, ir!(a).wrapping_mul(ir!(b))),
+            Instr::IDiv { dst, a, b } => {
+                let d = ir!(b);
+                if d == 0 {
+                    return Err(trap(TrapKind::DivByZero, pc));
+                }
+                iw!(dst, ir!(a).wrapping_div(d));
+            }
+            Instr::IRem { dst, a, b } => {
+                let d = ir!(b);
+                if d == 0 {
+                    return Err(trap(TrapKind::DivByZero, pc));
+                }
+                iw!(dst, ir!(a).wrapping_rem(d));
+            }
+            Instr::INeg { dst, src } => iw!(dst, ir!(src).wrapping_neg()),
+            Instr::ICmp { dst, op, a, b } => iw!(dst, icmp(*op, ir!(a), ir!(b)) as i64),
+            Instr::ILoad { dst, arr, idx } => {
+                let index = ir!(idx);
+                match aslot!(arr) {
+                    ArraySlot::I(v) => match v.get(index as usize) {
+                        Some(&x) if index >= 0 => iw!(dst, x),
+                        _ => {
+                            let len = v.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            Instr::IStore { arr, idx, src } => {
+                let index = ir!(idx);
+                let v = ir!(src);
+                match aslot!(arr) {
+                    ArraySlot::I(vec) => match vec.get_mut(index as usize) {
+                        Some(slot) if index >= 0 => *slot = v,
+                        _ => {
+                            let len = vec.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            Instr::BNot { dst, src } => iw!(dst, (ir!(src) == 0) as i64),
+
+            Instr::Jmp { target } => jump!(*target),
+            Instr::JmpIfFalse { cond, target } => {
+                if ir!(cond) == 0 {
+                    jump!(*target);
+                }
+            }
+            Instr::JmpIfTrue { cond, target } => {
+                if ir!(cond) != 0 {
+                    jump!(*target);
+                }
+            }
+
+            Instr::TPushF { src } => {
+                if let Err(e) = tape.push_f(fr!(src)) {
+                    return Err(trap(TrapKind::Tape(e), pc));
+                }
+            }
+            Instr::TPopF { dst } => match tape.pop_f() {
+                Ok(v) => fw!(dst, v),
+                Err(e) => return Err(trap(TrapKind::Tape(e), pc)),
+            },
+            Instr::TPushI { src } => {
+                if let Err(e) = tape.push_i(ir!(src)) {
+                    return Err(trap(TrapKind::Tape(e), pc));
+                }
+            }
+            Instr::TPopI { dst } => match tape.pop_i() {
+                Ok(v) => iw!(dst, v),
+                Err(e) => return Err(trap(TrapKind::Tape(e), pc)),
+            },
+
+            Instr::AllocF { arr, len } => {
+                let n = ir!(len);
+                if n < 0 {
+                    return Err(trap(TrapKind::NegativeArrayLen(n), pc));
+                }
+                stats.local_array_bytes += n as usize * 8;
+                // Reuse the slot's buffer when it already holds floats
+                // (including a stale buffer from a previous call).
+                match aslot!(arr) {
+                    ArraySlot::F(v) | ArraySlot::StaleF(v) => {
+                        v.clear();
+                        v.resize(n as usize, 0.0);
+                        let buf = std::mem::take(v);
+                        *aslot!(arr) = ArraySlot::F(buf);
+                    }
+                    slot => *slot = ArraySlot::F(vec![0.0; n as usize]),
+                }
+            }
+            Instr::AllocI { arr, len } => {
+                let n = ir!(len);
+                if n < 0 {
+                    return Err(trap(TrapKind::NegativeArrayLen(n), pc));
+                }
+                stats.local_array_bytes += n as usize * 8;
+                match aslot!(arr) {
+                    ArraySlot::I(v) | ArraySlot::StaleI(v) => {
+                        v.clear();
+                        v.resize(n as usize, 0);
+                        let buf = std::mem::take(v);
+                        *aslot!(arr) = ArraySlot::I(buf);
+                    }
+                    slot => *slot = ArraySlot::I(vec![0; n as usize]),
+                }
+            }
+
+            // ---- fused superinstructions ----
+            Instr::FMulAdd { dst, a, b, c } => {
+                // Two separate roundings, exactly like the unfused pair.
+                let p = fr!(a) * fr!(b);
+                fw!(dst, p + fr!(c));
+            }
+            Instr::FAddRound { dst, a, b, ty } => fw!(dst, round_to(fr!(a) + fr!(b), *ty)),
+            Instr::FSubRound { dst, a, b, ty } => fw!(dst, round_to(fr!(a) - fr!(b), *ty)),
+            Instr::FMulRound { dst, a, b, ty } => fw!(dst, round_to(fr!(a) * fr!(b), *ty)),
+            Instr::FDivRound { dst, a, b, ty } => fw!(dst, round_to(fr!(a) / fr!(b), *ty)),
+            Instr::FLoadOff {
+                dst,
+                arr,
+                base,
+                off,
+            } => {
+                let index = ir!(base).wrapping_add(*off as i64);
+                match aslot!(arr) {
+                    ArraySlot::F(v) => match v.get(index as usize) {
+                        Some(&x) if index >= 0 => fw!(dst, x),
+                        _ => {
+                            let len = v.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            Instr::FStoreOff {
+                arr,
+                base,
+                off,
+                src,
+            } => {
+                let index = ir!(base).wrapping_add(*off as i64);
+                let v = fr!(src);
+                match aslot!(arr) {
+                    ArraySlot::F(vec) => match vec.get_mut(index as usize) {
+                        Some(slot) if index >= 0 => *slot = v,
+                        _ => {
+                            let len = vec.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            Instr::IAddImm { dst, a, imm } => iw!(dst, ir!(a).wrapping_add(*imm)),
+            Instr::FCmpJmpFalse { op, a, b, target } => {
+                if !fcmp(*op, fr!(a), fr!(b)) {
+                    jump!(*target);
+                }
+            }
+            Instr::FCmpJmpTrue { op, a, b, target } => {
+                if fcmp(*op, fr!(a), fr!(b)) {
+                    jump!(*target);
+                }
+            }
+            Instr::ICmpJmpFalse { op, a, b, target } => {
+                if !icmp(*op, ir!(a), ir!(b)) {
+                    jump!(*target);
+                }
+            }
+            Instr::ICmpJmpTrue { op, a, b, target } => {
+                if icmp(*op, ir!(a), ir!(b)) {
+                    jump!(*target);
+                }
+            }
+
+            Instr::RetF { src } => {
+                let v = fr!(src);
+                let v = match func.ret {
+                    RetKind::F(ft) => round_to(v, ft),
+                    _ => v,
+                };
+                break Some(Value::F(v));
+            }
+            Instr::RetI { src } => break Some(Value::I(ir!(src))),
+            Instr::RetB { src } => break Some(Value::B(ir!(src) != 0)),
+            Instr::RetVoid => break None,
+            Instr::TrapMissingReturn => return Err(trap(TrapKind::MissingReturn, pc)),
         }
+        pc += 1;
+    };
+    stats.instrs_executed = executed;
+    // Returns are the other budget checkpoint (backward jumps are the
+    // first): a run never reports success past the budget.
+    if executed > budget {
+        return Err(trap(
+            TrapKind::InstrBudgetExhausted,
+            pc.min(instrs.len().saturating_sub(1)),
+        ));
     }
+    Ok(ret)
 }
 
 #[inline]
@@ -615,7 +1065,10 @@ mod tests {
         let err = run(&f, vec![ArgValue::I(0)]).unwrap_err();
         assert_eq!(err.kind, TrapKind::DivByZero);
         // Float division by zero is IEEE: no trap.
-        let out = run_src("double f(double x) { return 1.0 / x; }", vec![ArgValue::F(0.0)]);
+        let out = run_src(
+            "double f(double x) { return 1.0 / x; }",
+            vec![ArgValue::F(0.0)],
+        );
         assert_eq!(out.ret_f(), f64::INFINITY);
     }
 
@@ -633,9 +1086,33 @@ mod tests {
         let mut p = parse_program("void f() { while (true) { } }").unwrap();
         check_program(&mut p).unwrap();
         let f = compile_default(&p.functions[0]).unwrap();
-        let opts = ExecOptions { max_instrs: Some(10_000), ..Default::default() };
+        let opts = ExecOptions {
+            max_instrs: Some(10_000),
+            ..Default::default()
+        };
         let err = run_with(&f, vec![], &opts).unwrap_err();
         assert_eq!(err.kind, TrapKind::InstrBudgetExhausted);
+    }
+
+    #[test]
+    fn budget_is_block_granular_not_per_instruction() {
+        // A long straight-line block may overshoot the budget but a loop
+        // cannot escape it: the backward jump is the checkpoint.
+        let mut p = parse_program(
+            "double f(int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += 1.0; } return s; }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let opts = ExecOptions {
+            max_instrs: Some(50),
+            ..Default::default()
+        };
+        let err = run_with(&f, vec![ArgValue::I(1_000_000)], &opts).unwrap_err();
+        assert_eq!(err.kind, TrapKind::InstrBudgetExhausted);
+        // A run that fits the budget is unaffected.
+        let ok = run_with(&f, vec![ArgValue::I(2)], &opts).unwrap();
+        assert_eq!(ok.ret_f(), 2.0);
     }
 
     #[test]
@@ -654,8 +1131,7 @@ mod tests {
         let f = compile_default(&p.functions[0]).unwrap();
         let exact = run(&f, vec![ArgValue::F(1.0)]).unwrap().ret_f();
         let opts = ExecOptions {
-            approx: ApproxConfig::exact()
-                .with("exp", fastapprox::registry::Grade::Fast),
+            approx: ApproxConfig::exact().with("exp", fastapprox::registry::Grade::Fast),
             ..Default::default()
         };
         let approx = run_with(&f, vec![ArgValue::F(1.0)], &opts).unwrap().ret_f();
@@ -669,6 +1145,7 @@ mod tests {
         check_program(&mut p).unwrap();
         let opts = CompileOptions {
             precisions: PrecisionMap::empty().with(VarId(0), chef_ir::types::FloatTy::F32),
+            ..Default::default()
         };
         let f = compile(&p.functions[0], &opts).unwrap();
         let x = 1.0 / 3.0;
@@ -678,11 +1155,11 @@ mod tests {
 
     #[test]
     fn demoted_array_param_rounds_elements() {
-        let mut p =
-            parse_program("double f(double a[]) { return a[0] + a[1]; }").unwrap();
+        let mut p = parse_program("double f(double a[]) { return a[0] + a[1]; }").unwrap();
         check_program(&mut p).unwrap();
         let opts = CompileOptions {
             precisions: PrecisionMap::empty().with(VarId(0), chef_ir::types::FloatTy::F32),
+            ..Default::default()
         };
         let f = compile(&p.functions[0], &opts).unwrap();
         let (x, y) = (1.0 / 3.0, 2.0 / 7.0);
@@ -729,11 +1206,175 @@ mod tests {
             _ => unreachable!(),
         }
         let f = compile_default(func).unwrap();
-        let opts = ExecOptions { tape_limit: Some(1024), ..Default::default() };
+        let opts = ExecOptions {
+            tape_limit: Some(1024),
+            ..Default::default()
+        };
         // 100 pushes fit easily.
         assert!(run_with(&f, vec![ArgValue::I(100)], &opts).is_ok());
         // A million pushes exceed 1 KiB.
         let err = run_with(&f, vec![ArgValue::I(1_000_000)], &opts).unwrap_err();
-        assert!(matches!(err.kind, TrapKind::Tape(TapeError::OutOfMemory { .. })));
+        assert!(matches!(
+            err.kind,
+            TrapKind::Tape(TapeError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn machine_reuse_is_bit_identical_to_fresh_runs() {
+        let mut p = parse_program(
+            "double f(double x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += sin(x + i * 0.01); } return s; }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let opts = ExecOptions::default();
+        let mut m = Machine::new();
+        for k in 0..10 {
+            let args = vec![ArgValue::F(0.1 * k as f64), ArgValue::I(50 + k)];
+            let reused = m.run_reused(&f, args.clone(), &opts).unwrap();
+            let fresh = Machine::new().run_reused(&f, args, &opts).unwrap();
+            assert_eq!(reused.ret_f().to_bits(), fresh.ret_f().to_bits());
+            assert_eq!(reused.stats, fresh.stats);
+        }
+    }
+
+    #[test]
+    fn machine_reuse_resets_tape_between_calls() {
+        use chef_ir::ast::{Expr, Stmt, StmtKind};
+        let mut p = parse_program("void f() { double t = 1.0; t = 2.0; }").unwrap();
+        check_program(&mut p).unwrap();
+        let func = &mut p.functions[0];
+        func.body
+            .stmts
+            .push(Stmt::synth(StmtKind::TapePush(Expr::flit(1.0))));
+        let f = compile_default(func).unwrap();
+        let opts = ExecOptions {
+            tape_limit: Some(16),
+            ..Default::default()
+        };
+        let mut m = Machine::new();
+        // Each call pushes once; with a 2-entry budget this only survives
+        // repeated calls if the tape is reset between them.
+        for _ in 0..100 {
+            let out = m.run_reused(&f, vec![], &opts).unwrap();
+            assert_eq!(out.stats.tape_total_pushes, 1);
+            assert_eq!(out.stats.tape_peak_bytes, 8);
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let mut p = parse_program(
+            "double f(double x) { double s = 0.0; for (int i = 0; i < 100; i++) { s += x * i; } return s; }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let opts = ExecOptions::default();
+        let sets: Vec<Vec<ArgValue>> = (0..20)
+            .map(|k| vec![ArgValue::F(k as f64 * 0.37)])
+            .collect();
+        let batched = run_batch(&f, sets.clone(), &opts);
+        let parallel = run_batch_parallel(&f, sets.clone(), &opts, Some(4));
+        for ((set, b), par) in sets.into_iter().zip(&batched).zip(&parallel) {
+            let single = run_with(&f, set, &opts).unwrap();
+            let b = b.as_ref().unwrap();
+            let par = par.as_ref().unwrap();
+            assert_eq!(single.ret_f().to_bits(), b.ret_f().to_bits());
+            assert_eq!(single.ret_f().to_bits(), par.ret_f().to_bits());
+            assert_eq!(single.stats, b.stats);
+            assert_eq!(single.stats, par.stats);
+        }
+    }
+
+    #[test]
+    fn batch_preserves_per_call_traps() {
+        let mut p = parse_program("int f(int n) { return 10 / n; }").unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let sets = vec![
+            vec![ArgValue::I(2)],
+            vec![ArgValue::I(0)], // traps
+            vec![ArgValue::I(5)],
+        ];
+        let out = run_batch_parallel(&f, sets, &ExecOptions::default(), Some(2));
+        assert_eq!(out[0].as_ref().unwrap().ret.unwrap().as_i(), 5);
+        assert_eq!(out[1].as_ref().unwrap_err().kind, TrapKind::DivByZero);
+        assert_eq!(out[2].as_ref().unwrap().ret.unwrap().as_i(), 2);
+    }
+
+    #[test]
+    fn machine_reuse_does_not_leak_array_slots_across_calls() {
+        use chef_ir::span::Span;
+        // Function A binds an array argument into slot 0.
+        let mut p = parse_program("double f(double a[]) { return a[0]; }").unwrap();
+        check_program(&mut p).unwrap();
+        let a = compile_default(&p.functions[0]).unwrap();
+        // Hand-built function B reads slot 0 without binding or allocating
+        // it. On a fresh machine that traps; on a reused machine it must
+        // trap identically instead of reading A's leftover buffer.
+        let b = CompiledFunction {
+            name: "leaky".into(),
+            instrs: vec![
+                Instr::IConst { dst: IReg(0), v: 0 },
+                Instr::FLoad {
+                    dst: FReg(0),
+                    arr: AReg(0),
+                    idx: IReg(0),
+                },
+                Instr::RetF { src: FReg(0) },
+            ],
+            spans: vec![Span::DUMMY; 3],
+            n_fregs: 1,
+            n_iregs: 1,
+            n_aregs: 1,
+            params: vec![],
+            ret: RetKind::F(chef_ir::types::FloatTy::F64),
+        };
+        let opts = ExecOptions::default();
+        let mut m = Machine::new();
+        let fresh = Machine::new().run_reused(&b, vec![], &opts).unwrap_err();
+        assert_eq!(fresh.kind, TrapKind::OobIndex { idx: 0, len: 0 });
+        let ok = m
+            .run_reused(&a, vec![ArgValue::FArr(vec![42.0])], &opts)
+            .unwrap();
+        assert_eq!(ok.ret_f(), 42.0);
+        let reused = m.run_reused(&b, vec![], &opts).unwrap_err();
+        assert_eq!(reused.kind, fresh.kind, "reuse must not expose stale slots");
+    }
+
+    #[test]
+    fn malformed_bytecode_is_rejected_not_ub() {
+        use chef_ir::span::Span;
+        let f = CompiledFunction {
+            name: "bad".into(),
+            instrs: vec![Instr::FAdd {
+                dst: FReg(0),
+                a: FReg(7),
+                b: FReg(0),
+            }],
+            spans: vec![Span::DUMMY],
+            n_fregs: 1,
+            n_iregs: 0,
+            n_aregs: 0,
+            params: vec![],
+            ret: RetKind::Void,
+        };
+        let err = run(&f, vec![]).unwrap_err();
+        assert!(matches!(err.kind, TrapKind::InvalidBytecode(_)), "{err:?}");
+        // Out-of-range jump targets are rejected too.
+        let f = CompiledFunction {
+            name: "bad_jmp".into(),
+            instrs: vec![Instr::Jmp { target: 99 }],
+            spans: vec![Span::DUMMY],
+            n_fregs: 0,
+            n_iregs: 0,
+            n_aregs: 0,
+            params: vec![],
+            ret: RetKind::Void,
+        };
+        let err = run(&f, vec![]).unwrap_err();
+        assert!(matches!(err.kind, TrapKind::InvalidBytecode(_)), "{err:?}");
     }
 }

@@ -1,0 +1,244 @@
+//! Differential test: bytecode fusion must be unobservable.
+//!
+//! Every `chef-apps` kernel is compiled twice — fusion off and fusion
+//! on — and executed on the same workload, in three configurations:
+//!
+//! 1. the primal kernel at declared precisions,
+//! 2. the primal kernel with **every** float variable demoted to `f32`
+//!    (maximal `F*Round` fusion pressure),
+//! 3. the reverse-AD adjoint of the kernel (tape pushes/pops, the
+//!    analysis hot path).
+//!
+//! The two compilations must agree **bit-for-bit** on the return value
+//! and every output argument, and exactly on the tape/memory counters
+//! (`tape_peak_bytes`, `tape_total_pushes`, `local_array_bytes`,
+//! `arg_array_bytes`). Only `instrs_executed` may differ — fusion's whole
+//! point — and it must not grow.
+
+use chef_exec::compile::{compile, CompileOptions, PrecisionMap};
+use chef_exec::prelude::*;
+use chef_ir::ast::{Function, Program};
+use chef_ir::types::{ElemTy, FloatTy, Type};
+
+/// One app kernel with a representative (small) workload.
+fn kernels() -> Vec<(&'static str, Program, &'static str, Vec<ArgValue>)> {
+    vec![
+        (
+            "arclen",
+            chef_apps::arclen::program(),
+            chef_apps::arclen::NAME,
+            chef_apps::arclen::args(500),
+        ),
+        (
+            "simpsons",
+            chef_apps::simpsons::program(),
+            chef_apps::simpsons::NAME,
+            chef_apps::simpsons::args(500),
+        ),
+        (
+            "kmeans",
+            chef_apps::kmeans::program(),
+            chef_apps::kmeans::NAME,
+            chef_apps::kmeans::args(&chef_apps::kmeans::workload(100, 5, 4, 42)),
+        ),
+        (
+            "blackscholes",
+            chef_apps::blackscholes::program(),
+            chef_apps::blackscholes::NAME,
+            chef_apps::blackscholes::args(&chef_apps::blackscholes::workload(50, 42)),
+        ),
+        (
+            "hpccg",
+            chef_apps::hpccg::program(),
+            chef_apps::hpccg::NAME,
+            chef_apps::hpccg::args(&chef_apps::hpccg::problem(4, 4, 4)),
+        ),
+    ]
+}
+
+fn inlined_kernel(program: &Program, func: &str) -> Function {
+    chef_passes::inline_program(program)
+        .expect("kernel inlines")
+        .function(func)
+        .expect("kernel exists")
+        .clone()
+}
+
+/// Demotes every float variable (scalar and array) to `f32`.
+fn demote_all(func: &Function) -> PrecisionMap {
+    let mut pm = PrecisionMap::empty();
+    for (id, v) in func.vars_iter() {
+        if let Type::Float(_) | Type::Array(ElemTy::Float(_)) = v.ty {
+            pm.set(id, FloatTy::F32);
+        }
+    }
+    pm
+}
+
+/// Runs `func` compiled with fusion off and on; asserts the outcomes are
+/// indistinguishable except for a (never larger) instruction count.
+fn assert_fusion_unobservable(label: &str, func: &Function, pm: &PrecisionMap, args: &[ArgValue]) {
+    let unfused = compile(
+        func,
+        &CompileOptions {
+            precisions: pm.clone(),
+            fuse: false,
+        },
+    )
+    .expect("unfused compiles");
+    let fused = compile(
+        func,
+        &CompileOptions {
+            precisions: pm.clone(),
+            fuse: true,
+        },
+    )
+    .expect("fused compiles");
+
+    let opts = ExecOptions {
+        max_instrs: Some(500_000_000),
+        ..Default::default()
+    };
+    let a = run_with(&unfused, args.to_vec(), &opts)
+        .unwrap_or_else(|t| panic!("{label}: unfused trapped: {t}"));
+    let b = run_with(&fused, args.to_vec(), &opts)
+        .unwrap_or_else(|t| panic!("{label}: fused trapped: {t}"));
+
+    // Return value: bit-identical.
+    match (&a.ret, &b.ret) {
+        (Some(Value::F(x)), Some(Value::F(y))) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: float return differs")
+        }
+        (x, y) => assert_eq!(x, y, "{label}: return differs"),
+    }
+    // Every output argument (by-ref scalars, arrays): bit-identical.
+    assert_eq!(a.args.len(), b.args.len(), "{label}: arg count");
+    for (i, (x, y)) in a.args.iter().zip(&b.args).enumerate() {
+        match (x, y) {
+            (ArgValue::F(x), ArgValue::F(y)) => {
+                assert_eq!(x.to_bits(), y.to_bits(), "{label}: scalar arg {i}")
+            }
+            (ArgValue::FArr(x), ArgValue::FArr(y)) => {
+                assert_eq!(x.len(), y.len(), "{label}: array arg {i} length");
+                for (k, (xv, yv)) in x.iter().zip(y).enumerate() {
+                    assert_eq!(xv.to_bits(), yv.to_bits(), "{label}: array arg {i}[{k}]");
+                }
+            }
+            (x, y) => assert_eq!(x, y, "{label}: arg {i}"),
+        }
+    }
+    // Tape and memory counters: identical. Instruction count: not larger.
+    assert_eq!(
+        a.stats.tape_peak_bytes, b.stats.tape_peak_bytes,
+        "{label}: tape peak"
+    );
+    assert_eq!(
+        a.stats.tape_total_pushes, b.stats.tape_total_pushes,
+        "{label}: tape traffic"
+    );
+    assert_eq!(
+        a.stats.local_array_bytes, b.stats.local_array_bytes,
+        "{label}: local arrays"
+    );
+    assert_eq!(
+        a.stats.arg_array_bytes, b.stats.arg_array_bytes,
+        "{label}: arg arrays"
+    );
+    assert!(
+        b.stats.instrs_executed <= a.stats.instrs_executed,
+        "{label}: fusion increased instruction count ({} > {})",
+        b.stats.instrs_executed,
+        a.stats.instrs_executed
+    );
+}
+
+#[test]
+fn primal_kernels_are_bit_identical_fused_vs_unfused() {
+    for (label, program, name, args) in kernels() {
+        let func = inlined_kernel(&program, name);
+        assert_fusion_unobservable(label, &func, &PrecisionMap::empty(), &args);
+    }
+}
+
+#[test]
+fn fully_demoted_kernels_are_bit_identical_fused_vs_unfused() {
+    // Demoting every float variable floods the instruction stream with
+    // rounds, exercising the F*Round fused forms.
+    for (label, program, name, args) in kernels() {
+        let func = inlined_kernel(&program, name);
+        let pm = demote_all(&func);
+        let fused = compile(
+            &func,
+            &CompileOptions {
+                precisions: pm.clone(),
+                fuse: true,
+            },
+        )
+        .expect("compiles");
+        let has_fused_round = fused.instrs.iter().any(|i| {
+            use chef_exec::bytecode::Instr;
+            matches!(
+                i,
+                Instr::FAddRound { .. }
+                    | Instr::FSubRound { .. }
+                    | Instr::FMulRound { .. }
+                    | Instr::FDivRound { .. }
+            )
+        });
+        assert!(
+            has_fused_round,
+            "{label}: demotion produced no fused rounds"
+        );
+        assert_fusion_unobservable(&format!("{label}/demoted"), &func, &pm, &args);
+    }
+}
+
+#[test]
+fn adjoint_kernels_are_bit_identical_fused_vs_unfused() {
+    // The analysis hot path: reverse-AD adjoints with tape traffic.
+    for (label, program, name, args) in kernels() {
+        let func = inlined_kernel(&program, name);
+        let grad = match chef_ad::reverse::reverse_diff(&func) {
+            Ok(g) => g,
+            Err(e) => panic!("{label}: reverse_diff failed: {e}"),
+        };
+        // Adjoint signature: each float scalar param gains `_d_x`, each
+        // float array param gains `_d_a[]` (zero-seeded here; the sweep
+        // structure, not the seed, is what fusion must preserve).
+        let mut grad_args = args.to_vec();
+        for a in &args {
+            match a {
+                ArgValue::F(_) => grad_args.push(ArgValue::F(0.0)),
+                ArgValue::FArr(v) => grad_args.push(ArgValue::FArr(vec![0.0; v.len()])),
+                _ => {}
+            }
+        }
+        let unfused = compile(
+            &grad,
+            &CompileOptions {
+                precisions: PrecisionMap::empty(),
+                fuse: false,
+            },
+        )
+        .expect("adjoint compiles");
+        let probe = run_with(
+            &unfused,
+            grad_args.clone(),
+            &ExecOptions {
+                max_instrs: Some(500_000_000),
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|t| panic!("{label}: adjoint trapped: {t}"));
+        assert!(
+            probe.stats.tape_total_pushes > 0,
+            "{label}: adjoint exercises no tape traffic — test is vacuous"
+        );
+        assert_fusion_unobservable(
+            &format!("{label}/adjoint"),
+            &grad,
+            &PrecisionMap::empty(),
+            &grad_args,
+        );
+    }
+}

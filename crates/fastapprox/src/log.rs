@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn fastlog_matches_ln() {
         for &x in &[0.01f32, 0.5, 1.0, 2.718_281_7, 100.0, 1e6] {
-            assert!(rel_err(fastlog(x), x.ln()).min((fastlog(x) - x.ln()).abs()) < 2e-3, "x={x}");
+            assert!(
+                rel_err(fastlog(x), x.ln()).min((fastlog(x) - x.ln()).abs()) < 2e-3,
+                "x={x}"
+            );
         }
     }
 
@@ -97,6 +100,9 @@ mod tests {
                 fast_worse += 1;
             }
         }
-        assert!(fast_worse < 20, "fastlog worse than fasterlog on {fast_worse}/199 points");
+        assert!(
+            fast_worse < 20,
+            "fastlog worse than fasterlog on {fast_worse}/199 points"
+        );
     }
 }

@@ -22,9 +22,14 @@ mod tests {
 
     #[test]
     fn fastpow_matches_powf() {
-        for &(x, p) in
-            &[(2.0f32, 3.0f32), (10.0, 0.5), (0.37, 2.2), (100.0, -1.5), (1.0, 7.0), (5.5, 0.0)]
-        {
+        for &(x, p) in &[
+            (2.0f32, 3.0f32),
+            (10.0, 0.5),
+            (0.37, 2.2),
+            (100.0, -1.5),
+            (1.0, 7.0),
+            (5.5, 0.0),
+        ] {
             assert!(rel_err(fastpow(x, p), x.powf(p)) < 2e-3, "x={x} p={p}");
         }
     }

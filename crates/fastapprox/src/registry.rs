@@ -87,7 +87,12 @@ pub const ENTRIES: &[ApproxEntry] = &[
         fast: wide::fasttanh64,
         faster: wide::fasttanh64,
     },
-    ApproxEntry { name: "erf", exact: exact_erf, fast: wide::fasterf64, faster: wide::fasterf64 },
+    ApproxEntry {
+        name: "erf",
+        exact: exact_erf,
+        fast: wide::fasterf64,
+        faster: wide::fasterf64,
+    },
     ApproxEntry {
         name: "erfc",
         exact: exact_erfc,

@@ -7,8 +7,7 @@
 //! context does), applies the `f32` approximation and widens the result.
 
 use crate::{
-    erf, exp::fasterexp, fastexp, fastlog, fastnormcdf, fastpow, fastsqrt, fasttanh,
-    log::fasterlog,
+    erf, exp::fasterexp, fastexp, fastlog, fastnormcdf, fastpow, fastsqrt, fasttanh, log::fasterlog,
 };
 
 /// `fastexp` on doubles.

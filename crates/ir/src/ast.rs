@@ -52,17 +52,26 @@ pub struct VarRef {
 impl VarRef {
     /// An unresolved reference (parser output / builder input).
     pub fn new(name: impl Into<Symbol>, span: Span) -> Self {
-        VarRef { name: name.into(), id: None, span }
+        VarRef {
+            name: name.into(),
+            id: None,
+            span,
+        }
     }
 
     /// A resolved reference (used by generated code).
     pub fn resolved(name: impl Into<Symbol>, id: VarId) -> Self {
-        VarRef { name: name.into(), id: Some(id), span: Span::DUMMY }
+        VarRef {
+            name: name.into(),
+            id: Some(id),
+            span: Span::DUMMY,
+        }
     }
 
     /// The resolved id; panics if typeck has not run.
     pub fn vid(&self) -> VarId {
-        self.id.unwrap_or_else(|| panic!("variable `{}` not resolved", self.name))
+        self.id
+            .unwrap_or_else(|| panic!("variable `{}` not resolved", self.name))
     }
 }
 
@@ -109,12 +118,18 @@ pub enum BinOp {
 impl BinOp {
     /// `true` for `+ - * / %`.
     pub fn is_arith(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
     }
 
     /// `true` for comparison operators.
     pub fn is_cmp(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// `true` for `&&`/`||`.
@@ -392,17 +407,26 @@ pub enum ExprKind {
 impl Expr {
     /// Creates an untyped expression node.
     pub fn new(kind: ExprKind, span: Span) -> Self {
-        Expr { kind, span, ty: None }
+        Expr {
+            kind,
+            span,
+            ty: None,
+        }
     }
 
     /// Creates a typed expression node (generated code).
     pub fn typed(kind: ExprKind, ty: Type) -> Self {
-        Expr { kind, span: Span::DUMMY, ty: Some(ty) }
+        Expr {
+            kind,
+            span: Span::DUMMY,
+            ty: Some(ty),
+        }
     }
 
     /// The checked type; panics if typeck has not run over this node.
     pub fn type_of(&self) -> Type {
-        self.ty.unwrap_or_else(|| panic!("untyped expression: {:?}", self.kind))
+        self.ty
+            .unwrap_or_else(|| panic!("untyped expression: {:?}", self.kind))
     }
 
     /// Float literal helper (typed `double`).
@@ -422,7 +446,13 @@ impl Expr {
 
     /// Array-read helper for resolved ids (generated code).
     pub fn index(name: impl Into<Symbol>, id: VarId, idx: Expr, elem: Type) -> Expr {
-        Expr::typed(ExprKind::Index { base: VarRef::resolved(name, id), index: Box::new(idx) }, elem)
+        Expr::typed(
+            ExprKind::Index {
+                base: VarRef::resolved(name, id),
+                index: Box::new(idx),
+            },
+            elem,
+        )
     }
 
     /// Binary-op helper; result type via promotion (panics on non-numeric).
@@ -433,7 +463,14 @@ impl Expr {
         } else {
             Type::Bool
         };
-        Expr::typed(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, ty)
+        Expr::typed(
+            ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            ty,
+        )
     }
 
     /// `lhs + rhs`
@@ -459,7 +496,13 @@ impl Expr {
     /// `-operand`
     pub fn neg(operand: Expr) -> Expr {
         let ty = operand.type_of();
-        Expr::typed(ExprKind::Unary { op: UnOp::Neg, operand: Box::new(operand) }, ty)
+        Expr::typed(
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+            },
+            ty,
+        )
     }
 
     /// Intrinsic call helper; result is the promoted float type of the
@@ -471,18 +514,37 @@ impl Expr {
             .map(Expr::type_of)
             .reduce(|a, b| Type::promote(a, b).unwrap_or(Type::Float(FloatTy::F64)))
             .unwrap_or(Type::Float(FloatTy::F64));
-        let ty = if ty.is_float() { ty } else { Type::Float(FloatTy::F64) };
-        Expr::typed(ExprKind::Call { callee: Callee::Intrinsic(i), args }, ty)
+        let ty = if ty.is_float() {
+            ty
+        } else {
+            Type::Float(FloatTy::F64)
+        };
+        Expr::typed(
+            ExprKind::Call {
+                callee: Callee::Intrinsic(i),
+                args,
+            },
+            ty,
+        )
     }
 
     /// Cast helper.
     pub fn cast(ty: Type, e: Expr) -> Expr {
-        Expr::typed(ExprKind::Cast { ty, expr: Box::new(e) }, ty)
+        Expr::typed(
+            ExprKind::Cast {
+                ty,
+                expr: Box::new(e),
+            },
+            ty,
+        )
     }
 
     /// `true` if the expression is a literal.
     pub fn is_lit(&self) -> bool {
-        matches!(self.kind, ExprKind::FloatLit(_) | ExprKind::IntLit(_) | ExprKind::BoolLit(_))
+        matches!(
+            self.kind,
+            ExprKind::FloatLit(_) | ExprKind::IntLit(_) | ExprKind::BoolLit(_)
+        )
     }
 
     /// If the expression is a float or int literal, returns its numeric
@@ -540,7 +602,10 @@ impl LValue {
         match self {
             LValue::Var(v) => Expr::typed(ExprKind::Var(v.clone()), ty),
             LValue::Index { base, index } => Expr::typed(
-                ExprKind::Index { base: base.clone(), index: Box::new(index.clone()) },
+                ExprKind::Index {
+                    base: base.clone(),
+                    index: Box::new(index.clone()),
+                },
                 ty,
             ),
         }
@@ -603,7 +668,10 @@ impl Stmt {
 
     /// Creates a synthesized (generated) statement.
     pub fn synth(kind: StmtKind) -> Self {
-        Stmt { kind, span: Span::DUMMY }
+        Stmt {
+            kind,
+            span: Span::DUMMY,
+        }
     }
 }
 
@@ -686,7 +754,10 @@ pub struct Block {
 impl Block {
     /// Creates a block from statements (synthesized span).
     pub fn of(stmts: Vec<Stmt>) -> Self {
-        Block { stmts, span: Span::DUMMY }
+        Block {
+            stmts,
+            span: Span::DUMMY,
+        }
     }
 
     /// An empty block.
@@ -714,17 +785,35 @@ pub struct Param {
 impl Param {
     /// Scalar by-value parameter.
     pub fn scalar(name: impl Into<Symbol>, ty: Type) -> Self {
-        Param { name: name.into(), id: None, ty, by_ref: false, span: Span::DUMMY }
+        Param {
+            name: name.into(),
+            id: None,
+            ty,
+            by_ref: false,
+            span: Span::DUMMY,
+        }
     }
 
     /// Scalar by-reference (out) parameter.
     pub fn by_ref(name: impl Into<Symbol>, ty: Type) -> Self {
-        Param { name: name.into(), id: None, ty, by_ref: true, span: Span::DUMMY }
+        Param {
+            name: name.into(),
+            id: None,
+            ty,
+            by_ref: true,
+            span: Span::DUMMY,
+        }
     }
 
     /// Array parameter (always by reference).
     pub fn array(name: impl Into<Symbol>, elem: ElemTy) -> Self {
-        Param { name: name.into(), id: None, ty: Type::Array(elem), by_ref: true, span: Span::DUMMY }
+        Param {
+            name: name.into(),
+            id: None,
+            ty: Type::Array(elem),
+            by_ref: true,
+            span: Span::DUMMY,
+        }
     }
 }
 
@@ -773,18 +862,29 @@ impl Function {
     /// Registers a fresh (generated) variable and returns its id.
     pub fn add_var(&mut self, name: impl Into<Symbol>, ty: Type) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarInfo { name: name.into(), ty, is_param: false, span: Span::DUMMY });
+        self.vars.push(VarInfo {
+            name: name.into(),
+            ty,
+            is_param: false,
+            span: Span::DUMMY,
+        });
         id
     }
 
     /// Iterator over `(VarId, &VarInfo)` pairs.
     pub fn vars_iter(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
-        self.vars.iter().enumerate().map(|(i, v)| (VarId(i as u32), v))
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
     }
 
     /// Finds a parameter's resolved [`VarId`] by name.
     pub fn param_id(&self, name: &str) -> Option<VarId> {
-        self.params.iter().find(|p| p.name == name).and_then(|p| p.id)
+        self.params
+            .iter()
+            .find(|p| p.name == name)
+            .and_then(|p| p.id)
     }
 }
 

@@ -28,7 +28,12 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
     }
 
     /// Creates a warning diagnostic.
@@ -109,7 +114,11 @@ impl Diagnostics {
 
     /// Renders all diagnostics, one per line.
     pub fn render(&self, sm: &SourceMap) -> String {
-        self.items.iter().map(|d| d.render(sm)).collect::<Vec<_>>().join("\n")
+        self.items
+            .iter()
+            .map(|d| d.render(sm))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     /// Converts to `Result`: `Err(self)` if any errors, otherwise `Ok(())`.

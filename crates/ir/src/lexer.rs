@@ -18,7 +18,10 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Lexes the whole input, returning tokens (terminated by `Eof`) or the
@@ -86,7 +89,10 @@ impl<'a> Lexer<'a> {
         self.skip_trivia()?;
         let lo = self.pos as u32;
         if self.pos >= self.src.len() {
-            return Ok(Token { kind: TokenKind::Eof, span: Span::new(lo, lo) });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: Span::new(lo, lo),
+            });
         }
         let c = self.peek();
         let kind = match c {
@@ -239,7 +245,10 @@ impl<'a> Lexer<'a> {
                 ))
             }
         };
-        Ok(Token { kind, span: Span::new(lo, self.pos as u32) })
+        Ok(Token {
+            kind,
+            span: Span::new(lo, self.pos as u32),
+        })
     }
 
     fn lex_ident(&mut self, lo: u32) -> Result<Token, Diagnostic> {
@@ -291,19 +300,25 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
             text_end = self.pos - 1;
         }
-        let text = std::str::from_utf8(&self.src[lo as usize..text_end])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.src[lo as usize..text_end]).expect("number bytes are ASCII");
         let span = Span::new(lo, self.pos as u32);
         if is_float {
-            let v: f64 = text.parse().map_err(|_| {
-                Diagnostic::error(format!("invalid float literal `{text}`"), span)
-            })?;
-            Ok(Token { kind: TokenKind::FloatLit(v), span })
+            let v: f64 = text
+                .parse()
+                .map_err(|_| Diagnostic::error(format!("invalid float literal `{text}`"), span))?;
+            Ok(Token {
+                kind: TokenKind::FloatLit(v),
+                span,
+            })
         } else {
             let v: i64 = text.parse().map_err(|_| {
                 Diagnostic::error(format!("integer literal `{text}` out of range"), span)
             })?;
-            Ok(Token { kind: TokenKind::IntLit(v), span })
+            Ok(Token {
+                kind: TokenKind::IntLit(v),
+                span,
+            })
         }
     }
 }
@@ -313,7 +328,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -377,8 +397,8 @@ mod tests {
         assert_eq!(
             kinds("+= -= *= /= == != <= >= && || ++ --"),
             vec![
-                PlusEq, MinusEq, StarEq, SlashEq, EqEq, BangEq, Le, Ge, AmpAmp, PipePipe,
-                PlusPlus, MinusMinus, Eof
+                PlusEq, MinusEq, StarEq, SlashEq, EqEq, BangEq, Le, Ge, AmpAmp, PipePipe, PlusPlus,
+                MinusMinus, Eof
             ]
         );
     }

@@ -79,7 +79,10 @@ impl Parser {
 
     fn unexpected(&self, wanted: &str) -> Diagnostic {
         let t = self.peek();
-        Diagnostic::error(format!("expected {wanted}, found {}", t.kind.describe()), t.span)
+        Diagnostic::error(
+            format!("expected {wanted}, found {}", t.kind.describe()),
+            t.span,
+        )
     }
 
     fn eat(&mut self, kind: &TokenKind) -> bool {
@@ -157,7 +160,14 @@ impl Parser {
         self.expect(TokenKind::RParen, "`)`")?;
         let body = self.parse_block()?;
         let span = start_span.to(body.span);
-        Ok(Function { name, params, ret, body, span, vars: Vec::new() })
+        Ok(Function {
+            name,
+            params,
+            ret,
+            body,
+            span,
+            vars: Vec::new(),
+        })
     }
 
     fn parse_param(&mut self) -> Result<Param, Diagnostic> {
@@ -191,7 +201,13 @@ impl Parser {
             }
             (ty, by_ref_scalar)
         };
-        Ok(Param { name, id: None, ty, by_ref, span })
+        Ok(Param {
+            name,
+            id: None,
+            ty,
+            by_ref,
+            span,
+        })
     }
 
     fn parse_block(&mut self) -> Result<Block, Diagnostic> {
@@ -204,7 +220,10 @@ impl Parser {
             stmts.push(self.parse_stmt()?);
         }
         let close = self.bump();
-        Ok(Block { stmts, span: open.span.to(close.span) })
+        Ok(Block {
+            stmts,
+            span: open.span.to(close.span),
+        })
     }
 
     /// A statement or a single-statement body wrapped in a block
@@ -215,7 +234,10 @@ impl Parser {
         } else {
             let s = self.parse_stmt()?;
             let span = s.span;
-            Ok(Block { stmts: vec![s], span })
+            Ok(Block {
+                stmts: vec![s],
+                span,
+            })
         }
     }
 
@@ -241,7 +263,10 @@ impl Parser {
             _ => {
                 let s = self.parse_simple_stmt()?;
                 let semi = self.expect(TokenKind::Semi, "`;`")?;
-                Ok(Stmt { span: s.span.to(semi.span), ..s })
+                Ok(Stmt {
+                    span: s.span.to(semi.span),
+                    ..s
+                })
             }
         }
     }
@@ -284,7 +309,14 @@ impl Parser {
                         };
                         let span = lv.span().to(t.span);
                         let one = Expr::new(ExprKind::IntLit(1), t.span);
-                        return Ok(Stmt::new(StmtKind::Assign { lhs: lv, op, rhs: one }, span));
+                        return Ok(Stmt::new(
+                            StmtKind::Assign {
+                                lhs: lv,
+                                op,
+                                rhs: one,
+                            },
+                            span,
+                        ));
                     }
                     _ => {
                         // Not an assignment; rewind and parse as expression.
@@ -306,7 +338,10 @@ impl Parser {
             self.bump();
             let idx = self.parse_expr()?;
             self.expect(TokenKind::RBracket, "`]`")?;
-            Ok(LValue::Index { base: VarRef::new(name, span), index: idx })
+            Ok(LValue::Index {
+                base: VarRef::new(name, span),
+                index: idx,
+            })
         } else {
             Ok(LValue::Var(VarRef::new(name, span)))
         }
@@ -315,7 +350,10 @@ impl Parser {
     fn parse_decl(&mut self) -> Result<Stmt, Diagnostic> {
         let (ty, tspan) = self.parse_type()?;
         if ty == Type::Void {
-            return Err(Diagnostic::error("cannot declare a variable of type `void`", tspan));
+            return Err(Diagnostic::error(
+                "cannot declare a variable of type `void`",
+                tspan,
+            ));
         }
         let (name, nspan) = self.expect_ident()?;
         let mut span = tspan.to(nspan);
@@ -340,7 +378,10 @@ impl Parser {
         }
         let init = if self.eat(&TokenKind::Eq) {
             if size.is_some() {
-                return Err(Diagnostic::error("array declarations cannot have initializers", span));
+                return Err(Diagnostic::error(
+                    "array declarations cannot have initializers",
+                    span,
+                ));
             }
             let e = self.parse_expr()?;
             span = span.to(e.span);
@@ -348,7 +389,16 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::new(StmtKind::Decl { name, id: None, ty: decl_ty, size, init }, span))
+        Ok(Stmt::new(
+            StmtKind::Decl {
+                name,
+                id: None,
+                ty: decl_ty,
+                size,
+                init,
+            },
+            span,
+        ))
     }
 
     fn parse_if(&mut self) -> Result<Stmt, Diagnostic> {
@@ -365,7 +415,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::new(StmtKind::If { cond, then_branch, else_branch }, span))
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
+            span,
+        ))
     }
 
     fn parse_for(&mut self) -> Result<Stmt, Diagnostic> {
@@ -377,7 +434,11 @@ impl Parser {
             Some(Box::new(self.parse_simple_stmt()?))
         };
         self.expect(TokenKind::Semi, "`;`")?;
-        let cond = if self.peek().kind == TokenKind::Semi { None } else { Some(self.parse_expr()?) };
+        let cond = if self.peek().kind == TokenKind::Semi {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
         self.expect(TokenKind::Semi, "`;`")?;
         let step = if self.peek().kind == TokenKind::RParen {
             None
@@ -387,7 +448,15 @@ impl Parser {
         self.expect(TokenKind::RParen, "`)`")?;
         let body = self.parse_stmt_or_block()?;
         let span = kw.span.to(body.span);
-        Ok(Stmt::new(StmtKind::For { init, cond, step, body }, span))
+        Ok(Stmt::new(
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            span,
+        ))
     }
 
     fn parse_while(&mut self) -> Result<Stmt, Diagnostic> {
@@ -413,7 +482,11 @@ impl Parser {
             let rhs = self.parse_and()?;
             let span = lhs.span.to(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -427,7 +500,11 @@ impl Parser {
             let rhs = self.parse_cmp()?;
             let span = lhs.span.to(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -448,7 +525,14 @@ impl Parser {
         self.bump();
         let rhs = self.parse_addsub()?;
         let span = lhs.span.to(rhs.span);
-        Ok(Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span))
+        Ok(Expr::new(
+            ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            span,
+        ))
     }
 
     fn parse_addsub(&mut self) -> Result<Expr, Diagnostic> {
@@ -462,7 +546,14 @@ impl Parser {
             self.bump();
             let rhs = self.parse_muldiv()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
     }
 
@@ -478,7 +569,14 @@ impl Parser {
             self.bump();
             let rhs = self.parse_unary()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
     }
 
@@ -488,13 +586,25 @@ impl Parser {
                 let t = self.bump();
                 let e = self.parse_unary()?;
                 let span = t.span.to(e.span);
-                Ok(Expr::new(ExprKind::Unary { op: UnOp::Neg, operand: Box::new(e) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnOp::Neg,
+                        operand: Box::new(e),
+                    },
+                    span,
+                ))
             }
             TokenKind::Bang => {
                 let t = self.bump();
                 let e = self.parse_unary()?;
                 let span = t.span.to(e.span);
-                Ok(Expr::new(ExprKind::Unary { op: UnOp::Not, operand: Box::new(e) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnOp::Not,
+                        operand: Box::new(e),
+                    },
+                    span,
+                ))
             }
             _ => self.parse_primary(),
         }
@@ -530,11 +640,20 @@ impl Parser {
                     self.expect(TokenKind::RParen, "`)`")?;
                     let e = self.parse_unary()?;
                     let span = t.span.to(e.span);
-                    return Ok(Expr::new(ExprKind::Cast { ty, expr: Box::new(e) }, span));
+                    return Ok(Expr::new(
+                        ExprKind::Cast {
+                            ty,
+                            expr: Box::new(e),
+                        },
+                        span,
+                    ));
                 }
                 let e = self.parse_expr()?;
                 let close = self.expect(TokenKind::RParen, "`)`")?;
-                Ok(Expr { span: t.span.to(close.span), ..e })
+                Ok(Expr {
+                    span: t.span.to(close.span),
+                    ..e
+                })
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -555,7 +674,10 @@ impl Parser {
                             Some(i) => Callee::Intrinsic(i),
                             None => Callee::Func(name),
                         };
-                        Ok(Expr::new(ExprKind::Call { callee, args }, t.span.to(close.span)))
+                        Ok(Expr::new(
+                            ExprKind::Call { callee, args },
+                            t.span.to(close.span),
+                        ))
                     }
                     TokenKind::LBracket => {
                         self.bump();
@@ -594,8 +716,8 @@ mod tests {
 
     #[test]
     fn parses_array_params_and_ref_params() {
-        let p = parse_program("void g(double a[], int idx[], double &out) { out = a[0]; }")
-            .unwrap();
+        let p =
+            parse_program("void g(double a[], int idx[], double &out) { out = a[0]; }").unwrap();
         let f = &p.functions[0];
         assert_eq!(f.params[0].ty, Type::Array(ElemTy::Float(FloatTy::F64)));
         assert!(f.params[0].by_ref);
@@ -612,7 +734,9 @@ mod tests {
         .unwrap();
         let f = &p.functions[0];
         match &f.body.stmts[1].kind {
-            StmtKind::For { init, cond, step, .. } => {
+            StmtKind::For {
+                init, cond, step, ..
+            } => {
                 assert!(init.is_some());
                 assert!(cond.is_some());
                 match &step.as_ref().unwrap().kind {
@@ -638,7 +762,11 @@ mod tests {
         // (float)x * y  parses as ((float)x) * y
         let e = parse_expr("(float)x * y").unwrap();
         match e.kind {
-            ExprKind::Binary { op: BinOp::Mul, lhs, .. } => {
+            ExprKind::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => {
                 assert!(matches!(lhs.kind, ExprKind::Cast { .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -649,7 +777,11 @@ mod tests {
     fn precedence_mul_over_add() {
         let e = parse_expr("a + b * c").unwrap();
         match e.kind {
-            ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+            ExprKind::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -660,13 +792,22 @@ mod tests {
     fn parses_intrinsic_and_user_calls() {
         let e = parse_expr("sqrt(dx * dx + dy * dy)").unwrap();
         match e.kind {
-            ExprKind::Call { callee: Callee::Intrinsic(Intrinsic::Sqrt), args } => {
+            ExprKind::Call {
+                callee: Callee::Intrinsic(Intrinsic::Sqrt),
+                args,
+            } => {
                 assert_eq!(args.len(), 1)
             }
             other => panic!("unexpected {other:?}"),
         }
         let e = parse_expr("cndf(d1)").unwrap();
-        assert!(matches!(e.kind, ExprKind::Call { callee: Callee::Func(_), .. }));
+        assert!(matches!(
+            e.kind,
+            ExprKind::Call {
+                callee: Callee::Func(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -717,7 +858,11 @@ mod tests {
     fn parses_compound_assignment_to_array_element() {
         let p = parse_program("void f(double a[], int i) { a[i] *= 2.0; }").unwrap();
         match &p.functions[0].body.stmts[0].kind {
-            StmtKind::Assign { lhs: LValue::Index { .. }, op: AssignOp::MulAssign, .. } => {}
+            StmtKind::Assign {
+                lhs: LValue::Index { .. },
+                op: AssignOp::MulAssign,
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -725,6 +870,9 @@ mod tests {
     #[test]
     fn expression_statement_call() {
         let p = parse_program("void f(double x) { sin(x); }").unwrap();
-        assert!(matches!(p.functions[0].body.stmts[0].kind, StmtKind::ExprStmt(_)));
+        assert!(matches!(
+            p.functions[0].body.stmts[0].kind,
+            StmtKind::ExprStmt(_)
+        ));
     }
 }

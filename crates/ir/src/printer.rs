@@ -119,7 +119,13 @@ fn lvalue(out: &mut String, lv: &LValue) {
 fn stmt(out: &mut String, s: &Stmt, level: usize) {
     indent(out, level);
     match &s.kind {
-        StmtKind::Decl { name, ty, size, init, .. } => {
+        StmtKind::Decl {
+            name,
+            ty,
+            size,
+            init,
+            ..
+        } => {
             match (ty, size) {
                 (Type::Array(elem), Some(sz)) => {
                     let _ = write!(out, "{elem} {name}[");
@@ -142,7 +148,11 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
             expr(out, rhs, Prec::Or);
             out.push_str(";\n");
         }
-        StmtKind::If { cond, then_branch, else_branch } => {
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             out.push_str("if (");
             expr(out, cond, Prec::Or);
             out.push_str(") ");
@@ -153,7 +163,12 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
             }
             out.push('\n');
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             out.push_str("for (");
             if let Some(i) = init {
                 inline_simple_stmt(out, i);
@@ -283,10 +298,18 @@ fn expr(out: &mut String, e: &Expr, min_prec: Prec) {
             // Comparisons are non-associative: both children must bind
             // strictly tighter. Other operators are left-associative: only
             // the RHS must.
-            let lhs_min = if prec == Prec::Cmp { Prec::AddSub } else { prec };
+            let lhs_min = if prec == Prec::Cmp {
+                Prec::AddSub
+            } else {
+                prec
+            };
             expr(out, lhs, lhs_min);
             let _ = write!(out, " {} ", op.as_str());
-            let rhs_min = if prec == Prec::Cmp { Prec::AddSub } else { bump(prec) };
+            let rhs_min = if prec == Prec::Cmp {
+                Prec::AddSub
+            } else {
+                bump(prec)
+            };
             expr(out, rhs, rhs_min);
             if needs {
                 out.push(')');
@@ -356,7 +379,10 @@ mod tests {
 
     #[test]
     fn prints_calls() {
-        assert_eq!(rt_expr("sqrt(dx * dx + dy * dy)"), "sqrt(dx * dx + dy * dy)");
+        assert_eq!(
+            rt_expr("sqrt(dx * dx + dy * dy)"),
+            "sqrt(dx * dx + dy * dy)"
+        );
         assert_eq!(rt_expr("pow(x, 2.0)"), "pow(x, 2.0)");
     }
 

@@ -59,7 +59,10 @@ pub fn check_program(program: &mut Program) -> Result<(), Diagnostics> {
             )
             .is_some()
         {
-            diags.push(Diagnostic::error(format!("duplicate function `{}`", f.name), f.span));
+            diags.push(Diagnostic::error(
+                format!("duplicate function `{}`", f.name),
+                f.span,
+            ));
         }
     }
     // Pass 2: check each function body.
@@ -105,13 +108,31 @@ impl<'a> Checker<'a> {
         self.diags.push(Diagnostic::error(msg, span));
     }
 
-    fn declare(&mut self, name: &Symbol, ty: Type, is_param: bool, span: crate::span::Span) -> VarId {
+    fn declare(
+        &mut self,
+        name: &Symbol,
+        ty: Type,
+        is_param: bool,
+        span: crate::span::Span,
+    ) -> VarId {
         let count = self.name_counts.entry(name.clone()).or_insert(0);
-        let unique = if *count == 0 { name.clone() } else { format!("{name}@{count}") };
+        let unique = if *count == 0 {
+            name.clone()
+        } else {
+            format!("{name}@{count}")
+        };
         *count += 1;
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarInfo { name: unique, ty, is_param, span });
-        self.scopes.last_mut().expect("scope stack never empty").insert(name.clone(), id);
+        self.vars.push(VarInfo {
+            name: unique,
+            ty,
+            is_param,
+            span,
+        });
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.clone(), id);
         id
     }
 
@@ -154,14 +175,18 @@ impl<'a> Checker<'a> {
     fn check_stmt(&mut self, s: &mut Stmt) {
         let span = s.span;
         match &mut s.kind {
-            StmtKind::Decl { name, id, ty, size, init } => {
+            StmtKind::Decl {
+                name,
+                id,
+                ty,
+                size,
+                init,
+            } => {
                 if let Some(sz) = size {
-                    let t = self.check_expr(sz);
-                    if t != Some(Type::Int) && t.is_some() {
-                        self.error(
-                            format!("array size must be `int`, found `{}`", t.unwrap()),
-                            sz.span,
-                        );
+                    if let Some(t) = self.check_expr(sz) {
+                        if t != Type::Int {
+                            self.error(format!("array size must be `int`, found `{t}`"), sz.span);
+                        }
                     }
                 }
                 if let Some(e) = init {
@@ -192,14 +217,23 @@ impl<'a> Checker<'a> {
                     }
                 }
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.check_bool(cond);
                 self.check_block(then_branch);
                 if let Some(e) = else_branch {
                     self.check_block(e);
                 }
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 // The for-header introduces a scope for its init declaration.
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
@@ -218,21 +252,19 @@ impl<'a> Checker<'a> {
                 self.check_bool(cond);
                 self.check_block(body);
             }
-            StmtKind::Return(e) => {
-                match (e, self.ret) {
-                    (None, Type::Void) => {}
-                    (None, other) => {
-                        self.error(format!("function returns `{other}`, missing value"), span)
-                    }
-                    (Some(e), ret) => {
-                        if ret == Type::Void {
-                            self.error("void function cannot return a value", e.span);
-                        } else if let Some(t) = self.check_expr(e) {
-                            self.check_assignable(ret, t, e.span);
-                        }
+            StmtKind::Return(e) => match (e, self.ret) {
+                (None, Type::Void) => {}
+                (None, other) => {
+                    self.error(format!("function returns `{other}`, missing value"), span)
+                }
+                (Some(e), ret) => {
+                    if ret == Type::Void {
+                        self.error("void function cannot return a value", e.span);
+                    } else if let Some(t) = self.check_expr(e) {
+                        self.check_assignable(ret, t, e.span);
                     }
                 }
-            }
+            },
             StmtKind::Block(b) => self.check_block(b),
             StmtKind::ExprStmt(e) => {
                 self.check_expr(e);
@@ -246,13 +278,12 @@ impl<'a> Checker<'a> {
     /// Narrowing at assignment is legal (that is where rounding occurs);
     /// only category mismatches are errors.
     fn check_assignable(&mut self, lhs: Type, rhs: Type, span: crate::span::Span) {
-        let ok = match (lhs, rhs) {
-            (Type::Float(_), Type::Float(_)) => true,
-            (Type::Float(_), Type::Int) => true,
-            (Type::Int, Type::Int) => true,
-            (Type::Bool, Type::Bool) => true,
-            _ => false,
-        };
+        let ok = matches!(
+            (lhs, rhs),
+            (Type::Float(_), Type::Float(_) | Type::Int)
+                | (Type::Int, Type::Int)
+                | (Type::Bool, Type::Bool)
+        );
         if !ok {
             self.error(format!("cannot assign `{rhs}` to `{lhs}`"), span);
         }
@@ -275,12 +306,13 @@ impl<'a> Checker<'a> {
             LValue::Index { base, index } => {
                 let id = self.resolve(base)?;
                 let bty = self.vars[id.index()].ty;
-                let ity = self.check_expr(index);
-                if ity.is_some() && ity != Some(Type::Int) {
-                    self.error(
-                        format!("array index must be `int`, found `{}`", ity.unwrap()),
-                        index.span,
-                    );
+                if let Some(ity) = self.check_expr(index) {
+                    if ity != Type::Int {
+                        self.error(
+                            format!("array index must be `int`, found `{ity}`"),
+                            index.span,
+                        );
+                    }
                 }
                 match bty {
                     Type::Array(ElemTy::Float(ft)) => Some(Type::Float(ft)),
@@ -313,12 +345,13 @@ impl<'a> Checker<'a> {
             ExprKind::Index { base, index } => {
                 let id = self.resolve(base)?;
                 let bty = self.vars[id.index()].ty;
-                let ity = self.check_expr(index);
-                if ity.is_some() && ity != Some(Type::Int) {
-                    self.error(
-                        format!("array index must be `int`, found `{}`", ity.unwrap()),
-                        index.span,
-                    );
+                if let Some(ity) = self.check_expr(index) {
+                    if ity != Type::Int {
+                        self.error(
+                            format!("array index must be `int`, found `{ity}`"),
+                            index.span,
+                        );
+                    }
                 }
                 match bty {
                     Type::Array(ElemTy::Float(ft)) => Some(Type::Float(ft)),
@@ -357,8 +390,10 @@ impl<'a> Checker<'a> {
                 if op.is_logic() {
                     if lt != Type::Bool || rt != Type::Bool {
                         self.error(
-                            format!("`{}` requires `bool` operands, found `{lt}` and `{rt}`",
-                                op.as_str()),
+                            format!(
+                                "`{}` requires `bool` operands, found `{lt}` and `{rt}`",
+                                op.as_str()
+                            ),
                             span,
                         );
                         return None;
@@ -367,7 +402,10 @@ impl<'a> Checker<'a> {
                 }
                 if *op == BinOp::Rem {
                     if lt != Type::Int || rt != Type::Int {
-                        self.error(format!("`%` requires `int` operands, found `{lt}` and `{rt}`"), span);
+                        self.error(
+                            format!("`%` requires `int` operands, found `{lt}` and `{rt}`"),
+                            span,
+                        );
                         return None;
                     }
                     return Some(Type::Int);
@@ -410,7 +448,10 @@ impl<'a> Checker<'a> {
                         for t in arg_tys.iter().flatten() {
                             if !t.is_numeric_scalar() {
                                 self.error(
-                                    format!("`{}` requires numeric arguments, found `{t}`", i.name()),
+                                    format!(
+                                        "`{}` requires numeric arguments, found `{t}`",
+                                        i.name()
+                                    ),
                                     span,
                                 );
                                 return None;
@@ -456,10 +497,8 @@ impl<'a> Checker<'a> {
                             if *by_ref || matches!(pty, Type::Array(_)) {
                                 // By-ref arguments must be lvalues of the
                                 // exact type.
-                                let is_lvalue = matches!(
-                                    arg.kind,
-                                    ExprKind::Var(_) | ExprKind::Index { .. }
-                                );
+                                let is_lvalue =
+                                    matches!(arg.kind, ExprKind::Var(_) | ExprKind::Index { .. });
                                 if !is_lvalue {
                                     self.error(
                                         "by-reference argument must be a variable or element",
@@ -477,10 +516,8 @@ impl<'a> Checker<'a> {
                                 match (pty, aty) {
                                     (Type::Float(_), Type::Float(_) | Type::Int) => {}
                                     (a, b) if *a == *b => {}
-                                    _ => self.error(
-                                        format!("cannot pass `{aty}` as `{pty}`"),
-                                        arg.span,
-                                    ),
+                                    _ => self
+                                        .error(format!("cannot pass `{aty}` as `{pty}`"), arg.span),
                                 }
                             }
                         }
@@ -549,8 +586,8 @@ mod tests {
 
     #[test]
     fn shadowing_renames() {
-        let p = check("void f() { double x = 1.0; { double x = 2.0; x = 3.0; } x = 4.0; }")
-            .unwrap();
+        let p =
+            check("void f() { double x = 1.0; { double x = 2.0; x = 3.0; } x = 4.0; }").unwrap();
         let f = &p.functions[0];
         let names: Vec<_> = f.vars.iter().map(|v| v.name.as_str()).collect();
         assert_eq!(names, vec!["x", "x@1"]);

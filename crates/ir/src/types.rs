@@ -12,9 +12,7 @@ use std::fmt;
 ///
 /// Ordered from lowest to highest precision; `Ord` follows that order so the
 /// tuner can compare precisions directly.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FloatTy {
     /// IEEE 754 binary16 (`half`): 11-bit significand.
     F16,
@@ -95,7 +93,7 @@ impl fmt::Display for FloatTy {
 }
 
 /// Element type of an array (floats or integers).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ElemTy {
     /// Floating-point elements at the given precision.
     Float(FloatTy),
@@ -113,7 +111,7 @@ impl fmt::Display for ElemTy {
 }
 
 /// A KernelC type.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Type {
     /// A floating-point scalar.
     Float(FloatTy),
@@ -212,7 +210,10 @@ mod tests {
             Type::promote(Float(FloatTy::F32), Float(FloatTy::F64)),
             Some(Float(FloatTy::F64))
         );
-        assert_eq!(Type::promote(Int, Float(FloatTy::F32)), Some(Float(FloatTy::F32)));
+        assert_eq!(
+            Type::promote(Int, Float(FloatTy::F32)),
+            Some(Float(FloatTy::F32))
+        );
         assert_eq!(Type::promote(Int, Int), Some(Int));
         assert_eq!(Type::promote(Bool, Int), None);
     }

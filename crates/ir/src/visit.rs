@@ -67,14 +67,23 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
             v.visit_lvalue(lhs);
             v.visit_expr(rhs);
         }
-        StmtKind::If { cond, then_branch, else_branch } => {
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             v.visit_expr(cond);
             v.visit_block(then_branch);
             if let Some(b) = else_branch {
                 v.visit_block(b);
             }
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(i) = init {
                 v.visit_stmt(i);
             }
@@ -170,14 +179,23 @@ pub fn walk_stmt_mut<V: MutVisitor + ?Sized>(v: &mut V, s: &mut Stmt) {
             v.visit_lvalue_mut(lhs);
             v.visit_expr_mut(rhs);
         }
-        StmtKind::If { cond, then_branch, else_branch } => {
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             v.visit_expr_mut(cond);
             v.visit_block_mut(then_branch);
             if let Some(b) = else_branch {
                 v.visit_block_mut(b);
             }
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(i) = init {
                 v.visit_stmt_mut(i);
             }
@@ -251,9 +269,8 @@ mod tests {
                 walk_expr(self, e);
             }
         }
-        let mut p =
-            parse_program("double f(double x) { double y = x * x + 1.0; return sqrt(y); }")
-                .unwrap();
+        let mut p = parse_program("double f(double x) { double y = x * x + 1.0; return sqrt(y); }")
+            .unwrap();
         check_program(&mut p).unwrap();
         let mut c = Count(0);
         c.visit_block(&p.functions[0].body);
@@ -281,8 +298,8 @@ mod tests {
 
     #[test]
     fn vars_read_collects_reads() {
-        let mut p = parse_program("double f(double a[], int i, double x) { return a[i] + x; }")
-            .unwrap();
+        let mut p =
+            parse_program("double f(double a[], int i, double x) { return a[i] + x; }").unwrap();
         check_program(&mut p).unwrap();
         let f = &p.functions[0];
         let ret = match &f.body.stmts[0].kind {

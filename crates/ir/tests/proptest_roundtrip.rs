@@ -18,27 +18,41 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Div)
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div)
+                ]
+            )
                 .prop_map(|(l, r, op)| Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r)
+                    },
                     Span::DUMMY
                 )),
             inner.clone().prop_map(|e| Expr::new(
-                ExprKind::Unary { op: UnOp::Neg, operand: Box::new(e) },
+                ExprKind::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(e)
+                },
                 Span::DUMMY
             )),
-            (inner.clone(), prop_oneof![
-                Just(Intrinsic::Sin),
-                Just(Intrinsic::Cos),
-                Just(Intrinsic::Exp),
-                Just(Intrinsic::Fabs),
-                Just(Intrinsic::Tanh)
-            ])
+            (
+                inner.clone(),
+                prop_oneof![
+                    Just(Intrinsic::Sin),
+                    Just(Intrinsic::Cos),
+                    Just(Intrinsic::Exp),
+                    Just(Intrinsic::Fabs),
+                    Just(Intrinsic::Tanh)
+                ]
+            )
                 .prop_map(|(e, i)| Expr::new(
                     ExprKind::Call {
                         callee: chef_ir::ast::Callee::Intrinsic(i),
@@ -46,14 +60,13 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                     },
                     Span::DUMMY
                 )),
-            (inner.clone(), inner)
-                .prop_map(|(l, r)| Expr::new(
-                    ExprKind::Call {
-                        callee: chef_ir::ast::Callee::Intrinsic(Intrinsic::Pow),
-                        args: vec![l, r]
-                    },
-                    Span::DUMMY
-                )),
+            (inner.clone(), inner).prop_map(|(l, r)| Expr::new(
+                ExprKind::Call {
+                    callee: chef_ir::ast::Callee::Intrinsic(Intrinsic::Pow),
+                    args: vec![l, r]
+                },
+                Span::DUMMY
+            )),
         ]
     })
 }

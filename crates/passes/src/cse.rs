@@ -35,7 +35,11 @@ fn transform_block(b: &mut Block, f: &mut Function, fresh: &mut usize) -> bool {
     // Recurse into nested blocks first.
     for s in &mut b.stmts {
         match &mut s.kind {
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 changed |= transform_block(then_branch, f, fresh);
                 if let Some(eb) = else_branch {
                     changed |= transform_block(eb, f, fresh);
@@ -65,10 +69,8 @@ fn assigned_vars(b: &Block) -> HashSet<VarId> {
                         self.0.insert(id);
                     }
                 }
-                StmtKind::Decl { id, .. } => {
-                    if let Some(id) = id {
-                        self.0.insert(*id);
-                    }
+                StmtKind::Decl { id: Some(id), .. } => {
+                    self.0.insert(*id);
                 }
                 _ => {}
             }
@@ -85,10 +87,13 @@ fn assigned_vars(b: &Block) -> HashSet<VarId> {
 fn is_candidate(e: &Expr, killed: &HashSet<VarId>) -> bool {
     match &e.kind {
         ExprKind::Binary { .. } | ExprKind::Unary { .. } | ExprKind::Cast { .. } => {}
-        ExprKind::Call { callee: Callee::Intrinsic(_), .. } => {}
+        ExprKind::Call {
+            callee: Callee::Intrinsic(_),
+            ..
+        } => {}
         _ => return false,
     }
-    if !e.ty.map_or(false, |t| t.is_numeric_scalar()) {
+    if !e.ty.is_some_and(|t| t.is_numeric_scalar()) {
         return false;
     }
     struct Scan<'a> {
@@ -101,17 +106,24 @@ fn is_candidate(e: &Expr, killed: &HashSet<VarId>) -> bool {
             match &e.kind {
                 ExprKind::Var(v) => {
                     self.reads_var = true;
-                    if v.id.map_or(true, |id| self.killed.contains(&id)) {
+                    if v.id.is_none_or(|id| self.killed.contains(&id)) {
                         self.ok = false;
                     }
                 }
                 ExprKind::Index { .. } => self.ok = false,
-                ExprKind::Call { callee: Callee::Func(_), .. } => self.ok = false,
+                ExprKind::Call {
+                    callee: Callee::Func(_),
+                    ..
+                } => self.ok = false,
                 _ => walk_expr(self, e),
             }
         }
     }
-    let mut s = Scan { killed, ok: true, reads_var: false };
+    let mut s = Scan {
+        killed,
+        ok: true,
+        reads_var: false,
+    };
     s.visit_expr(e);
     s.ok && s.reads_var
 }
@@ -163,9 +175,11 @@ fn cse_one_block(b: &mut Block, f: &mut Function, fresh: &mut usize) -> bool {
         let expr = info.expr.expect("counted expressions retain a sample");
         // Re-locate the first statement still containing the expression
         // (earlier replacements may have moved things).
-        let Some(first_idx) = b.stmts.iter().position(|s| {
-            stmt_exprs(s).iter().any(|e| contains_key(e, &key))
-        }) else {
+        let Some(first_idx) = b
+            .stmts
+            .iter()
+            .position(|s| stmt_exprs(s).iter().any(|e| contains_key(e, &key)))
+        else {
             continue;
         };
         // Count again post-replacements; skip if no longer repeated.

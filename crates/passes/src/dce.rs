@@ -22,7 +22,11 @@ pub fn dce_function(f: &mut Function) -> bool {
     loop {
         let reads = collect_reads(f);
         let observable = observable_vars(f);
-        let mut pass = Remover { reads, observable, changed: false };
+        let mut pass = Remover {
+            reads,
+            observable,
+            changed: false,
+        };
         pass.block(&mut f.body);
         if !pass.changed {
             return changed_any;
@@ -38,9 +42,16 @@ pub fn expr_is_removable(e: &Expr) -> bool {
     impl Visitor for Check {
         fn visit_expr(&mut self, e: &Expr) {
             match &e.kind {
-                ExprKind::Call { callee: Callee::Func(_), .. } => self.0 = false,
+                ExprKind::Call {
+                    callee: Callee::Func(_),
+                    ..
+                } => self.0 = false,
                 ExprKind::Index { .. } => self.0 = false, // may trap OOB
-                ExprKind::Binary { op: BinOp::Rem | BinOp::Div, lhs, rhs } => {
+                ExprKind::Binary {
+                    op: BinOp::Rem | BinOp::Div,
+                    lhs,
+                    rhs,
+                } => {
                     // Integer division may trap; float division is IEEE.
                     let is_int = e.ty == Some(chef_ir::types::Type::Int);
                     if is_int {
@@ -84,7 +95,11 @@ fn collect_reads(f: &Function) -> HashSet<VarId> {
             // compound ops, possibly the array itself; treat the base of
             // an index-lvalue as read (elements may be loaded later
             // through aliasing iteration patterns we don't track).
-            if let StmtKind::Assign { lhs: LValue::Index { base, index }, .. } = &s.kind {
+            if let StmtKind::Assign {
+                lhs: LValue::Index { base, index },
+                ..
+            } = &s.kind
+            {
                 if let Some(id) = base.id {
                     self.set.insert(id);
                 }
@@ -93,7 +108,9 @@ fn collect_reads(f: &Function) -> HashSet<VarId> {
             chef_ir::visit::walk_stmt(self, s);
         }
     }
-    let mut r = Reads { set: HashSet::new() };
+    let mut r = Reads {
+        set: HashSet::new(),
+    };
     r.visit_block(&f.body);
     r.set
 }
@@ -132,7 +149,11 @@ impl Remover {
     /// Returns `false` to remove the statement.
     fn keep_stmt(&mut self, s: &mut Stmt) -> bool {
         match &mut s.kind {
-            StmtKind::Assign { lhs: LValue::Var(v), rhs, .. } => {
+            StmtKind::Assign {
+                lhs: LValue::Var(v),
+                rhs,
+                ..
+            } => {
                 if self.is_dead_target(v) && expr_is_removable(rhs) {
                     self.changed = true;
                     return false;
@@ -140,9 +161,8 @@ impl Remover {
                 true
             }
             StmtKind::Decl { id, init, size, .. } => {
-                let dead = id.map_or(false, |i| {
-                    !self.reads.contains(&i) && !self.observable.contains(&i)
-                });
+                let dead =
+                    id.is_some_and(|i| !self.reads.contains(&i) && !self.observable.contains(&i));
                 if dead && size.is_none() {
                     match init {
                         Some(e) if !expr_is_removable(e) => true,
@@ -155,7 +175,11 @@ impl Remover {
                     true
                 }
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.block(then_branch);
                 if let Some(eb) = else_branch {
                     self.block(eb);
@@ -164,9 +188,7 @@ impl Remover {
                         self.changed = true;
                     }
                 }
-                if then_branch.stmts.is_empty()
-                    && else_branch.is_none()
-                    && expr_is_removable(cond)
+                if then_branch.stmts.is_empty() && else_branch.is_none() && expr_is_removable(cond)
                 {
                     self.changed = true;
                     return false;

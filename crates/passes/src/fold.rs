@@ -9,8 +9,8 @@
 //! optimizations change the FP error behaviour being analyzed.
 
 use chef_ir::ast::*;
-use chef_ir::visit::{walk_expr_mut, MutVisitor};
 use chef_ir::types::{FloatTy, Type};
+use chef_ir::visit::{walk_expr_mut, MutVisitor};
 
 /// Runs constant folding + safe algebraic simplification over a function.
 /// Returns `true` if anything changed.
@@ -37,7 +37,12 @@ impl MutVisitor for Folder {
     fn visit_stmt_mut(&mut self, s: &mut Stmt) {
         chef_ir::visit::walk_stmt_mut(self, s);
         // `if (true) …` / `if (false) …` → keep only the taken branch.
-        if let StmtKind::If { cond, then_branch, else_branch } = &mut s.kind {
+        if let StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } = &mut s.kind
+        {
             if let ExprKind::BoolLit(b) = cond.kind {
                 let taken = if b {
                     std::mem::take(then_branch)
@@ -69,10 +74,20 @@ fn fold_expr(e: &Expr) -> Option<Expr> {
             (UnOp::Neg, ExprKind::IntLit(v)) => Some(mk(ExprKind::IntLit(v.wrapping_neg()))),
             (UnOp::Not, ExprKind::BoolLit(b)) => Some(mk(ExprKind::BoolLit(!b))),
             // -(-x) → x ; !(!b) → b (exact for IEEE negation).
-            (UnOp::Neg, ExprKind::Unary { op: UnOp::Neg, operand: inner })
-            | (UnOp::Not, ExprKind::Unary { op: UnOp::Not, operand: inner }) => {
-                Some((**inner).clone())
-            }
+            (
+                UnOp::Neg,
+                ExprKind::Unary {
+                    op: UnOp::Neg,
+                    operand: inner,
+                },
+            )
+            | (
+                UnOp::Not,
+                ExprKind::Unary {
+                    op: UnOp::Not,
+                    operand: inner,
+                },
+            ) => Some((**inner).clone()),
             _ => None,
         },
         ExprKind::Binary { op, lhs, rhs } => fold_binary(*op, lhs, rhs, &mk),
@@ -100,12 +115,7 @@ fn fold_expr(e: &Expr) -> Option<Expr> {
     }
 }
 
-fn fold_binary(
-    op: BinOp,
-    lhs: &Expr,
-    rhs: &Expr,
-    mk: &dyn Fn(ExprKind) -> Expr,
-) -> Option<Expr> {
+fn fold_binary(op: BinOp, lhs: &Expr, rhs: &Expr, mk: &dyn Fn(ExprKind) -> Expr) -> Option<Expr> {
     use ExprKind::*;
     // The precision the result must be rounded to: for a `float`-typed
     // node (e.g. both operands came from `(float)` casts) the VM would

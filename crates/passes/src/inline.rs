@@ -73,7 +73,9 @@ pub fn inline_program(p: &Program) -> Result<Program, InlineError> {
     let order = topo_order(p)?;
     let mut done: HashMap<String, Function> = HashMap::new();
     for name in order {
-        let f = p.function(&name).expect("topo order names come from the program");
+        let f = p
+            .function(&name)
+            .expect("topo order names come from the program");
         let mut f = f.clone();
         inline_function(&mut f, &done)?;
         done.insert(name, f);
@@ -93,7 +95,11 @@ pub fn inline_function(
     callees: &HashMap<String, Function>,
 ) -> Result<(), InlineError> {
     let mut body = std::mem::take(&mut f.body);
-    let mut ctx = Ctx { func: f, callees, fresh: 0 };
+    let mut ctx = Ctx {
+        func: f,
+        callees,
+        fresh: 0,
+    };
     ctx.block(&mut body)?;
     f.body = body;
     Ok(())
@@ -111,7 +117,11 @@ fn topo_order(p: &Program) -> Result<Vec<String>, InlineError> {
         struct C(Vec<String>);
         impl chef_ir::visit::Visitor for C {
             fn visit_expr(&mut self, e: &Expr) {
-                if let ExprKind::Call { callee: Callee::Func(n), .. } = &e.kind {
+                if let ExprKind::Call {
+                    callee: Callee::Func(n),
+                    ..
+                } = &e.kind
+                {
                     self.0.push(n.clone());
                 }
                 chef_ir::visit::walk_expr(self, e);
@@ -129,13 +139,19 @@ fn topo_order(p: &Program) -> Result<Vec<String>, InlineError> {
     ) -> Result<(), InlineError> {
         match colors.get(name).copied().unwrap_or(Color::White) {
             Color::Black => return Ok(()),
-            Color::Grey => return Err(InlineError::Recursive { name: name.to_string() }),
+            Color::Grey => {
+                return Err(InlineError::Recursive {
+                    name: name.to_string(),
+                })
+            }
             Color::White => {}
         }
         colors.insert(name.to_string(), Color::Grey);
         let f = p
             .function(name)
-            .ok_or_else(|| InlineError::UnknownFunction { name: name.to_string() })?;
+            .ok_or_else(|| InlineError::UnknownFunction {
+                name: name.to_string(),
+            })?;
         for c in callees_of(f) {
             dfs(&c, p, colors, out)?;
         }
@@ -187,14 +203,23 @@ impl Ctx<'_> {
                     self.extract(rhs, &mut prelude)?;
                 }
                 StmtKind::Return(Some(e)) => self.extract(e, &mut prelude)?,
-                StmtKind::If { cond, then_branch, else_branch } => {
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     self.extract(cond, &mut prelude)?;
                     self.block(then_branch)?;
                     if let Some(eb) = else_branch {
                         self.block(eb)?;
                     }
                 }
-                StmtKind::For { init, cond, step, body } => {
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
                     if let Some(i) = init {
                         if stmt_has_call(i) {
                             return Err(InlineError::CallInLoopHeader { span: i.span });
@@ -222,7 +247,11 @@ impl Ctx<'_> {
                 StmtKind::ExprStmt(e) => {
                     // A bare void call: splice the body, drop the
                     // statement.
-                    if let ExprKind::Call { callee: Callee::Func(name), args } = &e.kind {
+                    if let ExprKind::Call {
+                        callee: Callee::Func(name),
+                        args,
+                    } = &e.kind
+                    {
                         let callee = self
                             .callees
                             .get(name.as_str())
@@ -240,9 +269,7 @@ impl Ctx<'_> {
                     }
                     self.extract(e, &mut prelude)?;
                 }
-                StmtKind::Return(None)
-                | StmtKind::TapePush(_)
-                | StmtKind::TapePop(_) => {}
+                StmtKind::Return(None) | StmtKind::TapePush(_) | StmtKind::TapePop(_) => {}
             }
             out.extend(prelude);
             out.push(s);
@@ -270,7 +297,11 @@ impl Ctx<'_> {
             }
             _ => {}
         }
-        if let ExprKind::Call { callee: Callee::Func(name), args } = &e.kind {
+        if let ExprKind::Call {
+            callee: Callee::Func(name),
+            args,
+        } = &e.kind
+        {
             let callee = self
                 .callees
                 .get(name.as_str())
@@ -317,9 +348,10 @@ impl Ctx<'_> {
             if by_ref {
                 let lv = match &arg.kind {
                     ExprKind::Var(v) => LValue::Var(v.clone()),
-                    ExprKind::Index { base, index } => {
-                        LValue::Index { base: base.clone(), index: (**index).clone() }
-                    }
+                    ExprKind::Index { base, index } => LValue::Index {
+                        base: base.clone(),
+                        index: (**index).clone(),
+                    },
                     _ => return Err(InlineError::BadByRefArgument { span: arg.span }),
                 };
                 map.insert(pid, Mapping::Place(lv, param.ty));
@@ -350,12 +382,22 @@ impl Ctx<'_> {
         let trailing_return = matches!(stmts.last().map(|s| &s.kind), Some(StmtKind::Return(_)));
         let illegal_returns = stmts
             .iter()
-            .take(if trailing_return { stmts.len() - 1 } else { stmts.len() })
+            .take(if trailing_return {
+                stmts.len() - 1
+            } else {
+                stmts.len()
+            })
             .any(stmt_contains_return);
         if illegal_returns {
-            return Err(InlineError::UnsupportedReturn { name: callee.name.clone() });
+            return Err(InlineError::UnsupportedReturn {
+                name: callee.name.clone(),
+            });
         }
-        if let Some(Stmt { kind: StmtKind::Return(val), .. }) = stmts.last_mut() {
+        if let Some(Stmt {
+            kind: StmtKind::Return(val),
+            ..
+        }) = stmts.last_mut()
+        {
             let val = val.take();
             let last = stmts.len() - 1;
             match (val, &ret) {
@@ -372,7 +414,9 @@ impl Ctx<'_> {
             }
         } else if ret.is_some() {
             // Non-void callee must end with a return.
-            return Err(InlineError::UnsupportedReturn { name: callee.name.clone() });
+            return Err(InlineError::UnsupportedReturn {
+                name: callee.name.clone(),
+            });
         }
         // Rename everything.
         let mut ren = Renamer { map: &map };
@@ -479,7 +523,11 @@ fn expr_has_call(e: &Expr) -> bool {
     struct C(bool);
     impl chef_ir::visit::Visitor for C {
         fn visit_expr(&mut self, e: &Expr) {
-            if let ExprKind::Call { callee: Callee::Func(_), .. } = &e.kind {
+            if let ExprKind::Call {
+                callee: Callee::Func(_),
+                ..
+            } = &e.kind
+            {
                 self.0 = true;
             }
             chef_ir::visit::walk_expr(self, e);
@@ -494,7 +542,11 @@ fn stmt_has_call(s: &Stmt) -> bool {
     struct C(bool);
     impl chef_ir::visit::Visitor for C {
         fn visit_expr(&mut self, e: &Expr) {
-            if let ExprKind::Call { callee: Callee::Func(_), .. } = &e.kind {
+            if let ExprKind::Call {
+                callee: Callee::Func(_),
+                ..
+            } = &e.kind
+            {
                 self.0 = true;
             }
             chef_ir::visit::walk_expr(self, e);
@@ -585,7 +637,10 @@ mod tests {
         )
         .unwrap();
         check_program(&mut p).unwrap();
-        assert!(matches!(inline_program(&p), Err(InlineError::Recursive { .. })));
+        assert!(matches!(
+            inline_program(&p),
+            Err(InlineError::Recursive { .. })
+        ));
     }
 
     #[test]
@@ -596,7 +651,10 @@ mod tests {
         )
         .unwrap();
         check_program(&mut p).unwrap();
-        assert!(matches!(inline_program(&p), Err(InlineError::UnsupportedReturn { .. })));
+        assert!(matches!(
+            inline_program(&p),
+            Err(InlineError::UnsupportedReturn { .. })
+        ));
     }
 
     #[test]
@@ -607,7 +665,10 @@ mod tests {
         )
         .unwrap();
         check_program(&mut p).unwrap();
-        assert!(matches!(inline_program(&p), Err(InlineError::CallInLoopHeader { .. })));
+        assert!(matches!(
+            inline_program(&p),
+            Err(InlineError::CallInLoopHeader { .. })
+        ));
     }
 
     #[test]

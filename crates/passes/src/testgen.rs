@@ -35,7 +35,13 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { stmts: 8, max_depth: 3, loops: true, branches: true, narrow_floats: true }
+        GenConfig {
+            stmts: 8,
+            max_depth: 3,
+            loops: true,
+            branches: true,
+            narrow_floats: true,
+        }
     }
 }
 
@@ -112,8 +118,7 @@ impl Gen {
             4 => format!("(- {})", self.float_expr(depth - 1)),
             5 => {
                 // NaN-safe unary intrinsics on any real input.
-                let f = ["sin", "cos", "tanh", "atan", "fabs"]
-                    [self.rng.gen_range(0..5)];
+                let f = ["sin", "cos", "tanh", "atan", "fabs"][self.rng.gen_range(0..5)];
                 format!("{f}({})", self.float_expr(depth - 1))
             }
             6 => {
@@ -302,7 +307,11 @@ mod tests {
 
     #[test]
     fn straight_line_config() {
-        let cfg = GenConfig { loops: false, branches: false, ..GenConfig::default() };
+        let cfg = GenConfig {
+            loops: false,
+            branches: false,
+            ..GenConfig::default()
+        };
         for seed in 0..20 {
             let g = generate(seed, &cfg);
             assert!(!g.source.contains("for ("), "seed {seed}: {}", g.source);

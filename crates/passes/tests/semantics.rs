@@ -13,7 +13,10 @@ use chef_passes::testgen::{generate, GenConfig};
 
 fn eval(func: &chef_ir::ast::Function, args: &[ArgValue]) -> Result<f64, Trap> {
     let compiled = compile_default(func).expect("compiles");
-    let opts = ExecOptions { max_instrs: Some(5_000_000), ..Default::default() };
+    let opts = ExecOptions {
+        max_instrs: Some(5_000_000),
+        ..Default::default()
+    };
     run_with(&compiled, args.to_vec(), &opts).map(|o| o.ret_f())
 }
 
@@ -73,7 +76,10 @@ fn o2_preserves_semantics_on_random_programs() {
 fn o2_preserves_semantics_across_multiple_inputs() {
     // A smaller seed set probed at several argument points, catching
     // input-dependent miscompiles (branch-direction changes).
-    let cfg = GenConfig { stmts: 10, ..GenConfig::default() };
+    let cfg = GenConfig {
+        stmts: 10,
+        ..GenConfig::default()
+    };
     let probes: &[(f64, f64, i64)] =
         &[(0.0, 0.0, 3), (1.5, -2.5, 4), (-0.1, 3.9, 5), (2.0, 2.0, 2)];
     for seed in 0..40 {

@@ -1,0 +1,238 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API the bench crate uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark is
+//! auto-calibrated to a per-sample time budget, timed for `sample_size`
+//! samples, and reported as median / mean / min ns-per-iteration.
+//!
+//! Extras for this workspace:
+//!
+//! * `CHEF_BENCH_JSON=<path>`: append one JSON line per benchmark
+//!   (`{"id": ..., "median_ns": ...}`) so runs can be diffed by scripts
+//!   and the CI perf-smoke step.
+//! * `CHEF_BENCH_BUDGET_MS=<ms>`: per-sample time budget (default 40 ms).
+//! * Benchmark-name filtering: `cargo bench -- <substring>` runs only the
+//!   benchmarks whose `group/name` id contains the substring, like real
+//!   criterion.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- foo` passes `foo` through; ignore criterion's
+        // own `--bench` marker flag.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let budget = std::env::var("CHEF_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map_or(Duration::from_millis(40), Duration::from_millis);
+        Criterion {
+            filter,
+            budget,
+            json_path: std::env::var("CHEF_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            group: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (no group).
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, 20, f);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            budget: self.budget,
+            sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id, self.json_path.as_deref());
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.group, name);
+        let n = self.sample_size;
+        self.c.run_one(&id, n, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    budget: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, auto-calibrating iterations per sample to the budget.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup + calibration: find an iteration count that fills the
+        // per-sample budget without spending minutes on slow benches.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        let budget_s = self.budget.as_secs_f64();
+        let iters_per_sample = ((budget_s / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn report(&self, id: &str, json_path: Option<&str>) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<44} (no samples)");
+            return;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(f64::total_cmp);
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let min = s[0];
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        if let Some(path) = json_path {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    f,
+                    "{{\"id\": \"{id}\", \"median_ns\": {median:.1}, \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}}}"
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Builds a `pub fn $name()` running each registered bench function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Builds the bench binary's `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            filter: None,
+            budget: Duration::from_millis(1),
+            json_path: None,
+        };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+    }
+}

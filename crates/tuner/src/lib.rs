@@ -82,8 +82,10 @@ pub fn tune(
     args: &[ArgValue],
     cfg: &TunerConfig,
 ) -> Result<TuneResult, ChefError> {
-    let mut opts = EstimateOptions::default();
-    opts.array_lens = cfg.array_lens.clone();
+    let opts = EstimateOptions {
+        array_lens: cfg.array_lens.clone(),
+        ..Default::default()
+    };
     // Demoting a variable costs its representation error (eq. 2) *plus*,
     // for computed variables, the extra arithmetic rounding of the
     // operations now performed at the lower precision (eq. 1 with the
@@ -119,12 +121,7 @@ pub fn tune(
         taylor: TaylorModel::for_demotion(cfg.target),
     };
     let est = estimate_error_with(program, func, &mut model, &opts)?;
-    let out = est.execute(args).map_err(|t| {
-        ChefError::Compile(chef_exec::compile::CompileError::Unsupported {
-            msg: format!("profiling run trapped: {t}"),
-            span: chef_ir::span::Span::DUMMY,
-        })
-    })?;
+    let out = est.execute(args).map_err(ChefError::Trap)?;
 
     // Candidate variables with their estimates, ascending.
     let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
@@ -177,35 +174,84 @@ pub fn validate(
     args: &[ArgValue],
     config: &PrecisionMap,
 ) -> Result<ValidationReport, ChefError> {
+    validate_configs(program, func, args, std::slice::from_ref(config)).map(|mut v| v.remove(0))
+}
+
+/// Validates many candidate configurations against one full-precision
+/// baseline run: each config is compiled and executed on its own thread
+/// (scoped; the batch is embarrassingly parallel), results in input
+/// order. This is the tuner's candidate-evaluation fast path — wall-clock
+/// scales with the slowest candidate instead of the sum.
+pub fn validate_configs(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    configs: &[PrecisionMap],
+) -> Result<Vec<ValidationReport>, ChefError> {
     let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
     let primal = inlined
         .function(func)
         .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
-    let run_cfg = |pm: PrecisionMap| -> Result<f64, ChefError> {
-        let c = compile(primal, &CompileOptions { precisions: pm })
-            .map_err(ChefError::Compile)?;
+    let run_cfg = |pm: &PrecisionMap| -> Result<f64, ChefError> {
+        let c = compile(
+            primal,
+            &CompileOptions {
+                precisions: pm.clone(),
+                ..Default::default()
+            },
+        )
+        .map_err(ChefError::Compile)?;
         chef_exec::vm::run(&c, args.to_vec())
             .map(|o| o.ret_f())
-            .map_err(|t| {
-                ChefError::Compile(chef_exec::compile::CompileError::Unsupported {
-                    msg: format!("validation run trapped: {t}"),
-                    span: chef_ir::span::Span::DUMMY,
-                })
-            })
+            .map_err(ChefError::Trap)
     };
-    let baseline = run_cfg(PrecisionMap::empty())?;
-    let demoted = run_cfg(config.clone())?;
-    Ok(ValidationReport { baseline, demoted, actual_error: (baseline - demoted).abs() })
+    let baseline = run_cfg(&PrecisionMap::empty())?;
+
+    chef_exec::par::parallel_map(configs.iter().collect(), None, |pm| {
+        run_cfg(pm).map(|demoted| ValidationReport {
+            baseline,
+            demoted,
+            actual_error: (baseline - demoted).abs(),
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// The paper's Table III study, generalized: demote each candidate
+/// variable **on its own** and measure the actual output error, with the
+/// candidates evaluated in parallel. Returns `(variable, report)` pairs
+/// in candidate order.
+pub fn sweep_single_demotions(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    cfg: &TunerConfig,
+) -> Result<Vec<(String, ValidationReport)>, ChefError> {
+    let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
+    let primal = inlined
+        .function(func)
+        .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+    let allowed = |name: &str| match &cfg.candidates {
+        Some(c) => c.iter().any(|n| n == name),
+        None => true,
+    };
+    let mut names = Vec::new();
+    let mut configs = Vec::new();
+    for (id, v) in primal.vars_iter() {
+        if v.ty.is_differentiable() && allowed(&v.name) {
+            names.push(v.name.clone());
+            configs.push(PrecisionMap::empty().with(id, cfg.target));
+        }
+    }
+    let reports = validate_configs(program, func, args, &configs)?;
+    Ok(names.into_iter().zip(reports).collect())
 }
 
 /// Finds the `VarId`s (in the inlined function) for a set of variable
 /// names — convenience for building manual configurations (Table III's
 /// one-variable-at-a-time study).
-pub fn ids_of(
-    program: &Program,
-    func: &str,
-    names: &[&str],
-) -> Result<Vec<VarId>, ChefError> {
+pub fn ids_of(program: &Program, func: &str, names: &[&str]) -> Result<Vec<VarId>, ChefError> {
     let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
     let primal = inlined
         .function(func)
@@ -239,8 +285,16 @@ mod tests {
         let p = program(src);
         let cfg = TunerConfig::with_threshold(1e-4);
         let res = tune(&p, "f", &[ArgValue::F(1.2345678901)], &cfg).unwrap();
-        assert!(res.demoted.contains(&"noise".to_string()), "{:?}", res.demoted);
-        assert!(!res.demoted.contains(&"core".to_string()), "{:?}", res.demoted);
+        assert!(
+            res.demoted.contains(&"noise".to_string()),
+            "{:?}",
+            res.demoted
+        );
+        assert!(
+            !res.demoted.contains(&"core".to_string()),
+            "{:?}",
+            res.demoted
+        );
         assert!(res.estimated_error <= 1e-4);
     }
 
@@ -286,6 +340,60 @@ mod tests {
         cfg.candidates = Some(vec!["u".into()]);
         let res = tune(&p, "f", &[ArgValue::F(0.5)], &cfg).unwrap();
         assert_eq!(res.demoted, vec!["u".to_string()]);
+    }
+
+    #[test]
+    fn validate_configs_matches_serial_validate() {
+        let src = "double f(double a, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s += sin(a + i * 0.1) * 0.5; }
+            return s;
+        }";
+        let p = program(src);
+        let args = vec![ArgValue::F(0.41), ArgValue::I(200)];
+        let ids = ids_of(&p, "f", &["s", "a"]).unwrap();
+        let configs: Vec<PrecisionMap> = ids
+            .iter()
+            .map(|&id| PrecisionMap::empty().with(id, FloatTy::F32))
+            .collect();
+        let batch = validate_configs(&p, "f", &args, &configs).unwrap();
+        for (cfg, report) in configs.iter().zip(&batch) {
+            let serial = validate(&p, "f", &args, cfg).unwrap();
+            assert_eq!(report.baseline.to_bits(), serial.baseline.to_bits());
+            assert_eq!(report.demoted.to_bits(), serial.demoted.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_demotion_sweep_covers_all_candidates() {
+        let src = "double f(double a) {
+            double u = a + 0.125;
+            double w = a * 7.0;
+            double r = u * w;
+            return r;
+        }";
+        let p = program(src);
+        let cfg = TunerConfig::with_threshold(1.0);
+        let sweep = sweep_single_demotions(&p, "f", &[ArgValue::F(0.511)], &cfg).unwrap();
+        let names: Vec<&str> = sweep.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(
+            names.contains(&"a")
+                && names.contains(&"u")
+                && names.contains(&"w")
+                && names.contains(&"r"),
+            "{names:?}"
+        );
+        // Each report agrees with a one-off validation.
+        for (name, report) in &sweep {
+            let ids = ids_of(&p, "f", &[name.as_str()]).unwrap();
+            let pm = PrecisionMap::empty().with(ids[0], FloatTy::F32);
+            let one = validate(&p, "f", &[ArgValue::F(0.511)], &pm).unwrap();
+            assert_eq!(
+                report.actual_error.to_bits(),
+                one.actual_error.to_bits(),
+                "{name}"
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl ErrorModel for MyAdaptStyleModel {
         // dx * (x - (float)x), wrapped in fabs.
         let demoted = Expr::cast(Type::Float(FloatTy::F32), ctx.value.clone());
         let gap = Expr::sub(ctx.value.clone(), demoted);
-        Some(Expr::call(Intrinsic::Fabs, vec![Expr::mul(ctx.adjoint.clone(), gap)]))
+        Some(Expr::call(
+            Intrinsic::Fabs,
+            vec![Expr::mul(ctx.adjoint.clone(), gap)],
+        ))
     }
 
     fn input_error(
@@ -40,7 +43,10 @@ impl ErrorModel for MyAdaptStyleModel {
     ) -> Option<Expr> {
         let demoted = Expr::cast(Type::Float(FloatTy::F32), value.clone());
         let gap = Expr::sub(value.clone(), demoted);
-        Some(Expr::call(Intrinsic::Fabs, vec![Expr::mul(adjoint.clone(), gap)]))
+        Some(Expr::call(
+            Intrinsic::Fabs,
+            vec![Expr::mul(adjoint.clone(), gap)],
+        ))
     }
 }
 

@@ -33,7 +33,10 @@ double price(double s, double k2) {
 
     // 2. Inline user calls (AD and the VM work on flat functions).
     let inlined = inline_program(&program).expect("inlines");
-    println!("--- after inlining ---\n{}", print_function(inlined.function("price").unwrap()));
+    println!(
+        "--- after inlining ---\n{}",
+        print_function(inlined.function("price").unwrap())
+    );
 
     // 3. Reverse-mode differentiation (the Fig. 2 transformation).
     let grad = reverse_diff(inlined.function("price").unwrap()).expect("differentiates");
@@ -54,7 +57,12 @@ double price(double s, double k2) {
     let (s, k2) = (105.0, 100.0);
     let out = run(
         &compiled,
-        vec![ArgValue::F(s), ArgValue::F(k2), ArgValue::F(0.0), ArgValue::F(0.0)],
+        vec![
+            ArgValue::F(s),
+            ArgValue::F(k2),
+            ArgValue::F(0.0),
+            ArgValue::F(0.0),
+        ],
     )
     .expect("runs");
     println!("d price/d s  = {:?}", out.args[2]);

@@ -25,7 +25,11 @@ fn main() {
 
     println!("per-variable estimated demotion error (double -> float):");
     for (name, err) in &result.per_variable {
-        let marker = if result.demoted.contains(name) { "demote" } else { "keep  " };
+        let marker = if result.demoted.contains(name) {
+            "demote"
+        } else {
+            "keep  "
+        };
         println!("  [{marker}] {name:<8} {err:e}");
     }
     println!(
@@ -34,8 +38,7 @@ fn main() {
         result.estimated_error
     );
 
-    let report = validate(&program, arclen::NAME, &args, &result.config)
-        .expect("validation runs");
+    let report = validate(&program, arclen::NAME, &args, &result.config).expect("validation runs");
     println!("baseline (all double): {}", report.baseline);
     println!("tuned (mixed):         {}", report.demoted);
     println!("actual error:          {:e}", report.actual_error);

@@ -20,8 +20,7 @@ fn main() {
         }";
 
     // Call estimate_error on the target function.
-    let df = estimate_error_src(src, "func", &EstimateOptions::default())
-        .expect("analysis builds");
+    let df = estimate_error_src(src, "func", &EstimateOptions::default()).expect("analysis builds");
 
     // Declare the inputs; the adjoint outputs and the final error output
     // are appended automatically by `execute`.
@@ -33,7 +32,11 @@ fn main() {
     // fp_error now contains the error of func.
     println!("Error in func: {:e}", out.fp_error);
     println!("value = {} (exact would be {})", out.value, x + y);
-    println!("dz/dx = {}, dz/dy = {}", out.gradient_f("x"), out.gradient_f("y"));
+    println!(
+        "dz/dx = {}, dz/dy = {}",
+        out.gradient_f("x"),
+        out.gradient_f("y")
+    );
 
     println!("\n--- generated adjoint + error-estimation code ---");
     println!("{}", df.generated_source());

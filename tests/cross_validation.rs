@@ -5,19 +5,26 @@
 //! (reverse transformation, forward transformation, operation tape) must
 //! agree on gradients.
 
-use chef_fp::adapt::{analyze, AdaptOptions};
 use chef_fp::ad::forward::forward_diff;
 use chef_fp::ad::reverse::reverse_diff;
+use chef_fp::adapt::{analyze, AdaptOptions};
 use chef_fp::exec::prelude::*;
 use chef_fp::passes::testgen::{generate, GenConfig};
 
 fn args_of(g: &chef_fp::passes::testgen::GeneratedProgram) -> Vec<ArgValue> {
-    vec![ArgValue::F(g.float_args[0]), ArgValue::F(g.float_args[1]), ArgValue::I(g.int_arg)]
+    vec![
+        ArgValue::F(g.float_args[0]),
+        ArgValue::F(g.float_args[1]),
+        ArgValue::I(g.int_arg),
+    ]
 }
 
 #[test]
 fn vm_and_tracer_agree_on_primal_values() {
-    let exec_opts = ExecOptions { max_instrs: Some(5_000_000), ..Default::default() };
+    let exec_opts = ExecOptions {
+        max_instrs: Some(5_000_000),
+        ..Default::default()
+    };
     for seed in 500..620 {
         let g = generate(seed, &GenConfig::default());
         let args = args_of(&g);
@@ -34,22 +41,27 @@ fn vm_and_tracer_agree_on_primal_values() {
                 );
             }
             (Err(_), Err(_)) => {} // both trapped: acceptable agreement
-            (v, t) => panic!("seed {seed}: divergent outcome {v:?} vs {t:?}\n{}", g.source),
+            (v, t) => panic!(
+                "seed {seed}: divergent outcome {v:?} vs {t:?}\n{}",
+                g.source
+            ),
         }
     }
 }
 
 #[test]
 fn three_gradient_engines_agree() {
-    let exec_opts = ExecOptions { max_instrs: Some(5_000_000), ..Default::default() };
+    let exec_opts = ExecOptions {
+        max_instrs: Some(5_000_000),
+        ..Default::default()
+    };
     // Tolerance note: on kernels with `float` intermediates the two AD
     // styles legitimately differ at f32-epsilon scale — the source
     // transformation re-evaluates primal subexpressions at their declared
     // precision during the backward sweep, while the taping tool stores
     // full-precision values. ~1e-7 relative is the expected agreement.
     let close = |a: f64, b: f64| -> bool {
-        (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
-            || (a.is_nan() && b.is_nan())
+        (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0) || (a.is_nan() && b.is_nan())
     };
     for seed in 700..760 {
         let g = generate(seed, &GenConfig::default());
@@ -67,8 +79,11 @@ fn three_gradient_engines_agree() {
         let tape = analyze(&g.function, &args, &AdaptOptions::default()).unwrap();
         let tx = tape.gradient[0].1.as_f();
         let ty = tape.gradient[1].1.as_f();
-        assert!(close(rx, tx) && close(ry, ty),
-            "seed {seed}: reverse ({rx},{ry}) vs tape ({tx},{ty})\n{}", g.source);
+        assert!(
+            close(rx, tx) && close(ry, ty),
+            "seed {seed}: reverse ({rx},{ry}) vs tape ({tx},{ty})\n{}",
+            g.source
+        );
 
         // 3. Forward source transformation.
         for (wrt, rev_val) in [("x", rx), ("y", ry)] {
@@ -76,8 +91,11 @@ fn three_gradient_engines_agree() {
             let f = run_with(&compile_default(&fwd).unwrap(), args.clone(), &exec_opts)
                 .unwrap()
                 .ret_f();
-            assert!(close(rev_val, f),
-                "seed {seed} wrt {wrt}: reverse {rev_val} vs forward {f}\n{}", g.source);
+            assert!(
+                close(rev_val, f),
+                "seed {seed} wrt {wrt}: reverse {rev_val} vs forward {f}\n{}",
+                g.source
+            );
         }
     }
 }
@@ -88,7 +106,11 @@ fn chef_taylor_estimates_agree_with_tracer_taylor() {
     // agree to rounding, establishing the "produces the same analysis
     // results" claim on arbitrary programs, not just the benchmarks.
     use chef_fp::core::prelude::*;
-    let cfg = GenConfig { loops: true, branches: true, ..Default::default() };
+    let cfg = GenConfig {
+        loops: true,
+        branches: true,
+        ..Default::default()
+    };
     for seed in 900..930 {
         let g = generate(seed, &cfg);
         let args = args_of(&g);

@@ -19,8 +19,7 @@ fn chef_outcome(
     for (a, l) in lens {
         opts.array_lens.insert((*a).to_string(), (*l).to_string());
     }
-    let est = estimate_error_with(program, func, &mut model, &opts)
-        .expect("estimator builds");
+    let est = estimate_error_with(program, func, &mut model, &opts).expect("estimator builds");
     let out = est.execute(args).expect("analysis runs");
     let tape = out.stats.tape_peak_bytes;
     (out, tape)
@@ -33,13 +32,7 @@ fn adapt_outcome(program: &Program, func: &str, args: &[ArgValue]) -> chef_fp::a
 }
 
 /// The paper's headline comparison: same estimates, smaller tape.
-fn compare(
-    program: &Program,
-    func: &str,
-    args: &[ArgValue],
-    lens: &[(&str, &str)],
-    label: &str,
-) {
+fn compare(program: &Program, func: &str, args: &[ArgValue], lens: &[(&str, &str)], label: &str) {
     let (chef, chef_tape) = chef_outcome(program, func, args, lens);
     let adapt = adapt_outcome(program, func, args);
     // Primal values agree exactly (same arithmetic).
@@ -62,12 +55,24 @@ fn compare(
 
 #[test]
 fn arclen_estimates_agree_with_adapt() {
-    compare(&arclen::program(), arclen::NAME, &arclen::args(500), &[], "arclen");
+    compare(
+        &arclen::program(),
+        arclen::NAME,
+        &arclen::args(500),
+        &[],
+        "arclen",
+    );
 }
 
 #[test]
 fn simpsons_estimates_agree_with_adapt() {
-    compare(&simpsons::program(), simpsons::NAME, &simpsons::args(500), &[], "simpsons");
+    compare(
+        &simpsons::program(),
+        simpsons::NAME,
+        &simpsons::args(500),
+        &[],
+        "simpsons",
+    );
 }
 
 #[test]
@@ -77,7 +82,10 @@ fn kmeans_estimates_agree_with_adapt() {
         &kmeans::program(),
         kmeans::NAME,
         &kmeans::args(&w),
-        &[("attributes", "npoints * nfeatures"), ("clusters", "nclusters * nfeatures")],
+        &[
+            ("attributes", "npoints * nfeatures"),
+            ("clusters", "nclusters * nfeatures"),
+        ],
         "kmeans",
     );
 }
@@ -85,7 +93,13 @@ fn kmeans_estimates_agree_with_adapt() {
 #[test]
 fn hpccg_estimates_agree_with_adapt() {
     let p = hpccg::problem(4, 4, 4);
-    compare(&hpccg::program(), hpccg::NAME, &hpccg::args(&p), &[("b", "nrow")], "hpccg");
+    compare(
+        &hpccg::program(),
+        hpccg::NAME,
+        &hpccg::args(&p),
+        &[("b", "nrow")],
+        "hpccg",
+    );
 }
 
 #[test]
@@ -114,7 +128,10 @@ fn kmeans_attributes_error_is_zero() {
         &kmeans::program(),
         kmeans::NAME,
         &kmeans::args(&w),
-        &[("attributes", "npoints * nfeatures"), ("clusters", "nclusters * nfeatures")],
+        &[
+            ("attributes", "npoints * nfeatures"),
+            ("clusters", "nclusters * nfeatures"),
+        ],
     );
     assert_eq!(out.error_of("attributes"), 0.0);
     assert!(out.error_of("clusters") > 0.0);
@@ -130,7 +147,11 @@ fn estimates_bound_measured_demotion_for_arclen() {
     let cfg = chef_fp::tuner::TunerConfig::with_threshold(1e-3);
     let res = chef_fp::tuner::tune(&program, arclen::NAME, &args, &cfg).unwrap();
     let rep = chef_fp::tuner::validate(&program, arclen::NAME, &args, &res.config).unwrap();
-    assert!(rep.actual_error <= 1e-3, "threshold violated: {}", rep.actual_error);
+    assert!(
+        rep.actual_error <= 1e-3,
+        "threshold violated: {}",
+        rep.actual_error
+    );
     assert!(
         rep.actual_error <= res.estimated_error.max(1e-15) * 2.0,
         "estimate {} does not bound actual {}",
@@ -149,20 +170,29 @@ fn adapt_oom_while_chef_survives() {
 
     let mut model = AdaptModel::to_f32();
     let opts = EstimateOptions {
-        exec: ExecOptions { tape_limit: Some(budget), ..Default::default() },
+        exec: ExecOptions {
+            tape_limit: Some(budget),
+            ..Default::default()
+        },
         ..Default::default()
     };
-    let est =
-        estimate_error_with(&program, arclen::NAME, &mut model, &opts).expect("builds");
+    let est = estimate_error_with(&program, arclen::NAME, &mut model, &opts).expect("builds");
     let chef = est.execute(&args);
-    assert!(chef.is_ok(), "CHEF-FP must fit in the budget: {:?}", chef.err());
+    assert!(
+        chef.is_ok(),
+        "CHEF-FP must fit in the budget: {:?}",
+        chef.err()
+    );
 
     let inlined = chef_fp::passes::inline_program(&program).unwrap();
     let primal = inlined.function(arclen::NAME).unwrap();
     let adapt = analyze(
         primal,
         &args,
-        &AdaptOptions { memory_limit: Some(budget), ..Default::default() },
+        &AdaptOptions {
+            memory_limit: Some(budget),
+            ..Default::default()
+        },
     );
     assert!(
         matches!(adapt, Err(chef_fp::adapt::AdaptError::OutOfMemory(_))),
