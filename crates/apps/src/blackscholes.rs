@@ -51,6 +51,28 @@ double blackscholes(double sptprice[], double strike[], double rate[],
 /// Function name inside [`SOURCE`].
 pub const NAME: &str = "blackscholes";
 
+/// The mixed-precision tuning surface: the computed locals of the
+/// kernel (the Table IV configuration surface). The input arrays are
+/// excluded — their estimated error cancels (signed) across options,
+/// which is exactly the estimate/measurement gap the shadow oracle
+/// exposes. One source of truth for `repro --oracle` and the
+/// workspace-level oracle tests.
+pub const TUNE_CANDIDATES: &[&str] = &[
+    "tQ",
+    "xSqrtTime",
+    "ratio",
+    "logTerm",
+    "d1",
+    "d2",
+    "negrT",
+    "expval",
+    "price",
+    "r",
+    "v",
+    "T",
+    "acc",
+];
+
 /// Parses and checks the kernel.
 pub fn program() -> Program {
     let mut p = chef_ir::parser::parse_program(SOURCE).expect("blackscholes parses");

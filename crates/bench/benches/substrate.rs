@@ -66,6 +66,41 @@ fn benches(c: &mut Criterion) {
     });
     g.finish();
 
+    // Shadow-execution overhead: the fused primal+shadow pass against
+    // the plain VM run on the same kernel. The acceptance bar for the
+    // oracle subsystem is < 4x for the f64 shadow; the double-double
+    // shadow is reported for reference.
+    let mut g = c.benchmark_group("shadow/overhead");
+    g.sample_size(10);
+    g.bench_function("plain", |b| {
+        let mut m = chef_exec::vm::Machine::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.bench_function("shadowed-f64", |b| {
+        let mut m = chef_exec::shadow::ShadowMachine::<f64>::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.bench_function("shadowed-dd", |b| {
+        let mut m = chef_exec::shadow::ShadowMachine::<chef_shadow::DD>::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.finish();
+
     // Batch API: serial machine reuse vs parallel fan-out on independent
     // analysis-style runs.
     let mut g = c.benchmark_group("vm/batch");

@@ -11,12 +11,14 @@
 //! collapse) are what is being reproduced. See EXPERIMENTS.md.
 
 use adapt_baseline::{analyze, AdaptError, AdaptOptions};
-use chef_bench::{mb, sci, time_median, time_ms};
+use chef_bench::{mb, rel_dev_pct, sci, time_median, time_ms};
 use chef_core::prelude::*;
+use chef_core::report::{EstimateQualityRow, Record};
 use chef_exec::compile::{compile_default, PrecisionMap};
 use chef_exec::prelude::*;
 use chef_ir::ast::{Intrinsic, Program};
-use chef_tuner::{tune, validate, TunerConfig};
+use chef_shadow::{OracleOptions, ShadowMode};
+use chef_tuner::{tune, validate, validate_with_oracle, TunerConfig};
 
 /// The simulated per-analysis memory budget for the ADAPT baseline
 /// (the paper's runs died at 188 GB on the cluster; scaled with our
@@ -43,6 +45,9 @@ fn main() {
     }
     if want("table4") {
         table4();
+    }
+    if want("oracle") || args.iter().any(|a| a == "--oracle") {
+        oracle_table();
     }
     if want("fig4") {
         sweep_fig(
@@ -295,23 +300,26 @@ struct AnalysisPoint {
     adapt_bytes: Option<usize>,
 }
 
-fn analyze_both(
+/// CHEF-FP side of one analysis point: build once (compile time
+/// excluded, like the paper's compile-once tooling), run the analysis.
+fn chef_point(
     program: &Program,
     func: &str,
     args: &[ArgValue],
     lens: &[(&str, &str)],
-) -> AnalysisPoint {
-    // CHEF-FP: build once (compile time excluded, like the paper's
-    // compile-once tooling), run the analysis.
+) -> (f64, usize) {
     let mut opts = EstimateOptions::default();
     for (a, l) in lens {
         opts.array_lens.insert((*a).to_string(), (*l).to_string());
     }
     let est = estimate_error(program, func, &opts).expect("estimator builds");
     let (chef_out, chef_ms) = time_ms(|| est.execute(args).expect("chef analysis runs"));
-    let chef_bytes = chef_out.stats.peak_memory_bytes();
+    (chef_ms, chef_out.stats.peak_memory_bytes())
+}
 
-    // ADAPT baseline: taping + reverse + post-hoc errors, every run.
+/// ADAPT-baseline side of one analysis point: taping + reverse +
+/// post-hoc errors, every run. `None` = out of memory at this scale.
+fn adapt_point(program: &Program, func: &str, args: &[ArgValue]) -> Option<(f64, usize)> {
     let inlined = chef_passes::inline_program(program).expect("inlines");
     let primal = inlined.function(func).expect("function exists");
     let adapt_opts = AdaptOptions {
@@ -320,19 +328,25 @@ fn analyze_both(
     };
     let (adapt_res, adapt_ms) = time_ms(|| analyze(primal, args, &adapt_opts));
     match adapt_res {
-        Ok(out) => AnalysisPoint {
-            chef_ms,
-            chef_bytes,
-            adapt_ms: Some(adapt_ms),
-            adapt_bytes: Some(out.tape_peak_bytes),
-        },
-        Err(AdaptError::OutOfMemory(_)) => AnalysisPoint {
-            chef_ms,
-            chef_bytes,
-            adapt_ms: None,
-            adapt_bytes: None,
-        },
+        Ok(out) => Some((adapt_ms, out.tape_peak_bytes)),
+        Err(AdaptError::OutOfMemory(_)) => None,
         Err(e) => panic!("adapt baseline failed: {e}"),
+    }
+}
+
+fn analyze_both(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    lens: &[(&str, &str)],
+) -> AnalysisPoint {
+    let (chef_ms, chef_bytes) = chef_point(program, func, args, lens);
+    let adapt = adapt_point(program, func, args);
+    AnalysisPoint {
+        chef_ms,
+        chef_bytes,
+        adapt_ms: adapt.map(|(t, _)| t),
+        adapt_bytes: adapt.map(|(_, b)| b),
     }
 }
 
@@ -582,7 +596,7 @@ fn table4() {
 fn sweep_fig(
     title: &str,
     scales: &[u64],
-    mk: impl Fn(i64) -> (Program, &'static str, Vec<ArgValue>),
+    mk: impl Fn(i64) -> (Program, &'static str, Vec<ArgValue>) + Sync,
     lens: &[(&str, &str)],
 ) {
     header(title);
@@ -590,7 +604,12 @@ fn sweep_fig(
         "{:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
         "scale", "app ms", "app MB", "chef ms", "chef MB", "adapt ms", "adapt MB"
     );
-    for &scale in scales {
+    // The per-scale app + CHEF-FP analyses are independent and
+    // memory-light: fan them out over the batch-execution thread pool
+    // and print in scale order. On a loaded or single-core machine
+    // concurrent timing inflates the absolute milliseconds; the growth
+    // *shape* across scales — what the figures reproduce — is preserved.
+    let rows = chef_exec::par::parallel_map(scales.to_vec(), None, |scale| {
         let (program, func, args) = mk(scale as i64);
         // Application alone (the paper's "Appl. Time/Memory" series).
         let inlined = chef_passes::inline_program(&program).unwrap();
@@ -599,18 +618,26 @@ fn sweep_fig(
         let (app_out, app_ms) = time_ms(|| run(&compiled, args.clone()).expect("app runs"));
         let app_bytes = app_out.stats.peak_memory_bytes();
 
-        let pt = analyze_both(&program, func, &args, lens);
-        let (adapt_ms, adapt_mb) = match (pt.adapt_ms, pt.adapt_bytes) {
-            (Some(t), Some(b)) => (format!("{t:.1}"), mb(b)),
-            _ => ("OOM".to_string(), "OOM".to_string()),
+        let (chef_ms, chef_bytes) = chef_point(&program, func, &args, lens);
+        (
+            scale, app_ms, app_bytes, chef_ms, chef_bytes, program, func, args,
+        )
+    });
+    // The ADAPT baselines stay serial: each run tapes toward the 4 GiB
+    // budget, and concurrent baselines could OOM the host where the
+    // serial sweep (one tape alive at a time) survives.
+    for (scale, app_ms, app_bytes, chef_ms, chef_bytes, program, func, args) in rows {
+        let (adapt_ms, adapt_mb) = match adapt_point(&program, func, &args) {
+            Some((t, b)) => (format!("{t:.1}"), mb(b)),
+            None => ("OOM".to_string(), "OOM".to_string()),
         };
         println!(
             "{:>10} | {:>10.1} {:>10} | {:>10.1} {:>10} | {:>10} {:>10}",
             scale,
             app_ms,
             mb(app_bytes),
-            pt.chef_ms,
-            mb(pt.chef_bytes),
+            chef_ms,
+            mb(chef_bytes),
             adapt_ms,
             adapt_mb
         );
@@ -648,6 +675,168 @@ fn fig9() {
              rest in float"
         ),
         None => println!("sensitivities never collapse below the threshold"),
+    }
+}
+
+// ----------------------------------------------------------- oracle table
+
+/// One shadow-oracle comparison: tune on estimates, then *measure* the
+/// chosen configuration with the fused shadow pass. Returns the quality
+/// row plus the demotion set and the top measured attribution.
+fn oracle_row(
+    p: &Program,
+    func: &str,
+    args: &[ArgValue],
+    cfg: &TunerConfig,
+) -> (EstimateQualityRow, Vec<String>, String) {
+    let res = tune(p, func, args, cfg).expect("tuner runs");
+    let rep = validate_with_oracle(p, func, args, &res.config, &OracleOptions::default())
+        .expect("oracle runs");
+    let top = rep
+        .per_variable
+        .first()
+        .map(|(n, e)| format!("{n} ({})", sci(*e)))
+        .unwrap_or_else(|| "-".to_string());
+    (
+        rep.against_estimate(cfg.threshold, res.estimated_error),
+        res.demoted,
+        top,
+    )
+}
+
+/// The `repro --oracle` rows at full (paper-scaled) workloads.
+fn oracle_rows() -> Vec<(EstimateQualityRow, Vec<String>, String)> {
+    let mut rows = Vec::new();
+    {
+        let p = chef_apps::arclen::program();
+        rows.push(oracle_row(
+            &p,
+            chef_apps::arclen::NAME,
+            &chef_apps::arclen::args(100_000),
+            &TunerConfig::with_threshold(1e-5),
+        ));
+    }
+    {
+        let p = chef_apps::simpsons::program();
+        rows.push(oracle_row(
+            &p,
+            chef_apps::simpsons::NAME,
+            &chef_apps::simpsons::args(100_000),
+            &TunerConfig::with_threshold(1e-6),
+        ));
+    }
+    {
+        let p = chef_apps::kmeans::program();
+        let w = chef_apps::kmeans::workload(10_000, 5, 4, 42);
+        let cfg = TunerConfig::with_threshold(1e-6)
+            .with_array_len("attributes", "npoints * nfeatures")
+            .with_array_len("clusters", "nclusters * nfeatures");
+        rows.push(oracle_row(
+            &p,
+            chef_apps::kmeans::NAME,
+            &chef_apps::kmeans::args(&w),
+            &cfg,
+        ));
+    }
+    {
+        let p = chef_apps::hpccg::program();
+        let prob = chef_apps::hpccg::problem(20, 30, 5);
+        rows.push(oracle_row(
+            &p,
+            chef_apps::hpccg::NAME,
+            &chef_apps::hpccg::args(&prob),
+            &TunerConfig::with_threshold(1e-10),
+        ));
+    }
+    {
+        let p = chef_apps::blackscholes::program();
+        let w = chef_apps::blackscholes::workload(1_000, 42);
+        // Demotion over the computed locals (the Table IV surface); see
+        // `chef_apps::blackscholes::TUNE_CANDIDATES`.
+        let mut cfg = TunerConfig::with_threshold(1e-5);
+        cfg.candidates = Some(
+            chef_apps::blackscholes::TUNE_CANDIDATES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        rows.push(oracle_row(
+            &p,
+            chef_apps::blackscholes::NAME,
+            &chef_apps::blackscholes::args(&w),
+            &cfg,
+        ));
+    }
+    rows
+}
+
+fn print_oracle_rows(rows: &[(EstimateQualityRow, Vec<String>, String)]) {
+    println!(
+        "{:<14} {:>10} {:>14} {:>14} {:>12} {:>9}  top attribution / demoted",
+        "Benchmark", "Threshold", "Estimated", "Measured", "rel dev", "<=10x"
+    );
+    for (row, demoted, top) in rows {
+        println!(
+            "{:<14} {:>10} {:>14} {:>14} {:>12} {:>9}  {} / {}",
+            row.kernel,
+            sci(row.threshold),
+            sci(row.estimated),
+            sci(row.measured),
+            rel_dev_pct(row.estimated, row.measured),
+            if row.within_order_of_magnitude() {
+                "yes"
+            } else {
+                "NO"
+            },
+            top,
+            if demoted.is_empty() {
+                "(none)".to_string()
+            } else {
+                demoted.join(", ")
+            }
+        );
+    }
+}
+
+fn oracle_table() {
+    header("Oracle: estimated vs shadow-measured error per tuned configuration");
+    print_oracle_rows(&oracle_rows());
+
+    // The dual direction: with *no* demotion, the double-double shadow
+    // measures each f64 kernel's own rounding error (RPC-style check).
+    println!("\nf64 self-error (double-double shadow, no demotion):");
+    let dd = OracleOptions {
+        mode: ShadowMode::DD,
+        ..Default::default()
+    };
+    let selfs: Vec<(&str, Program, &str, Vec<ArgValue>)> = vec![
+        (
+            "Arc Length",
+            chef_apps::arclen::program(),
+            chef_apps::arclen::NAME,
+            chef_apps::arclen::args(100_000),
+        ),
+        (
+            "Simpsons",
+            chef_apps::simpsons::program(),
+            chef_apps::simpsons::NAME,
+            chef_apps::simpsons::args(100_000),
+        ),
+        (
+            "Black-Scholes",
+            chef_apps::blackscholes::program(),
+            chef_apps::blackscholes::NAME,
+            chef_apps::blackscholes::args(&chef_apps::blackscholes::workload(1_000, 42)),
+        ),
+    ];
+    for (label, p, func, args) in selfs {
+        let rep = validate_with_oracle(&p, func, &args, &PrecisionMap::empty(), &dd)
+            .expect("dd oracle runs");
+        println!(
+            "{label:<14} |out err| = {}   acc = {}",
+            sci(rep.output_error),
+            sci(rep.acc_error)
+        );
     }
 }
 
@@ -717,9 +906,19 @@ fn smoke() {
     let prob = chef_apps::hpccg::problem(4, 4, 4);
     let (_, sens_ms) = time_median(3, || hpccg_profile(&prob).unwrap().ticks);
 
+    // 6. Fused shadow pass vs the plain VM run on the same kernel (the
+    // shadow/overhead bench group's headline ratio, snapshot-tracked).
+    let mut sm = chef_exec::shadow::ShadowMachine::<f64>::new();
+    let (_, vm_shadow_ms) = time_median(9, || {
+        sm.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+            .unwrap()
+            .ret_f()
+    });
+
     let rows = [
         ("vm_arclen_fused_ms", vm_fused_ms),
         ("vm_arclen_unfused_ms", vm_unfused_ms),
+        ("vm_arclen_shadowed_ms", vm_shadow_ms),
         ("analysis_arclen_ms", analysis_ms),
         ("analysis_batch32_ms", batch_ms),
         ("tuner_simpsons_ms", tuner_ms),
@@ -728,8 +927,47 @@ fn smoke() {
     for (name, ms) in &rows {
         println!("{name:<24} {ms:>9.3} ms");
     }
+    println!(
+        "shadow overhead: {:.2}x over the plain fused run",
+        vm_shadow_ms / vm_fused_ms
+    );
     let doc = Json::obj(rows.iter().map(|&(name, ms)| (name, Json::Num(ms))));
     let path = "BENCH_smoke.json";
     std::fs::write(path, doc.to_string_pretty()).expect("snapshot written");
+    println!("snapshot written to {path}");
+
+    // Shadow-oracle smoke table: small workloads, same estimated-vs-
+    // measured rows as `repro --oracle`, written next to the perf
+    // snapshot for the CI artifact.
+    header("oracle smoke (estimated vs shadow-measured; -> BENCH_oracle_smoke.json)");
+    let mut rows = Vec::new();
+    {
+        let p = chef_apps::arclen::program();
+        rows.push(oracle_row(
+            &p,
+            chef_apps::arclen::NAME,
+            &chef_apps::arclen::args(2_000),
+            &TunerConfig::with_threshold(3e-6),
+        ));
+    }
+    {
+        let p = chef_apps::simpsons::program();
+        rows.push(oracle_row(
+            &p,
+            chef_apps::simpsons::NAME,
+            &chef_apps::simpsons::args(2_000),
+            &TunerConfig::with_threshold(1e-7),
+        ));
+    }
+    print_oracle_rows(&rows);
+    let doc = Json::obj([
+        (
+            "rows",
+            Json::Arr(rows.iter().map(|(r, _, _)| r.to_json_value()).collect()),
+        ),
+        ("shadow_overhead_x", Json::Num(vm_shadow_ms / vm_fused_ms)),
+    ]);
+    let path = "BENCH_oracle_smoke.json";
+    std::fs::write(path, doc.to_string_pretty()).expect("oracle snapshot written");
     println!("snapshot written to {path}");
 }

@@ -52,6 +52,24 @@ pub fn mb(bytes: usize) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// Relative deviation of an estimate from a measurement, as a percentage
+/// in the same zero-padded exponent style as [`sci`] (`|est − meas| /
+/// |meas| · 100`, e.g. `1.00e+01%`). A zero measurement against a
+/// non-zero estimate prints `inf%` (the deviation is unbounded, not an
+/// astronomically scaled number). Used by the estimated-vs-measured
+/// columns of `repro --oracle`.
+pub fn rel_dev_pct(estimated: f64, measured: f64) -> String {
+    if measured == 0.0 {
+        return if estimated == 0.0 {
+            format!("{}%", sci(0.0))
+        } else {
+            "inf%".to_string()
+        };
+    }
+    let dev = (estimated - measured).abs() / measured.abs() * 100.0;
+    format!("{}%", sci(dev))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +98,20 @@ mod tests {
         assert_eq!(sci(1.234e-123), "1.23e-123");
         assert_eq!(sci(0.0), "0.00e+00");
         assert_eq!(mb(1024 * 1024), "1.00");
+    }
+
+    #[test]
+    fn relative_deviation_keeps_the_pinned_exponent_style() {
+        // 1.1e-6 estimated vs 1.0e-6 measured: 10% deviation.
+        assert_eq!(rel_dev_pct(1.1e-6, 1.0e-6), "1.00e+01%");
+        // Estimate an order of magnitude high: 900%.
+        assert_eq!(rel_dev_pct(1e-5, 1e-6), "9.00e+02%");
+        // Exact agreement (including the both-zero case) is 0%.
+        assert_eq!(rel_dev_pct(3.0e-7, 3.0e-7), "0.00e+00%");
+        assert_eq!(rel_dev_pct(0.0, 0.0), "0.00e+00%");
+        // A zero measurement against a non-zero estimate is unbounded.
+        assert_eq!(rel_dev_pct(1e-11, 0.0), "inf%");
+        // The exponent stays zero-padded and sign-explicit like `sci`.
+        assert_eq!(rel_dev_pct(2.0e-6, 1.0e-6), "1.00e+02%");
     }
 }

@@ -48,6 +48,9 @@ pub enum ChefError {
     Trap(Trap),
     /// No such function in the program.
     UnknownFunction(String),
+    /// The request is outside what the pipeline supports (e.g. the
+    /// shadow oracle on a function that does not return a float).
+    Unsupported(String),
 }
 
 impl From<Trap> for ChefError {
@@ -66,6 +69,7 @@ impl std::fmt::Display for ChefError {
             ChefError::Compile(e) => write!(f, "compile error: {e}"),
             ChefError::Trap(t) => write!(f, "runtime trap: {t}"),
             ChefError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            ChefError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }

@@ -174,6 +174,71 @@ impl Record for ApproxRow {
     }
 }
 
+/// One row of the shadow-oracle comparison: CHEF-FP's *estimated* error
+/// for a configuration next to the error the shadow-execution oracle
+/// *measured* for it (the Table I estimated-vs-actual relationship as a
+/// measured artifact; produced by `chef-shadow` / `repro --oracle`).
+#[derive(Clone, Debug)]
+pub struct EstimateQualityRow {
+    /// Kernel (benchmark) name.
+    pub kernel: String,
+    /// User threshold the configuration was tuned for.
+    pub threshold: f64,
+    /// CHEF-FP's accumulated estimate for the configuration.
+    pub estimated: f64,
+    /// Ground-truth output error measured by the shadow oracle.
+    pub measured: f64,
+}
+
+impl EstimateQualityRow {
+    /// `measured / estimated`, with both sides floored at `1e-300` so a
+    /// zero-error configuration (nothing demoted, or exactly
+    /// representable inputs) reports `1.0` instead of NaN.
+    pub fn ratio(&self) -> f64 {
+        let floor = 1e-300;
+        self.measured.abs().max(floor) / self.estimated.abs().max(floor)
+    }
+
+    /// The paper's Table I relationship: estimate and measurement agree
+    /// to within an order of magnitude (with an absolute floor so two
+    /// ~zero errors compare equal).
+    pub fn within_order_of_magnitude(&self) -> bool {
+        let floor = 1e-15;
+        let (e, m) = (self.estimated.abs(), self.measured.abs());
+        m <= 10.0 * e + floor && e <= 10.0 * m + floor
+    }
+
+    /// Relative deviation of the estimate from the measurement, as a
+    /// fraction (`|estimated − measured| / max(|measured|, 1e-300)`).
+    pub fn rel_deviation(&self) -> f64 {
+        (self.estimated - self.measured).abs() / self.measured.abs().max(1e-300)
+    }
+}
+
+impl Record for EstimateQualityRow {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("kernel", Json::str(&self.kernel)),
+            ("threshold", Json::Num(self.threshold)),
+            ("estimated", Json::Num(self.estimated)),
+            ("measured", Json::Num(self.measured)),
+            ("ratio", Json::Num(self.ratio())),
+            ("within_10x", Json::Bool(self.within_order_of_magnitude())),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        // `ratio`/`within_10x` are derived on write and recomputed on
+        // read.
+        Ok(EstimateQualityRow {
+            kernel: string(v, "kernel")?,
+            threshold: num(v, "threshold")?,
+            estimated: num(v, "estimated")?,
+            measured: num(v, "measured")?,
+        })
+    }
+}
+
 /// Writes any record as pretty JSON.
 pub fn to_json<T: Record>(value: &T) -> String {
     value.to_json_value().to_string_pretty()
@@ -220,6 +285,38 @@ mod tests {
         let back: AnalysisSample = from_json(&json).unwrap();
         assert_eq!(back.peak_bytes, None);
         assert_eq!(back.scale, 100_000);
+    }
+
+    #[test]
+    fn estimate_quality_round_trips_and_classifies() {
+        let row = EstimateQualityRow {
+            kernel: "arclen".into(),
+            threshold: 1e-5,
+            estimated: 3.1e-6,
+            measured: 2.4e-6,
+        };
+        assert!(row.within_order_of_magnitude());
+        assert!((row.ratio() - 2.4 / 3.1).abs() < 1e-12);
+        let json = to_json(&row);
+        assert!(json.contains("\"within_10x\": true"), "{json}");
+        let back: EstimateQualityRow = from_json(&json).unwrap();
+        assert_eq!(back.estimated, row.estimated);
+        assert_eq!(back.measured, row.measured);
+        // Order-of-magnitude violations are flagged...
+        let bad = EstimateQualityRow {
+            measured: 1.0,
+            ..row.clone()
+        };
+        assert!(!bad.within_order_of_magnitude());
+        // ...but two ~zero errors count as agreement (nothing demoted).
+        let zero = EstimateQualityRow {
+            kernel: "kmeans".into(),
+            threshold: 1e-6,
+            estimated: 0.0,
+            measured: 0.0,
+        };
+        assert!(zero.within_order_of_magnitude());
+        assert_eq!(zero.ratio(), 1.0);
     }
 
     #[test]

@@ -301,6 +301,14 @@ pub struct CompiledFunction {
     pub params: Vec<ParamSpec>,
     /// Return kind.
     pub ret: RetKind,
+    /// Source names of the float registers that are variable homes
+    /// (`(register index, name)`, ascending; temporaries are unnamed).
+    /// Consumed by the shadow interpreter's per-variable attribution and
+    /// by diagnostics; execution never reads it.
+    pub fvar_names: Vec<(u32, String)>,
+    /// Source names of the array registers (every array register is a
+    /// variable home; there are no array temporaries).
+    pub avar_names: Vec<(u32, String)>,
 }
 
 impl CompiledFunction {
@@ -342,6 +350,8 @@ mod tests {
             n_aregs: 0,
             params: vec![],
             ret: RetKind::F(FloatTy::F64),
+            fvar_names: vec![],
+            avar_names: vec![],
         };
         let d = f.disassemble();
         assert!(d.contains("FConst"));

@@ -60,6 +60,15 @@ impl PrecisionMap {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// The overrides as an id-sorted list — a canonical form usable as a
+    /// cache key for compiled variants (two maps with the same overrides
+    /// produce the same list).
+    pub fn sorted_entries(&self) -> Vec<(VarId, FloatTy)> {
+        let mut v: Vec<_> = self.map.iter().map(|(&id, &ty)| (id, ty)).collect();
+        v.sort_by_key(|&(id, _)| id);
+        v
+    }
 }
 
 /// Compilation options.
@@ -961,6 +970,18 @@ impl<'a> Compiler<'a> {
             Type::Bool => RetKind::B,
             _ => RetKind::Void,
         };
+        // Name tables for attribution/diagnostics: every variable's home
+        // register, in slot order (temps live above `nf_vars`/`na` and
+        // stay unnamed).
+        let mut fvar_names = Vec::new();
+        let mut avar_names = Vec::new();
+        for ((_, info), slot) in self.func.vars_iter().zip(&self.slots) {
+            match slot {
+                Slot::F(r, _) => fvar_names.push((r.0, info.name.clone())),
+                Slot::FA(r, _) | Slot::IA(r) => avar_names.push((r.0, info.name.clone())),
+                Slot::I(_) | Slot::B(_) => {}
+            }
+        }
         CompiledFunction {
             name: self.func.name.clone(),
             instrs: self.instrs,
@@ -970,6 +991,8 @@ impl<'a> Compiler<'a> {
             n_aregs: self.na,
             params,
             ret,
+            fvar_names,
+            avar_names,
         }
     }
 }

@@ -18,22 +18,47 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_init(items, max_threads, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: `init` runs once on each
+/// worker thread (and once for the inline fallback), and `f` receives a
+/// mutable borrow of that worker's state for every item it processes.
+///
+/// This is the shape the execution engine's batch APIs need — one
+/// reusable [`crate::vm::Machine`] (or shadow machine) per worker,
+/// amortized over the worker's whole chunk — without forcing the state
+/// type into a `thread_local!` (which cannot be generic).
+pub fn parallel_map_init<T, R, S, I, F>(
+    items: Vec<T>,
+    max_threads: Option<usize>,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n = items.len();
     let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
     let threads = max_threads.unwrap_or(hw).min(n).max(1);
     if threads <= 1 || n < 2 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
     let chunk = n.div_ceil(threads);
     let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let f = &f;
+    let (f, init) = (&f, &init);
     std::thread::scope(|s| {
         for (res_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks_mut(chunk)) {
             s.spawn(move || {
+                let mut state = init();
                 for (slot, item) in res_chunk.iter_mut().zip(item_chunk.iter_mut()) {
                     let item = item.take().expect("each input is consumed once");
-                    *slot = Some(f(item));
+                    *slot = Some(f(&mut state, item));
                 }
             });
         }
@@ -60,6 +85,33 @@ mod tests {
         let a = parallel_map(items.clone(), Some(1), |x| x + 1);
         let b = parallel_map(items, Some(4), |x| x + 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn init_runs_once_per_worker_and_state_is_reused() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out = parallel_map_init(
+            (0..40).collect::<Vec<i32>>(),
+            Some(4),
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0i32 // per-worker running count
+            },
+            |seen, x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        // Order preserved, every item processed exactly once.
+        assert_eq!(
+            out.iter().map(|(x, _)| *x).collect::<Vec<_>>(),
+            (0..40).collect::<Vec<_>>()
+        );
+        // At most one init per worker thread (4), each reused across its chunk.
+        let inits = inits.load(Ordering::SeqCst);
+        assert!((1..=4).contains(&inits), "{inits} inits");
+        assert!(out.iter().any(|&(_, seen)| seen > 1), "state not reused");
     }
 
     #[test]

@@ -1,0 +1,1235 @@
+//! Shadow execution: one fused VM pass that runs a compiled program and
+//! its high-precision shadow side by side.
+//!
+//! The primal stream executes exactly like [`crate::vm`] — same
+//! arithmetic, same rounding instructions, same traps, bit-identical
+//! results — while every float register, float array slot and float tape
+//! entry carries a second value of type `S:`[`ShadowNum`] computed with
+//! **unrounded semantics**: `FRound`/`F*Round` are identity on the
+//! shadow, demoted parameters bind their original unrounded inputs, and
+//! arithmetic happens in `S` (plain `f64`, or a double-double for
+//! measuring an `f64` program's own rounding error — see `chef-shadow`).
+//!
+//! Three artifacts fall out of the pass (the Herbgrind recipe):
+//!
+//! * **Ground-truth output error** for the compiled configuration:
+//!   `|shadow return − primal return|` measures what the demotions in a
+//!   `PrecisionMap` actually did to the output, in one run instead of the
+//!   demoted-vs-baseline pair.
+//! * **Per-instruction local error samples**: at each float instruction
+//!   the op is additionally applied (in `S`) to the *primal* inputs; the
+//!   difference against the primal result is the rounding error
+//!   introduced *by this instruction alone*. Samples accumulate per `pc`
+//!   into [`PcSample`] (sum / max / count).
+//! * **Per-variable attribution**: every register carries a *pending*
+//!   error — the local errors absorbed while computing the value it
+//!   holds, propagated through temporaries. When a value is committed to
+//!   a named variable (its home register, or an array store), the pending
+//!   error is charged to that variable and cleared, so each local error
+//!   is charged to the first named variable it reaches. This mirrors how
+//!   the estimation module charges model terms at assignments, making
+//!   measured and estimated per-variable tables directly comparable.
+//!
+//! Control flow (branches, indices, trip counts) always follows the
+//! primal execution; a demotion that flips a branch is measured *along
+//! the demoted trace*, the standard shadow-execution convention.
+//!
+//! The pass reuses [`Machine`]'s buffers for the primal state and keeps
+//! the shadow files alongside in [`ShadowMachine`], which is reusable
+//! call-to-call exactly like `Machine`. Batches fan out over scoped
+//! threads through [`crate::par::parallel_map_init`] (one shadow machine
+//! per worker), mirroring [`crate::vm::run_batch_parallel`].
+
+use crate::bytecode::*;
+use crate::intrinsics::{eval1, eval2, ApproxConfig};
+use crate::precision::round_to;
+use crate::value::{ArgValue, Value};
+use crate::vm::{
+    fcmp, icmp, validate_function, ArraySlot, ExecOptions, ExecStats, Machine, Trap, TrapKind,
+};
+use chef_ir::ast::Intrinsic;
+use chef_ir::span::Span;
+
+/// The number type of the shadow stream.
+///
+/// Implemented by `f64` (unrounded double shadow — the oracle for
+/// mixed-precision configurations) and by `chef-shadow`'s double-double
+/// `DD` (quasi-exact shadow — the oracle for `f64` programs themselves).
+pub trait ShadowNum: Copy + Send + Sync + 'static {
+    /// Injects an exact `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Rounds back to `f64`.
+    fn to_f64(self) -> f64;
+    /// `a + b` in shadow precision.
+    fn add(a: Self, b: Self) -> Self;
+    /// `a - b` in shadow precision.
+    fn sub(a: Self, b: Self) -> Self;
+    /// `a * b` in shadow precision.
+    fn mul(a: Self, b: Self) -> Self;
+    /// `a / b` in shadow precision.
+    fn div(a: Self, b: Self) -> Self;
+    /// `-a`.
+    fn neg(a: Self) -> Self;
+    /// Unary intrinsic. The default evaluates through `f64` (correct for
+    /// the `f64` shadow; a wider type may override per intrinsic).
+    fn intr1(i: Intrinsic, a: Self, approx: &ApproxConfig) -> Self {
+        Self::from_f64(eval1(i, a.to_f64(), approx))
+    }
+    /// Binary intrinsic (see [`ShadowNum::intr1`]).
+    fn intr2(i: Intrinsic, a: Self, b: Self, approx: &ApproxConfig) -> Self {
+        Self::from_f64(eval2(i, a.to_f64(), b.to_f64(), approx))
+    }
+}
+
+impl ShadowNum for f64 {
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn add(a: Self, b: Self) -> Self {
+        a + b
+    }
+    #[inline(always)]
+    fn sub(a: Self, b: Self) -> Self {
+        a - b
+    }
+    #[inline(always)]
+    fn mul(a: Self, b: Self) -> Self {
+        a * b
+    }
+    #[inline(always)]
+    fn div(a: Self, b: Self) -> Self {
+        a / b
+    }
+    #[inline(always)]
+    fn neg(a: Self) -> Self {
+        -a
+    }
+}
+
+/// Accumulated local-error samples of one instruction (`pc`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PcSample {
+    /// Sum of `|local error|` over all executions.
+    pub sum: f64,
+    /// Largest single sample.
+    pub max: f64,
+    /// Number of non-zero samples.
+    pub count: u64,
+}
+
+/// The result of one fused shadow call.
+#[derive(Clone, Debug)]
+pub struct ShadowOutcome {
+    /// Primal return value (bit-identical to a plain [`crate::vm::run`]).
+    pub ret: Option<Value>,
+    /// Shadow return value rounded to `f64`, when the function returns a
+    /// float.
+    pub shadow_ret: Option<f64>,
+    /// `|shadow − primal|` of the return value, differenced in shadow
+    /// precision (exact even when the gap is below one `f64` ulp of the
+    /// result — the DD self-error case).
+    pub ret_error: Option<f64>,
+    /// The argument vector, exactly as [`crate::vm::CallOutcome::args`].
+    pub args: Vec<ArgValue>,
+    /// Primal execution statistics.
+    pub stats: ExecStats,
+    /// Per-instruction local-error samples, parallel to the instruction
+    /// stream (index = `pc`).
+    pub samples: Vec<PcSample>,
+    /// Per-variable charged error, in the function's variable order
+    /// (floats and float arrays; see the module docs for the commit
+    /// semantics). Entry rounding of demoted parameters is charged here
+    /// too.
+    pub var_error: Vec<(String, f64)>,
+    /// Sum of all `|local error|` samples, including parameter entry
+    /// rounding and the return-value rounding. Zero iff the primal
+    /// executed no narrowing rounding (relative to the shadow precision).
+    pub acc_error: f64,
+    /// Local-error samples that were NaN/∞ and therefore not accumulated
+    /// (a non-finite primal or shadow value was involved).
+    pub nonfinite_samples: u64,
+}
+
+impl ShadowOutcome {
+    /// Primal float return; panics if the function did not return one.
+    pub fn ret_f(&self) -> f64 {
+        self.ret.expect("function returned no value").as_f()
+    }
+
+    /// Shadow float return; panics if the function did not return one.
+    pub fn shadow_f(&self) -> f64 {
+        self.shadow_ret.expect("function returned no float")
+    }
+
+    /// The measured ground-truth output error `|shadow − primal|`,
+    /// differenced in shadow precision; panics if the function did not
+    /// return a float.
+    pub fn output_error(&self) -> f64 {
+        self.ret_error.expect("function returned no float")
+    }
+}
+
+/// A reusable fused primal+shadow activation: wraps a [`Machine`] (whose
+/// register files, array slots and tape serve the primal stream
+/// unchanged) and keeps the shadow register file, shadow arrays, shadow
+/// tape and the attribution state alongside. Reusable across calls like
+/// `Machine` — buffers keep their capacity.
+pub struct ShadowMachine<S: ShadowNum> {
+    m: Machine,
+    /// Shadow float registers, parallel to `m.f`.
+    sf: Vec<S>,
+    /// Pending (not yet committed) absolute local error per float register.
+    pend: Vec<f64>,
+    /// Shadow float arrays, parallel to `m.a` (empty for int arrays).
+    sa: Vec<Vec<S>>,
+    /// Shadow mirror of the float entries of the tape.
+    stape: Vec<S>,
+    /// Float-register → 1 + index into `var_names` (0 = temporary).
+    fvar_of: Vec<u32>,
+    /// Array-register → 1 + index into `var_names` (0 = unnamed).
+    avar_of: Vec<u32>,
+    var_names: Vec<String>,
+    var_err: Vec<f64>,
+    samples: Vec<PcSample>,
+}
+
+impl<S: ShadowNum> Default for ShadowMachine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: ShadowNum> ShadowMachine<S> {
+    /// An empty shadow machine; buffers grow on first use and persist.
+    pub fn new() -> Self {
+        ShadowMachine {
+            m: Machine::new(),
+            sf: Vec::new(),
+            pend: Vec::new(),
+            sa: Vec::new(),
+            stape: Vec::new(),
+            fvar_of: Vec::new(),
+            avar_of: Vec::new(),
+            var_names: Vec::new(),
+            var_err: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, func: &CompiledFunction, opts: &ExecOptions) {
+        self.m.reset(func, opts);
+        let nf = func.n_fregs as usize;
+        self.sf.clear();
+        self.sf.resize(nf, S::from_f64(0.0));
+        self.pend.clear();
+        self.pend.resize(nf, 0.0);
+        self.sa.truncate(func.n_aregs as usize);
+        for arr in &mut self.sa {
+            arr.clear();
+        }
+        while self.sa.len() < func.n_aregs as usize {
+            self.sa.push(Vec::new());
+        }
+        self.stape.clear();
+        self.samples.clear();
+        self.samples.resize(func.instrs.len(), PcSample::default());
+        // Attribution tables.
+        self.var_names.clear();
+        self.fvar_of.clear();
+        self.fvar_of.resize(nf, 0);
+        self.avar_of.clear();
+        self.avar_of.resize(func.n_aregs as usize, 0);
+        for &(reg, ref name) in &func.fvar_names {
+            self.var_names.push(name.clone());
+            if let Some(slot) = self.fvar_of.get_mut(reg as usize) {
+                *slot = self.var_names.len() as u32;
+            }
+        }
+        for &(reg, ref name) in &func.avar_names {
+            self.var_names.push(name.clone());
+            if let Some(slot) = self.avar_of.get_mut(reg as usize) {
+                *slot = self.var_names.len() as u32;
+            }
+        }
+        self.var_err.clear();
+        self.var_err.resize(self.var_names.len(), 0.0);
+    }
+
+    /// Runs `func` on `args` under `opts`, producing the fused outcome.
+    /// Validates the bytecode per call, exactly like
+    /// [`Machine::run_reused`].
+    pub fn run_reused(
+        &mut self,
+        func: &CompiledFunction,
+        args: Vec<ArgValue>,
+        opts: &ExecOptions,
+    ) -> Result<ShadowOutcome, Trap> {
+        if let Err(msg) = validate_function(func) {
+            return Err(Trap {
+                kind: TrapKind::InvalidBytecode(msg),
+                pc: 0,
+                span: Span::DUMMY,
+            });
+        }
+        self.run_prevalidated(func, args, opts)
+    }
+
+    fn run_prevalidated(
+        &mut self,
+        func: &CompiledFunction,
+        args: Vec<ArgValue>,
+        opts: &ExecOptions,
+    ) -> Result<ShadowOutcome, Trap> {
+        self.reset(func, opts);
+        // Snapshot the unrounded originals of demoted float parameters:
+        // `Machine::bind_args` rounds them in place, and the shadow binds
+        // the value *before* that representation rounding.
+        let mut scalar_orig: Vec<Option<f64>> = Vec::with_capacity(func.params.len());
+        let mut array_orig: Vec<Option<Vec<f64>>> = Vec::with_capacity(func.params.len());
+        for (spec, arg) in func.params.iter().zip(&args) {
+            let (mut s, mut a) = (None, None);
+            match (spec.kind, arg) {
+                (ParamKind::F(_), ArgValue::F(v)) => s = Some(*v),
+                (ParamKind::F(_), ArgValue::I(v)) => s = Some(*v as f64),
+                (ParamKind::FArr(prec), ArgValue::FArr(v))
+                    if prec != chef_ir::types::FloatTy::F64 =>
+                {
+                    a = Some(v.clone())
+                }
+                _ => {}
+            }
+            scalar_orig.push(s);
+            array_orig.push(a);
+        }
+        self.m.bind_args(func, args)?;
+
+        // Bind the shadow parameters and charge entry rounding.
+        let mut acc = 0.0f64;
+        let mut nonfinite = 0u64;
+        for (k, spec) in func.params.iter().enumerate() {
+            match spec.kind {
+                ParamKind::F(_) => {
+                    let orig = scalar_orig[k].unwrap_or(0.0);
+                    let prim = self.m.f[spec.reg as usize];
+                    self.sf[spec.reg as usize] = S::from_f64(orig);
+                    charge_entry(
+                        (orig - prim).abs(),
+                        self.fvar_of[spec.reg as usize],
+                        &mut self.var_err,
+                        &mut acc,
+                        &mut nonfinite,
+                    );
+                }
+                ParamKind::FArr(_) => {
+                    let slot = &self.m.a[spec.reg as usize];
+                    let prim: &[f64] = match slot {
+                        ArraySlot::F(v) => v,
+                        _ => &[],
+                    };
+                    let shadow = &mut self.sa[spec.reg as usize];
+                    shadow.clear();
+                    match &array_orig[k] {
+                        Some(orig) => {
+                            let var = self.avar_of[spec.reg as usize];
+                            for (o, p) in orig.iter().zip(prim) {
+                                shadow.push(S::from_f64(*o));
+                                charge_entry(
+                                    (o - p).abs(),
+                                    var,
+                                    &mut self.var_err,
+                                    &mut acc,
+                                    &mut nonfinite,
+                                );
+                            }
+                        }
+                        None => shadow.extend(prim.iter().map(|&p| S::from_f64(p))),
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let ret = self.exec_loop(func, opts, &mut acc, &mut nonfinite)?;
+        self.m.stats.tape_peak_bytes = self.m.tape.peak_bytes();
+        self.m.stats.tape_total_pushes = self.m.tape.total_pushes();
+        let args = self.m.unbind_args(func);
+        let var_error = self
+            .var_names
+            .iter()
+            .cloned()
+            .zip(self.var_err.iter().copied())
+            .collect();
+        Ok(ShadowOutcome {
+            ret: ret.0,
+            shadow_ret: ret.1,
+            ret_error: ret.2,
+            args,
+            stats: self.m.stats,
+            samples: std::mem::take(&mut self.samples),
+            var_error,
+            acc_error: acc,
+            nonfinite_samples: nonfinite,
+        })
+    }
+
+    /// The fused dispatch loop. Mirrors `vm::exec_loop` instruction by
+    /// instruction on the primal side (same results, traps and budget
+    /// checkpoints) and threads the shadow values, local-error samples
+    /// and pending attribution alongside.
+    #[allow(clippy::type_complexity)]
+    fn exec_loop(
+        &mut self,
+        func: &CompiledFunction,
+        opts: &ExecOptions,
+        acc: &mut f64,
+        nonfinite: &mut u64,
+    ) -> Result<(Option<Value>, Option<f64>, Option<f64>), Trap> {
+        let ShadowMachine {
+            m,
+            sf,
+            pend,
+            sa,
+            stape,
+            fvar_of,
+            avar_of,
+            var_err,
+            samples,
+            ..
+        } = self;
+        let Machine {
+            f,
+            i,
+            a,
+            tape,
+            stats,
+        } = m;
+        let f = &mut f[..];
+        let i = &mut i[..];
+        let instrs = &func.instrs[..];
+        let approx = &opts.approx;
+        let budget = opts.max_instrs.unwrap_or(u64::MAX);
+        let mut executed: u64 = 0;
+        let mut pc: usize = 0;
+
+        let trap = |kind: TrapKind, pc: usize| Trap {
+            kind,
+            pc,
+            span: func.spans.get(pc).copied().unwrap_or(Span::DUMMY),
+        };
+
+        // Primal register access: validated once (`validate_function`),
+        // like the plain VM. Shadow files share the same bounds, accessed
+        // with the same indices.
+        macro_rules! fr {
+            ($r:expr) => {
+                f[$r.0 as usize]
+            };
+        }
+        macro_rules! ir {
+            ($r:expr) => {
+                i[$r.0 as usize]
+            };
+        }
+        macro_rules! sr {
+            ($r:expr) => {
+                sf[$r.0 as usize]
+            };
+        }
+        // Records one local-error sample at the current pc.
+        macro_rules! sample {
+            ($local:expr) => {{
+                let l: f64 = $local;
+                if l > 0.0 {
+                    if l.is_finite() {
+                        let s = &mut samples[pc];
+                        s.sum += l;
+                        if l > s.max {
+                            s.max = l;
+                        }
+                        s.count += 1;
+                        *acc += l;
+                    } else {
+                        *nonfinite += 1;
+                    }
+                } else if l.is_nan() {
+                    *nonfinite += 1;
+                }
+            }};
+        }
+        // Writes primal+shadow to `dst` and commits the pending error:
+        // charged to the destination's variable if it is named, carried
+        // forward otherwise.
+        macro_rules! put {
+            ($dst:expr, $prim:expr, $shadow:expr, $pend:expr) => {{
+                let d = $dst.0 as usize;
+                f[d] = $prim;
+                sf[d] = $shadow;
+                let mut p: f64 = $pend;
+                let v = fvar_of[d];
+                if v != 0 {
+                    var_err[(v - 1) as usize] += p;
+                    p = 0.0;
+                }
+                pend[d] = p;
+            }};
+        }
+        macro_rules! jump {
+            ($target:expr) => {{
+                let t = $target as usize;
+                if t <= pc && executed > budget {
+                    return Err(trap(TrapKind::InstrBudgetExhausted, pc));
+                }
+                pc = t;
+                continue;
+            }};
+        }
+
+        let ret: (Option<Value>, Option<f64>, Option<f64>) = loop {
+            let Some(ins) = instrs.get(pc) else {
+                break (None, None, None);
+            };
+            executed += 1;
+            match ins {
+                Instr::FConst { dst, v } => put!(dst, *v, S::from_f64(*v), 0.0),
+                Instr::FMov { dst, src } => {
+                    put!(dst, fr!(src), sr!(src), pend[src.0 as usize])
+                }
+                Instr::FAdd { dst, a: x, b: y } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = pa + pb;
+                    let local = S::sub(S::add(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::add(sr!(x), sr!(y)), p);
+                }
+                Instr::FSub { dst, a: x, b: y } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = pa - pb;
+                    let local = S::sub(S::sub(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::sub(sr!(x), sr!(y)), p);
+                }
+                Instr::FMul { dst, a: x, b: y } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = pa * pb;
+                    let local = S::sub(S::mul(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::mul(sr!(x), sr!(y)), p);
+                }
+                Instr::FDiv { dst, a: x, b: y } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = pa / pb;
+                    let local = S::sub(S::div(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::div(sr!(x), sr!(y)), p);
+                }
+                Instr::FNeg { dst, src } => {
+                    put!(dst, -fr!(src), S::neg(sr!(src)), pend[src.0 as usize])
+                }
+                Instr::FRound { dst, src, ty } => {
+                    let v = fr!(src);
+                    let prim = round_to(v, *ty);
+                    let local = (v - prim).abs();
+                    sample!(local);
+                    put!(dst, prim, sr!(src), pend[src.0 as usize] + local);
+                }
+                Instr::FIntr1 { dst, intr, a: x } => {
+                    let pa = fr!(x);
+                    let prim = eval1(*intr, pa, approx);
+                    let local = S::sub(S::intr1(*intr, S::from_f64(pa), approx), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        dst,
+                        prim,
+                        S::intr1(*intr, sr!(x), approx),
+                        pend[x.0 as usize] + local
+                    );
+                }
+                Instr::FIntr2 {
+                    dst,
+                    intr,
+                    a: x,
+                    b: y,
+                } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = eval2(*intr, pa, pb, approx);
+                    let local = S::sub(
+                        S::intr2(*intr, S::from_f64(pa), S::from_f64(pb), approx),
+                        S::from_f64(prim),
+                    )
+                    .to_f64()
+                    .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::intr2(*intr, sr!(x), sr!(y), approx), p);
+                }
+                Instr::FCmp {
+                    dst,
+                    op,
+                    a: x,
+                    b: y,
+                } => i[dst.0 as usize] = fcmp(*op, fr!(x), fr!(y)) as i64,
+                Instr::FLoad { dst, arr, idx } => {
+                    let index = ir!(idx);
+                    let prim = match &a[arr.0 as usize] {
+                        ArraySlot::F(v) => match v.get(index as usize) {
+                            Some(&x) if index >= 0 => x,
+                            _ => {
+                                let len = v.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    };
+                    let sh = sa[arr.0 as usize]
+                        .get(index as usize)
+                        .copied()
+                        .unwrap_or(S::from_f64(prim));
+                    put!(dst, prim, sh, 0.0);
+                }
+                Instr::FStore { arr, idx, src } => {
+                    let index = ir!(idx);
+                    let v = fr!(src);
+                    match &mut a[arr.0 as usize] {
+                        ArraySlot::F(vec) => match vec.get_mut(index as usize) {
+                            Some(slot) if index >= 0 => *slot = v,
+                            _ => {
+                                let len = vec.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    }
+                    if let Some(slot) = sa[arr.0 as usize].get_mut(index as usize) {
+                        *slot = sr!(src);
+                    }
+                    let var = avar_of[arr.0 as usize];
+                    if var != 0 {
+                        var_err[(var - 1) as usize] += pend[src.0 as usize];
+                    }
+                    pend[src.0 as usize] = 0.0;
+                }
+                Instr::F2I { dst, src } => i[dst.0 as usize] = fr!(src) as i64,
+                Instr::I2F { dst, src } => {
+                    let v = ir!(src) as f64;
+                    put!(dst, v, S::from_f64(v), 0.0);
+                }
+
+                Instr::IConst { dst, v } => i[dst.0 as usize] = *v,
+                Instr::IMov { dst, src } => i[dst.0 as usize] = ir!(src),
+                Instr::IAdd { dst, a: x, b: y } => i[dst.0 as usize] = ir!(x).wrapping_add(ir!(y)),
+                Instr::ISub { dst, a: x, b: y } => i[dst.0 as usize] = ir!(x).wrapping_sub(ir!(y)),
+                Instr::IMul { dst, a: x, b: y } => i[dst.0 as usize] = ir!(x).wrapping_mul(ir!(y)),
+                Instr::IDiv { dst, a: x, b: y } => {
+                    let d = ir!(y);
+                    if d == 0 {
+                        return Err(trap(TrapKind::DivByZero, pc));
+                    }
+                    i[dst.0 as usize] = ir!(x).wrapping_div(d);
+                }
+                Instr::IRem { dst, a: x, b: y } => {
+                    let d = ir!(y);
+                    if d == 0 {
+                        return Err(trap(TrapKind::DivByZero, pc));
+                    }
+                    i[dst.0 as usize] = ir!(x).wrapping_rem(d);
+                }
+                Instr::INeg { dst, src } => i[dst.0 as usize] = ir!(src).wrapping_neg(),
+                Instr::ICmp {
+                    dst,
+                    op,
+                    a: x,
+                    b: y,
+                } => i[dst.0 as usize] = icmp(*op, ir!(x), ir!(y)) as i64,
+                Instr::ILoad { dst, arr, idx } => {
+                    let index = ir!(idx);
+                    match &a[arr.0 as usize] {
+                        ArraySlot::I(v) => match v.get(index as usize) {
+                            Some(&x) if index >= 0 => i[dst.0 as usize] = x,
+                            _ => {
+                                let len = v.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    }
+                }
+                Instr::IStore { arr, idx, src } => {
+                    let index = ir!(idx);
+                    let v = ir!(src);
+                    match &mut a[arr.0 as usize] {
+                        ArraySlot::I(vec) => match vec.get_mut(index as usize) {
+                            Some(slot) if index >= 0 => *slot = v,
+                            _ => {
+                                let len = vec.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    }
+                }
+                Instr::BNot { dst, src } => i[dst.0 as usize] = (ir!(src) == 0) as i64,
+
+                Instr::Jmp { target } => jump!(*target),
+                Instr::JmpIfFalse { cond, target } => {
+                    if ir!(cond) == 0 {
+                        jump!(*target);
+                    }
+                }
+                Instr::JmpIfTrue { cond, target } => {
+                    if ir!(cond) != 0 {
+                        jump!(*target);
+                    }
+                }
+
+                Instr::TPushF { src } => {
+                    if let Err(e) = tape.push_f(fr!(src)) {
+                        return Err(trap(TrapKind::Tape(e), pc));
+                    }
+                    stape.push(sr!(src));
+                }
+                Instr::TPopF { dst } => match tape.pop_f() {
+                    Ok(v) => {
+                        let sh = stape.pop().unwrap_or(S::from_f64(v));
+                        put!(dst, v, sh, 0.0);
+                    }
+                    Err(e) => return Err(trap(TrapKind::Tape(e), pc)),
+                },
+                Instr::TPushI { src } => {
+                    if let Err(e) = tape.push_i(ir!(src)) {
+                        return Err(trap(TrapKind::Tape(e), pc));
+                    }
+                }
+                Instr::TPopI { dst } => match tape.pop_i() {
+                    Ok(v) => i[dst.0 as usize] = v,
+                    Err(e) => return Err(trap(TrapKind::Tape(e), pc)),
+                },
+
+                Instr::AllocF { arr, len } => {
+                    let n = ir!(len);
+                    if n < 0 {
+                        return Err(trap(TrapKind::NegativeArrayLen(n), pc));
+                    }
+                    stats.local_array_bytes += n as usize * 8;
+                    let slot = &mut a[arr.0 as usize];
+                    match slot {
+                        ArraySlot::F(v) | ArraySlot::StaleF(v) => {
+                            v.clear();
+                            v.resize(n as usize, 0.0);
+                            let buf = std::mem::take(v);
+                            *slot = ArraySlot::F(buf);
+                        }
+                        other => *other = ArraySlot::F(vec![0.0; n as usize]),
+                    }
+                    let shadow = &mut sa[arr.0 as usize];
+                    shadow.clear();
+                    shadow.resize(n as usize, S::from_f64(0.0));
+                }
+                Instr::AllocI { arr, len } => {
+                    let n = ir!(len);
+                    if n < 0 {
+                        return Err(trap(TrapKind::NegativeArrayLen(n), pc));
+                    }
+                    stats.local_array_bytes += n as usize * 8;
+                    let slot = &mut a[arr.0 as usize];
+                    match slot {
+                        ArraySlot::I(v) | ArraySlot::StaleI(v) => {
+                            v.clear();
+                            v.resize(n as usize, 0);
+                            let buf = std::mem::take(v);
+                            *slot = ArraySlot::I(buf);
+                        }
+                        other => *other = ArraySlot::I(vec![0; n as usize]),
+                    }
+                    sa[arr.0 as usize].clear();
+                }
+
+                // ---- fused superinstructions ----
+                Instr::FMulAdd { dst, a: x, b: y, c } => {
+                    let (pa, pb, pcv) = (fr!(x), fr!(y), fr!(c));
+                    let prim = pa * pb + pcv;
+                    let local = S::sub(
+                        S::add(S::mul(S::from_f64(pa), S::from_f64(pb)), S::from_f64(pcv)),
+                        S::from_f64(prim),
+                    )
+                    .to_f64()
+                    .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + pend[c.0 as usize] + local;
+                    put!(dst, prim, S::add(S::mul(sr!(x), sr!(y)), sr!(c)), p);
+                }
+                Instr::FAddRound {
+                    dst,
+                    a: x,
+                    b: y,
+                    ty,
+                } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = round_to(pa + pb, *ty);
+                    let local = S::sub(S::add(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::add(sr!(x), sr!(y)), p);
+                }
+                Instr::FSubRound {
+                    dst,
+                    a: x,
+                    b: y,
+                    ty,
+                } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = round_to(pa - pb, *ty);
+                    let local = S::sub(S::sub(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::sub(sr!(x), sr!(y)), p);
+                }
+                Instr::FMulRound {
+                    dst,
+                    a: x,
+                    b: y,
+                    ty,
+                } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = round_to(pa * pb, *ty);
+                    let local = S::sub(S::mul(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::mul(sr!(x), sr!(y)), p);
+                }
+                Instr::FDivRound {
+                    dst,
+                    a: x,
+                    b: y,
+                    ty,
+                } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = round_to(pa / pb, *ty);
+                    let local = S::sub(S::div(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::div(sr!(x), sr!(y)), p);
+                }
+                Instr::FLoadOff {
+                    dst,
+                    arr,
+                    base,
+                    off,
+                } => {
+                    let index = ir!(base).wrapping_add(*off as i64);
+                    let prim = match &a[arr.0 as usize] {
+                        ArraySlot::F(v) => match v.get(index as usize) {
+                            Some(&x) if index >= 0 => x,
+                            _ => {
+                                let len = v.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    };
+                    let sh = sa[arr.0 as usize]
+                        .get(index as usize)
+                        .copied()
+                        .unwrap_or(S::from_f64(prim));
+                    put!(dst, prim, sh, 0.0);
+                }
+                Instr::FStoreOff {
+                    arr,
+                    base,
+                    off,
+                    src,
+                } => {
+                    let index = ir!(base).wrapping_add(*off as i64);
+                    let v = fr!(src);
+                    match &mut a[arr.0 as usize] {
+                        ArraySlot::F(vec) => match vec.get_mut(index as usize) {
+                            Some(slot) if index >= 0 => *slot = v,
+                            _ => {
+                                let len = vec.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    }
+                    if let Some(slot) = sa[arr.0 as usize].get_mut(index as usize) {
+                        *slot = sr!(src);
+                    }
+                    let var = avar_of[arr.0 as usize];
+                    if var != 0 {
+                        var_err[(var - 1) as usize] += pend[src.0 as usize];
+                    }
+                    pend[src.0 as usize] = 0.0;
+                }
+                Instr::IAddImm { dst, a: x, imm } => i[dst.0 as usize] = ir!(x).wrapping_add(*imm),
+                Instr::FCmpJmpFalse {
+                    op,
+                    a: x,
+                    b: y,
+                    target,
+                } => {
+                    if !fcmp(*op, fr!(x), fr!(y)) {
+                        jump!(*target);
+                    }
+                }
+                Instr::FCmpJmpTrue {
+                    op,
+                    a: x,
+                    b: y,
+                    target,
+                } => {
+                    if fcmp(*op, fr!(x), fr!(y)) {
+                        jump!(*target);
+                    }
+                }
+                Instr::ICmpJmpFalse {
+                    op,
+                    a: x,
+                    b: y,
+                    target,
+                } => {
+                    if !icmp(*op, ir!(x), ir!(y)) {
+                        jump!(*target);
+                    }
+                }
+                Instr::ICmpJmpTrue {
+                    op,
+                    a: x,
+                    b: y,
+                    target,
+                } => {
+                    if icmp(*op, ir!(x), ir!(y)) {
+                        jump!(*target);
+                    }
+                }
+
+                Instr::RetF { src } => {
+                    let v = fr!(src);
+                    let rounded = match func.ret {
+                        RetKind::F(ft) => round_to(v, ft),
+                        _ => v,
+                    };
+                    sample!((v - rounded).abs());
+                    // The ground-truth output error is differenced in
+                    // shadow precision *before* rounding the shadow back
+                    // to f64, so DD mode reports sub-ulp self-error
+                    // instead of quantizing it away.
+                    let oerr = S::sub(sr!(src), S::from_f64(rounded)).to_f64().abs();
+                    break (Some(Value::F(rounded)), Some(sr!(src).to_f64()), Some(oerr));
+                }
+                Instr::RetI { src } => break (Some(Value::I(ir!(src))), None, None),
+                Instr::RetB { src } => break (Some(Value::B(ir!(src) != 0)), None, None),
+                Instr::RetVoid => break (None, None, None),
+                Instr::TrapMissingReturn => return Err(trap(TrapKind::MissingReturn, pc)),
+            }
+            pc += 1;
+        };
+        stats.instrs_executed = executed;
+        if executed > budget {
+            return Err(trap(
+                TrapKind::InstrBudgetExhausted,
+                pc.min(instrs.len().saturating_sub(1)),
+            ));
+        }
+        Ok(ret)
+    }
+}
+
+fn charge_entry(err: f64, var: u32, var_err: &mut [f64], acc: &mut f64, nonfinite: &mut u64) {
+    if err > 0.0 {
+        if err.is_finite() {
+            *acc += err;
+            if var != 0 {
+                var_err[(var - 1) as usize] += err;
+            }
+        } else {
+            *nonfinite += 1;
+        }
+    } else if err.is_nan() {
+        *nonfinite += 1;
+    }
+}
+
+/// Runs one fused shadow call through a fresh machine (convenience entry
+/// point; batch and reuse callers hold a [`ShadowMachine`]).
+pub fn run_shadow<S: ShadowNum>(
+    func: &CompiledFunction,
+    args: Vec<ArgValue>,
+    opts: &ExecOptions,
+) -> Result<ShadowOutcome, Trap> {
+    ShadowMachine::<S>::new().run_reused(func, args, opts)
+}
+
+/// Runs `func` in fused shadow mode over every argument set, fanned out
+/// over scoped threads via [`crate::par::parallel_map_init`] — one
+/// reusable [`ShadowMachine`] per worker, results in input order, the
+/// bytecode validated once for the whole batch (the shadow counterpart
+/// of [`crate::vm::run_batch_parallel`]).
+pub fn run_shadow_batch_parallel<S: ShadowNum>(
+    func: &CompiledFunction,
+    arg_sets: Vec<Vec<ArgValue>>,
+    opts: &ExecOptions,
+    max_threads: Option<usize>,
+) -> Vec<Result<ShadowOutcome, Trap>> {
+    if let Err(msg) = validate_function(func) {
+        let trap = Trap {
+            kind: TrapKind::InvalidBytecode(msg),
+            pc: 0,
+            span: Span::DUMMY,
+        };
+        return arg_sets.into_iter().map(|_| Err(trap.clone())).collect();
+    }
+    crate::par::parallel_map_init(arg_sets, max_threads, ShadowMachine::<S>::new, |m, args| {
+        m.run_prevalidated(func, args, opts)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, compile_default, CompileOptions, PrecisionMap};
+    use crate::vm::run;
+    use chef_ir::ast::VarId;
+    use chef_ir::parser::parse_program;
+    use chef_ir::typeck::check_program;
+    use chef_ir::types::FloatTy;
+
+    fn compiled(src: &str, pm: PrecisionMap) -> CompiledFunction {
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        compile(
+            &p.functions[0],
+            &CompileOptions {
+                precisions: pm,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shadow_primal_is_bit_identical_to_plain_run() {
+        let src = "double f(double x, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s += sin(x + i * 0.01) * 0.5; }
+            return s;
+        }";
+        let pm = PrecisionMap::empty().with(VarId(2), FloatTy::F32); // s
+        let func = compiled(src, pm);
+        let args = vec![ArgValue::F(0.37), ArgValue::I(200)];
+        let plain = run(&func, args.clone()).unwrap();
+        let shadow = run_shadow::<f64>(&func, args, &ExecOptions::default()).unwrap();
+        assert_eq!(plain.ret_f().to_bits(), shadow.ret_f().to_bits());
+        assert_eq!(plain.stats, shadow.stats);
+    }
+
+    #[test]
+    fn f64_shadow_matches_undemoted_run() {
+        // The f64 shadow of a demoted compilation reproduces the
+        // undemoted program's result bit-for-bit: rounds are identity on
+        // the shadow and the operation order is shared.
+        let src = "double f(double x, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s += sin(x + i * 0.01) * 0.5; }
+            return s;
+        }";
+        let args = vec![ArgValue::F(0.91), ArgValue::I(300)];
+        let baseline = run(&compiled(src, PrecisionMap::empty()), args.clone())
+            .unwrap()
+            .ret_f();
+        let pm = PrecisionMap::empty()
+            .with(VarId(0), FloatTy::F32) // x
+            .with(VarId(2), FloatTy::F32); // s
+        let shadow = run_shadow::<f64>(&compiled(src, pm), args, &ExecOptions::default()).unwrap();
+        assert_eq!(shadow.shadow_f().to_bits(), baseline.to_bits());
+        assert!(shadow.output_error() > 0.0);
+    }
+
+    #[test]
+    fn no_demotion_means_zero_error_everywhere() {
+        let src = "double f(double x) {
+            double u = x * 1.5 + 0.25;
+            double w = sqrt(u) / 3.0;
+            return w;
+        }";
+        let func = compiled(src, PrecisionMap::empty());
+        let out =
+            run_shadow::<f64>(&func, vec![ArgValue::F(1.7)], &ExecOptions::default()).unwrap();
+        assert_eq!(out.output_error(), 0.0);
+        assert_eq!(out.acc_error, 0.0);
+        assert!(out.samples.iter().all(|s| s.sum == 0.0 && s.count == 0));
+        assert!(out.var_error.iter().all(|(_, e)| *e == 0.0));
+    }
+
+    #[test]
+    fn attribution_charges_the_demoted_variable() {
+        let src = "double f(double x) {
+            double noise = x * 0.3333333333333;
+            double core = x * 2.0;
+            return noise + core;
+        }";
+        let pm_src = compiled(src, PrecisionMap::empty());
+        // Find `noise`'s var id by name through the table.
+        assert!(pm_src.fvar_names.iter().any(|(_, n)| n == "noise"));
+        let pm = PrecisionMap::empty().with(VarId(1), FloatTy::F32); // noise
+        let func = compiled(src, pm);
+        let out =
+            run_shadow::<f64>(&func, vec![ArgValue::F(1.1)], &ExecOptions::default()).unwrap();
+        let err_of = |name: &str| {
+            out.var_error
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| *e)
+                .unwrap_or(0.0)
+        };
+        assert!(err_of("noise") > 0.0, "{:?}", out.var_error);
+        assert_eq!(err_of("core"), 0.0, "{:?}", out.var_error);
+        // The output error equals the single rounding that happened.
+        assert!(out.output_error() > 0.0);
+        assert!((out.acc_error - err_of("noise")).abs() <= f64::EPSILON * out.acc_error);
+    }
+
+    #[test]
+    fn entry_rounding_of_demoted_params_is_charged() {
+        let src = "double f(double x, double a[]) { return x + a[0]; }";
+        let pm = PrecisionMap::empty()
+            .with(VarId(0), FloatTy::F32)
+            .with(VarId(1), FloatTy::F32);
+        let func = compiled(src, pm);
+        let x = 1.0 / 3.0;
+        let a0 = 2.0 / 7.0;
+        let out = run_shadow::<f64>(
+            &func,
+            vec![ArgValue::F(x), ArgValue::FArr(vec![a0])],
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let exact = x + a0;
+        let demoted = (x as f32 as f64) + (a0 as f32 as f64);
+        assert_eq!(out.ret_f(), demoted);
+        assert_eq!(out.shadow_f(), exact);
+        let err_of = |name: &str| {
+            out.var_error
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| *e)
+                .unwrap()
+        };
+        assert!((err_of("x") - (x - x as f32 as f64).abs()).abs() < 1e-18);
+        assert!((err_of("a") - (a0 - a0 as f32 as f64).abs()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn per_instruction_samples_land_on_rounding_sites() {
+        let src = "float f(float x, float y) { float z; z = x + y; return z; }";
+        let func = compile_default(
+            &{
+                let mut p = parse_program(src).unwrap();
+                check_program(&mut p).unwrap();
+                p
+            }
+            .functions[0],
+        )
+        .unwrap();
+        let out = run_shadow::<f64>(
+            &func,
+            vec![ArgValue::F(1.95e-5), ArgValue::F(1.37e-7)],
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        // Exactly the add-round site carries a sample (inputs are
+        // f32-exact here, the return value is already rounded).
+        let hot: Vec<usize> = out
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count > 0)
+            .map(|(pc, _)| pc)
+            .collect();
+        assert_eq!(hot.len(), 1, "{hot:?}");
+        assert!(matches!(
+            func.instrs[hot[0]],
+            Instr::FAddRound { .. } | Instr::FRound { .. } | Instr::FAdd { .. }
+        ));
+        // The sample measures the rounding of the add performed on the
+        // (already entry-rounded) primal inputs.
+        let (xs, ys) = (1.95e-5f32 as f64, 1.37e-7f32 as f64);
+        let unrounded = xs + ys;
+        let f32_result = (1.95e-5f32 + 1.37e-7f32) as f64;
+        assert!((out.samples[hot[0]].sum - (unrounded - f32_result).abs()).abs() < 1e-20);
+    }
+
+    #[test]
+    fn shadow_batch_parallel_matches_serial() {
+        let src = "double f(double x, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s += x * 1.0000001; }
+            return s;
+        }";
+        let pm = PrecisionMap::empty().with(VarId(2), FloatTy::F32);
+        let func = compiled(src, pm);
+        let sets: Vec<Vec<ArgValue>> = (0..16)
+            .map(|k| vec![ArgValue::F(0.1 + k as f64 * 0.01), ArgValue::I(50)])
+            .collect();
+        let opts = ExecOptions::default();
+        let par = run_shadow_batch_parallel::<f64>(&func, sets.clone(), &opts, Some(4));
+        let mut m = ShadowMachine::<f64>::new();
+        for (set, p) in sets.into_iter().zip(&par) {
+            let s = m.run_reused(&func, set, &opts).unwrap();
+            let p = p.as_ref().unwrap();
+            assert_eq!(s.ret_f().to_bits(), p.ret_f().to_bits());
+            assert_eq!(s.shadow_f().to_bits(), p.shadow_f().to_bits());
+            assert_eq!(s.acc_error.to_bits(), p.acc_error.to_bits());
+        }
+    }
+
+    #[test]
+    fn traps_mirror_the_plain_vm() {
+        let mut p = parse_program("double f(double a[]) { return a[5]; }").unwrap();
+        check_program(&mut p).unwrap();
+        let func = compile_default(&p.functions[0]).unwrap();
+        let err = run_shadow::<f64>(
+            &func,
+            vec![ArgValue::FArr(vec![1.0, 2.0])],
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, TrapKind::OobIndex { idx: 5, len: 2 });
+
+        let mut p = parse_program("void f() { while (true) { } }").unwrap();
+        check_program(&mut p).unwrap();
+        let func = compile_default(&p.functions[0]).unwrap();
+        let opts = ExecOptions {
+            max_instrs: Some(1000),
+            ..Default::default()
+        };
+        let err = run_shadow::<f64>(&func, vec![], &opts).unwrap_err();
+        assert_eq!(err.kind, TrapKind::InstrBudgetExhausted);
+    }
+}

@@ -143,7 +143,7 @@ impl CallOutcome {
     }
 }
 
-enum ArraySlot {
+pub(crate) enum ArraySlot {
     Empty,
     F(Vec<f64>),
     I(Vec<i64>),
@@ -251,11 +251,11 @@ pub fn run_batch_parallel(
 /// }
 /// ```
 pub struct Machine {
-    f: Vec<f64>,
-    i: Vec<i64>,
-    a: Vec<ArraySlot>,
-    tape: Tape,
-    stats: ExecStats,
+    pub(crate) f: Vec<f64>,
+    pub(crate) i: Vec<i64>,
+    pub(crate) a: Vec<ArraySlot>,
+    pub(crate) tape: Tape,
+    pub(crate) stats: ExecStats,
 }
 
 impl Default for Machine {
@@ -362,7 +362,11 @@ impl Machine {
         }
     }
 
-    fn bind_args(&mut self, func: &CompiledFunction, args: Vec<ArgValue>) -> Result<(), Trap> {
+    pub(crate) fn bind_args(
+        &mut self,
+        func: &CompiledFunction,
+        args: Vec<ArgValue>,
+    ) -> Result<(), Trap> {
         if args.len() != func.params.len() {
             return Err(self.trap_at(
                 func,
@@ -416,7 +420,7 @@ impl Machine {
         Ok(())
     }
 
-    fn unbind_args(&mut self, func: &CompiledFunction) -> Vec<ArgValue> {
+    pub(crate) fn unbind_args(&mut self, func: &CompiledFunction) -> Vec<ArgValue> {
         let mut out = Vec::with_capacity(func.params.len());
         for spec in &func.params {
             let v = match spec.kind {
@@ -942,7 +946,7 @@ fn exec_loop(
 }
 
 #[inline]
-fn fcmp(op: CmpOp, x: f64, y: f64) -> bool {
+pub(crate) fn fcmp(op: CmpOp, x: f64, y: f64) -> bool {
     match op {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,
@@ -954,7 +958,7 @@ fn fcmp(op: CmpOp, x: f64, y: f64) -> bool {
 }
 
 #[inline]
-fn icmp(op: CmpOp, x: i64, y: i64) -> bool {
+pub(crate) fn icmp(op: CmpOp, x: i64, y: i64) -> bool {
     match op {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,
@@ -1331,6 +1335,8 @@ mod tests {
             n_aregs: 1,
             params: vec![],
             ret: RetKind::F(chef_ir::types::FloatTy::F64),
+            fvar_names: vec![],
+            avar_names: vec![],
         };
         let opts = ExecOptions::default();
         let mut m = Machine::new();
@@ -1360,6 +1366,8 @@ mod tests {
             n_aregs: 0,
             params: vec![],
             ret: RetKind::Void,
+            fvar_names: vec![],
+            avar_names: vec![],
         };
         let err = run(&f, vec![]).unwrap_err();
         assert!(matches!(err.kind, TrapKind::InvalidBytecode(_)), "{err:?}");
@@ -1373,6 +1381,8 @@ mod tests {
             n_aregs: 0,
             params: vec![],
             ret: RetKind::Void,
+            fvar_names: vec![],
+            avar_names: vec![],
         };
         let err = run(&f, vec![]).unwrap_err();
         assert!(matches!(err.kind, TrapKind::InvalidBytecode(_)), "{err:?}");

@@ -1,0 +1,252 @@
+//! Property tests for the shadow oracle on randomly generated
+//! straight-line kernels:
+//!
+//! * the measured ground-truth error is always finite on the generated
+//!   (division-free, bounded-magnitude) kernels,
+//! * it is exactly zero when no demotion is applied,
+//! * the primal stream is bit-identical to a plain run of the demoted
+//!   compilation, and the `f64` shadow is bit-identical to a plain run
+//!   of the *undemoted* compilation (the differential pin that makes the
+//!   one-pass oracle equal to the classic two-run validation), and
+//! * on kernels built from **dataflow-disjoint chains**, the accumulated
+//!   measured rounding error is monotone non-decreasing as more
+//!   variables (whole chains) are demoted — disjointness is what makes
+//!   monotonicity exact: demoting one chain cannot perturb another
+//!   chain's rounding sites, and the `f64`-mode final sum contributes no
+//!   rounding of its own.
+
+use chef_exec::compile::{compile, CompileOptions, PrecisionMap};
+use chef_exec::prelude::*;
+use chef_ir::ast::{Program, VarId};
+use chef_ir::types::FloatTy;
+use chef_shadow::{shadow_run, OracleOptions};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// Deterministic generator (SplitMix64) seeded per case.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    /// A full-precision literal in `[0.5, 2.0)` (virtually never exactly
+    /// representable in `f32`, so demotion sites genuinely round).
+    fn lit(&mut self) -> f64 {
+        0.5 + self.unit() * 1.5
+    }
+}
+
+fn parse(src: &str) -> Program {
+    let mut p = chef_ir::parser::parse_program(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    chef_ir::typeck::check_program(&mut p).unwrap_or_else(|e| panic!("{e:?}\n{src}"));
+    p
+}
+
+/// Ids of the named variables in `names` for function `f`.
+fn ids_of(p: &Program, names: &[String]) -> Vec<VarId> {
+    p.function("f")
+        .unwrap()
+        .vars_iter()
+        .filter(|(_, v)| names.contains(&v.name))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn config_of(p: &Program, names: &[String]) -> PrecisionMap {
+    let mut pm = PrecisionMap::empty();
+    for id in ids_of(p, names) {
+        pm.set(id, FloatTy::F32);
+    }
+    pm
+}
+
+/// A random straight-line kernel with shared dataflow: `n_vars`
+/// variables over `n_inputs` inputs, ops `+ - *` (division-free so every
+/// value stays finite), returning the last variable. Returns the source
+/// and the variable names.
+fn shared_kernel(g: &mut Gen, n_inputs: usize, n_vars: usize) -> (String, Vec<String>) {
+    let mut src = String::from("double f(");
+    for i in 0..n_inputs {
+        let _ = write!(src, "{}double x{i}", if i > 0 { ", " } else { "" });
+    }
+    src.push_str(") {\n");
+    let mut names = Vec::new();
+    for k in 0..n_vars {
+        // term: input, literal, or an earlier variable.
+        let term = |g: &mut Gen, src: &mut String| match g.below(3) {
+            0 => {
+                let _ = write!(src, "x{}", g.below(n_inputs));
+            }
+            1 => {
+                let _ = write!(src, "{:.17}", g.lit());
+            }
+            _ if k > 0 => {
+                let _ = write!(src, "v{}", g.below(k));
+            }
+            _ => {
+                let _ = write!(src, "x{}", g.below(n_inputs));
+            }
+        };
+        let _ = write!(src, "    double v{k} = ");
+        term(g, &mut src);
+        for _ in 0..(1 + g.below(2)) {
+            src.push_str(match g.below(3) {
+                0 => " + ",
+                1 => " - ",
+                _ => " * ",
+            });
+            term(g, &mut src);
+        }
+        src.push_str(";\n");
+        names.push(format!("v{k}"));
+    }
+    let _ = write!(src, "    return v{};\n}}\n", n_vars - 1);
+    for i in 0..n_inputs {
+        names.push(format!("x{i}"));
+    }
+    (src, names)
+}
+
+/// A kernel made of `n_chains` dataflow-disjoint chains (chain `c` only
+/// reads its own input `x{c}` and its own earlier variables), summed in
+/// `f64` at the end. Returns the source and the per-chain variable names
+/// (input included).
+fn chain_kernel(g: &mut Gen, n_chains: usize, chain_len: usize) -> (String, Vec<Vec<String>>) {
+    let mut src = String::from("double f(");
+    for c in 0..n_chains {
+        let _ = write!(src, "{}double x{c}", if c > 0 { ", " } else { "" });
+    }
+    src.push_str(") {\n");
+    let mut chains = Vec::new();
+    for c in 0..n_chains {
+        let mut vars = vec![format!("x{c}")];
+        let _ = writeln!(
+            src,
+            "    double v{c}_0 = x{c} * {:.17} + {:.17};",
+            g.lit(),
+            g.lit()
+        );
+        vars.push(format!("v{c}_0"));
+        for k in 1..chain_len {
+            let op = if g.below(2) == 0 { "+" } else { "*" };
+            let term = match g.below(3) {
+                0 => format!("x{c}"),
+                1 => format!("{:.17}", g.lit()),
+                _ => format!("v{c}_{}", g.below(k)),
+            };
+            let _ = writeln!(src, "    double v{c}_{k} = v{c}_{} {op} {term};", k - 1);
+            vars.push(format!("v{c}_{k}"));
+        }
+        chains.push(vars);
+    }
+    src.push_str("    double out = 0.0;\n");
+    for c in 0..n_chains {
+        let _ = writeln!(src, "    out = out + v{c}_{};", chain_len - 1);
+    }
+    src.push_str("    return out;\n}\n");
+    (src, chains)
+}
+
+fn inputs(g: &mut Gen, n: usize) -> Vec<ArgValue> {
+    (0..n).map(|_| ArgValue::F(g.lit())).collect()
+}
+
+fn plain_run(p: &Program, pm: &PrecisionMap, args: &[ArgValue]) -> f64 {
+    let c = compile(
+        p.function("f").unwrap(),
+        &CompileOptions {
+            precisions: pm.clone(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    run(&c, args.to_vec()).unwrap().ret_f()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn oracle_is_finite_and_differentially_sound(seed in 0u64..(1u64 << 60)) {
+        let mut g = Gen(seed | 1);
+        let n_inputs = 1 + g.below(3);
+        let n_vars = 2 + g.below(6);
+        let (src, names) = shared_kernel(&mut g, n_inputs, n_vars);
+        let p = parse(&src);
+        let args = inputs(&mut g, n_inputs);
+        // A random non-empty demotion subset.
+        let demoted: Vec<String> = names
+            .iter()
+            .filter(|_| g.below(2) == 0)
+            .cloned()
+            .collect();
+        let pm = config_of(&p, &demoted);
+        let rep = shadow_run(&p, "f", &args, &pm, &OracleOptions::default())
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        prop_assert!(rep.output_error.is_finite(), "{src}");
+        prop_assert!(rep.acc_error.is_finite(), "{src}");
+        prop_assert_eq!(rep.nonfinite_samples, 0);
+        // Differential pin: primal == plain demoted run, shadow == plain
+        // undemoted run, both bit-exact (straight-line code: no trace
+        // divergence is possible).
+        let demoted_run = plain_run(&p, &pm, &args);
+        let baseline_run = plain_run(&p, &PrecisionMap::empty(), &args);
+        prop_assert_eq!(rep.primal.to_bits(), demoted_run.to_bits(), "{}", src);
+        prop_assert_eq!(rep.shadow.to_bits(), baseline_run.to_bits(), "{}", src);
+    }
+
+    #[test]
+    fn no_demotion_measures_exactly_zero(seed in 0u64..(1u64 << 60)) {
+        let mut g = Gen(seed | 1);
+        let n_inputs = 1 + g.below(3);
+        let n_vars = 2 + g.below(6);
+        let (src, _) = shared_kernel(&mut g, n_inputs, n_vars);
+        let p = parse(&src);
+        let args = inputs(&mut g, n_inputs);
+        let rep = shadow_run(&p, "f", &args, &PrecisionMap::empty(), &OracleOptions::default())
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        prop_assert_eq!(rep.output_error, 0.0, "{}", src);
+        prop_assert_eq!(rep.acc_error, 0.0, "{}", src);
+        prop_assert!(rep.per_instruction.is_empty(), "{src}");
+        prop_assert!(rep.per_variable.is_empty(), "{src}");
+    }
+
+    #[test]
+    fn accumulated_error_is_monotone_in_nested_demotion_sets(seed in 0u64..(1u64 << 60)) {
+        let mut g = Gen(seed | 1);
+        let n_chains = 2 + g.below(3);
+        let chain_len = 2 + g.below(3);
+        let (src, chains) = chain_kernel(&mut g, n_chains, chain_len);
+        let p = parse(&src);
+        let args = inputs(&mut g, n_chains);
+        // Nested sets: demote whole chains, one more per step.
+        let mut demoted: Vec<String> = Vec::new();
+        let mut prev_acc = 0.0f64;
+        for (step, chain) in chains.iter().enumerate() {
+            demoted.extend(chain.iter().cloned());
+            let pm = config_of(&p, &demoted);
+            let rep = shadow_run(&p, "f", &args, &pm, &OracleOptions::default())
+                .unwrap_or_else(|e| panic!("{e}\n{src}"));
+            prop_assert!(rep.output_error.is_finite(), "{src}");
+            prop_assert!(
+                rep.acc_error >= prev_acc,
+                "step {step}: acc dropped {prev_acc} -> {} on\n{src}",
+                rep.acc_error
+            );
+            prev_acc = rep.acc_error;
+        }
+        // Demoting everything produced measurable rounding somewhere.
+        prop_assert!(prev_acc > 0.0, "{src}");
+    }
+}

@@ -8,13 +8,29 @@
 //! configuration is validated by actually running the demoted program and
 //! comparing against the full-precision result (paper Table I's
 //! actual-vs-estimated columns).
+//!
+//! Two additions on top of the estimate-driven loop:
+//!
+//! * **Compiled-variant cache** ([`VariantCache`]): the greedy loop, the
+//!   single-demotion sweep and repeated validations compile overlapping
+//!   `PrecisionMap`s; a cache keyed by the canonical demotion set shares
+//!   the compilations and counts its hits (exposed on
+//!   [`TuneResult::cache_hits`]).
+//! * **Oracle mode** ([`validate_with_oracle`], [`tune_with_oracle`]):
+//!   instead of estimating, each candidate configuration is *measured* by
+//!   the `chef-shadow` fused shadow pass — ground-truth output error in
+//!   one run — and the greedy order can be re-ranked by the measured
+//!   per-variable attribution.
 
 use chef_core::prelude::*;
-use chef_exec::compile::{compile, CompileOptions, PrecisionMap};
+use chef_exec::compile::{compile, CompileError, CompileOptions, PrecisionMap};
 use chef_exec::prelude::*;
-use chef_ir::ast::{Program, VarId};
+use chef_ir::ast::{Function, Program, VarId};
 use chef_ir::types::{FloatTy, Type};
+use chef_shadow::{OracleOptions, ShadowReport};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Tuning configuration.
 #[derive(Clone, Debug)]
@@ -50,7 +66,7 @@ impl TunerConfig {
 /// The tuner's decision.
 #[derive(Clone, Debug)]
 pub struct TuneResult {
-    /// Variables chosen for demotion (ascending estimated error).
+    /// Variables chosen for demotion (selection order).
     pub demoted: Vec<String>,
     /// Accumulated estimate of the chosen set.
     pub estimated_error: f64,
@@ -61,6 +77,12 @@ pub struct TuneResult {
     pub config: PrecisionMap,
     /// The full-precision result on the profiling inputs.
     pub baseline_value: f64,
+    /// Oracle-measured output error of the chosen configuration (only
+    /// set by [`tune_with_oracle`]).
+    pub measured_error: Option<f64>,
+    /// Compiled-variant cache hits observed during this tuning run (0
+    /// when no cache was involved).
+    pub cache_hits: u64,
 }
 
 /// Measured quality of a configuration.
@@ -74,14 +96,138 @@ pub struct ValidationReport {
     pub actual_error: f64,
 }
 
-/// Analyzes `func` on representative `args` and greedily selects a
-/// demotion set under `cfg.threshold`.
-pub fn tune(
+// ------------------------------------------------------------------------
+// Compiled-variant cache
+// ------------------------------------------------------------------------
+
+type VariantKey = (String, Vec<(VarId, FloatTy)>);
+
+/// A cache of compiled mixed-precision variants keyed by the canonical
+/// demotion set (plus the function name).
+///
+/// The greedy loops and sweeps recompile overlapping `PrecisionMap`s —
+/// the empty baseline on every validation call, the accepted
+/// configuration of each greedy step, the single-demotion configs shared
+/// between [`sweep_single_demotions`] and [`tune_with_oracle`]'s first
+/// round. Shareable across calls (interior mutability; `Sync`), scoped
+/// to **one program**: variable ids in the key are only meaningful for
+/// the inlined function they came from.
+#[derive(Default)]
+pub struct VariantCache {
+    inner: Mutex<HashMap<VariantKey, Arc<CompiledFunction>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VariantCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        VariantCache::default()
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of compilations performed (cache misses).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached variants.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").len()
+    }
+
+    /// `true` when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the compiled variant of `primal` under `pm`, compiling on
+    /// first use (compilation happens outside the lock; a racing miss
+    /// keeps the first inserted variant).
+    pub fn get_or_compile(
+        &self,
+        primal: &Function,
+        pm: &PrecisionMap,
+    ) -> Result<Arc<CompiledFunction>, CompileError> {
+        let key = (primal.name.clone(), pm.sorted_entries());
+        if let Some(hit) = self.inner.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        let compiled = Arc::new(compile(
+            primal,
+            &CompileOptions {
+                precisions: pm.clone(),
+                ..Default::default()
+            },
+        )?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(self
+            .inner
+            .lock()
+            .expect("cache lock")
+            .entry(key)
+            .or_insert(compiled)
+            .clone())
+    }
+}
+
+// ------------------------------------------------------------------------
+// Estimate-driven tuning (paper §III)
+// ------------------------------------------------------------------------
+
+/// The combined demotion model the tuner estimates with: representation
+/// error (eq. 2) plus, for computed variables, the extra arithmetic
+/// rounding at the lower precision (eq. 1 with the target epsilon).
+struct TunerModel {
+    adapt: AdaptModel,
+    taylor: TaylorModel,
+}
+
+impl ErrorModel for TunerModel {
+    fn name(&self) -> &'static str {
+        "tuner"
+    }
+    fn assign_error(&mut self, ctx: &ModelCtx<'_>) -> Option<chef_ir::ast::Expr> {
+        match (self.adapt.assign_error(ctx), self.taylor.assign_error(ctx)) {
+            (Some(a), Some(b)) => Some(chef_ir::ast::Expr::add(a, b)),
+            (a, b) => a.or(b),
+        }
+    }
+    fn input_error(
+        &mut self,
+        name: &str,
+        value: &chef_ir::ast::Expr,
+        adjoint: &chef_ir::ast::Expr,
+        prec: FloatTy,
+    ) -> Option<chef_ir::ast::Expr> {
+        self.adapt.input_error(name, value, adjoint, prec)
+    }
+}
+
+fn candidate_filter<'a>(cfg: &'a TunerConfig) -> impl Fn(&str) -> bool + 'a {
+    move |name: &str| match &cfg.candidates {
+        Some(c) => c.iter().any(|n| n == name),
+        None => true,
+    }
+}
+
+/// What one estimation pass yields: every candidate variable's
+/// estimated demotion error (ascending), the full-precision result, and
+/// the inlined program (so callers don't inline a second time).
+type EstimateRanking = (Vec<(String, f64)>, f64, Program);
+
+/// Runs the estimation pass once (see [`EstimateRanking`]).
+fn estimate_ranking(
     program: &Program,
     func: &str,
     args: &[ArgValue],
     cfg: &TunerConfig,
-) -> Result<TuneResult, ChefError> {
+) -> Result<EstimateRanking, ChefError> {
     let opts = EstimateOptions {
         array_lens: cfg.array_lens.clone(),
         ..Default::default()
@@ -92,30 +238,6 @@ pub fn tune(
     // target epsilon). Inputs carry representation error only — they are
     // not computed, so a value that happens to be exactly representable
     // (the paper's quantized k-Means attributes) is free to demote.
-    struct TunerModel {
-        adapt: AdaptModel,
-        taylor: TaylorModel,
-    }
-    impl ErrorModel for TunerModel {
-        fn name(&self) -> &'static str {
-            "tuner"
-        }
-        fn assign_error(&mut self, ctx: &ModelCtx<'_>) -> Option<chef_ir::ast::Expr> {
-            match (self.adapt.assign_error(ctx), self.taylor.assign_error(ctx)) {
-                (Some(a), Some(b)) => Some(chef_ir::ast::Expr::add(a, b)),
-                (a, b) => a.or(b),
-            }
-        }
-        fn input_error(
-            &mut self,
-            name: &str,
-            value: &chef_ir::ast::Expr,
-            adjoint: &chef_ir::ast::Expr,
-            prec: FloatTy,
-        ) -> Option<chef_ir::ast::Expr> {
-            self.adapt.input_error(name, value, adjoint, prec)
-        }
-    }
     let mut model = TunerModel {
         adapt: AdaptModel::to(cfg.target),
         taylor: TaylorModel::for_demotion(cfg.target),
@@ -123,21 +245,42 @@ pub fn tune(
     let est = estimate_error_with(program, func, &mut model, &opts)?;
     let out = est.execute(args).map_err(ChefError::Trap)?;
 
-    // Candidate variables with their estimates, ascending.
     let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
     let primal = inlined
         .function(func)
         .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
-    let allowed = |name: &str| match &cfg.candidates {
-        Some(c) => c.iter().any(|n| n == name),
-        None => true,
-    };
+    let allowed = candidate_filter(cfg);
     let mut per_variable: Vec<(String, f64)> = primal
         .vars_iter()
         .filter(|(_, v)| v.ty.is_differentiable() && allowed(&v.name))
         .map(|(_, v)| (v.name.clone(), out.error_of(&v.name)))
         .collect();
     per_variable.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    Ok((per_variable, out.value, inlined))
+}
+
+/// Builds the `PrecisionMap` demoting `names` in the inlined `primal`.
+fn config_for(primal: &Function, names: &[String], target: FloatTy) -> PrecisionMap {
+    let mut config = PrecisionMap::empty();
+    for (id, v) in primal.vars_iter() {
+        if names.contains(&v.name) {
+            if let Type::Float(_) | Type::Array(chef_ir::types::ElemTy::Float(_)) = v.ty {
+                config.set(id, target);
+            }
+        }
+    }
+    config
+}
+
+/// Analyzes `func` on representative `args` and greedily selects a
+/// demotion set under `cfg.threshold`.
+pub fn tune(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    cfg: &TunerConfig,
+) -> Result<TuneResult, ChefError> {
+    let (per_variable, baseline_value, inlined) = estimate_ranking(program, func, args, cfg)?;
 
     // Greedy selection under the threshold.
     let mut demoted = Vec::new();
@@ -148,23 +291,24 @@ pub fn tune(
             demoted.push(name.clone());
         }
     }
-    // Build the PrecisionMap over the inlined function's variable ids.
-    let mut config = PrecisionMap::empty();
-    for (id, v) in primal.vars_iter() {
-        if demoted.contains(&v.name) {
-            if let Type::Float(_) | Type::Array(chef_ir::types::ElemTy::Float(_)) = v.ty {
-                config.set(id, cfg.target);
-            }
-        }
-    }
+    let primal = inlined
+        .function(func)
+        .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+    let config = config_for(primal, &demoted, cfg.target);
     Ok(TuneResult {
         demoted,
         estimated_error: acc,
         per_variable,
         config,
-        baseline_value: out.value,
+        baseline_value,
+        measured_error: None,
+        cache_hits: 0,
     })
 }
+
+// ------------------------------------------------------------------------
+// Validation (two-run and oracle)
+// ------------------------------------------------------------------------
 
 /// Runs `func` at full precision and under `config`, reporting the actual
 /// output difference.
@@ -188,19 +332,40 @@ pub fn validate_configs(
     args: &[ArgValue],
     configs: &[PrecisionMap],
 ) -> Result<Vec<ValidationReport>, ChefError> {
+    validate_configs_with(program, func, args, configs, None)
+}
+
+/// [`validate_configs`] with an optional shared [`VariantCache`]: the
+/// baseline and every candidate compilation go through the cache, so
+/// repeated validations of overlapping configurations compile each
+/// variant once.
+pub fn validate_configs_with(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    configs: &[PrecisionMap],
+    cache: Option<&VariantCache>,
+) -> Result<Vec<ValidationReport>, ChefError> {
     let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
     let primal = inlined
         .function(func)
         .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+    let compile_cfg = |pm: &PrecisionMap| -> Result<Arc<CompiledFunction>, ChefError> {
+        match cache {
+            Some(c) => c.get_or_compile(primal, pm).map_err(ChefError::Compile),
+            None => compile(
+                primal,
+                &CompileOptions {
+                    precisions: pm.clone(),
+                    ..Default::default()
+                },
+            )
+            .map(Arc::new)
+            .map_err(ChefError::Compile),
+        }
+    };
     let run_cfg = |pm: &PrecisionMap| -> Result<f64, ChefError> {
-        let c = compile(
-            primal,
-            &CompileOptions {
-                precisions: pm.clone(),
-                ..Default::default()
-            },
-        )
-        .map_err(ChefError::Compile)?;
+        let c = compile_cfg(pm)?;
         chef_exec::vm::run(&c, args.to_vec())
             .map(|o| o.ret_f())
             .map_err(ChefError::Trap)
@@ -218,6 +383,20 @@ pub fn validate_configs(
     .collect()
 }
 
+/// Measures `config` with the shadow-execution oracle: one fused pass
+/// yields the ground-truth output error *and* the per-instruction /
+/// per-variable attribution, instead of the demoted-vs-baseline pair of
+/// [`validate`].
+pub fn validate_with_oracle(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    config: &PrecisionMap,
+    opts: &OracleOptions,
+) -> Result<ShadowReport, ChefError> {
+    chef_shadow::shadow_run(program, func, args, config, opts)
+}
+
 /// The paper's Table III study, generalized: demote each candidate
 /// variable **on its own** and measure the actual output error, with the
 /// candidates evaluated in parallel. Returns `(variable, report)` pairs
@@ -228,14 +407,25 @@ pub fn sweep_single_demotions(
     args: &[ArgValue],
     cfg: &TunerConfig,
 ) -> Result<Vec<(String, ValidationReport)>, ChefError> {
+    sweep_single_demotions_with(program, func, args, cfg, None)
+}
+
+/// [`sweep_single_demotions`] through an optional shared [`VariantCache`]
+/// (the single-variable configs are exactly the first greedy round of
+/// [`tune_with_oracle`], so a shared cache de-duplicates those
+/// compilations).
+pub fn sweep_single_demotions_with(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    cfg: &TunerConfig,
+    cache: Option<&VariantCache>,
+) -> Result<Vec<(String, ValidationReport)>, ChefError> {
     let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
     let primal = inlined
         .function(func)
         .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
-    let allowed = |name: &str| match &cfg.candidates {
-        Some(c) => c.iter().any(|n| n == name),
-        None => true,
-    };
+    let allowed = candidate_filter(cfg);
     let mut names = Vec::new();
     let mut configs = Vec::new();
     for (id, v) in primal.vars_iter() {
@@ -244,8 +434,117 @@ pub fn sweep_single_demotions(
             configs.push(PrecisionMap::empty().with(id, cfg.target));
         }
     }
-    let reports = validate_configs(program, func, args, &configs)?;
+    let reports = validate_configs_with(program, func, args, &configs, cache)?;
     Ok(names.into_iter().zip(reports).collect())
+}
+
+// ------------------------------------------------------------------------
+// Oracle-guided tuning
+// ------------------------------------------------------------------------
+
+/// Options for [`tune_with_oracle`].
+#[derive(Clone, Debug, Default)]
+pub struct OracleTuneOptions {
+    /// Shadow mode and VM options for the oracle runs.
+    pub oracle: OracleOptions,
+    /// Re-rank the greedy order by the *measured* per-variable
+    /// attribution of an all-candidates-demoted shadow run (instead of
+    /// the estimated order). Variables the measurement cannot separate
+    /// keep their estimate order.
+    pub rerank_by_measured: bool,
+}
+
+impl OracleTuneOptions {
+    /// Oracle tuning with measured re-ranking enabled.
+    pub fn reranked() -> Self {
+        OracleTuneOptions {
+            rerank_by_measured: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Greedy tuning against the shadow oracle: candidates are ranked by
+/// estimate (optionally re-ranked by measured attribution), then added
+/// one by one — each trial configuration compiled through `cache` and
+/// **measured** by a fused shadow pass — while the measured output error
+/// stays under `cfg.threshold`.
+///
+/// Unlike [`tune`], the returned configuration satisfies the threshold by
+/// measurement ([`TuneResult::measured_error`]), not by estimate; the
+/// estimate fields are still filled for comparison, and
+/// [`TuneResult::cache_hits`] exposes the compilations the cache saved.
+pub fn tune_with_oracle(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    cfg: &TunerConfig,
+    opts: &OracleTuneOptions,
+    cache: &VariantCache,
+) -> Result<TuneResult, ChefError> {
+    let hits_before = cache.hits();
+    let (per_variable, baseline_value, inlined) = estimate_ranking(program, func, args, cfg)?;
+    let primal = inlined
+        .function(func)
+        .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+
+    // One reusable shadow machine per mode for the whole greedy loop —
+    // the different compiled variants share its buffers across trials.
+    let mut m64 = chef_exec::shadow::ShadowMachine::<f64>::new();
+    let mut mdd = chef_exec::shadow::ShadowMachine::<chef_shadow::DD>::new();
+    let mut measure = |names: &[String]| -> Result<ShadowReport, ChefError> {
+        let pm = config_for(primal, names, cfg.target);
+        let compiled = cache
+            .get_or_compile(primal, &pm)
+            .map_err(ChefError::Compile)?;
+        let out = match opts.oracle.mode {
+            chef_shadow::ShadowMode::F64 => {
+                m64.run_reused(&compiled, args.to_vec(), &opts.oracle.exec)
+            }
+            chef_shadow::ShadowMode::DD => {
+                mdd.run_reused(&compiled, args.to_vec(), &opts.oracle.exec)
+            }
+        }
+        .map_err(ChefError::Trap)?;
+        chef_shadow::report_from_outcome(&compiled, out)
+    };
+
+    // Greedy order: estimated ascending, optionally re-ranked by the
+    // measured attribution of one all-candidates shadow run.
+    let mut order: Vec<(String, f64)> = per_variable.clone();
+    if opts.rerank_by_measured && !order.is_empty() {
+        let all: Vec<String> = order.iter().map(|(n, _)| n.clone()).collect();
+        let rep = measure(&all)?;
+        // Stable sort: equal measured attributions keep the estimate order.
+        order.sort_by(|a, b| rep.error_of(&a.0).total_cmp(&rep.error_of(&b.0)));
+    }
+
+    let mut chosen: Vec<String> = Vec::new();
+    let mut estimated = 0.0;
+    // Measure the starting (empty) configuration rather than assuming
+    // zero: in DD mode even the undemoted program has measurable error,
+    // and `measured_error` must describe the *returned* configuration.
+    let mut measured = measure(&[])?.output_error;
+    for (name, est) in &order {
+        let mut trial = chosen.clone();
+        trial.push(name.clone());
+        let rep = measure(&trial)?;
+        if rep.output_error <= cfg.threshold {
+            chosen = trial;
+            estimated += est;
+            measured = rep.output_error;
+        }
+    }
+    let config = config_for(primal, &chosen, cfg.target);
+    Ok(TuneResult {
+        demoted: chosen,
+        estimated_error: estimated,
+        per_variable,
+        config,
+        baseline_value,
+        measured_error: Some(measured),
+        cache_hits: cache.hits() - hits_before,
+    })
 }
 
 /// Finds the `VarId`s (in the inlined function) for a set of variable
@@ -402,5 +701,94 @@ mod tests {
         let p = program(src);
         let ids = ids_of(&p, "f", &["b", "c"]).unwrap();
         assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn variant_cache_hits_on_repeated_configs_and_is_bit_identical() {
+        let src = "double f(double a, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s += sin(a + i * 0.1) * 0.5; }
+            return s;
+        }";
+        let p = program(src);
+        let args = vec![ArgValue::F(0.29), ArgValue::I(100)];
+        let ids = ids_of(&p, "f", &["s", "a", "i"]).unwrap();
+        let configs: Vec<PrecisionMap> = ids
+            .iter()
+            .map(|&id| PrecisionMap::empty().with(id, FloatTy::F32))
+            .collect();
+        let cache = VariantCache::new();
+        let first = validate_configs_with(&p, "f", &args, &configs, Some(&cache)).unwrap();
+        let after_first = cache.misses();
+        assert!(after_first >= 1 + configs.len() as u64 - 1); // baseline + variants
+                                                              // Second pass over the same configs: baseline + variants all hit.
+        let second = validate_configs_with(&p, "f", &args, &configs, Some(&cache)).unwrap();
+        assert_eq!(cache.misses(), after_first, "no recompilation");
+        assert!(cache.hits() > configs.len() as u64);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.demoted.to_bits(), b.demoted.to_bits());
+        }
+        // Uncached path agrees bit-for-bit with cached.
+        let uncached = validate_configs(&p, "f", &args, &configs).unwrap();
+        for (a, b) in first.iter().zip(&uncached) {
+            assert_eq!(a.demoted.to_bits(), b.demoted.to_bits());
+            assert_eq!(a.actual_error.to_bits(), b.actual_error.to_bits());
+        }
+    }
+
+    #[test]
+    fn oracle_validation_matches_two_run_validation() {
+        let src = "double f(double a, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s += a * 0.4999 + 0.001; }
+            return s;
+        }";
+        let p = program(src);
+        let args = vec![ArgValue::F(0.777), ArgValue::I(64)];
+        let ids = ids_of(&p, "f", &["s"]).unwrap();
+        let pm = PrecisionMap::empty().with(ids[0], FloatTy::F32);
+        let two_run = validate(&p, "f", &args, &pm).unwrap();
+        let oracle = validate_with_oracle(&p, "f", &args, &pm, &OracleOptions::default()).unwrap();
+        // No float-controlled branches: the shadow reproduces the
+        // baseline bit-for-bit, so the measured error is identical.
+        assert_eq!(oracle.shadow.to_bits(), two_run.baseline.to_bits());
+        assert_eq!(oracle.primal.to_bits(), two_run.demoted.to_bits());
+        assert_eq!(
+            oracle.output_error.to_bits(),
+            two_run.actual_error.to_bits()
+        );
+        assert!(!oracle.per_variable.is_empty());
+    }
+
+    #[test]
+    fn oracle_tuning_meets_threshold_by_measurement_and_reports_cache_hits() {
+        let src = "double f(double a, int n) {
+            double lo = a * 1e-7;
+            double mid = a + 0.5;
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s += mid * 1.0001 + lo; }
+            return s;
+        }";
+        let p = program(src);
+        let args = vec![ArgValue::F(0.41), ArgValue::I(50)];
+        let cfg = TunerConfig::with_threshold(1e-4);
+        let cache = VariantCache::new();
+        let res =
+            tune_with_oracle(&p, "f", &args, &cfg, &OracleTuneOptions::reranked(), &cache).unwrap();
+        // The threshold holds by *measurement* (and re-validates two-run).
+        let measured = res.measured_error.expect("oracle tuning measures");
+        assert!(measured <= 1e-4, "{measured}");
+        let check = validate(&p, "f", &args, &res.config).unwrap();
+        assert!(check.actual_error <= 1e-4, "{}", check.actual_error);
+        assert!(!res.demoted.is_empty(), "{:?}", res.per_variable);
+        // A second oracle tuning over the same cache compiles nothing
+        // new: every greedy-step compilation is a per-run cache hit.
+        let misses_before = cache.misses();
+        let res2 =
+            tune_with_oracle(&p, "f", &args, &cfg, &OracleTuneOptions::reranked(), &cache).unwrap();
+        assert_eq!(cache.misses(), misses_before);
+        assert!(res2.cache_hits > 0);
+        assert!(res2.cache_hits >= res.cache_hits);
+        assert_eq!(res2.demoted, res.demoted);
     }
 }

@@ -28,6 +28,7 @@
 //! | [`fastapprox`] | `fastapprox` | approximate math functions |
 //! | [`tuner`] | `chef-tuner` | greedy mixed-precision tuning |
 //! | [`apps`] | `chef-apps` | the five paper benchmarks |
+//! | [`shadow`] | `chef-shadow` | shadow-execution error oracle + attribution |
 
 pub use adapt_baseline as adapt;
 pub use chef_ad as ad;
@@ -36,5 +37,6 @@ pub use chef_core as core;
 pub use chef_exec as exec;
 pub use chef_ir as ir;
 pub use chef_passes as passes;
+pub use chef_shadow as shadow;
 pub use chef_tuner as tuner;
 pub use fastapprox;

@@ -1,0 +1,236 @@
+//! Workspace-level shadow-oracle tests: for every `chef-apps` kernel,
+//! tune a demotion configuration on CHEF-FP estimates, *measure* it with
+//! the `chef-shadow` fused shadow pass, and pin the paper's Table I
+//! estimated-vs-actual relationship — the measured error is within an
+//! order of magnitude of the estimate — plus the oracle's agreement with
+//! the classic two-run validation.
+
+use chef_fp::apps::{arclen, blackscholes, hpccg, kmeans, simpsons};
+use chef_fp::exec::prelude::*;
+use chef_fp::ir::ast::Program;
+use chef_fp::shadow::{OracleOptions, ShadowMode};
+use chef_fp::tuner::{
+    tune, tune_with_oracle, validate, validate_with_oracle, OracleTuneOptions, TunerConfig,
+    VariantCache,
+};
+
+/// Tunes under `cfg`, measures the chosen config with the oracle, and
+/// checks (a) Table I: measurement within an order of magnitude of the
+/// estimate, (b) the one-pass oracle equals the two-run validation
+/// bit-for-bit (no kernel here demotes across a float-controlled branch
+/// divergence), (c) the quality row serializes.
+fn oracle_check(label: &str, p: &Program, func: &str, args: &[ArgValue], cfg: TunerConfig) {
+    let res = tune(p, func, args, &cfg).expect("tunes");
+    let rep = validate_with_oracle(p, func, args, &res.config, &OracleOptions::default())
+        .expect("oracle runs");
+    let row = rep.against_estimate(cfg.threshold, res.estimated_error);
+    assert!(
+        row.within_order_of_magnitude(),
+        "{label}: estimated {} vs measured {} (ratio {}) — outside the Table I band; demoted {:?}",
+        res.estimated_error,
+        rep.output_error,
+        row.ratio(),
+        res.demoted
+    );
+    let two_run = validate(p, func, args, &res.config).expect("validates");
+    assert_eq!(
+        rep.output_error.to_bits(),
+        two_run.actual_error.to_bits(),
+        "{label}: fused oracle disagrees with the two-run ground truth"
+    );
+    assert_eq!(rep.shadow.to_bits(), two_run.baseline.to_bits(), "{label}");
+    assert_eq!(rep.primal.to_bits(), two_run.demoted.to_bits(), "{label}");
+    // The row is a serializable artifact (`repro --oracle`).
+    let json = chef_fp::core::report::to_json(&row);
+    let back: chef_fp::core::report::EstimateQualityRow =
+        chef_fp::core::report::from_json(&json).expect("round-trips");
+    assert_eq!(back.measured, rep.output_error);
+}
+
+#[test]
+fn arclen_oracle_confirms_estimate_quality() {
+    let p = arclen::program();
+    let args = arclen::args(500);
+    let cfg = TunerConfig::with_threshold(3e-6);
+    oracle_check("arclen", &p, arclen::NAME, &args, cfg.clone());
+    // The measured configuration has a non-trivial attribution story.
+    let res = tune(&p, arclen::NAME, &args, &cfg).unwrap();
+    let rep = validate_with_oracle(
+        &p,
+        arclen::NAME,
+        &args,
+        &res.config,
+        &OracleOptions::default(),
+    )
+    .unwrap();
+    assert!(rep.output_error > 0.0);
+    assert!(!rep.per_instruction.is_empty());
+    assert!(!rep.per_variable.is_empty());
+    // Attribution charges each local error to the first named variable
+    // it reaches: the demoted variables themselves and the variables
+    // computed from them — at least one demoted home must be charged.
+    assert!(rep.per_variable.iter().all(|(_, e)| *e > 0.0));
+    assert!(
+        rep.per_variable
+            .iter()
+            .any(|(name, _)| res.demoted.contains(name)),
+        "no demoted variable charged: {:?} vs {:?}",
+        rep.per_variable,
+        res.demoted
+    );
+}
+
+#[test]
+fn simpsons_oracle_confirms_estimate_quality() {
+    oracle_check(
+        "simpsons",
+        &simpsons::program(),
+        simpsons::NAME,
+        &simpsons::args(500),
+        TunerConfig::with_threshold(1e-7),
+    );
+}
+
+#[test]
+fn kmeans_oracle_confirms_estimate_quality() {
+    // Table III row 1: the f32-quantized attributes are free to demote —
+    // the estimate says zero and the oracle *measures* zero.
+    let w = kmeans::workload(200, 4, 3, 9);
+    let p = kmeans::program();
+    let args = kmeans::args(&w);
+    let cfg = TunerConfig::with_threshold(1e-6)
+        .with_array_len("attributes", "npoints * nfeatures")
+        .with_array_len("clusters", "nclusters * nfeatures");
+    oracle_check("kmeans", &p, kmeans::NAME, &args, cfg.clone());
+    let res = tune(&p, kmeans::NAME, &args, &cfg).unwrap();
+    assert!(res.demoted.contains(&"attributes".to_string()));
+    let rep = validate_with_oracle(
+        &p,
+        kmeans::NAME,
+        &args,
+        &res.config,
+        &OracleOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(rep.output_error, 0.0);
+    assert_eq!(rep.acc_error, 0.0);
+}
+
+#[test]
+fn hpccg_oracle_confirms_estimate_quality() {
+    // At the paper's 1e-10 threshold only the exactly-representable
+    // inputs (stencil values, `b = A·1`, tol) are admitted: estimated
+    // and measured error are both zero.
+    let prob = hpccg::problem(4, 4, 4);
+    oracle_check(
+        "hpccg",
+        &hpccg::program(),
+        hpccg::NAME,
+        &hpccg::args(&prob),
+        TunerConfig::with_threshold(1e-10),
+    );
+}
+
+#[test]
+fn blackscholes_oracle_confirms_estimate_quality() {
+    // Demotion restricted to the computed locals (the Table IV
+    // configuration surface); input arrays estimate with signed
+    // cancellation across options, which is exactly the kind of
+    // estimate/measurement gap the oracle exists to expose.
+    let w = blackscholes::workload(50, 3);
+    let mut cfg = TunerConfig::with_threshold(1e-5);
+    cfg.candidates = Some(
+        blackscholes::TUNE_CANDIDATES
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    oracle_check(
+        "blackscholes",
+        &blackscholes::program(),
+        blackscholes::NAME,
+        &blackscholes::args(&w),
+        cfg,
+    );
+}
+
+#[test]
+fn dd_shadow_measures_f64_self_error_on_arclen() {
+    // The Reduced-Precision-Checking direction: with no demotion at all
+    // the f64 shadow sees nothing, while the double-double shadow
+    // measures the f64 program's own accumulated rounding error.
+    let p = arclen::program();
+    let args = arclen::args(500);
+    let f64_rep = validate_with_oracle(
+        &p,
+        arclen::NAME,
+        &args,
+        &PrecisionMap::empty(),
+        &OracleOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(f64_rep.output_error, 0.0);
+    let dd_rep = validate_with_oracle(
+        &p,
+        arclen::NAME,
+        &args,
+        &PrecisionMap::empty(),
+        &OracleOptions {
+            mode: ShadowMode::DD,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(dd_rep.output_error > 0.0, "f64 self-error must be visible");
+    assert!(
+        dd_rep.output_error < 1e-10,
+        "f64 self-error should be tiny: {}",
+        dd_rep.output_error
+    );
+    assert!(!dd_rep.per_instruction.is_empty());
+}
+
+#[test]
+fn oracle_guided_tuning_beats_estimate_only_admission() {
+    // The greedy loop driven by measurement admits at least everything
+    // the estimate admits (estimates over-approximate here), and its
+    // result is measured under the threshold.
+    let p = arclen::program();
+    let args = arclen::args(200);
+    let cfg = TunerConfig::with_threshold(3e-6);
+    let est_only = tune(&p, arclen::NAME, &args, &cfg).unwrap();
+    let cache = VariantCache::new();
+    let oracle = tune_with_oracle(
+        &p,
+        arclen::NAME,
+        &args,
+        &cfg,
+        &OracleTuneOptions::reranked(),
+        &cache,
+    )
+    .unwrap();
+    let measured = oracle.measured_error.expect("measured");
+    assert!(measured <= cfg.threshold, "{measured}");
+    assert!(
+        oracle.demoted.len() >= est_only.demoted.len(),
+        "oracle admitted {:?}, estimate admitted {:?}",
+        oracle.demoted,
+        est_only.demoted
+    );
+    // Re-tuning over the shared cache compiles nothing: every greedy
+    // step is a cache hit, observable on the result.
+    let again = tune_with_oracle(
+        &p,
+        arclen::NAME,
+        &args,
+        &cfg,
+        &OracleTuneOptions::reranked(),
+        &cache,
+    )
+    .unwrap();
+    assert!(again.cache_hits > 0);
+    assert_eq!(again.demoted, oracle.demoted);
+    // The measured claim re-validates with the classic two-run check.
+    let check = validate(&p, arclen::NAME, &args, &oracle.config).unwrap();
+    assert!(check.actual_error <= cfg.threshold);
+}
