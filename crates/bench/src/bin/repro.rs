@@ -27,6 +27,17 @@ const ADAPT_MEM_LIMIT: usize = 4 << 30; // 4 GiB
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(k) = args.iter().position(|a| a == "--perf-delta") {
+        let (old, new) = match (args.get(k + 1), args.get(k + 2)) {
+            (Some(o), Some(n)) => (o.clone(), n.clone()),
+            _ => {
+                eprintln!("usage: repro --perf-delta <old.json> <new.json>");
+                std::process::exit(2);
+            }
+        };
+        perf_delta(&old, &new);
+        return;
+    }
     if args.iter().any(|a| a == "--smoke" || a == "smoke") {
         smoke();
         return;
@@ -863,15 +874,28 @@ fn smoke() {
         },
     )
     .unwrap();
+    let enum_only = chef_exec::compile::compile(
+        primal,
+        &chef_exec::compile::CompileOptions {
+            pack: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let opts = ExecOptions::default();
     let mut m = chef_exec::vm::Machine::new();
-    let (_, vm_fused_ms) = time_median(9, || {
+    let (_, vm_fused_ms) = time_median(31, || {
         m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
             .unwrap()
             .ret_f()
     });
-    let (_, vm_unfused_ms) = time_median(9, || {
+    let (_, vm_unfused_ms) = time_median(31, || {
         m.run_reused(&unfused, vec![ArgValue::I(10_000)], &opts)
+            .unwrap()
+            .ret_f()
+    });
+    let (_, vm_enum_ms) = time_median(31, || {
+        m.run_reused(&enum_only, vec![ArgValue::I(10_000)], &opts)
             .unwrap()
             .ret_f()
     });
@@ -909,7 +933,7 @@ fn smoke() {
     // 6. Fused shadow pass vs the plain VM run on the same kernel (the
     // shadow/overhead bench group's headline ratio, snapshot-tracked).
     let mut sm = chef_exec::shadow::ShadowMachine::<f64>::new();
-    let (_, vm_shadow_ms) = time_median(9, || {
+    let (_, vm_shadow_ms) = time_median(31, || {
         sm.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
             .unwrap()
             .ret_f()
@@ -918,6 +942,7 @@ fn smoke() {
     let rows = [
         ("vm_arclen_fused_ms", vm_fused_ms),
         ("vm_arclen_unfused_ms", vm_unfused_ms),
+        ("vm_arclen_enum_ms", vm_enum_ms),
         ("vm_arclen_shadowed_ms", vm_shadow_ms),
         ("analysis_arclen_ms", analysis_ms),
         ("analysis_batch32_ms", batch_ms),
@@ -930,6 +955,10 @@ fn smoke() {
     println!(
         "shadow overhead: {:.2}x over the plain fused run",
         vm_shadow_ms / vm_fused_ms
+    );
+    println!(
+        "packed dispatch: {:.2}x over the enum interpreter on the same stream",
+        vm_enum_ms / vm_fused_ms
     );
     let doc = Json::obj(rows.iter().map(|&(name, ms)| (name, Json::Num(ms))));
     let path = "BENCH_smoke.json";
@@ -970,4 +999,69 @@ fn smoke() {
     let path = "BENCH_oracle_smoke.json";
     std::fs::write(path, doc.to_string_pretty()).expect("oracle snapshot written");
     println!("snapshot written to {path}");
+
+    // Estimate-quality regression gate: the estimated-vs-measured ratios
+    // must stay inside the paper's order-of-magnitude band. A violation
+    // fails the run (and CI) instead of silently archiving a regression.
+    let violations: Vec<&EstimateQualityRow> = rows
+        .iter()
+        .map(|(r, _, _)| r)
+        .filter(|r| !r.within_order_of_magnitude())
+        .collect();
+    if !violations.is_empty() {
+        for r in violations {
+            eprintln!(
+                "estimate-quality regression: {} estimated {} vs measured {} \
+                 leaves the order-of-magnitude band",
+                r.kernel,
+                sci(r.estimated),
+                sci(r.measured)
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
+// ------------------------------------------------------------ perf delta
+
+/// Prints a before/after table of two `BENCH_smoke.json` snapshots (CI's
+/// perf-delta step). Informational: absolute numbers vary across runners,
+/// so the gate is the test suite and the oracle band, not this table.
+fn perf_delta(old_path: &str, new_path: &str) {
+    use chef_core::json::{parse, Json};
+    let load = |path: &str| -> Json {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    header(&format!("perf delta: {old_path} -> {new_path}"));
+    println!(
+        "{:<26} {:>12} {:>12} {:>9}",
+        "metric", "old ms", "new ms", "speedup"
+    );
+    let (Json::Obj(old_map), Json::Obj(new_map)) = (&old, &new) else {
+        panic!("snapshots are not JSON objects");
+    };
+    let mut keys: Vec<&String> = old_map.keys().chain(new_map.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        match (
+            old_map.get(key.as_str()).and_then(Json::as_f64),
+            new_map.get(key.as_str()).and_then(Json::as_f64),
+        ) {
+            (Some(o), Some(n)) => {
+                println!("{key:<26} {o:>12.3} {n:>12.3} {:>8.2}x", o / n);
+            }
+            (o, n) => {
+                let fmt = |v: Option<f64>| match v {
+                    Some(v) => format!("{v:.3}"),
+                    None => "-".to_string(),
+                };
+                println!("{key:<26} {:>12} {:>12} {:>9}", fmt(o), fmt(n), "new");
+            }
+        }
+    }
 }

@@ -1,0 +1,169 @@
+//! Machine pooling across functions: one analysis or tuner session
+//! compiles hundreds of `PrecisionMap` variants (and their adjoints) and
+//! runs each through its own machine. The register files, array slots and
+//! tape buffers of those machines are interchangeable — [`Machine::reset`]
+//! re-sizes without releasing capacity — so a session-scoped arena lets
+//! **different** compiled functions share one set of allocations, sized by
+//! the largest function the session has executed.
+//!
+//! [`Pool`] is the generic shape (any `Default` machine type);
+//! [`MachineArena`] and [`ShadowMachineArena`] are the two instantiations
+//! the engine uses. Checkout hands out a guard that returns the machine on
+//! drop, so the pool never grows beyond the peak number of *concurrent*
+//! activations (one per worker thread in the batch APIs, one per greedy
+//! loop in the tuner).
+
+use crate::shadow::ShadowMachine;
+use crate::vm::Machine;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// A pool of reusable machines. Cheap to create; `Sync`, so one instance
+/// can serve every worker thread of a batch and every step of a greedy
+/// loop.
+pub struct Pool<M> {
+    slots: Mutex<Vec<M>>,
+}
+
+impl<M: Default> Default for Pool<M> {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+impl<M: Default> Pool<M> {
+    /// An empty pool; machines are created on first checkout and retained
+    /// (with their grown buffers) on return.
+    pub fn new() -> Self {
+        Pool {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes a machine out of the pool (creating one if none is idle).
+    /// The guard returns it — buffers intact — when dropped.
+    pub fn checkout(&self) -> Pooled<'_, M> {
+        let m = self.slots.lock().expect("arena lock").pop();
+        Pooled {
+            pool: self,
+            m: Some(m.unwrap_or_default()),
+        }
+    }
+
+    /// Number of idle machines currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().expect("arena lock").len()
+    }
+}
+
+/// Checkout guard of a [`Pool`]: derefs to the machine and parks it back
+/// into the pool on drop.
+pub struct Pooled<'a, M: Default> {
+    pool: &'a Pool<M>,
+    m: Option<M>,
+}
+
+impl<M: Default> Deref for Pooled<'_, M> {
+    type Target = M;
+    fn deref(&self) -> &M {
+        self.m.as_ref().expect("present until drop")
+    }
+}
+
+impl<M: Default> DerefMut for Pooled<'_, M> {
+    fn deref_mut(&mut self) -> &mut M {
+        self.m.as_mut().expect("present until drop")
+    }
+}
+
+impl<M: Default> Drop for Pooled<'_, M> {
+    fn drop(&mut self) {
+        if let Some(m) = self.m.take() {
+            self.pool.slots.lock().expect("arena lock").push(m);
+        }
+    }
+}
+
+/// A session-scoped pool of plain VM [`Machine`]s.
+pub type MachineArena = Pool<Machine>;
+
+/// A session-scoped pool of fused primal+shadow machines.
+pub type ShadowMachineArena<S> = Pool<ShadowMachine<S>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_default;
+    use crate::value::ArgValue;
+    use crate::vm::ExecOptions;
+
+    fn compiled(src: &str) -> crate::bytecode::CompiledFunction {
+        let mut p = chef_ir::parser::parse_program(src).unwrap();
+        chef_ir::typeck::check_program(&mut p).unwrap();
+        compile_default(&p.functions[0]).unwrap()
+    }
+
+    #[test]
+    fn checkout_reuses_machines_across_different_functions() {
+        let arena = MachineArena::new();
+        let small = compiled("double f(double x) { return x * 2.0; }");
+        let big = compiled(
+            "double g(int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += i * 0.5; } return s; }",
+        );
+        let opts = ExecOptions::default();
+        {
+            let mut m = arena.checkout();
+            assert_eq!(
+                m.run_reused(&big, vec![ArgValue::I(100)], &opts)
+                    .unwrap()
+                    .ret_f(),
+                (0..100).map(|i| i as f64 * 0.5).sum::<f64>()
+            );
+        }
+        assert_eq!(arena.idle(), 1);
+        {
+            // The same machine now serves a *different* function.
+            let mut m = arena.checkout();
+            assert_eq!(arena.idle(), 0);
+            assert_eq!(
+                m.run_reused(&small, vec![ArgValue::F(21.0)], &opts)
+                    .unwrap()
+                    .ret_f(),
+                42.0
+            );
+        }
+        assert_eq!(arena.idle(), 1);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_machines() {
+        let arena = MachineArena::new();
+        let a = arena.checkout();
+        let b = arena.checkout();
+        drop(a);
+        drop(b);
+        assert_eq!(arena.idle(), 2);
+        // Further checkouts drain the pool instead of growing it.
+        let _c = arena.checkout();
+        assert_eq!(arena.idle(), 1);
+    }
+
+    #[test]
+    fn pooled_runs_are_bit_identical_to_fresh_machines() {
+        let arena = MachineArena::new();
+        let f = compiled(
+            "double f(double x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += sin(x + i * 0.01); } return s; }",
+        );
+        let opts = ExecOptions::default();
+        for k in 0..5 {
+            let args = vec![ArgValue::F(0.2 * k as f64), ArgValue::I(40)];
+            let pooled = arena
+                .checkout()
+                .run_reused(&f, args.clone(), &opts)
+                .unwrap();
+            let fresh = Machine::new().run_reused(&f, args, &opts).unwrap();
+            assert_eq!(pooled.ret_f().to_bits(), fresh.ret_f().to_bits());
+            assert_eq!(pooled.stats, fresh.stats);
+        }
+    }
+}

@@ -42,6 +42,20 @@ pub enum CmpOp {
     Ge,
 }
 
+impl CmpOp {
+    /// The comparison with its operands swapped: `a op b` ≡ `b op' a`.
+    pub fn mirror(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
 /// One VM instruction.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Instr {
@@ -180,6 +194,50 @@ pub enum Instr {
         b: FReg,
         ty: FloatTy,
     },
+    /// `f[dst] = round_to(intr(f[a]), ty)` — intrinsic call into a demoted
+    /// variable (e.g. `float y = sin(x)`).
+    FIntr1Round {
+        dst: FReg,
+        intr: Intrinsic,
+        a: FReg,
+        ty: FloatTy,
+    },
+    /// `f[dst] = round_to(intr(f[a], f[b]), ty)`
+    FIntr2Round {
+        dst: FReg,
+        intr: Intrinsic,
+        a: FReg,
+        b: FReg,
+        ty: FloatTy,
+    },
+    /// `f[dst] = f[a] + k` — constant operand folded out of an `FConst`
+    /// the loop body would otherwise re-materialize every iteration.
+    FAddC { dst: FReg, a: FReg, k: f64 },
+    /// `f[dst] = f[a] - k`
+    FSubC { dst: FReg, a: FReg, k: f64 },
+    /// `f[dst] = k - f[a]`
+    FSubCR { dst: FReg, k: f64, a: FReg },
+    /// `f[dst] = f[a] * k`
+    FMulC { dst: FReg, a: FReg, k: f64 },
+    /// `f[dst] = f[a] / k`
+    FDivC { dst: FReg, a: FReg, k: f64 },
+    /// `f[dst] = k / f[a]` (the `1.0 / x` idiom)
+    FDivCR { dst: FReg, k: f64, a: FReg },
+    /// Jump to `target` when `!(i[a] op imm)` — the fused
+    /// constant-bound loop test (`IConst` + `ICmpJmpFalse`).
+    ICmpImmJmpFalse {
+        op: CmpOp,
+        a: IReg,
+        imm: i64,
+        target: u32,
+    },
+    /// Jump to `target` when `i[a] op imm`.
+    ICmpImmJmpTrue {
+        op: CmpOp,
+        a: IReg,
+        imm: i64,
+        target: u32,
+    },
     /// `f[dst] = farr[arr][i[base] + off]` (bounds-checked)
     FLoadOff {
         dst: FReg,
@@ -309,6 +367,12 @@ pub struct CompiledFunction {
     /// Source names of the array registers (every array register is a
     /// variable home; there are no array temporaries).
     pub avar_names: Vec<(u32, String)>,
+    /// The packed `u64` word stream + constant pools produced by
+    /// [`crate::pack`] (`None` when packing is disabled or the packer
+    /// bailed — the VM then dispatches the enum stream). When present it
+    /// is word-for-word equivalent to `instrs`; [`crate::vm::validate_function`]
+    /// enforces that before any unchecked packed dispatch.
+    pub packed: Option<crate::pack::PackedCode>,
 }
 
 impl CompiledFunction {
@@ -352,6 +416,7 @@ mod tests {
             ret: RetKind::F(FloatTy::F64),
             fvar_names: vec![],
             avar_names: vec![],
+            packed: None,
         };
         let d = f.disassemble();
         assert!(d.contains("FConst"));

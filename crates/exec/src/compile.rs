@@ -80,6 +80,11 @@ pub struct CompileOptions {
     /// On by default; turn off to inspect or benchmark the raw
     /// instruction stream (results are bit-identical either way).
     pub fuse: bool,
+    /// Pack the (fused) instruction stream into the `u64` word format
+    /// ([`crate::pack`]) so the VM uses the packed dispatch loop. On by
+    /// default; turn off to benchmark or differentially test the enum
+    /// interpreter (results are bit-identical either way).
+    pub pack: bool,
 }
 
 impl Default for CompileOptions {
@@ -87,6 +92,7 @@ impl Default for CompileOptions {
         CompileOptions {
             precisions: PrecisionMap::default(),
             fuse: true,
+            pack: true,
         }
     }
 }
@@ -143,7 +149,10 @@ pub fn compile(func: &Function, opts: &CompileOptions) -> Result<CompiledFunctio
     c.compile_body()?;
     let mut compiled = c.finish();
     if opts.fuse {
-        crate::fuse::fuse_function(&mut compiled);
+        crate::fuse::fuse_to_fixpoint(&mut compiled);
+    }
+    if opts.pack {
+        compiled.packed = crate::pack::pack_function(&compiled);
     }
     Ok(compiled)
 }
@@ -993,6 +1002,7 @@ impl<'a> Compiler<'a> {
             ret,
             fvar_names,
             avar_names,
+            packed: None,
         }
     }
 }

@@ -10,6 +10,8 @@
 //! | `FMul t,a,b` ; `FAdd d,t,c` | [`Instr::FMulAdd`] |
 //! | `FMul t,a,b` ; `FConst k` ; `FAdd d,t,k` | `FConst` + [`Instr::FMulAdd`] |
 //! | `FAdd/FSub/FMul/FDiv t,a,b` ; `FRound d,t,ty` | [`Instr::FAddRound`] … |
+//! | `FIntr1/FIntr2 t,…` ; `FRound d,t,ty` | [`Instr::FIntr1Round`] … |
+//! | `FMov t,s` ; `FRound d,t,ty` | [`Instr::FRound`] `d,s,ty` |
 //! | `IConst t,c` ; `IAdd d,a,t` | [`Instr::IAddImm`] |
 //! | `IConst t,c` ; `IAdd u,i,t` ; `FLoad d,arr,u` | [`Instr::FLoadOff`] |
 //! | `IConst t,c` ; `IAdd u,i,t` ; `FStore arr,u,s` | [`Instr::FStoreOff`] |
@@ -52,17 +54,47 @@ pub struct FuseStats {
     pub add_imm: u32,
     /// Compare + conditional jump.
     pub cmp_branch: u32,
+    /// Intrinsic + `FRound` → [`Instr::FIntr1Round`]/[`Instr::FIntr2Round`].
+    pub intr_round: u32,
+    /// `FMov` + `FRound` collapsed into one [`Instr::FRound`].
+    pub mov_round: u32,
+    /// `FConst` + arithmetic → constant-operand forms ([`Instr::FAddC`] …),
+    /// and `IConst` + compare-and-branch → [`Instr::ICmpImmJmpFalse`] ….
+    pub const_op: u32,
+    /// Writing op + `FMov`/`IMov` retargeted to the copy's destination
+    /// (generic copy elimination).
+    pub mov_elim: u32,
 }
 
 impl FuseStats {
+    /// The counters as one array (order matches the field declarations).
+    fn counters(&mut self) -> [&mut u32; 10] {
+        [
+            &mut self.mul_add,
+            &mut self.op_round,
+            &mut self.load_off,
+            &mut self.store_off,
+            &mut self.add_imm,
+            &mut self.cmp_branch,
+            &mut self.intr_round,
+            &mut self.mov_round,
+            &mut self.const_op,
+            &mut self.mov_elim,
+        ]
+    }
+
     /// Total number of fusions performed.
     pub fn total(&self) -> u32 {
-        self.mul_add
-            + self.op_round
-            + self.load_off
-            + self.store_off
-            + self.add_imm
-            + self.cmp_branch
+        let mut s = *self;
+        s.counters().into_iter().map(|c| *c).sum()
+    }
+}
+
+impl std::ops::AddAssign for FuseStats {
+    fn add_assign(&mut self, mut rhs: FuseStats) {
+        for (acc, add) in self.counters().into_iter().zip(rhs.counters()) {
+            *acc += *add;
+        }
     }
 }
 
@@ -98,12 +130,20 @@ fn for_each_read(ins: &Instr, mut visit: impl FnMut(Reg)) {
         | Instr::FRound { src, .. }
         | Instr::F2I { src, .. }
         | Instr::TPushF { src } => fr!(*src),
-        Instr::FIntr1 { a, .. } => fr!(*a),
+        Instr::FIntr1 { a, .. }
+        | Instr::FIntr1Round { a, .. }
+        | Instr::FAddC { a, .. }
+        | Instr::FSubC { a, .. }
+        | Instr::FSubCR { a, .. }
+        | Instr::FMulC { a, .. }
+        | Instr::FDivC { a, .. }
+        | Instr::FDivCR { a, .. } => fr!(*a),
         Instr::FAdd { a, b, .. }
         | Instr::FSub { a, b, .. }
         | Instr::FMul { a, b, .. }
         | Instr::FDiv { a, b, .. }
         | Instr::FIntr2 { a, b, .. }
+        | Instr::FIntr2Round { a, b, .. }
         | Instr::FCmp { a, b, .. }
         | Instr::FAddRound { a, b, .. }
         | Instr::FSubRound { a, b, .. }
@@ -145,7 +185,9 @@ fn for_each_read(ins: &Instr, mut visit: impl FnMut(Reg)) {
             ir!(a);
             ir!(b);
         }
-        Instr::IAddImm { a, .. } => ir!(a),
+        Instr::IAddImm { a, .. }
+        | Instr::ICmpImmJmpFalse { a, .. }
+        | Instr::ICmpImmJmpTrue { a, .. } => ir!(a),
         Instr::ILoad { idx, .. } => ir!(idx),
         Instr::IStore { idx, src, .. } => {
             ir!(idx);
@@ -171,6 +213,8 @@ fn write_of(ins: &Instr) -> Option<Reg> {
         | Instr::FRound { dst, .. }
         | Instr::FIntr1 { dst, .. }
         | Instr::FIntr2 { dst, .. }
+        | Instr::FIntr1Round { dst, .. }
+        | Instr::FIntr2Round { dst, .. }
         | Instr::FLoad { dst, .. }
         | Instr::I2F { dst, .. }
         | Instr::TPopF { dst }
@@ -179,6 +223,12 @@ fn write_of(ins: &Instr) -> Option<Reg> {
         | Instr::FSubRound { dst, .. }
         | Instr::FMulRound { dst, .. }
         | Instr::FDivRound { dst, .. }
+        | Instr::FAddC { dst, .. }
+        | Instr::FSubC { dst, .. }
+        | Instr::FSubCR { dst, .. }
+        | Instr::FMulC { dst, .. }
+        | Instr::FDivC { dst, .. }
+        | Instr::FDivCR { dst, .. }
         | Instr::FLoadOff { dst, .. } => Some(Reg::F(dst.0)),
         Instr::FCmp { dst, .. }
         | Instr::F2I { dst, .. }
@@ -205,6 +255,8 @@ fn write_of(ins: &Instr) -> Option<Reg> {
         | Instr::FCmpJmpTrue { .. }
         | Instr::ICmpJmpFalse { .. }
         | Instr::ICmpJmpTrue { .. }
+        | Instr::ICmpImmJmpFalse { .. }
+        | Instr::ICmpImmJmpTrue { .. }
         | Instr::TPushF { .. }
         | Instr::TPushI { .. }
         | Instr::AllocF { .. }
@@ -232,7 +284,9 @@ fn successors(ins: &Instr, pc: usize, out: &mut [Option<usize>; 2]) -> bool {
         | Instr::FCmpJmpFalse { target, .. }
         | Instr::FCmpJmpTrue { target, .. }
         | Instr::ICmpJmpFalse { target, .. }
-        | Instr::ICmpJmpTrue { target, .. } => {
+        | Instr::ICmpJmpTrue { target, .. }
+        | Instr::ICmpImmJmpFalse { target, .. }
+        | Instr::ICmpImmJmpTrue { target, .. } => {
             out[0] = Some(*target as usize);
             out[1] = Some(pc + 1);
             true
@@ -273,7 +327,9 @@ impl Analysis {
                 | Instr::FCmpJmpFalse { target, .. }
                 | Instr::FCmpJmpTrue { target, .. }
                 | Instr::ICmpJmpFalse { target, .. }
-                | Instr::ICmpJmpTrue { target, .. } => {
+                | Instr::ICmpJmpTrue { target, .. }
+                | Instr::ICmpImmJmpFalse { target, .. }
+                | Instr::ICmpImmJmpTrue { target, .. } => {
                     if let Some(t) = a.is_target.get_mut(*target as usize) {
                         *t = true;
                     }
@@ -376,9 +432,30 @@ impl Rewrite {
     }
 }
 
-/// Fuses `func` in place; returns what happened. Idempotent: running it
-/// again finds nothing new.
+/// Runs [`fuse_function`] to fixpoint: one pass's rewrites expose new
+/// windows to the next (a constant-operand op followed by the `Mov` that
+/// stored its temp, a compare freshly adjacent to its branch, …). Every
+/// rewrite strictly shrinks the stream, so this terminates; the returned
+/// stats are the accumulated totals. This is what [`crate::compile`]
+/// invokes.
+pub fn fuse_to_fixpoint(func: &mut CompiledFunction) -> FuseStats {
+    let mut acc = FuseStats::default();
+    loop {
+        let pass = fuse_function(func);
+        if pass.total() == 0 {
+            return acc;
+        }
+        acc += pass;
+    }
+}
+
+/// Fuses `func` in place (one pass); returns what happened. Callers
+/// wanting the full effect run [`fuse_to_fixpoint`] — a single pass can
+/// expose further windows.
 pub fn fuse_function(func: &mut CompiledFunction) -> FuseStats {
+    // The pass rewrites the instruction stream, so any packed form is
+    // stale; [`crate::compile`] re-packs after fusing.
+    func.packed = None;
     let analysis = Analysis::of(func);
     let mut stats = FuseStats::default();
     let old_len = func.instrs.len();
@@ -414,7 +491,9 @@ pub fn fuse_function(func: &mut CompiledFunction) -> FuseStats {
             | Instr::FCmpJmpFalse { target, .. }
             | Instr::FCmpJmpTrue { target, .. }
             | Instr::ICmpJmpFalse { target, .. }
-            | Instr::ICmpJmpTrue { target, .. } => *target = remap[*target as usize],
+            | Instr::ICmpJmpTrue { target, .. }
+            | Instr::ICmpImmJmpFalse { target, .. }
+            | Instr::ICmpImmJmpTrue { target, .. } => *target = remap[*target as usize],
             _ => {}
         }
     }
@@ -423,8 +502,107 @@ pub fn fuse_function(func: &mut CompiledFunction) -> FuseStats {
     stats
 }
 
-/// Tries every fusion pattern anchored at `pc`.
+/// Tries every fusion pattern anchored at `pc`: the shape-specific
+/// patterns first, then generic copy elimination.
 fn match_window(
+    func: &CompiledFunction,
+    analysis: &Analysis,
+    pc: usize,
+    stats: &mut FuseStats,
+) -> Option<Rewrite> {
+    match_specific(func, analysis, pc, stats).or_else(|| mov_elim(func, analysis, pc, stats))
+}
+
+/// Generic copy elimination: any instruction that writes a scalar
+/// register `t`, immediately followed by a same-file `Mov d ← t` with `t`
+/// dead afterwards, is retargeted to write `d` directly. This collapses
+/// the compiler's compute-into-temp / move-into-variable idiom (3 of the
+/// 13 instructions in a typical inner loop) and composes with the other
+/// patterns across fixpoint passes.
+fn mov_elim(
+    func: &CompiledFunction,
+    analysis: &Analysis,
+    pc: usize,
+    stats: &mut FuseStats,
+) -> Option<Rewrite> {
+    let ins = func.instrs.get(pc)?;
+    let t = write_of(ins)?;
+    if analysis.is_target[pc + 1] {
+        return None;
+    }
+    let d = match (t, func.instrs.get(pc + 1)?) {
+        (Reg::F(tr), &Instr::FMov { dst, src }) if src.0 == tr => Reg::F(dst.0),
+        (Reg::I(tr), &Instr::IMov { dst, src }) if src.0 == tr => Reg::I(dst.0),
+        _ => return None,
+    };
+    if d == t || !analysis.dead_after(func, &[pc + 2], t) {
+        return None;
+    }
+    let retargeted = with_dst(ins, d)?;
+    stats.mov_elim += 1;
+    Rewrite::one(retargeted, 2)
+}
+
+/// The instruction with its scalar destination replaced by `d` (same
+/// register file). `None` for instructions this does not apply to.
+fn with_dst(ins: &Instr, d: Reg) -> Option<Instr> {
+    let mut out = ins.clone();
+    let new = match (&mut out, d) {
+        (Instr::FConst { dst, .. }, Reg::F(r))
+        | (Instr::FMov { dst, .. }, Reg::F(r))
+        | (Instr::FAdd { dst, .. }, Reg::F(r))
+        | (Instr::FSub { dst, .. }, Reg::F(r))
+        | (Instr::FMul { dst, .. }, Reg::F(r))
+        | (Instr::FDiv { dst, .. }, Reg::F(r))
+        | (Instr::FNeg { dst, .. }, Reg::F(r))
+        | (Instr::FRound { dst, .. }, Reg::F(r))
+        | (Instr::FIntr1 { dst, .. }, Reg::F(r))
+        | (Instr::FIntr2 { dst, .. }, Reg::F(r))
+        | (Instr::FIntr1Round { dst, .. }, Reg::F(r))
+        | (Instr::FIntr2Round { dst, .. }, Reg::F(r))
+        | (Instr::FLoad { dst, .. }, Reg::F(r))
+        | (Instr::I2F { dst, .. }, Reg::F(r))
+        | (Instr::TPopF { dst }, Reg::F(r))
+        | (Instr::FMulAdd { dst, .. }, Reg::F(r))
+        | (Instr::FAddRound { dst, .. }, Reg::F(r))
+        | (Instr::FSubRound { dst, .. }, Reg::F(r))
+        | (Instr::FMulRound { dst, .. }, Reg::F(r))
+        | (Instr::FDivRound { dst, .. }, Reg::F(r))
+        | (Instr::FAddC { dst, .. }, Reg::F(r))
+        | (Instr::FSubC { dst, .. }, Reg::F(r))
+        | (Instr::FSubCR { dst, .. }, Reg::F(r))
+        | (Instr::FMulC { dst, .. }, Reg::F(r))
+        | (Instr::FDivC { dst, .. }, Reg::F(r))
+        | (Instr::FDivCR { dst, .. }, Reg::F(r))
+        | (Instr::FLoadOff { dst, .. }, Reg::F(r)) => {
+            *dst = FReg(r);
+            true
+        }
+        (Instr::FCmp { dst, .. }, Reg::I(r))
+        | (Instr::F2I { dst, .. }, Reg::I(r))
+        | (Instr::IConst { dst, .. }, Reg::I(r))
+        | (Instr::IMov { dst, .. }, Reg::I(r))
+        | (Instr::IAdd { dst, .. }, Reg::I(r))
+        | (Instr::ISub { dst, .. }, Reg::I(r))
+        | (Instr::IMul { dst, .. }, Reg::I(r))
+        | (Instr::IDiv { dst, .. }, Reg::I(r))
+        | (Instr::IRem { dst, .. }, Reg::I(r))
+        | (Instr::INeg { dst, .. }, Reg::I(r))
+        | (Instr::ICmp { dst, .. }, Reg::I(r))
+        | (Instr::ILoad { dst, .. }, Reg::I(r))
+        | (Instr::BNot { dst, .. }, Reg::I(r))
+        | (Instr::TPopI { dst }, Reg::I(r))
+        | (Instr::IAddImm { dst, .. }, Reg::I(r)) => {
+            *dst = IReg(r);
+            true
+        }
+        _ => false,
+    };
+    new.then_some(out)
+}
+
+/// Tries the shape-specific fusion patterns anchored at `pc`.
+fn match_specific(
     func: &CompiledFunction,
     analysis: &Analysis,
     pc: usize,
@@ -441,63 +619,136 @@ fn match_window(
     let dead_i = |width: usize, r: IReg| analysis.dead_after(func, &[pc + width], Reg::I(r.0));
 
     match *at(0)? {
-        // IConst t ; IAdd … — address arithmetic and loop increments.
+        // IConst t ; IAdd … — address arithmetic and loop increments —
+        // or IConst t ; ICmpJmp… — the constant-bound loop test.
         Instr::IConst { dst: t, v } => {
-            let &Instr::IAdd { dst: u, a, b } = at(1)? else {
+            if let Some(&Instr::IAdd { dst: u, a, b }) = at(1) {
+                if !free(1) {
+                    return None;
+                }
+                let base = other_operand(Reg::I(t.0), Reg::I(a.0), Reg::I(b.0))?;
+                let base = IReg(base);
+                // 3-instruction form: the sum feeds an array access.
+                if free(2) && u != t && i32::try_from(v).is_ok() {
+                    match at(2) {
+                        Some(&Instr::FLoad { dst, arr, idx })
+                            if idx == u && dead_i(3, u) && dead_i(3, t) =>
+                        {
+                            stats.load_off += 1;
+                            return Rewrite::one(
+                                Instr::FLoadOff {
+                                    dst,
+                                    arr,
+                                    base,
+                                    off: v as i32,
+                                },
+                                3,
+                            );
+                        }
+                        Some(&Instr::FStore { arr, idx, src })
+                            if idx == u && dead_i(3, u) && dead_i(3, t) =>
+                        {
+                            stats.store_off += 1;
+                            return Rewrite::one(
+                                Instr::FStoreOff {
+                                    arr,
+                                    base,
+                                    off: v as i32,
+                                    src,
+                                },
+                                3,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                // 2-instruction form: plain add-immediate.
+                if u == t || dead_i(2, t) {
+                    stats.add_imm += 1;
+                    return Rewrite::one(
+                        Instr::IAddImm {
+                            dst: u,
+                            a: base,
+                            imm: v,
+                        },
+                        2,
+                    );
+                }
+                return None;
+            }
+            // IConst t ; ICmpJmpFalse/True involving t → immediate
+            // compare-and-branch (the `i <= 5` inner-loop test). Kept to
+            // i16 immediates so the packed encoding always fits.
+            if i16::try_from(v).is_err() {
+                return None;
+            }
+            let (op, a, b, target, neg) = match *at(1)? {
+                Instr::ICmpJmpFalse { op, a, b, target } if free(1) => (op, a, b, target, true),
+                Instr::ICmpJmpTrue { op, a, b, target } if free(1) => (op, a, b, target, false),
+                _ => return None,
+            };
+            // Normalize the constant onto the right: mirror the operator
+            // when the constant is the left operand.
+            let (op, reg) = if b == t && a != t {
+                (op, a)
+            } else if a == t && b != t {
+                (op.mirror(), b)
+            } else {
                 return None;
             };
-            if !free(1) {
+            if !analysis.dead_after(func, &[target as usize, pc + 2], Reg::I(t.0)) {
                 return None;
             }
-            let base = other_operand(Reg::I(t.0), Reg::I(a.0), Reg::I(b.0))?;
-            let base = IReg(base);
-            // 3-instruction form: the sum feeds an array access.
-            if free(2) && u != t && i32::try_from(v).is_ok() {
-                match at(2) {
-                    Some(&Instr::FLoad { dst, arr, idx })
-                        if idx == u && dead_i(3, u) && dead_i(3, t) =>
-                    {
-                        stats.load_off += 1;
-                        return Rewrite::one(
-                            Instr::FLoadOff {
-                                dst,
-                                arr,
-                                base,
-                                off: v as i32,
-                            },
-                            3,
-                        );
-                    }
-                    Some(&Instr::FStore { arr, idx, src })
-                        if idx == u && dead_i(3, u) && dead_i(3, t) =>
-                    {
-                        stats.store_off += 1;
-                        return Rewrite::one(
-                            Instr::FStoreOff {
-                                arr,
-                                base,
-                                off: v as i32,
-                                src,
-                            },
-                            3,
-                        );
-                    }
-                    _ => {}
+            stats.const_op += 1;
+            let ins = if neg {
+                Instr::ICmpImmJmpFalse {
+                    op,
+                    a: reg,
+                    imm: v,
+                    target,
                 }
+            } else {
+                Instr::ICmpImmJmpTrue {
+                    op,
+                    a: reg,
+                    imm: v,
+                    target,
+                }
+            };
+            Rewrite::one(ins, 2)
+        }
+        // FConst t ; arithmetic using t → constant-operand form: the
+        // constant stops being re-materialized on every loop iteration.
+        Instr::FConst { dst: t, v } => {
+            let (ins, dst) = match *at(1)? {
+                Instr::FAdd { dst, a: x, b: y } if free(1) => {
+                    let o = FReg(other_operand(Reg::F(t.0), Reg::F(x.0), Reg::F(y.0))?);
+                    (Instr::FAddC { dst, a: o, k: v }, dst)
+                }
+                Instr::FMul { dst, a: x, b: y } if free(1) => {
+                    let o = FReg(other_operand(Reg::F(t.0), Reg::F(x.0), Reg::F(y.0))?);
+                    (Instr::FMulC { dst, a: o, k: v }, dst)
+                }
+                Instr::FSub { dst, a: x, b: y } if free(1) && y == t && x != t => {
+                    (Instr::FSubC { dst, a: x, k: v }, dst)
+                }
+                Instr::FSub { dst, a: x, b: y } if free(1) && x == t && y != t => {
+                    (Instr::FSubCR { dst, k: v, a: y }, dst)
+                }
+                Instr::FDiv { dst, a: x, b: y } if free(1) && y == t && x != t => {
+                    (Instr::FDivC { dst, a: x, k: v }, dst)
+                }
+                Instr::FDiv { dst, a: x, b: y } if free(1) && x == t && y != t => {
+                    (Instr::FDivCR { dst, k: v, a: y }, dst)
+                }
+                _ => return None,
+            };
+            if dst == t || dead_f(2, t) {
+                stats.const_op += 1;
+                Rewrite::one(ins, 2)
+            } else {
+                None
             }
-            // 2-instruction form: plain add-immediate.
-            if u == t || dead_i(2, t) {
-                stats.add_imm += 1;
-                return Rewrite::one(
-                    Instr::IAddImm {
-                        dst: u,
-                        a: base,
-                        imm: v,
-                    },
-                    2,
-                );
-            }
-            None
         }
         // FMul t,a,b ; [FConst k ;] FAdd d,t,c  →  FMulAdd.
         Instr::FMul { dst: t, a, b } => {
@@ -585,6 +836,50 @@ fn match_window(
                 None
             }
         }),
+        // FIntr1/FIntr2 t,… ; FRound d,t  →  fused intrinsic+round (the
+        // `float y = sin(x)` idiom in demoted code).
+        Instr::FIntr1 { dst: t, intr, a } => fuse_round(at(1), free(1), t, |dst, ty| {
+            Instr::FIntr1Round { dst, intr, a, ty }
+        })
+        .and_then(|(ins, dst)| {
+            if dst == t || dead_f(2, t) {
+                stats.intr_round += 1;
+                Rewrite::one(ins, 2)
+            } else {
+                None
+            }
+        }),
+        Instr::FIntr2 { dst: t, intr, a, b } => {
+            fuse_round(at(1), free(1), t, |dst, ty| Instr::FIntr2Round {
+                dst,
+                intr,
+                a,
+                b,
+                ty,
+            })
+            .and_then(|(ins, dst)| {
+                if dst == t || dead_f(2, t) {
+                    stats.intr_round += 1;
+                    Rewrite::one(ins, 2)
+                } else {
+                    None
+                }
+            })
+        }
+        // FMov t,s ; FRound d,t  →  FRound d,s (the demoted-assignment
+        // copy; the round reads through the mov).
+        Instr::FMov { dst: t, src } => {
+            fuse_round(at(1), free(1), t, |dst, ty| Instr::FRound { dst, src, ty }).and_then(
+                |(ins, dst)| {
+                    if dst == t || dead_f(2, t) {
+                        stats.mov_round += 1;
+                        Rewrite::one(ins, 2)
+                    } else {
+                        None
+                    }
+                },
+            )
+        }
         // FCmp/ICmp t ; JmpIfFalse/True t  →  compare-and-branch. The
         // condition register is not written by the fused form, so it must
         // be dead along both branch successors.
@@ -808,15 +1103,135 @@ mod tests {
     }
 
     #[test]
-    fn fusion_is_idempotent() {
+    fn fixpoint_is_stable() {
         let src = "double f(int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += i * 2.0 + 1.0; } return s; }";
         let mut f = compile_unfused(src);
-        let first = fuse_function(&mut f);
+        let first = fuse_to_fixpoint(&mut f);
         assert!(first.total() > 0);
         let snapshot = f.instrs.clone();
-        let second = fuse_function(&mut f);
-        assert_eq!(second.total(), 0, "{second:?}");
+        let again = fuse_function(&mut f);
+        assert_eq!(again.total(), 0, "{again:?}");
         assert_eq!(f.instrs, snapshot);
+    }
+
+    #[test]
+    fn intrinsic_round_fuses_and_matches_unfused() {
+        let src =
+            "float f(float x) { float y; y = sin(x) + 0.0; float z; z = pow(y, 2.0); return z; }";
+        let mut fused = compile_unfused(src);
+        let unfused = compile_unfused(src);
+        let stats = fuse_to_fixpoint(&mut fused);
+        assert!(stats.intr_round >= 1, "{stats:?}\n{}", fused.disassemble());
+        let args = vec![ArgValue::F(0.7)];
+        let a = run(&fused, args.clone()).unwrap();
+        let b = run(&unfused, args).unwrap();
+        assert_eq!(a.ret_f().to_bits(), b.ret_f().to_bits());
+        assert!(a.stats.instrs_executed < b.stats.instrs_executed);
+    }
+
+    #[test]
+    fn mov_round_collapses_to_single_round() {
+        use chef_ir::span::Span;
+        use chef_ir::types::FloatTy;
+        // The compiler mostly emits FRound directly, so pin the window on
+        // hand-built bytecode: FMov t←x ; FRound d←t must become
+        // FRound d←x when t is dead.
+        let mut f = CompiledFunction {
+            name: "mr".into(),
+            instrs: vec![
+                Instr::FMov {
+                    dst: FReg(1),
+                    src: FReg(0),
+                },
+                Instr::FRound {
+                    dst: FReg(2),
+                    src: FReg(1),
+                    ty: FloatTy::F32,
+                },
+                Instr::RetF { src: FReg(2) },
+            ],
+            spans: vec![Span::DUMMY; 3],
+            n_fregs: 3,
+            n_iregs: 0,
+            n_aregs: 0,
+            params: vec![ParamSpec {
+                name: "x".into(),
+                kind: ParamKind::F(FloatTy::F64),
+                by_ref: false,
+                reg: 0,
+            }],
+            ret: RetKind::F(FloatTy::F64),
+            fvar_names: vec![],
+            avar_names: vec![],
+            packed: None,
+        };
+        let stats = fuse_to_fixpoint(&mut f);
+        assert!(stats.mov_round >= 1, "{stats:?}\n{}", f.disassemble());
+        assert!(matches!(
+            f.instrs[0],
+            Instr::FRound {
+                dst: FReg(2),
+                src: FReg(0),
+                ty: FloatTy::F32
+            }
+        ));
+        let x = 1.0 / 3.0;
+        let out = run(&f, vec![ArgValue::F(x)]).unwrap();
+        assert_eq!(out.ret_f(), x as f32 as f64);
+    }
+
+    #[test]
+    fn loop_constants_fuse_into_operands() {
+        // `k * 2.0` and `i <= 5` re-materialize constants every iteration
+        // without the const+op patterns.
+        let src = "double f(double x) {
+            double k = 1.0;
+            for (int j = 1; j <= 5; j++) { k = k * 2.0 + x / 4.0; }
+            return k;
+        }";
+        let mut fused = compile_unfused(src);
+        let unfused = compile_unfused(src);
+        let stats = fuse_to_fixpoint(&mut fused);
+        assert!(stats.const_op >= 2, "{stats:?}\n{}", fused.disassemble());
+        assert!(
+            fused
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::FMulC { .. })),
+            "{}",
+            fused.disassemble()
+        );
+        assert!(
+            fused.instrs.iter().any(|i| matches!(
+                i,
+                Instr::ICmpImmJmpFalse { .. } | Instr::ICmpImmJmpTrue { .. }
+            )),
+            "{}",
+            fused.disassemble()
+        );
+        let a = run(&fused, vec![ArgValue::F(0.123)]).unwrap();
+        let b = run(&unfused, vec![ArgValue::F(0.123)]).unwrap();
+        assert_eq!(a.ret_f().to_bits(), b.ret_f().to_bits());
+    }
+
+    #[test]
+    fn copy_elimination_retargets_ops() {
+        // `s = s + d` compiles to FAdd-into-temp + FMov-into-s; copy
+        // elimination folds the mov away.
+        let src = "double f(int n) { double s = 0.0; for (int i = 0; i < n; i++) { s = s + 1.5; } return s; }";
+        let mut fused = compile_unfused(src);
+        let unfused = compile_unfused(src);
+        let stats = fuse_to_fixpoint(&mut fused);
+        assert!(stats.mov_elim >= 1, "{stats:?}\n{}", fused.disassemble());
+        assert!(
+            !fused.instrs.iter().any(|i| matches!(i, Instr::FMov { .. })),
+            "copies survived:\n{}",
+            fused.disassemble()
+        );
+        let a = run(&fused, vec![ArgValue::I(1000)]).unwrap();
+        let b = run(&unfused, vec![ArgValue::I(1000)]).unwrap();
+        assert_eq!(a.ret_f().to_bits(), b.ret_f().to_bits());
+        assert_eq!(a.ret_f(), 1500.0);
     }
 
     #[test]

@@ -119,6 +119,12 @@ pub fn eval_exact2(i: Intrinsic, a: f64, b: f64) -> f64 {
 /// names use their FastApprox replacement, everything else stays exact.
 #[inline]
 pub fn eval1(i: Intrinsic, a: f64, cfg: &ApproxConfig) -> f64 {
+    // Fast path for the (default) exact configuration: skip the
+    // string-keyed grade lookup, which would otherwise hash the intrinsic
+    // name on every dispatched call in the VM's hot loop.
+    if cfg.is_exact() {
+        return eval_exact1(i, a);
+    }
     if let Some(grade) = cfg.grade_of(i.name()) {
         if let Some(entry) = lookup(i.name()) {
             return entry.approx(grade)(a);
@@ -132,6 +138,9 @@ pub fn eval1(i: Intrinsic, a: f64, cfg: &ApproxConfig) -> f64 {
 /// Of the binary intrinsics only `pow` has a FastApprox counterpart.
 #[inline]
 pub fn eval2(i: Intrinsic, a: f64, b: f64, cfg: &ApproxConfig) -> f64 {
+    if cfg.is_exact() {
+        return eval_exact2(i, a, b);
+    }
     if i == Intrinsic::Pow && cfg.grade_of("pow").is_some() {
         return fastapprox::wide::fastpow64(a, b);
     }

@@ -355,7 +355,13 @@ impl<S: ShadowNum> ShadowMachine<S> {
             }
         }
 
-        let ret = self.exec_loop(func, opts, &mut acc, &mut nonfinite)?;
+        // Packed dispatch when the packer produced words (the default);
+        // enum dispatch otherwise — identical semantics either way, like
+        // the plain VM.
+        let ret = match &func.packed {
+            Some(p) => self.exec_loop_packed(func, p, opts, &mut acc, &mut nonfinite)?,
+            None => self.exec_loop(func, opts, &mut acc, &mut nonfinite)?,
+        };
         self.m.stats.tape_peak_bytes = self.m.tape.peak_bytes();
         self.m.stats.tape_total_pushes = self.m.tape.total_pushes();
         let args = self.m.unbind_args(func);
@@ -837,6 +843,148 @@ impl<S: ShadowNum> ShadowMachine<S> {
                     let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
                     put!(dst, prim, S::div(sr!(x), sr!(y)), p);
                 }
+                Instr::FIntr1Round {
+                    dst,
+                    intr,
+                    a: x,
+                    ty,
+                } => {
+                    let pa = fr!(x);
+                    let prim = round_to(eval1(*intr, pa, approx), *ty);
+                    let local = S::sub(S::intr1(*intr, S::from_f64(pa), approx), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        dst,
+                        prim,
+                        S::intr1(*intr, sr!(x), approx),
+                        pend[x.0 as usize] + local
+                    );
+                }
+                Instr::FIntr2Round {
+                    dst,
+                    intr,
+                    a: x,
+                    b: y,
+                    ty,
+                } => {
+                    let (pa, pb) = (fr!(x), fr!(y));
+                    let prim = round_to(eval2(*intr, pa, pb, approx), *ty);
+                    let local = S::sub(
+                        S::intr2(*intr, S::from_f64(pa), S::from_f64(pb), approx),
+                        S::from_f64(prim),
+                    )
+                    .to_f64()
+                    .abs();
+                    sample!(local);
+                    let p = pend[x.0 as usize] + pend[y.0 as usize] + local;
+                    put!(dst, prim, S::intr2(*intr, sr!(x), sr!(y), approx), p);
+                }
+                Instr::FAddC { dst, a: x, k } => {
+                    let pa = fr!(x);
+                    let prim = pa + *k;
+                    let local = S::sub(S::add(S::from_f64(pa), S::from_f64(*k)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        dst,
+                        prim,
+                        S::add(sr!(x), S::from_f64(*k)),
+                        pend[x.0 as usize] + local
+                    );
+                }
+                Instr::FSubC { dst, a: x, k } => {
+                    let pa = fr!(x);
+                    let prim = pa - *k;
+                    let local = S::sub(S::sub(S::from_f64(pa), S::from_f64(*k)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        dst,
+                        prim,
+                        S::sub(sr!(x), S::from_f64(*k)),
+                        pend[x.0 as usize] + local
+                    );
+                }
+                Instr::FSubCR { dst, k, a: x } => {
+                    let pa = fr!(x);
+                    let prim = *k - pa;
+                    let local = S::sub(S::sub(S::from_f64(*k), S::from_f64(pa)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        dst,
+                        prim,
+                        S::sub(S::from_f64(*k), sr!(x)),
+                        pend[x.0 as usize] + local
+                    );
+                }
+                Instr::FMulC { dst, a: x, k } => {
+                    let pa = fr!(x);
+                    let prim = pa * *k;
+                    let local = S::sub(S::mul(S::from_f64(pa), S::from_f64(*k)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        dst,
+                        prim,
+                        S::mul(sr!(x), S::from_f64(*k)),
+                        pend[x.0 as usize] + local
+                    );
+                }
+                Instr::FDivC { dst, a: x, k } => {
+                    let pa = fr!(x);
+                    let prim = pa / *k;
+                    let local = S::sub(S::div(S::from_f64(pa), S::from_f64(*k)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        dst,
+                        prim,
+                        S::div(sr!(x), S::from_f64(*k)),
+                        pend[x.0 as usize] + local
+                    );
+                }
+                Instr::FDivCR { dst, k, a: x } => {
+                    let pa = fr!(x);
+                    let prim = *k / pa;
+                    let local = S::sub(S::div(S::from_f64(*k), S::from_f64(pa)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        dst,
+                        prim,
+                        S::div(S::from_f64(*k), sr!(x)),
+                        pend[x.0 as usize] + local
+                    );
+                }
+                Instr::ICmpImmJmpFalse {
+                    op,
+                    a: x,
+                    imm,
+                    target,
+                } => {
+                    if !icmp(*op, ir!(x), *imm) {
+                        jump!(*target);
+                    }
+                }
+                Instr::ICmpImmJmpTrue {
+                    op,
+                    a: x,
+                    imm,
+                    target,
+                } => {
+                    if icmp(*op, ir!(x), *imm) {
+                        jump!(*target);
+                    }
+                }
                 Instr::FLoadOff {
                     dst,
                     arr,
@@ -959,6 +1107,697 @@ impl<S: ShadowNum> ShadowMachine<S> {
         }
         Ok(ret)
     }
+
+    /// The packed-word fused dispatch loop: mirrors
+    /// [`ShadowMachine::exec_loop`] opcode by opcode — identical primal
+    /// results, traps, samples, attribution and budget checkpoints — but
+    /// fetches 8-byte words and reads hoisted constants from the pools,
+    /// exactly like [`crate::vm`]'s packed loop. Register accesses stay
+    /// bounds-checked by slice indexing (the shadow arithmetic dominates
+    /// this loop's cost).
+    #[allow(clippy::type_complexity)]
+    #[allow(unused_unsafe)] // `fld!` is an unsafe load and composes with other unsafe spots
+    fn exec_loop_packed(
+        &mut self,
+        func: &CompiledFunction,
+        packed: &crate::pack::PackedCode,
+        opts: &ExecOptions,
+        acc: &mut f64,
+        nonfinite: &mut u64,
+    ) -> Result<(Option<Value>, Option<f64>, Option<f64>), Trap> {
+        use crate::pack::{
+            cmp_from, op, ty_from, w_a, w_b, w_b_i16, w_c, w_c_i16, w_d, w_d_i8, w_op, INTRINSICS,
+        };
+        let ShadowMachine {
+            m,
+            sf,
+            pend,
+            sa,
+            stape,
+            fvar_of,
+            avar_of,
+            var_err,
+            samples,
+            ..
+        } = self;
+        let Machine {
+            f,
+            i,
+            a,
+            tape,
+            stats,
+        } = m;
+        let f = &mut f[..];
+        let i = &mut i[..];
+        let words = &packed.words[..];
+        let pool = &packed.pool[..];
+        let len = words.len();
+        let approx = &opts.approx;
+        let budget = opts.max_instrs.unwrap_or(u64::MAX);
+        let mut executed: u64 = 0;
+        let mut pc: usize = 0;
+
+        let trap = |kind: TrapKind, pc: usize| Trap {
+            kind,
+            pc,
+            span: func.spans.get(pc).copied().unwrap_or(Span::DUMMY),
+        };
+
+        macro_rules! sample {
+            ($local:expr) => {{
+                let l: f64 = $local;
+                if l > 0.0 {
+                    if l.is_finite() {
+                        let s = &mut samples[pc];
+                        s.sum += l;
+                        if l > s.max {
+                            s.max = l;
+                        }
+                        s.count += 1;
+                        *acc += l;
+                    } else {
+                        *nonfinite += 1;
+                    }
+                } else if l.is_nan() {
+                    *nonfinite += 1;
+                }
+            }};
+        }
+        // Writes primal+shadow to register index `$dst` and commits the
+        // pending error, exactly like the enum loop's `put!`.
+        macro_rules! put {
+            ($dst:expr, $prim:expr, $shadow:expr, $pend:expr) => {{
+                let d: usize = $dst;
+                f[d] = $prim;
+                sf[d] = $shadow;
+                let mut p: f64 = $pend;
+                let v = fvar_of[d];
+                if v != 0 {
+                    var_err[(v - 1) as usize] += p;
+                    p = 0.0;
+                }
+                pend[d] = p;
+            }};
+        }
+        macro_rules! jump {
+            ($target:expr) => {{
+                let t = $target;
+                if t <= pc && executed > budget {
+                    return Err(trap(TrapKind::InstrBudgetExhausted, pc));
+                }
+                pc = t;
+                continue;
+            }};
+        }
+        // Operand-field macros: direct narrow loads from the word stream,
+        // addressed by `pc` alone. SAFETY: the loop head checks `pc < len`.
+        macro_rules! fld {
+            ($f:ident) => {
+                unsafe { $f(words, pc) }
+            };
+        }
+
+        let ret: (Option<Value>, Option<f64>, Option<f64>) = loop {
+            if pc >= len {
+                break (None, None, None);
+            }
+            executed += 1;
+            match fld!(w_op) {
+                op::FCONST => {
+                    let v = f64::from_bits(pool[fld!(w_b)]);
+                    put!(fld!(w_a), v, S::from_f64(v), 0.0);
+                }
+                op::FMOV => {
+                    let s = fld!(w_b);
+                    put!(fld!(w_a), f[s], sf[s], pend[s]);
+                }
+                op::FADD => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = pa + pb;
+                    let local = S::sub(S::add(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::add(sf[x], sf[y]), p);
+                }
+                op::FSUB => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = pa - pb;
+                    let local = S::sub(S::sub(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::sub(sf[x], sf[y]), p);
+                }
+                op::FMUL => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = pa * pb;
+                    let local = S::sub(S::mul(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::mul(sf[x], sf[y]), p);
+                }
+                op::FDIV => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = pa / pb;
+                    let local = S::sub(S::div(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::div(sf[x], sf[y]), p);
+                }
+                op::FNEG => {
+                    let s = fld!(w_b);
+                    put!(fld!(w_a), -f[s], S::neg(sf[s]), pend[s]);
+                }
+                op::FROUND => {
+                    let s = fld!(w_b);
+                    let v = f[s];
+                    let prim = round_to(v, ty_from(fld!(w_d) as u8));
+                    let local = (v - prim).abs();
+                    sample!(local);
+                    put!(fld!(w_a), prim, sf[s], pend[s] + local);
+                }
+                op::FINTR1 => {
+                    let x = fld!(w_b);
+                    let intr = INTRINSICS[fld!(w_d)];
+                    let pa = f[x];
+                    let prim = eval1(intr, pa, approx);
+                    let local = S::sub(S::intr1(intr, S::from_f64(pa), approx), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        fld!(w_a),
+                        prim,
+                        S::intr1(intr, sf[x], approx),
+                        pend[x] + local
+                    );
+                }
+                op::FINTR2 => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let intr = INTRINSICS[fld!(w_d)];
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = eval2(intr, pa, pb, approx);
+                    let local = S::sub(
+                        S::intr2(intr, S::from_f64(pa), S::from_f64(pb), approx),
+                        S::from_f64(prim),
+                    )
+                    .to_f64()
+                    .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::intr2(intr, sf[x], sf[y], approx), p);
+                }
+                op::FCMP => {
+                    i[fld!(w_a)] =
+                        fcmp(cmp_from(fld!(w_d) as u8), f[fld!(w_b)], f[fld!(w_c)]) as i64;
+                }
+                op::FLOAD => {
+                    let arr = fld!(w_b);
+                    let index = i[fld!(w_c)];
+                    let prim = match &a[arr] {
+                        ArraySlot::F(v) => match v.get(index as usize) {
+                            Some(&x) if index >= 0 => x,
+                            _ => {
+                                let len = v.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    };
+                    let sh = sa[arr]
+                        .get(index as usize)
+                        .copied()
+                        .unwrap_or(S::from_f64(prim));
+                    put!(fld!(w_a), prim, sh, 0.0);
+                }
+                op::FSTORE => {
+                    let arr = fld!(w_a);
+                    let index = i[fld!(w_b)];
+                    let src = fld!(w_c);
+                    let v = f[src];
+                    match &mut a[arr] {
+                        ArraySlot::F(vec) => match vec.get_mut(index as usize) {
+                            Some(slot) if index >= 0 => *slot = v,
+                            _ => {
+                                let len = vec.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    }
+                    if let Some(slot) = sa[arr].get_mut(index as usize) {
+                        *slot = sf[src];
+                    }
+                    let var = avar_of[arr];
+                    if var != 0 {
+                        var_err[(var - 1) as usize] += pend[src];
+                    }
+                    pend[src] = 0.0;
+                }
+                op::F2I => i[fld!(w_a)] = f[fld!(w_b)] as i64,
+                op::I2F => {
+                    let v = i[fld!(w_b)] as f64;
+                    put!(fld!(w_a), v, S::from_f64(v), 0.0);
+                }
+
+                op::ICONST => i[fld!(w_a)] = fld!(w_b_i16),
+                op::ICONSTP => i[fld!(w_a)] = pool[fld!(w_b)] as i64,
+                op::IMOV => i[fld!(w_a)] = i[fld!(w_b)],
+                op::IADD => i[fld!(w_a)] = i[fld!(w_b)].wrapping_add(i[fld!(w_c)]),
+                op::ISUB => i[fld!(w_a)] = i[fld!(w_b)].wrapping_sub(i[fld!(w_c)]),
+                op::IMUL => i[fld!(w_a)] = i[fld!(w_b)].wrapping_mul(i[fld!(w_c)]),
+                op::IDIV => {
+                    let d = i[fld!(w_c)];
+                    if d == 0 {
+                        return Err(trap(TrapKind::DivByZero, pc));
+                    }
+                    i[fld!(w_a)] = i[fld!(w_b)].wrapping_div(d);
+                }
+                op::IREM => {
+                    let d = i[fld!(w_c)];
+                    if d == 0 {
+                        return Err(trap(TrapKind::DivByZero, pc));
+                    }
+                    i[fld!(w_a)] = i[fld!(w_b)].wrapping_rem(d);
+                }
+                op::INEG => i[fld!(w_a)] = i[fld!(w_b)].wrapping_neg(),
+                op::ICMP => {
+                    i[fld!(w_a)] =
+                        icmp(cmp_from(fld!(w_d) as u8), i[fld!(w_b)], i[fld!(w_c)]) as i64;
+                }
+                op::ILOAD => {
+                    let index = i[fld!(w_c)];
+                    match &a[fld!(w_b)] {
+                        ArraySlot::I(v) => match v.get(index as usize) {
+                            Some(&x) if index >= 0 => i[fld!(w_a)] = x,
+                            _ => {
+                                let len = v.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    }
+                }
+                op::ISTORE => {
+                    let index = i[fld!(w_b)];
+                    let v = i[fld!(w_c)];
+                    match &mut a[fld!(w_a)] {
+                        ArraySlot::I(vec) => match vec.get_mut(index as usize) {
+                            Some(slot) if index >= 0 => *slot = v,
+                            _ => {
+                                let len = vec.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    }
+                }
+                op::BNOT => i[fld!(w_a)] = (i[fld!(w_b)] == 0) as i64,
+
+                op::JMP => jump!(fld!(w_c)),
+                op::JMPF => {
+                    if i[fld!(w_a)] == 0 {
+                        jump!(fld!(w_c));
+                    }
+                }
+                op::JMPT => {
+                    if i[fld!(w_a)] != 0 {
+                        jump!(fld!(w_c));
+                    }
+                }
+
+                op::TPUSHF => {
+                    let s = fld!(w_a);
+                    if let Err(e) = tape.push_f(f[s]) {
+                        return Err(trap(TrapKind::Tape(e), pc));
+                    }
+                    stape.push(sf[s]);
+                }
+                op::TPOPF => match tape.pop_f() {
+                    Ok(v) => {
+                        let sh = stape.pop().unwrap_or(S::from_f64(v));
+                        put!(fld!(w_a), v, sh, 0.0);
+                    }
+                    Err(e) => return Err(trap(TrapKind::Tape(e), pc)),
+                },
+                op::TPUSHI => {
+                    if let Err(e) = tape.push_i(i[fld!(w_a)]) {
+                        return Err(trap(TrapKind::Tape(e), pc));
+                    }
+                }
+                op::TPOPI => match tape.pop_i() {
+                    Ok(v) => i[fld!(w_a)] = v,
+                    Err(e) => return Err(trap(TrapKind::Tape(e), pc)),
+                },
+
+                op::ALLOCF => {
+                    let arr = fld!(w_a);
+                    let n = i[fld!(w_b)];
+                    if n < 0 {
+                        return Err(trap(TrapKind::NegativeArrayLen(n), pc));
+                    }
+                    stats.local_array_bytes += n as usize * 8;
+                    let slot = &mut a[arr];
+                    match slot {
+                        ArraySlot::F(v) | ArraySlot::StaleF(v) => {
+                            v.clear();
+                            v.resize(n as usize, 0.0);
+                            let buf = std::mem::take(v);
+                            *slot = ArraySlot::F(buf);
+                        }
+                        other => *other = ArraySlot::F(vec![0.0; n as usize]),
+                    }
+                    let shadow = &mut sa[arr];
+                    shadow.clear();
+                    shadow.resize(n as usize, S::from_f64(0.0));
+                }
+                op::ALLOCI => {
+                    let arr = fld!(w_a);
+                    let n = i[fld!(w_b)];
+                    if n < 0 {
+                        return Err(trap(TrapKind::NegativeArrayLen(n), pc));
+                    }
+                    stats.local_array_bytes += n as usize * 8;
+                    let slot = &mut a[arr];
+                    match slot {
+                        ArraySlot::I(v) | ArraySlot::StaleI(v) => {
+                            v.clear();
+                            v.resize(n as usize, 0);
+                            let buf = std::mem::take(v);
+                            *slot = ArraySlot::I(buf);
+                        }
+                        other => *other = ArraySlot::I(vec![0; n as usize]),
+                    }
+                    sa[arr].clear();
+                }
+
+                op::FMULADD => {
+                    let (x, y, c) = (fld!(w_b), fld!(w_c), fld!(w_d));
+                    let (pa, pb, pcv) = (f[x], f[y], f[c]);
+                    let prim = pa * pb + pcv;
+                    let local = S::sub(
+                        S::add(S::mul(S::from_f64(pa), S::from_f64(pb)), S::from_f64(pcv)),
+                        S::from_f64(prim),
+                    )
+                    .to_f64()
+                    .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + pend[c] + local;
+                    put!(fld!(w_a), prim, S::add(S::mul(sf[x], sf[y]), sf[c]), p);
+                }
+                op::FADDROUND => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = round_to(pa + pb, ty_from(fld!(w_d) as u8));
+                    let local = S::sub(S::add(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::add(sf[x], sf[y]), p);
+                }
+                op::FSUBROUND => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = round_to(pa - pb, ty_from(fld!(w_d) as u8));
+                    let local = S::sub(S::sub(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::sub(sf[x], sf[y]), p);
+                }
+                op::FMULROUND => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = round_to(pa * pb, ty_from(fld!(w_d) as u8));
+                    let local = S::sub(S::mul(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::mul(sf[x], sf[y]), p);
+                }
+                op::FDIVROUND => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = round_to(pa / pb, ty_from(fld!(w_d) as u8));
+                    let local = S::sub(S::div(S::from_f64(pa), S::from_f64(pb)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::div(sf[x], sf[y]), p);
+                }
+                op::FINTR1ROUND => {
+                    let x = fld!(w_b);
+                    let d = fld!(w_d);
+                    let intr = INTRINSICS[d & 63];
+                    let pa = f[x];
+                    let prim = round_to(eval1(intr, pa, approx), ty_from((d >> 6) as u8));
+                    let local = S::sub(S::intr1(intr, S::from_f64(pa), approx), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        fld!(w_a),
+                        prim,
+                        S::intr1(intr, sf[x], approx),
+                        pend[x] + local
+                    );
+                }
+                op::FINTR2ROUND => {
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let d = fld!(w_d);
+                    let intr = INTRINSICS[d & 63];
+                    let (pa, pb) = (f[x], f[y]);
+                    let prim = round_to(eval2(intr, pa, pb, approx), ty_from((d >> 6) as u8));
+                    let local = S::sub(
+                        S::intr2(intr, S::from_f64(pa), S::from_f64(pb), approx),
+                        S::from_f64(prim),
+                    )
+                    .to_f64()
+                    .abs();
+                    sample!(local);
+                    let p = pend[x] + pend[y] + local;
+                    put!(fld!(w_a), prim, S::intr2(intr, sf[x], sf[y], approx), p);
+                }
+                op::FLOADOFF => {
+                    let arr = fld!(w_b);
+                    let index = i[fld!(w_c)].wrapping_add(fld!(w_d_i8));
+                    let prim = match &a[arr] {
+                        ArraySlot::F(v) => match v.get(index as usize) {
+                            Some(&x) if index >= 0 => x,
+                            _ => {
+                                let len = v.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    };
+                    let sh = sa[arr]
+                        .get(index as usize)
+                        .copied()
+                        .unwrap_or(S::from_f64(prim));
+                    put!(fld!(w_a), prim, sh, 0.0);
+                }
+                op::FSTOREOFF => {
+                    let arr = fld!(w_a);
+                    let index = i[fld!(w_b)].wrapping_add(fld!(w_d_i8));
+                    let src = fld!(w_c);
+                    let v = f[src];
+                    match &mut a[arr] {
+                        ArraySlot::F(vec) => match vec.get_mut(index as usize) {
+                            Some(slot) if index >= 0 => *slot = v,
+                            _ => {
+                                let len = vec.len();
+                                return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                            }
+                        },
+                        _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                    }
+                    if let Some(slot) = sa[arr].get_mut(index as usize) {
+                        *slot = sf[src];
+                    }
+                    let var = avar_of[arr];
+                    if var != 0 {
+                        var_err[(var - 1) as usize] += pend[src];
+                    }
+                    pend[src] = 0.0;
+                }
+                op::IADDIMM => i[fld!(w_a)] = i[fld!(w_b)].wrapping_add(fld!(w_c_i16)),
+                op::IADDIMMP => i[fld!(w_a)] = i[fld!(w_b)].wrapping_add(pool[fld!(w_c)] as i64),
+                op::FCJF => {
+                    if !fcmp(cmp_from(fld!(w_d) as u8), f[fld!(w_a)], f[fld!(w_b)]) {
+                        jump!(fld!(w_c));
+                    }
+                }
+                op::FCJT => {
+                    if fcmp(cmp_from(fld!(w_d) as u8), f[fld!(w_a)], f[fld!(w_b)]) {
+                        jump!(fld!(w_c));
+                    }
+                }
+                op::ICJF => {
+                    if !icmp(cmp_from(fld!(w_d) as u8), i[fld!(w_a)], i[fld!(w_b)]) {
+                        jump!(fld!(w_c));
+                    }
+                }
+                op::ICJT => {
+                    if icmp(cmp_from(fld!(w_d) as u8), i[fld!(w_a)], i[fld!(w_b)]) {
+                        jump!(fld!(w_c));
+                    }
+                }
+
+                op::FADDC => {
+                    let x = fld!(w_b);
+                    let k = f64::from_bits(pool[fld!(w_c)]);
+                    let pa = f[x];
+                    let prim = pa + k;
+                    let local = S::sub(S::add(S::from_f64(pa), S::from_f64(k)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        fld!(w_a),
+                        prim,
+                        S::add(sf[x], S::from_f64(k)),
+                        pend[x] + local
+                    );
+                }
+                op::FSUBC => {
+                    let x = fld!(w_b);
+                    let k = f64::from_bits(pool[fld!(w_c)]);
+                    let pa = f[x];
+                    let prim = pa - k;
+                    let local = S::sub(S::sub(S::from_f64(pa), S::from_f64(k)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        fld!(w_a),
+                        prim,
+                        S::sub(sf[x], S::from_f64(k)),
+                        pend[x] + local
+                    );
+                }
+                op::FSUBCR => {
+                    let x = fld!(w_b);
+                    let k = f64::from_bits(pool[fld!(w_c)]);
+                    let pa = f[x];
+                    let prim = k - pa;
+                    let local = S::sub(S::sub(S::from_f64(k), S::from_f64(pa)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        fld!(w_a),
+                        prim,
+                        S::sub(S::from_f64(k), sf[x]),
+                        pend[x] + local
+                    );
+                }
+                op::FMULC => {
+                    let x = fld!(w_b);
+                    let k = f64::from_bits(pool[fld!(w_c)]);
+                    let pa = f[x];
+                    let prim = pa * k;
+                    let local = S::sub(S::mul(S::from_f64(pa), S::from_f64(k)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        fld!(w_a),
+                        prim,
+                        S::mul(sf[x], S::from_f64(k)),
+                        pend[x] + local
+                    );
+                }
+                op::FDIVC => {
+                    let x = fld!(w_b);
+                    let k = f64::from_bits(pool[fld!(w_c)]);
+                    let pa = f[x];
+                    let prim = pa / k;
+                    let local = S::sub(S::div(S::from_f64(pa), S::from_f64(k)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        fld!(w_a),
+                        prim,
+                        S::div(sf[x], S::from_f64(k)),
+                        pend[x] + local
+                    );
+                }
+                op::FDIVCR => {
+                    let x = fld!(w_b);
+                    let k = f64::from_bits(pool[fld!(w_c)]);
+                    let pa = f[x];
+                    let prim = k / pa;
+                    let local = S::sub(S::div(S::from_f64(k), S::from_f64(pa)), S::from_f64(prim))
+                        .to_f64()
+                        .abs();
+                    sample!(local);
+                    put!(
+                        fld!(w_a),
+                        prim,
+                        S::div(S::from_f64(k), sf[x]),
+                        pend[x] + local
+                    );
+                }
+                op::ICJFI => {
+                    if !icmp(cmp_from(fld!(w_d) as u8), i[fld!(w_a)], fld!(w_b_i16)) {
+                        jump!(fld!(w_c));
+                    }
+                }
+                op::ICJTI => {
+                    if icmp(cmp_from(fld!(w_d) as u8), i[fld!(w_a)], fld!(w_b_i16)) {
+                        jump!(fld!(w_c));
+                    }
+                }
+                op::RETF => {
+                    let src = fld!(w_a);
+                    let v = f[src];
+                    let rounded = match func.ret {
+                        RetKind::F(ft) => round_to(v, ft),
+                        _ => v,
+                    };
+                    sample!((v - rounded).abs());
+                    let oerr = S::sub(sf[src], S::from_f64(rounded)).to_f64().abs();
+                    break (Some(Value::F(rounded)), Some(sf[src].to_f64()), Some(oerr));
+                }
+                op::RETI => break (Some(Value::I(i[fld!(w_a)])), None, None),
+                op::RETB => break (Some(Value::B(i[fld!(w_a)] != 0)), None, None),
+                op::RETVOID => break (None, None, None),
+                op::TRAPMISSING => return Err(trap(TrapKind::MissingReturn, pc)),
+                _ => {
+                    return Err(trap(
+                        TrapKind::InvalidBytecode(format!("unknown packed opcode {}", fld!(w_op))),
+                        pc,
+                    ))
+                }
+            }
+            pc += 1;
+        };
+        stats.instrs_executed = executed;
+        if executed > budget {
+            return Err(trap(
+                TrapKind::InstrBudgetExhausted,
+                pc.min(len.saturating_sub(1)),
+            ));
+        }
+        Ok(ret)
+    }
 }
 
 fn charge_entry(err: f64, var: u32, var_err: &mut [f64], acc: &mut f64, nonfinite: &mut u64) {
@@ -1008,6 +1847,33 @@ pub fn run_shadow_batch_parallel<S: ShadowNum>(
     crate::par::parallel_map_init(arg_sets, max_threads, ShadowMachine::<S>::new, |m, args| {
         m.run_prevalidated(func, args, opts)
     })
+}
+
+/// [`run_shadow_batch_parallel`] drawing per-worker machines from a
+/// shared [`ShadowMachineArena`](crate::arena::ShadowMachineArena):
+/// consecutive oracle batches — even of different compiled variants —
+/// reuse the same primal+shadow buffer allocations.
+pub fn run_shadow_batch_parallel_in<S: ShadowNum>(
+    func: &CompiledFunction,
+    arg_sets: Vec<Vec<ArgValue>>,
+    opts: &ExecOptions,
+    max_threads: Option<usize>,
+    arena: &crate::arena::ShadowMachineArena<S>,
+) -> Vec<Result<ShadowOutcome, Trap>> {
+    if let Err(msg) = validate_function(func) {
+        let trap = Trap {
+            kind: TrapKind::InvalidBytecode(msg),
+            pc: 0,
+            span: Span::DUMMY,
+        };
+        return arg_sets.into_iter().map(|_| Err(trap.clone())).collect();
+    }
+    crate::par::parallel_map_init(
+        arg_sets,
+        max_threads,
+        || arena.checkout(),
+        |m, args| m.run_prevalidated(func, args, opts),
+    )
 }
 
 #[cfg(test)]

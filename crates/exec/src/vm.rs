@@ -233,6 +233,31 @@ pub fn run_batch_parallel(
     })
 }
 
+/// [`run_batch_parallel`] drawing per-worker machines from a shared
+/// [`MachineArena`](crate::arena::MachineArena) instead of thread-local
+/// state: each worker checks one machine out for its whole chunk and
+/// parks it back on completion, so consecutive batches — even of
+/// *different* compiled functions — reuse the same register-file/tape
+/// allocations, sized to the session maximum.
+pub fn run_batch_parallel_in(
+    func: &CompiledFunction,
+    arg_sets: Vec<Vec<ArgValue>>,
+    opts: &ExecOptions,
+    max_threads: Option<usize>,
+    arena: &crate::arena::MachineArena,
+) -> Vec<Result<CallOutcome, Trap>> {
+    if let Err(msg) = validate_function(func) {
+        let trap = invalid_bytecode(msg);
+        return arg_sets.into_iter().map(|_| Err(trap.clone())).collect();
+    }
+    crate::par::parallel_map_init(
+        arg_sets,
+        max_threads,
+        || arena.checkout(),
+        |m, args| m.run_prevalidated(func, args, opts),
+    )
+}
+
 /// A reusable VM activation: owns the register files, array slots and the
 /// tape, and recycles their capacity across calls.
 ///
@@ -335,15 +360,30 @@ impl Machine {
     ) -> Result<CallOutcome, Trap> {
         self.reset(func, opts);
         self.bind_args(func, args)?;
-        let ret = exec_loop(
-            func,
-            opts,
-            &mut self.f,
-            &mut self.i,
-            &mut self.a,
-            &mut self.tape,
-            &mut self.stats,
-        )?;
+        // Packed dispatch when the packer produced words (the default);
+        // enum dispatch otherwise. Validation proved the two streams
+        // equivalent, so the choice is unobservable apart from speed.
+        let ret = match &func.packed {
+            Some(p) => exec_loop_packed(
+                func,
+                p,
+                opts,
+                &mut self.f,
+                &mut self.i,
+                &mut self.a,
+                &mut self.tape,
+                &mut self.stats,
+            )?,
+            None => exec_loop(
+                func,
+                opts,
+                &mut self.f,
+                &mut self.i,
+                &mut self.a,
+                &mut self.tape,
+                &mut self.stats,
+            )?,
+        };
         self.stats.tape_peak_bytes = self.tape.peak_bytes();
         self.stats.tape_total_pushes = self.tape.total_pushes();
         let args = self.unbind_args(func);
@@ -486,10 +526,14 @@ pub fn validate_function(func: &CompiledFunction) -> Result<(), String> {
                 cf(*dst);
                 cf(*a);
             }
-            Instr::FIntr2 { dst, a, b, .. } => {
+            Instr::FIntr2 { dst, a, b, .. } | Instr::FIntr2Round { dst, a, b, .. } => {
                 cf(*dst);
                 cf(*a);
                 cf(*b);
+            }
+            Instr::FIntr1Round { dst, a, .. } => {
+                cf(*dst);
+                cf(*a);
             }
             Instr::FCmp { dst, a, b, .. } => {
                 ci(*dst);
@@ -569,6 +613,19 @@ pub fn validate_function(func: &CompiledFunction) -> Result<(), String> {
                 cf(*a);
                 cf(*b);
             }
+            Instr::FAddC { dst, a, .. }
+            | Instr::FSubC { dst, a, .. }
+            | Instr::FSubCR { dst, a, .. }
+            | Instr::FMulC { dst, a, .. }
+            | Instr::FDivC { dst, a, .. }
+            | Instr::FDivCR { dst, a, .. } => {
+                cf(*dst);
+                cf(*a);
+            }
+            Instr::ICmpImmJmpFalse { a, target, .. } | Instr::ICmpImmJmpTrue { a, target, .. } => {
+                ci(*a);
+                ct!(target);
+            }
             Instr::FLoadOff { dst, arr, base, .. } => {
                 cf(*dst);
                 ca(*arr);
@@ -613,6 +670,29 @@ pub fn validate_function(func: &CompiledFunction) -> Result<(), String> {
             ));
         }
     }
+    // The packed stream, when present, must be word-for-word equivalent to
+    // the (just validated) enum stream: the packed dispatch loop reads its
+    // operand fields unchecked, and this equivalence is what carries the
+    // register/target/pool bounds proof over to the words.
+    if let Some(p) = &func.packed {
+        if p.words.len() != func.instrs.len() {
+            return Err(format!(
+                "packed stream has {} words for {} instructions",
+                p.words.len(),
+                func.instrs.len()
+            ));
+        }
+        for (pc, (&w, ins)) in p.words.iter().zip(&func.instrs).enumerate() {
+            match crate::pack::decode(w, p) {
+                Some(d) if crate::pack::instr_eq_bits(&d, ins) => {}
+                _ => {
+                    return Err(format!(
+                        "packed word {pc} ({w:#018x}) does not decode to {ins:?}"
+                    ))
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -620,6 +700,7 @@ pub fn validate_function(func: &CompiledFunction) -> Result<(), String> {
 /// [`validate_function`] proved them in range; array *element* indices
 /// are runtime values and stay checked.
 #[allow(clippy::too_many_arguments)]
+#[inline(never)] // own code-layout home: keeps dispatch-loop timing stable
 fn exec_loop(
     func: &CompiledFunction,
     opts: &ExecOptions,
@@ -859,6 +940,32 @@ fn exec_loop(
             Instr::FSubRound { dst, a, b, ty } => fw!(dst, round_to(fr!(a) - fr!(b), *ty)),
             Instr::FMulRound { dst, a, b, ty } => fw!(dst, round_to(fr!(a) * fr!(b), *ty)),
             Instr::FDivRound { dst, a, b, ty } => fw!(dst, round_to(fr!(a) / fr!(b), *ty)),
+            Instr::FIntr1Round { dst, intr, a, ty } => {
+                fw!(dst, round_to(eval1(*intr, fr!(a), approx), *ty))
+            }
+            Instr::FIntr2Round {
+                dst,
+                intr,
+                a,
+                b,
+                ty,
+            } => fw!(dst, round_to(eval2(*intr, fr!(a), fr!(b), approx), *ty)),
+            Instr::FAddC { dst, a, k } => fw!(dst, fr!(a) + *k),
+            Instr::FSubC { dst, a, k } => fw!(dst, fr!(a) - *k),
+            Instr::FSubCR { dst, k, a } => fw!(dst, *k - fr!(a)),
+            Instr::FMulC { dst, a, k } => fw!(dst, fr!(a) * *k),
+            Instr::FDivC { dst, a, k } => fw!(dst, fr!(a) / *k),
+            Instr::FDivCR { dst, k, a } => fw!(dst, *k / fr!(a)),
+            Instr::ICmpImmJmpFalse { op, a, imm, target } => {
+                if !icmp(*op, ir!(a), *imm) {
+                    jump!(*target);
+                }
+            }
+            Instr::ICmpImmJmpTrue { op, a, imm, target } => {
+                if icmp(*op, ir!(a), *imm) {
+                    jump!(*target);
+                }
+            }
             Instr::FLoadOff {
                 dst,
                 arr,
@@ -940,6 +1047,459 @@ fn exec_loop(
         return Err(trap(
             TrapKind::InstrBudgetExhausted,
             pc.min(instrs.len().saturating_sub(1)),
+        ));
+    }
+    Ok(ret)
+}
+
+/// The packed-word dispatch loop: the hot path of the engine.
+///
+/// Semantically identical to [`exec_loop`] — same arithmetic, rounding,
+/// traps, tape traffic, statistics and budget checkpoints — but fetches
+/// 8-byte words instead of 24-byte enum instructions, decodes operands
+/// with shifts, reads wide constants from the hoisted pools, and
+/// dispatches on a dense `u8` opcode the compiler lowers to a jump table.
+///
+/// SAFETY of the unchecked accesses: [`validate_function`] proved (a)
+/// every enum operand in range and (b) every packed word decodes to its
+/// enum instruction, so the fields extracted here are exactly the
+/// validated operands; pool indices were bounds-checked by the decode;
+/// jump targets are ≤ `words.len()` and the fetch breaks at `len`.
+#[allow(clippy::too_many_arguments)]
+#[allow(unused_unsafe)] // `fld!` is an unsafe load and composes with the access macros
+#[inline(never)] // own code-layout home: keeps dispatch-loop timing stable
+fn exec_loop_packed(
+    func: &CompiledFunction,
+    packed: &crate::pack::PackedCode,
+    opts: &ExecOptions,
+    f: &mut [f64],
+    i: &mut [i64],
+    a: &mut [ArraySlot],
+    tape: &mut Tape,
+    stats: &mut ExecStats,
+) -> Result<Option<Value>, Trap> {
+    use crate::pack::{
+        cmp_from, op, ty_from, w_a, w_b, w_b_i16, w_c, w_c_i16, w_d, w_d_i8, w_op, INTRINSICS,
+    };
+    let words = &packed.words[..];
+    let pool = &packed.pool[..];
+    let len = words.len();
+    let approx = &opts.approx;
+    let budget = opts.max_instrs.unwrap_or(u64::MAX);
+    // Executed-instruction accounting is block-granular: instead of a
+    // loop-carried `executed += 1`, the straight-line run since
+    // `block_start` is added at every taken jump and at returns — the
+    // same program points where the budget is checked, so both the final
+    // count and the budget semantics are identical to the enum loop's
+    // per-instruction accounting.
+    let mut executed: u64 = 0;
+    let mut block_start: usize = 0;
+    let mut pc: usize = 0;
+
+    let trap = |kind: TrapKind, pc: usize| Trap {
+        kind,
+        pc,
+        span: func.spans.get(pc).copied().unwrap_or(Span::DUMMY),
+    };
+
+    // Register/pool access macros over raw usize fields. SAFETY: see the
+    // function-level comment.
+    macro_rules! fr {
+        ($r:expr) => {
+            unsafe { *f.get_unchecked($r) }
+        };
+    }
+    macro_rules! fw {
+        ($r:expr, $v:expr) => {{
+            let v = $v;
+            unsafe { *f.get_unchecked_mut($r) = v };
+        }};
+    }
+    macro_rules! ir {
+        ($r:expr) => {
+            unsafe { *i.get_unchecked($r) }
+        };
+    }
+    macro_rules! iw {
+        ($r:expr, $v:expr) => {{
+            let v = $v;
+            unsafe { *i.get_unchecked_mut($r) = v };
+        }};
+    }
+    macro_rules! aslot {
+        ($r:expr) => {
+            unsafe { &mut *a.get_unchecked_mut($r) }
+        };
+    }
+    // Operand-field macros: direct narrow loads from the word stream,
+    // addressed by `pc` alone. SAFETY: the loop head checks `pc < len`.
+    macro_rules! fld {
+        ($f:ident) => {
+            unsafe { $f(words, pc) }
+        };
+    }
+    macro_rules! jump {
+        ($target:expr) => {{
+            let t = $target;
+            executed += (pc - block_start + 1) as u64;
+            if t <= pc && executed > budget {
+                return Err(trap(TrapKind::InstrBudgetExhausted, pc));
+            }
+            block_start = t;
+            pc = t;
+            continue;
+        }};
+    }
+
+    let ret: Option<Value> = loop {
+        if pc >= len {
+            executed += (pc - block_start) as u64;
+            break None; // fall off the end: treated like RetVoid
+        }
+        match fld!(w_op) {
+            op::FCONST => fw!(
+                fld!(w_a),
+                f64::from_bits(unsafe { *pool.get_unchecked(fld!(w_b)) })
+            ),
+            op::FMOV => fw!(fld!(w_a), fr!(fld!(w_b))),
+            op::FADD => fw!(fld!(w_a), fr!(fld!(w_b)) + fr!(fld!(w_c))),
+            op::FSUB => fw!(fld!(w_a), fr!(fld!(w_b)) - fr!(fld!(w_c))),
+            op::FMUL => fw!(fld!(w_a), fr!(fld!(w_b)) * fr!(fld!(w_c))),
+            op::FDIV => fw!(fld!(w_a), fr!(fld!(w_b)) / fr!(fld!(w_c))),
+            op::FNEG => fw!(fld!(w_a), -fr!(fld!(w_b))),
+            op::FROUND => fw!(
+                fld!(w_a),
+                round_to(fr!(fld!(w_b)), ty_from(fld!(w_d) as u8))
+            ),
+            op::FINTR1 => {
+                let intr = unsafe { *INTRINSICS.get_unchecked(fld!(w_d)) };
+                fw!(fld!(w_a), eval1(intr, fr!(fld!(w_b)), approx));
+            }
+            op::FINTR2 => {
+                let intr = unsafe { *INTRINSICS.get_unchecked(fld!(w_d)) };
+                fw!(
+                    fld!(w_a),
+                    eval2(intr, fr!(fld!(w_b)), fr!(fld!(w_c)), approx)
+                );
+            }
+            op::FCMP => iw!(
+                fld!(w_a),
+                fcmp(cmp_from(fld!(w_d) as u8), fr!(fld!(w_b)), fr!(fld!(w_c))) as i64
+            ),
+            op::FLOAD => {
+                let index = ir!(fld!(w_c));
+                match aslot!(fld!(w_b)) {
+                    ArraySlot::F(v) => match v.get(index as usize) {
+                        Some(&x) if index >= 0 => fw!(fld!(w_a), x),
+                        _ => {
+                            let len = v.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            op::FSTORE => {
+                let index = ir!(fld!(w_b));
+                let v = fr!(fld!(w_c));
+                match aslot!(fld!(w_a)) {
+                    ArraySlot::F(vec) => match vec.get_mut(index as usize) {
+                        Some(slot) if index >= 0 => *slot = v,
+                        _ => {
+                            let len = vec.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            op::F2I => iw!(fld!(w_a), fr!(fld!(w_b)) as i64),
+            op::I2F => fw!(fld!(w_a), ir!(fld!(w_b)) as f64),
+
+            op::ICONST => iw!(fld!(w_a), fld!(w_b_i16)),
+            op::ICONSTP => iw!(fld!(w_a), unsafe { *pool.get_unchecked(fld!(w_b)) } as i64),
+            op::IMOV => iw!(fld!(w_a), ir!(fld!(w_b))),
+            op::IADD => iw!(fld!(w_a), ir!(fld!(w_b)).wrapping_add(ir!(fld!(w_c)))),
+            op::ISUB => iw!(fld!(w_a), ir!(fld!(w_b)).wrapping_sub(ir!(fld!(w_c)))),
+            op::IMUL => iw!(fld!(w_a), ir!(fld!(w_b)).wrapping_mul(ir!(fld!(w_c)))),
+            op::IDIV => {
+                let d = ir!(fld!(w_c));
+                if d == 0 {
+                    return Err(trap(TrapKind::DivByZero, pc));
+                }
+                iw!(fld!(w_a), ir!(fld!(w_b)).wrapping_div(d));
+            }
+            op::IREM => {
+                let d = ir!(fld!(w_c));
+                if d == 0 {
+                    return Err(trap(TrapKind::DivByZero, pc));
+                }
+                iw!(fld!(w_a), ir!(fld!(w_b)).wrapping_rem(d));
+            }
+            op::INEG => iw!(fld!(w_a), ir!(fld!(w_b)).wrapping_neg()),
+            op::ICMP => iw!(
+                fld!(w_a),
+                icmp(cmp_from(fld!(w_d) as u8), ir!(fld!(w_b)), ir!(fld!(w_c))) as i64
+            ),
+            op::ILOAD => {
+                let index = ir!(fld!(w_c));
+                match aslot!(fld!(w_b)) {
+                    ArraySlot::I(v) => match v.get(index as usize) {
+                        Some(&x) if index >= 0 => iw!(fld!(w_a), x),
+                        _ => {
+                            let len = v.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            op::ISTORE => {
+                let index = ir!(fld!(w_b));
+                let v = ir!(fld!(w_c));
+                match aslot!(fld!(w_a)) {
+                    ArraySlot::I(vec) => match vec.get_mut(index as usize) {
+                        Some(slot) if index >= 0 => *slot = v,
+                        _ => {
+                            let len = vec.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            op::BNOT => iw!(fld!(w_a), (ir!(fld!(w_b)) == 0) as i64),
+
+            op::JMP => jump!(fld!(w_c)),
+            op::JMPF => {
+                if ir!(fld!(w_a)) == 0 {
+                    jump!(fld!(w_c));
+                }
+            }
+            op::JMPT => {
+                if ir!(fld!(w_a)) != 0 {
+                    jump!(fld!(w_c));
+                }
+            }
+
+            op::TPUSHF => {
+                if let Err(e) = tape.push_f(fr!(fld!(w_a))) {
+                    return Err(trap(TrapKind::Tape(e), pc));
+                }
+            }
+            op::TPOPF => match tape.pop_f() {
+                Ok(v) => fw!(fld!(w_a), v),
+                Err(e) => return Err(trap(TrapKind::Tape(e), pc)),
+            },
+            op::TPUSHI => {
+                if let Err(e) = tape.push_i(ir!(fld!(w_a))) {
+                    return Err(trap(TrapKind::Tape(e), pc));
+                }
+            }
+            op::TPOPI => match tape.pop_i() {
+                Ok(v) => iw!(fld!(w_a), v),
+                Err(e) => return Err(trap(TrapKind::Tape(e), pc)),
+            },
+
+            op::ALLOCF => {
+                let n = ir!(fld!(w_b));
+                if n < 0 {
+                    return Err(trap(TrapKind::NegativeArrayLen(n), pc));
+                }
+                stats.local_array_bytes += n as usize * 8;
+                match aslot!(fld!(w_a)) {
+                    ArraySlot::F(v) | ArraySlot::StaleF(v) => {
+                        v.clear();
+                        v.resize(n as usize, 0.0);
+                        let buf = std::mem::take(v);
+                        *aslot!(fld!(w_a)) = ArraySlot::F(buf);
+                    }
+                    slot => *slot = ArraySlot::F(vec![0.0; n as usize]),
+                }
+            }
+            op::ALLOCI => {
+                let n = ir!(fld!(w_b));
+                if n < 0 {
+                    return Err(trap(TrapKind::NegativeArrayLen(n), pc));
+                }
+                stats.local_array_bytes += n as usize * 8;
+                match aslot!(fld!(w_a)) {
+                    ArraySlot::I(v) | ArraySlot::StaleI(v) => {
+                        v.clear();
+                        v.resize(n as usize, 0);
+                        let buf = std::mem::take(v);
+                        *aslot!(fld!(w_a)) = ArraySlot::I(buf);
+                    }
+                    slot => *slot = ArraySlot::I(vec![0; n as usize]),
+                }
+            }
+
+            op::FMULADD => {
+                // Two separate roundings, exactly like the unfused pair.
+                let p = fr!(fld!(w_b)) * fr!(fld!(w_c));
+                fw!(fld!(w_a), p + fr!(fld!(w_d)));
+            }
+            op::FADDROUND => fw!(
+                fld!(w_a),
+                round_to(fr!(fld!(w_b)) + fr!(fld!(w_c)), ty_from(fld!(w_d) as u8))
+            ),
+            op::FSUBROUND => fw!(
+                fld!(w_a),
+                round_to(fr!(fld!(w_b)) - fr!(fld!(w_c)), ty_from(fld!(w_d) as u8))
+            ),
+            op::FMULROUND => fw!(
+                fld!(w_a),
+                round_to(fr!(fld!(w_b)) * fr!(fld!(w_c)), ty_from(fld!(w_d) as u8))
+            ),
+            op::FDIVROUND => fw!(
+                fld!(w_a),
+                round_to(fr!(fld!(w_b)) / fr!(fld!(w_c)), ty_from(fld!(w_d) as u8))
+            ),
+            op::FINTR1ROUND => {
+                let d = fld!(w_d);
+                let intr = unsafe { *INTRINSICS.get_unchecked(d & 63) };
+                fw!(
+                    fld!(w_a),
+                    round_to(eval1(intr, fr!(fld!(w_b)), approx), ty_from((d >> 6) as u8))
+                );
+            }
+            op::FINTR2ROUND => {
+                let d = fld!(w_d);
+                let intr = unsafe { *INTRINSICS.get_unchecked(d & 63) };
+                fw!(
+                    fld!(w_a),
+                    round_to(
+                        eval2(intr, fr!(fld!(w_b)), fr!(fld!(w_c)), approx),
+                        ty_from((d >> 6) as u8)
+                    )
+                );
+            }
+            op::FLOADOFF => {
+                let index = ir!(fld!(w_c)).wrapping_add(fld!(w_d_i8));
+                match aslot!(fld!(w_b)) {
+                    ArraySlot::F(v) => match v.get(index as usize) {
+                        Some(&x) if index >= 0 => fw!(fld!(w_a), x),
+                        _ => {
+                            let len = v.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            op::FSTOREOFF => {
+                let index = ir!(fld!(w_b)).wrapping_add(fld!(w_d_i8));
+                let v = fr!(fld!(w_c));
+                match aslot!(fld!(w_a)) {
+                    ArraySlot::F(vec) => match vec.get_mut(index as usize) {
+                        Some(slot) if index >= 0 => *slot = v,
+                        _ => {
+                            let len = vec.len();
+                            return Err(trap(TrapKind::OobIndex { idx: index, len }, pc));
+                        }
+                    },
+                    _ => return Err(trap(TrapKind::OobIndex { idx: index, len: 0 }, pc)),
+                }
+            }
+            op::IADDIMM => iw!(fld!(w_a), ir!(fld!(w_b)).wrapping_add(fld!(w_c_i16))),
+            op::IADDIMMP => iw!(
+                fld!(w_a),
+                ir!(fld!(w_b)).wrapping_add(unsafe { *pool.get_unchecked(fld!(w_c)) } as i64)
+            ),
+            op::FCJF => {
+                if !fcmp(cmp_from(fld!(w_d) as u8), fr!(fld!(w_a)), fr!(fld!(w_b))) {
+                    jump!(fld!(w_c));
+                }
+            }
+            op::FCJT => {
+                if fcmp(cmp_from(fld!(w_d) as u8), fr!(fld!(w_a)), fr!(fld!(w_b))) {
+                    jump!(fld!(w_c));
+                }
+            }
+            op::ICJF => {
+                if !icmp(cmp_from(fld!(w_d) as u8), ir!(fld!(w_a)), ir!(fld!(w_b))) {
+                    jump!(fld!(w_c));
+                }
+            }
+            op::ICJT => {
+                if icmp(cmp_from(fld!(w_d) as u8), ir!(fld!(w_a)), ir!(fld!(w_b))) {
+                    jump!(fld!(w_c));
+                }
+            }
+
+            op::FADDC => fw!(
+                fld!(w_a),
+                fr!(fld!(w_b)) + f64::from_bits(unsafe { *pool.get_unchecked(fld!(w_c)) })
+            ),
+            op::FSUBC => fw!(
+                fld!(w_a),
+                fr!(fld!(w_b)) - f64::from_bits(unsafe { *pool.get_unchecked(fld!(w_c)) })
+            ),
+            op::FSUBCR => fw!(
+                fld!(w_a),
+                f64::from_bits(unsafe { *pool.get_unchecked(fld!(w_c)) }) - fr!(fld!(w_b))
+            ),
+            op::FMULC => fw!(
+                fld!(w_a),
+                fr!(fld!(w_b)) * f64::from_bits(unsafe { *pool.get_unchecked(fld!(w_c)) })
+            ),
+            op::FDIVC => fw!(
+                fld!(w_a),
+                fr!(fld!(w_b)) / f64::from_bits(unsafe { *pool.get_unchecked(fld!(w_c)) })
+            ),
+            op::FDIVCR => fw!(
+                fld!(w_a),
+                f64::from_bits(unsafe { *pool.get_unchecked(fld!(w_c)) }) / fr!(fld!(w_b))
+            ),
+            op::ICJFI => {
+                if !icmp(cmp_from(fld!(w_d) as u8), ir!(fld!(w_a)), fld!(w_b_i16)) {
+                    jump!(fld!(w_c));
+                }
+            }
+            op::ICJTI => {
+                if icmp(cmp_from(fld!(w_d) as u8), ir!(fld!(w_a)), fld!(w_b_i16)) {
+                    jump!(fld!(w_c));
+                }
+            }
+            op::RETF => {
+                let v = fr!(fld!(w_a));
+                let v = match func.ret {
+                    RetKind::F(ft) => round_to(v, ft),
+                    _ => v,
+                };
+                executed += (pc - block_start + 1) as u64;
+                break Some(Value::F(v));
+            }
+            op::RETI => {
+                executed += (pc - block_start + 1) as u64;
+                break Some(Value::I(ir!(fld!(w_a))));
+            }
+            op::RETB => {
+                executed += (pc - block_start + 1) as u64;
+                break Some(Value::B(ir!(fld!(w_a)) != 0));
+            }
+            op::RETVOID => {
+                executed += (pc - block_start + 1) as u64;
+                break None;
+            }
+            op::TRAPMISSING => return Err(trap(TrapKind::MissingReturn, pc)),
+            // Unreachable for validated functions; kept safe anyway.
+            _ => {
+                return Err(trap(
+                    TrapKind::InvalidBytecode(format!("unknown packed opcode {}", fld!(w_op))),
+                    pc,
+                ))
+            }
+        }
+        pc += 1;
+    };
+    stats.instrs_executed = executed;
+    // Returns are the other budget checkpoint (backward jumps are the
+    // first): a run never reports success past the budget.
+    if executed > budget {
+        return Err(trap(
+            TrapKind::InstrBudgetExhausted,
+            pc.min(len.saturating_sub(1)),
         ));
     }
     Ok(ret)
@@ -1337,6 +1897,7 @@ mod tests {
             ret: RetKind::F(chef_ir::types::FloatTy::F64),
             fvar_names: vec![],
             avar_names: vec![],
+            packed: None,
         };
         let opts = ExecOptions::default();
         let mut m = Machine::new();
@@ -1368,6 +1929,7 @@ mod tests {
             ret: RetKind::Void,
             fvar_names: vec![],
             avar_names: vec![],
+            packed: None,
         };
         let err = run(&f, vec![]).unwrap_err();
         assert!(matches!(err.kind, TrapKind::InvalidBytecode(_)), "{err:?}");
@@ -1383,6 +1945,7 @@ mod tests {
             ret: RetKind::Void,
             fvar_names: vec![],
             avar_names: vec![],
+            packed: None,
         };
         let err = run(&f, vec![]).unwrap_err();
         assert!(matches!(err.kind, TrapKind::InvalidBytecode(_)), "{err:?}");

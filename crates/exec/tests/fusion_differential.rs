@@ -83,6 +83,7 @@ fn assert_fusion_unobservable(label: &str, func: &Function, pm: &PrecisionMap, a
         &CompileOptions {
             precisions: pm.clone(),
             fuse: false,
+            ..Default::default()
         },
     )
     .expect("unfused compiles");
@@ -91,6 +92,7 @@ fn assert_fusion_unobservable(label: &str, func: &Function, pm: &PrecisionMap, a
         &CompileOptions {
             precisions: pm.clone(),
             fuse: true,
+            ..Default::default()
         },
     )
     .expect("fused compiles");
@@ -172,6 +174,7 @@ fn fully_demoted_kernels_are_bit_identical_fused_vs_unfused() {
             &CompileOptions {
                 precisions: pm.clone(),
                 fuse: true,
+                ..Default::default()
             },
         )
         .expect("compiles");
@@ -218,6 +221,7 @@ fn adjoint_kernels_are_bit_identical_fused_vs_unfused() {
             &CompileOptions {
                 precisions: PrecisionMap::empty(),
                 fuse: false,
+                ..Default::default()
             },
         )
         .expect("adjoint compiles");

@@ -23,6 +23,7 @@
 //!   per-variable attribution.
 
 use chef_core::prelude::*;
+use chef_exec::arena::{MachineArena, ShadowMachineArena};
 use chef_exec::compile::{compile, CompileError, CompileOptions, PrecisionMap};
 use chef_exec::prelude::*;
 use chef_ir::ast::{Function, Program, VarId};
@@ -103,7 +104,8 @@ pub struct ValidationReport {
 type VariantKey = (String, Vec<(VarId, FloatTy)>);
 
 /// A cache of compiled mixed-precision variants keyed by the canonical
-/// demotion set (plus the function name).
+/// demotion set (plus the function name), bundled with the session's
+/// machine arenas.
 ///
 /// The greedy loops and sweeps recompile overlapping `PrecisionMap`s —
 /// the empty baseline on every validation call, the accepted
@@ -112,17 +114,40 @@ type VariantKey = (String, Vec<(VarId, FloatTy)>);
 /// round. Shareable across calls (interior mutability; `Sync`), scoped
 /// to **one program**: variable ids in the key are only meaningful for
 /// the inlined function they came from.
+///
+/// Compiling hundreds of variants is only half the cost — each one also
+/// runs. The embedded [`MachineArena`]s let every run of every variant
+/// (plain validation and both shadow-oracle modes) share one set of
+/// register-file/tape allocations, sized to the session maximum.
 #[derive(Default)]
 pub struct VariantCache {
     inner: Mutex<HashMap<VariantKey, Arc<CompiledFunction>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    arena: MachineArena,
+    shadow64: ShadowMachineArena<f64>,
+    shadow_dd: ShadowMachineArena<chef_shadow::DD>,
 }
 
 impl VariantCache {
     /// An empty cache.
     pub fn new() -> Self {
         VariantCache::default()
+    }
+
+    /// The session's plain-VM machine arena.
+    pub fn arena(&self) -> &MachineArena {
+        &self.arena
+    }
+
+    /// The session's `f64`-shadow machine arena.
+    pub fn shadow64(&self) -> &ShadowMachineArena<f64> {
+        &self.shadow64
+    }
+
+    /// The session's double-double-shadow machine arena.
+    pub fn shadow_dd(&self) -> &ShadowMachineArena<chef_shadow::DD> {
+        &self.shadow_dd
     }
 
     /// Number of cache hits so far.
@@ -366,9 +391,18 @@ pub fn validate_configs_with(
     };
     let run_cfg = |pm: &PrecisionMap| -> Result<f64, ChefError> {
         let c = compile_cfg(pm)?;
-        chef_exec::vm::run(&c, args.to_vec())
-            .map(|o| o.ret_f())
-            .map_err(ChefError::Trap)
+        let out = match cache {
+            // Shared session: draw a pooled machine so every variant run
+            // in the session reuses the same buffers.
+            Some(cache) => {
+                cache
+                    .arena()
+                    .checkout()
+                    .run_reused(&c, args.to_vec(), &ExecOptions::default())
+            }
+            None => chef_exec::vm::run(&c, args.to_vec()),
+        };
+        out.map(|o| o.ret_f()).map_err(ChefError::Trap)
     };
     let baseline = run_cfg(&PrecisionMap::empty())?;
 
@@ -488,10 +522,12 @@ pub fn tune_with_oracle(
         .function(func)
         .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
 
-    // One reusable shadow machine per mode for the whole greedy loop —
-    // the different compiled variants share its buffers across trials.
-    let mut m64 = chef_exec::shadow::ShadowMachine::<f64>::new();
-    let mut mdd = chef_exec::shadow::ShadowMachine::<chef_shadow::DD>::new();
+    // One pooled shadow machine per mode for the whole greedy loop —
+    // drawn from the session cache's arenas, so the different compiled
+    // variants (and any other tuning run sharing the cache) reuse the
+    // same buffers.
+    let mut m64 = cache.shadow64().checkout();
+    let mut mdd = cache.shadow_dd().checkout();
     let mut measure = |names: &[String]| -> Result<ShadowReport, ChefError> {
         let pm = config_for(primal, names, cfg.target);
         let compiled = cache
