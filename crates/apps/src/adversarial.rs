@@ -1,0 +1,239 @@
+//! Adversarial branching kernels for the divergence-aware shadow oracle.
+//!
+//! Every paper benchmark is branch-stable under the demotions the tuner
+//! admits, so the blind spot the oracle's divergence detection exists for
+//! — a demotion that flips a branch — needed its own corpus. Each kernel
+//! here has a *pinned* demotion (`flip_vars`) and input (`flip_args`)
+//! under which the demoted primal provably takes a different trace than
+//! the full-precision shadow, and a *stable* input (`stable_args`) under
+//! which the same demotion rounds (non-zero local error) without flipping
+//! anything:
+//!
+//! | Kernel | Divergence mechanism |
+//! |---|---|
+//! | [`threshold`] | threshold branch on an accumulated value |
+//! | [`floatcount`] | loop trip count truncated from a float (`(int)`) |
+//! | [`piecewise`] | piecewise function evaluated at a knot |
+//!
+//! The flips are arranged from representable constants: `0.01` summed 100
+//! times lands at `1.0000000000000007` in `f64` but `0.9999993443489075`
+//! under an `f32`-rounded accumulator; `1/h` for `h = 1/(100 − 1e-6)` is
+//! `99.999999…` in `f64` (truncates to 99) but rounds to `100.0f32`
+//! (truncates to 100); `3·x` for `x = (0.75 + 1e-9)/3` sits just above
+//! the `0.75` knot in `f64` and exactly on it after `f32` rounding.
+
+use chef_exec::value::ArgValue;
+use chef_ir::ast::Program;
+
+fn parse(src: &str, what: &str) -> Program {
+    let mut p = chef_ir::parser::parse_program(src).unwrap_or_else(|e| panic!("{what}: {e}"));
+    chef_ir::typeck::check_program(&mut p).unwrap_or_else(|e| panic!("{what}: {e:?}"));
+    p
+}
+
+/// Threshold branch on an accumulated value: whether the running sum
+/// crossed `1.0` picks the scale applied to the result, so an
+/// accumulator demotion that lands the sum on the other side of the
+/// threshold both flips the branch and grossly changes the output.
+pub mod threshold {
+    use super::*;
+
+    /// KernelC source of the kernel.
+    pub const SOURCE: &str = "
+double threshold(double x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + x; }
+    double r = 0.0;
+    if (s < 1.0) { r = s * 2.0; } else { r = s * 0.5; }
+    return r;
+}
+";
+
+    /// Function name inside [`SOURCE`].
+    pub const NAME: &str = "threshold";
+
+    /// Parses and checks the kernel.
+    pub fn program() -> Program {
+        parse(SOURCE, NAME)
+    }
+
+    /// Arguments for `n` accumulation steps of `x`.
+    pub fn args(x: f64, n: i64) -> Vec<ArgValue> {
+        vec![ArgValue::F(x), ArgValue::I(n)]
+    }
+
+    /// The variables whose demotion to `f32` flips the branch on
+    /// [`flip_args`].
+    pub const FLIP_VARS: &[&str] = &["s"];
+
+    /// Input on which demoting `s` flips `s < 1.0`: the `f64` sum of
+    /// 100 × 0.01 is `1.0000000000000007` (≥ 1), the `f32`-rounded
+    /// accumulation `0.9999993443489075` (< 1).
+    pub fn flip_args() -> Vec<ArgValue> {
+        args(0.01, 100)
+    }
+
+    /// Input far from the threshold: the same demotion rounds on every
+    /// add but every branch decision is precision-stable.
+    pub fn stable_args() -> Vec<ArgValue> {
+        args(0.01, 42)
+    }
+}
+
+/// Loop trip count truncated from a float: `(int)(1/h)` decides how many
+/// times `h` is accumulated, so rounding `1/h` across an integer boundary
+/// changes the iteration count itself — the divergence lands on the
+/// float→int truncation, before any float comparison runs.
+pub mod floatcount {
+    use super::*;
+
+    /// KernelC source of the kernel.
+    pub const SOURCE: &str = "
+double floatcount(double h) {
+    double t = 1.0 / h;
+    int n = (int) t;
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + h; }
+    return s;
+}
+";
+
+    /// Function name inside [`SOURCE`].
+    pub const NAME: &str = "floatcount";
+
+    /// Parses and checks the kernel.
+    pub fn program() -> Program {
+        parse(SOURCE, NAME)
+    }
+
+    /// Arguments for step width `h`.
+    pub fn args(h: f64) -> Vec<ArgValue> {
+        vec![ArgValue::F(h)]
+    }
+
+    /// The variables whose demotion to `f32` changes the trip count on
+    /// [`flip_args`].
+    pub const FLIP_VARS: &[&str] = &["t"];
+
+    /// `h = 1/(100 − 1e-6)`: `1/h = 99.999999…` truncates to 99 in
+    /// `f64` but rounds to `100.0` in `f32` (ulp ≈ 7.6e-6 there), so the
+    /// demoted primal runs one extra iteration.
+    pub fn flip_args() -> Vec<ArgValue> {
+        args(1.0 / (100.0 - 1e-6))
+    }
+
+    /// `h = 1/64` is exactly representable: `1/h = 64.0` on both sides.
+    pub fn stable_args() -> Vec<ArgValue> {
+        args(1.0 / 64.0)
+    }
+}
+
+/// Piecewise function evaluated at a knot: the two pieces agree in value
+/// nowhere near the knot, so rounding the argument across it swaps which
+/// piece computes the result.
+pub mod piecewise {
+    use super::*;
+
+    /// KernelC source of the kernel.
+    pub const SOURCE: &str = "
+double piecewise(double x) {
+    double y = x * 3.0;
+    double r = 0.0;
+    if (y <= 0.75) { r = y + 1.0; } else { r = y * y; }
+    return r;
+}
+";
+
+    /// Function name inside [`SOURCE`].
+    pub const NAME: &str = "piecewise";
+
+    /// Parses and checks the kernel.
+    pub fn program() -> Program {
+        parse(SOURCE, NAME)
+    }
+
+    /// Arguments for evaluation point `x`.
+    pub fn args(x: f64) -> Vec<ArgValue> {
+        vec![ArgValue::F(x)]
+    }
+
+    /// The variables whose demotion to `f32` flips the knot comparison
+    /// on [`flip_args`].
+    pub const FLIP_VARS: &[&str] = &["y"];
+
+    /// `x = (0.75 + 1e-9)/3`: `3x = 0.7500000009…` is above the knot in
+    /// `f64` but rounds to exactly `0.75` in `f32` (half-ulp there is
+    /// ≈ 3e-8), putting the demoted primal on the other piece.
+    pub fn flip_args() -> Vec<ArgValue> {
+        args((0.75 + 1e-9) / 3.0)
+    }
+
+    /// An evaluation point a whole unit away from the knot.
+    pub fn stable_args() -> Vec<ArgValue> {
+        args(0.6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_exec::prelude::*;
+
+    fn runs(p: &Program, name: &str, args: Vec<ArgValue>) -> f64 {
+        let c = compile_default(p.function(name).unwrap()).unwrap();
+        run(&c, args).unwrap().ret_f()
+    }
+
+    #[test]
+    fn kernels_parse_and_run_at_full_precision() {
+        let t = runs(
+            &threshold::program(),
+            threshold::NAME,
+            threshold::flip_args(),
+        );
+        // Full precision: s ≥ 1 → the halved piece.
+        assert!((t - 0.5000000000000003).abs() < 1e-12, "{t}");
+        let f = runs(
+            &floatcount::program(),
+            floatcount::NAME,
+            floatcount::flip_args(),
+        );
+        // 99 steps of h ≈ 0.01.
+        assert!((f - 0.99).abs() < 1e-6, "{f}");
+        let p = runs(
+            &piecewise::program(),
+            piecewise::NAME,
+            piecewise::flip_args(),
+        );
+        // Above the knot: the squared piece.
+        assert!((p - 0.5625).abs() < 1e-8, "{p}");
+    }
+
+    #[test]
+    fn stable_inputs_stay_on_one_piece() {
+        let t = runs(
+            &threshold::program(),
+            threshold::NAME,
+            threshold::stable_args(),
+        );
+        assert!(
+            (t - 0.84).abs() < 1e-12,
+            "below threshold: doubled piece, {t}"
+        );
+        let p = runs(
+            &piecewise::program(),
+            piecewise::NAME,
+            piecewise::stable_args(),
+        );
+        assert!(
+            (p - 3.24).abs() < 1e-12,
+            "above the knot: squared piece, {p}"
+        );
+        let f = runs(
+            &floatcount::program(),
+            floatcount::NAME,
+            floatcount::stable_args(),
+        );
+        assert_eq!(f, 1.0, "64 exact steps of 1/64");
+    }
+}

@@ -13,7 +13,13 @@
 //! | [`kmeans`] | Rodinia k-Means | data points (Fig. 6) |
 //! | [`hpccg`] | Mantevo HPCCG | z-dimension (Fig. 7, Fig. 9) |
 //! | [`blackscholes`] | PARSEC Black-Scholes | options (Fig. 8, Table IV) |
+//!
+//! [`adversarial`] is not a paper benchmark: it packages the branching
+//! kernels (threshold on an accumulated value, trip count from a float,
+//! piecewise knot) whose demotions flip control flow — the corpus the
+//! shadow oracle's divergence detection is tested against.
 
+pub mod adversarial;
 pub mod arclen;
 pub mod blackscholes;
 pub mod hpccg;

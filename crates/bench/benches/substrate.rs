@@ -135,6 +135,67 @@ fn benches(c: &mut Criterion) {
     });
     g.finish();
 
+    // Divergence-detection overhead: the fused f64 shadow with the
+    // default divergence checks (every float compare and F2I evaluated a
+    // second time on shadow operands) against the same pass with
+    // detection off and against the plain VM. Measured on arclen (the
+    // < 4x acceptance bar) and on the branch-heavy simpsons kernel,
+    // whose inner loop decides a float-derived branch per iteration.
+    let ps = chef_apps::simpsons::program();
+    let simpsons = chef_exec::compile::compile_default(ps.function("simpsons").unwrap()).unwrap();
+    let simpsons_args = || chef_apps::simpsons::args(5_000);
+    let mut g = c.benchmark_group("shadow/divergence-overhead");
+    g.sample_size(10);
+    g.bench_function("arclen-plain", |b| {
+        let mut m = chef_exec::vm::Machine::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.bench_function("arclen-shadow-nodetect", |b| {
+        let mut m = chef_exec::shadow::ShadowMachine::<f64>::new();
+        let opts = ExecOptions {
+            detect_divergence: false,
+            ..Default::default()
+        };
+        b.iter(|| {
+            m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.bench_function("arclen-shadow-detect", |b| {
+        let mut m = chef_exec::shadow::ShadowMachine::<f64>::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.bench_function("simpsons-plain", |b| {
+        let mut m = chef_exec::vm::Machine::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&simpsons, simpsons_args(), &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.bench_function("simpsons-shadow-detect", |b| {
+        let mut m = chef_exec::shadow::ShadowMachine::<f64>::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&simpsons, simpsons_args(), &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.finish();
+
     // Batch API: serial machine reuse vs parallel fan-out on independent
     // analysis-style runs.
     let mut g = c.benchmark_group("vm/batch");

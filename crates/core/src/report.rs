@@ -188,9 +188,21 @@ pub struct EstimateQualityRow {
     pub estimated: f64,
     /// Ground-truth output error measured by the shadow oracle.
     pub measured: f64,
+    /// Number of primal-vs-shadow control-flow splits the oracle observed
+    /// while measuring (see `chef_exec::shadow::DivergencePoint`). When
+    /// non-zero the measurement ran along a trace the high-precision
+    /// program would not have taken, and the estimated-vs-measured band
+    /// is meaningless for this row.
+    pub divergence_count: u64,
 }
 
 impl EstimateQualityRow {
+    /// `true` when the oracle observed at least one control-flow split —
+    /// the row's `measured` value is untrusted and order-of-magnitude
+    /// gates should skip (but report) it.
+    pub fn diverged(&self) -> bool {
+        self.divergence_count > 0
+    }
     /// `measured / estimated`, with both sides floored at `1e-300` so a
     /// zero-error configuration (nothing demoted, or exactly
     /// representable inputs) reports `1.0` instead of NaN.
@@ -224,17 +236,24 @@ impl Record for EstimateQualityRow {
             ("measured", Json::Num(self.measured)),
             ("ratio", Json::Num(self.ratio())),
             ("within_10x", Json::Bool(self.within_order_of_magnitude())),
+            ("divergence_count", Json::Num(self.divergence_count as f64)),
+            ("diverged", Json::Bool(self.diverged())),
         ])
     }
 
     fn from_json_value(v: &Json) -> Result<Self, String> {
-        // `ratio`/`within_10x` are derived on write and recomputed on
-        // read.
+        // `ratio`/`within_10x`/`diverged` are derived on write and
+        // recomputed on read; `divergence_count` is absent in pre-oracle
+        // snapshots and defaults to 0 (straight-line era: no divergence).
         Ok(EstimateQualityRow {
             kernel: string(v, "kernel")?,
             threshold: num(v, "threshold")?,
             estimated: num(v, "estimated")?,
             measured: num(v, "measured")?,
+            divergence_count: v
+                .get("divergence_count")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64,
         })
     }
 }
@@ -294,6 +313,7 @@ mod tests {
             threshold: 1e-5,
             estimated: 3.1e-6,
             measured: 2.4e-6,
+            divergence_count: 0,
         };
         assert!(row.within_order_of_magnitude());
         assert!((row.ratio() - 2.4 / 3.1).abs() < 1e-12);
@@ -314,9 +334,34 @@ mod tests {
             threshold: 1e-6,
             estimated: 0.0,
             measured: 0.0,
+            divergence_count: 0,
         };
         assert!(zero.within_order_of_magnitude());
         assert_eq!(zero.ratio(), 1.0);
+    }
+
+    #[test]
+    fn divergence_count_round_trips_and_flags() {
+        let row = EstimateQualityRow {
+            kernel: "threshold".into(),
+            threshold: 1e-6,
+            estimated: 1e-7,
+            measured: 0.5,
+            divergence_count: 3,
+        };
+        assert!(row.diverged());
+        let json = to_json(&row);
+        assert!(json.contains("\"divergence_count\": 3"), "{json}");
+        assert!(json.contains("\"diverged\": true"), "{json}");
+        let back: EstimateQualityRow = from_json(&json).unwrap();
+        assert_eq!(back.divergence_count, 3);
+        // Pre-oracle snapshots without the field read back as 0.
+        let legacy: EstimateQualityRow = from_json(
+            "{\"kernel\": \"a\", \"threshold\": 1.0, \"estimated\": 1.0, \"measured\": 1.0}",
+        )
+        .unwrap();
+        assert_eq!(legacy.divergence_count, 0);
+        assert!(!legacy.diverged());
     }
 
     #[test]

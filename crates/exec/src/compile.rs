@@ -88,13 +88,34 @@ pub struct CompileOptions {
 }
 
 impl Default for CompileOptions {
+    /// Fusion and packing default to **on**, overridable process-wide by
+    /// the environment: `CHEF_EXEC_FUSE=0` / `CHEF_EXEC_PACK=0` (also
+    /// `false`/`off`/`no`) force the respective default off. This is how
+    /// CI runs the whole tier-1 suite against the enum fallback
+    /// interpreter without a recompile; code that sets `fuse`/`pack`
+    /// explicitly is unaffected. Read once per process.
     fn default() -> Self {
         CompileOptions {
             precisions: PrecisionMap::default(),
-            fuse: true,
-            pack: true,
+            fuse: env_toggle(&FUSE_DEFAULT, "CHEF_EXEC_FUSE"),
+            pack: env_toggle(&PACK_DEFAULT, "CHEF_EXEC_PACK"),
         }
     }
+}
+
+static FUSE_DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+static PACK_DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+/// `true` unless the environment variable is set to a falsy value
+/// (`0`/`false`/`off`/`no`, case-insensitive); cached per process.
+fn env_toggle(cell: &std::sync::OnceLock<bool>, name: &str) -> bool {
+    *cell.get_or_init(|| match std::env::var(name) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => true,
+    })
 }
 
 /// Errors the compiler can report.

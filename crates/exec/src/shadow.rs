@@ -32,7 +32,16 @@
 //!
 //! Control flow (branches, indices, trip counts) always follows the
 //! primal execution; a demotion that flips a branch is measured *along
-//! the demoted trace*, the standard shadow-execution convention.
+//! the demoted trace*, the standard shadow-execution convention. The pass
+//! does, however, evaluate every float comparison (and every float→int
+//! truncation) a second time on the **shadow** operands and records a
+//! [`DivergencePoint`] whenever the decision differs — the Herbgrind
+//! "where would the shadow have branched differently" signal. Divergence
+//! is reported, never followed: a run with `divergence_count > 0` is a
+//! run whose measurement callers should distrust (see `chef-tuner`'s
+//! untrusted-config policy). Integer comparisons on values that never
+//! passed through a float are precision-independent and are not checked;
+//! the `F2I` check covers the float→int boundary.
 //!
 //! The pass reuses [`Machine`]'s buffers for the primal state and keeps
 //! the shadow files alongside in [`ShadowMachine`], which is reusable
@@ -79,6 +88,22 @@ pub trait ShadowNum: Copy + Send + Sync + 'static {
     fn intr2(i: Intrinsic, a: Self, b: Self, approx: &ApproxConfig) -> Self {
         Self::from_f64(eval2(i, a.to_f64(), b.to_f64(), approx))
     }
+    /// Comparison in shadow precision — what divergence detection asks to
+    /// decide how the shadow *would have* branched. The default rounds
+    /// both sides to `f64` and applies the primal's IEEE semantics (NaN
+    /// compares false except `!=`); a wider type should override with an
+    /// exact comparison so sub-ulp gaps at a branch knot are seen.
+    fn cmp(op: CmpOp, a: Self, b: Self) -> bool {
+        fcmp(op, a.to_f64(), b.to_f64())
+    }
+    /// Truncation toward zero in shadow precision — the `F2I` side of
+    /// divergence detection. The default truncates the `f64` rounding
+    /// (exact for the `f64` shadow); a wider type must override so a
+    /// value sitting sub-ulp below an integer boundary truncates to the
+    /// lower integer instead of the rounded one.
+    fn trunc_i64(a: Self) -> i64 {
+        a.to_f64() as i64
+    }
 }
 
 impl ShadowNum for f64 {
@@ -123,6 +148,62 @@ pub struct PcSample {
     pub count: u64,
 }
 
+/// Cap on the *detailed* [`DivergencePoint`]s retained per run. A
+/// demotion that flips a hot loop's compare diverges on every iteration;
+/// the total stays in [`ShadowOutcome::divergence_count`] while only the
+/// first `MAX_DIVERGENCE_POINTS` splits keep their operands.
+pub const MAX_DIVERGENCE_POINTS: usize = 64;
+
+/// What decided differently between the primal and the shadow stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DivergenceKind {
+    /// A float comparison (standalone `FCmp` or a fused
+    /// compare-and-branch) evaluated to a different boolean on the shadow
+    /// operands.
+    FCmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Primal operands `(lhs, rhs)` — the decision that was followed.
+        primal: (f64, f64),
+        /// Shadow operands rounded to `f64`.
+        shadow: (f64, f64),
+        /// The primal decision (the trace the fused pass keeps following).
+        taken: bool,
+        /// The decision the shadow operands would have produced.
+        would_take: bool,
+    },
+    /// A float→int truncation (`F2I`) produced a different integer, so
+    /// any trip count, index or predicate derived from it differs.
+    F2I {
+        /// Primal float input.
+        primal: f64,
+        /// Shadow float input rounded to `f64`.
+        shadow: f64,
+        /// The integer the primal produced (and execution used).
+        primal_int: i64,
+        /// The integer the shadow would have produced.
+        shadow_int: i64,
+    },
+}
+
+/// One observed primal-vs-shadow control-flow split: the shadow values
+/// would have decided a comparison (or float→int truncation) differently
+/// than the primal values did. The primal trace still wins — divergence
+/// is *reported*, never followed — but from this point on the shadow is
+/// measuring along a trace the high-precision program would not have
+/// taken, so the run's error measurement is untrustworthy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DivergencePoint {
+    /// Instruction index of the diverging comparison/conversion.
+    pub pc: usize,
+    /// How many instructions the primal had executed when the split was
+    /// observed (1-based) — orders splits within a run and identifies the
+    /// iteration of a loop-carried compare.
+    pub at_instr: u64,
+    /// The disagreeing decision.
+    pub kind: DivergenceKind,
+}
+
 /// The result of one fused shadow call.
 #[derive(Clone, Debug)]
 pub struct ShadowOutcome {
@@ -154,6 +235,19 @@ pub struct ShadowOutcome {
     /// Local-error samples that were NaN/∞ and therefore not accumulated
     /// (a non-finite primal or shadow value was involved).
     pub nonfinite_samples: u64,
+    /// Total number of primal-vs-shadow control-flow splits observed
+    /// (float comparisons and `F2I` truncations that decided differently
+    /// on shadow values). Zero means every branch decision of the run was
+    /// precision-stable and the one-pass measurement is trustworthy.
+    pub divergence_count: u64,
+    /// The first [`MAX_DIVERGENCE_POINTS`] splits in execution order,
+    /// with operands and taken-vs-would-take decisions.
+    pub divergence: Vec<DivergencePoint>,
+    /// Per-variable divergence attribution, in the same variable order as
+    /// [`ShadowOutcome::var_error`]: how many splits read this named
+    /// variable as a comparison/truncation operand (splits on unnamed
+    /// temporaries count toward the total only).
+    pub var_divergence: Vec<(String, u64)>,
 }
 
 impl ShadowOutcome {
@@ -172,6 +266,13 @@ impl ShadowOutcome {
     /// return a float.
     pub fn output_error(&self) -> f64 {
         self.ret_error.expect("function returned no float")
+    }
+
+    /// `true` when at least one control-flow split was observed — the
+    /// measurement ran along a trace the shadow program would not have
+    /// taken and should be treated as untrusted.
+    pub fn diverged(&self) -> bool {
+        self.divergence_count > 0
     }
 }
 
@@ -197,6 +298,12 @@ pub struct ShadowMachine<S: ShadowNum> {
     var_names: Vec<String>,
     var_err: Vec<f64>,
     samples: Vec<PcSample>,
+    /// Per-variable divergence counters, parallel to `var_err`.
+    var_div: Vec<u64>,
+    /// Detailed splits (capped at [`MAX_DIVERGENCE_POINTS`]).
+    divs: Vec<DivergencePoint>,
+    /// Total splits observed (uncapped).
+    div_count: u64,
 }
 
 impl<S: ShadowNum> Default for ShadowMachine<S> {
@@ -219,6 +326,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
             var_names: Vec::new(),
             var_err: Vec::new(),
             samples: Vec::new(),
+            var_div: Vec::new(),
+            divs: Vec::new(),
+            div_count: 0,
         }
     }
 
@@ -259,6 +369,10 @@ impl<S: ShadowNum> ShadowMachine<S> {
         }
         self.var_err.clear();
         self.var_err.resize(self.var_names.len(), 0.0);
+        self.var_div.clear();
+        self.var_div.resize(self.var_names.len(), 0);
+        self.divs.clear();
+        self.div_count = 0;
     }
 
     /// Runs `func` on `args` under `opts`, producing the fused outcome.
@@ -371,6 +485,12 @@ impl<S: ShadowNum> ShadowMachine<S> {
             .cloned()
             .zip(self.var_err.iter().copied())
             .collect();
+        let var_divergence = self
+            .var_names
+            .iter()
+            .cloned()
+            .zip(self.var_div.iter().copied())
+            .collect();
         Ok(ShadowOutcome {
             ret: ret.0,
             shadow_ret: ret.1,
@@ -381,6 +501,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
             var_error,
             acc_error: acc,
             nonfinite_samples: nonfinite,
+            divergence_count: self.div_count,
+            divergence: std::mem::take(&mut self.divs),
+            var_divergence,
         })
     }
 
@@ -406,6 +529,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
             avar_of,
             var_err,
             samples,
+            var_div,
+            divs,
+            div_count,
             ..
         } = self;
         let Machine {
@@ -420,6 +546,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
         let instrs = &func.instrs[..];
         let approx = &opts.approx;
         let budget = opts.max_instrs.unwrap_or(u64::MAX);
+        let check_div = opts.detect_divergence;
         let mut executed: u64 = 0;
         let mut pc: usize = 0;
 
@@ -483,6 +610,69 @@ impl<S: ShadowNum> ShadowMachine<S> {
                     p = 0.0;
                 }
                 pend[d] = p;
+            }};
+        }
+        // Divergence checks: re-evaluates a float comparison (or a
+        // float→int truncation) on the shadow operands and records a
+        // split when the decision differs from the primal one. The primal
+        // trace is still the one followed.
+        macro_rules! diverge_fcmp {
+            ($op:expr, $x:expr, $y:expr, $taken:expr) => {{
+                if check_div {
+                    let (xi, yi) = ($x, $y);
+                    let would = S::cmp($op, sf[xi], sf[yi]);
+                    if would != $taken {
+                        *div_count += 1;
+                        let vx = fvar_of[xi];
+                        if vx != 0 {
+                            var_div[(vx - 1) as usize] += 1;
+                        }
+                        let vy = fvar_of[yi];
+                        if vy != 0 && vy != vx {
+                            var_div[(vy - 1) as usize] += 1;
+                        }
+                        if divs.len() < MAX_DIVERGENCE_POINTS {
+                            divs.push(DivergencePoint {
+                                pc,
+                                at_instr: executed,
+                                kind: DivergenceKind::FCmp {
+                                    op: $op,
+                                    primal: (f[xi], f[yi]),
+                                    shadow: (sf[xi].to_f64(), sf[yi].to_f64()),
+                                    taken: $taken,
+                                    would_take: would,
+                                },
+                            });
+                        }
+                    }
+                }
+            }};
+        }
+        macro_rules! diverge_f2i {
+            ($x:expr, $primal_int:expr) => {{
+                if check_div {
+                    let xi = $x;
+                    let si = S::trunc_i64(sf[xi]);
+                    if si != $primal_int {
+                        *div_count += 1;
+                        let vx = fvar_of[xi];
+                        if vx != 0 {
+                            var_div[(vx - 1) as usize] += 1;
+                        }
+                        if divs.len() < MAX_DIVERGENCE_POINTS {
+                            divs.push(DivergencePoint {
+                                pc,
+                                at_instr: executed,
+                                kind: DivergenceKind::F2I {
+                                    primal: f[xi],
+                                    shadow: sf[xi].to_f64(),
+                                    primal_int: $primal_int,
+                                    shadow_int: si,
+                                },
+                            });
+                        }
+                    }
+                }
             }};
         }
         macro_rules! jump {
@@ -593,7 +783,11 @@ impl<S: ShadowNum> ShadowMachine<S> {
                     op,
                     a: x,
                     b: y,
-                } => i[dst.0 as usize] = fcmp(*op, fr!(x), fr!(y)) as i64,
+                } => {
+                    let taken = fcmp(*op, fr!(x), fr!(y));
+                    i[dst.0 as usize] = taken as i64;
+                    diverge_fcmp!(*op, x.0 as usize, y.0 as usize, taken);
+                }
                 Instr::FLoad { dst, arr, idx } => {
                     let index = ir!(idx);
                     let prim = match &a[arr.0 as usize] {
@@ -634,7 +828,11 @@ impl<S: ShadowNum> ShadowMachine<S> {
                     }
                     pend[src.0 as usize] = 0.0;
                 }
-                Instr::F2I { dst, src } => i[dst.0 as usize] = fr!(src) as i64,
+                Instr::F2I { dst, src } => {
+                    let trunc = fr!(src) as i64;
+                    i[dst.0 as usize] = trunc;
+                    diverge_f2i!(src.0 as usize, trunc);
+                }
                 Instr::I2F { dst, src } => {
                     let v = ir!(src) as f64;
                     put!(dst, v, S::from_f64(v), 0.0);
@@ -1042,7 +1240,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
                     b: y,
                     target,
                 } => {
-                    if !fcmp(*op, fr!(x), fr!(y)) {
+                    let taken = fcmp(*op, fr!(x), fr!(y));
+                    diverge_fcmp!(*op, x.0 as usize, y.0 as usize, taken);
+                    if !taken {
                         jump!(*target);
                     }
                 }
@@ -1052,7 +1252,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
                     b: y,
                     target,
                 } => {
-                    if fcmp(*op, fr!(x), fr!(y)) {
+                    let taken = fcmp(*op, fr!(x), fr!(y));
+                    diverge_fcmp!(*op, x.0 as usize, y.0 as usize, taken);
+                    if taken {
                         jump!(*target);
                     }
                 }
@@ -1138,6 +1340,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
             avar_of,
             var_err,
             samples,
+            var_div,
+            divs,
+            div_count,
             ..
         } = self;
         let Machine {
@@ -1154,6 +1359,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
         let len = words.len();
         let approx = &opts.approx;
         let budget = opts.max_instrs.unwrap_or(u64::MAX);
+        let check_div = opts.detect_divergence;
         let mut executed: u64 = 0;
         let mut pc: usize = 0;
 
@@ -1207,6 +1413,68 @@ impl<S: ShadowNum> ShadowMachine<S> {
                 }
                 pc = t;
                 continue;
+            }};
+        }
+        // Divergence checks — identical semantics to the enum loop's
+        // `diverge_fcmp!`/`diverge_f2i!` (register operands are already
+        // usize indices here).
+        macro_rules! diverge_fcmp {
+            ($op:expr, $x:expr, $y:expr, $taken:expr) => {{
+                if check_div {
+                    let (xi, yi) = ($x, $y);
+                    let would = S::cmp($op, sf[xi], sf[yi]);
+                    if would != $taken {
+                        *div_count += 1;
+                        let vx = fvar_of[xi];
+                        if vx != 0 {
+                            var_div[(vx - 1) as usize] += 1;
+                        }
+                        let vy = fvar_of[yi];
+                        if vy != 0 && vy != vx {
+                            var_div[(vy - 1) as usize] += 1;
+                        }
+                        if divs.len() < MAX_DIVERGENCE_POINTS {
+                            divs.push(DivergencePoint {
+                                pc,
+                                at_instr: executed,
+                                kind: DivergenceKind::FCmp {
+                                    op: $op,
+                                    primal: (f[xi], f[yi]),
+                                    shadow: (sf[xi].to_f64(), sf[yi].to_f64()),
+                                    taken: $taken,
+                                    would_take: would,
+                                },
+                            });
+                        }
+                    }
+                }
+            }};
+        }
+        macro_rules! diverge_f2i {
+            ($x:expr, $primal_int:expr) => {{
+                if check_div {
+                    let xi = $x;
+                    let si = S::trunc_i64(sf[xi]);
+                    if si != $primal_int {
+                        *div_count += 1;
+                        let vx = fvar_of[xi];
+                        if vx != 0 {
+                            var_div[(vx - 1) as usize] += 1;
+                        }
+                        if divs.len() < MAX_DIVERGENCE_POINTS {
+                            divs.push(DivergencePoint {
+                                pc,
+                                at_instr: executed,
+                                kind: DivergenceKind::F2I {
+                                    primal: f[xi],
+                                    shadow: sf[xi].to_f64(),
+                                    primal_int: $primal_int,
+                                    shadow_int: si,
+                                },
+                            });
+                        }
+                    }
+                }
             }};
         }
         // Operand-field macros: direct narrow loads from the word stream,
@@ -1319,8 +1587,11 @@ impl<S: ShadowNum> ShadowMachine<S> {
                     put!(fld!(w_a), prim, S::intr2(intr, sf[x], sf[y], approx), p);
                 }
                 op::FCMP => {
-                    i[fld!(w_a)] =
-                        fcmp(cmp_from(fld!(w_d) as u8), f[fld!(w_b)], f[fld!(w_c)]) as i64;
+                    let (x, y) = (fld!(w_b), fld!(w_c));
+                    let cmp = cmp_from(fld!(w_d) as u8);
+                    let taken = fcmp(cmp, f[x], f[y]);
+                    i[fld!(w_a)] = taken as i64;
+                    diverge_fcmp!(cmp, x, y, taken);
                 }
                 op::FLOAD => {
                     let arr = fld!(w_b);
@@ -1365,7 +1636,12 @@ impl<S: ShadowNum> ShadowMachine<S> {
                     }
                     pend[src] = 0.0;
                 }
-                op::F2I => i[fld!(w_a)] = f[fld!(w_b)] as i64,
+                op::F2I => {
+                    let x = fld!(w_b);
+                    let trunc = f[x] as i64;
+                    i[fld!(w_a)] = trunc;
+                    diverge_f2i!(x, trunc);
+                }
                 op::I2F => {
                     let v = i[fld!(w_b)] as f64;
                     put!(fld!(w_a), v, S::from_f64(v), 0.0);
@@ -1639,12 +1915,20 @@ impl<S: ShadowNum> ShadowMachine<S> {
                 op::IADDIMM => i[fld!(w_a)] = i[fld!(w_b)].wrapping_add(fld!(w_c_i16)),
                 op::IADDIMMP => i[fld!(w_a)] = i[fld!(w_b)].wrapping_add(pool[fld!(w_c)] as i64),
                 op::FCJF => {
-                    if !fcmp(cmp_from(fld!(w_d) as u8), f[fld!(w_a)], f[fld!(w_b)]) {
+                    let (x, y) = (fld!(w_a), fld!(w_b));
+                    let cmp = cmp_from(fld!(w_d) as u8);
+                    let taken = fcmp(cmp, f[x], f[y]);
+                    diverge_fcmp!(cmp, x, y, taken);
+                    if !taken {
                         jump!(fld!(w_c));
                     }
                 }
                 op::FCJT => {
-                    if fcmp(cmp_from(fld!(w_d) as u8), f[fld!(w_a)], f[fld!(w_b)]) {
+                    let (x, y) = (fld!(w_a), fld!(w_b));
+                    let cmp = cmp_from(fld!(w_d) as u8);
+                    let taken = fcmp(cmp, f[x], f[y]);
+                    diverge_fcmp!(cmp, x, y, taken);
+                    if taken {
                         jump!(fld!(w_c));
                     }
                 }
@@ -2073,6 +2357,179 @@ mod tests {
             assert_eq!(s.shadow_f().to_bits(), p.shadow_f().to_bits());
             assert_eq!(s.acc_error.to_bits(), p.acc_error.to_bits());
         }
+    }
+
+    #[test]
+    fn branch_flip_is_reported_not_followed() {
+        // Demoting the accumulator makes the f32 sum of 100 × 0.01 land
+        // below 1.0 while the f64 shadow lands above: the threshold
+        // branch flips. The primal trace is still followed (bit-identical
+        // to a plain run of the demoted compilation) and the split is
+        // reported with the compare's operands.
+        let src = "double f(double x, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s = s + x; }
+            double r = 0.0;
+            if (s < 1.0) { r = s * 2.0; } else { r = s * 0.5; }
+            return r;
+        }";
+        let pm = PrecisionMap::empty().with(VarId(2), FloatTy::F32); // s
+        let func = compiled(src, pm);
+        let args = vec![ArgValue::F(0.01), ArgValue::I(100)];
+        let out = run_shadow::<f64>(&func, args.clone(), &ExecOptions::default()).unwrap();
+        assert!(out.diverged());
+        assert_eq!(out.divergence_count, 1, "{:?}", out.divergence);
+        let p = &out.divergence[0];
+        match p.kind {
+            DivergenceKind::FCmp {
+                op,
+                primal,
+                shadow,
+                taken,
+                would_take,
+            } => {
+                assert_eq!(op, CmpOp::Lt);
+                assert!(primal.0 < 1.0 && primal.1 == 1.0, "{:?}", p);
+                assert!(shadow.0 >= 1.0, "{:?}", p);
+                assert!(taken && !would_take, "{:?}", p);
+            }
+            other => panic!("expected FCmp divergence, got {other:?}"),
+        }
+        // The split is attributed to the compared variable.
+        let div_of = |name: &str| {
+            out.var_divergence
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        assert_eq!(div_of("s"), 1, "{:?}", out.var_divergence);
+        // The primal still followed its own trace.
+        let plain = run(&func, args).unwrap();
+        assert_eq!(plain.ret_f().to_bits(), out.ret_f().to_bits());
+    }
+
+    #[test]
+    fn f2i_truncation_divergence_is_reported() {
+        let src = "double f(double h) {
+            double t = 1.0 / h;
+            int n = (int) t;
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s = s + h; }
+            return s;
+        }";
+        let pm = PrecisionMap::empty().with(VarId(1), FloatTy::F32); // t
+        let func = compiled(src, pm);
+        let h = 1.0 / (100.0 - 1e-6);
+        let out = run_shadow::<f64>(&func, vec![ArgValue::F(h)], &ExecOptions::default()).unwrap();
+        assert!(out.diverged());
+        let p = out
+            .divergence
+            .iter()
+            .find(|p| matches!(p.kind, DivergenceKind::F2I { .. }))
+            .expect("F2I divergence point");
+        match p.kind {
+            DivergenceKind::F2I {
+                primal_int,
+                shadow_int,
+                ..
+            } => {
+                assert_eq!(primal_int, 100, "{p:?}");
+                assert_eq!(shadow_int, 99, "{p:?}");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn stable_branches_report_no_divergence() {
+        // Same kernel, but the sum stays far from the knot: demotion
+        // still rounds (acc_error > 0) yet every decision is stable.
+        let src = "double f(double x, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s = s + x; }
+            double r = 0.0;
+            if (s < 1.0) { r = s * 2.0; } else { r = s * 0.5; }
+            return r;
+        }";
+        let pm = PrecisionMap::empty().with(VarId(2), FloatTy::F32); // s
+        let func = compiled(src, pm);
+        let out = run_shadow::<f64>(
+            &func,
+            vec![ArgValue::F(0.01), ArgValue::I(42)],
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert!(!out.diverged());
+        assert!(out.divergence.is_empty());
+        assert!(out.var_divergence.iter().all(|(_, c)| *c == 0));
+        assert!(out.acc_error > 0.0, "demotion still rounds");
+    }
+
+    #[test]
+    fn divergence_is_identical_between_enum_and_packed_dispatch() {
+        let src = "double f(double x, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s = s + x; }
+            double r = 0.0;
+            if (s < 1.0) { r = s * 2.0; } else { r = s * 0.5; }
+            return r;
+        }";
+        let mut p = parse_program(src).unwrap();
+        check_program(&mut p).unwrap();
+        let pm = PrecisionMap::empty().with(VarId(2), FloatTy::F32);
+        let packed = compile(
+            &p.functions[0],
+            &CompileOptions {
+                precisions: pm.clone(),
+                pack: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let enum_only = compile(
+            &p.functions[0],
+            &CompileOptions {
+                precisions: pm,
+                pack: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(packed.packed.is_some() && enum_only.packed.is_none());
+        let args = vec![ArgValue::F(0.01), ArgValue::I(100)];
+        let opts = ExecOptions::default();
+        let a = run_shadow::<f64>(&packed, args.clone(), &opts).unwrap();
+        let b = run_shadow::<f64>(&enum_only, args, &opts).unwrap();
+        assert_eq!(a.divergence_count, b.divergence_count);
+        assert_eq!(a.divergence, b.divergence);
+        assert_eq!(a.var_divergence, b.var_divergence);
+        assert!(a.divergence_count > 0);
+    }
+
+    #[test]
+    fn divergence_detection_can_be_disabled() {
+        let src = "double f(double x, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s = s + x; }
+            double r = 0.0;
+            if (s < 1.0) { r = s * 2.0; } else { r = s * 0.5; }
+            return r;
+        }";
+        let pm = PrecisionMap::empty().with(VarId(2), FloatTy::F32);
+        let func = compiled(src, pm);
+        let args = vec![ArgValue::F(0.01), ArgValue::I(100)];
+        let opts = ExecOptions {
+            detect_divergence: false,
+            ..Default::default()
+        };
+        let off = run_shadow::<f64>(&func, args.clone(), &opts).unwrap();
+        assert_eq!(off.divergence_count, 0);
+        assert!(off.divergence.is_empty());
+        // Everything else is unchanged by the toggle.
+        let on = run_shadow::<f64>(&func, args, &ExecOptions::default()).unwrap();
+        assert_eq!(on.ret_f().to_bits(), off.ret_f().to_bits());
+        assert_eq!(on.acc_error.to_bits(), off.acc_error.to_bits());
     }
 
     #[test]

@@ -39,7 +39,7 @@ use chef_ir::types::FloatTy;
 use std::cell::RefCell;
 
 /// Runtime execution options.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Approximate-intrinsics configuration (the FastApprox relink).
     pub approx: ApproxConfig,
@@ -52,6 +52,24 @@ pub struct ExecOptions {
     /// first backward jump or return after the budget is exhausted, so a
     /// run may execute up to one straight-line block past the budget.
     pub max_instrs: Option<u64>,
+    /// Shadow-execution divergence detection (on by default): the fused
+    /// shadow pass re-evaluates every float comparison and float→int
+    /// truncation on the shadow operands and records a
+    /// [`crate::shadow::DivergencePoint`] whenever the decision differs
+    /// from the primal one. Ignored by the plain VM; turn off only to
+    /// benchmark the raw fused pass (`shadow/divergence-overhead`).
+    pub detect_divergence: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            approx: ApproxConfig::default(),
+            tape_limit: None,
+            max_instrs: None,
+            detect_divergence: true,
+        }
+    }
 }
 
 /// Why execution trapped.

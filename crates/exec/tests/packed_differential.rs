@@ -85,10 +85,14 @@ fn compile_pair(func: &Function, pm: &PrecisionMap) -> (CompiledFunction, Compil
         },
     )
     .expect("enum compiles");
+    // `pack: true` is explicit (not `..Default::default()`): the CI
+    // matrix runs this suite with `CHEF_EXEC_PACK=0`, and the point here
+    // is packed-vs-enum, not default-vs-enum.
     let packed = compile(
         func,
         &CompileOptions {
             precisions: pm.clone(),
+            pack: true,
             ..Default::default()
         },
     )
@@ -250,7 +254,14 @@ fn shadow_kernels_are_bit_identical_packed_vs_enum() {
 fn packed_words_decode_back_to_their_instructions() {
     for (label, program, name, _) in kernels() {
         let func = inlined_kernel(&program, name);
-        let compiled = compile(&func, &CompileOptions::default()).expect("compiles");
+        let compiled = compile(
+            &func,
+            &CompileOptions {
+                pack: true,
+                ..Default::default()
+            },
+        )
+        .expect("compiles");
         let packed = compiled.packed.as_ref().expect("packed");
         assert_eq!(packed.words.len(), compiled.instrs.len(), "{label}");
         for (pc, (&w, ins)) in packed.words.iter().zip(&compiled.instrs).enumerate() {
@@ -375,6 +386,7 @@ proptest! {
         // Round-trip every packed word of the generated kernel too.
         let compiled = compile(&func, &CompileOptions {
             precisions: pm,
+            pack: true,
             ..Default::default()
         }).unwrap();
         let packed = compiled.packed.as_ref().unwrap();

@@ -207,6 +207,53 @@ impl ShadowNum for DD {
             _ => DD::new(chef_exec::intrinsics::eval2(i, a.hi, b.hi, approx)),
         }
     }
+
+    fn cmp(op: chef_exec::bytecode::CmpOp, a: Self, b: Self) -> bool {
+        use chef_exec::bytecode::CmpOp;
+        use std::cmp::Ordering;
+        // Exact comparison of normalized DDs: `hi` decides, `lo` breaks
+        // ties — this is what lets divergence detection see a branch knot
+        // the default `to_f64` rounding would quantize away. NaN follows
+        // IEEE semantics (false except `!=`), matching the primal.
+        let ord = match a.hi.partial_cmp(&b.hi) {
+            Some(Ordering::Equal) => a.lo.partial_cmp(&b.lo),
+            o => o,
+        };
+        match ord {
+            None => matches!(op, CmpOp::Ne),
+            Some(o) => match op {
+                CmpOp::Eq => o == Ordering::Equal,
+                CmpOp::Ne => o != Ordering::Equal,
+                CmpOp::Lt => o == Ordering::Less,
+                CmpOp::Le => o != Ordering::Greater,
+                CmpOp::Gt => o == Ordering::Greater,
+                CmpOp::Ge => o != Ordering::Less,
+            },
+        }
+    }
+
+    fn trunc_i64(a: Self) -> i64 {
+        // Exact trunc-toward-zero of `hi + lo`: the default (`hi as
+        // i64`) is wrong when the tail crosses an integer boundary the
+        // head sits on — DD {hi: 100.0, lo: -1e-14} is 99.99…, which
+        // truncates to 99, not 100. `hi - hi.trunc()` is exact, so
+        // `rest` is the true fractional part plus the tail.
+        let t = a.hi.trunc();
+        let rest = (a.hi - t) + a.lo;
+        let mut v = t;
+        if rest >= 1.0 {
+            v += 1.0;
+        } else if rest <= -1.0 {
+            v -= 1.0;
+        } else if v > 0.0 && rest < 0.0 {
+            // Positive head, the true value dips below it: 99.99… .
+            v -= 1.0;
+        } else if v < 0.0 && rest > 0.0 {
+            // Negative mirror: −99.99… truncates toward zero to −99.
+            v += 1.0;
+        }
+        v as i64
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +338,73 @@ mod tests {
         let inf = DD::add(DD::new(f64::MAX), DD::new(f64::MAX));
         assert!(inf.hi.is_infinite());
         assert_eq!(inf.lo, 0.0);
+    }
+
+    #[test]
+    fn exact_comparison_sees_sub_ulp_gaps() {
+        use chef_exec::bytecode::CmpOp;
+        let half = DD::new(0.5);
+        let above = DD::add(half, DD::new(1e-20)); // hi = 0.5, lo = 1e-20
+        assert_eq!(above.hi, 0.5, "gap is below one ulp");
+        assert!(<DD as ShadowNum>::cmp(CmpOp::Gt, above, half));
+        assert!(!<DD as ShadowNum>::cmp(CmpOp::Le, above, half));
+        assert!(<DD as ShadowNum>::cmp(CmpOp::Eq, half, DD::new(0.5)));
+    }
+
+    #[test]
+    fn trunc_i64_is_exact_across_integer_boundaries() {
+        let t = <DD as ShadowNum>::trunc_i64;
+        // Sub-ulp below an integer head: 100 − 5e-15 is 99.99…, trunc 99
+        // (the f64 default would say 100).
+        assert_eq!(
+            t(DD {
+                hi: 100.0,
+                lo: -5e-15
+            }),
+            99
+        );
+        // Sub-ulp above: still 100.
+        assert_eq!(
+            t(DD {
+                hi: 100.0,
+                lo: 5e-15
+            }),
+            100
+        );
+        // Tail carries the fraction across: one-ulp-below-100 head plus
+        // a tail that pushes the true value past the boundary.
+        let near = 100.0 - 2f64.powi(-46); // previous f64 before 100.0
+        assert_eq!(
+            t(DD {
+                hi: near,
+                lo: 2e-14
+            }),
+            100
+        );
+        assert_eq!(t(DD::new(near)), 99);
+        // The same value normalized (head rounds up, tail goes negative)
+        // agrees.
+        let norm = DD::add(DD::new(near), DD::new(2e-14));
+        assert_eq!(norm.hi, 100.0);
+        assert_eq!(t(norm), 100);
+        // Negative mirror (trunc toward zero).
+        assert_eq!(
+            t(DD {
+                hi: -100.0,
+                lo: 5e-15
+            }),
+            -99
+        );
+        assert_eq!(
+            t(DD {
+                hi: -100.0,
+                lo: -5e-15
+            }),
+            -100
+        );
+        // Plain cases agree with the f64 cast.
+        for x in [0.0, 0.75, -0.75, 42.9, -42.9, 1e9 + 0.5] {
+            assert_eq!(t(DD::new(x)), x as i64, "{x}");
+        }
     }
 }

@@ -52,6 +52,7 @@
 
 pub mod dd;
 
+pub use chef_exec::shadow::{DivergenceKind, DivergencePoint, MAX_DIVERGENCE_POINTS};
 pub use dd::DD;
 
 use chef_core::api::ChefError;
@@ -123,6 +124,19 @@ pub struct ShadowReport {
     pub stats: ExecStats,
     /// Non-finite local samples that were skipped (NaN/∞ involved).
     pub nonfinite_samples: u64,
+    /// Total primal-vs-shadow control-flow splits observed: float
+    /// comparisons and float→int truncations that would have decided
+    /// differently on the shadow values. Non-zero means the whole report
+    /// was measured along a trace the high-precision program would not
+    /// have taken — treat [`ShadowReport::output_error`] as untrusted and
+    /// fall back to a two-run validation (the tuner's policy).
+    pub divergence_count: u64,
+    /// The first [`MAX_DIVERGENCE_POINTS`] splits in execution order.
+    pub divergence: Vec<DivergencePoint>,
+    /// Per-variable divergence attribution, ranked descending
+    /// (divergence-free variables omitted): how many splits read this
+    /// named variable as a comparison/truncation operand.
+    pub per_variable_divergence: Vec<(String, u64)>,
 }
 
 impl ShadowReport {
@@ -135,6 +149,20 @@ impl ShadowReport {
             .unwrap_or(0.0)
     }
 
+    /// Divergence attribution of one variable (0 when absent).
+    pub fn divergence_of(&self, var: &str) -> u64 {
+        self.per_variable_divergence
+            .iter()
+            .find(|(n, _)| n == var)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// `true` when the run observed at least one control-flow split.
+    pub fn diverged(&self) -> bool {
+        self.divergence_count > 0
+    }
+
     /// Builds the estimate-quality record against an estimator's figure.
     pub fn against_estimate(&self, threshold: f64, estimated: f64) -> EstimateQualityRow {
         EstimateQualityRow {
@@ -142,6 +170,7 @@ impl ShadowReport {
             threshold,
             estimated,
             measured: self.output_error,
+            divergence_count: self.divergence_count,
         }
     }
 }
@@ -188,6 +217,13 @@ fn build_report(
         .cloned()
         .collect();
     per_variable.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut per_variable_divergence: Vec<(String, u64)> = out
+        .var_divergence
+        .iter()
+        .filter(|(_, c)| *c > 0)
+        .cloned()
+        .collect();
+    per_variable_divergence.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     Ok(ShadowReport {
         kernel: kernel.to_string(),
         primal: out.ret_f(),
@@ -198,6 +234,9 @@ fn build_report(
         per_variable,
         stats: out.stats,
         nonfinite_samples: out.nonfinite_samples,
+        divergence_count: out.divergence_count,
+        divergence: out.divergence,
+        per_variable_divergence,
     })
 }
 

@@ -13,10 +13,17 @@
 //!   variables (whole chains) are demoted — disjointness is what makes
 //!   monotonicity exact: demoting one chain cannot perturb another
 //!   chain's rounding sites, and the `f64`-mode final sum contributes no
-//!   rounding of its own.
+//!   rounding of its own,
+//! * and, on randomly generated **branching** kernels (bounded `for` /
+//!   `while` loops, float-threshold branches, piecewise tails):
+//!   divergence reports are bit-identical between the enum and packed
+//!   dispatch loops, the primal stream still equals a plain run of the
+//!   demoted compilation even when the trace flips, and an undemoted
+//!   `f64`-shadow run never reports a divergence (shadow ≡ primal).
 
 use chef_exec::compile::{compile, CompileOptions, PrecisionMap};
 use chef_exec::prelude::*;
+use chef_exec::shadow::run_shadow;
 use chef_ir::ast::{Program, VarId};
 use chef_ir::types::FloatTy;
 use chef_shadow::{shadow_run, OracleOptions};
@@ -158,6 +165,76 @@ fn chain_kernel(g: &mut Gen, n_chains: usize, chain_len: usize) -> (String, Vec<
     (src, chains)
 }
 
+/// A random *branching* kernel built so demotions genuinely flip
+/// decisions on a healthy fraction of seeds: `part` accumulates `K`
+/// steps, `acc` continues for `K` more (a `for` or a bounded `while`
+/// shape), and the threshold branch compares `acc` against `chk = part +
+/// part` — algebraically equal, differently associated. The two sides
+/// land within ~1 ulp of each other at full precision and within ~an f32
+/// ulp when the accumulators are demoted, so the comparison's sign is
+/// decided by exactly the rounding a demotion perturbs. An optional
+/// piecewise tail repeats the trick on the branched value. Returns the
+/// source and the names of the float variables.
+fn branching_kernel(g: &mut Gen, n_inputs: usize) -> (String, Vec<String>) {
+    let mut src = String::from("double f(");
+    for i in 0..n_inputs {
+        let _ = write!(src, "{}double x{i}", if i > 0 { ", " } else { "" });
+    }
+    src.push_str(") {\n");
+    let mut names: Vec<String> = (0..n_inputs).map(|i| format!("x{i}")).collect();
+    let step = format!("x{} * {:.17}", g.below(n_inputs), 0.03 + g.unit() * 0.05);
+    let iters = 8 + g.below(48);
+    src.push_str("    double part = 0.0;\n");
+    names.push("part".into());
+    let _ = writeln!(
+        src,
+        "    for (int i = 0; i < {iters}; i++) {{ part = part + {step}; }}"
+    );
+    src.push_str("    double acc = part;\n");
+    names.push("acc".into());
+    if g.below(2) == 0 {
+        let _ = writeln!(
+            src,
+            "    for (int i = 0; i < {iters}; i++) {{ acc = acc + {step}; }}"
+        );
+    } else {
+        // The same trip count, as a while shape: inputs are ≥ 0.5, so
+        // the step is bounded below and the loop terminates.
+        let _ = writeln!(
+            src,
+            "    while (acc < part * 1.99) {{ acc = acc + {step}; }}"
+        );
+    }
+    src.push_str("    double chk = part + part;\n");
+    names.push("chk".into());
+    src.push_str("    double r = 0.0;\n");
+    names.push("r".into());
+    let _ = writeln!(
+        src,
+        "    if (acc < chk) {{ r = acc * {:.17}; }} else {{ r = acc + {:.17}; }}",
+        g.lit(),
+        g.lit()
+    );
+    if g.below(2) == 0 {
+        // Piecewise tail: again a near-tie — `acc` against a jittered
+        // rescaling of `chk` (the jitter sits at f32-rounding scale, so
+        // the knot lands inside the demotion's error band).
+        src.push_str("    double w = 0.0;\n");
+        names.push("w".into());
+        let _ = writeln!(
+            src,
+            "    if (acc * 0.5 <= chk * {:.17}) {{ w = r + {:.17}; }} else {{ w = r * {:.17}; }}",
+            0.5 * (1.0 + (g.unit() - 0.5) * 2e-7),
+            g.lit(),
+            g.lit()
+        );
+        src.push_str("    return w;\n}\n");
+    } else {
+        src.push_str("    return r;\n}\n");
+    }
+    (src, names)
+}
+
 fn inputs(g: &mut Gen, n: usize) -> Vec<ArgValue> {
     (0..n).map(|_| ArgValue::F(g.lit())).collect()
 }
@@ -172,6 +249,34 @@ fn plain_run(p: &Program, pm: &PrecisionMap, args: &[ArgValue]) -> f64 {
     )
     .unwrap();
     run(&c, args.to_vec()).unwrap().ret_f()
+}
+
+/// The branching generator is only a meaningful test bed if a healthy
+/// fraction of its seeds *actually* flips a decision under demotion —
+/// otherwise the packed-vs-enum divergence equality would hold vacuously.
+/// Deterministic (fixed seed range), so this is a generator-coverage pin,
+/// not a flaky statistical test.
+#[test]
+fn branching_generator_produces_divergent_seeds() {
+    let mut diverging = 0usize;
+    for seed in 1u64..=96 {
+        let mut g = Gen(seed);
+        let n_inputs = 1 + g.below(3);
+        let (src, names) = branching_kernel(&mut g, n_inputs);
+        let p = parse(&src);
+        let args = inputs(&mut g, n_inputs);
+        let demoted: Vec<String> = names.iter().filter(|n| *n != "r").cloned().collect();
+        let pm = config_of(&p, &demoted);
+        let rep = shadow_run(&p, "f", &args, &pm, &OracleOptions::default())
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        if rep.diverged() {
+            diverging += 1;
+        }
+    }
+    assert!(
+        diverging >= 5,
+        "only {diverging}/96 seeds diverge — the generator went vacuous"
+    );
 }
 
 proptest! {
@@ -220,6 +325,66 @@ proptest! {
         prop_assert_eq!(rep.acc_error, 0.0, "{}", src);
         prop_assert!(rep.per_instruction.is_empty(), "{src}");
         prop_assert!(rep.per_variable.is_empty(), "{src}");
+    }
+
+    #[test]
+    fn branching_kernels_never_diverge_without_demotion(seed in 0u64..(1u64 << 60)) {
+        let mut g = Gen(seed | 1);
+        let n_inputs = 1 + g.below(3);
+        let (src, _) = branching_kernel(&mut g, n_inputs);
+        let p = parse(&src);
+        let args = inputs(&mut g, n_inputs);
+        let rep = shadow_run(&p, "f", &args, &PrecisionMap::empty(), &OracleOptions::default())
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        prop_assert!(!rep.diverged(), "{src}");
+        prop_assert!(rep.divergence.is_empty(), "{src}");
+        prop_assert!(rep.per_variable_divergence.is_empty(), "{src}");
+        prop_assert_eq!(rep.output_error, 0.0, "{}", src);
+        prop_assert_eq!(rep.acc_error, 0.0, "{}", src);
+    }
+
+    #[test]
+    fn branching_divergence_reports_are_identical_packed_vs_enum(seed in 0u64..(1u64 << 60)) {
+        let mut g = Gen(seed | 1);
+        let n_inputs = 1 + g.below(3);
+        let (src, names) = branching_kernel(&mut g, n_inputs);
+        let p = parse(&src);
+        let args = inputs(&mut g, n_inputs);
+        // A random non-empty demotion subset (always include `acc` so a
+        // healthy fraction of seeds genuinely flips a decision).
+        let mut demoted: Vec<String> = names
+            .iter()
+            .filter(|_| g.below(2) == 0)
+            .cloned()
+            .collect();
+        if !demoted.contains(&"acc".to_string()) {
+            demoted.push("acc".into());
+        }
+        let pm = config_of(&p, &demoted);
+        let mk = |pack: bool| {
+            compile(
+                p.function("f").unwrap(),
+                &CompileOptions { precisions: pm.clone(), pack, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let (packed, enum_only) = (mk(true), mk(false));
+        prop_assert!(packed.packed.is_some() && enum_only.packed.is_none());
+        let opts = ExecOptions::default();
+        let a = run_shadow::<f64>(&packed, args.clone(), &opts)
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let b = run_shadow::<f64>(&enum_only, args.clone(), &opts)
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        prop_assert_eq!(a.divergence_count, b.divergence_count, "{}", src);
+        prop_assert_eq!(&a.divergence, &b.divergence, "{}", src);
+        prop_assert_eq!(&a.var_divergence, &b.var_divergence, "{}", src);
+        prop_assert_eq!(a.ret_f().to_bits(), b.ret_f().to_bits(), "{}", src);
+        prop_assert_eq!(a.shadow_f().to_bits(), b.shadow_f().to_bits(), "{}", src);
+        prop_assert_eq!(a.acc_error.to_bits(), b.acc_error.to_bits(), "{}", src);
+        // Even when the trace flips, the primal stream is authoritative:
+        // it must equal a plain run of the same demoted compilation.
+        let plain = plain_run(&p, &pm, &args);
+        prop_assert_eq!(a.ret_f().to_bits(), plain.to_bits(), "{}", src);
     }
 
     #[test]

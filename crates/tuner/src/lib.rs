@@ -79,11 +79,22 @@ pub struct TuneResult {
     /// The full-precision result on the profiling inputs.
     pub baseline_value: f64,
     /// Oracle-measured output error of the chosen configuration (only
-    /// set by [`tune_with_oracle`]).
+    /// set by [`tune_with_oracle`]). For a trial admitted under
+    /// [`DivergencePolicy::TwoRunValidate`] this is the two-run
+    /// validation error, not the (untrusted) shadow measurement. `None`
+    /// from [`tune_with_oracle`] when no trial was admitted *and* the
+    /// empty starting configuration's own probe diverged (DD mode):
+    /// nothing was measured on a trusted trace, and a two-run
+    /// validation of the unchanged program would be vacuously zero.
     pub measured_error: Option<f64>,
     /// Compiled-variant cache hits observed during this tuning run (0
     /// when no cache was involved).
     pub cache_hits: u64,
+    /// Greedy trials whose oracle run observed a primal-vs-shadow
+    /// control-flow split and were therefore handled by the
+    /// [`DivergencePolicy`] instead of the one-pass measurement (0 for
+    /// estimate-only [`tune`]).
+    pub divergent_trials: u64,
 }
 
 /// Measured quality of a configuration.
@@ -328,6 +339,7 @@ pub fn tune(
         baseline_value,
         measured_error: None,
         cache_hits: 0,
+        divergent_trials: 0,
     })
 }
 
@@ -476,6 +488,25 @@ pub fn sweep_single_demotions_with(
 // Oracle-guided tuning
 // ------------------------------------------------------------------------
 
+/// How [`tune_with_oracle`] treats a trial configuration whose oracle
+/// run observed a primal-vs-shadow control-flow split
+/// ([`ShadowReport::diverged`]). A divergent run measured the error
+/// along a trace the high-precision program would not have taken, so its
+/// one-pass number is exactly as untrustworthy as the configuration is
+/// interesting — it must not drive admission directly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DivergencePolicy {
+    /// Re-measure the divergent trial with the classic two-run
+    /// validation (baseline run vs demoted run, both plain) and decide
+    /// admission on that ground truth; the shadow number is discarded.
+    /// This is the default — divergent configurations are re-ranked by
+    /// two-run validation, not silently admitted or dropped.
+    #[default]
+    TwoRunValidate,
+    /// Never admit a divergent configuration, whatever its error.
+    Reject,
+}
+
 /// Options for [`tune_with_oracle`].
 #[derive(Clone, Debug, Default)]
 pub struct OracleTuneOptions {
@@ -484,8 +515,12 @@ pub struct OracleTuneOptions {
     /// Re-rank the greedy order by the *measured* per-variable
     /// attribution of an all-candidates-demoted shadow run (instead of
     /// the estimated order). Variables the measurement cannot separate
-    /// keep their estimate order.
+    /// keep their estimate order. Skipped (estimate order kept) when the
+    /// all-candidates probe itself diverges: a divergent run's
+    /// attribution describes the wrong trace.
     pub rerank_by_measured: bool,
+    /// Treatment of divergent trial configurations.
+    pub divergence_policy: DivergencePolicy,
 }
 
 impl OracleTuneOptions {
@@ -545,30 +580,95 @@ pub fn tune_with_oracle(
         chef_shadow::report_from_outcome(&compiled, out)
     };
 
+    // Two-run fallback for divergent trials: both sides run plain (no
+    // shadow) through the cache and its machine arena. The baseline is
+    // computed once, on first need.
+    let mut baseline_run: Option<f64> = None;
+    let run_plain = |pm: &PrecisionMap| -> Result<f64, ChefError> {
+        let compiled = cache
+            .get_or_compile(primal, pm)
+            .map_err(ChefError::Compile)?;
+        cache
+            .arena()
+            .checkout()
+            .run_reused(&compiled, args.to_vec(), &opts.oracle.exec)
+            .map(|o| o.ret_f())
+            .map_err(ChefError::Trap)
+    };
+    let mut divergent_trials = 0u64;
+
     // Greedy order: estimated ascending, optionally re-ranked by the
     // measured attribution of one all-candidates shadow run.
     let mut order: Vec<(String, f64)> = per_variable.clone();
     if opts.rerank_by_measured && !order.is_empty() {
         let all: Vec<String> = order.iter().map(|(n, _)| n.clone()).collect();
         let rep = measure(&all)?;
-        // Stable sort: equal measured attributions keep the estimate order.
-        order.sort_by(|a, b| rep.error_of(&a.0).total_cmp(&rep.error_of(&b.0)));
+        // A divergent probe's attribution describes the wrong trace:
+        // keep the estimate order instead of ranking by it.
+        if !rep.diverged() {
+            // Stable sort: equal measured attributions keep the estimate
+            // order.
+            order.sort_by(|a, b| rep.error_of(&a.0).total_cmp(&rep.error_of(&b.0)));
+        }
     }
 
-    let mut chosen: Vec<String> = Vec::new();
-    let mut estimated = 0.0;
     // Measure the starting (empty) configuration rather than assuming
     // zero: in DD mode even the undemoted program has measurable error,
     // and `measured_error` must describe the *returned* configuration.
-    let mut measured = measure(&[])?.output_error;
+    // If that probe itself diverges (the undemoted program's own f64
+    // rounding flips a branch against the DD shadow) there is no trusted
+    // number for the empty config at all — a two-run validation of the
+    // unchanged program is vacuously zero — so the result stays
+    // unmeasured (`None`) unless a later trial is admitted.
+    let start = measure(&[])?;
+    let mut measured: Option<f64> = if start.diverged() {
+        divergent_trials += 1;
+        None
+    } else {
+        Some(start.output_error)
+    };
+
+    // The trusted error of one trial: the one-pass oracle measurement
+    // when the run was divergence-free, the policy's answer otherwise
+    // (`None` = the trial may not be admitted).
+    let mut trusted_error = |names: &[String],
+                             baseline_run: &mut Option<f64>,
+                             divergent_trials: &mut u64|
+     -> Result<Option<f64>, ChefError> {
+        let rep = measure(names)?;
+        if !rep.diverged() {
+            return Ok(Some(rep.output_error));
+        }
+        *divergent_trials += 1;
+        match opts.divergence_policy {
+            DivergencePolicy::Reject => Ok(None),
+            DivergencePolicy::TwoRunValidate => {
+                let base = match *baseline_run {
+                    Some(b) => b,
+                    None => {
+                        let b = run_plain(&PrecisionMap::empty())?;
+                        *baseline_run = Some(b);
+                        b
+                    }
+                };
+                let demoted = run_plain(&config_for(primal, names, cfg.target))?;
+                Ok(Some((base - demoted).abs()))
+            }
+        }
+    };
+
+    let mut chosen: Vec<String> = Vec::new();
+    let mut estimated = 0.0;
     for (name, est) in &order {
         let mut trial = chosen.clone();
         trial.push(name.clone());
-        let rep = measure(&trial)?;
-        if rep.output_error <= cfg.threshold {
+        let Some(err) = trusted_error(&trial, &mut baseline_run, &mut divergent_trials)? else {
+            continue; // divergent + Reject policy
+        };
+        if err <= cfg.threshold {
             chosen = trial;
             estimated += est;
-            measured = rep.output_error;
+            measured = Some(err);
         }
     }
     let config = config_for(primal, &chosen, cfg.target);
@@ -578,8 +678,9 @@ pub fn tune_with_oracle(
         per_variable,
         config,
         baseline_value,
-        measured_error: Some(measured),
+        measured_error: measured,
         cache_hits: cache.hits() - hits_before,
+        divergent_trials,
     })
 }
 
@@ -794,6 +895,59 @@ mod tests {
             two_run.actual_error.to_bits()
         );
         assert!(!oracle.per_variable.is_empty());
+    }
+
+    #[test]
+    fn divergent_trials_are_not_trusted_by_the_oracle_tuner() {
+        // Demoting `s` flips the threshold branch (f32 sum of 100 × 0.01
+        // lands below 1.0, the f64 shadow above), so the one-pass oracle
+        // number describes the wrong trace. Under the default
+        // `TwoRunValidate` policy the trial is re-measured by the classic
+        // two-run validation; under `Reject` it is never admitted.
+        let src = "double f(double x, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) { s = s + x; }
+            double r = 0.0;
+            if (s < 1.0) { r = s * 2.0; } else { r = s * 0.5; }
+            return r;
+        }";
+        let p = program(src);
+        let args = vec![ArgValue::F(0.01), ArgValue::I(100)];
+        // The oracle itself reports the divergence on the direct probe.
+        let ids = ids_of(&p, "f", &["s"]).unwrap();
+        let pm = PrecisionMap::empty().with(ids[0], FloatTy::F32);
+        let rep = validate_with_oracle(&p, "f", &args, &pm, &OracleOptions::default()).unwrap();
+        assert!(rep.diverged(), "branch flip must be flagged");
+        assert_eq!(rep.divergence_of("s"), rep.divergence_count);
+
+        let mut cfg = TunerConfig::with_threshold(2.0); // two-run error ≈ 1.5 fits
+        cfg.candidates = Some(vec!["s".into()]);
+        let cache = VariantCache::new();
+        let opts = OracleTuneOptions::default(); // TwoRunValidate
+        let res = tune_with_oracle(&p, "f", &args, &cfg, &opts, &cache).unwrap();
+        assert!(res.divergent_trials >= 1, "{res:?}");
+        assert_eq!(res.demoted, vec!["s".to_string()]);
+        // The reported measurement is the two-run ground truth, not the
+        // (untrusted) shadow number.
+        let two_run = validate(&p, "f", &args, &res.config).unwrap();
+        assert_eq!(
+            res.measured_error.unwrap().to_bits(),
+            two_run.actual_error.to_bits()
+        );
+        assert_ne!(
+            res.measured_error.unwrap().to_bits(),
+            rep.output_error.to_bits(),
+            "the divergent one-pass number must not be what admission used"
+        );
+
+        // Reject policy: the divergent configuration is never admitted.
+        let reject = OracleTuneOptions {
+            divergence_policy: DivergencePolicy::Reject,
+            ..Default::default()
+        };
+        let res = tune_with_oracle(&p, "f", &args, &cfg, &reject, &cache).unwrap();
+        assert!(res.demoted.is_empty(), "{:?}", res.demoted);
+        assert!(res.divergent_trials >= 1);
     }
 
     #[test]

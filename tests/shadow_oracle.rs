@@ -5,13 +5,16 @@
 //! order of magnitude of the estimate — plus the oracle's agreement with
 //! the classic two-run validation.
 
-use chef_fp::apps::{arclen, blackscholes, hpccg, kmeans, simpsons};
+use chef_fp::apps::{adversarial, arclen, blackscholes, hpccg, kmeans, simpsons};
+use chef_fp::exec::bytecode::Instr;
+use chef_fp::exec::compile::{compile, CompileOptions};
 use chef_fp::exec::prelude::*;
+use chef_fp::exec::shadow::{run_shadow, DivergenceKind};
 use chef_fp::ir::ast::Program;
-use chef_fp::shadow::{OracleOptions, ShadowMode};
+use chef_fp::shadow::{shadow_run, OracleOptions, ShadowMode, ShadowReport};
 use chef_fp::tuner::{
-    tune, tune_with_oracle, validate, validate_with_oracle, OracleTuneOptions, TunerConfig,
-    VariantCache,
+    ids_of, tune, tune_with_oracle, validate, validate_with_oracle, DivergencePolicy,
+    OracleTuneOptions, TunerConfig, VariantCache,
 };
 
 /// Tunes under `cfg`, measures the chosen config with the oracle, and
@@ -188,6 +191,362 @@ fn dd_shadow_measures_f64_self_error_on_arclen() {
         dd_rep.output_error
     );
     assert!(!dd_rep.per_instruction.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Divergence detection on the adversarial branching corpus
+// ---------------------------------------------------------------------
+
+/// The `f32` demotion of `vars` in the (inlined) kernel.
+fn f32_config(p: &Program, func: &str, vars: &[&str]) -> PrecisionMap {
+    let ids = ids_of(p, func, vars).expect("vars resolve");
+    assert_eq!(ids.len(), vars.len(), "{vars:?}");
+    let mut pm = PrecisionMap::empty();
+    for id in ids {
+        pm.set(id, chef_fp::ir::types::FloatTy::F32);
+    }
+    pm
+}
+
+/// Runs the oracle on `config`, asserting the divergence verdict and —
+/// when a flip is expected — that every recorded split sits on a
+/// comparison/truncation instruction of the compiled stream, that the
+/// flipped variable is attributed, and that enum and packed dispatch
+/// report the identical split list.
+fn divergence_check(
+    label: &str,
+    p: &Program,
+    func: &str,
+    args: &[ArgValue],
+    config: &PrecisionMap,
+    expect_divergence: bool,
+    attributed_var: &str,
+) -> ShadowReport {
+    let rep = shadow_run(p, func, args, config, &OracleOptions::default()).expect("oracle runs");
+    assert_eq!(
+        rep.diverged(),
+        expect_divergence,
+        "{label}: divergence_count = {} ({:?})",
+        rep.divergence_count,
+        rep.divergence
+    );
+    if !expect_divergence {
+        assert!(rep.divergence.is_empty(), "{label}");
+        assert!(rep.per_variable_divergence.is_empty(), "{label}");
+        return rep;
+    }
+    // Every detailed split names a pc that really is a comparison or a
+    // float→int truncation in the compiled stream.
+    let inlined = chef_fp::passes::inline_program(p).expect("inlines");
+    let primal = inlined.function(func).expect("function");
+    let packed = compile(
+        primal,
+        &CompileOptions {
+            precisions: config.clone(),
+            pack: true,
+            ..Default::default()
+        },
+    )
+    .expect("compiles packed");
+    for point in &rep.divergence {
+        let ins = &packed.instrs[point.pc];
+        match point.kind {
+            DivergenceKind::FCmp { .. } => assert!(
+                matches!(
+                    ins,
+                    Instr::FCmp { .. } | Instr::FCmpJmpFalse { .. } | Instr::FCmpJmpTrue { .. }
+                ),
+                "{label}: pc {} holds {ins:?}, not a float compare",
+                point.pc
+            ),
+            DivergenceKind::F2I { .. } => assert!(
+                matches!(ins, Instr::F2I { .. }),
+                "{label}: pc {} holds {ins:?}, not F2I",
+                point.pc
+            ),
+        }
+    }
+    assert!(
+        rep.divergence_of(attributed_var) > 0,
+        "{label}: split not attributed to `{attributed_var}`: {:?}",
+        rep.per_variable_divergence
+    );
+    // Enum dispatch reports the identical splits.
+    let enum_only = compile(
+        primal,
+        &CompileOptions {
+            precisions: config.clone(),
+            pack: false,
+            ..Default::default()
+        },
+    )
+    .expect("compiles enum");
+    let opts = ExecOptions::default();
+    let a = run_shadow::<f64>(&packed, args.to_vec(), &opts).expect("packed shadow");
+    let b = run_shadow::<f64>(&enum_only, args.to_vec(), &opts).expect("enum shadow");
+    assert_eq!(a.divergence_count, b.divergence_count, "{label}");
+    assert_eq!(a.divergence, b.divergence, "{label}");
+    assert_eq!(a.var_divergence, b.var_divergence, "{label}");
+    assert_eq!(a.ret_f().to_bits(), b.ret_f().to_bits(), "{label}");
+    rep
+}
+
+#[test]
+fn threshold_kernel_flags_divergence_exactly_when_the_branch_flips() {
+    let p = adversarial::threshold::program();
+    let flip = f32_config(
+        &p,
+        adversarial::threshold::NAME,
+        adversarial::threshold::FLIP_VARS,
+    );
+    let rep = divergence_check(
+        "threshold/flip",
+        &p,
+        adversarial::threshold::NAME,
+        &adversarial::threshold::flip_args(),
+        &flip,
+        true,
+        "s",
+    );
+    // The whole point of the flag: along the (wrong) primal trace the
+    // one-pass measurement looks harmless — microns — while the true
+    // two-run error is O(1) because the baseline takes the other branch.
+    assert!(rep.output_error < 1e-5, "{}", rep.output_error);
+    let two_run = validate(
+        &p,
+        adversarial::threshold::NAME,
+        &adversarial::threshold::flip_args(),
+        &flip,
+    )
+    .unwrap();
+    assert!(
+        two_run.actual_error > 1.0,
+        "ground truth dwarfs the divergent measurement: {}",
+        two_run.actual_error
+    );
+    assert_eq!(rep.divergence_count, 1, "one split, at the threshold");
+    match rep.divergence[0].kind {
+        DivergenceKind::FCmp {
+            taken, would_take, ..
+        } => assert!(taken && !would_take),
+        ref other => panic!("expected FCmp, got {other:?}"),
+    }
+    // Same demotion, stable input: rounds without flipping.
+    let rep = divergence_check(
+        "threshold/stable",
+        &p,
+        adversarial::threshold::NAME,
+        &adversarial::threshold::stable_args(),
+        &flip,
+        false,
+        "s",
+    );
+    assert!(rep.acc_error > 0.0, "the demotion still rounds");
+    // No demotion: silent and error-free on the flip input too.
+    let rep = divergence_check(
+        "threshold/undemoted",
+        &p,
+        adversarial::threshold::NAME,
+        &adversarial::threshold::flip_args(),
+        &PrecisionMap::empty(),
+        false,
+        "s",
+    );
+    assert_eq!(rep.output_error, 0.0);
+}
+
+#[test]
+fn floatcount_kernel_flags_the_truncated_trip_count() {
+    let p = adversarial::floatcount::program();
+    let flip = f32_config(
+        &p,
+        adversarial::floatcount::NAME,
+        adversarial::floatcount::FLIP_VARS,
+    );
+    let rep = divergence_check(
+        "floatcount/flip",
+        &p,
+        adversarial::floatcount::NAME,
+        &adversarial::floatcount::flip_args(),
+        &flip,
+        true,
+        "t",
+    );
+    let f2i = rep
+        .divergence
+        .iter()
+        .find_map(|pt| match pt.kind {
+            DivergenceKind::F2I {
+                primal_int,
+                shadow_int,
+                ..
+            } => Some((primal_int, shadow_int)),
+            _ => None,
+        })
+        .expect("an F2I split");
+    assert_eq!(f2i, (100, 99), "demoted primal runs one extra iteration");
+    // Exactly representable step width: both sides truncate to 64.
+    divergence_check(
+        "floatcount/stable",
+        &p,
+        adversarial::floatcount::NAME,
+        &adversarial::floatcount::stable_args(),
+        &flip,
+        false,
+        "t",
+    );
+}
+
+#[test]
+fn piecewise_kernel_flags_the_knot_crossing() {
+    let p = adversarial::piecewise::program();
+    let flip = f32_config(
+        &p,
+        adversarial::piecewise::NAME,
+        adversarial::piecewise::FLIP_VARS,
+    );
+    let rep = divergence_check(
+        "piecewise/flip",
+        &p,
+        adversarial::piecewise::NAME,
+        &adversarial::piecewise::flip_args(),
+        &flip,
+        true,
+        "y",
+    );
+    // Demoted primal sits exactly on the knot (`y <= 0.75` true) and
+    // takes the linear piece; the shadow is dragged along that trace
+    // (divergence is reported, never followed), so the measurement reads
+    // nano-scale while the true piece swap is O(1).
+    assert_eq!(rep.primal, 1.75, "linear piece on the rounded knot");
+    assert!((rep.shadow - 1.75).abs() < 1e-8, "{}", rep.shadow);
+    assert!(rep.output_error < 1e-8, "{}", rep.output_error);
+    let two_run = validate(
+        &p,
+        adversarial::piecewise::NAME,
+        &adversarial::piecewise::flip_args(),
+        &flip,
+    )
+    .unwrap();
+    assert!(
+        two_run.actual_error > 1.0,
+        "the baseline squares instead: {}",
+        two_run.actual_error
+    );
+    divergence_check(
+        "piecewise/stable",
+        &p,
+        adversarial::piecewise::NAME,
+        &adversarial::piecewise::stable_args(),
+        &flip,
+        false,
+        "y",
+    );
+}
+
+#[test]
+fn divergent_rows_are_flagged_in_the_quality_record() {
+    // The artifact path: a divergent measurement's EstimateQualityRow
+    // carries the split count, serializes it, and self-identifies as a
+    // row whose order-of-magnitude band is meaningless.
+    let p = adversarial::threshold::program();
+    let flip = f32_config(
+        &p,
+        adversarial::threshold::NAME,
+        adversarial::threshold::FLIP_VARS,
+    );
+    let rep = validate_with_oracle(
+        &p,
+        adversarial::threshold::NAME,
+        &adversarial::threshold::flip_args(),
+        &flip,
+        &OracleOptions::default(),
+    )
+    .unwrap();
+    let row = rep.against_estimate(1e-6, 1e-7);
+    assert!(row.diverged());
+    assert_eq!(row.divergence_count, rep.divergence_count);
+    let json = chef_fp::core::report::to_json(&row);
+    assert!(json.contains("\"diverged\": true"), "{json}");
+    let back: chef_fp::core::report::EstimateQualityRow =
+        chef_fp::core::report::from_json(&json).unwrap();
+    assert_eq!(back.divergence_count, rep.divergence_count);
+}
+
+#[test]
+fn oracle_tuner_distrusts_the_branch_flipping_config() {
+    // End-to-end: greedy oracle tuning over the threshold kernel with
+    // `s` as the only candidate. The divergent trial is decided by
+    // two-run validation (default policy) or dropped (Reject).
+    let p = adversarial::threshold::program();
+    let args = adversarial::threshold::flip_args();
+    let mut cfg = TunerConfig::with_threshold(2.0);
+    cfg.candidates = Some(vec!["s".into()]);
+    let cache = VariantCache::new();
+    let res = tune_with_oracle(
+        &p,
+        adversarial::threshold::NAME,
+        &args,
+        &cfg,
+        &OracleTuneOptions::default(),
+        &cache,
+    )
+    .unwrap();
+    assert!(res.divergent_trials >= 1);
+    assert_eq!(res.demoted, vec!["s".to_string()]);
+    let check = validate(&p, adversarial::threshold::NAME, &args, &res.config).unwrap();
+    assert_eq!(
+        res.measured_error.unwrap().to_bits(),
+        check.actual_error.to_bits(),
+        "admission used the two-run ground truth"
+    );
+    let reject = OracleTuneOptions {
+        divergence_policy: DivergencePolicy::Reject,
+        ..Default::default()
+    };
+    let res = tune_with_oracle(
+        &p,
+        adversarial::threshold::NAME,
+        &args,
+        &cfg,
+        &reject,
+        &cache,
+    )
+    .unwrap();
+    assert!(res.demoted.is_empty(), "{:?}", res.demoted);
+}
+
+#[test]
+fn paper_kernels_stay_divergence_free_under_tuned_configs() {
+    // The PR-2/3 era assumption, now checked instead of assumed: every
+    // tuned paper-kernel configuration the oracle tests rely on is
+    // branch-stable, so their one-pass measurements remain trustworthy.
+    let checks: Vec<(&str, Program, &str, Vec<ArgValue>, TunerConfig)> = vec![
+        (
+            "arclen",
+            arclen::program(),
+            arclen::NAME,
+            arclen::args(500),
+            TunerConfig::with_threshold(3e-6),
+        ),
+        (
+            "simpsons",
+            simpsons::program(),
+            simpsons::NAME,
+            simpsons::args(500),
+            TunerConfig::with_threshold(1e-7),
+        ),
+    ];
+    for (label, p, func, args, cfg) in checks {
+        let res = tune(&p, func, &args, &cfg).expect("tunes");
+        let rep =
+            validate_with_oracle(&p, func, &args, &res.config, &OracleOptions::default()).unwrap();
+        assert!(
+            !rep.diverged(),
+            "{label}: tuned config unexpectedly diverged: {:?}",
+            rep.divergence
+        );
+    }
 }
 
 #[test]
