@@ -25,6 +25,35 @@ use chef_tuner::{tune, validate, validate_with_oracle, TunerConfig};
 /// decade-smaller workloads).
 const ADAPT_MEM_LIMIT: usize = 4 << 30; // 4 GiB
 
+/// `expect` for the CLI driver: a failure prints one clean line to
+/// stderr and exits non-zero (failing the CI gate), instead of
+/// unwinding with a panic backtrace. A missing input file, a corrupt
+/// snapshot, or a trapped analysis all land here.
+trait OrFail {
+    type Ok;
+    fn or_fail(self, what: &str) -> Self::Ok;
+}
+
+impl<T, E: std::fmt::Display> OrFail for Result<T, E> {
+    type Ok = T;
+    fn or_fail(self, what: &str) -> T {
+        self.unwrap_or_else(|e| {
+            eprintln!("repro: {what}: {e}");
+            std::process::exit(1);
+        })
+    }
+}
+
+impl<T> OrFail for Option<T> {
+    type Ok = T;
+    fn or_fail(self, what: &str) -> T {
+        self.unwrap_or_else(|| {
+            eprintln!("repro: {what}");
+            std::process::exit(1);
+        })
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(k) = args.iter().position(|a| a == "--perf-delta") {
@@ -160,8 +189,9 @@ fn table1() {
         let n = 100_000i64;
         let args = chef_apps::arclen::args(n);
         let cfg = TunerConfig::with_threshold(1e-5);
-        let res = tune(&p, chef_apps::arclen::NAME, &args, &cfg).expect("tune arclen");
-        let rep = validate(&p, chef_apps::arclen::NAME, &args, &res.config).expect("validate");
+        let res = tune(&p, chef_apps::arclen::NAME, &args, &cfg).or_fail("arclen tune failed");
+        let rep =
+            validate(&p, chef_apps::arclen::NAME, &args, &res.config).or_fail("validation failed");
         let (_, t64) = time_median(9, || chef_apps::arclen::native_f64(n as usize));
         let (_, tmx) = time_median(9, || chef_apps::arclen::native_mixed(n as usize));
         row1(
@@ -179,8 +209,9 @@ fn table1() {
         let n = 100_000i64;
         let args = chef_apps::simpsons::args(n);
         let cfg = TunerConfig::with_threshold(1e-6);
-        let res = tune(&p, chef_apps::simpsons::NAME, &args, &cfg).expect("tune simpsons");
-        let rep = validate(&p, chef_apps::simpsons::NAME, &args, &res.config).expect("validate");
+        let res = tune(&p, chef_apps::simpsons::NAME, &args, &cfg).or_fail("simpsons tune failed");
+        let rep = validate(&p, chef_apps::simpsons::NAME, &args, &res.config)
+            .or_fail("validation failed");
         let (a, b) = chef_apps::simpsons::BOUNDS;
         let (_, t64) = time_median(9, || chef_apps::simpsons::native_f64(a, b, n as usize));
         let (_, tmx) = time_median(9, || chef_apps::simpsons::native_mixed(a, b, n as usize));
@@ -201,8 +232,9 @@ fn table1() {
         let cfg = TunerConfig::with_threshold(1e-6)
             .with_array_len("attributes", "npoints * nfeatures")
             .with_array_len("clusters", "nclusters * nfeatures");
-        let res = tune(&p, chef_apps::kmeans::NAME, &args, &cfg).expect("tune kmeans");
-        let rep = validate(&p, chef_apps::kmeans::NAME, &args, &res.config).expect("validate");
+        let res = tune(&p, chef_apps::kmeans::NAME, &args, &cfg).or_fail("kmeans tune failed");
+        let rep =
+            validate(&p, chef_apps::kmeans::NAME, &args, &res.config).or_fail("validation failed");
         // The admitted configuration (attributes only) brings no speedup —
         // measure it anyway (paper reports '-').
         let speedup = if res.demoted.iter().any(|d| d == "attributes") {
@@ -230,7 +262,7 @@ fn table1() {
     {
         let threshold = 1e-10;
         let prob = chef_apps::hpccg::problem(20, 30, 10);
-        let profile = hpccg_profile(&prob).expect("profile");
+        let profile = hpccg_profile(&prob).or_fail("hpccg sensitivity profiling failed");
         // Smallest split whose estimated f32-tail error (eq. 1 over the
         // post-split sensitivities) meets the threshold — the same
         // estimate-driven selection the other rows use.
@@ -323,16 +355,18 @@ fn chef_point(
     for (a, l) in lens {
         opts.array_lens.insert((*a).to_string(), (*l).to_string());
     }
-    let est = estimate_error(program, func, &opts).expect("estimator builds");
-    let (chef_out, chef_ms) = time_ms(|| est.execute(args).expect("chef analysis runs"));
+    let est = estimate_error(program, func, &opts).or_fail("estimator build failed");
+    let (chef_out, chef_ms) = time_ms(|| est.execute(args).or_fail("analysis run trapped"));
     (chef_ms, chef_out.stats.peak_memory_bytes())
 }
 
 /// ADAPT-baseline side of one analysis point: taping + reverse +
 /// post-hoc errors, every run. `None` = out of memory at this scale.
 fn adapt_point(program: &Program, func: &str, args: &[ArgValue]) -> Option<(f64, usize)> {
-    let inlined = chef_passes::inline_program(program).expect("inlines");
-    let primal = inlined.function(func).expect("function exists");
+    let inlined = chef_passes::inline_program(program).or_fail("inlining failed");
+    let primal = inlined
+        .function(func)
+        .or_fail("function not found after inlining");
     let adapt_opts = AdaptOptions {
         memory_limit: Some(ADAPT_MEM_LIMIT),
         ..Default::default()
@@ -341,7 +375,10 @@ fn adapt_point(program: &Program, func: &str, args: &[ArgValue]) -> Option<(f64,
     match adapt_res {
         Ok(out) => Some((adapt_ms, out.tape_peak_bytes)),
         Err(AdaptError::OutOfMemory(_)) => None,
-        Err(e) => panic!("adapt baseline failed: {e}"),
+        Err(e) => {
+            eprintln!("repro: adapt baseline failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -442,14 +479,18 @@ fn table3() {
         .with_array_len("clusters", "nclusters * nfeatures");
     let mut model = AdaptModel::to_f32();
     let est = estimate_error_with(&p, chef_apps::kmeans::NAME, &mut model, &opts)
-        .expect("estimator builds");
-    let out = est.execute(&args).expect("analysis runs");
+        .or_fail("estimator build failed");
+    let out = est.execute(&args).or_fail("kmeans analysis trapped");
 
-    let inlined = chef_passes::inline_program(&p).unwrap();
-    let primal = inlined.function(chef_apps::kmeans::NAME).unwrap();
+    let inlined = chef_passes::inline_program(&p).or_fail("inlining failed");
+    let primal = inlined
+        .function(chef_apps::kmeans::NAME)
+        .or_fail("kmeans kernel not found after inlining");
     let baseline = {
-        let c = compile_default(primal).unwrap();
-        run(&c, args.clone()).unwrap().ret_f()
+        let c = compile_default(primal).or_fail("kmeans compile failed");
+        run(&c, args.clone())
+            .or_fail("kmeans baseline trapped")
+            .ret_f()
     };
     let rows = [
         ("attributes", vec!["attributes"]),
@@ -472,7 +513,7 @@ fn table3() {
         })
         .collect();
     let reports = chef_tuner::validate_configs(&p, chef_apps::kmeans::NAME, &args, &configs)
-        .expect("config validation runs");
+        .or_fail("config validation failed");
     assert_eq!(reports[0].baseline, baseline);
     println!(
         "{:<32} {:>14} {:>16}",
@@ -544,7 +585,7 @@ fn table4() {
             &mut model,
             &EstimateOptions::default(),
         )
-        .expect("estimator builds");
+        .or_fail("estimator build failed");
         // Per-option analyses are independent: compile once, fan the
         // thousand runs out over the VM's parallel batch path.
         let arg_sets: Vec<Vec<ArgValue>> = (0..w.len())
@@ -563,7 +604,7 @@ fn table4() {
         let est_errs: Vec<f64> = est
             .execute_batch(&arg_sets)
             .into_iter()
-            .map(|r| r.expect("single-option analysis").fp_error)
+            .map(|r| r.or_fail("single-option analysis trapped").fp_error)
             .collect();
         let actual_errs: Vec<f64> = (0..w.len())
             .map(|i| (approx_prices[i] - exact[i]).abs())
@@ -623,10 +664,13 @@ fn sweep_fig(
     let rows = chef_exec::par::parallel_map(scales.to_vec(), None, |scale| {
         let (program, func, args) = mk(scale as i64);
         // Application alone (the paper's "Appl. Time/Memory" series).
-        let inlined = chef_passes::inline_program(&program).unwrap();
-        let primal = inlined.function(func).unwrap();
-        let compiled = compile_default(primal).unwrap();
-        let (app_out, app_ms) = time_ms(|| run(&compiled, args.clone()).expect("app runs"));
+        let inlined = chef_passes::inline_program(&program).or_fail("inlining failed");
+        let primal = inlined
+            .function(func)
+            .or_fail("function not found after inlining");
+        let compiled = compile_default(primal).or_fail("compile failed");
+        let (app_out, app_ms) =
+            time_ms(|| run(&compiled, args.clone()).or_fail("application run trapped"));
         let app_bytes = app_out.stats.peak_memory_bytes();
 
         let (chef_ms, chef_bytes) = chef_point(&program, func, &args, lens);
@@ -673,12 +717,12 @@ fn fig9() {
         &chef_apps::hpccg::args(&prob),
         &ExecOptions::default(),
     )
-    .expect("profiling runs");
+    .or_fail("hpccg sensitivity profiling failed");
     println!("iterations recorded: {}", profile.ticks);
     print!("{}", profile.ascii_heatmap(64));
     // The split decision uses the residual-carrying vectors (x's
     // |value·adjoint| plateaus at the solution by construction).
-    let residual = hpccg_profile(&prob).expect("profile");
+    let residual = hpccg_profile(&prob).or_fail("hpccg sensitivity profiling failed");
     match residual.split_point(1e-3) {
         Some(t) => println!(
             "residual sensitivities (r, p, Ap) collapse below 1e-3 of peak after \
@@ -700,19 +744,20 @@ fn oracle_row(
     args: &[ArgValue],
     cfg: &TunerConfig,
 ) -> (EstimateQualityRow, Vec<String>, String) {
-    let res = tune(p, func, args, cfg).expect("tuner runs");
+    let res = tune(p, func, args, cfg).or_fail("tuner failed");
     let rep = validate_with_oracle(p, func, args, &res.config, &OracleOptions::default())
-        .expect("oracle runs");
+        .or_fail("oracle run failed");
     let top = rep
         .per_variable
         .first()
         .map(|(n, e)| format!("{n} ({})", sci(*e)))
         .unwrap_or_else(|| "-".to_string());
-    (
-        rep.against_estimate(cfg.threshold, res.estimated_error),
-        res.demoted,
-        top,
-    )
+    let mut row = rep.against_estimate(cfg.threshold, res.estimated_error);
+    // Faults the tuner isolated while producing this configuration: a
+    // non-zero count means the row was measured under degraded
+    // conditions (retried or quarantined trials) and still completed.
+    row.fault_count = res.faults.total();
+    (row, res.demoted, top)
 }
 
 /// The `repro --oracle` rows at full (paper-scaled) workloads.
@@ -821,13 +866,13 @@ fn print_oracle_rows(rows: &[(EstimateQualityRow, Vec<String>, String)]) {
 fn adversarial_divergence() -> Vec<(&'static str, u64, u64)> {
     use chef_apps::adversarial::{floatcount, piecewise, threshold};
     let count = |p: &Program, func: &str, vars: &[&str], args: &[ArgValue]| -> u64 {
-        let ids = chef_tuner::ids_of(p, func, vars).expect("flip vars resolve");
+        let ids = chef_tuner::ids_of(p, func, vars).or_fail("flip variables did not resolve");
         let mut pm = PrecisionMap::empty();
         for id in ids {
             pm.set(id, chef_ir::types::FloatTy::F32);
         }
         chef_shadow::shadow_run(p, func, args, &pm, &OracleOptions::default())
-            .expect("oracle runs")
+            .or_fail("oracle run failed")
             .divergence_count
     };
     let t = threshold::program();
@@ -915,7 +960,7 @@ fn oracle_table() {
     ];
     for (label, p, func, args) in selfs {
         let rep = validate_with_oracle(&p, func, &args, &PrecisionMap::empty(), &dd)
-            .expect("dd oracle runs");
+            .or_fail("double-double oracle run failed");
         println!(
             "{label:<14} |out err| = {}   acc = {}   div = {}",
             sci(rep.output_error),
@@ -945,8 +990,10 @@ fn smoke() {
 
     // 1. Raw VM dispatch: the arclen primal, fused vs unfused.
     let p = chef_apps::arclen::program();
-    let primal = p.function(chef_apps::arclen::NAME).unwrap();
-    let fused = compile_default(primal).unwrap();
+    let primal = p
+        .function(chef_apps::arclen::NAME)
+        .or_fail("arclen kernel not found");
+    let fused = compile_default(primal).or_fail("arclen compile failed");
     let unfused = chef_exec::compile::compile(
         primal,
         &chef_exec::compile::CompileOptions {
@@ -954,7 +1001,7 @@ fn smoke() {
             ..Default::default()
         },
     )
-    .unwrap();
+    .or_fail("arclen unfused compile failed");
     let enum_only = chef_exec::compile::compile(
         primal,
         &chef_exec::compile::CompileOptions {
@@ -962,7 +1009,7 @@ fn smoke() {
             ..Default::default()
         },
     )
-    .unwrap();
+    .or_fail("arclen enum compile failed");
     let opts = ExecOptions::default();
     let mut m = chef_exec::vm::Machine::new();
     let (_, vm_fused_ms) = time_median(31, || {
@@ -983,7 +1030,7 @@ fn smoke() {
 
     // 2. Analysis end-to-end: build + run the arclen estimator.
     let est = estimate_error(&p, chef_apps::arclen::NAME, &EstimateOptions::default())
-        .expect("estimator builds");
+        .or_fail("estimator build failed");
     let args = chef_apps::arclen::args(2_000);
     let (_, analysis_ms) = time_median(5, || est.execute(&args).unwrap().fp_error);
 
@@ -1030,6 +1077,20 @@ fn smoke() {
             .unwrap()
             .ret_f()
     });
+    // Same pass with non-finite trapping armed (PR 6): on a finite run
+    // the checks never fire, so this prices the per-instruction
+    // `is_finite` probes alone (acceptance bar: ≤ 1.10x the plain
+    // shadow pass above).
+    let nonfinite = ExecOptions {
+        detect_divergence: false,
+        trap_on_nonfinite: true,
+        ..Default::default()
+    };
+    let (_, vm_shadow_nf_ms) = time_median(31, || {
+        sm.run_reused(&fused, vec![ArgValue::I(10_000)], &nonfinite)
+            .unwrap()
+            .ret_f()
+    });
 
     let rows = [
         ("vm_arclen_fused_ms", vm_fused_ms),
@@ -1037,13 +1098,14 @@ fn smoke() {
         ("vm_arclen_enum_ms", vm_enum_ms),
         ("vm_arclen_shadowed_ms", vm_shadow_ms),
         ("vm_arclen_shadowed_div_ms", vm_shadow_div_ms),
+        ("vm_arclen_shadowed_nonfinite_ms", vm_shadow_nf_ms),
         ("analysis_arclen_ms", analysis_ms),
         ("analysis_batch32_ms", batch_ms),
         ("tuner_simpsons_ms", tuner_ms),
         ("sensitivity_hpccg_ms", sens_ms),
     ];
     for (name, ms) in &rows {
-        println!("{name:<24} {ms:>9.3} ms");
+        println!("{name:<32} {ms:>9.3} ms");
     }
     println!(
         "shadow overhead: {:.2}x over the plain fused run (detection off)",
@@ -1054,12 +1116,16 @@ fn smoke() {
         vm_shadow_div_ms / vm_fused_ms
     );
     println!(
+        "non-finite trapping: {:.2}x over the plain shadow pass (<= 1.10x bar)",
+        vm_shadow_nf_ms / vm_shadow_ms
+    );
+    println!(
         "packed dispatch: {:.2}x over the enum interpreter on the same stream",
         vm_enum_ms / vm_fused_ms
     );
     let doc = Json::obj(rows.iter().map(|&(name, ms)| (name, Json::Num(ms))));
     let path = "BENCH_smoke.json";
-    std::fs::write(path, doc.to_string_pretty()).expect("snapshot written");
+    std::fs::write(path, doc.to_string_pretty()).or_fail("cannot write BENCH_smoke.json");
     println!("snapshot written to {path}");
 
     // Shadow-oracle smoke table: small workloads, same estimated-vs-
@@ -1121,7 +1187,7 @@ fn smoke() {
         ),
     ]);
     let path = "BENCH_oracle_smoke.json";
-    std::fs::write(path, doc.to_string_pretty()).expect("oracle snapshot written");
+    std::fs::write(path, doc.to_string_pretty()).or_fail("cannot write BENCH_oracle_smoke.json");
     println!("snapshot written to {path}");
 
     // Estimate-quality regression gate: the estimated-vs-measured ratios
@@ -1171,9 +1237,8 @@ fn smoke() {
 fn perf_delta(old_path: &str, new_path: &str) {
     use chef_core::json::{parse, Json};
     let load = |path: &str| -> Json {
-        let text =
-            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
+        let text = std::fs::read_to_string(path).or_fail(&format!("cannot read snapshot `{path}`"));
+        parse(&text).or_fail(&format!("snapshot `{path}` is not valid JSON"))
     };
     let old = load(old_path);
     let new = load(new_path);
@@ -1183,7 +1248,8 @@ fn perf_delta(old_path: &str, new_path: &str) {
         "metric", "old ms", "new ms", "speedup"
     );
     let (Json::Obj(old_map), Json::Obj(new_map)) = (&old, &new) else {
-        panic!("snapshots are not JSON objects");
+        eprintln!("repro: snapshots are not JSON objects");
+        std::process::exit(1);
     };
     let mut keys: Vec<&String> = old_map.keys().chain(new_map.keys()).collect();
     keys.sort();

@@ -194,6 +194,13 @@ pub struct EstimateQualityRow {
     /// program would not have taken, and the estimated-vs-measured band
     /// is meaningless for this row.
     pub divergence_count: u64,
+    /// Per-trial faults (traps, panics, non-finite measurements) the
+    /// producing pipeline isolated and retried while arriving at this
+    /// configuration (`chef_tuner`'s `FaultSummary::total()`). 0 for
+    /// direct oracle runs and clean tunes; non-zero rows were produced
+    /// under degraded conditions (or deliberate fault injection) and
+    /// still completed.
+    pub fault_count: u64,
 }
 
 impl EstimateQualityRow {
@@ -238,22 +245,24 @@ impl Record for EstimateQualityRow {
             ("within_10x", Json::Bool(self.within_order_of_magnitude())),
             ("divergence_count", Json::Num(self.divergence_count as f64)),
             ("diverged", Json::Bool(self.diverged())),
+            ("fault_count", Json::Num(self.fault_count as f64)),
         ])
     }
 
     fn from_json_value(v: &Json) -> Result<Self, String> {
         // `ratio`/`within_10x`/`diverged` are derived on write and
         // recomputed on read; `divergence_count` is absent in pre-oracle
-        // snapshots and defaults to 0 (straight-line era: no divergence).
+        // snapshots and defaults to 0 (straight-line era: no divergence),
+        // and `fault_count` likewise defaults to 0 in snapshots written
+        // before the fault-isolation layer existed.
+        let count = |key: &str| v.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
         Ok(EstimateQualityRow {
             kernel: string(v, "kernel")?,
             threshold: num(v, "threshold")?,
             estimated: num(v, "estimated")?,
             measured: num(v, "measured")?,
-            divergence_count: v
-                .get("divergence_count")
-                .and_then(Json::as_f64)
-                .unwrap_or(0.0) as u64,
+            divergence_count: count("divergence_count"),
+            fault_count: count("fault_count"),
         })
     }
 }
@@ -314,6 +323,7 @@ mod tests {
             estimated: 3.1e-6,
             measured: 2.4e-6,
             divergence_count: 0,
+            fault_count: 0,
         };
         assert!(row.within_order_of_magnitude());
         assert!((row.ratio() - 2.4 / 3.1).abs() < 1e-12);
@@ -335,6 +345,7 @@ mod tests {
             estimated: 0.0,
             measured: 0.0,
             divergence_count: 0,
+            fault_count: 0,
         };
         assert!(zero.within_order_of_magnitude());
         assert_eq!(zero.ratio(), 1.0);
@@ -348,6 +359,7 @@ mod tests {
             estimated: 1e-7,
             measured: 0.5,
             divergence_count: 3,
+            fault_count: 2,
         };
         assert!(row.diverged());
         let json = to_json(&row);
@@ -355,12 +367,17 @@ mod tests {
         assert!(json.contains("\"diverged\": true"), "{json}");
         let back: EstimateQualityRow = from_json(&json).unwrap();
         assert_eq!(back.divergence_count, 3);
+        assert_eq!(back.fault_count, 2);
         // Pre-oracle snapshots without the field read back as 0.
         let legacy: EstimateQualityRow = from_json(
             "{\"kernel\": \"a\", \"threshold\": 1.0, \"estimated\": 1.0, \"measured\": 1.0}",
         )
         .unwrap();
         assert_eq!(legacy.divergence_count, 0);
+        assert_eq!(
+            legacy.fault_count, 0,
+            "pre-fault-layer snapshots default to 0"
+        );
         assert!(!legacy.diverged());
     }
 

@@ -54,16 +54,33 @@ pub struct SensitivityProfile {
 
 impl SensitivityProfile {
     /// Rows normalized to their own maximum (the paper's heat-map scale).
+    ///
+    /// Non-finite sensitivities (an overflowed or NaN `|v · v̄|` on
+    /// adversarial inputs) normalize to `1.0` — "maximally sensitive" —
+    /// rather than poisoning the row max. A NaN that leaked into the
+    /// scale would make `>= threshold` read false everywhere and
+    /// [`split_point`](Self::split_point) report the variable as settled
+    /// at the exact iterations where its error is unbounded.
     pub fn normalized(&self) -> Vec<Vec<f64>> {
         self.matrix
             .iter()
             .map(|row| {
-                let m = row.iter().cloned().fold(0.0f64, f64::max);
-                if m == 0.0 {
-                    row.clone()
-                } else {
-                    row.iter().map(|v| v / m).collect()
-                }
+                let m = row
+                    .iter()
+                    .cloned()
+                    .filter(|v| v.is_finite())
+                    .fold(0.0f64, f64::max);
+                row.iter()
+                    .map(|&v| {
+                        if !v.is_finite() {
+                            1.0
+                        } else if m == 0.0 {
+                            v
+                        } else {
+                            v / m
+                        }
+                    })
+                    .collect()
             })
             .collect()
     }
@@ -325,4 +342,41 @@ pub fn profile_sensitivity_batch(
                 .map_err(ChefError::Trap)
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(matrix: Vec<Vec<f64>>) -> SensitivityProfile {
+        SensitivityProfile {
+            vars: (0..matrix.len()).map(|i| format!("v{i}")).collect(),
+            ticks: matrix[0].len(),
+            matrix,
+        }
+    }
+
+    #[test]
+    fn nonfinite_sensitivities_saturate_instead_of_poisoning_the_scale() {
+        let p = profile(vec![vec![f64::NAN, 4.0, f64::INFINITY, 1.0, 0.0]]);
+        let norm = &p.normalized()[0];
+        assert_eq!(norm, &[1.0, 1.0, 1.0, 0.25, 0.0]);
+        // The NaN/Inf ticks count as "still sensitive": the split point
+        // lands after them, not at iteration 0.
+        assert_eq!(p.split_point(0.5), Some(3));
+        // An all-non-finite row never settles.
+        let q = profile(vec![vec![f64::NAN; 4]]);
+        assert_eq!(q.split_point(0.5), None);
+    }
+
+    #[test]
+    fn split_point_finds_the_first_settled_iteration() {
+        let p = profile(vec![
+            vec![1.0, 0.8, 0.1, 0.05, 0.01],
+            vec![0.5, 1.0, 0.2, 0.04, 0.02],
+        ]);
+        // Normalized rows dip below 0.25 from tick 2 on (both rows).
+        assert_eq!(p.split_point(0.25), Some(2));
+        assert_eq!(p.split_point(0.001), None);
+    }
 }

@@ -40,10 +40,19 @@ impl<M: Default> Pool<M> {
         }
     }
 
+    /// The slot list, recovering from mutex poisoning: the pool's
+    /// invariant (a list of idle machines) survives any panic because
+    /// machines held by a panicking thread are discarded, never pushed
+    /// (see [`Pooled`]'s `Drop`), so a poisoned lock carries no
+    /// partially-updated state worth rejecting a whole session over.
+    fn slots(&self) -> std::sync::MutexGuard<'_, Vec<M>> {
+        self.slots.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Takes a machine out of the pool (creating one if none is idle).
     /// The guard returns it — buffers intact — when dropped.
     pub fn checkout(&self) -> Pooled<'_, M> {
-        let m = self.slots.lock().expect("arena lock").pop();
+        let m = self.slots().pop();
         Pooled {
             pool: self,
             m: Some(m.unwrap_or_default()),
@@ -52,7 +61,7 @@ impl<M: Default> Pool<M> {
 
     /// Number of idle machines currently parked in the pool.
     pub fn idle(&self) -> usize {
-        self.slots.lock().expect("arena lock").len()
+        self.slots().len()
     }
 }
 
@@ -78,8 +87,17 @@ impl<M: Default> DerefMut for Pooled<'_, M> {
 
 impl<M: Default> Drop for Pooled<'_, M> {
     fn drop(&mut self) {
+        // A guard dropped during a panic's unwind may hold a machine
+        // whose run was interrupted mid-mutation. `Machine::reset`
+        // would re-initialize it anyway, but discarding costs only a
+        // re-allocation on some later checkout — cheap insurance that a
+        // panicking trial can never park corrupt state for its
+        // neighbours.
+        if std::thread::panicking() {
+            return;
+        }
         if let Some(m) = self.m.take() {
-            self.pool.slots.lock().expect("arena lock").push(m);
+            self.pool.slots().push(m);
         }
     }
 }
@@ -145,6 +163,29 @@ mod tests {
         assert_eq!(arena.idle(), 2);
         // Further checkouts drain the pool instead of growing it.
         let _c = arena.checkout();
+        assert_eq!(arena.idle(), 1);
+    }
+
+    #[test]
+    fn a_panicking_checkout_is_discarded_and_the_pool_stays_usable() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let arena = MachineArena::new();
+        drop(arena.checkout());
+        assert_eq!(arena.idle(), 1);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _held = arena.checkout();
+            panic!("injected");
+        }));
+        assert!(r.is_err());
+        // The possibly-corrupt machine was discarded, not parked …
+        assert_eq!(arena.idle(), 0);
+        // … and the pool still hands out working machines afterwards.
+        let f = compiled("double f(double x) { return x + 1.0; }");
+        let out = arena
+            .checkout()
+            .run_reused(&f, vec![ArgValue::F(1.0)], &ExecOptions::default())
+            .unwrap();
+        assert_eq!(out.ret_f(), 2.0);
         assert_eq!(arena.idle(), 1);
     }
 

@@ -1,0 +1,227 @@
+//! Deterministic fault injection for robustness tests and CI.
+//!
+//! A [`FaultPlan`] turns some calls of the VM (or the fused shadow
+//! interpreter) into injected failures, so every recovery path of the
+//! analysis pipeline — trap quarantine, panic isolation, non-finite
+//! retry — can be exercised deterministically, without hand-crafting a
+//! kernel that happens to fail. The plan is a pure arithmetic schedule
+//! over a shared call counter:
+//!
+//! * every call through [`crate::vm::ExecOptions::fault`] **draws** one
+//!   ordinal `n` from the plan's counter;
+//! * the draw *fires* when `n % period == phase`;
+//! * a fired draw injects one of three faults, either the plan's pinned
+//!   [`FaultKind`] or (for a mixed plan) cycling trap → panic → NaN:
+//!   - **Trap** clamps the run's instruction budget to the plan's
+//!     `instr`, so the VM raises a genuine
+//!     [`crate::vm::TrapKind::InstrBudgetExhausted`] at (about) the Nth
+//!     instruction — the same trap, pc and span machinery as a real
+//!     runaway loop;
+//!   - **Panic** unwinds with `"chef-fault: injected panic"` before the
+//!     dispatch loop starts, exercising `catch_unwind` isolation and
+//!     mutex-poison recovery;
+//!   - **NaN** poisons the first float parameter after binding and arms
+//!     [`crate::vm::ExecOptions::trap_on_nonfinite`] for that run, so
+//!     the poison is guaranteed to surface as an attributed
+//!     [`crate::vm::TrapKind::NonFinite`] trap — a NaN left to flow can
+//!     launder into a finite-but-*wrong* result (NaN comparisons are
+//!     all false) and evade detection.
+//!
+//! Because `period ≥ 2` for any seeded plan, two consecutive draws never
+//! both fire: a caller that retries a failed call exactly once always
+//! sees the retry succeed, which is what lets the whole test suite stay
+//! green under an injection seed — only the fault *counters* change.
+//!
+//! The counter is shared by all clones of a plan (`ExecOptions` is
+//! cloned per worker thread), so the total number of fires over N draws
+//! is exactly `|{ k < N : k % period == phase }|` regardless of thread
+//! interleaving; only *which* call observes a given ordinal is
+//! scheduling-dependent.
+//!
+//! In the style of `CHEF_EXEC_FUSE`/`CHEF_EXEC_PACK`, the environment
+//! can install a process-wide plan: [`env_plan`] reads
+//! `CHEF_FAULT_SEED` (u64; unset → no plan) and `CHEF_FAULT_KIND`
+//! (`trap`|`panic`|`nan`|`mix`, default `mix`) once per process.
+//! `chef-tuner` consults it whenever no explicit plan is configured,
+//! which is how CI's fault-injection matrix drives the recovery paths
+//! through the ordinary test suite.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The kind of an injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Clamp the instruction budget: the run traps with
+    /// [`crate::vm::TrapKind::InstrBudgetExhausted`].
+    Trap,
+    /// Panic before the dispatch loop starts.
+    Panic,
+    /// Poison the first float parameter with NaN after binding.
+    Nan,
+}
+
+/// A deterministic schedule of injected faults. See the module docs.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Pinned fault kind; `None` cycles trap → panic → NaN per fire.
+    kind: Option<FaultKind>,
+    /// A draw fires when `ordinal % period == phase`; `0` never fires.
+    period: u64,
+    phase: u64,
+    /// Instruction budget installed by an injected trap.
+    instr: u64,
+    /// Draw counter, shared across clones of this plan.
+    ticks: Arc<AtomicU64>,
+}
+
+impl FaultPlan {
+    /// A plan firing `kind` (or the trap→panic→NaN cycle when `None`)
+    /// on every draw whose ordinal is `phase` modulo `period`, with a
+    /// fresh counter. `period == 0` builds an inert plan that never
+    /// fires; `period == 1` fires on *every* draw, which defeats
+    /// retry-once recovery — seeded plans always use `period ≥ 2`.
+    pub fn new(kind: Option<FaultKind>, period: u64, phase: u64, instr: u64) -> Self {
+        FaultPlan {
+            kind,
+            period,
+            phase: phase % period.max(1),
+            instr: instr.max(1),
+            ticks: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Derives a plan from a seed (splitmix64): `period ∈ 3..8`,
+    /// `phase < period`, `instr ∈ 8..64`.
+    pub fn from_seed(seed: u64, kind: Option<FaultKind>) -> Self {
+        let z = splitmix64(seed);
+        let period = 3 + z % 5;
+        FaultPlan::new(kind, period, (z >> 8) % period, 8 + (z >> 16) % 56)
+    }
+
+    /// Consumes one ordinal from the shared counter and reports the
+    /// fault to inject, if this draw fires.
+    pub fn draw(&self) -> Option<FaultKind> {
+        if self.period == 0 {
+            return None;
+        }
+        let n = self.ticks.fetch_add(1, Ordering::Relaxed);
+        if n % self.period != self.phase {
+            return None;
+        }
+        Some(self.kind.unwrap_or(match (n / self.period) % 3 {
+            0 => FaultKind::Trap,
+            1 => FaultKind::Panic,
+            _ => FaultKind::Nan,
+        }))
+    }
+
+    /// The instruction budget an injected trap installs.
+    pub fn instr(&self) -> u64 {
+        self.instr
+    }
+
+    /// Draws consumed so far (all clones share the counter).
+    pub fn draws(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+static ENV_PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+
+/// The process-wide plan configured by `CHEF_FAULT_SEED` /
+/// `CHEF_FAULT_KIND`, or `None` when the seed is unset or unparsable.
+/// Read once per process; every returned clone shares one counter, so
+/// the schedule is global across all consumers.
+pub fn env_plan() -> Option<FaultPlan> {
+    ENV_PLAN
+        .get_or_init(|| {
+            let seed: u64 = std::env::var("CHEF_FAULT_SEED").ok()?.trim().parse().ok()?;
+            let kind = match std::env::var("CHEF_FAULT_KIND")
+                .map(|v| v.trim().to_ascii_lowercase())
+                .as_deref()
+            {
+                Ok("trap") => Some(FaultKind::Trap),
+                Ok("panic") => Some(FaultKind::Panic),
+                Ok("nan") => Some(FaultKind::Nan),
+                _ => None, // "mix" (or unset): cycle all three
+            };
+            Some(FaultPlan::from_seed(seed, kind))
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_kind_pinned() {
+        let a = FaultPlan::new(Some(FaultKind::Panic), 3, 1, 16);
+        let b = FaultPlan::new(Some(FaultKind::Panic), 3, 1, 16);
+        let seq_a: Vec<_> = (0..20).map(|_| a.draw()).collect();
+        let seq_b: Vec<_> = (0..20).map(|_| b.draw()).collect();
+        assert_eq!(seq_a, seq_b);
+        for (k, d) in seq_a.iter().enumerate() {
+            match d {
+                Some(kind) => {
+                    assert_eq!(k as u64 % 3, 1);
+                    assert_eq!(*kind, FaultKind::Panic);
+                }
+                None => assert_ne!(k as u64 % 3, 1),
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_plan_cycles_all_three_kinds() {
+        let p = FaultPlan::new(None, 2, 0, 16);
+        let fired: Vec<_> = (0..12).filter_map(|_| p.draw()).collect();
+        assert_eq!(
+            fired,
+            vec![
+                FaultKind::Trap,
+                FaultKind::Panic,
+                FaultKind::Nan,
+                FaultKind::Trap,
+                FaultKind::Panic,
+                FaultKind::Nan,
+            ]
+        );
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let p = FaultPlan::new(Some(FaultKind::Trap), 4, 0, 16);
+        let q = p.clone();
+        assert!(p.draw().is_some()); // ordinal 0 fires
+        assert!(q.draw().is_none()); // the clone continues at ordinal 1
+        assert_eq!(p.draws(), 2);
+    }
+
+    #[test]
+    fn seeded_plans_are_retry_safe_and_vary_with_the_seed() {
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..32u64 {
+            let p = FaultPlan::from_seed(seed, None);
+            assert!(p.period >= 2, "retry-once must always succeed");
+            assert!(p.phase < p.period);
+            assert!(p.instr >= 1);
+            distinct.insert((p.period, p.phase, p.instr));
+        }
+        assert!(distinct.len() > 8, "seeds should spread the schedule");
+    }
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let p = FaultPlan::new(None, 0, 0, 16);
+        assert!((0..100).all(|_| p.draw().is_none()));
+    }
+}

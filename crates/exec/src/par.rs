@@ -7,6 +7,15 @@
 //! split into contiguous chunks, one scoped thread per chunk, so there
 //! is no work stealing — fine for the homogeneous workloads the engine
 //! runs (same compiled function, different arguments).
+//!
+//! Items are **panic-isolated**: each application of `f` runs under
+//! `catch_unwind`, a panicking item re-initializes its worker's state
+//! (which may have been left mid-mutation) and every sibling item still
+//! runs to completion; the first panic payload is re-raised once the
+//! whole batch has finished. Callers that want panics as *values*
+//! (chef-tuner's per-trial fault layer) wrap their own `catch_unwind`
+//! inside `f`; the isolation here is the backstop that keeps one bad
+//! trial from discarding a batch.
 
 /// Applies `f` to every item on a pool of scoped threads, preserving
 /// input order. `max_threads = None` uses the machine's available
@@ -41,32 +50,54 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, T) -> R + Sync,
 {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     let n = items.len();
     let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
     let threads = max_threads.unwrap_or(hw).min(n).max(1);
-    if threads <= 1 || n < 2 {
-        let mut state = init();
-        return items.into_iter().map(|item| f(&mut state, item)).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let (f, init) = (&f, &init);
-    std::thread::scope(|s| {
-        for (res_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks_mut(chunk)) {
-            s.spawn(move || {
-                let mut state = init();
-                for (slot, item) in res_chunk.iter_mut().zip(item_chunk.iter_mut()) {
-                    let item = item.take().expect("each input is consumed once");
-                    *slot = Some(f(&mut state, item));
-                }
-            });
+    // One worker's whole chunk, panic-isolated per item: a panic is
+    // caught into the item's slot and rebuilds the state (the old one
+    // may be mid-mutation), and the remaining items still run.
+    let run_chunk = |item_chunk: &mut [Option<T>],
+                     res_chunk: &mut [Option<std::thread::Result<R>>]| {
+        let mut state = init();
+        for (slot, item) in res_chunk.iter_mut().zip(item_chunk.iter_mut()) {
+            let item = item.take().expect("each input is consumed once");
+            let r = catch_unwind(AssertUnwindSafe(|| f(&mut state, item)));
+            if r.is_err() {
+                state = init();
+            }
+            *slot = Some(r);
         }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot is filled by its worker"))
-        .collect()
+    };
+    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+    if threads <= 1 || n < 2 {
+        run_chunk(&mut items, &mut results);
+    } else {
+        let chunk = n.div_ceil(threads);
+        let run_chunk = &run_chunk;
+        std::thread::scope(|s| {
+            for (res_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks_mut(chunk)) {
+                s.spawn(move || run_chunk(item_chunk, res_chunk));
+            }
+        });
+    }
+    // The first panic is still the caller's to observe — but only after
+    // every sibling finished, so a recovering caller loses one item, not
+    // the batch.
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic = None;
+    for r in results {
+        match r.expect("every slot is filled by its worker") {
+            Ok(v) => out.push(v),
+            Err(p) => first_panic = first_panic.or(Some(p)),
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_unwind(p);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -112,6 +143,52 @@ mod tests {
         let inits = inits.load(Ordering::SeqCst);
         assert!((1..=4).contains(&inits), "{inits} inits");
         assert!(out.iter().any(|&(_, seen)| seen > 1), "state not reused");
+    }
+
+    #[test]
+    fn a_panicking_item_does_not_take_its_siblings_down() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let done = AtomicUsize::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..16).collect::<Vec<i32>>(), Some(4), |x| {
+                if x == 5 {
+                    panic!("injected");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        }));
+        assert!(r.is_err(), "the panic must still reach the caller");
+        assert_eq!(done.load(Ordering::SeqCst), 15, "all siblings completed");
+    }
+
+    #[test]
+    fn worker_state_is_reinitialized_after_a_panicking_item() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_init(
+                (0..6).collect::<Vec<i32>>(),
+                Some(1),
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                },
+                |(), x| {
+                    if x == 2 {
+                        panic!("injected");
+                    }
+                    x
+                },
+            )
+        }));
+        assert!(r.is_err());
+        assert_eq!(
+            inits.load(Ordering::SeqCst),
+            2,
+            "state is rebuilt after the panicking item"
+        );
     }
 
     #[test]

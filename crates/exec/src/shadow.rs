@@ -400,6 +400,11 @@ impl<S: ShadowNum> ShadowMachine<S> {
         args: Vec<ArgValue>,
         opts: &ExecOptions,
     ) -> Result<ShadowOutcome, Trap> {
+        // Fault injection draws exactly like the plain VM's
+        // `run_prevalidated`, so a plan schedules faults uniformly across
+        // plain and shadow trials.
+        let (fault_opts, inject_nan) = crate::vm::drawn_fault(func, opts);
+        let opts = fault_opts.as_ref().unwrap_or(opts);
         self.reset(func, opts);
         // Snapshot the unrounded originals of demoted float parameters:
         // `Machine::bind_args` rounds them in place, and the shadow binds
@@ -422,6 +427,15 @@ impl<S: ShadowNum> ShadowMachine<S> {
             array_orig.push(a);
         }
         self.m.bind_args(func, args)?;
+        if inject_nan {
+            // Primal side only: the shadow keeps the caller's finite
+            // value, so the measurement itself goes non-finite — the
+            // silent-NaN hazard the fault layer exists to surface.
+            crate::vm::inject_nan_param(func, &mut self.m.f);
+        }
+        if opts.trap_on_nonfinite {
+            crate::vm::check_params_finite(func, &self.m.f, &self.m.a)?;
+        }
 
         // Bind the shadow parameters and charge entry rounding.
         let mut acc = 0.0f64;
@@ -547,6 +561,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
         let approx = &opts.approx;
         let budget = opts.max_instrs.unwrap_or(u64::MAX);
         let check_div = opts.detect_divergence;
+        let trap_nf = opts.trap_on_nonfinite;
         let mut executed: u64 = 0;
         let mut pc: usize = 0;
 
@@ -597,11 +612,17 @@ impl<S: ShadowNum> ShadowMachine<S> {
         }
         // Writes primal+shadow to `dst` and commits the pending error:
         // charged to the destination's variable if it is named, carried
-        // forward otherwise.
+        // forward otherwise. The non-finite check watches the *primal*
+        // value: a finite shadow next to a non-finite primal is exactly
+        // the demotion-overflow signal `trap_on_nonfinite` exists for.
         macro_rules! put {
             ($dst:expr, $prim:expr, $shadow:expr, $pend:expr) => {{
                 let d = $dst.0 as usize;
-                f[d] = $prim;
+                let prim = $prim;
+                if trap_nf && !prim.is_finite() {
+                    return Err(crate::vm::nonfinite_trap(func, d, prim, pc));
+                }
+                f[d] = prim;
                 sf[d] = $shadow;
                 let mut p: f64 = $pend;
                 let v = fvar_of[d];
@@ -679,7 +700,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
             ($target:expr) => {{
                 let t = $target as usize;
                 if t <= pc && executed > budget {
-                    return Err(trap(TrapKind::InstrBudgetExhausted, pc));
+                    return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
                 }
                 pc = t;
                 continue;
@@ -1285,6 +1306,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
                         RetKind::F(ft) => round_to(v, ft),
                         _ => v,
                     };
+                    if trap_nf && !rounded.is_finite() {
+                        return Err(crate::vm::nonfinite_trap(func, src.0 as usize, rounded, pc));
+                    }
                     sample!((v - rounded).abs());
                     // The ground-truth output error is differenced in
                     // shadow precision *before* rounding the shadow back
@@ -1303,7 +1327,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
         stats.instrs_executed = executed;
         if executed > budget {
             return Err(trap(
-                TrapKind::InstrBudgetExhausted,
+                TrapKind::InstrBudgetExhausted { executed },
                 pc.min(instrs.len().saturating_sub(1)),
             ));
         }
@@ -1360,6 +1384,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
         let approx = &opts.approx;
         let budget = opts.max_instrs.unwrap_or(u64::MAX);
         let check_div = opts.detect_divergence;
+        let trap_nf = opts.trap_on_nonfinite;
         let mut executed: u64 = 0;
         let mut pc: usize = 0;
 
@@ -1394,7 +1419,11 @@ impl<S: ShadowNum> ShadowMachine<S> {
         macro_rules! put {
             ($dst:expr, $prim:expr, $shadow:expr, $pend:expr) => {{
                 let d: usize = $dst;
-                f[d] = $prim;
+                let prim = $prim;
+                if trap_nf && !prim.is_finite() {
+                    return Err(crate::vm::nonfinite_trap(func, d, prim, pc));
+                }
+                f[d] = prim;
                 sf[d] = $shadow;
                 let mut p: f64 = $pend;
                 let v = fvar_of[d];
@@ -1409,7 +1438,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
             ($target:expr) => {{
                 let t = $target;
                 if t <= pc && executed > budget {
-                    return Err(trap(TrapKind::InstrBudgetExhausted, pc));
+                    return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
                 }
                 pc = t;
                 continue;
@@ -2056,6 +2085,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
                         RetKind::F(ft) => round_to(v, ft),
                         _ => v,
                     };
+                    if trap_nf && !rounded.is_finite() {
+                        return Err(crate::vm::nonfinite_trap(func, src, rounded, pc));
+                    }
                     sample!((v - rounded).abs());
                     let oerr = S::sub(sf[src], S::from_f64(rounded)).to_f64().abs();
                     break (Some(Value::F(rounded)), Some(sf[src].to_f64()), Some(oerr));
@@ -2076,7 +2108,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
         stats.instrs_executed = executed;
         if executed > budget {
             return Err(trap(
-                TrapKind::InstrBudgetExhausted,
+                TrapKind::InstrBudgetExhausted { executed },
                 pc.min(len.saturating_sub(1)),
             ));
         }
@@ -2553,6 +2585,10 @@ mod tests {
             ..Default::default()
         };
         let err = run_shadow::<f64>(&func, vec![], &opts).unwrap_err();
-        assert_eq!(err.kind, TrapKind::InstrBudgetExhausted);
+        assert!(
+            matches!(err.kind, TrapKind::InstrBudgetExhausted { executed } if executed > 1000),
+            "{:?}",
+            err.kind
+        );
     }
 }

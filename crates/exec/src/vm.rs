@@ -59,6 +59,19 @@ pub struct ExecOptions {
     /// from the primal one. Ignored by the plain VM; turn off only to
     /// benchmark the raw fused pass (`shadow/divergence-overhead`).
     pub detect_divergence: bool,
+    /// Trap with [`TrapKind::NonFinite`] the first time a float write —
+    /// an instruction result, a demoted parameter's entry rounding, or a
+    /// rounded return — produces NaN or ±Inf (off by default). The trap
+    /// carries the pc, the disassembled opcode and, when the destination
+    /// register is a named variable's home, the variable name, so a
+    /// demoted config that overflows is attributed instead of flowing
+    /// silently into downstream comparisons.
+    pub trap_on_nonfinite: bool,
+    /// Deterministic fault injection (tests/CI only, `None` by default):
+    /// each call draws from the plan and may be turned into an injected
+    /// trap, panic, or NaN before the dispatch loop starts. See
+    /// [`crate::fault::FaultPlan`].
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for ExecOptions {
@@ -68,6 +81,8 @@ impl Default for ExecOptions {
             tape_limit: None,
             max_instrs: None,
             detect_divergence: true,
+            trap_on_nonfinite: false,
+            fault: None,
         }
     }
 }
@@ -90,8 +105,27 @@ pub enum TrapKind {
     NegativeArrayLen(i64),
     /// Control reached the end of a non-void function.
     MissingReturn,
-    /// The [`ExecOptions::max_instrs`] budget was exhausted.
-    InstrBudgetExhausted,
+    /// The [`ExecOptions::max_instrs`] budget was exhausted. `executed`
+    /// is the block-granular instruction count at the checkpoint that
+    /// fired (≥ the budget, overshooting by at most one straight-line
+    /// block), so retry policies can escalate proportionally instead of
+    /// guessing.
+    InstrBudgetExhausted {
+        /// Instructions executed when the budget checkpoint fired.
+        executed: u64,
+    },
+    /// A float write produced NaN or ±Inf under
+    /// [`ExecOptions::trap_on_nonfinite`].
+    NonFinite {
+        /// The offending value (NaN, +Inf or −Inf).
+        value: f64,
+        /// Disassembled mnemonic of the producing instruction (or
+        /// `"bind_args"` / `"ret"` for entry rounding and return sites).
+        op: String,
+        /// Name of the variable whose home register was written, when
+        /// the destination is a named variable (not a temporary).
+        var: Option<String>,
+    },
     /// Argument count/kind mismatch at call entry.
     BadArguments(String),
     /// The compiled function references registers or jump targets outside
@@ -204,6 +238,123 @@ fn invalid_bytecode(msg: String) -> Trap {
         kind: TrapKind::InvalidBytecode(msg),
         pc: 0,
         span: Span::DUMMY,
+    }
+}
+
+/// Builds the [`TrapKind::NonFinite`] trap for a non-finite value written
+/// to float register `dst` by the instruction at `pc`. Cold: only reached
+/// when [`ExecOptions::trap_on_nonfinite`] fires, so the mnemonic/name
+/// string work stays off the dispatch loops' hot path.
+#[cold]
+#[inline(never)]
+pub(crate) fn nonfinite_trap(func: &CompiledFunction, dst: usize, value: f64, pc: usize) -> Trap {
+    let op = match func.instrs.get(pc) {
+        Some(ins) => {
+            let d = format!("{ins:?}");
+            d.split([' ', '{'])
+                .next()
+                .unwrap_or_default()
+                .trim()
+                .to_string()
+        }
+        None => "ret".to_string(),
+    };
+    let var = func
+        .fvar_names
+        .iter()
+        .find(|(r, _)| *r as usize == dst)
+        .map(|(_, n)| n.clone());
+    Trap {
+        kind: TrapKind::NonFinite { value, op, var },
+        pc,
+        span: func.spans.get(pc).copied().unwrap_or(Span::DUMMY),
+    }
+}
+
+/// Post-`bind_args` check for [`ExecOptions::trap_on_nonfinite`]: a
+/// demoted parameter whose entry rounding overflowed (finite `f64` →
+/// `inf` in a narrower type) is attributed to the parameter by name
+/// before the first instruction runs.
+pub(crate) fn check_params_finite(
+    func: &CompiledFunction,
+    f: &[f64],
+    a: &[ArraySlot],
+) -> Result<(), Trap> {
+    for spec in &func.params {
+        let bad = match spec.kind {
+            ParamKind::F(_) => {
+                let v = f[spec.reg as usize];
+                (!v.is_finite()).then_some(v)
+            }
+            ParamKind::FArr(_) => match &a[spec.reg as usize] {
+                ArraySlot::F(v) => v.iter().find(|x| !x.is_finite()).copied(),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(value) = bad {
+            return Err(Trap {
+                kind: TrapKind::NonFinite {
+                    value,
+                    op: "bind_args".to_string(),
+                    var: Some(spec.name.clone()),
+                },
+                pc: 0,
+                span: func.spans.first().copied().unwrap_or(Span::DUMMY),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Applies one draw of the call's [`crate::fault::FaultPlan`] (if any):
+/// an injected **panic** unwinds right here; an injected **trap** clamps
+/// the instruction budget so the run raises a genuine
+/// [`TrapKind::InstrBudgetExhausted`] at the plan's instruction; an
+/// injected **NaN** asks the caller to poison the first float parameter
+/// after binding *and* arms [`ExecOptions::trap_on_nonfinite`] for this
+/// run, so the poison is guaranteed to surface as an attributed
+/// [`TrapKind::NonFinite`] — a NaN that merely flowed through could
+/// launder into a finite-but-wrong result (NaN comparisons are all
+/// false; `fmin`/`fmax` discard NaN) and evade detection entirely.
+/// Returns the replacement options and the NaN flag.
+pub(crate) fn drawn_fault(
+    func: &CompiledFunction,
+    opts: &ExecOptions,
+) -> (Option<ExecOptions>, bool) {
+    let Some(plan) = &opts.fault else {
+        return (None, false);
+    };
+    match plan.draw() {
+        None => (None, false),
+        Some(crate::fault::FaultKind::Panic) => {
+            panic!("chef-fault: injected panic in `{}`", func.name)
+        }
+        Some(crate::fault::FaultKind::Trap) => {
+            let mut o = opts.clone();
+            o.max_instrs = Some(
+                opts.max_instrs
+                    .map_or(plan.instr(), |b| b.min(plan.instr())),
+            );
+            (Some(o), false)
+        }
+        Some(crate::fault::FaultKind::Nan) => {
+            let mut o = opts.clone();
+            o.trap_on_nonfinite = true;
+            (Some(o), true)
+        }
+    }
+}
+
+/// Poisons the first float parameter register with NaN (the injected-NaN
+/// fault). No-op for functions without float parameters.
+pub(crate) fn inject_nan_param(func: &CompiledFunction, f: &mut [f64]) {
+    if let Some(spec) = func
+        .params
+        .iter()
+        .find(|p| matches!(p.kind, ParamKind::F(_)))
+    {
+        f[spec.reg as usize] = f64::NAN;
     }
 }
 
@@ -376,8 +527,16 @@ impl Machine {
         args: Vec<ArgValue>,
         opts: &ExecOptions,
     ) -> Result<CallOutcome, Trap> {
+        let (fault_opts, inject_nan) = drawn_fault(func, opts);
+        let opts = fault_opts.as_ref().unwrap_or(opts);
         self.reset(func, opts);
         self.bind_args(func, args)?;
+        if inject_nan {
+            inject_nan_param(func, &mut self.f);
+        }
+        if opts.trap_on_nonfinite {
+            check_params_finite(func, &self.f, &self.a)?;
+        }
         // Packed dispatch when the packer produced words (the default);
         // enum dispatch otherwise. Validation proved the two streams
         // equivalent, so the choice is unobservable apart from speed.
@@ -731,6 +890,7 @@ fn exec_loop(
     let instrs = &func.instrs[..];
     let approx = &opts.approx;
     let budget = opts.max_instrs.unwrap_or(u64::MAX);
+    let trap_nf = opts.trap_on_nonfinite;
     let mut executed: u64 = 0;
     let mut pc: usize = 0;
 
@@ -751,6 +911,9 @@ fn exec_loop(
     macro_rules! fw {
         ($r:expr, $v:expr) => {{
             let v = $v;
+            if trap_nf && !v.is_finite() {
+                return Err(nonfinite_trap(func, $r.0 as usize, v, pc));
+            }
             unsafe { *f.get_unchecked_mut($r.0 as usize) = v };
         }};
     }
@@ -776,7 +939,7 @@ fn exec_loop(
         ($target:expr) => {{
             let t = $target as usize;
             if t <= pc && executed > budget {
-                return Err(trap(TrapKind::InstrBudgetExhausted, pc));
+                return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
             }
             pc = t;
             continue;
@@ -1049,6 +1212,9 @@ fn exec_loop(
                     RetKind::F(ft) => round_to(v, ft),
                     _ => v,
                 };
+                if trap_nf && !v.is_finite() {
+                    return Err(nonfinite_trap(func, src.0 as usize, v, pc));
+                }
                 break Some(Value::F(v));
             }
             Instr::RetI { src } => break Some(Value::I(ir!(src))),
@@ -1063,7 +1229,7 @@ fn exec_loop(
     // first): a run never reports success past the budget.
     if executed > budget {
         return Err(trap(
-            TrapKind::InstrBudgetExhausted,
+            TrapKind::InstrBudgetExhausted { executed },
             pc.min(instrs.len().saturating_sub(1)),
         ));
     }
@@ -1104,6 +1270,7 @@ fn exec_loop_packed(
     let len = words.len();
     let approx = &opts.approx;
     let budget = opts.max_instrs.unwrap_or(u64::MAX);
+    let trap_nf = opts.trap_on_nonfinite;
     // Executed-instruction accounting is block-granular: instead of a
     // loop-carried `executed += 1`, the straight-line run since
     // `block_start` is added at every taken jump and at returns — the
@@ -1130,6 +1297,9 @@ fn exec_loop_packed(
     macro_rules! fw {
         ($r:expr, $v:expr) => {{
             let v = $v;
+            if trap_nf && !v.is_finite() {
+                return Err(nonfinite_trap(func, $r, v, pc));
+            }
             unsafe { *f.get_unchecked_mut($r) = v };
         }};
     }
@@ -1161,7 +1331,7 @@ fn exec_loop_packed(
             let t = $target;
             executed += (pc - block_start + 1) as u64;
             if t <= pc && executed > budget {
-                return Err(trap(TrapKind::InstrBudgetExhausted, pc));
+                return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
             }
             block_start = t;
             pc = t;
@@ -1485,6 +1655,9 @@ fn exec_loop_packed(
                     RetKind::F(ft) => round_to(v, ft),
                     _ => v,
                 };
+                if trap_nf && !v.is_finite() {
+                    return Err(nonfinite_trap(func, fld!(w_a), v, pc));
+                }
                 executed += (pc - block_start + 1) as u64;
                 break Some(Value::F(v));
             }
@@ -1516,7 +1689,7 @@ fn exec_loop_packed(
     // first): a run never reports success past the budget.
     if executed > budget {
         return Err(trap(
-            TrapKind::InstrBudgetExhausted,
+            TrapKind::InstrBudgetExhausted { executed },
             pc.min(len.saturating_sub(1)),
         ));
     }
@@ -1673,7 +1846,10 @@ mod tests {
             ..Default::default()
         };
         let err = run_with(&f, vec![], &opts).unwrap_err();
-        assert_eq!(err.kind, TrapKind::InstrBudgetExhausted);
+        let TrapKind::InstrBudgetExhausted { executed } = err.kind else {
+            panic!("expected budget trap, got {:?}", err.kind);
+        };
+        assert!(executed > 10_000, "count {executed} must exceed the budget");
     }
 
     #[test]
@@ -1691,7 +1867,11 @@ mod tests {
             ..Default::default()
         };
         let err = run_with(&f, vec![ArgValue::I(1_000_000)], &opts).unwrap_err();
-        assert_eq!(err.kind, TrapKind::InstrBudgetExhausted);
+        assert!(
+            matches!(err.kind, TrapKind::InstrBudgetExhausted { executed } if executed > 50),
+            "{:?}",
+            err.kind
+        );
         // A run that fits the budget is unaffected.
         let ok = run_with(&f, vec![ArgValue::I(2)], &opts).unwrap();
         assert_eq!(ok.ret_f(), 2.0);
@@ -1927,6 +2107,136 @@ mod tests {
         assert_eq!(ok.ret_f(), 42.0);
         let reused = m.run_reused(&b, vec![], &opts).unwrap_err();
         assert_eq!(reused.kind, fresh.kind, "reuse must not expose stale slots");
+    }
+
+    #[test]
+    fn nonfinite_trap_reports_pc_op_and_variable() {
+        // Demoting `y` to float makes the f64-finite product 1e30 * 1e30
+        // overflow its assignment rounding to +Inf.
+        let mut p = parse_program("double f(double x) { double y = x * x; return y; }").unwrap();
+        check_program(&mut p).unwrap();
+        for pack in [true, false] {
+            let copts = CompileOptions {
+                precisions: PrecisionMap::empty().with(VarId(1), chef_ir::types::FloatTy::F32),
+                fuse: true,
+                pack,
+            };
+            let f = compile(&p.functions[0], &copts).unwrap();
+            // Default options: the overflow flows through silently.
+            let silent = run(&f, vec![ArgValue::F(1e30)]).unwrap();
+            assert!(silent.ret_f().is_infinite());
+            // trap_on_nonfinite: trapped at the producing op, attributed
+            // to the demoted variable — identically in both dispatchers.
+            let nf = ExecOptions {
+                trap_on_nonfinite: true,
+                ..Default::default()
+            };
+            let err = run_with(&f, vec![ArgValue::F(1e30)], &nf).unwrap_err();
+            let TrapKind::NonFinite { value, op, var } = err.kind else {
+                panic!("expected NonFinite, got {:?}", err.kind);
+            };
+            assert!(value.is_infinite());
+            assert!(err.pc < f.instrs.len());
+            assert!(op.contains("Mul") || op.contains("Round"), "op `{op}`");
+            assert_eq!(var.as_deref(), Some("y"), "pack={pack}");
+        }
+    }
+
+    #[test]
+    fn entry_rounding_overflow_is_attributed_to_the_parameter() {
+        let mut p = parse_program("double f(double x) { return x * 0.5; }").unwrap();
+        check_program(&mut p).unwrap();
+        let copts = CompileOptions {
+            precisions: PrecisionMap::empty().with(VarId(0), chef_ir::types::FloatTy::F32),
+            fuse: true,
+            pack: true,
+        };
+        let f = compile(&p.functions[0], &copts).unwrap();
+        // 1e300 is finite in f64 but rounds to +Inf in float at entry.
+        assert!(run(&f, vec![ArgValue::F(1e300)])
+            .unwrap()
+            .ret_f()
+            .is_infinite());
+        let nf = ExecOptions {
+            trap_on_nonfinite: true,
+            ..Default::default()
+        };
+        let err = run_with(&f, vec![ArgValue::F(1e300)], &nf).unwrap_err();
+        let TrapKind::NonFinite { op, var, .. } = err.kind else {
+            panic!("expected NonFinite, got {:?}", err.kind);
+        };
+        assert_eq!(op, "bind_args");
+        assert_eq!(var.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn trap_on_nonfinite_is_silent_on_finite_runs() {
+        let mut p = parse_program(
+            "double f(double x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += sin(x + i); } return s; }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let nf = ExecOptions {
+            trap_on_nonfinite: true,
+            ..Default::default()
+        };
+        let args = vec![ArgValue::F(0.3), ArgValue::I(50)];
+        let checked = run_with(&f, args.clone(), &nf).unwrap();
+        let plain = run(&f, args).unwrap();
+        assert_eq!(checked.ret_f().to_bits(), plain.ret_f().to_bits());
+        assert_eq!(checked.stats, plain.stats);
+    }
+
+    #[test]
+    fn fault_plan_injects_traps_nans_and_panics_deterministically() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut p = parse_program(
+            "double f(double x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += x; } return s; }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let args = || vec![ArgValue::F(0.5), ArgValue::I(100)];
+
+        // Injected trap: a genuine budget trap, recoverable on retry
+        // because consecutive draws never both fire.
+        let opts = ExecOptions {
+            fault: Some(FaultPlan::new(Some(FaultKind::Trap), 2, 0, 16)),
+            ..Default::default()
+        };
+        let err = run_with(&f, args(), &opts).unwrap_err();
+        assert!(matches!(err.kind, TrapKind::InstrBudgetExhausted { .. }));
+        assert_eq!(run_with(&f, args(), &opts).unwrap().ret_f(), 50.0);
+
+        // Injected NaN arms `trap_on_nonfinite` for its run, so the
+        // poison surfaces as an attributed trap at binding — it can't
+        // launder into a finite-but-wrong result downstream.
+        let opts = ExecOptions {
+            fault: Some(FaultPlan::new(Some(FaultKind::Nan), 2, 0, 16)),
+            ..Default::default()
+        };
+        let err = run_with(&f, args(), &opts).unwrap_err();
+        match &err.kind {
+            TrapKind::NonFinite { value, op, var } => {
+                assert!(value.is_nan());
+                assert_eq!(op, "bind_args");
+                assert_eq!(var.as_deref(), Some("x"));
+            }
+            other => panic!("expected a NonFinite trap, got {other:?}"),
+        }
+        assert_eq!(err.pc, 0);
+        assert_eq!(run_with(&f, args(), &opts).unwrap().ret_f(), 50.0);
+
+        // Injected panic unwinds and the thread-local machine survives.
+        let opts = ExecOptions {
+            fault: Some(FaultPlan::new(Some(FaultKind::Panic), 2, 0, 16)),
+            ..Default::default()
+        };
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_with(&f, args(), &opts)));
+        assert!(r.is_err());
+        assert_eq!(run_with(&f, args(), &opts).unwrap().ret_f(), 50.0);
     }
 
     #[test]

@@ -341,6 +341,41 @@ mod tests {
     }
 
     #[test]
+    fn nonfinite_inputs_propagate_through_the_efts() {
+        // The raw EFTs compute garbage residuals on non-finite inputs
+        // (∞ − ∞ = NaN inside `two_sum`/`two_prod`); `DD::norm` must
+        // absorb that into a canonical {hi, lo: 0} so the shadow value
+        // stays comparable and `to_f64` stays the primal's answer.
+        let inf = DD::new(f64::INFINITY);
+        let nan = DD::new(f64::NAN);
+        for op in [DD::add, DD::sub, DD::mul, DD::div] {
+            let a = op(inf, DD::new(2.0));
+            assert!(!a.hi.is_finite(), "hi must mirror the f64 result");
+            assert_eq!(a.lo, 0.0, "tail must be absorbed, not NaN");
+            let b = op(nan, DD::new(2.0));
+            assert!(b.hi.is_nan());
+            assert_eq!(b.lo, 0.0);
+        }
+        // ∞ − ∞ and 0·∞: NaN head, clean tail — exactly like the primal.
+        let knot = DD::sub(inf, inf);
+        assert!(knot.hi.is_nan());
+        assert_eq!(knot.lo, 0.0);
+        let zi = DD::mul(DD::new(0.0), inf);
+        assert!(zi.hi.is_nan());
+        assert_eq!(zi.lo, 0.0);
+        // DD overflow that f64 would also overflow: two_prod's FMA
+        // residual is NaN (fma(max, max, -inf)), norm must still give
+        // {+inf, 0}.
+        let big = DD::mul(DD::new(f64::MAX), DD::new(f64::MAX));
+        assert_eq!(big.hi, f64::INFINITY);
+        assert_eq!(big.lo, 0.0);
+        // sqrt(∞) refines through the Newton-step guard.
+        assert_eq!(DD::sqrt(inf).hi, f64::INFINITY);
+        assert_eq!(DD::sqrt(inf).lo, 0.0);
+        assert!(DD::sqrt(nan).hi.is_nan());
+    }
+
+    #[test]
     fn exact_comparison_sees_sub_ulp_gaps() {
         use chef_exec::bytecode::CmpOp;
         let half = DD::new(0.5);

@@ -164,6 +164,9 @@ impl ShadowReport {
     }
 
     /// Builds the estimate-quality record against an estimator's figure.
+    /// `fault_count` stays 0 — a direct oracle run has no fault-isolation
+    /// layer; pipelines that retried faults (the tuner) stamp their
+    /// `FaultSummary::total()` onto the row afterwards.
     pub fn against_estimate(&self, threshold: f64, estimated: f64) -> EstimateQualityRow {
         EstimateQualityRow {
             kernel: self.kernel.clone(),
@@ -171,6 +174,7 @@ impl ShadowReport {
             estimated,
             measured: self.output_error,
             divergence_count: self.divergence_count,
+            fault_count: 0,
         }
     }
 }

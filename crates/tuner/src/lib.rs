@@ -21,6 +21,15 @@
 //!   the `chef-shadow` fused shadow pass — ground-truth output error in
 //!   one run — and the greedy order can be re-ranked by the measured
 //!   per-variable attribution.
+//! * **Per-trial fault isolation** ([`FaultSummary`]): every trial (a
+//!   greedy candidate, a validation config, the baseline, the estimation
+//!   pass) is run under `catch_unwind`; a trap, a panic, or a non-finite
+//!   measurement is retried once — escalating the instruction budget
+//!   proportionally after `InstrBudgetExhausted` — and a second fault
+//!   quarantines that trial instead of aborting the tune.
+//!   [`TuneResult::faults`] reports the counts; deterministic fault
+//!   injection (explicit [`TunerConfig::fault_plan`] or the
+//!   `CHEF_FAULT_SEED` environment toggle) exercises the whole layer.
 
 use chef_core::prelude::*;
 use chef_exec::arena::{MachineArena, ShadowMachineArena};
@@ -30,6 +39,7 @@ use chef_ir::ast::{Function, Program, VarId};
 use chef_ir::types::{FloatTy, Type};
 use chef_shadow::{OracleOptions, ShadowReport};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -44,6 +54,12 @@ pub struct TunerConfig {
     pub candidates: Option<Vec<String>>,
     /// Array parameter → length parameter pairings for input error terms.
     pub array_lens: HashMap<String, String>,
+    /// Deterministic fault injection for every run this tuning session
+    /// performs (see [`chef_exec::fault::FaultPlan`]). `None` falls back
+    /// to the `CHEF_FAULT_SEED` / `CHEF_FAULT_KIND` environment plan, so
+    /// the whole pipeline can be fault-tested without touching call
+    /// sites; unset env leaves execution untouched.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl TunerConfig {
@@ -54,6 +70,7 @@ impl TunerConfig {
             target: FloatTy::F32,
             candidates: None,
             array_lens: HashMap::new(),
+            fault_plan: None,
         }
     }
 
@@ -95,6 +112,11 @@ pub struct TuneResult {
     /// [`DivergencePolicy`] instead of the one-pass measurement (0 for
     /// estimate-only [`tune`]).
     pub divergent_trials: u64,
+    /// Per-trial faults (traps, panics, non-finite measurements) the run
+    /// isolated — injected or genuine. Every counted event was contained
+    /// to one trial and retried; it either recovered or quarantined that
+    /// trial, instead of aborting the tune.
+    pub faults: FaultSummary,
 }
 
 /// Measured quality of a configuration.
@@ -106,6 +128,246 @@ pub struct ValidationReport {
     pub demoted: f64,
     /// `|baseline − demoted|`.
     pub actual_error: f64,
+}
+
+// ------------------------------------------------------------------------
+// Per-trial fault isolation
+// ------------------------------------------------------------------------
+
+/// Counts of the per-trial faults a tuning or validation run isolated.
+///
+/// A *trial* is one configuration's compile + run (a greedy candidate, a
+/// validation config, the baseline, the estimation pass). A *fault* is a
+/// runtime trap, a panic, or a non-finite measured value. Every fault is
+/// retried once — with a proportionally escalated instruction budget
+/// when the trap was [`TrapKind::InstrBudgetExhausted`] — and the trial
+/// is quarantined (dropped from consideration, never admitted) if the
+/// retry faults again. Counters increment once per faulting attempt, so
+/// a quarantined trial contributes two events.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Attempts that trapped (budget, div-by-zero, OOB, injected, …).
+    pub trapped: u64,
+    /// Attempts that panicked (caught at the trial boundary).
+    pub panicked: u64,
+    /// Attempts whose measured value came back NaN/±Inf.
+    pub nonfinite: u64,
+    /// Retries performed (one per first-attempt fault).
+    pub retried: u64,
+    /// Trials whose retry completed cleanly.
+    pub recovered: u64,
+    /// Trials that faulted twice and were quarantined.
+    pub quarantined: u64,
+    /// Human-readable per-fault notes, capped at
+    /// [`FaultSummary::MAX_DETAILS`] (the counters are never capped).
+    pub details: Vec<String>,
+}
+
+impl FaultSummary {
+    /// Cap on [`FaultSummary::details`] entries.
+    pub const MAX_DETAILS: usize = 32;
+
+    /// Total fault events (attempts that trapped, panicked, or measured
+    /// non-finite).
+    pub fn total(&self) -> u64 {
+        self.trapped + self.panicked + self.nonfinite
+    }
+
+    /// `true` when no trial faulted.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Accumulates another run's counts (details kept up to the cap).
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.trapped += other.trapped;
+        self.panicked += other.panicked;
+        self.nonfinite += other.nonfinite;
+        self.retried += other.retried;
+        self.recovered += other.recovered;
+        self.quarantined += other.quarantined;
+        for d in &other.details {
+            self.note(d.clone());
+        }
+    }
+
+    fn note(&mut self, msg: String) {
+        if self.details.len() < Self::MAX_DETAILS {
+            self.details.push(msg);
+        }
+    }
+
+    fn bump(&mut self, fault: &Fault) {
+        match fault {
+            // A non-finite *trap* is still a non-finite event: an
+            // injected NaN arms `trap_on_nonfinite` for its run, so it
+            // surfaces here instead of as a raw measurement.
+            Fault::Trap(t) if matches!(t.kind, TrapKind::NonFinite { .. }) => self.nonfinite += 1,
+            Fault::Trap(_) => self.trapped += 1,
+            Fault::Panic { .. } => self.panicked += 1,
+            Fault::NonFinite(_) => self.nonfinite += 1,
+        }
+    }
+}
+
+/// Shared, thread-safe fault accumulator (trials run on scoped threads).
+/// Recovers from poisoning: a panicking trial is itself a recorded
+/// event, not a reason to lose the log.
+#[derive(Default)]
+struct FaultLog(Mutex<FaultSummary>);
+
+impl FaultLog {
+    fn with(&self, f: impl FnOnce(&mut FaultSummary)) {
+        f(&mut self.0.lock().unwrap_or_else(|p| p.into_inner()));
+    }
+
+    fn into_summary(self) -> FaultSummary {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// One faulting attempt, classified.
+enum Fault {
+    Trap(Trap),
+    Panic {
+        payload: Box<dyn std::any::Any + Send>,
+        msg: String,
+    },
+    NonFinite(f64),
+}
+
+impl Fault {
+    fn describe(&self) -> String {
+        match self {
+            Fault::Trap(t) => format!("trap: {t}"),
+            Fault::Panic { msg, .. } => format!("panic: {msg}"),
+            Fault::NonFinite(v) => format!("non-finite measurement ({v})"),
+        }
+    }
+}
+
+/// What [`run_trial`] resolved a trial to.
+enum TrialOutcome<T> {
+    /// Completed cleanly (possibly after one retry).
+    Done(T),
+    /// Faulted twice: quarantined, with the second fault and — when the
+    /// run itself completed but measured non-finite — its value.
+    Faulted(Fault, Option<T>),
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// `exec` with its instruction budget raised to at least `floor` (a
+/// retry after [`TrapKind::InstrBudgetExhausted`] escalates
+/// proportionally to the count the trap carried). An unlimited budget
+/// stays unlimited.
+fn with_budget_floor(exec: &ExecOptions, floor: Option<u64>) -> ExecOptions {
+    match floor {
+        None => exec.clone(),
+        Some(fl) => ExecOptions {
+            max_instrs: exec.max_instrs.map(|b| b.max(fl)),
+            ..exec.clone()
+        },
+    }
+}
+
+/// Runs one trial with fault isolation: a trap, a panic, or (when
+/// `value_of` yields the trial's measurement) a non-finite value is
+/// recorded in `log` and retried once; a second fault quarantines the
+/// trial. Non-fault errors (compile, unknown function, …) propagate
+/// unchanged — they are deterministic caller mistakes, not per-trial
+/// weather. `attempt` receives the retry's instruction-budget floor.
+fn run_trial<T>(
+    log: &FaultLog,
+    what: &dyn Fn() -> String,
+    attempt: &mut dyn FnMut(Option<u64>) -> Result<T, ChefError>,
+    value_of: &dyn Fn(&T) -> Option<f64>,
+) -> Result<TrialOutcome<T>, ChefError> {
+    let mut once = |floor: Option<u64>| -> Result<Result<T, (Fault, Option<T>)>, ChefError> {
+        match catch_unwind(AssertUnwindSafe(|| attempt(floor))) {
+            Ok(Ok(v)) => match value_of(&v) {
+                Some(x) if !x.is_finite() => Ok(Err((Fault::NonFinite(x), Some(v)))),
+                _ => Ok(Ok(v)),
+            },
+            Ok(Err(ChefError::Trap(t))) => Ok(Err((Fault::Trap(t), None))),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                Ok(Err((Fault::Panic { payload, msg }, None)))
+            }
+        }
+    };
+    let (first, _) = match once(None)? {
+        Ok(v) => return Ok(TrialOutcome::Done(v)),
+        Err(f) => f,
+    };
+    let floor = match &first {
+        Fault::Trap(t) => match t.kind {
+            TrapKind::InstrBudgetExhausted { executed } => Some(executed.saturating_mul(2)),
+            _ => None,
+        },
+        _ => None,
+    };
+    log.with(|s| {
+        s.bump(&first);
+        s.retried += 1;
+    });
+    match once(floor)? {
+        Ok(v) => {
+            log.with(|s| {
+                s.recovered += 1;
+                s.note(format!(
+                    "{}: {} — retried, recovered",
+                    what(),
+                    first.describe()
+                ));
+            });
+            Ok(TrialOutcome::Done(v))
+        }
+        Err((second, v)) => {
+            log.with(|s| {
+                s.bump(&second);
+                s.quarantined += 1;
+                s.note(format!(
+                    "{}: {}; {} on retry — quarantined",
+                    what(),
+                    first.describe(),
+                    second.describe()
+                ));
+            });
+            Ok(TrialOutcome::Faulted(second, v))
+        }
+    }
+}
+
+/// Unwraps a trial whose value is the deliverable (validation runs, the
+/// estimation pass): a persistently non-finite value is genuine data —
+/// the program really computes it, and the caller reports it — while a
+/// persistent trap or panic propagates exactly as it did before the
+/// fault layer existed.
+fn accept_or_propagate<T>(outcome: TrialOutcome<T>) -> Result<T, ChefError> {
+    match outcome {
+        TrialOutcome::Done(v) => Ok(v),
+        TrialOutcome::Faulted(Fault::NonFinite(_), v) => {
+            Ok(v.expect("a non-finite fault carries its value"))
+        }
+        TrialOutcome::Faulted(Fault::Trap(t), _) => Err(ChefError::Trap(t)),
+        TrialOutcome::Faulted(Fault::Panic { payload, .. }, _) => resume_unwind(payload),
+    }
+}
+
+/// The fault plan in effect for a session: an explicit plan wins,
+/// otherwise the `CHEF_FAULT_SEED` environment plan (if set) applies.
+fn resolved_fault(explicit: Option<&FaultPlan>) -> Option<FaultPlan> {
+    explicit.cloned().or_else(chef_exec::fault::env_plan)
 }
 
 // ------------------------------------------------------------------------
@@ -171,9 +433,18 @@ impl VariantCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// The variant table, recovering from mutex poisoning: a panicking
+    /// trial (injected or genuine) may die between lock and unlock, but
+    /// the table's invariant — a map of fully-compiled variants — holds
+    /// at every await-free point inside the critical sections, so the
+    /// poisoned state is always a valid cache.
+    fn table(&self) -> std::sync::MutexGuard<'_, HashMap<VariantKey, Arc<CompiledFunction>>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Number of cached variants.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").len()
+        self.table().len()
     }
 
     /// `true` when nothing has been compiled yet.
@@ -190,7 +461,7 @@ impl VariantCache {
         pm: &PrecisionMap,
     ) -> Result<Arc<CompiledFunction>, CompileError> {
         let key = (primal.name.clone(), pm.sorted_entries());
-        if let Some(hit) = self.inner.lock().expect("cache lock").get(&key) {
+        if let Some(hit) = self.table().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
@@ -202,13 +473,7 @@ impl VariantCache {
             },
         )?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(self
-            .inner
-            .lock()
-            .expect("cache lock")
-            .entry(key)
-            .or_insert(compiled)
-            .clone())
+        Ok(self.table().entry(key).or_insert(compiled).clone())
     }
 }
 
@@ -257,16 +522,24 @@ fn candidate_filter<'a>(cfg: &'a TunerConfig) -> impl Fn(&str) -> bool + 'a {
 /// the inlined program (so callers don't inline a second time).
 type EstimateRanking = (Vec<(String, f64)>, f64, Program);
 
-/// Runs the estimation pass once (see [`EstimateRanking`]).
+/// Runs the estimation pass once (see [`EstimateRanking`]). The
+/// estimator's execution is one fault-isolated trial: a trap or panic is
+/// retried once before propagating, and an injected fault (explicit plan
+/// or `CHEF_FAULT_SEED`) is recovered without disturbing the ranking.
 fn estimate_ranking(
     program: &Program,
     func: &str,
     args: &[ArgValue],
     cfg: &TunerConfig,
+    log: &FaultLog,
 ) -> Result<EstimateRanking, ChefError> {
     let opts = EstimateOptions {
         array_lens: cfg.array_lens.clone(),
         ..Default::default()
+    };
+    let exec = ExecOptions {
+        fault: resolved_fault(cfg.fault_plan.as_ref()),
+        ..opts.exec.clone()
     };
     // Demoting a variable costs its representation error (eq. 2) *plus*,
     // for computed variables, the extra arithmetic rounding of the
@@ -279,7 +552,15 @@ fn estimate_ranking(
         taylor: TaylorModel::for_demotion(cfg.target),
     };
     let est = estimate_error_with(program, func, &mut model, &opts)?;
-    let out = est.execute(args).map_err(ChefError::Trap)?;
+    let out = accept_or_propagate(run_trial(
+        log,
+        &|| format!("estimate `{func}`"),
+        &mut |floor| {
+            est.execute_with(args, &with_budget_floor(&exec, floor))
+                .map_err(ChefError::Trap)
+        },
+        &|out: &EstimateOutcome| Some(out.value),
+    )?)?;
 
     let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
     let primal = inlined
@@ -316,7 +597,8 @@ pub fn tune(
     args: &[ArgValue],
     cfg: &TunerConfig,
 ) -> Result<TuneResult, ChefError> {
-    let (per_variable, baseline_value, inlined) = estimate_ranking(program, func, args, cfg)?;
+    let log = FaultLog::default();
+    let (per_variable, baseline_value, inlined) = estimate_ranking(program, func, args, cfg, &log)?;
 
     // Greedy selection under the threshold.
     let mut demoted = Vec::new();
@@ -340,6 +622,7 @@ pub fn tune(
         measured_error: None,
         cache_hits: 0,
         divergent_trials: 0,
+        faults: log.into_summary(),
     })
 }
 
@@ -383,10 +666,34 @@ pub fn validate_configs_with(
     configs: &[PrecisionMap],
     cache: Option<&VariantCache>,
 ) -> Result<Vec<ValidationReport>, ChefError> {
+    let log = FaultLog::default();
+    validate_configs_impl(program, func, args, configs, cache, None, &log)
+}
+
+/// The fault-isolated body of [`validate_configs_with`]: each config
+/// (and the baseline) is one trial — a trap or a panic is retried once
+/// before propagating, so a transient or injected fault never discards
+/// the batch, while a deterministic failure still errors as it always
+/// did. A persistently non-finite result is data (the demoted program
+/// really overflows) and is reported, after one retry absorbs any
+/// injected NaN.
+fn validate_configs_impl(
+    program: &Program,
+    func: &str,
+    args: &[ArgValue],
+    configs: &[PrecisionMap],
+    cache: Option<&VariantCache>,
+    fault: Option<&FaultPlan>,
+    log: &FaultLog,
+) -> Result<Vec<ValidationReport>, ChefError> {
     let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
     let primal = inlined
         .function(func)
         .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
+    let exec = ExecOptions {
+        fault: resolved_fault(fault),
+        ..Default::default()
+    };
     let compile_cfg = |pm: &PrecisionMap| -> Result<Arc<CompiledFunction>, ChefError> {
         match cache {
             Some(c) => c.get_or_compile(primal, pm).map_err(ChefError::Compile),
@@ -401,25 +708,30 @@ pub fn validate_configs_with(
             .map_err(ChefError::Compile),
         }
     };
-    let run_cfg = |pm: &PrecisionMap| -> Result<f64, ChefError> {
-        let c = compile_cfg(pm)?;
-        let out = match cache {
-            // Shared session: draw a pooled machine so every variant run
-            // in the session reuses the same buffers.
-            Some(cache) => {
-                cache
-                    .arena()
-                    .checkout()
-                    .run_reused(&c, args.to_vec(), &ExecOptions::default())
-            }
-            None => chef_exec::vm::run(&c, args.to_vec()),
-        };
-        out.map(|o| o.ret_f()).map_err(ChefError::Trap)
+    let run_cfg = |pm: &PrecisionMap, what: &dyn Fn() -> String| -> Result<f64, ChefError> {
+        accept_or_propagate(run_trial(
+            log,
+            what,
+            &mut |floor| {
+                let c = compile_cfg(pm)?;
+                let e = with_budget_floor(&exec, floor);
+                let out = match cache {
+                    // Shared session: draw a pooled machine so every
+                    // variant run in the session reuses the same buffers.
+                    // A panicking run drops the guard mid-unwind and the
+                    // arena discards the machine (see `chef_exec::arena`).
+                    Some(cache) => cache.arena().checkout().run_reused(&c, args.to_vec(), &e),
+                    None => chef_exec::vm::run_with(&c, args.to_vec(), &e),
+                };
+                out.map(|o| o.ret_f()).map_err(ChefError::Trap)
+            },
+            &|v: &f64| Some(*v),
+        )?)
     };
-    let baseline = run_cfg(&PrecisionMap::empty())?;
+    let baseline = run_cfg(&PrecisionMap::empty(), &|| format!("baseline `{func}`"))?;
 
-    chef_exec::par::parallel_map(configs.iter().collect(), None, |pm| {
-        run_cfg(pm).map(|demoted| ValidationReport {
+    chef_exec::par::parallel_map(configs.iter().enumerate().collect(), None, |(i, pm)| {
+        run_cfg(pm, &|| format!("validate `{func}` config #{i}")).map(|demoted| ValidationReport {
             baseline,
             demoted,
             actual_error: (baseline - demoted).abs(),
@@ -480,7 +792,16 @@ pub fn sweep_single_demotions_with(
             configs.push(PrecisionMap::empty().with(id, cfg.target));
         }
     }
-    let reports = validate_configs_with(program, func, args, &configs, cache)?;
+    let log = FaultLog::default();
+    let reports = validate_configs_impl(
+        program,
+        func,
+        args,
+        &configs,
+        cache,
+        cfg.fault_plan.as_ref(),
+        &log,
+    )?;
     Ok(names.into_iter().zip(reports).collect())
 }
 
@@ -552,48 +873,83 @@ pub fn tune_with_oracle(
     cache: &VariantCache,
 ) -> Result<TuneResult, ChefError> {
     let hits_before = cache.hits();
-    let (per_variable, baseline_value, inlined) = estimate_ranking(program, func, args, cfg)?;
+    let log = FaultLog::default();
+    let (per_variable, baseline_value, inlined) = estimate_ranking(program, func, args, cfg, &log)?;
     let primal = inlined
         .function(func)
         .ok_or_else(|| ChefError::UnknownFunction(func.to_string()))?;
 
+    // Exec options for every run of this session, with the fault plan
+    // resolved (explicit oracle options > config plan > environment).
+    let exec = ExecOptions {
+        fault: opts
+            .oracle
+            .exec
+            .fault
+            .clone()
+            .or_else(|| resolved_fault(cfg.fault_plan.as_ref())),
+        ..opts.oracle.exec.clone()
+    };
+
     // One pooled shadow machine per mode for the whole greedy loop —
     // drawn from the session cache's arenas, so the different compiled
     // variants (and any other tuning run sharing the cache) reuse the
-    // same buffers.
+    // same buffers. A panic mid-run leaves the machine stale, which is
+    // fine: `run_reused` fully re-initializes it on the next call.
     let mut m64 = cache.shadow64().checkout();
     let mut mdd = cache.shadow_dd().checkout();
-    let mut measure = |names: &[String]| -> Result<ShadowReport, ChefError> {
+    let mut measure = |names: &[String], floor: Option<u64>| -> Result<ShadowReport, ChefError> {
         let pm = config_for(primal, names, cfg.target);
         let compiled = cache
             .get_or_compile(primal, &pm)
             .map_err(ChefError::Compile)?;
+        let e = with_budget_floor(&exec, floor);
         let out = match opts.oracle.mode {
-            chef_shadow::ShadowMode::F64 => {
-                m64.run_reused(&compiled, args.to_vec(), &opts.oracle.exec)
-            }
-            chef_shadow::ShadowMode::DD => {
-                mdd.run_reused(&compiled, args.to_vec(), &opts.oracle.exec)
-            }
+            chef_shadow::ShadowMode::F64 => m64.run_reused(&compiled, args.to_vec(), &e),
+            chef_shadow::ShadowMode::DD => mdd.run_reused(&compiled, args.to_vec(), &e),
         }
         .map_err(ChefError::Trap)?;
         chef_shadow::report_from_outcome(&compiled, out)
+    };
+    // Every oracle measurement is a fault-isolated trial; a trial that
+    // faults twice is quarantined (`None`) — never admitted, never
+    // aborting the tune — and a non-finite measured error counts as a
+    // fault, so a demoted config that overflows cannot poison the greedy
+    // comparisons.
+    let mut measure_isolated = |names: &[String]| -> Result<Option<ShadowReport>, ChefError> {
+        let outcome = run_trial(
+            &log,
+            &|| format!("oracle trial `{func}` [{}]", names.join(", ")),
+            &mut |floor| measure(names, floor),
+            &|rep: &ShadowReport| Some(rep.output_error),
+        )?;
+        Ok(match outcome {
+            TrialOutcome::Done(rep) => Some(rep),
+            TrialOutcome::Faulted(..) => None,
+        })
     };
 
     // Two-run fallback for divergent trials: both sides run plain (no
     // shadow) through the cache and its machine arena. The baseline is
     // computed once, on first need.
     let mut baseline_run: Option<f64> = None;
-    let run_plain = |pm: &PrecisionMap| -> Result<f64, ChefError> {
-        let compiled = cache
-            .get_or_compile(primal, pm)
-            .map_err(ChefError::Compile)?;
-        cache
-            .arena()
-            .checkout()
-            .run_reused(&compiled, args.to_vec(), &opts.oracle.exec)
-            .map(|o| o.ret_f())
-            .map_err(ChefError::Trap)
+    let run_plain = |pm: &PrecisionMap, what: &dyn Fn() -> String| -> Result<f64, ChefError> {
+        accept_or_propagate(run_trial(
+            &log,
+            what,
+            &mut |floor| {
+                let compiled = cache
+                    .get_or_compile(primal, pm)
+                    .map_err(ChefError::Compile)?;
+                cache
+                    .arena()
+                    .checkout()
+                    .run_reused(&compiled, args.to_vec(), &with_budget_floor(&exec, floor))
+                    .map(|o| o.ret_f())
+                    .map_err(ChefError::Trap)
+            },
+            &|v: &f64| Some(*v),
+        )?)
     };
     let mut divergent_trials = 0u64;
 
@@ -602,13 +958,15 @@ pub fn tune_with_oracle(
     let mut order: Vec<(String, f64)> = per_variable.clone();
     if opts.rerank_by_measured && !order.is_empty() {
         let all: Vec<String> = order.iter().map(|(n, _)| n.clone()).collect();
-        let rep = measure(&all)?;
-        // A divergent probe's attribution describes the wrong trace:
-        // keep the estimate order instead of ranking by it.
-        if !rep.diverged() {
-            // Stable sort: equal measured attributions keep the estimate
-            // order.
-            order.sort_by(|a, b| rep.error_of(&a.0).total_cmp(&rep.error_of(&b.0)));
+        // A divergent (or quarantined) probe's attribution describes the
+        // wrong trace — or no trace at all: keep the estimate order
+        // instead of ranking by it.
+        if let Some(rep) = measure_isolated(&all)? {
+            if !rep.diverged() {
+                // Stable sort: equal measured attributions keep the
+                // estimate order.
+                order.sort_by(|a, b| rep.error_of(&a.0).total_cmp(&rep.error_of(&b.0)));
+            }
         }
     }
 
@@ -620,22 +978,28 @@ pub fn tune_with_oracle(
     // number for the empty config at all — a two-run validation of the
     // unchanged program is vacuously zero — so the result stays
     // unmeasured (`None`) unless a later trial is admitted.
-    let start = measure(&[])?;
-    let mut measured: Option<f64> = if start.diverged() {
-        divergent_trials += 1;
-        None
-    } else {
-        Some(start.output_error)
+    // A quarantined starting probe likewise leaves the empty config
+    // unmeasured rather than failing the whole tune.
+    let mut measured: Option<f64> = match measure_isolated(&[])? {
+        Some(start) if start.diverged() => {
+            divergent_trials += 1;
+            None
+        }
+        Some(start) => Some(start.output_error),
+        None => None,
     };
 
     // The trusted error of one trial: the one-pass oracle measurement
     // when the run was divergence-free, the policy's answer otherwise
-    // (`None` = the trial may not be admitted).
+    // (`None` = the trial may not be admitted — divergent-and-rejected
+    // or quarantined by the fault layer).
     let mut trusted_error = |names: &[String],
                              baseline_run: &mut Option<f64>,
                              divergent_trials: &mut u64|
      -> Result<Option<f64>, ChefError> {
-        let rep = measure(names)?;
+        let Some(rep) = measure_isolated(names)? else {
+            return Ok(None);
+        };
         if !rep.diverged() {
             return Ok(Some(rep.output_error));
         }
@@ -646,12 +1010,15 @@ pub fn tune_with_oracle(
                 let base = match *baseline_run {
                     Some(b) => b,
                     None => {
-                        let b = run_plain(&PrecisionMap::empty())?;
+                        let b =
+                            run_plain(&PrecisionMap::empty(), &|| format!("baseline `{func}`"))?;
                         *baseline_run = Some(b);
                         b
                     }
                 };
-                let demoted = run_plain(&config_for(primal, names, cfg.target))?;
+                let demoted = run_plain(&config_for(primal, names, cfg.target), &|| {
+                    format!("two-run trial `{func}` [{}]", names.join(", "))
+                })?;
                 Ok(Some((base - demoted).abs()))
             }
         }
@@ -681,6 +1048,7 @@ pub fn tune_with_oracle(
         measured_error: measured,
         cache_hits: cache.hits() - hits_before,
         divergent_trials,
+        faults: log.into_summary(),
     })
 }
 
@@ -948,6 +1316,250 @@ mod tests {
         let res = tune_with_oracle(&p, "f", &args, &cfg, &reject, &cache).unwrap();
         assert!(res.demoted.is_empty(), "{:?}", res.demoted);
         assert!(res.divergent_trials >= 1);
+    }
+
+    /// An inert fault plan (period 0 never fires): explicitly opts a
+    /// run out of any ambient `CHEF_FAULT_SEED` plan, so the reference
+    /// ("clean") runs of the injection tests stay clean even under the
+    /// CI fault matrix.
+    fn no_injection() -> chef_exec::fault::FaultPlan {
+        chef_exec::fault::FaultPlan::new(None, 0, 0, 1)
+    }
+
+    /// A straight-line kernel with 8 demotion candidates (no branches,
+    /// so the oracle can never diverge and every trial is exactly one
+    /// fault-plan draw).
+    fn eight_var_kernel() -> Program {
+        program(
+            "double f(double a) {
+                double v0 = a * 1.0000001;
+                double v1 = a + 0.5;
+                double v2 = v0 * v1;
+                double v3 = a * 1e-8;
+                double v4 = v1 + 0.25;
+                double v5 = v2 * 0.999;
+                double s = v0 + v1 + v2 + v3 + v4 + v5;
+                return s;
+            }",
+        )
+    }
+
+    #[test]
+    fn a_hundred_trial_fault_injected_tune_completes_with_exact_counts() {
+        use chef_exec::fault::{FaultKind, FaultPlan};
+        let p = eight_var_kernel();
+        let args = vec![ArgValue::F(0.73)];
+        let mut cfg = TunerConfig::with_threshold(1e-3);
+        cfg.fault_plan = Some(no_injection());
+
+        // Reference: the same tune with no faults injected.
+        let clean_cache = VariantCache::new();
+        let reference = tune_with_oracle(
+            &p,
+            "f",
+            &args,
+            &cfg,
+            &OracleTuneOptions::reranked(),
+            &clean_cache,
+        )
+        .unwrap();
+        assert!(reference.faults.is_clean(), "{:?}", reference.faults);
+        assert!(!reference.demoted.is_empty());
+
+        // Mixed plan: every third draw fires, cycling trap → panic →
+        // NaN. Period 3 means a retry draw can never fire, so every
+        // fault recovers and the tune's *result* is unaffected.
+        let (period, phase) = (3u64, 1u64);
+        let plan = FaultPlan::new(None, period, phase, 1);
+        let mut faulted_cfg = cfg.clone();
+        faulted_cfg.fault_plan = Some(plan.clone());
+
+        let cache = VariantCache::new();
+        let mut total = FaultSummary::default();
+        let mut tunes = 0u64;
+        while plan.draws() < 100 {
+            let res = tune_with_oracle(
+                &p,
+                "f",
+                &args,
+                &faulted_cfg,
+                &OracleTuneOptions::reranked(),
+                &cache,
+            )
+            .unwrap();
+            assert_eq!(res.demoted, reference.demoted, "faults changed the result");
+            assert_eq!(
+                res.measured_error.unwrap().to_bits(),
+                reference.measured_error.unwrap().to_bits()
+            );
+            total.merge(&res.faults);
+            tunes += 1;
+        }
+        assert!(tunes >= 5, "expected many tunes, got {tunes}");
+
+        // Replay the schedule: the counters must match the fires
+        // *exactly* — every injected fault surfaced as a recorded,
+        // recovered trial fault, none were double-counted or lost.
+        let draws = plan.draws();
+        assert!(draws >= 100);
+        let (mut trap, mut panic, mut nan) = (0u64, 0u64, 0u64);
+        for n in 0..draws {
+            if n % period == phase {
+                match (n / period) % 3 {
+                    0 => trap += 1,
+                    1 => panic += 1,
+                    _ => nan += 1,
+                }
+            }
+        }
+        let fires = trap + panic + nan;
+        assert!(fires >= 30, "schedule fired {fires} times");
+        assert_eq!(total.trapped, trap);
+        assert_eq!(total.panicked, panic);
+        assert_eq!(total.nonfinite, nan);
+        assert_eq!(total.retried, fires);
+        assert_eq!(total.recovered, fires);
+        assert_eq!(total.quarantined, 0);
+        assert!(!total.details.is_empty());
+        assert!(total.details.len() <= FaultSummary::MAX_DETAILS);
+
+        // The cache survived every injected panic: a final clean tune
+        // over it compiles nothing new and still matches the reference.
+        let misses = cache.misses();
+        let after =
+            tune_with_oracle(&p, "f", &args, &cfg, &OracleTuneOptions::reranked(), &cache).unwrap();
+        assert_eq!(cache.misses(), misses, "cache unusable after faults");
+        assert!(after.cache_hits > 0);
+        assert_eq!(after.demoted, reference.demoted);
+        assert!(after.faults.is_clean());
+
+        // Kind-pinned plans attribute every fire to the right counter.
+        for (kind, pick) in [
+            (FaultKind::Trap, 0usize),
+            (FaultKind::Panic, 1),
+            (FaultKind::Nan, 2),
+        ] {
+            let pinned = FaultPlan::new(Some(kind), 2, 0, 1);
+            let mut c = cfg.clone();
+            c.fault_plan = Some(pinned.clone());
+            let res = tune_with_oracle(
+                &p,
+                "f",
+                &args,
+                &c,
+                &OracleTuneOptions::reranked(),
+                &VariantCache::new(),
+            )
+            .unwrap();
+            assert_eq!(res.demoted, reference.demoted);
+            let fired = pinned.draws().div_ceil(2);
+            let counts = [
+                res.faults.trapped,
+                res.faults.panicked,
+                res.faults.nonfinite,
+            ];
+            assert_eq!(counts[pick], fired, "{kind:?}: {:?}", res.faults);
+            assert_eq!(res.faults.total(), fired);
+        }
+    }
+
+    #[test]
+    fn plain_tune_isolates_injected_faults_in_the_estimation_pass() {
+        use chef_exec::fault::FaultPlan;
+        let p = eight_var_kernel();
+        let args = vec![ArgValue::F(0.29)];
+        let mut cfg = TunerConfig::with_threshold(1e-3);
+        cfg.fault_plan = Some(no_injection());
+        let reference = tune(&p, "f", &args, &cfg).unwrap();
+        assert!(reference.faults.is_clean());
+
+        let plan = FaultPlan::new(None, 2, 0, 1);
+        let mut faulted = cfg.clone();
+        faulted.fault_plan = Some(plan.clone());
+        let mut seen = FaultSummary::default();
+        while plan.draws() < 6 {
+            let res = tune(&p, "f", &args, &faulted).unwrap();
+            assert_eq!(res.demoted, reference.demoted);
+            assert_eq!(
+                res.estimated_error.to_bits(),
+                reference.estimated_error.to_bits()
+            );
+            seen.merge(&res.faults);
+        }
+        // Phase 0, period 2: the first draw of every tune fires and the
+        // retry recovers.
+        assert_eq!(seen.total(), seen.recovered);
+        assert!(seen.total() >= 3, "{seen:?}");
+        assert_eq!(seen.quarantined, 0);
+    }
+
+    #[test]
+    fn variant_cache_recovers_from_mutex_poisoning() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let src = "double f(double a) { double b = a * 3.0; return b; }";
+        let p = program(src);
+        let args = vec![ArgValue::F(0.4)];
+        let cache = VariantCache::new();
+        let first =
+            validate_configs_with(&p, "f", &args, &[PrecisionMap::empty()], Some(&cache)).unwrap();
+        // Poison the table's mutex the hard way.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _g = cache.inner.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(r.is_err());
+        assert!(cache.inner.is_poisoned());
+        // Every entry point still works and the cached variants survive.
+        assert!(!cache.is_empty());
+        let misses = cache.misses();
+        let again =
+            validate_configs_with(&p, "f", &args, &[PrecisionMap::empty()], Some(&cache)).unwrap();
+        assert_eq!(cache.misses(), misses, "poisoning must not evict");
+        assert_eq!(again[0].demoted.to_bits(), first[0].demoted.to_bits());
+    }
+
+    #[test]
+    fn a_persistently_trapping_config_is_quarantined_not_fatal() {
+        use chef_exec::fault::{FaultKind, FaultPlan};
+        let p = eight_var_kernel();
+        let args = vec![ArgValue::F(0.5)];
+        let mut cfg = TunerConfig::with_threshold(1e-3);
+        // Period 1 fires on *every* draw — the retry faults again, so
+        // every trial quarantines. The tune must still complete (with
+        // nothing admitted) instead of propagating the trap.
+        cfg.fault_plan = Some(FaultPlan::new(Some(FaultKind::Trap), 1, 0, 1));
+        let res = tune_with_oracle(
+            &p,
+            "f",
+            &args,
+            &cfg,
+            &OracleTuneOptions::default(),
+            &VariantCache::new(),
+        );
+        // The estimation pass propagates its persistent trap (a
+        // deterministic failure of the foundation is still an error)…
+        assert!(matches!(res, Err(ChefError::Trap(_))), "{res:?}");
+
+        // …but when only the *oracle trials* fault persistently, the
+        // greedy loop quarantines each one and completes empty-handed.
+        let mut clean_est = TunerConfig::with_threshold(1e-3);
+        clean_est.fault_plan = Some(no_injection());
+        let opts = OracleTuneOptions {
+            oracle: OracleOptions {
+                exec: ExecOptions {
+                    fault: Some(FaultPlan::new(Some(FaultKind::Trap), 1, 0, 1)),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let res =
+            tune_with_oracle(&p, "f", &args, &clean_est, &opts, &VariantCache::new()).unwrap();
+        assert!(res.demoted.is_empty(), "{:?}", res.demoted);
+        assert_eq!(res.measured_error, None);
+        assert!(res.faults.quarantined >= 9, "{:?}", res.faults); // start + 8 trials
+        assert_eq!(res.faults.recovered, 0);
     }
 
     #[test]
