@@ -135,6 +135,37 @@ fn benches(c: &mut Criterion) {
     });
     g.finish();
 
+    // Telemetry overhead: the fused arclen run with the per-pc profiler
+    // off (default) and on. The off path is a separate monomorphization
+    // of the dispatch loop (`<const PROFILE: bool>`), so it must stay
+    // within noise of the pre-telemetry baseline (the repro --smoke gate
+    // enforces <= 1.02x); the profiling path pays one slice increment
+    // per instruction and must stay <= 1.5x.
+    let mut g = c.benchmark_group("telemetry/overhead");
+    g.sample_size(10);
+    g.bench_function("profile-off", |b| {
+        let mut m = chef_exec::vm::Machine::new();
+        let opts = ExecOptions::default();
+        b.iter(|| {
+            m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.bench_function("profile-on", |b| {
+        let mut m = chef_exec::vm::Machine::new();
+        let opts = ExecOptions {
+            profile: true,
+            ..Default::default()
+        };
+        b.iter(|| {
+            m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                .unwrap()
+                .ret_f()
+        })
+    });
+    g.finish();
+
     // Divergence-detection overhead: the fused f64 shadow with the
     // default divergence checks (every float compare and F2I evaluated a
     // second time on shadow operands) against the same pass with

@@ -71,6 +71,10 @@ fn main() {
         smoke();
         return;
     }
+    if args.iter().any(|a| a == "--profile" || a == "profile") {
+        profile_table();
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -1027,6 +1031,31 @@ fn smoke() {
             .unwrap()
             .ret_f()
     });
+    // Telemetry gates (PR 7): the same fused run with the per-pc
+    // profiler armed, and an interleaved re-measurement of the
+    // profile-off path. Profile-off dispatch is a separately
+    // monomorphized loop — machine code identical to a build without
+    // telemetry — so its paired ratio must stay within noise; gated at
+    // ≤ 1.02x below, min-of-3 so runner jitter cannot fail CI.
+    let prof_opts = ExecOptions {
+        profile: true,
+        ..Default::default()
+    };
+    let (_, vm_profiled_ms) = time_median(31, || {
+        m.run_reused(&fused, vec![ArgValue::I(10_000)], &prof_opts)
+            .unwrap()
+            .ret_f()
+    });
+    let telemetry_off_x = (0..3)
+        .map(|_| {
+            let (_, again_ms) = time_median(31, || {
+                m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+                    .unwrap()
+                    .ret_f()
+            });
+            again_ms / vm_fused_ms
+        })
+        .fold(f64::INFINITY, f64::min);
 
     // 2. Analysis end-to-end: build + run the arclen estimator.
     let est = estimate_error(&p, chef_apps::arclen::NAME, &EstimateOptions::default())
@@ -1096,6 +1125,7 @@ fn smoke() {
         ("vm_arclen_fused_ms", vm_fused_ms),
         ("vm_arclen_unfused_ms", vm_unfused_ms),
         ("vm_arclen_enum_ms", vm_enum_ms),
+        ("vm_arclen_profiled_ms", vm_profiled_ms),
         ("vm_arclen_shadowed_ms", vm_shadow_ms),
         ("vm_arclen_shadowed_div_ms", vm_shadow_div_ms),
         ("vm_arclen_shadowed_nonfinite_ms", vm_shadow_nf_ms),
@@ -1123,7 +1153,17 @@ fn smoke() {
         "packed dispatch: {:.2}x over the enum interpreter on the same stream",
         vm_enum_ms / vm_fused_ms
     );
-    let doc = Json::obj(rows.iter().map(|&(name, ms)| (name, Json::Num(ms))));
+    let telemetry_prof_x = vm_profiled_ms / vm_fused_ms;
+    println!(
+        "telemetry off: {telemetry_off_x:.3}x paired re-run of the profile-off dispatch (<= 1.02x bar)"
+    );
+    println!(
+        "per-pc profiling: {telemetry_prof_x:.2}x over the profile-off dispatch (<= 1.5x bar)"
+    );
+    let doc = Json::obj(rows.iter().map(|&(name, ms)| (name, Json::Num(ms))).chain([
+        ("telemetry_off_overhead_x", Json::Num(telemetry_off_x)),
+        ("telemetry_profiled_overhead_x", Json::Num(telemetry_prof_x)),
+    ]));
     let path = "BENCH_smoke.json";
     std::fs::write(path, doc.to_string_pretty()).or_fail("cannot write BENCH_smoke.json");
     println!("snapshot written to {path}");
@@ -1224,9 +1264,131 @@ fn smoke() {
             failed = true;
         }
     }
+    // Telemetry gates: profile-off dispatch must be free (the off loop
+    // is the same machine code as a build without telemetry), and the
+    // profiling loop must stay within its documented budget.
+    if telemetry_off_x > 1.02 {
+        eprintln!(
+            "telemetry regression: profile-off dispatch re-ran at {telemetry_off_x:.3}x \
+             (> 1.02x bar)"
+        );
+        failed = true;
+    }
+    if telemetry_prof_x > 1.5 {
+        eprintln!(
+            "telemetry regression: per-pc profiling ran at {telemetry_prof_x:.2}x (> 1.5x bar)"
+        );
+        failed = true;
+    }
+
+    // Telemetry snapshot of the whole smoke run — every counter, span
+    // and histogram the instrumented stack recorded — written for the
+    // CI artifact even when a gate failed (it is the evidence).
+    let snap = chef_telemetry::snapshot();
+    let tdoc = chef_core::report::telemetry_to_json(&snap);
+    std::fs::write("TELEMETRY_smoke.json", tdoc.to_string_pretty())
+        .or_fail("cannot write TELEMETRY_smoke.json");
+    println!(
+        "telemetry: {} counters, {} histograms, {} spans ({} dropped) -> TELEMETRY_smoke.json",
+        snap.counters.len(),
+        snap.histograms.len(),
+        snap.spans.len(),
+        snap.spans_dropped
+    );
     if failed {
         std::process::exit(1);
     }
+}
+
+// ------------------------------------------------------------- profiling
+
+/// `repro --profile`: the per-pc execution profile of the arclen kernel
+/// — the "hottest pcs by time × error" view. One fused-shadow run with
+/// [`ExecOptions::profile`] yields both the dispatch counts (execution
+/// frequency ≈ time share in a uniform-dispatch interpreter) and the
+/// per-pc local-error samples ([`PcSample`]), so each row marries how
+/// *often* an instruction ran with how much rounding error it produced.
+fn profile_table() {
+    header("per-pc execution profile: arclen, all floats demoted to f32 (f64 shadow)");
+    let p = chef_apps::arclen::program();
+    let primal = p
+        .function(chef_apps::arclen::NAME)
+        .or_fail("arclen kernel not found");
+    // Fully demoted: undemoted arclen has no rounding sites relative to
+    // the f64 shadow, and an all-zero error column ranks nothing.
+    let mut pm = PrecisionMap::empty();
+    for (id, v) in primal.vars_iter() {
+        use chef_ir::types::{ElemTy, Type};
+        if let Type::Float(_) | Type::Array(ElemTy::Float(_)) = v.ty {
+            pm.set(id, chef_ir::types::FloatTy::F32);
+        }
+    }
+    let func = chef_exec::compile::compile(
+        primal,
+        &chef_exec::compile::CompileOptions {
+            precisions: pm,
+            ..Default::default()
+        },
+    )
+    .or_fail("arclen compile failed");
+    let opts = ExecOptions {
+        profile: true,
+        ..Default::default()
+    };
+    let mut sm = chef_exec::shadow::ShadowMachine::<f64>::new();
+    let out = sm
+        .run_reused(&func, vec![ArgValue::I(10_000)], &opts)
+        .or_fail("arclen profiled shadow run trapped");
+    let prof = out
+        .profile
+        .as_ref()
+        .or_fail("profile missing despite ExecOptions::profile");
+
+    // The profiler's ground-truth invariant: per-pc increments sum to
+    // exactly the block-granular instruction count.
+    assert_eq!(
+        prof.total(),
+        out.stats.instrs_executed,
+        "per-pc counts must sum to instrs_executed"
+    );
+    // And the plain VM (packed dispatch, no shadow) counts identically.
+    let vm_out = chef_exec::vm::Machine::new()
+        .run_reused(&func, vec![ArgValue::I(10_000)], &opts)
+        .or_fail("arclen profiled vm run trapped");
+    assert_eq!(
+        vm_out.profile.as_ref().map(|p| &p.pc_counts),
+        Some(&prof.pc_counts),
+        "vm and shadow profiles must agree"
+    );
+
+    let total = prof.total() as f64;
+    let acc: f64 = out.samples.iter().map(|s| s.sum).sum();
+    println!(
+        "{:>4} {:<14} {:>12} {:>7} {:>12} {:>7}",
+        "pc", "op", "count", "time%", "err sum", "err%"
+    );
+    for (pc, count) in prof.hottest(16) {
+        let s = &out.samples[pc];
+        let err_pct = if acc > 0.0 { 100.0 * s.sum / acc } else { 0.0 };
+        println!(
+            "{pc:>4} {:<14} {count:>12} {:>6.2}% {:>12} {err_pct:>6.2}%",
+            chef_exec::vm::instr_mnemonic(&func.instrs[pc]),
+            100.0 * count as f64 / total,
+            sci(s.sum),
+        );
+    }
+    println!("\nby opcode:");
+    for (op, count) in prof.opcode_histogram(&func) {
+        println!(
+            "{op:<14} {count:>12} {:>6.2}%",
+            100.0 * count as f64 / total
+        );
+    }
+    println!(
+        "\n{} instructions dispatched, accumulated local error {}",
+        prof.total(),
+        sci(acc)
+    );
 }
 
 // ------------------------------------------------------------ perf delta
@@ -1262,12 +1424,14 @@ fn perf_delta(old_path: &str, new_path: &str) {
             (Some(o), Some(n)) => {
                 println!("{key:<26} {o:>12.3} {n:>12.3} {:>8.2}x", o / n);
             }
+            // A key present on only one side (snapshots gain and lose
+            // metrics across PRs) is informational, never an error.
             (o, n) => {
                 let fmt = |v: Option<f64>| match v {
                     Some(v) => format!("{v:.3}"),
                     None => "-".to_string(),
                 };
-                println!("{key:<26} {:>12} {:>12} {:>9}", fmt(o), fmt(n), "new");
+                println!("{key:<26} {:>12} {:>12} {:>9}", fmt(o), fmt(n), "n/a");
             }
         }
     }

@@ -267,6 +267,63 @@ impl Record for EstimateQualityRow {
     }
 }
 
+/// Encodes a [`chef_telemetry::TelemetrySnapshot`] as JSON: counters and
+/// gauges as name→value objects, histograms as name→summary objects,
+/// spans as an array of records (`parent` is `null` for roots). Metric
+/// names are dynamic (registered at runtime), so this builds
+/// [`Json::Obj`] maps directly instead of going through [`Record`].
+pub fn telemetry_to_json(snap: &chef_telemetry::TelemetrySnapshot) -> Json {
+    use std::collections::BTreeMap;
+    let counters: BTreeMap<String, Json> = snap
+        .counters
+        .iter()
+        .map(|c| (c.name.clone(), Json::Num(c.value as f64)))
+        .collect();
+    let gauges: BTreeMap<String, Json> = snap
+        .gauges
+        .iter()
+        .map(|g| (g.name.clone(), Json::Num(g.value)))
+        .collect();
+    let histograms: BTreeMap<String, Json> = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            let summary = Json::obj([
+                ("count", Json::Num(h.count as f64)),
+                ("sum", Json::Num(h.sum as f64)),
+                ("p50", Json::Num(h.p50)),
+                ("p95", Json::Num(h.p95)),
+                ("p99", Json::Num(h.p99)),
+            ]);
+            (h.name.clone(), summary)
+        })
+        .collect();
+    let spans: Vec<Json> = snap
+        .spans
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("name", Json::str(s.name)),
+                ("id", Json::Num(s.id as f64)),
+                (
+                    "parent",
+                    s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                ),
+                ("thread", Json::Num(s.thread as f64)),
+                ("start_ns", Json::Num(s.start_ns as f64)),
+                ("end_ns", Json::Num(s.end_ns as f64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("counters", Json::Obj(counters)),
+        ("gauges", Json::Obj(gauges)),
+        ("histograms", Json::Obj(histograms)),
+        ("spans", Json::Arr(spans)),
+        ("spans_dropped", Json::Num(snap.spans_dropped as f64)),
+    ])
+}
+
 /// Writes any record as pretty JSON.
 pub fn to_json<T: Record>(value: &T) -> String {
     value.to_json_value().to_string_pretty()

@@ -52,6 +52,7 @@ impl<M: Default> Pool<M> {
     /// Takes a machine out of the pool (creating one if none is idle).
     /// The guard returns it — buffers intact — when dropped.
     pub fn checkout(&self) -> Pooled<'_, M> {
+        chef_telemetry::counter!("exec.arena.checkouts").inc();
         let m = self.slots().pop();
         Pooled {
             pool: self,

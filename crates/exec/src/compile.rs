@@ -165,14 +165,17 @@ pub fn compile_default(func: &Function) -> Result<CompiledFunction, CompileError
 
 /// Compiles `func` under `opts`.
 pub fn compile(func: &Function, opts: &CompileOptions) -> Result<CompiledFunction, CompileError> {
+    let _span = chef_telemetry::span("compile");
     let mut c = Compiler::new(func, opts);
     c.assign_var_slots();
     c.compile_body()?;
     let mut compiled = c.finish();
     if opts.fuse {
+        let _span = chef_telemetry::span("fuse");
         crate::fuse::fuse_to_fixpoint(&mut compiled);
     }
     if opts.pack {
+        let _span = chef_telemetry::span("pack");
         compiled.packed = crate::pack::pack_function(&compiled);
     }
     Ok(compiled)

@@ -704,12 +704,17 @@ pub fn pack_function(func: &CompiledFunction) -> Option<PackedCode> {
     // Jump targets may legally equal the instruction count ("jump to the
     // end"), so the count itself must fit the 16-bit target field.
     if func.instrs.len() > u16::MAX as usize {
+        chef_telemetry::counter!("exec.pack.bailout.too_long").inc();
         return None;
     }
     let mut pools = Pools::new();
     let mut words = Vec::with_capacity(func.instrs.len());
     for ins in &func.instrs {
-        words.push(pack_instr(ins, &mut pools)?);
+        let Some(w) = pack_instr(ins, &mut pools) else {
+            chef_telemetry::counter!("exec.pack.bailout.unencodable").inc();
+            return None;
+        };
+        words.push(w);
     }
     Some(PackedCode {
         words,

@@ -248,6 +248,12 @@ pub struct ShadowOutcome {
     /// variable as a comparison/truncation operand (splits on unnamed
     /// temporaries count toward the total only).
     pub var_divergence: Vec<(String, u64)>,
+    /// Per-pc execution profile, present iff
+    /// [`ExecOptions::profile`](crate::vm::ExecOptions::profile) was set.
+    /// Indexed like [`ShadowOutcome::samples`], so `pc_counts[pc]` and
+    /// `samples[pc]` together give execution frequency × local error per
+    /// instruction.
+    pub profile: Option<crate::vm::ExecProfile>,
 }
 
 impl ShadowOutcome {
@@ -485,10 +491,17 @@ impl<S: ShadowNum> ShadowMachine<S> {
 
         // Packed dispatch when the packer produced words (the default);
         // enum dispatch otherwise — identical semantics either way, like
-        // the plain VM.
-        let ret = match &func.packed {
-            Some(p) => self.exec_loop_packed(func, p, opts, &mut acc, &mut nonfinite)?,
-            None => self.exec_loop(func, opts, &mut acc, &mut nonfinite)?,
+        // the plain VM. Profiling picks a separately monomorphized loop,
+        // mirroring `Machine::run_prevalidated`.
+        let ret = match (&func.packed, opts.profile) {
+            (Some(p), false) => {
+                self.exec_loop_packed::<false>(func, p, opts, &mut acc, &mut nonfinite)?
+            }
+            (Some(p), true) => {
+                self.exec_loop_packed::<true>(func, p, opts, &mut acc, &mut nonfinite)?
+            }
+            (None, false) => self.exec_loop::<false>(func, opts, &mut acc, &mut nonfinite)?,
+            (None, true) => self.exec_loop::<true>(func, opts, &mut acc, &mut nonfinite)?,
         };
         self.m.stats.tape_peak_bytes = self.m.tape.peak_bytes();
         self.m.stats.tape_total_pushes = self.m.tape.total_pushes();
@@ -505,6 +518,12 @@ impl<S: ShadowNum> ShadowMachine<S> {
             .cloned()
             .zip(self.var_div.iter().copied())
             .collect();
+        if self.div_count > 0 {
+            chef_telemetry::counter!("exec.shadow.divergences").add(self.div_count);
+        }
+        let profile = opts.profile.then(|| crate::vm::ExecProfile {
+            pc_counts: std::mem::take(&mut self.m.prof),
+        });
         Ok(ShadowOutcome {
             ret: ret.0,
             shadow_ret: ret.1,
@@ -518,6 +537,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
             divergence_count: self.div_count,
             divergence: std::mem::take(&mut self.divs),
             var_divergence,
+            profile,
         })
     }
 
@@ -526,7 +546,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
     /// checkpoints) and threads the shadow values, local-error samples
     /// and pending attribution alongside.
     #[allow(clippy::type_complexity)]
-    fn exec_loop(
+    fn exec_loop<const PROFILE: bool>(
         &mut self,
         func: &CompiledFunction,
         opts: &ExecOptions,
@@ -554,6 +574,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
             a,
             tape,
             stats,
+            prof,
         } = m;
         let f = &mut f[..];
         let i = &mut i[..];
@@ -712,6 +733,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
                 break (None, None, None);
             };
             executed += 1;
+            if PROFILE {
+                prof[pc] += 1;
+            }
             match ins {
                 Instr::FConst { dst, v } => put!(dst, *v, S::from_f64(*v), 0.0),
                 Instr::FMov { dst, src } => {
@@ -1343,7 +1367,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
     /// this loop's cost).
     #[allow(clippy::type_complexity)]
     #[allow(unused_unsafe)] // `fld!` is an unsafe load and composes with other unsafe spots
-    fn exec_loop_packed(
+    fn exec_loop_packed<const PROFILE: bool>(
         &mut self,
         func: &CompiledFunction,
         packed: &crate::pack::PackedCode,
@@ -1375,6 +1399,7 @@ impl<S: ShadowNum> ShadowMachine<S> {
             a,
             tape,
             stats,
+            prof,
         } = m;
         let f = &mut f[..];
         let i = &mut i[..];
@@ -1519,6 +1544,9 @@ impl<S: ShadowNum> ShadowMachine<S> {
                 break (None, None, None);
             }
             executed += 1;
+            if PROFILE {
+                prof[pc] += 1;
+            }
             match fld!(w_op) {
                 op::FCONST => {
                     let v = f64::from_bits(pool[fld!(w_b)]);
@@ -2184,11 +2212,15 @@ pub fn run_shadow_batch_parallel_in<S: ShadowNum>(
         };
         return arg_sets.into_iter().map(|_| Err(trap.clone())).collect();
     }
+    // Same worker/run span pairing as `vm::run_batch_parallel_in`.
     crate::par::parallel_map_init(
         arg_sets,
         max_threads,
-        || arena.checkout(),
-        |m, args| m.run_prevalidated(func, args, opts),
+        || (arena.checkout(), chef_telemetry::span("exec.worker")),
+        |worker, args| {
+            let _run = chef_telemetry::span("exec.run");
+            worker.0.run_prevalidated(func, args, opts)
+        },
     )
 }
 

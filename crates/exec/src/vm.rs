@@ -72,6 +72,14 @@ pub struct ExecOptions {
     /// trap, panic, or NaN before the dispatch loop starts. See
     /// [`crate::fault::FaultPlan`].
     pub fault: Option<crate::fault::FaultPlan>,
+    /// Per-pc execution profiling (off by default): every dispatch loop
+    /// iteration increments a per-instruction counter, surfaced as
+    /// [`CallOutcome::profile`] / `ShadowOutcome::profile`
+    /// ([`ExecProfile`]). The flag selects a separately monomorphized
+    /// copy of each dispatch loop (`<const PROFILE: bool>`), so the
+    /// off path's machine code is unchanged — the `telemetry/overhead`
+    /// bench group pins the off-mode ratio at ≤1.02×.
+    pub profile: bool,
 }
 
 impl Default for ExecOptions {
@@ -83,6 +91,7 @@ impl Default for ExecOptions {
             detect_divergence: true,
             trap_on_nonfinite: false,
             fault: None,
+            profile: false,
         }
     }
 }
@@ -176,6 +185,90 @@ impl ExecStats {
     }
 }
 
+/// Per-pc execution profile of one call, recorded when
+/// [`ExecOptions::profile`] is set. `pc_counts[pc]` is the number of
+/// dispatch-loop iterations that executed `func.instrs[pc]` (fused
+/// superinstructions count once, like [`ExecStats::instrs_executed`]);
+/// on a successful run the counts sum to exactly `instrs_executed` in
+/// all four dispatch loops (vm + shadow × enum + packed).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecProfile {
+    /// Execution count per instruction index, sized `func.instrs.len()`.
+    pub pc_counts: Vec<u64>,
+}
+
+impl ExecProfile {
+    /// Total dispatched instructions (equals
+    /// [`ExecStats::instrs_executed`] on successful runs).
+    pub fn total(&self) -> u64 {
+        self.pc_counts.iter().sum()
+    }
+
+    /// The `n` hottest pcs as `(pc, count)`, hottest first (count ties
+    /// broken by pc for determinism). Zero-count pcs are omitted.
+    pub fn hottest(&self, n: usize) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self
+            .pc_counts
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Dispatch counts aggregated by opcode mnemonic, hottest first
+    /// (ties broken alphabetically).
+    pub fn opcode_histogram(&self, func: &CompiledFunction) -> Vec<(String, u64)> {
+        let mut by_op: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for (pc, &c) in self.pc_counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if let Some(ins) = func.instrs.get(pc) {
+                *by_op.entry(instr_mnemonic(ins)).or_insert(0) += c;
+            }
+        }
+        let mut v: Vec<(String, u64)> = by_op.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Accumulates another profile of the same function (for aggregating
+    /// across a batch of calls). Panics on mismatched lengths unless one
+    /// side is empty.
+    pub fn merge(&mut self, other: &ExecProfile) {
+        if other.pc_counts.is_empty() {
+            return;
+        }
+        if self.pc_counts.is_empty() {
+            self.pc_counts = other.pc_counts.clone();
+            return;
+        }
+        assert_eq!(
+            self.pc_counts.len(),
+            other.pc_counts.len(),
+            "merging profiles of different functions"
+        );
+        for (dst, src) in self.pc_counts.iter_mut().zip(&other.pc_counts) {
+            *dst += src;
+        }
+    }
+}
+
+/// Opcode mnemonic of an instruction (the leading token of its `Debug`
+/// form, e.g. `FMulAdd`) — shared by trap attribution and profiling.
+pub fn instr_mnemonic(ins: &Instr) -> String {
+    let d = format!("{ins:?}");
+    d.split([' ', '{'])
+        .next()
+        .unwrap_or_default()
+        .trim()
+        .to_string()
+}
+
 /// The result of a successful call.
 #[derive(Clone, Debug)]
 pub struct CallOutcome {
@@ -186,6 +279,9 @@ pub struct CallOutcome {
     pub args: Vec<ArgValue>,
     /// Execution statistics.
     pub stats: ExecStats,
+    /// Per-pc execution profile, present iff [`ExecOptions::profile`]
+    /// was set for the call.
+    pub profile: Option<ExecProfile>,
 }
 
 impl CallOutcome {
@@ -249,14 +345,7 @@ fn invalid_bytecode(msg: String) -> Trap {
 #[inline(never)]
 pub(crate) fn nonfinite_trap(func: &CompiledFunction, dst: usize, value: f64, pc: usize) -> Trap {
     let op = match func.instrs.get(pc) {
-        Some(ins) => {
-            let d = format!("{ins:?}");
-            d.split([' ', '{'])
-                .next()
-                .unwrap_or_default()
-                .trim()
-                .to_string()
-        }
+        Some(ins) => instr_mnemonic(ins),
         None => "ret".to_string(),
     };
     let var = func
@@ -419,11 +508,17 @@ pub fn run_batch_parallel_in(
         let trap = invalid_bytecode(msg);
         return arg_sets.into_iter().map(|_| Err(trap.clone())).collect();
     }
+    // Worker state pairs the pooled machine with an `exec.worker` span:
+    // the span opens at worker init and closes when the chunk's state
+    // drops, so each per-item `exec.run` span nests under its worker.
     crate::par::parallel_map_init(
         arg_sets,
         max_threads,
-        || arena.checkout(),
-        |m, args| m.run_prevalidated(func, args, opts),
+        || (arena.checkout(), chef_telemetry::span("exec.worker")),
+        |worker, args| {
+            let _run = chef_telemetry::span("exec.run");
+            worker.0.run_prevalidated(func, args, opts)
+        },
     )
 }
 
@@ -450,6 +545,10 @@ pub struct Machine {
     pub(crate) a: Vec<ArraySlot>,
     pub(crate) tape: Tape,
     pub(crate) stats: ExecStats,
+    /// Per-pc dispatch counters, sized by [`Machine::reset`] to the
+    /// function length when [`ExecOptions::profile`] is set (empty
+    /// otherwise); harvested into [`CallOutcome::profile`].
+    pub(crate) prof: Vec<u64>,
 }
 
 impl Default for Machine {
@@ -467,6 +566,7 @@ impl Machine {
             a: Vec::new(),
             tape: Tape::new(),
             stats: ExecStats::default(),
+            prof: Vec::new(),
         }
     }
 
@@ -498,6 +598,10 @@ impl Machine {
         }
         self.tape.reset(opts.tape_limit);
         self.stats = ExecStats::default();
+        self.prof.clear();
+        if opts.profile {
+            self.prof.resize(func.instrs.len(), 0);
+        }
     }
 
     /// Runs `func` on `args` under `opts`, reusing this machine's buffers.
@@ -540,8 +644,10 @@ impl Machine {
         // Packed dispatch when the packer produced words (the default);
         // enum dispatch otherwise. Validation proved the two streams
         // equivalent, so the choice is unobservable apart from speed.
-        let ret = match &func.packed {
-            Some(p) => exec_loop_packed(
+        // Profiling selects a separately monomorphized loop so the
+        // default path carries no per-iteration check.
+        let ret = match (&func.packed, opts.profile) {
+            (Some(p), false) => exec_loop_packed::<false>(
                 func,
                 p,
                 opts,
@@ -550,8 +656,20 @@ impl Machine {
                 &mut self.a,
                 &mut self.tape,
                 &mut self.stats,
+                &mut self.prof,
             )?,
-            None => exec_loop(
+            (Some(p), true) => exec_loop_packed::<true>(
+                func,
+                p,
+                opts,
+                &mut self.f,
+                &mut self.i,
+                &mut self.a,
+                &mut self.tape,
+                &mut self.stats,
+                &mut self.prof,
+            )?,
+            (None, false) => exec_loop::<false>(
                 func,
                 opts,
                 &mut self.f,
@@ -559,15 +677,30 @@ impl Machine {
                 &mut self.a,
                 &mut self.tape,
                 &mut self.stats,
+                &mut self.prof,
+            )?,
+            (None, true) => exec_loop::<true>(
+                func,
+                opts,
+                &mut self.f,
+                &mut self.i,
+                &mut self.a,
+                &mut self.tape,
+                &mut self.stats,
+                &mut self.prof,
             )?,
         };
         self.stats.tape_peak_bytes = self.tape.peak_bytes();
         self.stats.tape_total_pushes = self.tape.total_pushes();
         let args = self.unbind_args(func);
+        let profile = opts.profile.then(|| ExecProfile {
+            pc_counts: std::mem::take(&mut self.prof),
+        });
         Ok(CallOutcome {
             ret,
             args,
             stats: self.stats,
+            profile,
         })
     }
 
@@ -878,7 +1011,7 @@ pub fn validate_function(func: &CompiledFunction) -> Result<(), String> {
 /// are runtime values and stay checked.
 #[allow(clippy::too_many_arguments)]
 #[inline(never)] // own code-layout home: keeps dispatch-loop timing stable
-fn exec_loop(
+fn exec_loop<const PROFILE: bool>(
     func: &CompiledFunction,
     opts: &ExecOptions,
     f: &mut [f64],
@@ -886,6 +1019,7 @@ fn exec_loop(
     a: &mut [ArraySlot],
     tape: &mut Tape,
     stats: &mut ExecStats,
+    prof: &mut [u64],
 ) -> Result<Option<Value>, Trap> {
     let instrs = &func.instrs[..];
     let approx = &opts.approx;
@@ -951,6 +1085,9 @@ fn exec_loop(
             break None; // treated like RetVoid for robustness
         };
         executed += 1;
+        if PROFILE {
+            prof[pc] += 1;
+        }
         match ins {
             Instr::FConst { dst, v } => fw!(dst, *v),
             Instr::FMov { dst, src } => fw!(dst, fr!(src)),
@@ -1252,7 +1389,7 @@ fn exec_loop(
 #[allow(clippy::too_many_arguments)]
 #[allow(unused_unsafe)] // `fld!` is an unsafe load and composes with the access macros
 #[inline(never)] // own code-layout home: keeps dispatch-loop timing stable
-fn exec_loop_packed(
+fn exec_loop_packed<const PROFILE: bool>(
     func: &CompiledFunction,
     packed: &crate::pack::PackedCode,
     opts: &ExecOptions,
@@ -1261,6 +1398,7 @@ fn exec_loop_packed(
     a: &mut [ArraySlot],
     tape: &mut Tape,
     stats: &mut ExecStats,
+    prof: &mut [u64],
 ) -> Result<Option<Value>, Trap> {
     use crate::pack::{
         cmp_from, op, ty_from, w_a, w_b, w_b_i16, w_c, w_c_i16, w_d, w_d_i8, w_op, INTRINSICS,
@@ -1343,6 +1481,12 @@ fn exec_loop_packed(
         if pc >= len {
             executed += (pc - block_start) as u64;
             break None; // fall off the end: treated like RetVoid
+        }
+        // Per-pc profiling stays per-iteration even though `executed` is
+        // block-granular here: one increment per dispatched word sums to
+        // the same total the block accounting reports.
+        if PROFILE {
+            prof[pc] += 1;
         }
         match fld!(w_op) {
             op::FCONST => fw!(

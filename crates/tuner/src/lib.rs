@@ -198,14 +198,30 @@ impl FaultSummary {
     }
 
     fn bump(&mut self, fault: &Fault) {
+        // The registry mirrors every event the public counters see
+        // (`bump` only runs at `run_trial`'s fault sites, never on
+        // result-side `merge`), so `tuner.faults.*` is a process-wide
+        // view over the same ground truth as `TuneResult::faults`.
         match fault {
             // A non-finite *trap* is still a non-finite event: an
             // injected NaN arms `trap_on_nonfinite` for its run, so it
             // surfaces here instead of as a raw measurement.
-            Fault::Trap(t) if matches!(t.kind, TrapKind::NonFinite { .. }) => self.nonfinite += 1,
-            Fault::Trap(_) => self.trapped += 1,
-            Fault::Panic { .. } => self.panicked += 1,
-            Fault::NonFinite(_) => self.nonfinite += 1,
+            Fault::Trap(t) if matches!(t.kind, TrapKind::NonFinite { .. }) => {
+                self.nonfinite += 1;
+                chef_telemetry::counter!("tuner.faults.nonfinite").inc();
+            }
+            Fault::Trap(_) => {
+                self.trapped += 1;
+                chef_telemetry::counter!("tuner.faults.trapped").inc();
+            }
+            Fault::Panic { .. } => {
+                self.panicked += 1;
+                chef_telemetry::counter!("tuner.faults.panicked").inc();
+            }
+            Fault::NonFinite(_) => {
+                self.nonfinite += 1;
+                chef_telemetry::counter!("tuner.faults.nonfinite").inc();
+            }
         }
     }
 }
@@ -291,6 +307,7 @@ fn run_trial<T>(
     attempt: &mut dyn FnMut(Option<u64>) -> Result<T, ChefError>,
     value_of: &dyn Fn(&T) -> Option<f64>,
 ) -> Result<TrialOutcome<T>, ChefError> {
+    let _span = chef_telemetry::span("trial");
     let mut once = |floor: Option<u64>| -> Result<Result<T, (Fault, Option<T>)>, ChefError> {
         match catch_unwind(AssertUnwindSafe(|| attempt(floor))) {
             Ok(Ok(v)) => match value_of(&v) {
@@ -316,12 +333,14 @@ fn run_trial<T>(
         },
         _ => None,
     };
+    chef_telemetry::counter!("tuner.faults.retried").inc();
     log.with(|s| {
         s.bump(&first);
         s.retried += 1;
     });
     match once(floor)? {
         Ok(v) => {
+            chef_telemetry::counter!("tuner.faults.recovered").inc();
             log.with(|s| {
                 s.recovered += 1;
                 s.note(format!(
@@ -333,6 +352,7 @@ fn run_trial<T>(
             Ok(TrialOutcome::Done(v))
         }
         Err((second, v)) => {
+            chef_telemetry::counter!("tuner.faults.quarantined").inc();
             log.with(|s| {
                 s.bump(&second);
                 s.quarantined += 1;
@@ -463,6 +483,7 @@ impl VariantCache {
         let key = (primal.name.clone(), pm.sorted_entries());
         if let Some(hit) = self.table().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            chef_telemetry::counter!("tuner.cache.hits").inc();
             return Ok(hit.clone());
         }
         let compiled = Arc::new(compile(
@@ -473,6 +494,7 @@ impl VariantCache {
             },
         )?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        chef_telemetry::counter!("tuner.cache.misses").inc();
         Ok(self.table().entry(key).or_insert(compiled).clone())
     }
 }
@@ -686,6 +708,7 @@ fn validate_configs_impl(
     fault: Option<&FaultPlan>,
     log: &FaultLog,
 ) -> Result<Vec<ValidationReport>, ChefError> {
+    let _span = chef_telemetry::span("validate");
     let inlined = chef_passes::inline_program(program).map_err(ChefError::Inline)?;
     let primal = inlined
         .function(func)
@@ -899,6 +922,7 @@ pub fn tune_with_oracle(
     let mut m64 = cache.shadow64().checkout();
     let mut mdd = cache.shadow_dd().checkout();
     let mut measure = |names: &[String], floor: Option<u64>| -> Result<ShadowReport, ChefError> {
+        let _span = chef_telemetry::span("oracle_run");
         let pm = config_for(primal, names, cfg.target);
         let compiled = cache
             .get_or_compile(primal, &pm)
@@ -983,6 +1007,7 @@ pub fn tune_with_oracle(
     let mut measured: Option<f64> = match measure_isolated(&[])? {
         Some(start) if start.diverged() => {
             divergent_trials += 1;
+            chef_telemetry::counter!("tuner.trials.divergent").inc();
             None
         }
         Some(start) => Some(start.output_error),
@@ -1004,6 +1029,7 @@ pub fn tune_with_oracle(
             return Ok(Some(rep.output_error));
         }
         *divergent_trials += 1;
+        chef_telemetry::counter!("tuner.trials.divergent").inc();
         match opts.divergence_policy {
             DivergencePolicy::Reject => Ok(None),
             DivergencePolicy::TwoRunValidate => {
@@ -1560,6 +1586,52 @@ mod tests {
         assert_eq!(res.measured_error, None);
         assert!(res.faults.quarantined >= 9, "{:?}", res.faults); // start + 8 trials
         assert_eq!(res.faults.recovered, 0);
+    }
+
+    /// The telemetry registry mirrors the fault counters and survives
+    /// the panicking-trial paths from the fault layer: a mixed-plan
+    /// tune injects worker panics (which poison any mutex held across
+    /// the unwind), yet `chef_telemetry::snapshot()` keeps working and
+    /// every `tuner.faults.*` counter advances by at least this tune's
+    /// own `FaultSummary` counts. Deltas use `>=` because the registry
+    /// is process-global and other tests in this binary increment it
+    /// concurrently.
+    #[test]
+    fn telemetry_registry_survives_fault_injected_trials() {
+        use chef_exec::fault::FaultPlan;
+        let p = eight_var_kernel();
+        let args = vec![ArgValue::F(0.61)];
+        let mut cfg = TunerConfig::with_threshold(1e-3);
+        // Mixed plan, period 3: draws 1, 4, 7, … fire, cycling
+        // trap → panic → NaN, so a panic is injected by draw 4.
+        let plan = FaultPlan::new(None, 3, 1, 1);
+        cfg.fault_plan = Some(plan.clone());
+
+        let before = chef_telemetry::snapshot();
+        let cache = VariantCache::new();
+        let mut total = FaultSummary::default();
+        while plan.draws() < 40 {
+            let res =
+                tune_with_oracle(&p, "f", &args, &cfg, &OracleTuneOptions::reranked(), &cache)
+                    .unwrap();
+            total.merge(&res.faults);
+        }
+        assert!(
+            total.panicked >= 1,
+            "plan never injected a panic: {total:?}"
+        );
+        assert!(total.trapped >= 1, "{total:?}");
+        assert!(total.nonfinite >= 1, "{total:?}");
+
+        let after = chef_telemetry::snapshot();
+        let delta = |name: &str| after.counter(name).saturating_sub(before.counter(name));
+        assert!(delta("tuner.faults.trapped") >= total.trapped);
+        assert!(delta("tuner.faults.panicked") >= total.panicked);
+        assert!(delta("tuner.faults.nonfinite") >= total.nonfinite);
+        assert!(delta("tuner.faults.retried") >= total.retried);
+        assert!(delta("tuner.faults.recovered") >= total.recovered);
+        assert!(delta("tuner.cache.misses") >= 1, "first tune misses");
+        assert!(delta("tuner.cache.hits") >= 1, "later tunes hit");
     }
 
     #[test]
