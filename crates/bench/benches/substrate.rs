@@ -242,6 +242,41 @@ fn benches(c: &mut Criterion) {
     });
     g.finish();
 
+    // Service layer: the same 64 independent runs submitted through an
+    // `AnalysisServer` session — prices admission control, the
+    // work-stealing queue, per-job stats and breaker feedback against
+    // the raw parallel batch path the service wraps (`parallel-64`
+    // above is the baseline).
+    let mut g = c.benchmark_group("service/session-batch");
+    g.sample_size(10);
+    g.bench_function("session-64", |b| {
+        let server = chef_service::AnalysisServer::new(chef_service::ServiceConfig {
+            max_queue_depth: 128,
+            ..Default::default()
+        });
+        let session = server
+            .open_session(
+                chef_service::SessionSpec::named("bench")
+                    .with_fault(chef_exec::fault::FaultPlan::new(None, 0, 0, 1)),
+            )
+            .unwrap();
+        let func = std::sync::Arc::new(fused.clone());
+        b.iter(|| {
+            let tickets: Vec<_> = (0..64)
+                .map(|_| {
+                    session
+                        .submit_run(func.clone(), vec![ArgValue::I(2_000)])
+                        .unwrap()
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().completed().expect("bench job completes").ret_f())
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+
     // Transformation pipeline cost (compile-time work, amortized over
     // analyses in CHEF-FP; paid per run by tracing tools).
     let src = chef_apps::blackscholes::SOURCE;

@@ -71,6 +71,13 @@ fn main() {
         smoke();
         return;
     }
+    if args
+        .iter()
+        .any(|a| a == "--serve-smoke" || a == "serve-smoke")
+    {
+        serve_smoke();
+        return;
+    }
     if args.iter().any(|a| a == "--profile" || a == "profile") {
         profile_table();
         return;
@@ -1121,6 +1128,51 @@ fn smoke() {
             .ret_f()
     });
 
+    // 7. Service layer: the same fused kernel, 64 independent runs
+    // pushed through an `AnalysisServer` session — admission, per-job
+    // stats and telemetry included. The session's own latency ledger
+    // yields the p50/p99 per-job figures; the wall time prices the
+    // whole round trip (its `service.*` counters land in the telemetry
+    // snapshot below).
+    let (service_wall_ms, service_p50_ms, service_p99_ms) = {
+        let server = chef_service::AnalysisServer::new(chef_service::ServiceConfig {
+            max_queue_depth: 128,
+            ..Default::default()
+        });
+        let session = server
+            .open_session(
+                chef_service::SessionSpec::named("smoke")
+                    .with_fault(chef_exec::fault::FaultPlan::new(None, 0, 0, 1)),
+            )
+            .or_fail("service session rejected");
+        let func = std::sync::Arc::new(fused.clone());
+        let t0 = std::time::Instant::now();
+        let tickets: Vec<_> = (0..64)
+            .map(|_| {
+                session
+                    .submit_run(func.clone(), vec![ArgValue::I(2_000)])
+                    .or_fail("service submission rejected")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().completed().or_fail("service job did not complete");
+        }
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let report = server.drain();
+        if !report.leak_free() {
+            eprintln!(
+                "service leak: {} checkout(s) outstanding after drain",
+                report.outstanding_checkouts
+            );
+            std::process::exit(1);
+        }
+        let (p50, _, p99) = session
+            .stats()
+            .latency_quantiles()
+            .or_fail("service session recorded no latencies");
+        (wall, p50 as f64 / 1e6, p99 as f64 / 1e6)
+    };
+
     let rows = [
         ("vm_arclen_fused_ms", vm_fused_ms),
         ("vm_arclen_unfused_ms", vm_unfused_ms),
@@ -1133,6 +1185,9 @@ fn smoke() {
         ("analysis_batch32_ms", batch_ms),
         ("tuner_simpsons_ms", tuner_ms),
         ("sensitivity_hpccg_ms", sens_ms),
+        ("service_batch64_wall_ms", service_wall_ms),
+        ("service_job_p50_ms", service_p50_ms),
+        ("service_job_p99_ms", service_p99_ms),
     ];
     for (name, ms) in &rows {
         println!("{name:<32} {ms:>9.3} ms");
@@ -1298,6 +1353,238 @@ fn smoke() {
     if failed {
         std::process::exit(1);
     }
+}
+
+// ------------------------------------------------------------ serve smoke
+
+/// `repro --serve-smoke`: the chef-service soak gate. Runs one
+/// [`chef_service::AnalysisServer`] through every degraded regime at
+/// once — clean sessions, a fault-injected session (seed from
+/// `CHEF_FAULT_SEED`, so the CI matrix varies it), a deadline-bound
+/// session and a budget-starved one that trips its breaker — then
+/// prints the per-session outcome table and self-verifies:
+///
+/// * **contamination**: every clean-session result is bit-identical to
+///   a solo run on a fresh machine;
+/// * **termination**: every submitted job reached a terminal outcome
+///   (a hang here times out the CI job — that *is* the gate);
+/// * **typed degradation**: deadline overruns surface as
+///   `DeadlineExceeded` with a valid pc, budget exhaustion quarantines
+///   the session via its breaker instead of failing the run;
+/// * **leak-free drain**: zero machine-arena checkouts outstanding.
+///
+/// Exits non-zero on any violation.
+fn serve_smoke() {
+    use chef_exec::fault::FaultPlan;
+    use chef_service::{AnalysisServer, Outcome, RejectReason, ServiceConfig, SessionSpec};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let seed = std::env::var("CHEF_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(42);
+    header(&format!(
+        "service smoke: concurrent sessions under fault injection (seed {seed})"
+    ));
+
+    let inert = || FaultPlan::new(None, 0, 0, 1);
+    let server = AnalysisServer::new(ServiceConfig {
+        workers: 4,
+        max_queue_depth: 256,
+        ..Default::default()
+    });
+    let p = chef_apps::arclen::program();
+    let func = Arc::new(
+        compile_default(
+            p.function(chef_apps::arclen::NAME)
+                .or_fail("arclen kernel not found"),
+        )
+        .or_fail("arclen compile failed"),
+    );
+    let mut failed = false;
+
+    // Clean pair + noisy neighbour, interleaved onto the shared workers.
+    let clean_a = server
+        .open_session(SessionSpec::named("clean-a").with_fault(inert()))
+        .or_fail("open clean-a");
+    let clean_b = server
+        .open_session(SessionSpec::named("clean-b").with_fault(inert()))
+        .or_fail("open clean-b");
+    let faulty = server
+        .open_session(SessionSpec::named("faulty").with_fault(FaultPlan::from_seed(seed, None)))
+        .or_fail("open faulty");
+    let mut clean_tickets = Vec::new();
+    let mut faulty_tickets = Vec::new();
+    for k in 0..24u32 {
+        let args = vec![ArgValue::I(1_000 + k as i64)];
+        clean_tickets.push((
+            k,
+            clean_a
+                .submit_run(func.clone(), args.clone())
+                .or_fail("submit"),
+        ));
+        faulty_tickets.push(
+            faulty
+                .submit_run(func.clone(), args.clone())
+                .or_fail("submit"),
+        );
+        clean_tickets.push((k, clean_b.submit_run(func.clone(), args).or_fail("submit")));
+    }
+    let solo_opts = ExecOptions {
+        fault: Some(inert()),
+        ..Default::default()
+    };
+    for (k, t) in clean_tickets {
+        match t.wait() {
+            Outcome::Completed { value, .. } => {
+                let solo =
+                    chef_exec::vm::run_with(&func, vec![ArgValue::I(1_000 + k as i64)], &solo_opts)
+                        .or_fail("solo reference run trapped");
+                if value.ret_f().to_bits() != solo.ret_f().to_bits() {
+                    eprintln!("contamination: clean run {k} diverged from its solo reference");
+                    failed = true;
+                }
+            }
+            other => {
+                eprintln!("clean session job {k} not completed: {}", other.kind());
+                failed = true;
+            }
+        }
+    }
+    for t in faulty_tickets {
+        t.wait(); // terminal (completed, retried-completed, or typed fault)
+    }
+
+    // Deadline regime: an over-budget run must degrade to a typed trap.
+    let deadline = server
+        .open_session(
+            SessionSpec::named("deadline")
+                .with_deadline(Duration::from_millis(5))
+                .with_fault(inert()),
+        )
+        .or_fail("open deadline");
+    match deadline
+        .submit_run(func.clone(), vec![ArgValue::I(200_000_000)])
+        .or_fail("submit")
+        .wait()
+    {
+        Outcome::DeadlineExceeded { pc, .. } if pc < func.instrs.len() => {}
+        other => {
+            eprintln!(
+                "deadline overrun was not a typed DeadlineExceeded: {}",
+                other.kind()
+            );
+            failed = true;
+        }
+    }
+    match deadline
+        .submit_run(func.clone(), vec![ArgValue::I(100)])
+        .or_fail("submit")
+        .wait()
+    {
+        Outcome::Completed { .. } => {}
+        other => {
+            eprintln!("short run after a deadline trap failed: {}", other.kind());
+            failed = true;
+        }
+    }
+
+    // Budget regime: repeated exhaustion trips the breaker (quarantine),
+    // which is the *intended* degraded state — not a smoke failure.
+    let budget = server
+        .open_session(
+            SessionSpec::named("budget")
+                .with_budget(100)
+                .with_fault(inert()),
+        )
+        .or_fail("open budget");
+    for _ in 0..3 {
+        budget
+            .submit_run(func.clone(), vec![ArgValue::I(100_000)])
+            .or_fail("submit")
+            .wait();
+    }
+    if !budget.quarantined() {
+        eprintln!("budget session did not trip its breaker after 3 exhausted jobs");
+        failed = true;
+    }
+    match budget.submit_run(func.clone(), vec![ArgValue::I(100)]) {
+        Err(rej) if rej.reason == RejectReason::CircuitOpen => {}
+        Err(rej) => {
+            eprintln!("quarantined session rejected with the wrong reason: {rej}");
+            failed = true;
+        }
+        Ok(t) => {
+            t.wait();
+            eprintln!("quarantined session admitted a job");
+            failed = true;
+        }
+    }
+
+    let sessions = [&clean_a, &clean_b, &faulty, &deadline, &budget];
+    println!(
+        "{:<10} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} | {:>9} {:>9} {:>9}",
+        "session",
+        "sub",
+        "done",
+        "retry",
+        "fault",
+        "ddl",
+        "rej",
+        "quar",
+        "p50 us",
+        "p95 us",
+        "p99 us"
+    );
+    for s in sessions {
+        let st = s.stats();
+        let (p50, p95, p99) = st
+            .latency_quantiles()
+            .map(|(a, b, c)| (a as f64 / 1e3, b as f64 / 1e3, c as f64 / 1e3))
+            .unwrap_or((0.0, 0.0, 0.0));
+        println!(
+            "{:<10} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} | {:>9.1} {:>9.1} {:>9.1}",
+            s.name(),
+            st.submitted,
+            st.completed,
+            st.retried,
+            st.faulted,
+            st.deadline_exceeded,
+            st.rejected_backpressure,
+            st.rejected_quarantine,
+            p50,
+            p95,
+            p99
+        );
+        if st.terminal() != st.submitted {
+            eprintln!(
+                "termination: session {} submitted {} but only {} reached a terminal state",
+                s.name(),
+                st.submitted,
+                st.terminal()
+            );
+            failed = true;
+        }
+    }
+
+    let report = server.drain();
+    if !report.leak_free() {
+        eprintln!(
+            "leak: {} machine-arena checkout(s) outstanding after drain",
+            report.outstanding_checkouts
+        );
+        failed = true;
+    }
+    println!(
+        "drain: {} session(s), {} checkout(s) outstanding",
+        report.sessions.len(),
+        report.outstanding_checkouts
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    println!("service smoke: all gates passed");
 }
 
 // ------------------------------------------------------------- profiling

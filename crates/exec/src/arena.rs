@@ -16,13 +16,32 @@
 use crate::shadow::ShadowMachine;
 use crate::vm::Machine;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Process-wide count of machines currently checked out of any pool,
+/// mirrored into the `exec.arena.outstanding` gauge. A drained server
+/// (every trial finished, every guard dropped) reads exactly zero here —
+/// the leak detector behind `chef-service`'s drain verification.
+static OUTSTANDING: AtomicI64 = AtomicI64::new(0);
+
+fn note_checkout() {
+    chef_telemetry::counter!("exec.arena.checkouts").inc();
+    let now = OUTSTANDING.fetch_add(1, Ordering::Relaxed) + 1;
+    chef_telemetry::gauge!("exec.arena.outstanding").set(now as f64);
+}
+
+fn note_return() {
+    let now = OUTSTANDING.fetch_sub(1, Ordering::Relaxed) - 1;
+    chef_telemetry::gauge!("exec.arena.outstanding").set(now as f64);
+}
 
 /// A pool of reusable machines. Cheap to create; `Sync`, so one instance
 /// can serve every worker thread of a batch and every step of a greedy
 /// loop.
 pub struct Pool<M> {
     slots: Mutex<Vec<M>>,
+    checked_out: AtomicUsize,
 }
 
 impl<M: Default> Default for Pool<M> {
@@ -37,6 +56,7 @@ impl<M: Default> Pool<M> {
     pub fn new() -> Self {
         Pool {
             slots: Mutex::new(Vec::new()),
+            checked_out: AtomicUsize::new(0),
         }
     }
 
@@ -52,7 +72,8 @@ impl<M: Default> Pool<M> {
     /// Takes a machine out of the pool (creating one if none is idle).
     /// The guard returns it — buffers intact — when dropped.
     pub fn checkout(&self) -> Pooled<'_, M> {
-        chef_telemetry::counter!("exec.arena.checkouts").inc();
+        note_checkout();
+        self.checked_out.fetch_add(1, Ordering::Relaxed);
         let m = self.slots().pop();
         Pooled {
             pool: self,
@@ -63,6 +84,14 @@ impl<M: Default> Pool<M> {
     /// Number of idle machines currently parked in the pool.
     pub fn idle(&self) -> usize {
         self.slots().len()
+    }
+
+    /// Number of machines currently checked out of *this* pool and not
+    /// yet returned. A machine discarded because its run panicked still
+    /// counts as returned (the guard's drop ran) — outstanding means a
+    /// live guard somewhere, i.e. a trial still holding resources.
+    pub fn outstanding(&self) -> usize {
+        self.checked_out.load(Ordering::Relaxed)
     }
 }
 
@@ -88,6 +117,11 @@ impl<M: Default> DerefMut for Pooled<'_, M> {
 
 impl<M: Default> Drop for Pooled<'_, M> {
     fn drop(&mut self) {
+        // Return accounting runs unconditionally — a discarded machine
+        // is still a *returned* checkout (nothing holds it any more), so
+        // the outstanding gauge drains to zero even across panics.
+        self.pool.checked_out.fetch_sub(1, Ordering::Relaxed);
+        note_return();
         // A guard dropped during a panic's unwind may hold a machine
         // whose run was interrupted mid-mutation. `Machine::reset`
         // would re-initialize it anyway, but discarding costs only a

@@ -583,6 +583,12 @@ impl<S: ShadowNum> ShadowMachine<S> {
         let budget = opts.max_instrs.unwrap_or(u64::MAX);
         let check_div = opts.detect_divergence;
         let trap_nf = opts.trap_on_nonfinite;
+        let deadline = opts.deadline;
+        let mut deadline_at: u64 = if deadline.is_some() {
+            crate::vm::DEADLINE_STRIDE
+        } else {
+            u64::MAX
+        };
         let mut executed: u64 = 0;
         let mut pc: usize = 0;
 
@@ -720,8 +726,15 @@ impl<S: ShadowNum> ShadowMachine<S> {
         macro_rules! jump {
             ($target:expr) => {{
                 let t = $target as usize;
-                if t <= pc && executed > budget {
-                    return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
+                if t <= pc {
+                    if executed > budget {
+                        return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
+                    }
+                    if executed >= deadline_at
+                        && crate::vm::deadline_probe(deadline, executed, &mut deadline_at)
+                    {
+                        return Err(trap(TrapKind::DeadlineExceeded { executed }, pc));
+                    }
                 }
                 pc = t;
                 continue;
@@ -1410,6 +1423,12 @@ impl<S: ShadowNum> ShadowMachine<S> {
         let budget = opts.max_instrs.unwrap_or(u64::MAX);
         let check_div = opts.detect_divergence;
         let trap_nf = opts.trap_on_nonfinite;
+        let deadline = opts.deadline;
+        let mut deadline_at: u64 = if deadline.is_some() {
+            crate::vm::DEADLINE_STRIDE
+        } else {
+            u64::MAX
+        };
         let mut executed: u64 = 0;
         let mut pc: usize = 0;
 
@@ -1462,8 +1481,15 @@ impl<S: ShadowNum> ShadowMachine<S> {
         macro_rules! jump {
             ($target:expr) => {{
                 let t = $target;
-                if t <= pc && executed > budget {
-                    return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
+                if t <= pc {
+                    if executed > budget {
+                        return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
+                    }
+                    if executed >= deadline_at
+                        && crate::vm::deadline_probe(deadline, executed, &mut deadline_at)
+                    {
+                        return Err(trap(TrapKind::DeadlineExceeded { executed }, pc));
+                    }
                 }
                 pc = t;
                 continue;
@@ -2622,5 +2648,29 @@ mod tests {
             "{:?}",
             err.kind
         );
+    }
+
+    #[test]
+    fn deadline_traps_in_both_shadow_loops() {
+        let mut p = parse_program("void f() { while (true) { } }").unwrap();
+        check_program(&mut p).unwrap();
+        for pack in [false, true] {
+            let func = compile(
+                &p.functions[0],
+                &CompileOptions {
+                    pack,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(func.packed.is_some(), pack);
+            let opts = ExecOptions::default().deadline_in(std::time::Duration::from_millis(5));
+            let err = run_shadow::<f64>(&func, vec![], &opts).unwrap_err();
+            let TrapKind::DeadlineExceeded { executed } = err.kind else {
+                panic!("expected deadline trap, got {:?} (pack: {pack})", err.kind);
+            };
+            assert!(executed >= crate::vm::DEADLINE_STRIDE, "{executed}");
+            assert!(err.pc < func.instrs.len(), "pc {} out of range", err.pc);
+        }
     }
 }

@@ -52,6 +52,17 @@ pub struct ExecOptions {
     /// first backward jump or return after the budget is exhausted, so a
     /// run may execute up to one straight-line block past the budget.
     pub max_instrs: Option<u64>,
+    /// Cooperative wall-clock deadline (off by default): the run traps
+    /// with [`TrapKind::DeadlineExceeded`] at the first budget checkpoint
+    /// (taken backward jump) past the instant. The clock is only
+    /// consulted every [`DEADLINE_STRIDE`] executed instructions, so an
+    /// armed deadline costs one `Instant::now()` per stride and a
+    /// disarmed one costs a single always-false compare per backward
+    /// jump — the same cost class as the `max_instrs` check. Deadlines
+    /// are the per-trial wall budget of `chef-service` sessions; like
+    /// the instruction budget, exceeding one is a typed trap with pc
+    /// attribution, never a panic.
+    pub deadline: Option<std::time::Instant>,
     /// Shadow-execution divergence detection (on by default): the fused
     /// shadow pass re-evaluates every float comparison and float→int
     /// truncation on the shadow operands and records a
@@ -88,11 +99,51 @@ impl Default for ExecOptions {
             approx: ApproxConfig::default(),
             tape_limit: None,
             max_instrs: None,
+            deadline: None,
             detect_divergence: true,
             trap_on_nonfinite: false,
             fault: None,
             profile: false,
         }
+    }
+}
+
+impl ExecOptions {
+    /// `self` with [`ExecOptions::deadline`] armed `budget` from now —
+    /// the per-trial wall clock starts at the call, not at queue time.
+    pub fn deadline_in(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(std::time::Instant::now() + budget);
+        self
+    }
+}
+
+/// Instructions between wall-clock reads when [`ExecOptions::deadline`]
+/// is armed. The dispatch loops compare `executed` against the next
+/// probe point at every taken backward jump (one register compare, the
+/// same checkpoint the instruction budget uses) and only touch
+/// `Instant::now()` when the stride is crossed, so a deadline can be
+/// overshot by at most one stride of work plus one straight-line block.
+pub const DEADLINE_STRIDE: u64 = 8 * 1024;
+
+/// Amortized deadline probe shared by all four dispatch loops. Returns
+/// `true` when the armed deadline has passed; otherwise advances `next`
+/// by one stride. Cold: reached at most once per [`DEADLINE_STRIDE`]
+/// executed instructions, and never when no deadline is armed (`next`
+/// stays at `u64::MAX` then).
+#[cold]
+#[inline(never)]
+pub(crate) fn deadline_probe(
+    deadline: Option<std::time::Instant>,
+    executed: u64,
+    next: &mut u64,
+) -> bool {
+    match deadline {
+        Some(d) if std::time::Instant::now() >= d => true,
+        Some(_) => {
+            *next = executed.saturating_add(DEADLINE_STRIDE);
+            false
+        }
+        None => false,
     }
 }
 
@@ -121,6 +172,16 @@ pub enum TrapKind {
     /// guessing.
     InstrBudgetExhausted {
         /// Instructions executed when the budget checkpoint fired.
+        executed: u64,
+    },
+    /// The [`ExecOptions::deadline`] passed. Fired cooperatively at a
+    /// taken backward jump (the same checkpoints as the instruction
+    /// budget, probed every [`DEADLINE_STRIDE`] instructions), so the
+    /// trap's `pc`/span attribute the loop that was running when the
+    /// wall budget ran out.
+    DeadlineExceeded {
+        /// Block-granular instructions executed when the deadline
+        /// checkpoint fired.
         executed: u64,
     },
     /// A float write produced NaN or ±Inf under
@@ -1025,6 +1086,14 @@ fn exec_loop<const PROFILE: bool>(
     let approx = &opts.approx;
     let budget = opts.max_instrs.unwrap_or(u64::MAX);
     let trap_nf = opts.trap_on_nonfinite;
+    let deadline = opts.deadline;
+    // Next executed-count at which the wall clock is consulted; `MAX`
+    // (deadline disarmed) makes the checkpoint a single dead compare.
+    let mut deadline_at: u64 = if deadline.is_some() {
+        DEADLINE_STRIDE
+    } else {
+        u64::MAX
+    };
     let mut executed: u64 = 0;
     let mut pc: usize = 0;
 
@@ -1068,12 +1137,18 @@ fn exec_loop<const PROFILE: bool>(
         };
     }
     // Taken jumps: backward edges also account the instruction budget
-    // (the only way a program runs forever is through a backward jump).
+    // and the wall deadline (the only way a program runs forever is
+    // through a backward jump).
     macro_rules! jump {
         ($target:expr) => {{
             let t = $target as usize;
-            if t <= pc && executed > budget {
-                return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
+            if t <= pc {
+                if executed > budget {
+                    return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
+                }
+                if executed >= deadline_at && deadline_probe(deadline, executed, &mut deadline_at) {
+                    return Err(trap(TrapKind::DeadlineExceeded { executed }, pc));
+                }
             }
             pc = t;
             continue;
@@ -1409,6 +1484,12 @@ fn exec_loop_packed<const PROFILE: bool>(
     let approx = &opts.approx;
     let budget = opts.max_instrs.unwrap_or(u64::MAX);
     let trap_nf = opts.trap_on_nonfinite;
+    let deadline = opts.deadline;
+    let mut deadline_at: u64 = if deadline.is_some() {
+        DEADLINE_STRIDE
+    } else {
+        u64::MAX
+    };
     // Executed-instruction accounting is block-granular: instead of a
     // loop-carried `executed += 1`, the straight-line run since
     // `block_start` is added at every taken jump and at returns — the
@@ -1468,8 +1549,13 @@ fn exec_loop_packed<const PROFILE: bool>(
         ($target:expr) => {{
             let t = $target;
             executed += (pc - block_start + 1) as u64;
-            if t <= pc && executed > budget {
-                return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
+            if t <= pc {
+                if executed > budget {
+                    return Err(trap(TrapKind::InstrBudgetExhausted { executed }, pc));
+                }
+                if executed >= deadline_at && deadline_probe(deadline, executed, &mut deadline_at) {
+                    return Err(trap(TrapKind::DeadlineExceeded { executed }, pc));
+                }
             }
             block_start = t;
             pc = t;
@@ -2019,6 +2105,61 @@ mod tests {
         // A run that fits the budget is unaffected.
         let ok = run_with(&f, vec![ArgValue::I(2)], &opts).unwrap();
         assert_eq!(ok.ret_f(), 2.0);
+    }
+
+    #[test]
+    fn deadline_stops_infinite_loop_with_a_typed_trap() {
+        let mut p = parse_program("void f() { while (true) { } }").unwrap();
+        check_program(&mut p).unwrap();
+        // Both dispatch loops: enum (pack: false) and packed.
+        for pack in [false, true] {
+            let f = compile(
+                &p.functions[0],
+                &CompileOptions {
+                    pack,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(f.packed.is_some(), pack);
+            let opts = ExecOptions::default().deadline_in(std::time::Duration::from_millis(5));
+            let err = run_with(&f, vec![], &opts).unwrap_err();
+            let TrapKind::DeadlineExceeded { executed } = err.kind else {
+                panic!("expected deadline trap, got {:?} (pack: {pack})", err.kind);
+            };
+            assert!(
+                executed >= DEADLINE_STRIDE,
+                "the first probe happens a full stride in, not before ({executed})"
+            );
+            // The trap attributes a real pc (the loop's backward jump).
+            assert!(err.pc < f.instrs.len(), "pc {} out of range", err.pc);
+        }
+    }
+
+    #[test]
+    fn short_runs_complete_even_under_an_expired_deadline() {
+        // Probes are stride-amortized: a run shorter than one stride
+        // never reads the clock, so a deadline already in the past
+        // cannot stop it — completion wins over a late cancellation.
+        let mut p = parse_program(
+            "double f(int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += 1.0; } return s; }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        let f = compile_default(&p.functions[0]).unwrap();
+        let opts = ExecOptions {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..Default::default()
+        };
+        let ok = run_with(&f, vec![ArgValue::I(100)], &opts).unwrap();
+        assert_eq!(ok.ret_f(), 100.0);
+        // The same expired deadline stops a loop longer than a stride.
+        let err = run_with(&f, vec![ArgValue::I(10_000_000)], &opts).unwrap_err();
+        assert!(
+            matches!(err.kind, TrapKind::DeadlineExceeded { .. }),
+            "{:?}",
+            err.kind
+        );
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Per-session circuit breaker: a session whose jobs keep faulting is
+//! quarantined at *admission* instead of being allowed to burn worker
+//! time, and is probed back to health instead of being banned forever.
+//!
+//! The breaker is **count-based**, not clock-based: tripping requires
+//! `trip_after` *consecutive* job faults, the open state rejects the next
+//! `cooldown` submissions, and the submission after that is admitted as a
+//! single half-open probe. A successful probe closes the breaker; a
+//! faulting probe re-opens it for another cooldown. Counting in
+//! submissions rather than seconds keeps every transition deterministic
+//! under test (and under the CI fault-injection matrix) while preserving
+//! the shape of a classic time-based breaker — the rejected submissions
+//! *are* the cooldown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Breaker tuning; see the module docs for the state machine.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive job faults that trip the breaker open.
+    pub trip_after: u32,
+    /// Submissions rejected while open before a half-open probe is let
+    /// through.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 3,
+            cooldown: 8,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Closed {
+        consecutive_faults: u32,
+    },
+    Open {
+        rejects_left: u32,
+    },
+    /// One probe job is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// What the breaker says about one submission attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Healthy session: run the job.
+    Allow,
+    /// The breaker is half-open and this job is the probe: run it, and
+    /// its outcome closes or re-opens the breaker.
+    Probe,
+    /// Quarantined: do not run. `retry_after` is how many further
+    /// submissions will be rejected before a probe is admitted.
+    Reject { retry_after: u32 },
+}
+
+/// See the module docs.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+    opened: AtomicU64,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: Mutex::new(State::Closed {
+                consecutive_faults: 0,
+            }),
+            opened: AtomicU64::new(0),
+        }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Gate for one submission. Open-state bookkeeping happens here: each
+    /// rejected submission counts down toward the half-open probe.
+    pub fn admit(&self) -> Admission {
+        let mut st = self.state();
+        match *st {
+            State::Closed { .. } => Admission::Allow,
+            State::Open { rejects_left: 0 } => {
+                *st = State::HalfOpen;
+                Admission::Probe
+            }
+            State::Open { rejects_left } => {
+                *st = State::Open {
+                    rejects_left: rejects_left - 1,
+                };
+                Admission::Reject {
+                    retry_after: rejects_left,
+                }
+            }
+            // A probe is already in flight; whoever submitted it gets to
+            // decide the session's fate first.
+            State::HalfOpen => Admission::Reject { retry_after: 1 },
+        }
+    }
+
+    /// A job completed cleanly: resets the fault streak, and closes the
+    /// breaker if this was the half-open probe.
+    pub fn on_success(&self) {
+        let mut st = self.state();
+        match *st {
+            State::HalfOpen => {
+                chef_telemetry::counter!("service.breaker.closed").inc();
+                *st = State::Closed {
+                    consecutive_faults: 0,
+                };
+            }
+            State::Closed { .. } => {
+                *st = State::Closed {
+                    consecutive_faults: 0,
+                };
+            }
+            State::Open { .. } => {} // stale completion from before the trip
+        }
+    }
+
+    /// A job faulted (trap, deadline, panic): extends the streak, trips
+    /// the breaker at `trip_after`, and re-opens it if this was the
+    /// half-open probe.
+    pub fn on_fault(&self) {
+        let mut st = self.state();
+        match *st {
+            State::Closed { consecutive_faults } => {
+                let streak = consecutive_faults + 1;
+                if streak >= self.cfg.trip_after {
+                    self.opened.fetch_add(1, Ordering::Relaxed);
+                    chef_telemetry::counter!("service.breaker.opened").inc();
+                    *st = State::Open {
+                        rejects_left: self.cfg.cooldown,
+                    };
+                } else {
+                    *st = State::Closed {
+                        consecutive_faults: streak,
+                    };
+                }
+            }
+            State::HalfOpen => {
+                self.opened.fetch_add(1, Ordering::Relaxed);
+                chef_telemetry::counter!("service.breaker.reopened").inc();
+                *st = State::Open {
+                    rejects_left: self.cfg.cooldown,
+                };
+            }
+            State::Open { .. } => {}
+        }
+    }
+
+    /// `true` while submissions are being rejected (open, or half-open
+    /// with the probe still out).
+    pub fn is_quarantining(&self) -> bool {
+        !matches!(*self.state(), State::Closed { .. })
+    }
+
+    /// Times this breaker has tripped (including probe re-opens).
+    pub fn times_opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_consecutive_faults_and_probes_back_closed() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            trip_after: 3,
+            cooldown: 2,
+        });
+        // Two faults with a success between: no trip (streak resets).
+        b.on_fault();
+        b.on_fault();
+        b.on_success();
+        assert_eq!(b.admit(), Admission::Allow);
+        assert_eq!(b.times_opened(), 0);
+        // Three consecutive faults trip it.
+        b.on_fault();
+        b.on_fault();
+        b.on_fault();
+        assert!(b.is_quarantining());
+        assert_eq!(b.times_opened(), 1);
+        // Cooldown: two rejects, counting down to the probe.
+        assert_eq!(b.admit(), Admission::Reject { retry_after: 2 });
+        assert_eq!(b.admit(), Admission::Reject { retry_after: 1 });
+        // Then exactly one probe is admitted; siblings still rejected.
+        assert_eq!(b.admit(), Admission::Probe);
+        assert_eq!(b.admit(), Admission::Reject { retry_after: 1 });
+        // Probe succeeds → closed again.
+        b.on_success();
+        assert!(!b.is_quarantining());
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn faulting_probe_reopens_for_another_cooldown() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            trip_after: 1,
+            cooldown: 1,
+        });
+        b.on_fault();
+        assert_eq!(b.admit(), Admission::Reject { retry_after: 1 });
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_fault(); // probe fails
+        assert_eq!(b.times_opened(), 2);
+        assert_eq!(b.admit(), Admission::Reject { retry_after: 1 });
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_success();
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+}

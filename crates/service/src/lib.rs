@@ -1,0 +1,869 @@
+//! # chef-service — resilient concurrent multi-session analysis server
+//!
+//! A long-lived, dependency-free front end over the CHEF-FP substrate:
+//! many *sessions* (one per client/kernel-under-analysis) share a fixed
+//! pool of worker threads and their machine-arena shards, submitting
+//! plain runs, shadow-oracle runs, batches and whole tuning jobs, and
+//! getting typed outcomes back — never a panic, never a wedged worker.
+//!
+//! The robustness layer has four stages, applied in order:
+//!
+//! 1. **Admission control** ([`AnalysisServer::open_session`],
+//!    [`SessionHandle::submit_run`] & friends): a bounded session
+//!    registry ([`ServiceConfig::max_sessions`]), queue-depth
+//!    backpressure ([`ServiceConfig::max_queue_depth`]) and the
+//!    per-session circuit breaker all reject *at submission* with a
+//!    typed [`Rejected`] (and a retry hint) instead of queueing work the
+//!    server cannot honour.
+//! 2. **Per-session budgets**: every job runs under the session's
+//!    instruction budget (`max_instrs`) and cooperative wall-clock
+//!    [`deadline`](chef_exec::vm::ExecOptions::deadline), both enforced
+//!    by the VM at block granularity — an overrun is a typed trap with
+//!    pc attribution, not a killed thread. The deadline is armed when
+//!    the job *starts executing*, so queue wait does not eat a session's
+//!    execution budget.
+//! 3. **Fault isolation + circuit breaking**: a trap or panic in one
+//!    job is caught at the job boundary, retried once (injected faults
+//!    from seeded [`FaultPlan`]s fire at most every other draw, so one
+//!    retry always recovers them), and reported as an [`Outcome`]. The
+//!    neighbouring sessions' machines live in separate pool checkouts —
+//!    a faulting session cannot corrupt their state (pinned
+//!    bit-identically by the isolation tests). Repeated faults trip the
+//!    session's [`CircuitBreaker`], quarantining it at admission until a
+//!    half-open probe succeeds.
+//! 4. **Graceful drain** ([`AnalysisServer::drain`]): new work is
+//!    rejected, queued-but-unstarted jobs are cancelled, in-flight jobs
+//!    complete, and the [`DrainReport`] verifies through the arena
+//!    checkout gauge that every machine went back to its pool —
+//!    `outstanding_checkouts == 0` is the leak-freedom proof.
+//!
+//! See `ARCHITECTURE.md` next to this crate for the full lifecycle and
+//! failure-mode table.
+
+use chef_core::prelude::ChefError;
+use chef_exec::arena::{MachineArena, ShadowMachineArena};
+use chef_exec::fault::FaultPlan;
+use chef_exec::prelude::{
+    run_batch_parallel_in, run_shadow_batch_parallel_in, ArgValue, CallOutcome, CompiledFunction,
+    ExecOptions, ShadowOutcome, Trap, TrapKind,
+};
+use chef_ir::ast::Program;
+use chef_tuner::{tune_with_oracle, OracleTuneOptions, TuneResult, TunerConfig, VariantCache};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+pub mod breaker;
+mod scheduler;
+
+pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
+
+// ------------------------------------------------------------------------
+// Configuration
+// ------------------------------------------------------------------------
+
+/// Server-wide tuning. Every limit is enforced at admission time; see
+/// the crate docs for the four-stage lifecycle.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (and machine-arena shards). Minimum 1.
+    pub workers: usize,
+    /// Maximum concurrently open sessions; `open_session` past this is
+    /// rejected with [`RejectReason::SessionLimit`].
+    pub max_sessions: usize,
+    /// Maximum jobs queued (accepted, not yet started) across the
+    /// server; submissions past this are rejected with
+    /// [`RejectReason::QueueFull`].
+    pub max_queue_depth: usize,
+    /// Capacity of each session's compiled-variant cache (LRU past
+    /// this; see [`chef_tuner::VariantCache`]).
+    pub cache_capacity: usize,
+    /// Per-session circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Intra-job thread cap for [`SessionHandle::submit_batch`]
+    /// (`None` = one thread per argument set, capped by the runtime).
+    /// Single runs always use one thread — the scheduler itself is the
+    /// parallelism.
+    pub batch_threads: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            max_sessions: 8,
+            max_queue_depth: 64,
+            cache_capacity: chef_tuner::DEFAULT_CACHE_CAPACITY,
+            breaker: BreakerConfig::default(),
+            batch_threads: Some(1),
+        }
+    }
+}
+
+/// What a client declares when opening a session; admission prices the
+/// session off these.
+#[derive(Clone, Debug, Default)]
+pub struct SessionSpec {
+    /// Display name (used in reports and keyed telemetry).
+    pub name: String,
+    /// Instruction budget per job (block-granular; overruns trap with
+    /// [`TrapKind::InstrBudgetExhausted`]). `None` = unlimited.
+    pub max_instrs: Option<u64>,
+    /// Wall-clock budget per job, armed when the job starts executing
+    /// (overruns trap with [`TrapKind::DeadlineExceeded`]). `None` =
+    /// unlimited.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault injection for this session's jobs. `None`
+    /// falls back to the `CHEF_FAULT_SEED` environment plan (the CI
+    /// soak matrix); an inert plan opts out explicitly.
+    pub fault: Option<FaultPlan>,
+}
+
+impl SessionSpec {
+    /// A spec with just a name and no limits.
+    pub fn named(name: impl Into<String>) -> Self {
+        SessionSpec {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the per-job instruction budget (builder style).
+    pub fn with_budget(mut self, max_instrs: u64) -> Self {
+        self.max_instrs = Some(max_instrs);
+        self
+    }
+
+    /// Sets the per-job wall-clock deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the session's fault plan (builder style).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+}
+
+// ------------------------------------------------------------------------
+// Outcome types
+// ------------------------------------------------------------------------
+
+/// Why a submission (or session open) was refused at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The server is draining; no new work is accepted.
+    Draining,
+    /// The session registry is full ([`ServiceConfig::max_sessions`]).
+    SessionLimit,
+    /// Queue-depth backpressure ([`ServiceConfig::max_queue_depth`]).
+    QueueFull,
+    /// The session's circuit breaker is open (quarantined).
+    CircuitOpen,
+}
+
+/// A typed admission refusal. `retry_after` is a hint in *submissions*
+/// (for [`RejectReason::CircuitOpen`]: how many more submissions the
+/// breaker will reject before admitting a probe); `None` means "retry
+/// when the queue drains" or "never" (draining).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rejected {
+    pub reason: RejectReason,
+    pub retry_after: Option<u32>,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.retry_after {
+            Some(n) => write!(
+                f,
+                "rejected: {:?} (retry after {n} submissions)",
+                self.reason
+            ),
+            None => write!(f, "rejected: {:?}", self.reason),
+        }
+    }
+}
+
+/// The terminal state of one accepted job. Every variant is a value —
+/// a session observes its own faults and nothing of its neighbours'.
+#[derive(Debug)]
+pub enum Outcome<T> {
+    /// The job finished; `latency_ns` spans submission → completion
+    /// (queue wait included), `retried` marks a fault recovered by the
+    /// single retry.
+    Completed {
+        value: T,
+        latency_ns: u64,
+        retried: bool,
+    },
+    /// The job trapped (after the retry, if the first fault was
+    /// retryable). Budget overruns land here with
+    /// [`TrapKind::InstrBudgetExhausted`].
+    Faulted { trap: Trap, retried: bool },
+    /// The session's wall-clock deadline expired mid-run: a cooperative
+    /// [`TrapKind::DeadlineExceeded`] trap with pc attribution.
+    DeadlineExceeded { pc: usize, executed: u64 },
+    /// The job panicked twice (or the worker was lost).
+    Panicked { msg: String },
+    /// The job was queued when [`AnalysisServer::drain`] began and was
+    /// cancelled without running.
+    Cancelled,
+    /// A non-trap, non-panic error (compile failure, unknown function):
+    /// deterministic caller mistakes, reported without retry.
+    Error { msg: String },
+}
+
+impl<T> Outcome<T> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            Outcome::Completed { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Stable label for stats/telemetry.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Outcome::Completed { .. } => "completed",
+            Outcome::Faulted { .. } => "faulted",
+            Outcome::DeadlineExceeded { .. } => "deadline_exceeded",
+            Outcome::Panicked { .. } => "panicked",
+            Outcome::Cancelled => "cancelled",
+            Outcome::Error { .. } => "error",
+        }
+    }
+}
+
+/// A claim on one accepted job's [`Outcome`].
+pub struct Ticket<T> {
+    rx: mpsc::Receiver<Outcome<T>>,
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Ticket(..)")
+    }
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the job reaches a terminal state. A lost worker
+    /// (impossible under the scheduler's panic guard, but defended
+    /// against) reads as a panic outcome, not a hang.
+    pub fn wait(self) -> Outcome<T> {
+        self.rx.recv().unwrap_or(Outcome::Panicked {
+            msg: "worker lost before reporting an outcome".to_string(),
+        })
+    }
+
+    /// Non-blocking poll; `Err(self)` if the job is still running.
+    pub fn try_wait(self) -> Result<Outcome<T>, Ticket<T>> {
+        match self.rx.try_recv() {
+            Ok(o) => Ok(o),
+            Err(mpsc::TryRecvError::Empty) => Err(self),
+            Err(mpsc::TryRecvError::Disconnected) => Ok(Outcome::Panicked {
+                msg: "worker lost before reporting an outcome".to_string(),
+            }),
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// Session state & stats
+// ------------------------------------------------------------------------
+
+/// Cap on per-session latency samples retained for quantiles (the
+/// telemetry histograms are unbounded-count; this exact-sample buffer is
+/// for reports).
+const MAX_LATENCY_SAMPLES: usize = 8192;
+
+/// Counters for one session's lifetime, snapshot via
+/// [`SessionHandle::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct SessionStats {
+    pub submitted: u64,
+    pub completed: u64,
+    /// Completions whose first attempt faulted and whose retry
+    /// recovered.
+    pub retried: u64,
+    pub faulted: u64,
+    pub deadline_exceeded: u64,
+    pub panicked: u64,
+    pub cancelled: u64,
+    pub errors: u64,
+    /// Submissions refused by queue-depth backpressure or draining.
+    pub rejected_backpressure: u64,
+    /// Submissions refused by the session's open circuit breaker.
+    pub rejected_quarantine: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl SessionStats {
+    /// Exact (p50, p95, p99) over the retained completion latencies;
+    /// `None` before the first completion.
+    pub fn latency_quantiles(&self) -> Option<(u64, u64, u64)> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let mut v = self.latencies_ns.clone();
+        v.sort_unstable();
+        let q = |p: f64| v[((v.len() - 1) as f64 * p).round() as usize];
+        Some((q(0.50), q(0.95), q(0.99)))
+    }
+
+    /// Jobs that reached a terminal state (everything but rejections).
+    pub fn terminal(&self) -> u64 {
+        self.completed
+            + self.faulted
+            + self.deadline_exceeded
+            + self.panicked
+            + self.cancelled
+            + self.errors
+    }
+}
+
+struct SessionState {
+    id: u64,
+    name: String,
+    cache: VariantCache,
+    breaker: CircuitBreaker,
+    max_instrs: Option<u64>,
+    deadline: Option<Duration>,
+    fault: Option<FaultPlan>,
+    stats: Mutex<SessionStats>,
+}
+
+impl SessionState {
+    fn stats(&self) -> std::sync::MutexGuard<'_, SessionStats> {
+        self.stats.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Base exec options for one job, deadline *armed now* (call this on
+    /// the worker, not at submission).
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            max_instrs: self.max_instrs,
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            fault: self.fault.clone().or_else(chef_exec::fault::env_plan),
+            ..Default::default()
+        }
+    }
+
+    /// Machines this session's own cache arenas still have out.
+    fn outstanding(&self) -> usize {
+        self.cache.arena().outstanding()
+            + self.cache.shadow64().outstanding()
+            + self.cache.shadow_dd().outstanding()
+    }
+
+    fn record_outcome<T>(&self, outcome: &Outcome<T>, latency_ns: u64) {
+        let mut s = self.stats();
+        match outcome {
+            Outcome::Completed { retried, .. } => {
+                s.completed += 1;
+                if *retried {
+                    s.retried += 1;
+                }
+                if s.latencies_ns.len() < MAX_LATENCY_SAMPLES {
+                    s.latencies_ns.push(latency_ns);
+                }
+            }
+            Outcome::Faulted { .. } => s.faulted += 1,
+            Outcome::DeadlineExceeded { .. } => s.deadline_exceeded += 1,
+            Outcome::Panicked { .. } => s.panicked += 1,
+            Outcome::Cancelled => s.cancelled += 1,
+            Outcome::Error { .. } => s.errors += 1,
+        }
+        drop(s);
+        chef_telemetry::counter_keyed("service.outcome", outcome.kind()).inc();
+        if matches!(outcome, Outcome::Completed { .. }) {
+            chef_telemetry::histogram!("service.trial.ns").record(latency_ns);
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// Server
+// ------------------------------------------------------------------------
+
+/// One worker thread's machine pools. Jobs are routed to the shard of
+/// the worker that runs them, so concurrent sessions never contend on a
+/// pool's mutex while a machine is in use — and a faulting job's
+/// discarded machine only ever costs its own shard a re-allocation.
+struct WorkerShard {
+    arena: MachineArena,
+    shadow64: ShadowMachineArena<f64>,
+    shadow_dd: ShadowMachineArena<chef_shadow::DD>,
+}
+
+impl WorkerShard {
+    fn new() -> Self {
+        WorkerShard {
+            arena: MachineArena::new(),
+            shadow64: ShadowMachineArena::new(),
+            shadow_dd: ShadowMachineArena::new(),
+        }
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.outstanding() + self.shadow64.outstanding() + self.shadow_dd.outstanding()
+    }
+}
+
+struct ServerInner {
+    cfg: ServiceConfig,
+    sched: scheduler::Scheduler,
+    shards: Vec<WorkerShard>,
+    sessions: Mutex<HashMap<u64, Arc<SessionState>>>,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+    /// Set at drain start: queued-but-unstarted jobs observe it and
+    /// report [`Outcome::Cancelled`] instead of running.
+    cancel_queued: AtomicBool,
+}
+
+impl ServerInner {
+    fn sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<SessionState>>> {
+        self.sessions.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// The server. Dropping it drains the scheduler (queued jobs cancel,
+/// in-flight jobs finish) and joins the workers.
+pub struct AnalysisServer {
+    inner: Arc<ServerInner>,
+}
+
+/// The result of a graceful drain. `leak_free()` is the property the
+/// isolation tests (and the smoke gate) pin.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Machines still checked out of any server or session pool after
+    /// quiescence — 0 on a clean drain.
+    pub outstanding_checkouts: usize,
+    /// Final per-session stats, by session name, open sessions first.
+    pub sessions: Vec<(String, SessionStats)>,
+}
+
+impl DrainReport {
+    /// Every pooled machine went back to its pool.
+    pub fn leak_free(&self) -> bool {
+        self.outstanding_checkouts == 0
+    }
+}
+
+impl AnalysisServer {
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(ServerInner {
+            sched: scheduler::Scheduler::new(workers),
+            shards: (0..workers).map(|_| WorkerShard::new()).collect(),
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            cancel_queued: AtomicBool::new(false),
+            cfg,
+        });
+        AnalysisServer { inner }
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.inner.sched.workers()
+    }
+
+    /// Jobs accepted but not yet started.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.sched.queue_depth()
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn active_jobs(&self) -> usize {
+        self.inner.sched.active()
+    }
+
+    /// Currently open sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions().len()
+    }
+
+    /// Opens a session, or rejects it (draining, or the registry is at
+    /// [`ServiceConfig::max_sessions`]).
+    pub fn open_session(&self, spec: SessionSpec) -> Result<SessionHandle, Rejected> {
+        if self.inner.draining.load(Ordering::SeqCst) {
+            return Err(Rejected {
+                reason: RejectReason::Draining,
+                retry_after: None,
+            });
+        }
+        let mut sessions = self.inner.sessions();
+        if sessions.len() >= self.inner.cfg.max_sessions {
+            chef_telemetry::counter!("service.rejected.session_limit").inc();
+            return Err(Rejected {
+                reason: RejectReason::SessionLimit,
+                retry_after: None,
+            });
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let st = Arc::new(SessionState {
+            id,
+            name: if spec.name.is_empty() {
+                format!("session-{id}")
+            } else {
+                spec.name
+            },
+            cache: VariantCache::with_capacity(self.inner.cfg.cache_capacity),
+            breaker: CircuitBreaker::new(self.inner.cfg.breaker),
+            max_instrs: spec.max_instrs,
+            deadline: spec.deadline,
+            fault: spec.fault,
+            stats: Mutex::new(SessionStats::default()),
+        });
+        sessions.insert(id, Arc::clone(&st));
+        chef_telemetry::counter!("service.sessions.opened").inc();
+        Ok(SessionHandle {
+            inner: Arc::clone(&self.inner),
+            st,
+        })
+    }
+
+    /// Machines currently checked out of any pool the server owns
+    /// (worker shards + every open session's cache arenas).
+    pub fn outstanding_checkouts(&self) -> usize {
+        let shards: usize = self.inner.shards.iter().map(|s| s.outstanding()).sum();
+        let sessions: usize = self
+            .inner
+            .sessions()
+            .values()
+            .map(|s| s.outstanding())
+            .sum();
+        shards + sessions
+    }
+
+    /// Graceful drain: stop admitting, cancel queued-but-unstarted
+    /// jobs, let in-flight jobs complete, then report. Idempotent; the
+    /// server stays alive (for inspection) but rejects all new work.
+    pub fn drain(&self) -> DrainReport {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.cancel_queued.store(true, Ordering::SeqCst);
+        self.inner.sched.quiesce();
+        chef_telemetry::counter!("service.drains").inc();
+        let sessions: Vec<(String, SessionStats)> = self
+            .inner
+            .sessions()
+            .values()
+            .map(|s| (s.name.clone(), s.stats().clone()))
+            .collect();
+        let outstanding = self.outstanding_checkouts();
+        chef_telemetry::gauge!("service.drain.outstanding").set(outstanding as f64);
+        DrainReport {
+            outstanding_checkouts: outstanding,
+            sessions,
+        }
+    }
+}
+
+impl Drop for AnalysisServer {
+    fn drop(&mut self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.cancel_queued.store(true, Ordering::SeqCst);
+        self.inner.sched.shutdown();
+    }
+}
+
+// ------------------------------------------------------------------------
+// Session handle & job submission
+// ------------------------------------------------------------------------
+
+/// A fault the job wrapper classifies. Panics are caught a level up.
+enum JobFault {
+    Trap(Trap),
+    Error(String),
+}
+
+/// A client's handle to one open session. Cloneable; all clones submit
+/// into the same budgets, breaker and stats.
+#[derive(Clone)]
+pub struct SessionHandle {
+    inner: Arc<ServerInner>,
+    st: Arc<SessionState>,
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("name", &self.st.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionHandle {
+    /// The session's (possibly generated) display name.
+    pub fn name(&self) -> &str {
+        &self.st.name
+    }
+
+    /// Snapshot of the session's counters.
+    pub fn stats(&self) -> SessionStats {
+        self.st.stats().clone()
+    }
+
+    /// `true` while the circuit breaker is rejecting this session.
+    pub fn quarantined(&self) -> bool {
+        self.st.breaker.is_quarantining()
+    }
+
+    /// Times this session's breaker has tripped.
+    pub fn breaker_trips(&self) -> u64 {
+        self.st.breaker.times_opened()
+    }
+
+    /// Closes the session: removes it from the registry (freeing a
+    /// [`ServiceConfig::max_sessions`] slot). Jobs already accepted
+    /// still complete; their tickets stay valid.
+    pub fn close(self) {
+        self.inner.sessions().remove(&self.st.id);
+        chef_telemetry::counter!("service.sessions.closed").inc();
+    }
+
+    /// One plain-VM run of `func` on `args`.
+    pub fn submit_run(
+        &self,
+        func: Arc<CompiledFunction>,
+        args: Vec<ArgValue>,
+    ) -> Result<Ticket<CallOutcome>, Rejected> {
+        self.submit_job(true, move |shard: &WorkerShard, opts: &ExecOptions| {
+            run_batch_parallel_in(&func, vec![args.clone()], opts, Some(1), &shard.arena)
+                .pop()
+                .expect("one result per arg set")
+                .map_err(JobFault::Trap)
+        })
+    }
+
+    /// One batch of runs of `func`, fanned out over
+    /// [`ServiceConfig::batch_threads`] inside the job. Per-argument-set
+    /// traps are *data* in the completed value (they don't fault the
+    /// job or feed the breaker) — a batch is the caller's own sweep.
+    pub fn submit_batch(
+        &self,
+        func: Arc<CompiledFunction>,
+        arg_sets: Vec<Vec<ArgValue>>,
+    ) -> Result<Ticket<Vec<Result<CallOutcome, Trap>>>, Rejected> {
+        let threads = self.inner.cfg.batch_threads;
+        self.submit_job(false, move |shard: &WorkerShard, opts: &ExecOptions| {
+            Ok(run_batch_parallel_in(
+                &func,
+                arg_sets.clone(),
+                opts,
+                threads,
+                &shard.arena,
+            ))
+        })
+    }
+
+    /// One fused primal+shadow run (f64 shadow) of `func` on `args`.
+    pub fn submit_shadow(
+        &self,
+        func: Arc<CompiledFunction>,
+        args: Vec<ArgValue>,
+    ) -> Result<Ticket<ShadowOutcome>, Rejected> {
+        self.submit_job(true, move |shard: &WorkerShard, opts: &ExecOptions| {
+            run_shadow_batch_parallel_in::<f64>(
+                &func,
+                vec![args.clone()],
+                opts,
+                Some(1),
+                &shard.shadow64,
+            )
+            .pop()
+            .expect("one result per arg set")
+            .map_err(JobFault::Trap)
+        })
+    }
+
+    /// A whole oracle-tuning job through the session's bounded variant
+    /// cache. The session's budget/deadline/fault plan override
+    /// `opts.oracle.exec` — the session owns execution policy, the
+    /// caller owns tuning policy. Not retried at the service level: the
+    /// tuner's own per-trial retry/quarantine layer already isolates
+    /// faults, so an error surfacing here is persistent.
+    pub fn submit_tune(
+        &self,
+        program: Arc<Program>,
+        func: String,
+        args: Vec<ArgValue>,
+        cfg: TunerConfig,
+        opts: OracleTuneOptions,
+    ) -> Result<Ticket<TuneResult>, Rejected> {
+        let st = Arc::clone(&self.st);
+        self.submit_job(false, move |_shard: &WorkerShard, exec: &ExecOptions| {
+            let opts = OracleTuneOptions {
+                oracle: chef_shadow::OracleOptions {
+                    exec: exec.clone(),
+                    ..opts.oracle.clone()
+                },
+                ..opts.clone()
+            };
+            tune_with_oracle(&program, &func, &args, &cfg, &opts, &st.cache).map_err(|e| match e {
+                ChefError::Trap(t) => JobFault::Trap(t),
+                other => JobFault::Error(other.to_string()),
+            })
+        })
+    }
+
+    /// An arbitrary closure as a job: same admission, panic isolation,
+    /// breaker feedback and stats as kernel runs, but **no VM budget or
+    /// deadline enforcement** — the closure is trusted to terminate.
+    /// The escape hatch for custom analyses (and for tests that need a
+    /// job they can gate externally). Never retried.
+    pub fn submit_task<T: Send + 'static>(
+        &self,
+        task: impl FnOnce() -> T + Send + 'static,
+    ) -> Result<Ticket<T>, Rejected> {
+        let mut task = Some(task);
+        self.submit_job(false, move |_shard: &WorkerShard, _opts: &ExecOptions| {
+            Ok((task.take().expect("tasks run at most once"))())
+        })
+    }
+
+    /// Admission gate: draining → breaker → queue depth, in that order.
+    fn admit(&self) -> Result<Admission, Rejected> {
+        if self.inner.draining.load(Ordering::SeqCst) {
+            self.st.stats().rejected_backpressure += 1;
+            chef_telemetry::counter!("service.rejected.draining").inc();
+            return Err(Rejected {
+                reason: RejectReason::Draining,
+                retry_after: None,
+            });
+        }
+        let admission = self.st.breaker.admit();
+        if let Admission::Reject { retry_after } = admission {
+            self.st.stats().rejected_quarantine += 1;
+            chef_telemetry::counter!("service.rejected.quarantine").inc();
+            return Err(Rejected {
+                reason: RejectReason::CircuitOpen,
+                retry_after: Some(retry_after),
+            });
+        }
+        if self.inner.sched.queue_depth() >= self.inner.cfg.max_queue_depth {
+            self.st.stats().rejected_backpressure += 1;
+            chef_telemetry::counter!("service.rejected.backpressure").inc();
+            return Err(Rejected {
+                reason: RejectReason::QueueFull,
+                retry_after: None,
+            });
+        }
+        Ok(admission)
+    }
+
+    /// The shared job wrapper: admission, then a closure that runs on a
+    /// worker shard under the session's exec options, with panic
+    /// catching, classification, a single retry for retryable faults,
+    /// stats/telemetry recording and breaker feedback.
+    fn submit_job<T: Send + 'static>(
+        &self,
+        retryable: bool,
+        mut attempt: impl FnMut(&WorkerShard, &ExecOptions) -> Result<T, JobFault> + Send + 'static,
+    ) -> Result<Ticket<T>, Rejected> {
+        self.admit()?;
+        self.st.stats().submitted += 1;
+        chef_telemetry::counter!("service.submitted").inc();
+        let (tx, rx) = mpsc::channel();
+        let st = Arc::clone(&self.st);
+        let inner = Arc::clone(&self.inner);
+        let submitted_at = Instant::now();
+        self.inner.sched.submit(Box::new(move |widx| {
+            if inner.cancel_queued.load(Ordering::SeqCst) {
+                let outcome = Outcome::Cancelled;
+                st.record_outcome(&outcome, 0);
+                let _ = tx.send(outcome);
+                return;
+            }
+            let shard = &inner.shards[widx];
+            let opts = st.exec_options();
+            let mut run_once = || match catch_unwind(AssertUnwindSafe(|| attempt(shard, &opts))) {
+                Ok(Ok(v)) => Ok(v),
+                Ok(Err(f)) => Err(f),
+                Err(payload) => Err(JobFault::Error(panic_text(payload.as_ref()))),
+            };
+            let classify = |fault: JobFault, retried: bool| match fault {
+                JobFault::Trap(trap) => match trap.kind {
+                    TrapKind::DeadlineExceeded { executed } => Outcome::DeadlineExceeded {
+                        pc: trap.pc,
+                        executed,
+                    },
+                    _ => Outcome::Faulted { trap, retried },
+                },
+                JobFault::Error(msg) => {
+                    if msg.starts_with(PANIC_TAG) {
+                        Outcome::Panicked { msg }
+                    } else {
+                        Outcome::Error { msg }
+                    }
+                }
+            };
+            let outcome = match run_once() {
+                Ok(value) => Outcome::Completed {
+                    value,
+                    latency_ns: submitted_at.elapsed().as_nanos() as u64,
+                    retried: false,
+                },
+                // Deadline overruns and deterministic errors are not
+                // retried: the budget is spent / the error will repeat.
+                Err(JobFault::Trap(t)) if retryable && !is_deadline(&t) => match run_once() {
+                    Ok(value) => Outcome::Completed {
+                        value,
+                        latency_ns: submitted_at.elapsed().as_nanos() as u64,
+                        retried: true,
+                    },
+                    Err(second) => classify(second, true),
+                },
+                Err(JobFault::Error(msg)) if retryable && msg.starts_with(PANIC_TAG) => {
+                    match run_once() {
+                        Ok(value) => Outcome::Completed {
+                            value,
+                            latency_ns: submitted_at.elapsed().as_nanos() as u64,
+                            retried: true,
+                        },
+                        Err(second) => classify(second, true),
+                    }
+                }
+                Err(first) => classify(first, false),
+            };
+            match &outcome {
+                Outcome::Completed { .. } => st.breaker.on_success(),
+                Outcome::Cancelled => {}
+                _ => st.breaker.on_fault(),
+            }
+            st.record_outcome(&outcome, submitted_at.elapsed().as_nanos() as u64);
+            let _ = tx.send(outcome);
+        }));
+        Ok(Ticket { rx })
+    }
+}
+
+fn is_deadline(t: &Trap) -> bool {
+    matches!(t.kind, TrapKind::DeadlineExceeded { .. })
+}
+
+/// Prefix marking a caught panic's message, so the classifier can tell
+/// panics from deterministic errors without another enum variant
+/// crossing the `catch_unwind` boundary.
+const PANIC_TAG: &str = "panic: ";
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return format!("{PANIC_TAG}{s}");
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return format!("{PANIC_TAG}{s}");
+    }
+    format!("{PANIC_TAG}opaque payload")
+}

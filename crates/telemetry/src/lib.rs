@@ -304,6 +304,60 @@ macro_rules! histogram {
 }
 
 // ---------------------------------------------------------------------------
+// Dynamically keyed metrics (per-session labels)
+// ---------------------------------------------------------------------------
+
+/// Cap on distinct dynamically keyed metric names ([`counter_keyed`] /
+/// [`gauge_keyed`] / [`histogram_keyed`]). Keyed names are interned
+/// (leaked once, like every registry name), so an unbounded label space
+/// would be a leak; past the cap, new keys collapse into the shared
+/// `<base>.overflow` cell instead of minting fresh names — bounded by
+/// construction, like the span rings.
+pub const MAX_KEYED_NAMES: usize = 1024;
+
+/// Interns `"<base>.<key>"` as a `'static` registry name, collapsing to
+/// `"<base>.overflow"` once [`MAX_KEYED_NAMES`] distinct names exist.
+fn intern_keyed(base: &'static str, key: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let table = INTERNED.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let full = format!("{base}.{key}");
+    let mut map = lock(table);
+    if let Some(&name) = map.get(&full) {
+        return name;
+    }
+    let minted = if map.len() >= MAX_KEYED_NAMES {
+        format!("{base}.overflow")
+    } else {
+        full
+    };
+    if let Some(&name) = map.get(&minted) {
+        return name;
+    }
+    let leaked: &'static str = Box::leak(minted.clone().into_boxed_str());
+    map.insert(minted, leaked);
+    leaked
+}
+
+/// A counter under a dynamic key: `counter_keyed("service.session.trials",
+/// "s42")` resolves the counter `service.session.trials.s42`. Intended
+/// for *bounded* key spaces (session ids of a test or soak run, shard
+/// indices); see [`MAX_KEYED_NAMES`] for the backstop. Resolution takes
+/// the intern lock — cache the returned handle in hot paths.
+pub fn counter_keyed(base: &'static str, key: &str) -> &'static Counter {
+    counter(intern_keyed(base, key))
+}
+
+/// A gauge under a dynamic key (see [`counter_keyed`]).
+pub fn gauge_keyed(base: &'static str, key: &str) -> &'static Gauge {
+    gauge(intern_keyed(base, key))
+}
+
+/// A histogram under a dynamic key (see [`counter_keyed`]).
+pub fn histogram_keyed(base: &'static str, key: &str) -> &'static Histogram {
+    histogram(intern_keyed(base, key))
+}
+
+// ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------
 

@@ -25,7 +25,8 @@
 //!   greedy candidate, a validation config, the baseline, the estimation
 //!   pass) is run under `catch_unwind`; a trap, a panic, or a non-finite
 //!   measurement is retried once — escalating the instruction budget
-//!   proportionally after `InstrBudgetExhausted` — and a second fault
+//!   proportionally after `InstrBudgetExhausted`, but never past
+//!   [`ESCALATION_CAP`] × the admitted budget — and a second fault
 //!   quarantines that trial instead of aborting the tune.
 //!   [`TuneResult::faults`] reports the counts; deterministic fault
 //!   injection (explicit [`TunerConfig::fault_plan`] or the
@@ -295,15 +296,29 @@ fn with_budget_floor(exec: &ExecOptions, floor: Option<u64>) -> ExecOptions {
     }
 }
 
+/// Hard ceiling on the [`TrapKind::InstrBudgetExhausted`] retry
+/// escalation, as a multiple of the admission-time budget: a retry may
+/// run with at most `ESCALATION_CAP ×` the budget the trial was admitted
+/// with. Block-granular accounting lets a pathological kernel (one huge
+/// straight-line block) overshoot its budget by an arbitrary factor, and
+/// an uncapped "double the executed count" retry would then ratchet the
+/// session far past what admission priced — the cap bounds a trial's
+/// worst-case spend at `(1 + ESCALATION_CAP) ×` the admitted budget.
+pub const ESCALATION_CAP: u64 = 2;
+
 /// Runs one trial with fault isolation: a trap, a panic, or (when
 /// `value_of` yields the trial's measurement) a non-finite value is
 /// recorded in `log` and retried once; a second fault quarantines the
 /// trial. Non-fault errors (compile, unknown function, …) propagate
 /// unchanged — they are deterministic caller mistakes, not per-trial
-/// weather. `attempt` receives the retry's instruction-budget floor.
+/// weather. `attempt` receives the retry's instruction-budget floor,
+/// escalated from the trap's executed count but never past
+/// [`ESCALATION_CAP`] × `admitted` (the trial's admission-time
+/// `max_instrs`).
 fn run_trial<T>(
     log: &FaultLog,
     what: &dyn Fn() -> String,
+    admitted: Option<u64>,
     attempt: &mut dyn FnMut(Option<u64>) -> Result<T, ChefError>,
     value_of: &dyn Fn(&T) -> Option<f64>,
 ) -> Result<TrialOutcome<T>, ChefError> {
@@ -328,7 +343,11 @@ fn run_trial<T>(
     };
     let floor = match &first {
         Fault::Trap(t) => match t.kind {
-            TrapKind::InstrBudgetExhausted { executed } => Some(executed.saturating_mul(2)),
+            TrapKind::InstrBudgetExhausted { executed } => {
+                let escalated = executed.saturating_mul(2);
+                let cap = admitted.map(|b| b.saturating_mul(ESCALATION_CAP));
+                Some(cap.map_or(escalated, |c| escalated.min(c)))
+            }
             _ => None,
         },
         _ => None,
@@ -412,20 +431,68 @@ type VariantKey = (String, Vec<(VarId, FloatTy)>);
 /// runs. The embedded [`MachineArena`]s let every run of every variant
 /// (plain validation and both shadow-oracle modes) share one set of
 /// register-file/tape allocations, sized to the session maximum.
-#[derive(Default)]
+///
+/// The table is **bounded**: past [`VariantCache::capacity`] entries, the
+/// least-recently-used variant is evicted (counted in
+/// [`VariantCache::evictions`] and the `tuner.cache.evictions` metric).
+/// A long-lived server session sweeping many functions through one cache
+/// therefore holds at most `capacity` compiled bodies, not an unbounded
+/// history. The default capacity (512) is far above any single tune's
+/// working set, so short sessions never evict and their hit/miss counts
+/// are exact compile-savings figures.
 pub struct VariantCache {
-    inner: Mutex<HashMap<VariantKey, Arc<CompiledFunction>>>,
+    inner: Mutex<HashMap<VariantKey, CachedVariant>>,
+    capacity: usize,
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     arena: MachineArena,
     shadow64: ShadowMachineArena<f64>,
     shadow_dd: ShadowMachineArena<chef_shadow::DD>,
 }
 
+struct CachedVariant {
+    func: Arc<CompiledFunction>,
+    last_used: u64,
+}
+
+/// Default [`VariantCache`] capacity: generous enough that a single
+/// tuning session (hundreds of variants at most) never evicts.
+pub const DEFAULT_CACHE_CAPACITY: usize = 512;
+
+impl Default for VariantCache {
+    fn default() -> Self {
+        VariantCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
 impl VariantCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         VariantCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` compiled variants
+    /// (minimum 1). Smaller capacities trade recompilation for memory —
+    /// useful for servers admitting many concurrent sessions.
+    pub fn with_capacity(capacity: usize) -> Self {
+        VariantCache {
+            inner: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            arena: MachineArena::new(),
+            shadow64: ShadowMachineArena::new(),
+            shadow_dd: ShadowMachineArena::new(),
+        }
+    }
+
+    /// Maximum number of compiled variants retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The session's plain-VM machine arena.
@@ -453,13 +520,25 @@ impl VariantCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of variants evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// The variant table, recovering from mutex poisoning: a panicking
     /// trial (injected or genuine) may die between lock and unlock, but
     /// the table's invariant — a map of fully-compiled variants — holds
     /// at every await-free point inside the critical sections, so the
     /// poisoned state is always a valid cache.
-    fn table(&self) -> std::sync::MutexGuard<'_, HashMap<VariantKey, Arc<CompiledFunction>>> {
+    fn table(&self) -> std::sync::MutexGuard<'_, HashMap<VariantKey, CachedVariant>> {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The next use-clock stamp. Relaxed is fine: the clock only orders
+    /// evictions, and an occasionally stale ordering evicts a
+    /// near-equally-old entry — never a correctness issue.
+    fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Number of cached variants.
@@ -481,10 +560,11 @@ impl VariantCache {
         pm: &PrecisionMap,
     ) -> Result<Arc<CompiledFunction>, CompileError> {
         let key = (primal.name.clone(), pm.sorted_entries());
-        if let Some(hit) = self.table().get(&key) {
+        if let Some(hit) = self.table().get_mut(&key) {
+            hit.last_used = self.stamp();
             self.hits.fetch_add(1, Ordering::Relaxed);
             chef_telemetry::counter!("tuner.cache.hits").inc();
-            return Ok(hit.clone());
+            return Ok(hit.func.clone());
         }
         let compiled = Arc::new(compile(
             primal,
@@ -495,7 +575,28 @@ impl VariantCache {
         )?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         chef_telemetry::counter!("tuner.cache.misses").inc();
-        Ok(self.table().entry(key).or_insert(compiled).clone())
+        let now = self.stamp();
+        let mut table = self.table();
+        // A racing miss may have inserted first; either way the variant
+        // at `key` was just used, so it carries the fresh stamp — which
+        // also shields it from the eviction scan below.
+        let entry = table.entry(key).or_insert(CachedVariant {
+            func: compiled,
+            last_used: now,
+        });
+        entry.last_used = now;
+        let func = entry.func.clone();
+        while table.len() > self.capacity {
+            let victim = table
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty past capacity");
+            table.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            chef_telemetry::counter!("tuner.cache.evictions").inc();
+        }
+        Ok(func)
     }
 }
 
@@ -577,6 +678,7 @@ fn estimate_ranking(
     let out = accept_or_propagate(run_trial(
         log,
         &|| format!("estimate `{func}`"),
+        exec.max_instrs,
         &mut |floor| {
             est.execute_with(args, &with_budget_floor(&exec, floor))
                 .map_err(ChefError::Trap)
@@ -735,6 +837,7 @@ fn validate_configs_impl(
         accept_or_propagate(run_trial(
             log,
             what,
+            exec.max_instrs,
             &mut |floor| {
                 let c = compile_cfg(pm)?;
                 let e = with_budget_floor(&exec, floor);
@@ -944,6 +1047,7 @@ pub fn tune_with_oracle(
         let outcome = run_trial(
             &log,
             &|| format!("oracle trial `{func}` [{}]", names.join(", ")),
+            exec.max_instrs,
             &mut |floor| measure(names, floor),
             &|rep: &ShadowReport| Some(rep.output_error),
         )?;
@@ -961,6 +1065,7 @@ pub fn tune_with_oracle(
         accept_or_propagate(run_trial(
             &log,
             what,
+            exec.max_instrs,
             &mut |floor| {
                 let compiled = cache
                     .get_or_compile(primal, pm)
@@ -1664,5 +1769,93 @@ mod tests {
         assert!(res2.cache_hits > 0);
         assert!(res2.cache_hits >= res.cache_hits);
         assert_eq!(res2.demoted, res.demoted);
+    }
+
+    #[test]
+    fn retry_escalation_is_capped_by_the_admitted_budget() {
+        // A "kernel" needing 50 instructions under an admitted budget of
+        // 10: block-granular accounting lets the first attempt overshoot
+        // arbitrarily before trapping with its executed count, and the
+        // retry runs with the escalated floor.
+        let needs: u64 = 50;
+        let admitted: u64 = 10;
+        let mut attempt = |floor: Option<u64>| -> Result<f64, ChefError> {
+            let budget = floor.unwrap_or(admitted);
+            if budget >= needs {
+                Ok(1.0)
+            } else {
+                Err(ChefError::Trap(Trap {
+                    kind: TrapKind::InstrBudgetExhausted { executed: needs },
+                    pc: 7,
+                    span: chef_ir::span::Span::DUMMY,
+                }))
+            }
+        };
+        // Uncapped (no admitted budget): the floor doubles the executed
+        // count (100 ≥ 50) and the retry recovers.
+        let log = FaultLog::default();
+        let out = run_trial(
+            &log,
+            &|| "uncapped".to_string(),
+            None,
+            &mut attempt,
+            &|v: &f64| Some(*v),
+        )
+        .unwrap();
+        assert!(matches!(out, TrialOutcome::Done(_)));
+        // Capped: min(2·50, ESCALATION_CAP·10) = 20 < 50 — the retry
+        // traps again and the trial is quarantined instead of ratcheting
+        // the session past what admission priced.
+        let log = FaultLog::default();
+        let out = run_trial(
+            &log,
+            &|| "capped".to_string(),
+            Some(admitted),
+            &mut attempt,
+            &|v: &f64| Some(*v),
+        )
+        .unwrap();
+        match out {
+            TrialOutcome::Faulted(Fault::Trap(t), _) => {
+                assert!(matches!(t.kind, TrapKind::InstrBudgetExhausted { .. }));
+            }
+            TrialOutcome::Done(_) => panic!("capped retry must not recover"),
+            TrialOutcome::Faulted(..) => panic!("expected a budget trap"),
+        }
+        let mut quarantined = 0;
+        log.with(|s| quarantined = s.quarantined);
+        assert_eq!(quarantined, 1);
+    }
+
+    #[test]
+    fn variant_cache_evicts_least_recently_used_past_capacity() {
+        let src = "double f(double a) {
+            double u = a + 1.0;
+            double w = a * 2.0;
+            double r = u * w;
+            return r;
+        }";
+        let p = program(src);
+        let inlined = chef_passes::inline_program(&p).unwrap();
+        let f = inlined.function("f").unwrap();
+        let ids = ids_of(&p, "f", &["u", "w", "r"]).unwrap();
+        let (pm_u, pm_w, pm_r) = (
+            PrecisionMap::empty().with(ids[0], FloatTy::F32),
+            PrecisionMap::empty().with(ids[1], FloatTy::F32),
+            PrecisionMap::empty().with(ids[2], FloatTy::F32),
+        );
+        let cache = VariantCache::with_capacity(2);
+        cache.get_or_compile(f, &pm_u).unwrap(); // miss
+        cache.get_or_compile(f, &pm_w).unwrap(); // miss
+        cache.get_or_compile(f, &pm_u).unwrap(); // hit — freshens `u`
+        cache.get_or_compile(f, &pm_r).unwrap(); // miss → evicts `w`
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        let misses = cache.misses();
+        cache.get_or_compile(f, &pm_u).unwrap();
+        assert_eq!(cache.misses(), misses, "`u` was freshened, not evicted");
+        cache.get_or_compile(f, &pm_w).unwrap();
+        assert_eq!(cache.misses(), misses + 1, "`w` was the LRU victim");
+        assert_eq!(cache.evictions(), 2, "recompiling `w` evicted `r`");
     }
 }

@@ -29,6 +29,7 @@
 //! | [`tuner`] | `chef-tuner` | greedy mixed-precision tuning |
 //! | [`apps`] | `chef-apps` | the five paper benchmarks |
 //! | [`shadow`] | `chef-shadow` | shadow-execution error oracle + attribution |
+//! | [`service`] | `chef-service` | resilient concurrent multi-session analysis server |
 
 pub use adapt_baseline as adapt;
 pub use chef_ad as ad;
@@ -37,6 +38,7 @@ pub use chef_core as core;
 pub use chef_exec as exec;
 pub use chef_ir as ir;
 pub use chef_passes as passes;
+pub use chef_service as service;
 pub use chef_shadow as shadow;
 pub use chef_tuner as tuner;
 pub use fastapprox;
