@@ -125,6 +125,19 @@ impl CircuitBreaker {
         }
     }
 
+    /// The half-open probe ended without a verdict — cancelled at drain,
+    /// or a deterministic caller error that says nothing about session
+    /// health. Re-arms the breaker at the head of the open queue so the
+    /// *next* submission is admitted as a fresh probe; without this the
+    /// breaker would be stranded in `HalfOpen` (every submission rejected,
+    /// no probe in flight to ever close it). No-op unless half-open.
+    pub fn on_probe_inconclusive(&self) {
+        let mut st = self.state();
+        if *st == State::HalfOpen {
+            *st = State::Open { rejects_left: 0 };
+        }
+    }
+
     /// A job faulted (trap, deadline, panic): extends the streak, trips
     /// the breaker at `trip_after`, and re-opens it if this was the
     /// half-open probe.
@@ -216,6 +229,27 @@ mod tests {
         assert_eq!(b.admit(), Admission::Reject { retry_after: 1 });
         assert_eq!(b.admit(), Admission::Probe);
         b.on_success();
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn inconclusive_probe_rearms_instead_of_stranding_half_open() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            trip_after: 1,
+            cooldown: 0,
+        });
+        b.on_fault();
+        assert_eq!(b.admit(), Admission::Probe);
+        // The probe was cancelled (drain) or ended in a deterministic
+        // error: no verdict on session health.
+        b.on_probe_inconclusive();
+        // The very next submission is a fresh probe — not Reject forever.
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_success();
+        assert_eq!(b.admit(), Admission::Allow);
+        assert_eq!(b.times_opened(), 1);
+        // No-op when not half-open.
+        b.on_probe_inconclusive();
         assert_eq!(b.admit(), Admission::Allow);
     }
 }

@@ -20,7 +20,8 @@
 //!    [`deadline`](chef_exec::vm::ExecOptions::deadline), both enforced
 //!    by the VM at block granularity — an overrun is a typed trap with
 //!    pc attribution, not a killed thread. The deadline is armed when
-//!    the job *starts executing*, so queue wait does not eat a session's
+//!    each *attempt* starts executing (re-armed for the retry), so
+//!    neither queue wait nor a failed first attempt eats a session's
 //!    execution budget.
 //! 3. **Fault isolation + circuit breaking**: a trap or panic in one
 //!    job is caught at the job boundary, retried once (injected faults
@@ -113,9 +114,9 @@ pub struct SessionSpec {
     /// Instruction budget per job (block-granular; overruns trap with
     /// [`TrapKind::InstrBudgetExhausted`]). `None` = unlimited.
     pub max_instrs: Option<u64>,
-    /// Wall-clock budget per job, armed when the job starts executing
-    /// (overruns trap with [`TrapKind::DeadlineExceeded`]). `None` =
-    /// unlimited.
+    /// Wall-clock budget per execution attempt, armed when the attempt
+    /// starts executing and re-armed for the retry (overruns trap with
+    /// [`TrapKind::DeadlineExceeded`]). `None` = unlimited.
     pub deadline: Option<Duration>,
     /// Deterministic fault injection for this session's jobs. `None`
     /// falls back to the `CHEF_FAULT_SEED` environment plan (the CI
@@ -216,7 +217,9 @@ pub enum Outcome<T> {
     /// cancelled without running.
     Cancelled,
     /// A non-trap, non-panic error (compile failure, unknown function):
-    /// deterministic caller mistakes, reported without retry.
+    /// deterministic caller mistakes, reported without retry and
+    /// *without* breaker feedback — retrying a malformed program keeps
+    /// surfacing this error, never `CircuitOpen`.
     Error { msg: String },
 }
 
@@ -345,8 +348,8 @@ impl SessionState {
         self.stats.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Base exec options for one job, deadline *armed now* (call this on
-    /// the worker, not at submission).
+    /// Base exec options for one execution attempt, deadline *armed now*
+    /// (call this on the worker per attempt, not at submission).
     fn exec_options(&self) -> ExecOptions {
         ExecOptions {
             max_instrs: self.max_instrs,
@@ -733,13 +736,27 @@ impl SessionHandle {
         })
     }
 
-    /// Admission gate: draining → breaker → queue depth, in that order.
+    /// Admission gate: draining → queue depth → breaker, in that order.
+    /// The breaker is consulted **last** so that a submission it admits
+    /// (in particular a half-open `Probe`, which transitions breaker
+    /// state) is guaranteed to be enqueued — a probe bounced by
+    /// backpressure after `breaker.admit()` would strand the breaker in
+    /// HalfOpen with no probe in flight, quarantining the session
+    /// permanently.
     fn admit(&self) -> Result<Admission, Rejected> {
         if self.inner.draining.load(Ordering::SeqCst) {
             self.st.stats().rejected_backpressure += 1;
             chef_telemetry::counter!("service.rejected.draining").inc();
             return Err(Rejected {
                 reason: RejectReason::Draining,
+                retry_after: None,
+            });
+        }
+        if self.inner.sched.queue_depth() >= self.inner.cfg.max_queue_depth {
+            self.st.stats().rejected_backpressure += 1;
+            chef_telemetry::counter!("service.rejected.backpressure").inc();
+            return Err(Rejected {
+                reason: RejectReason::QueueFull,
                 retry_after: None,
             });
         }
@@ -750,14 +767,6 @@ impl SessionHandle {
             return Err(Rejected {
                 reason: RejectReason::CircuitOpen,
                 retry_after: Some(retry_after),
-            });
-        }
-        if self.inner.sched.queue_depth() >= self.inner.cfg.max_queue_depth {
-            self.st.stats().rejected_backpressure += 1;
-            chef_telemetry::counter!("service.rejected.backpressure").inc();
-            return Err(Rejected {
-                reason: RejectReason::QueueFull,
-                retry_after: None,
             });
         }
         Ok(admission)
@@ -772,7 +781,7 @@ impl SessionHandle {
         retryable: bool,
         mut attempt: impl FnMut(&WorkerShard, &ExecOptions) -> Result<T, JobFault> + Send + 'static,
     ) -> Result<Ticket<T>, Rejected> {
-        self.admit()?;
+        let is_probe = self.admit()? == Admission::Probe;
         self.st.stats().submitted += 1;
         chef_telemetry::counter!("service.submitted").inc();
         let (tx, rx) = mpsc::channel();
@@ -781,17 +790,27 @@ impl SessionHandle {
         let submitted_at = Instant::now();
         self.inner.sched.submit(Box::new(move |widx| {
             if inner.cancel_queued.load(Ordering::SeqCst) {
+                // A cancelled probe gives the breaker no verdict; re-arm
+                // it so the session is not stranded in HalfOpen.
+                if is_probe {
+                    st.breaker.on_probe_inconclusive();
+                }
                 let outcome = Outcome::Cancelled;
                 st.record_outcome(&outcome, 0);
                 let _ = tx.send(outcome);
                 return;
             }
             let shard = &inner.shards[widx];
-            let opts = st.exec_options();
-            let mut run_once = || match catch_unwind(AssertUnwindSafe(|| attempt(shard, &opts))) {
-                Ok(Ok(v)) => Ok(v),
-                Ok(Err(f)) => Err(f),
-                Err(payload) => Err(JobFault::Error(panic_text(payload.as_ref()))),
+            // Exec options are rebuilt (and the deadline re-armed) per
+            // attempt, so a retried fault gets the session's full wall
+            // budget instead of whatever the failed attempt left over.
+            let mut run_once = || {
+                let opts = st.exec_options();
+                match catch_unwind(AssertUnwindSafe(|| attempt(shard, &opts))) {
+                    Ok(Ok(v)) => Ok(v),
+                    Ok(Err(f)) => Err(f),
+                    Err(payload) => Err(JobFault::Error(panic_text(payload.as_ref()))),
+                }
             };
             let classify = |fault: JobFault, retried: bool| match fault {
                 JobFault::Trap(trap) => match trap.kind {
@@ -839,8 +858,20 @@ impl SessionHandle {
             };
             match &outcome {
                 Outcome::Completed { .. } => st.breaker.on_success(),
-                Outcome::Cancelled => {}
-                _ => st.breaker.on_fault(),
+                Outcome::Faulted { .. }
+                | Outcome::DeadlineExceeded { .. }
+                | Outcome::Panicked { .. } => st.breaker.on_fault(),
+                // Neutral outcomes: a cancellation or a deterministic
+                // caller mistake (compile failure, unknown function) says
+                // nothing about session health — retrying a malformed
+                // program must surface the real error, not CircuitOpen.
+                // If this job was the half-open probe, re-arm the breaker
+                // so the next submission probes again.
+                Outcome::Cancelled | Outcome::Error { .. } => {
+                    if is_probe {
+                        st.breaker.on_probe_inconclusive();
+                    }
+                }
             }
             st.record_outcome(&outcome, submitted_at.elapsed().as_nanos() as u64);
             let _ = tx.send(outcome);

@@ -12,11 +12,14 @@
 //! *or* executing.
 //!
 //! Counting protocol: `pending` is jobs accepted but not yet picked up,
-//! `active` is jobs currently executing. A worker increments `active`
-//! **before** decrementing `pending` when it takes a job, so
-//! `pending + active` never reads zero while a job is in transit between
-//! the two counters — which is what makes the quiesce loop's exit test
-//! sound without a global lock around job execution.
+//! `active` is jobs currently executing. A submitter increments
+//! `pending` **before** pushing the job onto a deque, and a worker
+//! increments `active` **before** decrementing `pending` when it takes
+//! one — so `pending + active` never reads zero while a job is in
+//! transit between the two counters (it may transiently *over*count by
+//! one, which only errs conservative for backpressure and quiesce).
+//! That is what makes the quiesce loop's exit test sound without a
+//! global lock around job execution.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -115,8 +118,13 @@ impl Scheduler {
         );
         let n = self.inner.queues.len();
         let at = self.inner.next.fetch_add(1, Ordering::Relaxed) % n;
-        lock(&self.inner.queues[at]).push_back(job);
+        // `pending` goes up *before* the job becomes visible in a deque
+        // (mirroring the active-before-pending order on the take side):
+        // a worker can only decrement after the push, so `pending` never
+        // wraps below zero, and `quiesce` can never observe
+        // pending == 0 && active == 0 while this job is still in flight.
         self.inner.pending.fetch_add(1, Ordering::SeqCst);
+        lock(&self.inner.queues[at]).push_back(job);
         let _g = lock(&self.inner.wake);
         self.inner.wake_cv.notify_one();
     }

@@ -324,6 +324,163 @@ fn admission_rejects_at_session_limit_and_queue_depth() {
 }
 
 #[test]
+fn backpressure_never_consumes_the_half_open_probe() {
+    // Regression pin: admission must check queue depth *before* the
+    // breaker. On the old order, a quarantined session whose cooldown
+    // had elapsed would have its half-open Probe admitted by the
+    // breaker and then bounced by QueueFull — stranding the breaker in
+    // HalfOpen with no probe in flight, i.e. permanent quarantine.
+    let server = AnalysisServer::new(ServiceConfig {
+        workers: 1,
+        max_queue_depth: 1,
+        breaker: BreakerConfig {
+            trip_after: 1,
+            cooldown: 0,
+        },
+        ..Default::default()
+    });
+    let victim = server
+        .open_session(
+            SessionSpec::named("victim")
+                .with_budget(100)
+                .with_fault(no_injection()),
+        )
+        .unwrap();
+    let noisy = server
+        .open_session(SessionSpec::named("noisy").with_fault(no_injection()))
+        .unwrap();
+    let heavy = compiled(KERNEL); // needs ≫ 100 instructions at n=500
+    let light = compiled("double f(double x) { return x * 2.0; }");
+
+    // One budget fault trips the victim's breaker (trip_after = 1);
+    // with cooldown = 0 its very next submission is the probe.
+    let o = victim
+        .submit_run(heavy, vec![ArgValue::F(0.3), ArgValue::I(500)])
+        .unwrap()
+        .wait();
+    assert!(matches!(o, Outcome::Faulted { .. }), "{o:?}");
+    assert!(victim.quarantined());
+
+    // Let the faulted job fully settle: its worker decrements `active`
+    // only after the outcome is delivered, so wait for the pool to go
+    // idle before gating it (otherwise the gate loop below could see
+    // the *old* job's `active` count).
+    while server.active_jobs() != 0 {
+        std::thread::yield_now();
+    }
+
+    // Fill the queue: gate the single worker, then queue one more job.
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let gated = noisy.submit_task(move || gate_rx.recv().unwrap()).unwrap();
+    while server.active_jobs() == 0 {
+        std::thread::yield_now();
+    }
+    let queued = noisy.submit_task(|| ()).unwrap();
+    assert_eq!(server.queue_depth(), 1);
+
+    // The victim's submission bounces on backpressure — and must NOT
+    // have consumed the breaker's probe.
+    let rej = victim
+        .submit_run(light.clone(), vec![ArgValue::F(1.0)])
+        .unwrap_err();
+    assert_eq!(rej.reason, RejectReason::QueueFull);
+
+    // Drain the queue, then the probe is still available: the next
+    // submission is admitted, completes, and closes the breaker. (On
+    // the old order this submission — and every one after it — was
+    // rejected with CircuitOpen forever.)
+    gate_tx.send(()).unwrap();
+    assert!(matches!(gated.wait(), Outcome::Completed { .. }));
+    assert!(matches!(queued.wait(), Outcome::Completed { .. }));
+    let o = victim
+        .submit_run(light, vec![ArgValue::F(21.0)])
+        .unwrap()
+        .wait();
+    assert!(matches!(o, Outcome::Completed { .. }), "{o:?}");
+    assert!(!victim.quarantined());
+    let stats = victim.stats();
+    assert_eq!(stats.rejected_backpressure, 1);
+    assert_eq!(stats.rejected_quarantine, 0);
+    assert!(server.drain().leak_free());
+}
+
+#[test]
+fn error_outcomes_are_breaker_neutral_and_an_error_probe_rearms() {
+    let server = AnalysisServer::new(ServiceConfig {
+        workers: 1,
+        breaker: BreakerConfig {
+            trip_after: 2,
+            cooldown: 0,
+        },
+        ..Default::default()
+    });
+    let session = server
+        .open_session(
+            SessionSpec::named("mistaken")
+                .with_budget(100)
+                .with_fault(no_injection()),
+        )
+        .unwrap();
+    let mut p = chef_ir::parser::parse_program(KERNEL).unwrap();
+    chef_ir::typeck::check_program(&mut p).unwrap();
+    let program = Arc::new(p);
+    let mut cfg = chef_tuner::TunerConfig::with_threshold(1e-3);
+    cfg.fault_plan = Some(no_injection());
+    let args = vec![ArgValue::F(0.37), ArgValue::I(100)];
+    let submit_bad_tune = || {
+        session
+            .submit_tune(
+                Arc::clone(&program),
+                "no_such_function".to_string(),
+                args.clone(),
+                cfg.clone(),
+                chef_tuner::OracleTuneOptions::default(),
+            )
+            .unwrap()
+            .wait()
+    };
+
+    // A client retrying a malformed request keeps seeing its own error,
+    // never CircuitOpen: deterministic caller mistakes must not extend
+    // the fault streak (trip_after = 2 would trip on the second one).
+    for _ in 0..3 {
+        let o = submit_bad_tune();
+        assert!(matches!(o, Outcome::Error { .. }), "{o:?}");
+        assert!(!session.quarantined());
+    }
+    assert_eq!(session.breaker_trips(), 0);
+
+    // Trip the breaker with two real (budget) faults...
+    let heavy = compiled(KERNEL);
+    for _ in 0..2 {
+        let o = session
+            .submit_run(heavy.clone(), vec![ArgValue::F(0.3), ArgValue::I(500)])
+            .unwrap()
+            .wait();
+        assert!(matches!(o, Outcome::Faulted { .. }), "{o:?}");
+    }
+    assert!(session.quarantined());
+    assert_eq!(session.breaker_trips(), 1);
+
+    // ...then let the half-open probe settle as an Error. That is no
+    // verdict on session health: the breaker re-arms instead of closing
+    // (the error proves nothing), re-opening (it is not a fault), or
+    // stranding HalfOpen (the next submission must still be admitted).
+    let o = submit_bad_tune();
+    assert!(matches!(o, Outcome::Error { .. }), "{o:?}");
+    let light = compiled("double f(double x) { return x * 2.0; }");
+    let o = session
+        .submit_run(light, vec![ArgValue::F(21.0)])
+        .unwrap()
+        .wait();
+    assert!(matches!(o, Outcome::Completed { .. }), "{o:?}");
+    assert!(!session.quarantined());
+    assert_eq!(session.breaker_trips(), 1);
+    assert_eq!(session.stats().errors, 4);
+    assert!(server.drain().leak_free());
+}
+
+#[test]
 fn shadow_and_tune_jobs_flow_through_sessions() {
     let server = AnalysisServer::new(ServiceConfig {
         workers: 2,
