@@ -1173,6 +1173,174 @@ fn smoke() {
         (wall, p50 as f64 / 1e6, p99 as f64 / 1e6)
     };
 
+    // 8. Persistent variant cache: cold compile vs warm disk load over
+    // the five app kernels. The store lives in `CHEF_CACHE_DIR` when
+    // set (the CI cache-reuse job shares it across two runs, so the
+    // second run resolves every kernel from disk) or in a throwaway
+    // temp dir otherwise — the `compile_{cold,warm}_ms` snapshot
+    // fields exist either way. With `CHEF_SMOKE_EXPECT_WARM=1` the
+    // populate phase is *required* to be all disk hits (zero
+    // compiles); any miss fails the run.
+    let (compile_cold_ms, compile_warm_ms, cache_failed) = {
+        use chef_exec::store::DiskStore;
+        use std::sync::Arc;
+
+        let kernels: Vec<(&'static str, Program, &'static str, Vec<ArgValue>)> = vec![
+            (
+                "arclen",
+                chef_apps::arclen::program(),
+                chef_apps::arclen::NAME,
+                chef_apps::arclen::args(500),
+            ),
+            (
+                "simpsons",
+                chef_apps::simpsons::program(),
+                chef_apps::simpsons::NAME,
+                chef_apps::simpsons::args(500),
+            ),
+            (
+                "kmeans",
+                chef_apps::kmeans::program(),
+                chef_apps::kmeans::NAME,
+                chef_apps::kmeans::args(&chef_apps::kmeans::workload(100, 5, 4, 42)),
+            ),
+            (
+                "hpccg",
+                chef_apps::hpccg::program(),
+                chef_apps::hpccg::NAME,
+                chef_apps::hpccg::args(&chef_apps::hpccg::problem(4, 4, 4)),
+            ),
+            (
+                "blackscholes",
+                chef_apps::blackscholes::program(),
+                chef_apps::blackscholes::NAME,
+                chef_apps::blackscholes::args(&chef_apps::blackscholes::workload(100, 42)),
+            ),
+        ];
+        let primals: Vec<(&'static str, chef_ir::ast::Function, Vec<ArgValue>)> = kernels
+            .iter()
+            .map(|(label, p, func, kargs)| {
+                let inlined = chef_passes::inline_program(p).or_fail("inlining failed");
+                let primal = inlined
+                    .function(func)
+                    .or_fail("kernel not found after inlining")
+                    .clone();
+                (*label, primal, kargs.clone())
+            })
+            .collect();
+
+        // Cold baseline: direct compiles, no cache — the cost the warm
+        // path is supposed to skip entirely.
+        let (cold_funcs, cold_ms) = time_ms(|| {
+            primals
+                .iter()
+                .map(|(_, primal, _)| compile_default(primal).or_fail("cold compile failed"))
+                .collect::<Vec<_>>()
+        });
+
+        let shared = std::env::var_os("CHEF_CACHE_DIR").is_some();
+        let dir = std::env::var_os("CHEF_CACHE_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("chef-smoke-cache-{}", std::process::id()))
+            });
+        let mut bad = false;
+
+        // Populate (or, on a re-run against a shared store, hit): the
+        // store-backed cache writes each compiled kernel through the
+        // deferred write-back queue; flush_disk empties it.
+        let populate_store = Arc::new(DiskStore::open(&dir).or_fail("cannot open cache dir"));
+        let cache = chef_tuner::VariantCache::new().with_store(Arc::clone(&populate_store));
+        let empty_pm = PrecisionMap::empty();
+        for (_, primal, _) in &primals {
+            cache
+                .get_or_compile(primal, &empty_pm)
+                .or_fail("cache populate failed");
+        }
+        cache.flush_disk();
+        let expect_warm = std::env::var("CHEF_SMOKE_EXPECT_WARM").as_deref() == Ok("1");
+        if expect_warm {
+            if populate_store.misses() > 0 {
+                eprintln!(
+                    "cache regression: CHEF_SMOKE_EXPECT_WARM=1 but {} lookup(s) missed the store",
+                    populate_store.misses()
+                );
+                bad = true;
+            }
+            if populate_store.hits() as usize != primals.len() {
+                eprintln!(
+                    "cache regression: expected {} disk hits, saw {}",
+                    primals.len(),
+                    populate_store.hits()
+                );
+                bad = true;
+            }
+        }
+
+        // Warm: a fresh cache and a fresh store handle on the same
+        // directory must resolve every kernel from disk — zero
+        // compilations, no new compile/pack spans, bit-identical
+        // execution against the cold-compiled functions.
+        let spans_of = |name: &str| chef_telemetry::snapshot().spans_named(name).len();
+        let (compiles_before, packs_before) = (spans_of("compile"), spans_of("pack"));
+        let warm_store = Arc::new(DiskStore::open(&dir).or_fail("cannot reopen cache dir"));
+        let warm_cache = chef_tuner::VariantCache::new().with_store(Arc::clone(&warm_store));
+        let (warm_funcs, warm_ms) = time_ms(|| {
+            primals
+                .iter()
+                .map(|(_, primal, _)| {
+                    warm_cache
+                        .get_or_compile(primal, &empty_pm)
+                        .or_fail("warm load failed")
+                })
+                .collect::<Vec<_>>()
+        });
+        if warm_cache.misses() > 0 || warm_store.misses() > 0 || warm_store.corrupt() > 0 {
+            eprintln!(
+                "cache regression: warm pass compiled {} / missed {} / corrupt {}",
+                warm_cache.misses(),
+                warm_store.misses(),
+                warm_store.corrupt()
+            );
+            bad = true;
+        }
+        if spans_of("compile") > compiles_before || spans_of("pack") > packs_before {
+            eprintln!("cache regression: warm pass recorded new compile/pack spans");
+            bad = true;
+        }
+        for (i, (label, _, kargs)) in primals.iter().enumerate() {
+            let cold_out = run(&cold_funcs[i], kargs.clone()).or_fail("cold kernel run trapped");
+            let warm_out = run(&warm_funcs[i], kargs.clone()).or_fail("warm kernel run trapped");
+            let bits = |v: &Option<Value>| match v {
+                Some(Value::F(f)) => (1u8, f.to_bits()),
+                Some(Value::I(n)) => (2, *n as u64),
+                Some(Value::B(b)) => (3, *b as u64),
+                None => (0, 0),
+            };
+            if bits(&cold_out.ret) != bits(&warm_out.ret) {
+                eprintln!(
+                    "cache regression: {label} disk-loaded kernel diverged from cold compile"
+                );
+                bad = true;
+            }
+        }
+        println!(
+            "cache: {} kernels | populate hits {} misses {} writes {} | warm hits {} in {:.3} ms \
+             (cold compile {:.3} ms)",
+            primals.len(),
+            populate_store.hits(),
+            populate_store.misses(),
+            populate_store.writes(),
+            warm_store.hits(),
+            warm_ms,
+            cold_ms
+        );
+        if !shared {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        (cold_ms, warm_ms, bad)
+    };
+
     let rows = [
         ("vm_arclen_fused_ms", vm_fused_ms),
         ("vm_arclen_unfused_ms", vm_unfused_ms),
@@ -1188,6 +1356,8 @@ fn smoke() {
         ("service_batch64_wall_ms", service_wall_ms),
         ("service_job_p50_ms", service_p50_ms),
         ("service_job_p99_ms", service_p99_ms),
+        ("compile_cold_ms", compile_cold_ms),
+        ("compile_warm_ms", compile_warm_ms),
     ];
     for (name, ms) in &rows {
         println!("{name:<32} {ms:>9.3} ms");
@@ -1290,8 +1460,9 @@ fn smoke() {
     // fails the run (and CI) instead of silently archiving a regression.
     // Rows whose configuration diverged are printed but not gated: their
     // measured error describes a trace the baseline never takes, so the
-    // band is meaningless for them.
-    let mut failed = false;
+    // band is meaningless for them. A cache-reuse violation detected
+    // above fails the run through the same exit.
+    let mut failed = cache_failed;
     for (r, _, _) in &rows {
         if r.diverged() {
             println!(

@@ -291,6 +291,8 @@ pub fn telemetry_to_json(snap: &chef_telemetry::TelemetrySnapshot) -> Json {
             let summary = Json::obj([
                 ("count", Json::Num(h.count as f64)),
                 ("sum", Json::Num(h.sum as f64)),
+                ("min", Json::Num(h.min as f64)),
+                ("max", Json::Num(h.max as f64)),
                 ("p50", Json::Num(h.p50)),
                 ("p95", Json::Num(h.p95)),
                 ("p99", Json::Num(h.p99)),

@@ -1312,6 +1312,56 @@ mod tests {
     }
 
     #[test]
+    fn offset_i8_boundaries_pack_exactly() {
+        // The D field holds the offset as `off as u8`, so exactly
+        // i8::MIN..=i8::MAX is representable: −128 and 127 round-trip,
+        // −129 and 128 bail (for both the load and the store form).
+        for off in [-128, 127] {
+            roundtrip(Instr::FLoadOff {
+                dst: FReg(1),
+                arr: AReg(0),
+                base: IReg(2),
+                off,
+            });
+            roundtrip(Instr::FStoreOff {
+                arr: AReg(0),
+                base: IReg(2),
+                off,
+                src: FReg(1),
+            });
+        }
+        for off in [-129, 128] {
+            let mut pools = Pools::new();
+            assert!(
+                pack_instr(
+                    &Instr::FLoadOff {
+                        dst: FReg(1),
+                        arr: AReg(0),
+                        base: IReg(2),
+                        off,
+                    },
+                    &mut pools
+                )
+                .is_none(),
+                "FLoadOff off={off} must bail"
+            );
+            assert!(
+                pack_instr(
+                    &Instr::FStoreOff {
+                        arr: AReg(0),
+                        base: IReg(2),
+                        off,
+                        src: FReg(1),
+                    },
+                    &mut pools
+                )
+                .is_none(),
+                "FStoreOff off={off} must bail"
+            );
+        }
+    }
+
+    #[test]
     fn constants_are_pooled_and_deduplicated() {
         let mut pools = Pools::new();
         let w1 = pack_instr(

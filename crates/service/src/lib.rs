@@ -48,10 +48,12 @@ use chef_exec::prelude::{
     run_batch_parallel_in, run_shadow_batch_parallel_in, ArgValue, CallOutcome, CompiledFunction,
     ExecOptions, ShadowOutcome, Trap, TrapKind,
 };
+use chef_exec::store::DiskStore;
 use chef_ir::ast::Program;
 use chef_tuner::{tune_with_oracle, OracleTuneOptions, TuneResult, TunerConfig, VariantCache};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -88,6 +90,14 @@ pub struct ServiceConfig {
     /// Single runs always use one thread — the scheduler itself is the
     /// parallelism.
     pub batch_threads: Option<usize>,
+    /// Directory of the persistent compiled-variant store shared by
+    /// every session ([`chef_exec::store::DiskStore`]). `None` (the
+    /// default) falls back to the process-wide `CHEF_CACHE_DIR` store,
+    /// if any. With a store attached, a restarted server **warm-starts**:
+    /// sessions resolve previously compiled variants by content hash
+    /// with zero compile work, and [`AnalysisServer::drain`] flushes
+    /// every session's pending write-backs before reporting.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -101,6 +111,7 @@ impl Default for ServiceConfig {
             cache_capacity: chef_tuner::DEFAULT_CACHE_CAPACITY,
             breaker: BreakerConfig::default(),
             batch_threads: Some(1),
+            cache_dir: None,
         }
     }
 }
@@ -169,10 +180,24 @@ pub enum RejectReason {
     CircuitOpen,
 }
 
-/// A typed admission refusal. `retry_after` is a hint in *submissions*
-/// (for [`RejectReason::CircuitOpen`]: how many more submissions the
-/// breaker will reject before admitting a probe); `None` means "retry
-/// when the queue drains" or "never" (draining).
+/// A typed admission refusal. `retry_after` is a per-reason hint with
+/// **pinned semantics** — every path that rejects with a given reason
+/// produces the same shape (the `retry_after_semantics_per_reason` test
+/// enforces this table):
+///
+/// * [`RejectReason::Draining`] → always `None`. The refusal is
+///   permanent for this server's lifetime; no amount of waiting helps.
+/// * [`RejectReason::SessionLimit`] → always `Some(n)`: at least `n`
+///   open sessions must close before an `open_session` can succeed.
+/// * [`RejectReason::QueueFull`] → always `Some(n)`: at least `n`
+///   queued jobs must start (or be cancelled) before a submission fits
+///   under [`ServiceConfig::max_queue_depth`].
+/// * [`RejectReason::CircuitOpen`] → always `Some(n)`: the breaker will
+///   reject `n` more submissions before admitting a half-open probe.
+///
+/// So `None` means exactly "retrying can never succeed", and `Some(n)`
+/// is always a countdown in the rejecting resource's own units — never
+/// wall-clock time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Rejected {
     pub reason: RejectReason,
@@ -181,13 +206,14 @@ pub struct Rejected {
 
 impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let unit = match self.reason {
+            RejectReason::SessionLimit => "session closes",
+            RejectReason::QueueFull => "queued jobs",
+            _ => "submissions",
+        };
         match self.retry_after {
-            Some(n) => write!(
-                f,
-                "rejected: {:?} (retry after {n} submissions)",
-                self.reason
-            ),
-            None => write!(f, "rejected: {:?}", self.reason),
+            Some(n) => write!(f, "rejected: {:?} (retry after {n} {unit})", self.reason),
+            None => write!(f, "rejected: {:?} (permanent)", self.reason),
         }
     }
 }
@@ -424,6 +450,10 @@ struct ServerInner {
     cfg: ServiceConfig,
     sched: scheduler::Scheduler,
     shards: Vec<WorkerShard>,
+    /// The persistent variant store every session's cache shares
+    /// ([`ServiceConfig::cache_dir`], falling back to `CHEF_CACHE_DIR`);
+    /// `None` = in-memory caches only.
+    store: Option<Arc<DiskStore>>,
     sessions: Mutex<HashMap<u64, Arc<SessionState>>>,
     next_id: AtomicU64,
     draining: AtomicBool,
@@ -465,9 +495,16 @@ impl DrainReport {
 impl AnalysisServer {
     pub fn new(cfg: ServiceConfig) -> Self {
         let workers = cfg.workers.max(1);
+        // An unopenable cache_dir degrades to no disk tier — a server
+        // must come up (and compile everything) rather than fail.
+        let store = match &cfg.cache_dir {
+            Some(dir) => DiskStore::open(dir).ok().map(Arc::new),
+            None => DiskStore::from_env(),
+        };
         let inner = Arc::new(ServerInner {
             sched: scheduler::Scheduler::new(workers),
             shards: (0..workers).map(|_| WorkerShard::new()).collect(),
+            store,
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
@@ -509,9 +546,12 @@ impl AnalysisServer {
         let mut sessions = self.inner.sessions();
         if sessions.len() >= self.inner.cfg.max_sessions {
             chef_telemetry::counter!("service.rejected.session_limit").inc();
+            // Hint: how many sessions must close before an open fits
+            // (≥ 1; see the `Rejected` semantics table).
+            let excess = (sessions.len() + 1).saturating_sub(self.inner.cfg.max_sessions);
             return Err(Rejected {
                 reason: RejectReason::SessionLimit,
-                retry_after: None,
+                retry_after: Some(excess as u32),
             });
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
@@ -522,7 +562,16 @@ impl AnalysisServer {
             } else {
                 spec.name
             },
-            cache: VariantCache::with_capacity(self.inner.cfg.cache_capacity),
+            cache: {
+                // Warm start: every session shares the server's store, so
+                // a variant any session (or a previous process) compiled
+                // is a content-hash disk hit for all of them.
+                let cache = VariantCache::with_capacity(self.inner.cfg.cache_capacity);
+                match &self.inner.store {
+                    Some(store) => cache.with_store(Arc::clone(store)),
+                    None => cache.without_store(),
+                }
+            },
             breaker: CircuitBreaker::new(self.inner.cfg.breaker),
             max_instrs: spec.max_instrs,
             deadline: spec.deadline,
@@ -550,14 +599,27 @@ impl AnalysisServer {
         shards + sessions
     }
 
+    /// The persistent variant store sessions share, if one is attached.
+    pub fn disk_store(&self) -> Option<&Arc<DiskStore>> {
+        self.inner.store.as_ref()
+    }
+
     /// Graceful drain: stop admitting, cancel queued-but-unstarted
-    /// jobs, let in-flight jobs complete, then report. Idempotent; the
-    /// server stays alive (for inspection) but rejects all new work.
+    /// jobs, let in-flight jobs complete, flush every session's pending
+    /// variant write-backs to the shared disk store, then report.
+    /// Idempotent; the server stays alive (for inspection) but rejects
+    /// all new work.
     pub fn drain(&self) -> DrainReport {
         self.inner.draining.store(true, Ordering::SeqCst);
         self.inner.cancel_queued.store(true, Ordering::SeqCst);
         self.inner.sched.quiesce();
         chef_telemetry::counter!("service.drains").inc();
+        // After quiescence no job is compiling, so this flush captures
+        // everything the sessions ever enqueued: the next process
+        // warm-starts from a complete store.
+        for s in self.inner.sessions().values() {
+            s.cache.flush_disk();
+        }
         let sessions: Vec<(String, SessionStats)> = self
             .inner
             .sessions()
@@ -752,12 +814,16 @@ impl SessionHandle {
                 retry_after: None,
             });
         }
-        if self.inner.sched.queue_depth() >= self.inner.cfg.max_queue_depth {
+        let depth = self.inner.sched.queue_depth();
+        if depth >= self.inner.cfg.max_queue_depth {
             self.st.stats().rejected_backpressure += 1;
             chef_telemetry::counter!("service.rejected.backpressure").inc();
+            // Hint: how many queued jobs must start before a submission
+            // fits (≥ 1; see the `Rejected` semantics table).
+            let excess = (depth + 1).saturating_sub(self.inner.cfg.max_queue_depth);
             return Err(Rejected {
                 reason: RejectReason::QueueFull,
-                retry_after: None,
+                retry_after: Some(excess as u32),
             });
         }
         let admission = self.st.breaker.admit();

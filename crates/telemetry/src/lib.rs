@@ -130,15 +130,22 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 
 /// A fixed-bucket log₂-scale histogram of `u64` magnitudes (typically
 /// nanoseconds). Bucket `b ≥ 1` holds values in `[2^(b−1), 2^b)`;
-/// bucket 0 holds exactly 0. Recording is one relaxed `fetch_add`;
+/// bucket 0 holds exactly 0. Recording is one relaxed `fetch_add` plus
+/// a `fetch_min`/`fetch_max` pair maintaining the observed extremes;
 /// quantiles are estimated from the bucket counts at read time (the
-/// reported value is the bucket's geometric midpoint, so the estimate
-/// is within ~√2 of the true quantile — plenty for latency telemetry).
+/// bucket's geometric midpoint, clamped into `[min, max]` — so the
+/// estimate is within ~√2 of the true quantile and never reports a
+/// value outside the observed range; a one-sample histogram's p99 is
+/// exactly the recorded value).
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Smallest recorded value (`u64::MAX` until the first record).
+    min: AtomicU64,
+    /// Largest recorded value (0 until the first record).
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -147,6 +154,8 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 }
@@ -166,6 +175,8 @@ impl Histogram {
         self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of observations.
@@ -178,28 +189,52 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Smallest recorded value, or `None` for an empty histogram.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest recorded value, or `None` for an empty histogram.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
     /// Estimated `q`-quantile (`0.0 ..= 1.0`): the geometric midpoint of
-    /// the first bucket whose cumulative count reaches `q · total`.
-    /// Returns 0.0 for an empty histogram.
+    /// the first bucket whose cumulative count reaches `q · total`,
+    /// clamped into the recorded `[min, max]` range — a bucket midpoint
+    /// can overshoot the true extreme by up to √2×, and without the
+    /// clamp a one-sample histogram would report a p99 larger than the
+    /// only value it ever saw. Returns 0.0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.count();
         if total == 0 {
             return 0.0;
         }
+        let lo = self.min.load(Ordering::Relaxed) as f64;
+        let hi = self.max.load(Ordering::Relaxed) as f64;
         let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (b, cell) in self.buckets.iter().enumerate() {
             seen += cell.load(Ordering::Relaxed);
             if seen >= rank {
-                return if b == 0 {
+                let mid = if b == 0 {
                     0.0
                 } else {
                     // Geometric midpoint of [2^(b-1), 2^b).
                     2f64.powf(b as f64 - 0.5)
                 };
+                return mid.clamp(lo, hi);
             }
         }
-        2f64.powi((HISTOGRAM_BUCKETS - 1) as i32)
+        2f64.powi((HISTOGRAM_BUCKETS - 1) as i32).clamp(lo, hi)
     }
 
     /// Median estimate.
@@ -223,6 +258,8 @@ impl Histogram {
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 }
 
@@ -537,6 +574,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Observation sum.
     pub sum: u64,
+    /// Smallest recorded value (0 when the histogram is empty).
+    pub min: u64,
+    /// Largest recorded value (0 when the histogram is empty).
+    pub max: u64,
     /// Estimated median.
     pub p50: f64,
     /// Estimated 95th percentile.
@@ -599,6 +640,8 @@ pub fn snapshot() -> TelemetrySnapshot {
             name: n.to_string(),
             count: h.count(),
             sum: h.sum(),
+            min: h.min().unwrap_or(0),
+            max: h.max().unwrap_or(0),
             p50: h.p50(),
             p95: h.p95(),
             p99: h.p99(),
@@ -701,6 +744,44 @@ mod tests {
         let z = Histogram::default();
         z.record(0);
         assert_eq!(z.p50(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_clamp_to_observed_range() {
+        // One sample: every quantile is exactly the observed value, not
+        // the bucket's geometric midpoint (100 lands in [64, 128), whose
+        // midpoint ≈ 90.5 — below the sample; 65 would report ≈ 90.5 —
+        // above it).
+        for v in [65u64, 100, 127] {
+            let h = Histogram::default();
+            h.record(v);
+            assert_eq!(h.p50(), v as f64);
+            assert_eq!(h.p99(), v as f64);
+            assert_eq!(h.min(), Some(v));
+            assert_eq!(h.max(), Some(v));
+        }
+        // Multi-sample: quantiles stay within [min, max].
+        let h = Histogram::default();
+        h.record(70);
+        h.record(80);
+        h.record(120);
+        assert!(h.p50() >= 70.0 && h.p50() <= 120.0);
+        assert!(h.p99() >= 70.0 && h.p99() <= 120.0);
+        assert_eq!(h.min(), Some(70));
+        assert_eq!(h.max(), Some(120));
+        // Empty histogram: no extremes, quantiles 0.
+        let e = Histogram::default();
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+        assert_eq!(e.p99(), 0.0);
+        // Reset restores the sentinels.
+        h.reset();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        h.record(7);
+        assert_eq!(h.min(), Some(7));
+        assert_eq!(h.max(), Some(7));
+        assert_eq!(h.p99(), 7.0);
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //!
 //! * **Compiled-variant cache** ([`VariantCache`]): the greedy loop, the
 //!   single-demotion sweep and repeated validations compile overlapping
-//!   `PrecisionMap`s; a cache keyed by the canonical demotion set shares
-//!   the compilations and counts its hits (exposed on
-//!   [`TuneResult::cache_hits`]).
+//!   `PrecisionMap`s; a cache keyed by content hash (canonical source +
+//!   options — [`chef_exec::store::content_key`]) shares the
+//!   compilations and counts its hits (exposed on
+//!   [`TuneResult::cache_hits`]), with an optional `CHEF_CACHE_DIR`
+//!   disk tier that makes variants survive the process.
 //! * **Oracle mode** ([`validate_with_oracle`], [`tune_with_oracle`]):
 //!   instead of estimating, each candidate configuration is *measured* by
 //!   the `chef-shadow` fused shadow pass — ground-truth output error in
@@ -413,19 +415,33 @@ fn resolved_fault(explicit: Option<&FaultPlan>) -> Option<FaultPlan> {
 // Compiled-variant cache
 // ------------------------------------------------------------------------
 
-type VariantKey = (String, Vec<(VarId, FloatTy)>);
+/// The one cache key, in memory and on disk: the 128-bit content hash
+/// of the variant's canonical source + compile options
+/// ([`chef_exec::store::content_key`]). The previous key —
+/// `(function name, sorted demotion entries)` — silently collided the
+/// moment a cache outlived one program: two different programs sharing
+/// a function name (and demotion set) would cross-hit and execute each
+/// other's bytecode. Content addressing makes that structurally
+/// impossible; the `same_name_different_program` regression test pins
+/// it.
+type VariantKey = ContentKey;
 
-/// A cache of compiled mixed-precision variants keyed by the canonical
-/// demotion set (plus the function name), bundled with the session's
-/// machine arenas.
+/// How many pending disk write-backs accumulate before they are flushed
+/// inline. Small enough that a crashed process loses little work, large
+/// enough that a greedy sweep isn't paying one fsync per candidate.
+const WRITE_BACK_BATCH: usize = 8;
+
+/// A cache of compiled mixed-precision variants keyed by content hash
+/// ([`ContentKey`] — canonical source + options, never the function
+/// name), bundled with the session's machine arenas.
 ///
 /// The greedy loops and sweeps recompile overlapping `PrecisionMap`s —
 /// the empty baseline on every validation call, the accepted
 /// configuration of each greedy step, the single-demotion configs shared
 /// between [`sweep_single_demotions`] and [`tune_with_oracle`]'s first
-/// round. Shareable across calls (interior mutability; `Sync`), scoped
-/// to **one program**: variable ids in the key are only meaningful for
-/// the inlined function they came from.
+/// round. Shareable across calls (interior mutability; `Sync`) and —
+/// because keys are content hashes — safely shareable across *programs*
+/// and sessions.
 ///
 /// Compiling hundreds of variants is only half the cost — each one also
 /// runs. The embedded [`MachineArena`]s let every run of every variant
@@ -440,6 +456,23 @@ type VariantKey = (String, Vec<(VarId, FloatTy)>);
 /// history. The default capacity (512) is far above any single tune's
 /// working set, so short sessions never evict and their hit/miss counts
 /// are exact compile-savings figures.
+///
+/// ## Disk tier
+///
+/// Behind the bounded in-memory table sits an optional
+/// [`chef_exec::store::DiskStore`] (enabled process-wide by
+/// `CHEF_CACHE_DIR`, or per cache via [`VariantCache::with_store`]). A
+/// memory miss probes the store first: a hit is decoded, revalidated
+/// through `validate_function`, inserted into the memory tier, and
+/// marked with a zero-length `compile.skipped` span — no
+/// `compile`/`fuse`/`pack` work happens at all. A genuine miss compiles
+/// and *enqueues* the variant for write-back; pending write-backs flush
+/// every [`WRITE_BACK_BATCH`] compilations, on [`VariantCache::flush_disk`]
+/// (the server's drain calls this), and on drop. [`VariantCache::misses`]
+/// keeps meaning "compilations actually performed" — a disk hit is
+/// neither a memory hit nor a miss; the store's own
+/// `cache.disk.{hits,misses,writes,corrupt}` counters tell the disk
+/// story.
 pub struct VariantCache {
     inner: Mutex<HashMap<VariantKey, CachedVariant>>,
     capacity: usize,
@@ -447,6 +480,8 @@ pub struct VariantCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    disk: Option<Arc<DiskStore>>,
+    pending: Mutex<Vec<(ContentKey, Arc<CompiledFunction>)>>,
     arena: MachineArena,
     shadow64: ShadowMachineArena<f64>,
     shadow_dd: ShadowMachineArena<chef_shadow::DD>,
@@ -484,10 +519,33 @@ impl VariantCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            disk: DiskStore::from_env(),
+            pending: Mutex::new(Vec::new()),
             arena: MachineArena::new(),
             shadow64: ShadowMachineArena::new(),
             shadow_dd: ShadowMachineArena::new(),
         }
+    }
+
+    /// Attaches an explicit disk tier (builder style), replacing the
+    /// `CHEF_CACHE_DIR` default. The `AnalysisServer` uses this so all
+    /// of its sessions share one configured store; tests use it to get
+    /// a hermetic store regardless of the environment.
+    pub fn with_store(mut self, store: Arc<DiskStore>) -> Self {
+        self.disk = Some(store);
+        self
+    }
+
+    /// Removes the disk tier (builder style): a purely in-memory cache
+    /// even when `CHEF_CACHE_DIR` is set.
+    pub fn without_store(mut self) -> Self {
+        self.disk = None;
+        self
+    }
+
+    /// The attached disk store, if any.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.disk.as_ref()
     }
 
     /// Maximum number of compiled variants retained.
@@ -551,37 +609,55 @@ impl VariantCache {
         self.len() == 0
     }
 
-    /// Returns the compiled variant of `primal` under `pm`, compiling on
-    /// first use (compilation happens outside the lock; a racing miss
-    /// keeps the first inserted variant).
+    /// Returns the compiled variant of `primal` under `pm`: memory tier,
+    /// then disk tier (decode + revalidate, zero compilation), then a
+    /// real compile (outside the lock; a racing miss keeps the first
+    /// inserted variant) with a deferred disk write-back.
     pub fn get_or_compile(
         &self,
         primal: &Function,
         pm: &PrecisionMap,
     ) -> Result<Arc<CompiledFunction>, CompileError> {
-        let key = (primal.name.clone(), pm.sorted_entries());
+        let opts = CompileOptions {
+            precisions: pm.clone(),
+            ..Default::default()
+        };
+        let key = content_key(primal, &opts);
         if let Some(hit) = self.table().get_mut(&key) {
             hit.last_used = self.stamp();
             self.hits.fetch_add(1, Ordering::Relaxed);
             chef_telemetry::counter!("tuner.cache.hits").inc();
             return Ok(hit.func.clone());
         }
-        let compiled = Arc::new(compile(
-            primal,
-            &CompileOptions {
-                precisions: pm.clone(),
-                ..Default::default()
-            },
-        )?);
+        if let Some(store) = &self.disk {
+            if let Some(func) = store.load(&key) {
+                // A zero-length span marking a compilation the disk tier
+                // made unnecessary — the warm-start signal `repro --smoke`
+                // and the cache-reuse CI job assert on.
+                drop(chef_telemetry::span("compile.skipped"));
+                return Ok(self.insert(key, Arc::new(func)));
+            }
+        }
+        let compiled = Arc::new(compile(primal, &opts)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         chef_telemetry::counter!("tuner.cache.misses").inc();
+        if self.disk.is_some() {
+            self.enqueue_write_back(key, compiled.clone());
+        }
+        Ok(self.insert(key, compiled))
+    }
+
+    /// Inserts `func` under `key` with a fresh use stamp (a racing
+    /// insert keeps the incumbent) and evicts past capacity. Returns
+    /// the variant now cached under `key`.
+    fn insert(&self, key: VariantKey, func: Arc<CompiledFunction>) -> Arc<CompiledFunction> {
         let now = self.stamp();
         let mut table = self.table();
         // A racing miss may have inserted first; either way the variant
         // at `key` was just used, so it carries the fresh stamp — which
         // also shields it from the eviction scan below.
         let entry = table.entry(key).or_insert(CachedVariant {
-            func: compiled,
+            func,
             last_used: now,
         });
         entry.last_used = now;
@@ -590,13 +666,57 @@ impl VariantCache {
             let victim = table
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
+                .map(|(k, _)| *k)
                 .expect("non-empty past capacity");
             table.remove(&victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
             chef_telemetry::counter!("tuner.cache.evictions").inc();
         }
-        Ok(func)
+        func
+    }
+
+    /// Queues a freshly compiled variant for disk write-back, flushing
+    /// inline once [`WRITE_BACK_BATCH`] are pending. The queue (not a
+    /// synchronous write per compile) keeps the greedy loop's critical
+    /// path free of fsyncs; durability hooks are [`flush_disk`], the
+    /// server's drain, and [`Drop`].
+    ///
+    /// [`flush_disk`]: VariantCache::flush_disk
+    fn enqueue_write_back(&self, key: ContentKey, func: Arc<CompiledFunction>) {
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        pending.push((key, func));
+        if pending.len() >= WRITE_BACK_BATCH {
+            let batch = std::mem::take(&mut *pending);
+            drop(pending);
+            self.write_back(batch);
+        }
+    }
+
+    /// Flushes all pending disk write-backs; returns how many entries
+    /// were written. A no-op without a disk tier (the queue is only fed
+    /// when one is attached).
+    pub fn flush_disk(&self) -> usize {
+        let batch = {
+            let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *pending)
+        };
+        self.write_back(batch)
+    }
+
+    fn write_back(&self, batch: Vec<(ContentKey, Arc<CompiledFunction>)>) -> usize {
+        let Some(store) = &self.disk else { return 0 };
+        batch
+            .iter()
+            .filter(|(key, func)| store.store(key, func))
+            .count()
+    }
+}
+
+impl Drop for VariantCache {
+    /// Best-effort durability: whatever the write-back queue still
+    /// holds goes to disk when the cache (session) ends.
+    fn drop(&mut self) {
+        self.flush_disk();
     }
 }
 
@@ -1353,7 +1473,7 @@ mod tests {
             .iter()
             .map(|&id| PrecisionMap::empty().with(id, FloatTy::F32))
             .collect();
-        let cache = VariantCache::new();
+        let cache = VariantCache::new().without_store();
         let first = validate_configs_with(&p, "f", &args, &configs, Some(&cache)).unwrap();
         let after_first = cache.misses();
         assert!(after_first >= 1 + configs.len() as u64 - 1); // baseline + variants
@@ -1421,7 +1541,7 @@ mod tests {
 
         let mut cfg = TunerConfig::with_threshold(2.0); // two-run error ≈ 1.5 fits
         cfg.candidates = Some(vec!["s".into()]);
-        let cache = VariantCache::new();
+        let cache = VariantCache::new().without_store();
         let opts = OracleTuneOptions::default(); // TwoRunValidate
         let res = tune_with_oracle(&p, "f", &args, &cfg, &opts, &cache).unwrap();
         assert!(res.divergent_trials >= 1, "{res:?}");
@@ -1484,7 +1604,7 @@ mod tests {
         cfg.fault_plan = Some(no_injection());
 
         // Reference: the same tune with no faults injected.
-        let clean_cache = VariantCache::new();
+        let clean_cache = VariantCache::new().without_store();
         let reference = tune_with_oracle(
             &p,
             "f",
@@ -1505,7 +1625,7 @@ mod tests {
         let mut faulted_cfg = cfg.clone();
         faulted_cfg.fault_plan = Some(plan.clone());
 
-        let cache = VariantCache::new();
+        let cache = VariantCache::new().without_store();
         let mut total = FaultSummary::default();
         let mut tunes = 0u64;
         while plan.draws() < 100 {
@@ -1579,7 +1699,7 @@ mod tests {
                 &args,
                 &c,
                 &OracleTuneOptions::reranked(),
-                &VariantCache::new(),
+                &VariantCache::new().without_store(),
             )
             .unwrap();
             assert_eq!(res.demoted, reference.demoted);
@@ -1630,7 +1750,7 @@ mod tests {
         let src = "double f(double a) { double b = a * 3.0; return b; }";
         let p = program(src);
         let args = vec![ArgValue::F(0.4)];
-        let cache = VariantCache::new();
+        let cache = VariantCache::new().without_store();
         let first =
             validate_configs_with(&p, "f", &args, &[PrecisionMap::empty()], Some(&cache)).unwrap();
         // Poison the table's mutex the hard way.
@@ -1665,7 +1785,7 @@ mod tests {
             &args,
             &cfg,
             &OracleTuneOptions::default(),
-            &VariantCache::new(),
+            &VariantCache::new().without_store(),
         );
         // The estimation pass propagates its persistent trap (a
         // deterministic failure of the foundation is still an error)…
@@ -1685,8 +1805,15 @@ mod tests {
             },
             ..Default::default()
         };
-        let res =
-            tune_with_oracle(&p, "f", &args, &clean_est, &opts, &VariantCache::new()).unwrap();
+        let res = tune_with_oracle(
+            &p,
+            "f",
+            &args,
+            &clean_est,
+            &opts,
+            &VariantCache::new().without_store(),
+        )
+        .unwrap();
         assert!(res.demoted.is_empty(), "{:?}", res.demoted);
         assert_eq!(res.measured_error, None);
         assert!(res.faults.quarantined >= 9, "{:?}", res.faults); // start + 8 trials
@@ -1713,7 +1840,7 @@ mod tests {
         cfg.fault_plan = Some(plan.clone());
 
         let before = chef_telemetry::snapshot();
-        let cache = VariantCache::new();
+        let cache = VariantCache::new().without_store();
         let mut total = FaultSummary::default();
         while plan.draws() < 40 {
             let res =
@@ -1751,7 +1878,7 @@ mod tests {
         let p = program(src);
         let args = vec![ArgValue::F(0.41), ArgValue::I(50)];
         let cfg = TunerConfig::with_threshold(1e-4);
-        let cache = VariantCache::new();
+        let cache = VariantCache::new().without_store();
         let res =
             tune_with_oracle(&p, "f", &args, &cfg, &OracleTuneOptions::reranked(), &cache).unwrap();
         // The threshold holds by *measurement* (and re-validates two-run).
@@ -1844,7 +1971,7 @@ mod tests {
             PrecisionMap::empty().with(ids[1], FloatTy::F32),
             PrecisionMap::empty().with(ids[2], FloatTy::F32),
         );
-        let cache = VariantCache::with_capacity(2);
+        let cache = VariantCache::with_capacity(2).without_store();
         cache.get_or_compile(f, &pm_u).unwrap(); // miss
         cache.get_or_compile(f, &pm_w).unwrap(); // miss
         cache.get_or_compile(f, &pm_u).unwrap(); // hit — freshens `u`
