@@ -82,6 +82,11 @@ fn main() {
         profile_table();
         return;
     }
+    if let Some(k) = args.iter().position(|a| a == "--cfg") {
+        let kernel = args.get(k + 1).map(String::as_str).unwrap_or("arclen");
+        cfg_dump(kernel);
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -991,6 +996,61 @@ fn oracle_table() {
 // ------------------------------------------------------------ perf smoke
 
 /// CI perf smoke: times the engine's hot paths on small workloads and
+/// `repro --cfg <kernel>`: the CFG optimizer tier's debug surface —
+/// basic blocks with immediate dominators, natural loops, and the LICM
+/// plan (hoisted ops, guards, compaction) for one app kernel. The
+/// bytecode is compiled with the tier *off* (fusion on, packing off) so
+/// the dump shows exactly what the optimizer would see; the plan comes
+/// from optimizing a copy. Pinned by the `cfg_differential` golden test.
+fn cfg_dump(kernel: &str) {
+    let (p, name): (Program, &str) = match kernel {
+        "arclen" => (chef_apps::arclen::program(), chef_apps::arclen::NAME),
+        "simpsons" => (chef_apps::simpsons::program(), chef_apps::simpsons::NAME),
+        "kmeans" => (chef_apps::kmeans::program(), chef_apps::kmeans::NAME),
+        "blackscholes" => (
+            chef_apps::blackscholes::program(),
+            chef_apps::blackscholes::NAME,
+        ),
+        "hpccg" => (chef_apps::hpccg::program(), chef_apps::hpccg::NAME),
+        other => {
+            eprintln!(
+                "repro: unknown kernel `{other}` \
+                 (expected arclen|simpsons|kmeans|blackscholes|hpccg)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let inlined = chef_passes::inline_program(&p).or_fail("inlining failed");
+    let func = inlined.function(name).or_fail("kernel not found");
+    let c = chef_exec::compile::compile(
+        func,
+        &chef_exec::compile::CompileOptions {
+            fuse: true,
+            pack: false,
+            cfg: false,
+            ..Default::default()
+        },
+    )
+    .or_fail("compile failed");
+    print!("{}", chef_exec::cfg::dump(&c));
+    let mut opt = c.clone();
+    let stats = chef_exec::cfg::optimize(&mut opt);
+    println!(
+        "  licm: {} hoisted, {} guard(s), {} register slot(s) compacted{}",
+        stats.hoisted,
+        stats.guards,
+        stats.regs_compacted,
+        if stats.reducible {
+            ""
+        } else {
+            " (irreducible: pass bailed)"
+        }
+    );
+    for op in &stats.hoisted_ops {
+        println!("    hoist {op}");
+    }
+}
+
 /// writes a `BENCH_smoke.json` snapshot, so the perf trajectory is
 /// tracked from one commit to the next (compare the JSON across runs;
 /// absolute numbers vary with the runner, ratios should not).
@@ -999,12 +1059,22 @@ fn smoke() {
 
     header("perf smoke (scaled-down hot paths; snapshot -> BENCH_smoke.json)");
 
-    // 1. Raw VM dispatch: the arclen primal, fused vs unfused.
+    // 1. Raw VM dispatch: the arclen primal — full default pipeline
+    // (fusion + CFG tier + packing), the same stream with the CFG tier
+    // off, unfused, and enum-dispatched.
     let p = chef_apps::arclen::program();
     let primal = p
         .function(chef_apps::arclen::NAME)
         .or_fail("arclen kernel not found");
     let fused = compile_default(primal).or_fail("arclen compile failed");
+    let cfg_off = chef_exec::compile::compile(
+        primal,
+        &chef_exec::compile::CompileOptions {
+            cfg: false,
+            ..Default::default()
+        },
+    )
+    .or_fail("arclen cfg-off compile failed");
     let unfused = chef_exec::compile::compile(
         primal,
         &chef_exec::compile::CompileOptions {
@@ -1021,10 +1091,22 @@ fn smoke() {
         },
     )
     .or_fail("arclen enum compile failed");
+    // The CFG tier's measurable work on arclen: how many ops LICM lifts
+    // out of the loops (snapshot-tracked and gated: zero would mean the
+    // tier silently stopped finding the h*h hoist).
+    let licm_hoisted_arclen = {
+        let mut c = cfg_off.clone();
+        f64::from(chef_exec::cfg::optimize(&mut c).hoisted)
+    };
     let opts = ExecOptions::default();
     let mut m = chef_exec::vm::Machine::new();
-    let (_, vm_fused_ms) = time_median(31, || {
+    let (_, vm_cfg_ms) = time_median(31, || {
         m.run_reused(&fused, vec![ArgValue::I(10_000)], &opts)
+            .unwrap()
+            .ret_f()
+    });
+    let (_, vm_fused_ms) = time_median(31, || {
+        m.run_reused(&cfg_off, vec![ArgValue::I(10_000)], &opts)
             .unwrap()
             .ret_f()
     });
@@ -1060,7 +1142,7 @@ fn smoke() {
                     .unwrap()
                     .ret_f()
             });
-            again_ms / vm_fused_ms
+            again_ms / vm_cfg_ms
         })
         .fold(f64::INFINITY, f64::min);
 
@@ -1342,9 +1424,11 @@ fn smoke() {
     };
 
     let rows = [
+        ("vm_arclen_cfg_ms", vm_cfg_ms),
         ("vm_arclen_fused_ms", vm_fused_ms),
         ("vm_arclen_unfused_ms", vm_unfused_ms),
         ("vm_arclen_enum_ms", vm_enum_ms),
+        ("licm_hoisted_arclen", licm_hoisted_arclen),
         ("vm_arclen_profiled_ms", vm_profiled_ms),
         ("vm_arclen_shadowed_ms", vm_shadow_ms),
         ("vm_arclen_shadowed_div_ms", vm_shadow_div_ms),
@@ -1363,12 +1447,16 @@ fn smoke() {
         println!("{name:<32} {ms:>9.3} ms");
     }
     println!(
+        "cfg tier: {:.2}x the fusion-only dispatch on arclen (<= 1.0 expected)",
+        vm_cfg_ms / vm_fused_ms
+    );
+    println!(
         "shadow overhead: {:.2}x over the plain fused run (detection off)",
-        vm_shadow_ms / vm_fused_ms
+        vm_shadow_ms / vm_cfg_ms
     );
     println!(
         "shadow + divergence detection: {:.2}x over the plain fused run (< 4x bar)",
-        vm_shadow_div_ms / vm_fused_ms
+        vm_shadow_div_ms / vm_cfg_ms
     );
     println!(
         "non-finite trapping: {:.2}x over the plain shadow pass (<= 1.10x bar)",
@@ -1376,9 +1464,9 @@ fn smoke() {
     );
     println!(
         "packed dispatch: {:.2}x over the enum interpreter on the same stream",
-        vm_enum_ms / vm_fused_ms
+        vm_enum_ms / vm_cfg_ms
     );
-    let telemetry_prof_x = vm_profiled_ms / vm_fused_ms;
+    let telemetry_prof_x = vm_profiled_ms / vm_cfg_ms;
     println!(
         "telemetry off: {telemetry_off_x:.3}x paired re-run of the profile-off dispatch (<= 1.02x bar)"
     );
@@ -1445,10 +1533,10 @@ fn smoke() {
                     .collect(),
             ),
         ),
-        ("shadow_overhead_x", Json::Num(vm_shadow_ms / vm_fused_ms)),
+        ("shadow_overhead_x", Json::Num(vm_shadow_ms / vm_cfg_ms)),
         (
             "divergence_overhead_x",
-            Json::Num(vm_shadow_div_ms / vm_fused_ms),
+            Json::Num(vm_shadow_div_ms / vm_cfg_ms),
         ),
     ]);
     let path = "BENCH_oracle_smoke.json";
@@ -1489,6 +1577,22 @@ fn smoke() {
             eprintln!("divergence regression: {name} stable input reported {stable} split(s)");
             failed = true;
         }
+    }
+    // CFG-tier gates: LICM must keep finding work on arclen (the h*h
+    // hoist), and the optimized stream must not dispatch slower than the
+    // fusion-only baseline (5% jitter allowance for the CI runner; the
+    // committed snapshot is expected at ≤ 1.0x).
+    if licm_hoisted_arclen < 1.0 {
+        eprintln!("cfg regression: LICM hoisted nothing on arclen");
+        failed = true;
+    }
+    if vm_cfg_ms > vm_fused_ms * 1.05 {
+        eprintln!(
+            "cfg regression: optimized arclen dispatch ran at {:.3}x the \
+             fusion-only baseline (> 1.05x bar)",
+            vm_cfg_ms / vm_fused_ms
+        );
+        failed = true;
     }
     // Telemetry gates: profile-off dispatch must be free (the off loop
     // is the same machine code as a build without telemetry), and the

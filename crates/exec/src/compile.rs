@@ -85,26 +85,34 @@ pub struct CompileOptions {
     /// default; turn off to benchmark or differentially test the enum
     /// interpreter (results are bit-identical either way).
     pub pack: bool,
+    /// Run the CFG optimizer tier ([`crate::cfg`]: dominator-guided
+    /// loop-invariant code motion + register-file compaction) between
+    /// fusion and packing. On by default; turn off to benchmark the
+    /// peephole-only pipeline (results are bit-identical either way).
+    pub cfg: bool,
 }
 
 impl Default for CompileOptions {
-    /// Fusion and packing default to **on**, overridable process-wide by
-    /// the environment: `CHEF_EXEC_FUSE=0` / `CHEF_EXEC_PACK=0` (also
-    /// `false`/`off`/`no`) force the respective default off. This is how
-    /// CI runs the whole tier-1 suite against the enum fallback
-    /// interpreter without a recompile; code that sets `fuse`/`pack`
-    /// explicitly is unaffected. Read once per process.
+    /// Fusion, the CFG tier, and packing default to **on**, overridable
+    /// process-wide by the environment: `CHEF_EXEC_FUSE=0` /
+    /// `CHEF_EXEC_CFG=0` / `CHEF_EXEC_PACK=0` (also `false`/`off`/`no`)
+    /// force the respective default off. This is how CI runs the whole
+    /// tier-1 suite against the enum fallback interpreter (or the
+    /// peephole-only pipeline) without a recompile; code that sets the
+    /// flags explicitly is unaffected. Read once per process.
     fn default() -> Self {
         CompileOptions {
             precisions: PrecisionMap::default(),
             fuse: env_toggle(&FUSE_DEFAULT, "CHEF_EXEC_FUSE"),
             pack: env_toggle(&PACK_DEFAULT, "CHEF_EXEC_PACK"),
+            cfg: env_toggle(&CFG_DEFAULT, "CHEF_EXEC_CFG"),
         }
     }
 }
 
 static FUSE_DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
 static PACK_DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+static CFG_DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
 
 /// `true` unless the environment variable is set to a falsy value
 /// (`0`/`false`/`off`/`no`, case-insensitive); cached per process.
@@ -173,6 +181,9 @@ pub fn compile(func: &Function, opts: &CompileOptions) -> Result<CompiledFunctio
     if opts.fuse {
         let _span = chef_telemetry::span("fuse");
         crate::fuse::fuse_to_fixpoint(&mut compiled);
+    }
+    if opts.cfg {
+        crate::cfg::optimize(&mut compiled);
     }
     if opts.pack {
         let _span = chef_telemetry::span("pack");

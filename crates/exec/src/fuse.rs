@@ -99,14 +99,17 @@ impl std::ops::AddAssign for FuseStats {
 }
 
 /// A register in one of the two scalar files.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Reg {
+///
+/// Shared with [`crate::cfg`], which reuses the fuser's read/write/successor
+/// analyses for its block-level dataflow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Reg {
     F(u32),
     I(u32),
 }
 
 /// Calls `visit` for every scalar register the instruction reads.
-fn for_each_read(ins: &Instr, mut visit: impl FnMut(Reg)) {
+pub(crate) fn for_each_read(ins: &Instr, mut visit: impl FnMut(Reg)) {
     macro_rules! fr {
         ($r:expr) => {
             visit(Reg::F($r.0))
@@ -201,7 +204,7 @@ fn for_each_read(ins: &Instr, mut visit: impl FnMut(Reg)) {
 }
 
 /// The scalar register the instruction writes, if any.
-fn write_of(ins: &Instr) -> Option<Reg> {
+pub(crate) fn write_of(ins: &Instr) -> Option<Reg> {
     match ins {
         Instr::FConst { dst, .. }
         | Instr::FMov { dst, .. }
@@ -271,7 +274,7 @@ fn write_of(ins: &Instr) -> Option<Reg> {
 
 /// Successor program points of the instruction at `pc`; `None` marks a
 /// function exit (return or fall-off-the-end).
-fn successors(ins: &Instr, pc: usize, out: &mut [Option<usize>; 2]) -> bool {
+pub(crate) fn successors(ins: &Instr, pc: usize, out: &mut [Option<usize>; 2]) -> bool {
     // Returns `false` when the instruction exits the function.
     *out = [None, None];
     match ins {
@@ -964,6 +967,11 @@ mod tests {
         check_program(&mut p).unwrap();
         let opts = CompileOptions {
             fuse: false,
+            // A pristine stream: these tests drive `fuse_function`
+            // by hand and match on exact pre-fusion shapes, which the
+            // CFG tier's LICM would rearrange (e.g. hoisting the loop
+            // constants `IAddImm` fusion wants to see in the body).
+            cfg: false,
             ..Default::default()
         };
         compile(&p.functions[0], &opts).unwrap()

@@ -2405,6 +2405,7 @@ mod tests {
                 precisions: PrecisionMap::empty().with(VarId(1), chef_ir::types::FloatTy::F32),
                 fuse: true,
                 pack,
+                ..Default::default()
             };
             let f = compile(&p.functions[0], &copts).unwrap();
             // Default options: the overflow flows through silently.
@@ -2435,6 +2436,7 @@ mod tests {
             precisions: PrecisionMap::empty().with(VarId(0), chef_ir::types::FloatTy::F32),
             fuse: true,
             pack: true,
+            ..Default::default()
         };
         let f = compile(&p.functions[0], &copts).unwrap();
         // 1e300 is finite in f64 but rounds to +Inf in float at entry.

@@ -135,6 +135,43 @@ fn wrong_version_header_degrades_to_counted_miss() {
 }
 
 #[test]
+fn cfg_tier_variants_never_cross_hit() {
+    // The CFG tier flag (and its revision) are part of a variant's
+    // content key: bytecode optimized by the tier must never be served
+    // to a `cfg: false` compile, and vice versa — a stale cross-hit
+    // would silently change pc-indexed artifacts (profiles, trap sites).
+    let mut p = chef_ir::parser::parse_program(KERNEL).unwrap();
+    chef_ir::typeck::check_program(&mut p).unwrap();
+    let func = &p.functions[0];
+    let with_cfg = |on: bool| CompileOptions {
+        cfg: on,
+        ..Default::default()
+    };
+    let key_on = content_key(func, &with_cfg(true));
+    let key_off = content_key(func, &with_cfg(false));
+    assert_ne!(
+        key_on.to_string(),
+        key_off.to_string(),
+        "cfg on/off must produce distinct content keys"
+    );
+
+    let dir = std::env::temp_dir().join(format!("chef-disk-cfgkey-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DiskStore::open(&dir).unwrap();
+    let compiled_on = compile(func, &with_cfg(true)).unwrap();
+    assert!(store.store(&key_on, &compiled_on));
+    // The cfg-off key misses despite the cfg-on entry sitting next to it.
+    assert!(store.load(&key_off).is_none(), "cfg-off must not cross-hit");
+    assert_eq!(store.misses(), 1);
+    assert_eq!(store.corrupt(), 0);
+    // And the matching key still round-trips.
+    let loaded = store.load(&key_on).expect("cfg-on entry hits its own key");
+    assert_eq!(run_f64(&loaded).to_bits(), run_f64(&compiled_on).to_bits());
+    assert_eq!(store.hits(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn torn_write_leaves_store_consistent() {
     // A crash mid-write leaves a temp file but never a partial entry:
     // the final name only ever appears via rename. Loads on the key

@@ -30,6 +30,7 @@ fn demoted(pack: bool) -> CompiledFunction {
             precisions: pm,
             fuse: true,
             pack,
+            ..Default::default()
         },
     )
     .expect("kernel compiles")
