@@ -1,0 +1,70 @@
+//! Repro: reducible loop whose body block precedes the header in pc
+//! order. LICM hoists from the early block and apply_plan's target
+//! remapping (which assumes all deletions happen at/after the header
+//! start) corrupts the stream.
+
+use chef_exec::bytecode::{CmpOp, CompiledFunction, IReg, Instr, ParamKind, ParamSpec, RetKind};
+use chef_exec::value::ArgValue;
+use chef_ir::span::Span;
+
+fn func() -> CompiledFunction {
+    use Instr::*;
+    let instrs = vec![
+        // entry: jump forward to the header
+        Jmp { target: 3 },
+        // B (loop body, textually BEFORE the header): invariant op
+        IAddImm {
+            dst: IReg(3),
+            a: IReg(0),
+            imm: 5,
+        },
+        // latch: back edge B -> H
+        Jmp { target: 3 },
+        // H: i += 1
+        IAddImm {
+            dst: IReg(1),
+            a: IReg(1),
+            imm: 1,
+        },
+        // H terminator: while (i < 3) goto B
+        ICmpImmJmpTrue {
+            op: CmpOp::Lt,
+            a: IReg(1),
+            imm: 3,
+            target: 1,
+        },
+        RetI { src: IReg(1) },
+    ];
+    let spans = vec![Span::default(); instrs.len()];
+    CompiledFunction {
+        name: "body_before_header".into(),
+        instrs,
+        spans,
+        n_fregs: 0,
+        n_iregs: 4,
+        n_aregs: 0,
+        params: vec![ParamSpec {
+            name: "p".into(),
+            kind: ParamKind::I,
+            by_ref: false,
+            reg: 0,
+        }],
+        ret: RetKind::I,
+        fvar_names: vec![],
+        avar_names: vec![],
+        packed: None,
+    }
+}
+
+#[test]
+fn body_before_header_loop_is_preserved() {
+    let base = func();
+    let mut opt = base.clone();
+    let stats = chef_exec::cfg::optimize(&mut opt);
+    eprintln!("stats: hoisted={} guards={}", stats.hoisted, stats.guards);
+    eprintln!("before:\n{}", base.disassemble());
+    eprintln!("after:\n{}", opt.disassemble());
+    let a = chef_exec::vm::run(&base, vec![ArgValue::I(9)]).unwrap();
+    let b = chef_exec::vm::run(&opt, vec![ArgValue::I(9)]).unwrap();
+    assert_eq!(a.ret, b.ret);
+}
